@@ -1,0 +1,73 @@
+//! Wall-clock microbenchmarks of the host-side UTLB operations — the
+//! implementation analog of the paper's Table 1. The *simulated* costs are
+//! the calibrated model; these numbers show what our data structures
+//! actually cost on the machine running the simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use utlb_core::PinBitVector;
+use utlb_mem::{Host, VirtPage};
+
+fn bench_bitvec_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitvec_check");
+    let mut v = PinBitVector::new();
+    for i in 0..4096 {
+        v.set(VirtPage::new(i));
+    }
+    for pages in [1u64, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(pages), &pages, |b, &pages| {
+            b.iter(|| black_box(v.check_run(VirtPage::new(128), pages)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pin_unpin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("driver_pin_unpin");
+    for pages in [1u64, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("pin", pages), &pages, |b, &pages| {
+            let mut host = Host::new(1 << 14);
+            let pid = host.spawn_process();
+            let mut next = 0u64;
+            b.iter(|| {
+                // Wrap within a 4096-page window: after the first cycle the
+                // pages are already mapped, so iterations measure the pin
+                // bookkeeping (refcounts) without unbounded frame growth.
+                let start = VirtPage::new(next % 4096);
+                next += pages;
+                black_box(host.driver_pin(pid, start, pages).unwrap());
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pin_unpin", pages), &pages, |b, &pages| {
+            let mut host = Host::new(1 << 12);
+            let pid = host.spawn_process();
+            b.iter(|| {
+                host.driver_pin(pid, VirtPage::new(0), pages).unwrap();
+                for p in VirtPage::new(0).range(pages) {
+                    host.driver_unpin(pid, p).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_paging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paging");
+    group.bench_function("reclaim_restore", |b| {
+        let mut host = Host::new(1 << 12);
+        let pid = host.spawn_process();
+        host.process_mut(pid)
+            .unwrap()
+            .write(utlb_mem::VirtAddr::new(0x5000), &[7u8; 64])
+            .unwrap();
+        b.iter(|| {
+            assert!(host.reclaim_page(pid, VirtPage::new(5)).unwrap());
+            assert!(host.ensure_resident(pid, VirtPage::new(5)).unwrap());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitvec_check, bench_pin_unpin, bench_paging);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Wall-clock microbenchmarks of the NIC-side structures — the
+//! implementation analog of the paper's Table 2: Shared UTLB-Cache lookups
+//! at each associativity and DMA entry fetches at each prefetch width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use utlb_core::{Associativity, CacheConfig, SharedUtlbCache};
+use utlb_mem::{PhysAddr, PhysicalMemory, ProcessId, VirtPage};
+use utlb_nic::{DmaEngine, SimClock};
+
+fn bench_cache_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_lookup");
+    for assoc in Associativity::ALL {
+        let mut cache = SharedUtlbCache::new(CacheConfig {
+            entries: 8192,
+            associativity: assoc,
+            offsetting: true,
+        });
+        let pid = ProcessId::new(1);
+        for v in 0..8192u64 {
+            cache.insert(pid, VirtPage::new(v), PhysAddr::new(v << 12));
+        }
+        group.bench_with_input(
+            BenchmarkId::new("hit", assoc.to_string()),
+            &assoc,
+            |b, _| {
+                let mut v = 0u64;
+                b.iter(|| {
+                    v = (v + 1) % 8192;
+                    black_box(cache.lookup(pid, VirtPage::new(v)))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("miss", assoc.to_string()),
+            &assoc,
+            |b, _| {
+                let mut v = 0u64;
+                b.iter(|| {
+                    v += 1;
+                    black_box(cache.lookup(pid, VirtPage::new(100_000 + v)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_entry_fetch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dma_entry_fetch");
+    let mut host = PhysicalMemory::new(64);
+    for i in 0..512u64 {
+        host.write_u64(PhysAddr::new(i * 8), i).unwrap();
+    }
+    for entries in [1u64, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |b, &entries| {
+                let mut clock = SimClock::new();
+                let mut dma = DmaEngine::default();
+                b.iter(|| {
+                    black_box(
+                        dma.fetch_words(&mut clock, &host, PhysAddr::new(0), entries)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_lookup, bench_entry_fetch);
+criterion_main!(benches);

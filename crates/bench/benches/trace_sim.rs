@@ -1,0 +1,57 @@
+//! Throughput of the trace-driven simulator itself: how fast one full
+//! application trace flows through the UTLB and interrupt engines, and an
+//! ablation of the cache organizations of Table 8 on one workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use utlb_core::Associativity;
+use utlb_sim::{run_intr, run_utlb, SimConfig};
+use utlb_trace::{gen, GenConfig, SplashApp};
+
+fn small_cfg() -> GenConfig {
+    GenConfig {
+        seed: 1998,
+        scale: 0.1,
+        app_processes: 4,
+    }
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let trace = gen::generate(SplashApp::Radix, &small_cfg());
+    let lookups = trace.total_lookups();
+    let mut group = c.benchmark_group("trace_sim");
+    group.throughput(Throughput::Elements(lookups));
+    group.sample_size(10);
+    group.bench_function("utlb_radix", |b| {
+        let cfg = SimConfig::study(2048);
+        b.iter(|| black_box(run_utlb(&trace, &cfg)))
+    });
+    group.bench_function("intr_radix", |b| {
+        let cfg = SimConfig::study(2048);
+        b.iter(|| black_box(run_intr(&trace, &cfg)))
+    });
+    group.finish();
+}
+
+fn bench_associativity_ablation(c: &mut Criterion) {
+    let trace = gen::generate(SplashApp::Water, &small_cfg());
+    let mut group = c.benchmark_group("assoc_ablation");
+    group.sample_size(10);
+    for assoc in Associativity::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(assoc.to_string()),
+            &assoc,
+            |b, &assoc| {
+                let cfg = SimConfig {
+                    associativity: assoc,
+                    ..SimConfig::study(2048)
+                };
+                b.iter(|| black_box(run_utlb(&trace, &cfg)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_associativity_ablation);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Extension experiments the paper names but could not run: the
+//! replacement-policy sweep (§3.4/§7) and per-process UTLB vs the Shared
+//! UTLB-Cache (§7), plus a prepin-width sweep extending Table 7.
+
+use utlb_trace::SplashApp;
+
+fn main() {
+    let args = utlb_bench::BenchArgs::parse();
+    for app in [SplashApp::Water, SplashApp::Raytrace] {
+        println!("{}", utlb_sim::experiments::policy_sweep(app, &args.gen));
+    }
+    for app in [SplashApp::Lu, SplashApp::Barnes] {
+        println!(
+            "{}",
+            utlb_sim::experiments::perproc_vs_shared(app, &args.gen, 8192)
+        );
+    }
+    for app in [SplashApp::Fft, SplashApp::Water] {
+        println!("{}", utlb_sim::experiments::prepin_sweep(app, &args.gen));
+    }
+    for app in [SplashApp::Water, SplashApp::Barnes] {
+        println!("{}", utlb_sim::experiments::assoc_cost(app, &args.gen, 2048));
+    }
+    for entries in [1024usize, 8192] {
+        println!(
+            "{}",
+            utlb_sim::experiments::multiprog(SplashApp::Fft, SplashApp::Water, &args.gen, entries)
+        );
+    }
+    for app in [SplashApp::Lu, SplashApp::Radix] {
+        println!(
+            "{}",
+            utlb_sim::experiments::variant_comparison(app, &args.gen, 2048)
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 7: compulsory/capacity/conflict breakdown
+//! of translation-cache misses per application and cache size.
+
+fn main() {
+    let args = utlb_bench::BenchArgs::parse();
+    let f = utlb_sim::experiments::fig7(&args.gen);
+    println!("{f}");
+    args.archive(&f);
+    args.archive_csv(&f.to_csv());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 8: the effect of prefetching translation
+//! entries on Radix (miss rate and average lookup cost vs prefetch width).
+
+fn main() {
+    let args = utlb_bench::BenchArgs::parse();
+    let f = utlb_sim::experiments::fig8(&args.gen);
+    println!("{f}");
+    args.archive(&f);
+    args.archive_csv(&f.to_csv());
+}

@@ -1,0 +1,16 @@
+//! Runs every table and figure regenerator in paper order — the one-shot
+//! reproduction of the whole evaluation section.
+
+fn main() {
+    let args = utlb_bench::BenchArgs::parse();
+    println!("{}\n", utlb_sim::experiments::table1());
+    println!("{}\n", utlb_sim::experiments::table2());
+    println!("{}\n", utlb_sim::experiments::table3(&args.gen));
+    println!("{}\n", utlb_sim::experiments::table4(&args.gen));
+    println!("{}\n", utlb_sim::experiments::table5(&args.gen));
+    println!("{}\n", utlb_sim::experiments::table6(&args.gen));
+    println!("{}\n", utlb_sim::experiments::table7(&args.gen));
+    println!("{}\n", utlb_sim::experiments::table8(&args.gen));
+    println!("{}\n", utlb_sim::experiments::fig7(&args.gen));
+    println!("{}\n", utlb_sim::experiments::fig8(&args.gen));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Table 1: UTLB overhead on the host processor.
+
+fn main() {
+    let args = utlb_bench::BenchArgs::parse();
+    let t = utlb_sim::experiments::table1();
+    println!("{t}");
+    args.archive(&t);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Table 2: UTLB overhead on the network interface.
+
+fn main() {
+    let args = utlb_bench::BenchArgs::parse();
+    let t = utlb_sim::experiments::table2();
+    println!("{t}");
+    args.archive(&t);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 3: application characteristics
+//! (paper targets vs what the synthetic generators produce).
+
+fn main() {
+    let args = utlb_bench::BenchArgs::parse();
+    let t = utlb_sim::experiments::table3(&args.gen);
+    println!("{t}");
+    args.archive(&t);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 4: UTLB vs the interrupt-based approach
+//! with infinite host memory (check misses, NI misses, unpins per lookup).
+
+fn main() {
+    let args = utlb_bench::BenchArgs::parse();
+    let t = utlb_sim::experiments::table4(&args.gen);
+    println!("{t}");
+    args.archive(&t);
+}

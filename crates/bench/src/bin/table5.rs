@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 5: UTLB vs the interrupt-based approach
+//! with a 4 MB per-process memory limit.
+
+fn main() {
+    let args = utlb_bench::BenchArgs::parse();
+    let t = utlb_sim::experiments::table5(&args.gen);
+    println!("{t}");
+    args.archive(&t);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 6: average translation-lookup cost for
+//! Barnes and FFT under the §6.2 cost formulas.
+
+fn main() {
+    let args = utlb_bench::BenchArgs::parse();
+    let t = utlb_sim::experiments::table6(&args.gen);
+    println!("{t}");
+    args.archive(&t);
+}

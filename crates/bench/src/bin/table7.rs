@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 7: amortized pin/unpin cost with 1-page vs
+//! 16-page sequential pre-pinning under a 16 MB memory limit.
+
+fn main() {
+    let args = utlb_bench::BenchArgs::parse();
+    let t = utlb_sim::experiments::table7(&args.gen);
+    println!("{t}");
+    args.archive(&t);
+}

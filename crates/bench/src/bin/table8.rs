@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 8: Shared UTLB-Cache miss rates across
+//! cache sizes and associativities (direct / 2-way / 4-way / direct-nohash).
+
+fn main() {
+    let args = utlb_bench::BenchArgs::parse();
+    let t = utlb_sim::experiments::table8(&args.gen);
+    println!("{t}");
+    args.archive(&t);
+}

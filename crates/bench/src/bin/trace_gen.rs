@@ -1,0 +1,54 @@
+//! Generates a workload trace and writes it as JSONL, so external tools (or
+//! later `sim_trace` runs) can consume it.
+//!
+//! ```text
+//! trace_gen <app> <out.jsonl> [--scale S] [--seed N]
+//! ```
+
+use std::fs::File;
+use std::io::BufWriter;
+use utlb_trace::{gen, write_jsonl, GenConfig, SplashApp};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: trace_gen <app> <out.jsonl> [--scale S] [--seed N]");
+        eprintln!(
+            "apps: {}",
+            SplashApp::ALL.map(|a| a.name()).join(", ")
+        );
+        std::process::exit(2);
+    }
+    let app_name = args.remove(0);
+    let path = args.remove(0);
+    let mut cfg = GenConfig {
+        seed: 1998,
+        scale: 1.0,
+        app_processes: 4,
+    };
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => cfg.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(1.0),
+            "--seed" => cfg.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(1998),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(app) = SplashApp::ALL.iter().find(|a| a.name() == app_name) else {
+        eprintln!("unknown app {app_name}");
+        std::process::exit(2);
+    };
+    let trace = gen::generate(*app, &cfg);
+    let file = File::create(&path).expect("create output file");
+    write_jsonl(&trace, BufWriter::new(file)).expect("write trace");
+    println!(
+        "{}: {} records, {} lookups, {} footprint pages -> {path}",
+        trace.workload,
+        trace.records.len(),
+        trace.total_lookups(),
+        trace.footprint_pages()
+    );
+}

@@ -1,0 +1,208 @@
+//! The user-level pin-status bit vector.
+//!
+//! Under Hierarchical-UTLB "the user-level library only needs a bit array to
+//! maintain the memory-pinning status of virtual pages" (§3.3). The check on
+//! the send path scans this bitmap: its cost "varies with the first bit's
+//! position in the bit map" (Table 1) — a run that is entirely pinned is
+//! decided by whole-word probes, while a straggling first unpinned bit costs
+//! a partial scan.
+//!
+//! The vector is chunked so a sparse 32-bit (or larger) virtual page space
+//! costs memory proportional to the pages actually touched.
+
+use std::collections::HashMap;
+use utlb_mem::VirtPage;
+
+const WORD_BITS: u64 = 64;
+/// Pages covered by one chunk of the sparse bitmap.
+const CHUNK_PAGES: u64 = 4096;
+const CHUNK_WORDS: usize = (CHUNK_PAGES / WORD_BITS) as usize;
+
+/// Result of a pin-status check over a page run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// First page in the run that is *not* pinned, if any.
+    pub first_unpinned: Option<VirtPage>,
+    /// Bitmap words probed — the unit the check cost scales with.
+    pub words_probed: u64,
+}
+
+impl CheckOutcome {
+    /// Whether the whole run was pinned (a check *hit*).
+    pub fn is_hit(&self) -> bool {
+        self.first_unpinned.is_none()
+    }
+}
+
+/// Sparse bit vector recording which virtual pages are pinned.
+#[derive(Debug, Default)]
+pub struct PinBitVector {
+    chunks: HashMap<u64, Box<[u64; CHUNK_WORDS]>>,
+    set_bits: u64,
+}
+
+impl PinBitVector {
+    /// Creates an empty (all-unpinned) vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages marked pinned.
+    pub fn count(&self) -> u64 {
+        self.set_bits
+    }
+
+    fn locate(page: VirtPage) -> (u64, usize, u64) {
+        let n = page.number();
+        let chunk = n / CHUNK_PAGES;
+        let within = n % CHUNK_PAGES;
+        (chunk, (within / WORD_BITS) as usize, within % WORD_BITS)
+    }
+
+    /// Whether `page` is marked pinned.
+    pub fn is_set(&self, page: VirtPage) -> bool {
+        let (chunk, word, bit) = Self::locate(page);
+        self.chunks
+            .get(&chunk)
+            .is_some_and(|c| c[word] & (1 << bit) != 0)
+    }
+
+    /// Marks `page` pinned. Returns `true` if the bit was newly set.
+    pub fn set(&mut self, page: VirtPage) -> bool {
+        let (chunk, word, bit) = Self::locate(page);
+        let c = self
+            .chunks
+            .entry(chunk)
+            .or_insert_with(|| Box::new([0u64; CHUNK_WORDS]));
+        let mask = 1u64 << bit;
+        if c[word] & mask == 0 {
+            c[word] |= mask;
+            self.set_bits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks `page` unpinned. Returns `true` if the bit was set before.
+    pub fn clear(&mut self, page: VirtPage) -> bool {
+        let (chunk, word, bit) = Self::locate(page);
+        if let Some(c) = self.chunks.get_mut(&chunk) {
+            let mask = 1u64 << bit;
+            if c[word] & mask != 0 {
+                c[word] &= !mask;
+                self.set_bits -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Checks whether all of `start .. start+count` are pinned.
+    ///
+    /// Scans word-at-a-time like the real library and reports how many words
+    /// it probed, so callers can charge a position-dependent check cost
+    /// (Table 1 reports min and max over bit positions).
+    pub fn check_run(&self, start: VirtPage, count: u64) -> CheckOutcome {
+        let mut words_probed = 0u64;
+        let mut i = 0u64;
+        let mut last_word = None;
+        while i < count {
+            let page = start.offset(i);
+            let (chunk, word, _) = Self::locate(page);
+            let key = (chunk, word);
+            if last_word != Some(key) {
+                words_probed += 1;
+                last_word = Some(key);
+            }
+            if !self.is_set(page) {
+                return CheckOutcome {
+                    first_unpinned: Some(page),
+                    words_probed,
+                };
+            }
+            i += 1;
+        }
+        CheckOutcome {
+            first_unpinned: None,
+            words_probed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(n: u64) -> VirtPage {
+        VirtPage::new(n)
+    }
+
+    #[test]
+    fn set_clear_roundtrip() {
+        let mut v = PinBitVector::new();
+        assert!(!v.is_set(page(5)));
+        assert!(v.set(page(5)));
+        assert!(!v.set(page(5)), "second set is not new");
+        assert!(v.is_set(page(5)));
+        assert_eq!(v.count(), 1);
+        assert!(v.clear(page(5)));
+        assert!(!v.clear(page(5)));
+        assert_eq!(v.count(), 0);
+    }
+
+    #[test]
+    fn check_run_finds_first_unpinned() {
+        let mut v = PinBitVector::new();
+        for i in 0..10 {
+            v.set(page(i));
+        }
+        v.clear(page(7));
+        let out = v.check_run(page(0), 10);
+        assert_eq!(out.first_unpinned, Some(page(7)));
+        let hit = v.check_run(page(0), 7);
+        assert!(hit.is_hit());
+    }
+
+    #[test]
+    fn check_run_probes_fewer_words_when_failing_early() {
+        let v = PinBitVector::new();
+        // Nothing pinned: first probe decides.
+        let out = v.check_run(page(0), 1000);
+        assert_eq!(out.words_probed, 1);
+        assert_eq!(out.first_unpinned, Some(page(0)));
+    }
+
+    #[test]
+    fn full_scan_probes_proportional_words() {
+        let mut v = PinBitVector::new();
+        for i in 0..256 {
+            v.set(page(i));
+        }
+        let out = v.check_run(page(0), 256);
+        assert!(out.is_hit());
+        assert_eq!(out.words_probed, 4, "256 pages / 64 bits per word");
+    }
+
+    #[test]
+    fn sparse_far_apart_pages() {
+        let mut v = PinBitVector::new();
+        v.set(page(0));
+        v.set(page(1 << 30));
+        assert!(v.is_set(page(1 << 30)));
+        assert!(!v.is_set(page(1 << 29)));
+        assert_eq!(v.count(), 2);
+    }
+
+    #[test]
+    fn check_run_across_chunk_boundary() {
+        let mut v = PinBitVector::new();
+        let base = CHUNK_PAGES - 2;
+        for i in 0..4 {
+            v.set(page(base + i));
+        }
+        let out = v.check_run(page(base), 4);
+        assert!(out.is_hit());
+        assert_eq!(out.words_probed, 2);
+    }
+}

@@ -1,0 +1,833 @@
+//! The Hierarchical-UTLB engine — the mechanism the paper evaluates.
+//!
+//! Ties the pieces together exactly as Figure 4 lays them out:
+//!
+//! * host side: the pin-status [`PinBitVector`], the pin manager with the
+//!   application-chosen replacement [`Policy`] and the optional
+//!   pinned-memory limit, sequential pre-pinning (§6.5), and the device
+//!   driver `ioctl` that pins pages and installs translations,
+//! * NIC side: the per-process [`HierTable`] directory in SRAM, the
+//!   [`SharedUtlbCache`], and prefetching of consecutive translation entries
+//!   on a miss (§6.4).
+//!
+//! A translation lookup never enters the kernel unless pages must actually
+//! be pinned, and never interrupts the host — the two properties the whole
+//! design exists to provide.
+
+use crate::{
+    CacheConfig, CostModel, HierTable, PinBitVector, PinnedSet, Policy, Result, SharedUtlbCache,
+    TranslationStats, UtlbError,
+};
+use std::collections::HashMap;
+use utlb_mem::{Host, PhysAddr, ProcessId, VirtAddr, VirtPage};
+use utlb_nic::{Board, Nanos};
+
+/// Configuration of a [`UtlbEngine`].
+#[derive(Debug, Clone)]
+pub struct UtlbConfig {
+    /// Shared UTLB-Cache geometry.
+    pub cache: CacheConfig,
+    /// Translation entries fetched per NIC miss (1 = no prefetch, §6.4).
+    pub prefetch: u64,
+    /// Pages pinned per check miss (1 = no prepinning, §6.5).
+    pub prepin: u64,
+    /// Replacement policy for pinned pages (§3.4).
+    pub policy: Policy,
+    /// Per-process pinned-memory limit in pages (`None` = unlimited, the
+    /// "infinite host memory" configuration of Table 4).
+    pub mem_limit_pages: Option<u64>,
+    /// Cost model charged to the board clock.
+    pub cost: CostModel,
+    /// Seed for the RANDOM policy.
+    pub seed: u64,
+}
+
+impl Default for UtlbConfig {
+    fn default() -> Self {
+        UtlbConfig {
+            cache: CacheConfig::default(),
+            prefetch: 1,
+            prepin: 1,
+            policy: Policy::Lru,
+            mem_limit_pages: None,
+            cost: CostModel::default(),
+            seed: 0xDEFA,
+        }
+    }
+}
+
+/// Outcome of translating one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageOutcome {
+    /// The translated page.
+    pub page: VirtPage,
+    /// Its physical address, ready for DMA.
+    pub phys: PhysAddr,
+    /// Whether the user-level check missed (pages had to be pinned).
+    pub check_miss: bool,
+    /// Whether the NIC translation cache missed.
+    pub ni_miss: bool,
+}
+
+/// Result of a [`UtlbEngine::lookup`] over a page run.
+#[derive(Debug, Clone)]
+pub struct LookupReport {
+    /// Per-page outcomes, in run order.
+    pub pages: Vec<PageOutcome>,
+    /// Simulated time the run consumed.
+    pub elapsed: Nanos,
+}
+
+#[derive(Debug)]
+struct ProcState {
+    bitvec: PinBitVector,
+    hier: HierTable,
+    pinned: PinnedSet,
+    stats: TranslationStats,
+}
+
+/// The Hierarchical-UTLB translation engine.
+#[derive(Debug)]
+pub struct UtlbEngine {
+    cfg: UtlbConfig,
+    cache: SharedUtlbCache,
+    procs: HashMap<ProcessId, ProcState>,
+}
+
+impl UtlbEngine {
+    /// Creates an engine with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefetch` or `prepin` is zero.
+    pub fn new(cfg: UtlbConfig) -> Self {
+        assert!(cfg.prefetch >= 1, "prefetch width must be at least 1");
+        assert!(cfg.prepin >= 1, "prepin width must be at least 1");
+        let cache = SharedUtlbCache::new(cfg.cache);
+        UtlbEngine {
+            cfg,
+            cache,
+            procs: HashMap::new(),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &UtlbConfig {
+        &self.cfg
+    }
+
+    /// The shared NIC translation cache.
+    pub fn cache(&self) -> &SharedUtlbCache {
+        &self.cache
+    }
+
+    /// Registers `pid`: allocates its directory in NIC SRAM and applies the
+    /// pinned-memory limit to the host driver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::AlreadyRegistered`] on a duplicate, and
+    /// propagates SRAM exhaustion.
+    pub fn register_process(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+    ) -> Result<()> {
+        if self.procs.contains_key(&pid) {
+            return Err(UtlbError::AlreadyRegistered(pid));
+        }
+        let garbage = host.driver().garbage_addr();
+        let hier = HierTable::new(pid, &mut board.sram, garbage)?;
+        host.driver_mut()
+            .pins_mut()
+            .set_limit(pid, self.cfg.mem_limit_pages);
+        board.cmdq.register(pid);
+        self.procs.insert(
+            pid,
+            ProcState {
+                bitvec: PinBitVector::new(),
+                hier,
+                pinned: PinnedSet::new(self.cfg.policy, self.cfg.seed ^ pid.raw() as u64),
+                stats: TranslationStats::default(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes `pid`: unpins everything it had pinned and drops its cache
+    /// lines and tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::UnregisteredProcess`] if `pid` is unknown.
+    pub fn unregister_process(
+        &mut self,
+        host: &mut Host,
+        _board: &mut Board,
+        pid: ProcessId,
+    ) -> Result<()> {
+        let mut state = self
+            .procs
+            .remove(&pid)
+            .ok_or(UtlbError::UnregisteredProcess(pid))?;
+        self.cache.invalidate_process(pid);
+        state.hier.release(host.physical_mut());
+        host.driver_mut().pins_mut().release_process(pid);
+        Ok(())
+    }
+
+    /// Per-process statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::UnregisteredProcess`] if `pid` is unknown.
+    pub fn stats(&self, pid: ProcessId) -> Result<TranslationStats> {
+        self.procs
+            .get(&pid)
+            .map(|s| s.stats)
+            .ok_or(UtlbError::UnregisteredProcess(pid))
+    }
+
+    /// Statistics summed over all processes.
+    pub fn aggregate_stats(&self) -> TranslationStats {
+        self.procs
+            .values()
+            .map(|s| s.stats)
+            .fold(TranslationStats::default(), |a, b| a + b)
+    }
+
+    /// Marks the pages of a buffer as held by an outstanding send so the
+    /// replacement policy cannot unpin them mid-transfer (§3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::UnregisteredProcess`] if `pid` is unknown.
+    pub fn hold_pages(&mut self, pid: ProcessId, start: VirtPage, npages: u64) -> Result<()> {
+        let state = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(UtlbError::UnregisteredProcess(pid))?;
+        for p in start.range(npages) {
+            state.pinned.hold(p);
+        }
+        Ok(())
+    }
+
+    /// Releases an outstanding-send hold taken by [`UtlbEngine::hold_pages`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::UnregisteredProcess`] if `pid` is unknown.
+    pub fn release_pages(&mut self, pid: ProcessId, start: VirtPage, npages: u64) -> Result<()> {
+        let state = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(UtlbError::UnregisteredProcess(pid))?;
+        for p in start.range(npages) {
+            state.pinned.release(p);
+        }
+        Ok(())
+    }
+
+    /// Translates the buffer `[va, va + nbytes)` — the `send message`
+    /// pseudo-code of Figure 2: check the user-level structure, pin missing
+    /// pages through the driver, then resolve each page on the NIC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pinning, memory, and protocol errors.
+    pub fn lookup_buffer(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+        va: VirtAddr,
+        nbytes: u64,
+    ) -> Result<LookupReport> {
+        let npages = va.span_pages(nbytes);
+        self.lookup(host, board, pid, va.page(), npages)
+    }
+
+    /// NIC-side-only resolution of one page, as if a (buggy or malicious)
+    /// user library submitted a request *without* performing the user-level
+    /// check and pinning first.
+    ///
+    /// This is §3.1's correctness alternative: "Otherwise, the network
+    /// interface must be able to check for possible unpinned pages, and
+    /// interrupt the host to pin pages before executing the requests."
+    /// When the translation entry still holds the garbage address, the NIC
+    /// interrupts the host, which pins the page and installs the entry;
+    /// the lookup then proceeds. The cost — one interrupt plus an in-kernel
+    /// pin — is exactly what the user-level check exists to avoid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pinning and memory errors.
+    pub fn nic_resolve(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+        page: VirtPage,
+    ) -> Result<PhysAddr> {
+        let cost = self.cfg.cost.clone();
+        {
+            let state = self
+                .procs
+                .get_mut(&pid)
+                .ok_or(UtlbError::UnregisteredProcess(pid))?;
+            state.stats.lookups += 1;
+        }
+        Self::charge_us(board, cost.ni_check_us);
+        if let Some(phys) = self.cache.lookup(pid, page) {
+            return Ok(phys);
+        }
+        // Miss path: check the table; a garbage entry means the page was
+        // never pinned — fall back to interrupting the host.
+        Self::charge_us(board, cost.directory_ref_us);
+        let needs_pin = {
+            let state = self.procs.get_mut(&pid).expect("registered");
+            state.hier.read_entry(page, host.physical(), &board.sram)? == state.hier.garbage()
+        };
+        if needs_pin {
+            board.intr.raise(&mut board.clock);
+            Self::charge_us(board, cost.kernel_pin_cost(1));
+            let pinned = host.driver_pin(pid, page, 1)?;
+            let state = self.procs.get_mut(&pid).expect("registered");
+            state
+                .hier
+                .install(page, pinned[0].phys_addr(), host.physical_mut(), &mut board.sram)?;
+            state.bitvec.set(page);
+            state.pinned.insert(page);
+            state.stats.interrupts += 1;
+            state.stats.pins += 1;
+            state.stats.pin_calls += 1;
+            state.stats.pin_time_ns += (cost.kernel_pin_cost(1) * 1000.0) as u64;
+        }
+        let state = self.procs.get_mut(&pid).expect("registered");
+        state.stats.ni_misses += 1;
+        let entry_addr = state
+            .hier
+            .entry_addr(page, &board.sram)?
+            .expect("installed above or already present");
+        let Board { dma, clock, .. } = board;
+        let words = dma.fetch_words(clock, host.physical(), entry_addr, 1)?;
+        state.stats.entries_fetched += 1;
+        let phys = PhysAddr::new(words[0]);
+        self.cache.insert(pid, page, phys);
+        Ok(phys)
+    }
+
+    /// Translates `npages` pages starting at `start`, one page-granular
+    /// lookup per page (the firmware splits transfers at page boundaries).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pinning, memory, and protocol errors.
+    pub fn lookup(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+        start: VirtPage,
+        npages: u64,
+    ) -> Result<LookupReport> {
+        if !self.procs.contains_key(&pid) {
+            return Err(UtlbError::UnregisteredProcess(pid));
+        }
+        let t0 = board.clock.now();
+        let mut pages = Vec::with_capacity(npages as usize);
+        for page in start.range(npages) {
+            let outcome = self.lookup_page(host, board, pid, page)?;
+            pages.push(outcome);
+        }
+        Ok(LookupReport {
+            pages,
+            elapsed: board.clock.now() - t0,
+        })
+    }
+
+    fn charge_us(board: &mut Board, us: f64) {
+        board.clock.advance(Nanos::from_micros(us));
+    }
+
+    fn lookup_page(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+        page: VirtPage,
+    ) -> Result<PageOutcome> {
+        let cost = self.cfg.cost.clone();
+        let state = self.procs.get_mut(&pid).expect("checked by caller");
+        state.stats.lookups += 1;
+
+        // 1. User-level check against the pin bitmap (Figure 2 step 1).
+        Self::charge_us(board, cost.user_check_us);
+        let check = state.bitvec.check_run(page, 1);
+        let check_miss = !check.is_hit();
+
+        if check_miss {
+            state.stats.check_misses += 1;
+            self.pin_run(host, board, pid, page)?;
+        }
+
+        let state = self.procs.get_mut(&pid).expect("still registered");
+        state.pinned.touch(page);
+
+        // 2. NIC-side resolution (Figure 2 NIC steps 1–2).
+        Self::charge_us(board, cost.ni_check_us);
+        let (phys, ni_miss) = match self.cache.lookup(pid, page) {
+            Some(phys) => (phys, false),
+            None => {
+                let phys = self.fill_from_table(host, board, pid, page)?;
+                (phys, true)
+            }
+        };
+        let state = self.procs.get_mut(&pid).expect("still registered");
+        if ni_miss {
+            state.stats.ni_misses += 1;
+        }
+        Ok(PageOutcome {
+            page,
+            phys,
+            check_miss,
+            ni_miss,
+        })
+    }
+
+    /// Handles a check miss: evict under the memory limit, then pin the
+    /// contiguous run of unpinned pages starting at `page` (sequential
+    /// pre-pinning, §6.5) and install the translations.
+    fn pin_run(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+        page: VirtPage,
+    ) -> Result<()> {
+        let cost = self.cfg.cost.clone();
+        let state = self.procs.get_mut(&pid).expect("checked by caller");
+
+        // Length of the contiguous unpinned run, capped by the prepin width.
+        let mut run = 0u64;
+        while run < self.cfg.prepin && !state.bitvec.is_set(page.offset(run)) {
+            run += 1;
+        }
+        debug_assert!(run >= 1, "called on a check miss");
+
+        // Make room under the pinned-memory limit.
+        if let Some(limit) = self.cfg.mem_limit_pages {
+            let pinned = state.pinned.len() as u64;
+            if pinned + run > limit {
+                let mut deficit = (pinned + run).saturating_sub(limit);
+                let victims = state.pinned.select_victims(deficit as usize);
+                if victims.is_empty() && pinned >= limit {
+                    // Cannot pin even the demanded page.
+                    return Err(UtlbError::NoEvictableVictim(pid));
+                }
+                // If fewer victims than the deficit, shrink the prepin run
+                // (but never below the demanded page).
+                if (victims.len() as u64) < deficit {
+                    let shortfall = deficit - victims.len() as u64;
+                    run = run.saturating_sub(shortfall).max(1);
+                    deficit = victims.len() as u64;
+                }
+                let _ = deficit;
+                for victim in victims {
+                    // Unpinning is one page at a time (§6.5).
+                    let unpin_us = cost.unpin_cost(1);
+                    Self::charge_us(board, unpin_us);
+                    host.driver_unpin(pid, victim)?;
+                    let state = self.procs.get_mut(&pid).expect("registered");
+                    state.bitvec.clear(victim);
+                    state.pinned.remove(victim);
+                    state.hier.invalidate(victim, host.physical_mut(), &board.sram)?;
+                    self.cache.invalidate(pid, victim);
+                    let state = self.procs.get_mut(&pid).expect("registered");
+                    state.stats.unpins += 1;
+                    state.stats.unpin_calls += 1;
+                    state.stats.unpin_time_ns += (unpin_us * 1000.0) as u64;
+                }
+            }
+        }
+
+        // One ioctl pins the whole run (Figure 2 step 2).
+        let pin_us = cost.pin_cost(run);
+        Self::charge_us(board, pin_us);
+        let pinned = host.driver_pin(pid, page, run)?;
+        let state = self.procs.get_mut(&pid).expect("registered");
+        for p in &pinned {
+            state
+                .hier
+                .install(p.page(), p.phys_addr(), host.physical_mut(), &mut board.sram)?;
+            state.bitvec.set(p.page());
+            state.pinned.insert(p.page());
+        }
+        state.stats.pins += pinned.len() as u64;
+        state.stats.pin_calls += 1;
+        state.stats.pin_time_ns += (pin_us * 1000.0) as u64;
+        Ok(())
+    }
+
+    /// Handles a Shared UTLB-Cache miss: one SRAM directory reference plus a
+    /// DMA fetching `prefetch` consecutive entries (§3.3, §6.4). Entries
+    /// still holding the garbage address (unpinned neighbours) are fetched
+    /// but not cached.
+    fn fill_from_table(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+        page: VirtPage,
+    ) -> Result<PhysAddr> {
+        let cost = self.cfg.cost.clone();
+        Self::charge_us(board, cost.directory_ref_us);
+
+        let state = self.procs.get_mut(&pid).expect("checked by caller");
+        // Swapped-out second-level table: the NIC interrupts the host to
+        // bring it back (§3.3) — the one interrupt UTLB can ever take.
+        if state.hier.entry_addr(page, &board.sram)?.is_none() {
+            board.intr.raise(&mut board.clock);
+            state.stats.interrupts += 1;
+            let (phys, swap) = host.phys_and_swap();
+            let swapped_in = state.hier.swap_in(page, phys, &mut board.sram, swap)?;
+            if !swapped_in || state.hier.entry_addr(page, &board.sram)?.is_none() {
+                return Err(UtlbError::ProtocolViolation { pid, page });
+            }
+        }
+
+        let entry_addr = state
+            .hier
+            .entry_addr(page, &board.sram)?
+            .expect("resident after swap-in");
+
+        // Fetch up to `prefetch` consecutive entries, not crossing the leaf
+        // (one DMA must stay within one second-level table).
+        let leaf_remaining = crate::hier::LEAF_ENTRIES - page.number() % crate::hier::LEAF_ENTRIES;
+        let fetch = self.cfg.prefetch.min(leaf_remaining);
+        let Board { dma, clock, .. } = board;
+        let words = dma.fetch_words(clock, host.physical(), entry_addr, fetch)?;
+        state.stats.entries_fetched += fetch;
+
+        let garbage = state.hier.garbage().raw();
+        let first = PhysAddr::new(words[0]);
+        if words[0] == garbage {
+            return Err(UtlbError::ProtocolViolation { pid, page });
+        }
+        for (i, w) in words.into_iter().enumerate() {
+            if w != garbage {
+                self.cache.insert(pid, page.offset(i as u64), PhysAddr::new(w));
+            }
+        }
+        Ok(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(cfg: UtlbConfig) -> (Host, Board, UtlbEngine, ProcessId) {
+        let mut host = Host::new(1 << 16);
+        let mut board = Board::new();
+        let mut engine = UtlbEngine::new(cfg);
+        let pid = host.spawn_process();
+        engine.register_process(&mut host, &mut board, pid).unwrap();
+        (host, board, engine, pid)
+    }
+
+    fn small_cfg() -> UtlbConfig {
+        UtlbConfig {
+            cache: CacheConfig::direct(64),
+            ..UtlbConfig::default()
+        }
+    }
+
+    #[test]
+    fn first_lookup_misses_everywhere_second_hits_everywhere() {
+        let (mut host, mut board, mut engine, pid) = setup(small_cfg());
+        let page = VirtPage::new(100);
+        let r1 = engine.lookup(&mut host, &mut board, pid, page, 1).unwrap();
+        assert!(r1.pages[0].check_miss);
+        assert!(r1.pages[0].ni_miss);
+        let r2 = engine.lookup(&mut host, &mut board, pid, page, 1).unwrap();
+        assert!(!r2.pages[0].check_miss);
+        assert!(!r2.pages[0].ni_miss);
+        assert!(r2.elapsed < r1.elapsed, "hit path is faster");
+        let s = engine.stats(pid).unwrap();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.check_misses, 1);
+        assert_eq!(s.ni_misses, 1);
+        assert_eq!(s.pins, 1);
+        assert_eq!(s.unpins, 0);
+        assert_eq!(s.interrupts, 0, "UTLB never interrupts on the common path");
+    }
+
+    #[test]
+    fn translation_points_at_the_real_frame() {
+        let (mut host, mut board, mut engine, pid) = setup(small_cfg());
+        let va = VirtAddr::new(0x30_0000);
+        host.process_mut(pid).unwrap().write(va, b"dma payload").unwrap();
+        let r = engine
+            .lookup_buffer(&mut host, &mut board, pid, va, 11)
+            .unwrap();
+        let mut buf = [0u8; 11];
+        host.physical().read(r.pages[0].phys, &mut buf).unwrap();
+        assert_eq!(&buf, b"dma payload");
+    }
+
+    #[test]
+    fn buffer_spanning_pages_counts_one_lookup_per_page() {
+        let (mut host, mut board, mut engine, pid) = setup(small_cfg());
+        let va = VirtAddr::new(0x10_0FF0); // 16 bytes before a boundary
+        let r = engine
+            .lookup_buffer(&mut host, &mut board, pid, va, 32)
+            .unwrap();
+        assert_eq!(r.pages.len(), 2);
+        assert_eq!(engine.stats(pid).unwrap().lookups, 2);
+    }
+
+    #[test]
+    fn memory_limit_forces_unpins_via_policy() {
+        let cfg = UtlbConfig {
+            cache: CacheConfig::direct(64),
+            mem_limit_pages: Some(4),
+            ..UtlbConfig::default()
+        };
+        let (mut host, mut board, mut engine, pid) = setup(cfg);
+        for i in 0..8 {
+            engine
+                .lookup(&mut host, &mut board, pid, VirtPage::new(i), 1)
+                .unwrap();
+        }
+        let s = engine.stats(pid).unwrap();
+        assert_eq!(s.pins, 8);
+        assert_eq!(s.unpins, 4, "limit 4 evicts the 4 LRU pages");
+        assert_eq!(host.driver().pins().pinned_pages(pid), 4);
+        // LRU: pages 0–3 were evicted; touching page 0 re-pins.
+        let r = engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(0), 1)
+            .unwrap();
+        assert!(r.pages[0].check_miss);
+    }
+
+    #[test]
+    fn unpinned_page_is_invalidated_in_cache_and_table() {
+        let cfg = UtlbConfig {
+            cache: CacheConfig::direct(64),
+            mem_limit_pages: Some(1),
+            ..UtlbConfig::default()
+        };
+        let (mut host, mut board, mut engine, pid) = setup(cfg);
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(1), 1).unwrap();
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(2), 1).unwrap();
+        // Page 1 was unpinned: its cache line must be gone and a re-lookup
+        // must re-pin and re-miss.
+        assert!(engine.cache().peek(pid, VirtPage::new(1)).is_none());
+        let r = engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(1), 1)
+            .unwrap();
+        assert!(r.pages[0].check_miss);
+        assert!(r.pages[0].ni_miss);
+    }
+
+    #[test]
+    fn prepinning_batches_pins() {
+        let cfg = UtlbConfig {
+            cache: CacheConfig::direct(64),
+            prepin: 8,
+            ..UtlbConfig::default()
+        };
+        let (mut host, mut board, mut engine, pid) = setup(cfg);
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 1).unwrap();
+        let s = engine.stats(pid).unwrap();
+        assert_eq!(s.pins, 8, "one miss pre-pins the run");
+        assert_eq!(s.pin_calls, 1);
+        // The next 7 pages are check hits.
+        for i in 1..8 {
+            let r = engine
+                .lookup(&mut host, &mut board, pid, VirtPage::new(i), 1)
+                .unwrap();
+            assert!(!r.pages[0].check_miss, "page {i}");
+        }
+        assert_eq!(engine.stats(pid).unwrap().check_misses, 1);
+    }
+
+    #[test]
+    fn prefetch_hides_subsequent_ni_misses() {
+        let cfg = UtlbConfig {
+            cache: CacheConfig::direct(64),
+            prepin: 8,
+            prefetch: 8,
+            ..UtlbConfig::default()
+        };
+        let (mut host, mut board, mut engine, pid) = setup(cfg);
+        // One lookup pins 8 pages and prefetches all 8 entries.
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 8).unwrap();
+        let s = engine.stats(pid).unwrap();
+        assert_eq!(s.ni_misses, 1, "only the first page misses in the cache");
+        assert_eq!(s.entries_fetched, 8);
+    }
+
+    #[test]
+    fn prefetch_skips_garbage_neighbours() {
+        let cfg = UtlbConfig {
+            cache: CacheConfig::direct(64),
+            prepin: 1,
+            prefetch: 4,
+            ..UtlbConfig::default()
+        };
+        let (mut host, mut board, mut engine, pid) = setup(cfg);
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 1).unwrap();
+        // Neighbours 1..3 were fetched but hold garbage: not cached.
+        assert!(engine.cache().peek(pid, VirtPage::new(1)).is_none());
+        // And looking one up later is still correct (pin, then NI miss).
+        let r = engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(1), 1)
+            .unwrap();
+        assert!(r.pages[0].ni_miss);
+    }
+
+    #[test]
+    fn outstanding_holds_protect_pages_from_eviction() {
+        let cfg = UtlbConfig {
+            cache: CacheConfig::direct(64),
+            mem_limit_pages: Some(2),
+            ..UtlbConfig::default()
+        };
+        let (mut host, mut board, mut engine, pid) = setup(cfg);
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(1), 1).unwrap();
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(2), 1).unwrap();
+        engine.hold_pages(pid, VirtPage::new(1), 2).unwrap();
+        // Both pinned pages are held: pinning a third must fail.
+        let err = engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(3), 1)
+            .unwrap_err();
+        assert!(matches!(err, UtlbError::NoEvictableVictim(_)));
+        engine.release_pages(pid, VirtPage::new(1), 2).unwrap();
+        assert!(engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(3), 1)
+            .is_ok());
+    }
+
+    #[test]
+    fn register_twice_and_unknown_process_errors() {
+        let (mut host, mut board, mut engine, pid) = setup(small_cfg());
+        assert!(matches!(
+            engine.register_process(&mut host, &mut board, pid),
+            Err(UtlbError::AlreadyRegistered(_))
+        ));
+        let ghost = ProcessId::new(404);
+        assert!(matches!(
+            engine.lookup(&mut host, &mut board, ghost, VirtPage::new(0), 1),
+            Err(UtlbError::UnregisteredProcess(_))
+        ));
+        assert!(engine.stats(ghost).is_err());
+    }
+
+    #[test]
+    fn unregister_releases_everything() {
+        let (mut host, mut board, mut engine, pid) = setup(small_cfg());
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 4).unwrap();
+        let frames_before = host.physical().allocator().allocated_frames();
+        assert!(frames_before > 0);
+        engine.unregister_process(&mut host, &mut board, pid).unwrap();
+        assert_eq!(host.driver().pins().pinned_pages(pid), 0);
+        assert_eq!(engine.cache().occupancy(), 0);
+        assert!(engine
+            .unregister_process(&mut host, &mut board, pid)
+            .is_err());
+    }
+
+    #[test]
+    fn two_processes_share_the_cache_without_interference_on_correctness() {
+        let (mut host, mut board, mut engine, pid1) = setup(small_cfg());
+        let pid2 = host.spawn_process();
+        engine.register_process(&mut host, &mut board, pid2).unwrap();
+        let va = VirtAddr::new(0x50_0000);
+        host.process_mut(pid1).unwrap().write(va, b"one").unwrap();
+        host.process_mut(pid2).unwrap().write(va, b"two").unwrap();
+        let r1 = engine.lookup_buffer(&mut host, &mut board, pid1, va, 3).unwrap();
+        let r2 = engine.lookup_buffer(&mut host, &mut board, pid2, va, 3).unwrap();
+        let mut b1 = [0u8; 3];
+        let mut b2 = [0u8; 3];
+        host.physical().read(r1.pages[0].phys, &mut b1).unwrap();
+        host.physical().read(r2.pages[0].phys, &mut b2).unwrap();
+        assert_eq!(&b1, b"one");
+        assert_eq!(&b2, b"two");
+    }
+
+    #[test]
+    fn nic_resolve_falls_back_to_an_interrupt_for_unpinned_pages() {
+        let (mut host, mut board, mut engine, pid) = setup(small_cfg());
+        let va = VirtAddr::new(0x77_000);
+        host.process_mut(pid).unwrap().write(va, b"unchecked").unwrap();
+        // A request lands on the NIC without the user-level step: the NIC
+        // interrupts the host and still resolves correctly.
+        let phys = engine.nic_resolve(&mut host, &mut board, pid, va.page()).unwrap();
+        let mut buf = [0u8; 9];
+        host.physical().read(phys, &mut buf).unwrap();
+        assert_eq!(&buf, b"unchecked");
+        let s = engine.stats(pid).unwrap();
+        assert_eq!(s.interrupts, 1, "the fallback costs an interrupt");
+        assert_eq!(s.pins, 1);
+        // A well-behaved lookup of the same page afterwards is a pure hit
+        // and never interrupts.
+        let r = engine.lookup(&mut host, &mut board, pid, va.page(), 1).unwrap();
+        assert!(!r.pages[0].check_miss);
+        assert!(!r.pages[0].ni_miss);
+        assert_eq!(engine.stats(pid).unwrap().interrupts, 1);
+        // Resolving an already-pinned page via the NIC path needs no
+        // interrupt either (cache was filled above; invalidate to force the
+        // table read).
+        engine.cache.invalidate(pid, va.page());
+        engine.nic_resolve(&mut host, &mut board, pid, va.page()).unwrap();
+        assert_eq!(engine.stats(pid).unwrap().interrupts, 1);
+    }
+
+    #[test]
+    fn os_reclaim_of_unpinned_pages_is_invisible_to_the_engine() {
+        // Under a memory limit the engine unpins cold pages; the OS may
+        // then reclaim them. A later lookup must transparently fault the
+        // page back in, re-pin it, and yield a *fresh, correct* frame.
+        let cfg = UtlbConfig {
+            cache: CacheConfig::direct(64),
+            mem_limit_pages: Some(1),
+            ..UtlbConfig::default()
+        };
+        let (mut host, mut board, mut engine, pid) = setup(cfg);
+        let va = VirtAddr::new(0x123_000);
+        host.process_mut(pid).unwrap().write(va, b"survives").unwrap();
+        engine.lookup(&mut host, &mut board, pid, va.page(), 1).unwrap();
+        // Another page evicts (unpins) the first; the OS reclaims it.
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0x200), 1).unwrap();
+        assert!(host.reclaim_page(pid, va.page()).unwrap());
+        // Re-lookup: pin path faults the page in; data and translation agree.
+        let r = engine.lookup(&mut host, &mut board, pid, va.page(), 1).unwrap();
+        assert!(r.pages[0].check_miss);
+        let mut buf = [0u8; 8];
+        host.physical().read(r.pages[0].phys, &mut buf).unwrap();
+        assert_eq!(&buf, b"survives");
+    }
+
+    #[test]
+    fn swapped_out_table_is_brought_back_with_one_interrupt() {
+        let (mut host, mut board, mut engine, pid) = setup(small_cfg());
+        let page = VirtPage::new(10);
+        engine.lookup(&mut host, &mut board, pid, page, 1).unwrap();
+        // Swap the leaf out behind the engine's back, then evict the cache
+        // line so the next lookup must go to the table.
+        let state = engine.procs.get_mut(&pid).unwrap();
+        let (phys, swap) = host.phys_and_swap();
+        state
+            .hier
+            .swap_out(page, phys, &mut board.sram, swap)
+            .unwrap();
+        engine.cache.invalidate(pid, page);
+        let r = engine.lookup(&mut host, &mut board, pid, page, 1).unwrap();
+        assert!(r.pages[0].ni_miss);
+        assert_eq!(engine.stats(pid).unwrap().interrupts, 1);
+    }
+}

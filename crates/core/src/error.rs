@@ -1,0 +1,96 @@
+//! Error type for the UTLB mechanism.
+
+use std::error::Error;
+use std::fmt;
+use utlb_mem::{ProcessId, VirtPage};
+
+/// Errors produced by the UTLB engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UtlbError {
+    /// The process was never registered with the engine.
+    UnregisteredProcess(ProcessId),
+    /// The process is already registered.
+    AlreadyRegistered(ProcessId),
+    /// No eviction victim could be found: every pinned page is held by an
+    /// outstanding send.
+    NoEvictableVictim(ProcessId),
+    /// A per-process translation table ran out of free entries and eviction
+    /// could not free any.
+    TableFull {
+        /// The process whose table filled.
+        pid: ProcessId,
+        /// The table capacity in entries.
+        capacity: usize,
+    },
+    /// A page needed by the NIC fast path is not pinned — the user-level
+    /// library violated the protocol (paper §3.1 correctness requirement).
+    ProtocolViolation {
+        /// The offending process.
+        pid: ProcessId,
+        /// The unpinned page the NIC was asked to use.
+        page: VirtPage,
+    },
+    /// An underlying host-memory error.
+    Mem(utlb_mem::MemError),
+    /// An underlying NIC error.
+    Nic(utlb_nic::NicError),
+}
+
+impl fmt::Display for UtlbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UtlbError::UnregisteredProcess(pid) => write!(f, "process {pid} is not registered"),
+            UtlbError::AlreadyRegistered(pid) => write!(f, "process {pid} already registered"),
+            UtlbError::NoEvictableVictim(pid) => {
+                write!(f, "no evictable pinned page for process {pid}")
+            }
+            UtlbError::TableFull { pid, capacity } => {
+                write!(f, "translation table of {pid} is full ({capacity} entries)")
+            }
+            UtlbError::ProtocolViolation { pid, page } => {
+                write!(f, "page {page} of {pid} used by the NIC while unpinned")
+            }
+            UtlbError::Mem(e) => write!(f, "host memory error: {e}"),
+            UtlbError::Nic(e) => write!(f, "nic error: {e}"),
+        }
+    }
+}
+
+impl Error for UtlbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            UtlbError::Mem(e) => Some(e),
+            UtlbError::Nic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<utlb_mem::MemError> for UtlbError {
+    fn from(e: utlb_mem::MemError) -> Self {
+        UtlbError::Mem(e)
+    }
+}
+
+impl From<utlb_nic::NicError> for UtlbError {
+    fn from(e: utlb_nic::NicError) -> Self {
+        UtlbError::Nic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_wiring() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<UtlbError>();
+        let e = UtlbError::from(utlb_mem::MemError::OutOfFrames);
+        assert!(e.source().is_some());
+        assert!(!e.to_string().is_empty());
+        let n = UtlbError::from(utlb_nic::NicError::UnknownNode(1));
+        assert!(n.to_string().contains("nic"));
+    }
+}

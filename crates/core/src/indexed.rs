@@ -1,0 +1,392 @@
+//! The Shared UTLB-Cache over index-keyed tables — Figure 3's design (§3.2).
+//!
+//! This is the middle design point between the per-process UTLB (§3.1) and
+//! Hierarchical-UTLB (§3.3): each process keeps a *flat, fixed-size*
+//! translation table, but in **host memory** rather than NIC SRAM, and the
+//! NIC caches entries in the Shared UTLB-Cache keyed by `(process, table
+//! index)` — the cache line carries "the process ID and part of the
+//! translation table index" (Figure 3's line format). The user process
+//! still chooses slots and passes indices with each request, via the
+//! two-level [`UserLookupTree`].
+//!
+//! What Hierarchical-UTLB later fixes is visible here by construction:
+//! *fragmentation* — after churn, a contiguous buffer's translations sit at
+//! scattered indices, so index-neighbourhood prefetching loses its meaning
+//! and the free list must be managed.
+
+use crate::lookup::{UserLookupTree, UtlbIndex};
+use crate::policy::{PinnedSet, Policy};
+use crate::{CacheConfig, CostModel, Result, SharedUtlbCache, TranslationStats, UtlbError};
+use std::collections::HashMap;
+use utlb_mem::{FrameId, Host, PhysAddr, ProcessId, VirtPage, PAGE_SIZE};
+use utlb_nic::{Board, Nanos};
+
+/// Configuration of an [`IndexedEngine`].
+#[derive(Debug, Clone)]
+pub struct IndexedConfig {
+    /// Shared UTLB-Cache geometry.
+    pub cache: CacheConfig,
+    /// Translation-table entries per process (Figure 3 draws 8192).
+    pub table_entries: usize,
+    /// Replacement policy for table slots under capacity pressure.
+    pub policy: Policy,
+    /// Cost model charged to the board clock.
+    pub cost: CostModel,
+    /// Seed for the RANDOM policy.
+    pub seed: u64,
+}
+
+impl Default for IndexedConfig {
+    fn default() -> Self {
+        IndexedConfig {
+            cache: CacheConfig::default(),
+            table_entries: 8192,
+            policy: Policy::Lru,
+            cost: CostModel::default(),
+            seed: 0xF163,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ProcState {
+    /// Host frames backing the flat translation table.
+    table_frames: Vec<FrameId>,
+    tree: UserLookupTree,
+    /// Which vpn occupies each slot (for eviction bookkeeping).
+    slot_owner: HashMap<u32, VirtPage>,
+    free: Vec<u32>,
+    pinned: PinnedSet,
+    stats: TranslationStats,
+}
+
+/// The §3.2 engine: host-resident index-keyed tables + shared NIC cache.
+#[derive(Debug)]
+pub struct IndexedEngine {
+    cfg: IndexedConfig,
+    cache: SharedUtlbCache,
+    procs: HashMap<ProcessId, ProcState>,
+}
+
+const ENTRIES_PER_FRAME: usize = (PAGE_SIZE / 8) as usize;
+
+impl IndexedEngine {
+    /// Creates an engine.
+    pub fn new(cfg: IndexedConfig) -> Self {
+        let cache = SharedUtlbCache::new(cfg.cache);
+        IndexedEngine {
+            cfg,
+            cache,
+            procs: HashMap::new(),
+        }
+    }
+
+    /// The shared NIC cache.
+    pub fn cache(&self) -> &SharedUtlbCache {
+        &self.cache
+    }
+
+    /// Registers `pid`, allocating its flat table in host memory and
+    /// initializing every slot with the garbage address (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::AlreadyRegistered`] on duplicates; propagates
+    /// frame allocation failures.
+    pub fn register_process(&mut self, host: &mut Host, pid: ProcessId) -> Result<()> {
+        if self.procs.contains_key(&pid) {
+            return Err(UtlbError::AlreadyRegistered(pid));
+        }
+        let frames_needed = self.cfg.table_entries.div_ceil(ENTRIES_PER_FRAME);
+        let garbage = host.driver().garbage_addr();
+        let mut table_frames = Vec::with_capacity(frames_needed);
+        for _ in 0..frames_needed {
+            let f = host.physical_mut().alloc_frame()?;
+            for i in 0..ENTRIES_PER_FRAME {
+                host.physical_mut()
+                    .write_u64(f.base().offset(i as u64 * 8), garbage.raw())?;
+            }
+            table_frames.push(f);
+        }
+        self.procs.insert(
+            pid,
+            ProcState {
+                table_frames,
+                tree: UserLookupTree::new(),
+                slot_owner: HashMap::new(),
+                free: (0..self.cfg.table_entries as u32).rev().collect(),
+                pinned: PinnedSet::new(self.cfg.policy, self.cfg.seed ^ pid.raw() as u64),
+                stats: TranslationStats::default(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Per-process statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::UnregisteredProcess`] if unknown.
+    pub fn stats(&self, pid: ProcessId) -> Result<TranslationStats> {
+        self.procs
+            .get(&pid)
+            .map(|s| s.stats)
+            .ok_or(UtlbError::UnregisteredProcess(pid))
+    }
+
+    /// Host physical address of table entry `index`.
+    fn entry_addr(state: &ProcState, index: UtlbIndex) -> PhysAddr {
+        let frame = state.table_frames[index.0 as usize / ENTRIES_PER_FRAME];
+        frame
+            .base()
+            .offset((index.0 as usize % ENTRIES_PER_FRAME) as u64 * 8)
+    }
+
+    /// Fraction of the occupied slots whose table index neighbourhood does
+    /// not match their virtual-page neighbourhood — the *fragmentation* that
+    /// §3.3 cites as a reason to move to Hierarchical-UTLB. 0.0 means every
+    /// occupied slot's successor slot holds the next virtual page.
+    pub fn fragmentation(&self, pid: ProcessId) -> Result<f64> {
+        let state = self
+            .procs
+            .get(&pid)
+            .ok_or(UtlbError::UnregisteredProcess(pid))?;
+        let occupied: Vec<(u32, VirtPage)> = {
+            let mut v: Vec<_> = state.slot_owner.iter().map(|(s, p)| (*s, *p)).collect();
+            v.sort_by_key(|(s, _)| *s);
+            v
+        };
+        if occupied.len() < 2 {
+            return Ok(0.0);
+        }
+        let broken = occupied
+            .windows(2)
+            .filter(|w| {
+                let ((s0, p0), (s1, p1)) = (w[0], w[1]);
+                s1 == s0 + 1 && p1.number() != p0.number() + 1
+            })
+            .count();
+        let adjacent = occupied
+            .windows(2)
+            .filter(|w| w[1].0 == w[0].0 + 1)
+            .count();
+        if adjacent == 0 {
+            return Ok(0.0);
+        }
+        Ok(broken as f64 / adjacent as f64)
+    }
+
+    fn charge_us(board: &mut Board, us: f64) {
+        board.clock.advance(Nanos::from_micros(us));
+    }
+
+    /// Translates one page: user-level tree lookup for the index, then a
+    /// Shared UTLB-Cache probe keyed by `(pid, index)`, with a host-table
+    /// DMA on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pinning and memory errors; [`UtlbError::TableFull`] if no
+    /// slot can be reclaimed.
+    pub fn lookup(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+        page: VirtPage,
+    ) -> Result<PhysAddr> {
+        let cost = self.cfg.cost.clone();
+        let table_entries = self.cfg.table_entries;
+        let state = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(UtlbError::UnregisteredProcess(pid))?;
+        state.stats.lookups += 1;
+
+        // User level: vpn → index (two memory references).
+        Self::charge_us(board, cost.user_check_us);
+        let index = match state.tree.lookup(page) {
+            Some(ix) => ix,
+            None => {
+                state.stats.check_misses += 1;
+                // Claim a slot, evicting under capacity pressure. Each
+                // iteration re-fetches the process state so the borrow does
+                // not overlap the cache invalidation.
+                let slot = loop {
+                    let state = self.procs.get_mut(&pid).expect("registered");
+                    if let Some(s) = state.free.pop() {
+                        break UtlbIndex(s);
+                    }
+                    let victim = state
+                        .pinned
+                        .select_victims(1)
+                        .pop()
+                        .ok_or(UtlbError::TableFull {
+                            pid,
+                            capacity: table_entries,
+                        })?;
+                    let victim_ix = state
+                        .tree
+                        .invalidate(victim)
+                        .expect("pinned pages are indexed");
+                    let addr = Self::entry_addr(state, victim_ix);
+                    let garbage = host.driver().garbage_addr().raw();
+                    host.physical_mut().write_u64(addr, garbage)?;
+                    self.cache.invalidate(pid, VirtPage::new(victim_ix.0 as u64));
+                    Self::charge_us(board, cost.unpin_cost(1));
+                    host.driver_unpin(pid, victim)?;
+                    let state = self.procs.get_mut(&pid).expect("registered");
+                    state.pinned.remove(victim);
+                    state.stats.unpins += 1;
+                    state.stats.unpin_calls += 1;
+                    state.free.push(victim_ix.0);
+                };
+                // Pin and install at the chosen slot.
+                Self::charge_us(board, cost.pin_cost(1));
+                let pinned = host.driver_pin(pid, page, 1)?;
+                let state = self.procs.get_mut(&pid).expect("registered");
+                let addr = Self::entry_addr(state, slot);
+                host.physical_mut()
+                    .write_u64(addr, pinned[0].phys_addr().raw())?;
+                state.tree.install(page, slot);
+                state.slot_owner.insert(slot.0, page);
+                state.pinned.insert(page);
+                state.stats.pins += 1;
+                state.stats.pin_calls += 1;
+                state.stats.pin_time_ns += (cost.pin_cost(1) * 1000.0) as u64;
+                slot
+            }
+        };
+        let state = self.procs.get_mut(&pid).expect("registered");
+        state.pinned.touch(page);
+
+        // NIC level: the cache is keyed by the *index*, not the vpn
+        // (Figure 3's "UTLB index tag" + "process tag" line format).
+        Self::charge_us(board, cost.ni_check_us);
+        let key = VirtPage::new(index.0 as u64);
+        if let Some(phys) = self.cache.lookup(pid, key) {
+            return Ok(phys);
+        }
+        // Miss: DMA the entry from the host-resident table.
+        let state = self.procs.get_mut(&pid).expect("registered");
+        state.stats.ni_misses += 1;
+        state.stats.entries_fetched += 1;
+        let addr = Self::entry_addr(state, index);
+        let Board { dma, clock, .. } = board;
+        let words = dma.fetch_words(clock, host.physical(), addr, 1)?;
+        let phys = PhysAddr::new(words[0]);
+        self.cache.insert(pid, key, phys);
+        Ok(phys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(table_entries: usize, cache_entries: usize) -> (Host, Board, IndexedEngine, ProcessId) {
+        let mut host = Host::new(1 << 14);
+        let board = Board::new();
+        let mut engine = IndexedEngine::new(IndexedConfig {
+            cache: CacheConfig::direct(cache_entries),
+            table_entries,
+            ..IndexedConfig::default()
+        });
+        let pid = host.spawn_process();
+        engine.register_process(&mut host, pid).unwrap();
+        (host, board, engine, pid)
+    }
+
+    #[test]
+    fn lookup_translates_and_caches() {
+        let (mut host, mut board, mut engine, pid) = setup(64, 32);
+        let va = utlb_mem::VirtAddr::new(0x30_0000);
+        host.process_mut(pid).unwrap().write(va, b"ix").unwrap();
+        let pa1 = engine.lookup(&mut host, &mut board, pid, va.page()).unwrap();
+        let pa2 = engine.lookup(&mut host, &mut board, pid, va.page()).unwrap();
+        assert_eq!(pa1, pa2);
+        let mut buf = [0u8; 2];
+        host.physical().read(pa1, &mut buf).unwrap();
+        assert_eq!(&buf, b"ix");
+        let s = engine.stats(pid).unwrap();
+        assert_eq!(s.ni_misses, 1, "second lookup hits the shared cache");
+        assert_eq!(s.check_misses, 1);
+    }
+
+    #[test]
+    fn capacity_eviction_recycles_slots_and_invalidates_cache() {
+        let (mut host, mut board, mut engine, pid) = setup(2, 32);
+        for i in 0..3 {
+            engine.lookup(&mut host, &mut board, pid, VirtPage::new(i)).unwrap();
+        }
+        let s = engine.stats(pid).unwrap();
+        assert_eq!(s.unpins, 1, "third page evicts the LRU slot");
+        assert!(!host.driver().pins().is_pinned(pid, VirtPage::new(0)));
+        // Page 0 must translate freshly (slot was recycled for page 2).
+        let r = engine.lookup(&mut host, &mut board, pid, VirtPage::new(0)).unwrap();
+        let expect = host
+            .process(pid).unwrap()
+            .space()
+            .translate(VirtPage::new(0))
+            .unwrap()
+            .base();
+        assert_eq!(r, expect, "recycled slot must not alias the old page");
+    }
+
+    #[test]
+    fn fragmentation_appears_after_churn() {
+        let (mut host, mut board, mut engine, pid) = setup(8, 64);
+        // Fill sequentially: slots align with pages — no fragmentation.
+        for i in 0..8 {
+            engine.lookup(&mut host, &mut board, pid, VirtPage::new(i)).unwrap();
+        }
+        assert_eq!(engine.fragmentation(pid).unwrap(), 0.0);
+        // Churn: touch a far-away region so old slots are reused out of
+        // page order.
+        for i in 100..104 {
+            engine.lookup(&mut host, &mut board, pid, VirtPage::new(i)).unwrap();
+        }
+        assert!(
+            engine.fragmentation(pid).unwrap() > 0.0,
+            "index/page neighbourhoods must diverge after churn"
+        );
+    }
+
+    #[test]
+    fn two_processes_share_the_cache_by_index_without_aliasing() {
+        let mut host = Host::new(1 << 14);
+        let mut board = Board::new();
+        let mut engine = IndexedEngine::new(IndexedConfig {
+            cache: CacheConfig::direct(64),
+            table_entries: 16,
+            ..IndexedConfig::default()
+        });
+        let p1 = host.spawn_process();
+        let p2 = host.spawn_process();
+        engine.register_process(&mut host, p1).unwrap();
+        engine.register_process(&mut host, p2).unwrap();
+        // Both processes use index 0 for different pages.
+        let va = utlb_mem::VirtAddr::new(0x40_0000);
+        host.process_mut(p1).unwrap().write(va, b"p1").unwrap();
+        host.process_mut(p2).unwrap().write(va, b"p2").unwrap();
+        let a = engine.lookup(&mut host, &mut board, p1, va.page()).unwrap();
+        let b = engine.lookup(&mut host, &mut board, p2, va.page()).unwrap();
+        assert_ne!(a, b, "process tag must disambiguate identical indices");
+        let mut b1 = [0u8; 2];
+        host.physical().read(a, &mut b1).unwrap();
+        assert_eq!(&b1, b"p1");
+    }
+
+    #[test]
+    fn unknown_and_duplicate_process_errors() {
+        let (mut host, mut board, mut engine, pid) = setup(8, 32);
+        assert!(matches!(
+            engine.register_process(&mut host, pid),
+            Err(UtlbError::AlreadyRegistered(_))
+        ));
+        assert!(matches!(
+            engine.lookup(&mut host, &mut board, ProcessId::new(99), VirtPage::new(0)),
+            Err(UtlbError::UnregisteredProcess(_))
+        ));
+    }
+}

@@ -1,0 +1,392 @@
+//! The interrupt-based baseline (paper §6.2; UNet-MM style [Basu et al.]).
+//!
+//! "The network interface interrupts its host CPU on a translation miss, and
+//! the CPU handles page pinning, unpinning, and installing new translation
+//! entries." The defining difference from UTLB: translations live *only* in
+//! the NIC cache, so "the interrupt-based approach always unpins a page that
+//! is evicted from the network interface translation cache". There is no
+//! user-level check and no host-resident translation table to keep entries
+//! alive.
+//!
+//! The cache structure is identical to UTLB's [`SharedUtlbCache`] — the
+//! study assumes "the cache structures are the same for both cases".
+
+use crate::{
+    CacheConfig, CostModel, Result, SharedUtlbCache, TranslationStats, UtlbError,
+};
+use crate::policy::{PinnedSet, Policy};
+use std::collections::HashMap;
+use utlb_mem::{Host, PhysAddr, ProcessId, VirtPage};
+use utlb_nic::{Board, Nanos};
+
+/// Configuration of an [`IntrEngine`].
+#[derive(Debug, Clone)]
+pub struct IntrConfig {
+    /// NIC translation cache geometry (kept equal to the UTLB run).
+    pub cache: CacheConfig,
+    /// Per-process pinned-memory limit in pages.
+    pub mem_limit_pages: Option<u64>,
+    /// Cost model charged to the board clock.
+    pub cost: CostModel,
+    /// Seed for policy tie-breaking.
+    pub seed: u64,
+}
+
+impl Default for IntrConfig {
+    fn default() -> Self {
+        IntrConfig {
+            cache: CacheConfig::default(),
+            mem_limit_pages: None,
+            cost: CostModel::default(),
+            seed: 0x1273,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ProcState {
+    /// Pinned pages — by the invariant of this design, exactly the pages
+    /// with a live line in the NIC cache.
+    pinned: PinnedSet,
+    stats: TranslationStats,
+}
+
+/// Outcome of one interrupt-based lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntrOutcome {
+    /// The translated page.
+    pub page: VirtPage,
+    /// Its physical address.
+    pub phys: PhysAddr,
+    /// Whether the NIC cache missed (and therefore interrupted the host).
+    pub ni_miss: bool,
+}
+
+/// The interrupt-based translation engine.
+#[derive(Debug)]
+pub struct IntrEngine {
+    cfg: IntrConfig,
+    cache: SharedUtlbCache,
+    procs: HashMap<ProcessId, ProcState>,
+}
+
+impl IntrEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(cfg: IntrConfig) -> Self {
+        let cache = SharedUtlbCache::new(cfg.cache);
+        IntrEngine {
+            cfg,
+            cache,
+            procs: HashMap::new(),
+        }
+    }
+
+    /// The NIC translation cache.
+    pub fn cache(&self) -> &SharedUtlbCache {
+        &self.cache
+    }
+
+    /// Registers `pid` with the engine and applies its memory limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::AlreadyRegistered`] on a duplicate.
+    pub fn register_process(&mut self, host: &mut Host, pid: ProcessId) -> Result<()> {
+        if self.procs.contains_key(&pid) {
+            return Err(UtlbError::AlreadyRegistered(pid));
+        }
+        host.driver_mut()
+            .pins_mut()
+            .set_limit(pid, self.cfg.mem_limit_pages);
+        self.procs.insert(
+            pid,
+            ProcState {
+                // LRU over cached translations, matching the cache's own
+                // within-set LRU as closely as a global policy can.
+                pinned: PinnedSet::new(Policy::Lru, self.cfg.seed ^ pid.raw() as u64),
+                stats: TranslationStats::default(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Per-process statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::UnregisteredProcess`] if unknown.
+    pub fn stats(&self, pid: ProcessId) -> Result<TranslationStats> {
+        self.procs
+            .get(&pid)
+            .map(|s| s.stats)
+            .ok_or(UtlbError::UnregisteredProcess(pid))
+    }
+
+    /// Statistics summed over all processes.
+    pub fn aggregate_stats(&self) -> TranslationStats {
+        self.procs
+            .values()
+            .map(|s| s.stats)
+            .fold(TranslationStats::default(), |a, b| a + b)
+    }
+
+    fn charge_us(board: &mut Board, us: f64) {
+        board.clock.advance(Nanos::from_micros(us));
+    }
+
+    fn unpin_page(
+        &mut self,
+        host: &mut Host,
+        pid: ProcessId,
+        page: VirtPage,
+        unpin_us: f64,
+    ) -> Result<()> {
+        host.driver_unpin(pid, page)?;
+        self.cache.invalidate(pid, page);
+        let state = self.procs.get_mut(&pid).expect("registered");
+        state.pinned.remove(page);
+        state.stats.unpins += 1;
+        state.stats.unpin_calls += 1;
+        state.stats.unpin_time_ns += (unpin_us * 1000.0) as u64;
+        Ok(())
+    }
+
+    /// Translates `npages` pages starting at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pinning and memory errors.
+    pub fn lookup(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+        start: VirtPage,
+        npages: u64,
+    ) -> Result<Vec<IntrOutcome>> {
+        if !self.procs.contains_key(&pid) {
+            return Err(UtlbError::UnregisteredProcess(pid));
+        }
+        let mut out = Vec::with_capacity(npages as usize);
+        for page in start.range(npages) {
+            out.push(self.lookup_page(host, board, pid, page)?);
+        }
+        Ok(out)
+    }
+
+    fn lookup_page(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+        page: VirtPage,
+    ) -> Result<IntrOutcome> {
+        let cost = self.cfg.cost.clone();
+        {
+            let state = self.procs.get_mut(&pid).expect("checked by caller");
+            state.stats.lookups += 1;
+        }
+
+        // The NIC check happens on every request; there is no user-level
+        // structure in this design.
+        Self::charge_us(board, cost.ni_check_us);
+        if let Some(phys) = self.cache.lookup(pid, page) {
+            let state = self.procs.get_mut(&pid).expect("registered");
+            state.pinned.touch(page);
+            return Ok(IntrOutcome {
+                page,
+                phys,
+                ni_miss: false,
+            });
+        }
+
+        // Miss: interrupt the host; the handler pins the page and installs
+        // the translation. In-kernel, so no syscall overhead on the pin.
+        board.intr.raise(&mut board.clock);
+        {
+            let state = self.procs.get_mut(&pid).expect("registered");
+            state.stats.ni_misses += 1;
+            state.stats.interrupts += 1;
+        }
+
+        // Respect the pinned-memory limit before pinning one more page.
+        if let Some(limit) = self.cfg.mem_limit_pages {
+            let needs_evict = {
+                let state = self.procs.get(&pid).expect("registered");
+                state.pinned.len() as u64 >= limit
+            };
+            if needs_evict {
+                let victim = {
+                    let state = self.procs.get_mut(&pid).expect("registered");
+                    state
+                        .pinned
+                        .select_victims(1)
+                        .pop()
+                        .ok_or(UtlbError::NoEvictableVictim(pid))?
+                };
+                let unpin_us = cost.kernel_unpin_cost(1);
+                Self::charge_us(board, unpin_us);
+                self.unpin_page(host, pid, victim, unpin_us)?;
+            }
+        }
+
+        let pin_us = cost.kernel_pin_cost(1);
+        Self::charge_us(board, pin_us);
+        let pinned = host.driver_pin(pid, page, 1)?;
+        let phys = pinned[0].phys_addr();
+        {
+            let state = self.procs.get_mut(&pid).expect("registered");
+            state.stats.pins += 1;
+            state.stats.pin_calls += 1;
+            state.stats.pin_time_ns += (pin_us * 1000.0) as u64;
+            state.pinned.insert(page);
+        }
+
+        // Install in the cache; the page evicted to make room is unpinned —
+        // the defining behaviour of the interrupt-based approach.
+        if let Some(evicted) = self.cache.insert(pid, page, phys) {
+            let unpin_us = cost.kernel_unpin_cost(1);
+            Self::charge_us(board, unpin_us);
+            host.driver_unpin(evicted.pid, evicted.page)?;
+            let owner = self
+                .procs
+                .get_mut(&evicted.pid)
+                .expect("evicted lines belong to registered processes");
+            owner.pinned.remove(evicted.page);
+            owner.stats.unpins += 1;
+            owner.stats.unpin_calls += 1;
+            owner.stats.unpin_time_ns += (unpin_us * 1000.0) as u64;
+        }
+
+        Ok(IntrOutcome {
+            page,
+            phys,
+            ni_miss: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(cfg: IntrConfig) -> (Host, Board, IntrEngine, ProcessId) {
+        let mut host = Host::new(1 << 16);
+        let board = Board::new();
+        let mut engine = IntrEngine::new(cfg);
+        let pid = host.spawn_process();
+        engine.register_process(&mut host, pid).unwrap();
+        (host, board, engine, pid)
+    }
+
+    fn small_cfg(entries: usize) -> IntrConfig {
+        IntrConfig {
+            cache: CacheConfig::direct(entries),
+            ..IntrConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_miss_raises_an_interrupt() {
+        let (mut host, mut board, mut engine, pid) = setup(small_cfg(64));
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 4).unwrap();
+        let s = engine.stats(pid).unwrap();
+        assert_eq!(s.ni_misses, 4);
+        assert_eq!(s.interrupts, 4);
+        assert_eq!(board.intr.raised(), 4);
+        // Second pass hits, no new interrupts.
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 4).unwrap();
+        assert_eq!(engine.stats(pid).unwrap().interrupts, 4);
+    }
+
+    #[test]
+    fn cache_eviction_unpins_the_victim() {
+        // Direct-mapped, no offsetting, 4 entries: pages 0 and 4 collide.
+        let cfg = IntrConfig {
+            cache: CacheConfig {
+                entries: 4,
+                associativity: crate::Associativity::Direct,
+                offsetting: false,
+            },
+            ..IntrConfig::default()
+        };
+        let (mut host, mut board, mut engine, pid) = setup(cfg);
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 1).unwrap();
+        assert!(host.driver().pins().is_pinned(pid, VirtPage::new(0)));
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(4), 1).unwrap();
+        assert!(
+            !host.driver().pins().is_pinned(pid, VirtPage::new(0)),
+            "evicted line's page must be unpinned"
+        );
+        let s = engine.stats(pid).unwrap();
+        assert_eq!(s.unpins, 1);
+        // Re-touching page 0 is a fresh miss + pin: translations do not
+        // survive eviction in this design.
+        let o = engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 1).unwrap();
+        assert!(o[0].ni_miss);
+    }
+
+    #[test]
+    fn pinned_set_equals_cache_contents() {
+        let (mut host, mut board, mut engine, pid) = setup(small_cfg(16));
+        for i in 0..40 {
+            engine.lookup(&mut host, &mut board, pid, VirtPage::new(i), 1).unwrap();
+        }
+        let cached = engine.cache().occupancy() as u64;
+        assert_eq!(host.driver().pins().pinned_pages(pid), cached);
+        let s = engine.stats(pid).unwrap();
+        assert_eq!(s.pins - s.unpins, cached);
+    }
+
+    #[test]
+    fn memory_limit_below_cache_size_forces_extra_unpins() {
+        let cfg = IntrConfig {
+            cache: CacheConfig::direct(1024),
+            mem_limit_pages: Some(8),
+            ..IntrConfig::default()
+        };
+        let (mut host, mut board, mut engine, pid) = setup(cfg);
+        for i in 0..32 {
+            engine.lookup(&mut host, &mut board, pid, VirtPage::new(i), 1).unwrap();
+        }
+        assert!(host.driver().pins().pinned_pages(pid) <= 8);
+        let s = engine.stats(pid).unwrap();
+        assert_eq!(s.unpins, 24, "each pin beyond the limit evicts one");
+    }
+
+    #[test]
+    fn translation_is_correct() {
+        let (mut host, mut board, mut engine, pid) = setup(small_cfg(64));
+        let va = utlb_mem::VirtAddr::new(0x12_0000);
+        host.process_mut(pid).unwrap().write(va, b"intr").unwrap();
+        let o = engine.lookup(&mut host, &mut board, pid, va.page(), 1).unwrap();
+        let mut buf = [0u8; 4];
+        host.physical().read(o[0].phys, &mut buf).unwrap();
+        assert_eq!(&buf, b"intr");
+    }
+
+    #[test]
+    fn unknown_process_is_rejected() {
+        let (mut host, mut board, mut engine, _) = setup(small_cfg(16));
+        let ghost = ProcessId::new(99);
+        assert!(matches!(
+            engine.lookup(&mut host, &mut board, ghost, VirtPage::new(0), 1),
+            Err(UtlbError::UnregisteredProcess(_))
+        ));
+    }
+
+    #[test]
+    fn miss_cost_includes_interrupt_dispatch() {
+        let (mut host, mut board, mut engine, pid) = setup(small_cfg(64));
+        let t0 = board.clock.now();
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 1).unwrap();
+        let miss_cost = board.clock.now() - t0;
+        let t1 = board.clock.now();
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 1).unwrap();
+        let hit_cost = board.clock.now() - t1;
+        assert!(
+            miss_cost.as_nanos() > hit_cost.as_nanos() + 10_000,
+            "a miss pays at least the 10 µs interrupt: miss {miss_cost} hit {hit_cost}"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! # User-managed TLB (UTLB)
+//!
+//! A faithful reimplementation of the address-translation mechanism of
+//! *Chen, Bilas, Damianakis, Dubnicki, Li — "UTLB: A Mechanism for Address
+//! Translation on Network Interfaces" (ASPLOS 1998)*, on top of the
+//! simulated host ([`utlb_mem`]) and NIC ([`utlb_nic`]) substrates.
+//!
+//! User-level direct-path communication needs the NIC to translate virtual
+//! buffer addresses to physical ones, and needs those buffers pinned while
+//! DMA is in flight. UTLB does both without system calls or interrupts on
+//! the common path:
+//!
+//! * **demand-driven page pinning** — a buffer is pinned through a driver
+//!   `ioctl` the first time it is used and stays pinned, amortizing the
+//!   ~27 µs/page pin cost over later transfers;
+//! * **a protected translation table** per process that the NIC reads
+//!   directly; entries are initialized with a pinned *garbage page* so the
+//!   NIC never validates indices;
+//! * **a fast user-level lookup structure** so the send path can tell with
+//!   a couple of memory references whether pinning is needed at all.
+//!
+//! Three variants are provided, matching the paper's §3:
+//!
+//! | Variant | Module | Translation state |
+//! |---|---|---|
+//! | Per-process UTLB (§3.1) | [`PerProcessEngine`] | fixed table in NIC SRAM + user-level two-level [`UserLookupTree`] |
+//! | Shared UTLB-Cache (§3.2) | [`IndexedEngine`] | flat index-keyed tables in host DRAM, shared cache on the NIC |
+//! | Hierarchical-UTLB (§3.3) | [`UtlbEngine`] | two-level [`HierTable`] keyed by virtual address + [`PinBitVector`] + shared cache |
+//!
+//! The interrupt-based baseline the paper compares against (§6.2) is
+//! [`IntrEngine`]. The measured cost constants live in [`CostModel`];
+//! replacement policies (§3.4) in [`Policy`]/[`PinnedSet`].
+//!
+//! # Example
+//!
+//! ```
+//! use utlb_core::{UtlbConfig, UtlbEngine};
+//! use utlb_mem::{Host, VirtAddr};
+//! use utlb_nic::Board;
+//!
+//! # fn main() -> Result<(), utlb_core::UtlbError> {
+//! let mut host = Host::new(1 << 16);
+//! let mut board = Board::new();
+//! let mut utlb = UtlbEngine::new(UtlbConfig::default());
+//!
+//! let pid = host.spawn_process();
+//! utlb.register_process(&mut host, &mut board, pid)?;
+//!
+//! // First use of a buffer: pinned on demand, translations installed.
+//! let report = utlb.lookup_buffer(&mut host, &mut board, pid, VirtAddr::new(0x10_0000), 8192)?;
+//! assert!(report.pages.iter().all(|p| p.check_miss));
+//!
+//! // Second use: pure fast path — no syscalls, no interrupts.
+//! let report = utlb.lookup_buffer(&mut host, &mut board, pid, VirtAddr::new(0x10_0000), 8192)?;
+//! assert!(report.pages.iter().all(|p| !p.check_miss && !p.ni_miss));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod bitvec;
+mod cache;
+mod cost;
+mod engine;
+mod error;
+mod hier;
+mod indexed;
+mod intr;
+mod lookup;
+mod perproc;
+mod policy;
+mod stats;
+mod table;
+
+pub use bitvec::{CheckOutcome, PinBitVector};
+pub use cache::{Associativity, CacheConfig, CacheStats, Evicted, SharedUtlbCache};
+pub use cost::{CostModel, LookupRates};
+pub use engine::{LookupReport, PageOutcome, UtlbConfig, UtlbEngine};
+pub use error::UtlbError;
+pub use hier::{DirEntry, HierTable, DIR_ENTRIES, LEAF_ENTRIES};
+pub use indexed::{IndexedConfig, IndexedEngine};
+pub use intr::{IntrConfig, IntrEngine, IntrOutcome};
+pub use lookup::{UserLookupTree, UtlbIndex};
+pub use perproc::{PerProcessConfig, PerProcessEngine};
+pub use policy::{PinnedSet, Policy};
+pub use stats::TranslationStats;
+pub use table::PerProcessTable;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, UtlbError>;

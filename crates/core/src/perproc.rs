@@ -1,0 +1,251 @@
+//! The per-process UTLB engine (paper §3.1) — the baseline UTLB variant.
+//!
+//! Each process gets a fixed-size translation table statically allocated in
+//! NIC SRAM, plus the two-level user-level lookup tree mapping virtual pages
+//! to table indices. The NIC resolves a request with a single SRAM read —
+//! there are *no* NIC misses — but the table is small (SRAM is 1 MB for
+//! everything), so capacity evictions and their unpins appear much earlier
+//! than with the Shared UTLB-Cache. §6's study could not compare the two
+//! variants for lack of multi-program traces; this engine exists so our
+//! reproduction can run that comparison as an extension.
+
+use crate::lookup::UserLookupTree;
+use crate::policy::{PinnedSet, Policy};
+use crate::table::PerProcessTable;
+use crate::{CostModel, Result, TranslationStats, UtlbError};
+use std::collections::HashMap;
+use utlb_mem::{Host, PhysAddr, ProcessId, VirtPage};
+use utlb_nic::{Board, Nanos};
+
+/// Configuration of a [`PerProcessEngine`].
+#[derive(Debug, Clone)]
+pub struct PerProcessConfig {
+    /// Translation-table entries statically allocated per process.
+    pub table_entries: usize,
+    /// Replacement policy for table entries / pinned pages.
+    pub policy: Policy,
+    /// Cost model charged to the board clock.
+    pub cost: CostModel,
+    /// Seed for the RANDOM policy.
+    pub seed: u64,
+}
+
+impl Default for PerProcessConfig {
+    /// The 8 K-entry table shown in Figure 1.
+    fn default() -> Self {
+        PerProcessConfig {
+            table_entries: 8192,
+            policy: Policy::Lru,
+            cost: CostModel::default(),
+            seed: 0x9e37,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ProcState {
+    table: PerProcessTable,
+    tree: UserLookupTree,
+    pinned: PinnedSet,
+    stats: TranslationStats,
+}
+
+/// The per-process UTLB engine.
+#[derive(Debug)]
+pub struct PerProcessEngine {
+    cfg: PerProcessConfig,
+    procs: HashMap<ProcessId, ProcState>,
+}
+
+impl PerProcessEngine {
+    /// Creates an engine.
+    pub fn new(cfg: PerProcessConfig) -> Self {
+        PerProcessEngine {
+            cfg,
+            procs: HashMap::new(),
+        }
+    }
+
+    /// Registers `pid`, statically allocating its table in NIC SRAM —
+    /// the allocation that motivates the Shared UTLB-Cache when it fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::AlreadyRegistered`] on duplicates and propagates
+    /// SRAM exhaustion.
+    pub fn register_process(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+    ) -> Result<()> {
+        if self.procs.contains_key(&pid) {
+            return Err(UtlbError::AlreadyRegistered(pid));
+        }
+        let garbage = host.driver().garbage_addr();
+        let table = PerProcessTable::new(pid, self.cfg.table_entries, &mut board.sram, garbage)?;
+        self.procs.insert(
+            pid,
+            ProcState {
+                table,
+                tree: UserLookupTree::new(),
+                pinned: PinnedSet::new(self.cfg.policy, self.cfg.seed ^ pid.raw() as u64),
+                stats: TranslationStats::default(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Per-process statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::UnregisteredProcess`] if unknown.
+    pub fn stats(&self, pid: ProcessId) -> Result<TranslationStats> {
+        self.procs
+            .get(&pid)
+            .map(|s| s.stats)
+            .ok_or(UtlbError::UnregisteredProcess(pid))
+    }
+
+    fn charge_us(board: &mut Board, us: f64) {
+        board.clock.advance(Nanos::from_micros(us));
+    }
+
+    /// Translates one page: user-level tree lookup, then an SRAM table read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pinning and SRAM errors; [`UtlbError::TableFull`] if no
+    /// entry can be evicted.
+    pub fn lookup(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+        page: VirtPage,
+    ) -> Result<PhysAddr> {
+        let cost = self.cfg.cost.clone();
+        let state = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(UtlbError::UnregisteredProcess(pid))?;
+        state.stats.lookups += 1;
+
+        // User-level lookup: two memory references.
+        Self::charge_us(board, cost.user_check_us);
+        let index = match state.tree.lookup(page) {
+            Some(ix) => ix,
+            None => {
+                state.stats.check_misses += 1;
+                // Capacity: evict table entries until a slot frees up.
+                let mut slot = state.table.alloc_slot();
+                while slot.is_none() {
+                    let victim = state
+                        .pinned
+                        .select_victims(1)
+                        .pop()
+                        .ok_or(UtlbError::TableFull {
+                            pid,
+                            capacity: state.table.capacity(),
+                        })?;
+                    let victim_ix = state
+                        .tree
+                        .invalidate(victim)
+                        .expect("pinned pages are in the tree");
+                    state.table.evict(victim_ix, &mut board.sram)?;
+                    Self::charge_us(board, cost.unpin_cost(1));
+                    host.driver_unpin(pid, victim)?;
+                    state.pinned.remove(victim);
+                    state.stats.unpins += 1;
+                    state.stats.unpin_calls += 1;
+                    slot = state.table.alloc_slot();
+                }
+                let slot = slot.expect("freed above");
+                Self::charge_us(board, cost.pin_cost(1));
+                let pinned = host.driver_pin(pid, page, 1)?;
+                state.table.install(slot, pinned[0].phys_addr(), &mut board.sram)?;
+                state.tree.install(page, slot);
+                state.pinned.insert(page);
+                state.stats.pins += 1;
+                state.stats.pin_calls += 1;
+                slot
+            }
+        };
+        state.pinned.touch(page);
+
+        // NIC side: direct table read — never a miss in this variant.
+        Self::charge_us(board, cost.ni_check_us);
+        state.table.read(index, &board.sram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(entries: usize) -> (Host, Board, PerProcessEngine, ProcessId) {
+        let mut host = Host::new(1 << 14);
+        let mut board = Board::new();
+        let mut engine = PerProcessEngine::new(PerProcessConfig {
+            table_entries: entries,
+            ..PerProcessConfig::default()
+        });
+        let pid = host.spawn_process();
+        engine.register_process(&mut host, &mut board, pid).unwrap();
+        (host, board, engine, pid)
+    }
+
+    #[test]
+    fn lookup_pins_once_and_never_ni_misses() {
+        let (mut host, mut board, mut engine, pid) = setup(16);
+        for _ in 0..3 {
+            engine.lookup(&mut host, &mut board, pid, VirtPage::new(5)).unwrap();
+        }
+        let s = engine.stats(pid).unwrap();
+        assert_eq!(s.lookups, 3);
+        assert_eq!(s.check_misses, 1);
+        assert_eq!(s.ni_misses, 0, "table is authoritative on the NIC");
+        assert_eq!(s.pins, 1);
+    }
+
+    #[test]
+    fn capacity_eviction_unpins_lru() {
+        let (mut host, mut board, mut engine, pid) = setup(2);
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(1)).unwrap();
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(2)).unwrap();
+        engine.lookup(&mut host, &mut board, pid, VirtPage::new(3)).unwrap();
+        let s = engine.stats(pid).unwrap();
+        assert_eq!(s.unpins, 1);
+        assert!(!host.driver().pins().is_pinned(pid, VirtPage::new(1)));
+        assert!(host.driver().pins().is_pinned(pid, VirtPage::new(3)));
+    }
+
+    #[test]
+    fn translation_resolves_to_real_frame() {
+        let (mut host, mut board, mut engine, pid) = setup(16);
+        let va = utlb_mem::VirtAddr::new(0x40_0000);
+        host.process_mut(pid).unwrap().write(va, b"pp").unwrap();
+        let pa = engine.lookup(&mut host, &mut board, pid, va.page()).unwrap();
+        let mut buf = [0u8; 2];
+        host.physical().read(pa, &mut buf).unwrap();
+        assert_eq!(&buf, b"pp");
+    }
+
+    #[test]
+    fn static_allocation_exhausts_sram_across_processes() {
+        // 1 MB SRAM / 8 KB entries * 8 B = each table is 64 KB; 16 fit.
+        let mut host = Host::new(1 << 14);
+        let mut board = Board::new();
+        let mut engine = PerProcessEngine::new(PerProcessConfig::default());
+        let mut failed = false;
+        for _ in 0..20 {
+            let pid = host.spawn_process();
+            if engine.register_process(&mut host, &mut board, pid).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "static tables must exhaust the 1 MB board");
+    }
+}

@@ -1,0 +1,307 @@
+//! User-level replacement policies.
+//!
+//! Paper §3.4: "UTLB predefines five replacement policies for applications
+//! to choose: LRU, MRU, LFU, MFU, and RANDOM." The policy picks which pinned
+//! virtual pages to *unpin* when the process hits its pinned-memory limit.
+//! Because the application chooses the policy, this is the
+//! "application-controlled" part of the mechanism — the kernel only ever
+//! sees pin/unpin calls.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use utlb_mem::VirtPage;
+
+/// Which predefined replacement policy to use (paper §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Policy {
+    /// Least-recently-used (the policy used throughout the paper's study).
+    #[default]
+    Lru,
+    /// Most-recently-used.
+    Mru,
+    /// Least-frequently-used.
+    Lfu,
+    /// Most-frequently-used.
+    Mfu,
+    /// Uniformly random among evictable pages.
+    Random,
+}
+
+impl Policy {
+    /// All predefined policies, for sweeps.
+    pub const ALL: [Policy; 5] = [
+        Policy::Lru,
+        Policy::Mru,
+        Policy::Lfu,
+        Policy::Mfu,
+        Policy::Random,
+    ];
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Policy::Lru => "LRU",
+            Policy::Mru => "MRU",
+            Policy::Lfu => "LFU",
+            Policy::Mfu => "MFU",
+            Policy::Random => "RANDOM",
+        };
+        f.write_str(name)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PageMeta {
+    last_use: u64,
+    uses: u64,
+    /// Pages involved in outstanding sends must not be unpinned (§3.1).
+    outstanding: u32,
+}
+
+/// The set of pinned pages of one process, with the metadata the
+/// replacement policies need.
+///
+/// The structure is policy-agnostic: every access records both recency and
+/// frequency, and [`PinnedSet::select_victims`] applies whichever policy the
+/// application chose.
+#[derive(Debug)]
+pub struct PinnedSet {
+    pages: HashMap<u64, PageMeta>,
+    policy: Policy,
+    tick: u64,
+    rng: StdRng,
+}
+
+impl PinnedSet {
+    /// Creates an empty set using `policy`, with a deterministic seed for
+    /// the RANDOM policy.
+    pub fn new(policy: Policy, seed: u64) -> Self {
+        PinnedSet {
+            pages: HashMap::new(),
+            policy,
+            tick: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Number of pinned pages tracked.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether no pages are pinned.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Whether `page` is tracked.
+    pub fn contains(&self, page: VirtPage) -> bool {
+        self.pages.contains_key(&page.number())
+    }
+
+    /// Registers a freshly pinned page.
+    pub fn insert(&mut self, page: VirtPage) {
+        self.tick += 1;
+        self.pages.insert(
+            page.number(),
+            PageMeta {
+                last_use: self.tick,
+                uses: 1,
+                outstanding: 0,
+            },
+        );
+    }
+
+    /// Records a use of `page` (a translation lookup touching it).
+    pub fn touch(&mut self, page: VirtPage) {
+        self.tick += 1;
+        if let Some(meta) = self.pages.get_mut(&page.number()) {
+            meta.last_use = self.tick;
+            meta.uses += 1;
+        }
+    }
+
+    /// Removes `page` (after it was unpinned).
+    pub fn remove(&mut self, page: VirtPage) {
+        self.pages.remove(&page.number());
+    }
+
+    /// Marks `page` as held by an outstanding send; it cannot be a victim
+    /// until released (§3.1: "the user-level library must only select
+    /// virtual pages that will not be involved in any outstanding send
+    /// requests").
+    pub fn hold(&mut self, page: VirtPage) {
+        if let Some(meta) = self.pages.get_mut(&page.number()) {
+            meta.outstanding += 1;
+        }
+    }
+
+    /// Releases one outstanding-send hold on `page`.
+    pub fn release(&mut self, page: VirtPage) {
+        if let Some(meta) = self.pages.get_mut(&page.number()) {
+            meta.outstanding = meta.outstanding.saturating_sub(1);
+        }
+    }
+
+    /// Number of pages currently evictable (pinned and not held).
+    pub fn evictable(&self) -> usize {
+        self.pages.values().filter(|m| m.outstanding == 0).count()
+    }
+
+    /// Selects up to `count` victim pages to unpin, per the policy.
+    ///
+    /// Held pages are never selected. Returns fewer than `count` victims if
+    /// not enough pages are evictable. Victims are *not* removed; call
+    /// [`PinnedSet::remove`] once the unpin succeeds.
+    pub fn select_victims(&mut self, count: usize) -> Vec<VirtPage> {
+        let mut candidates: Vec<(u64, PageMeta)> = self
+            .pages
+            .iter()
+            .filter(|(_, m)| m.outstanding == 0)
+            .map(|(p, m)| (*p, *m))
+            .collect();
+        if candidates.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        match self.policy {
+            Policy::Lru => candidates.sort_by_key(|(p, m)| (m.last_use, *p)),
+            Policy::Mru => candidates.sort_by_key(|(p, m)| (std::cmp::Reverse(m.last_use), *p)),
+            Policy::Lfu => candidates.sort_by_key(|(p, m)| (m.uses, m.last_use, *p)),
+            Policy::Mfu => {
+                candidates.sort_by_key(|(p, m)| (std::cmp::Reverse(m.uses), m.last_use, *p))
+            }
+            Policy::Random => {
+                // Partial Fisher-Yates: shuffle just the prefix we need.
+                let n = candidates.len();
+                // Sort first so the shuffle is deterministic given the seed,
+                // independent of HashMap iteration order.
+                candidates.sort_by_key(|(p, _)| *p);
+                for i in 0..count.min(n) {
+                    let j = self.rng.gen_range(i..n);
+                    candidates.swap(i, j);
+                }
+            }
+        }
+        candidates
+            .into_iter()
+            .take(count)
+            .map(|(p, _)| VirtPage::new(p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(n: u64) -> VirtPage {
+        VirtPage::new(n)
+    }
+
+    fn set_with_pages(policy: Policy) -> PinnedSet {
+        let mut s = PinnedSet::new(policy, 42);
+        for i in 0..4 {
+            s.insert(page(i));
+        }
+        // Access pattern: page 0 oldest & least used; page 3 newest;
+        // page 1 most frequently used.
+        s.touch(page(1));
+        s.touch(page(1));
+        s.touch(page(2));
+        s.touch(page(3));
+        s
+    }
+
+    #[test]
+    fn lru_selects_oldest() {
+        let mut s = set_with_pages(Policy::Lru);
+        assert_eq!(s.select_victims(1), vec![page(0)]);
+    }
+
+    #[test]
+    fn mru_selects_newest() {
+        let mut s = set_with_pages(Policy::Mru);
+        assert_eq!(s.select_victims(1), vec![page(3)]);
+    }
+
+    #[test]
+    fn lfu_selects_least_used() {
+        let mut s = set_with_pages(Policy::Lfu);
+        // Page 0 has 1 use and is the least recently used tie-breaker.
+        assert_eq!(s.select_victims(1), vec![page(0)]);
+    }
+
+    #[test]
+    fn mfu_selects_most_used() {
+        let mut s = set_with_pages(Policy::Mfu);
+        // Page 1 has 3 uses (insert + 2 touches).
+        assert_eq!(s.select_victims(1), vec![page(1)]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_within_set() {
+        let mut a = set_with_pages(Policy::Random);
+        let mut b = set_with_pages(Policy::Random);
+        assert_eq!(a.select_victims(2), b.select_victims(2));
+        let vs = a.select_victims(4);
+        assert_eq!(vs.len(), 4);
+    }
+
+    #[test]
+    fn outstanding_pages_are_never_victims() {
+        let mut s = set_with_pages(Policy::Lru);
+        s.hold(page(0));
+        s.hold(page(0));
+        assert_eq!(s.select_victims(1), vec![page(1)]);
+        assert_eq!(s.evictable(), 3);
+        s.release(page(0));
+        assert_eq!(s.select_victims(1), vec![page(1)], "still one hold left");
+        s.release(page(0));
+        assert_eq!(s.select_victims(1), vec![page(0)]);
+        // Releasing an unheld page is a no-op.
+        s.release(page(2));
+    }
+
+    #[test]
+    fn select_caps_at_evictable_count() {
+        let mut s = set_with_pages(Policy::Lru);
+        s.hold(page(2));
+        let vs = s.select_victims(10);
+        assert_eq!(vs.len(), 3);
+        assert!(!vs.contains(&page(2)));
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut s = set_with_pages(Policy::Lru);
+        assert!(s.contains(page(1)));
+        s.remove(page(1));
+        assert!(!s.contains(page(1)));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn policy_display_and_all() {
+        assert_eq!(Policy::ALL.len(), 5);
+        assert_eq!(Policy::Lru.to_string(), "LRU");
+        assert_eq!(Policy::Random.to_string(), "RANDOM");
+        assert_eq!(Policy::default(), Policy::Lru);
+    }
+
+    #[test]
+    fn touch_of_untracked_page_is_noop() {
+        let mut s = PinnedSet::new(Policy::Lru, 0);
+        s.touch(page(9));
+        assert!(s.is_empty());
+    }
+}

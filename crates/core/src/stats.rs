@@ -1,0 +1,202 @@
+//! Translation statistics.
+//!
+//! The trace-driven study reports everything *per lookup* (Tables 4 and 5):
+//! check misses, NIC translation misses, and unpinned pages, averaged over
+//! the total number of lookups. [`TranslationStats`] accumulates the raw
+//! counters and converts them to the paper's rates.
+
+use crate::cost::LookupRates;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Counters accumulated by a translation engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TranslationStats {
+    /// Page-granular translation lookups performed.
+    pub lookups: u64,
+    /// User-level check misses (some page of the run was unpinned).
+    pub check_misses: u64,
+    /// NIC translation-cache misses.
+    pub ni_misses: u64,
+    /// Pages pinned.
+    pub pins: u64,
+    /// Pages unpinned.
+    pub unpins: u64,
+    /// Driver calls that pinned pages.
+    pub pin_calls: u64,
+    /// Driver calls that unpinned pages.
+    pub unpin_calls: u64,
+    /// Translation entries DMAed into the NIC cache (≥ `ni_misses` with
+    /// prefetching).
+    pub entries_fetched: u64,
+    /// Host interrupts raised (always 0 for UTLB except table swap-ins).
+    pub interrupts: u64,
+    /// Simulated host time spent in pin calls, in nanoseconds.
+    pub pin_time_ns: u64,
+    /// Simulated host time spent in unpin calls, in nanoseconds.
+    pub unpin_time_ns: u64,
+}
+
+impl TranslationStats {
+    /// Check misses per lookup.
+    pub fn check_miss_rate(&self) -> f64 {
+        ratio(self.check_misses, self.lookups)
+    }
+
+    /// NIC misses per lookup.
+    pub fn ni_miss_rate(&self) -> f64 {
+        ratio(self.ni_misses, self.lookups)
+    }
+
+    /// Unpinned pages per lookup.
+    pub fn unpin_rate(&self) -> f64 {
+        ratio(self.unpins, self.lookups)
+    }
+
+    /// Pinned pages per lookup.
+    pub fn pin_rate(&self) -> f64 {
+        ratio(self.pins, self.lookups)
+    }
+
+    /// Average pages pinned per pin call (> 1 under prepinning).
+    pub fn pages_per_pin_call(&self) -> f64 {
+        if self.pin_calls == 0 {
+            1.0
+        } else {
+            self.pins as f64 / self.pin_calls as f64
+        }
+    }
+
+    /// Average entries fetched per NIC miss (> 1 under prefetching).
+    pub fn entries_per_fetch(&self) -> f64 {
+        if self.ni_misses == 0 {
+            1.0
+        } else {
+            self.entries_fetched as f64 / self.ni_misses as f64
+        }
+    }
+
+    /// Amortized pin cost per lookup, in µs (Table 7 rows).
+    pub fn pin_us_per_lookup(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.pin_time_ns as f64 / 1000.0 / self.lookups as f64
+        }
+    }
+
+    /// Amortized unpin cost per lookup, in µs (Table 7 rows).
+    pub fn unpin_us_per_lookup(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.unpin_time_ns as f64 / 1000.0 / self.lookups as f64
+        }
+    }
+
+    /// The per-lookup rates used by the §6.2 cost formulas.
+    pub fn rates(&self) -> LookupRates {
+        LookupRates {
+            check_miss_rate: self.check_miss_rate(),
+            ni_miss_rate: self.ni_miss_rate(),
+            unpin_rate: self.unpin_rate(),
+            pages_per_pin: self.pages_per_pin_call(),
+            entries_per_fetch: self.entries_per_fetch(),
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl Add for TranslationStats {
+    type Output = TranslationStats;
+    fn add(self, rhs: TranslationStats) -> TranslationStats {
+        TranslationStats {
+            lookups: self.lookups + rhs.lookups,
+            check_misses: self.check_misses + rhs.check_misses,
+            ni_misses: self.ni_misses + rhs.ni_misses,
+            pins: self.pins + rhs.pins,
+            unpins: self.unpins + rhs.unpins,
+            pin_calls: self.pin_calls + rhs.pin_calls,
+            unpin_calls: self.unpin_calls + rhs.unpin_calls,
+            entries_fetched: self.entries_fetched + rhs.entries_fetched,
+            interrupts: self.interrupts + rhs.interrupts,
+            pin_time_ns: self.pin_time_ns + rhs.pin_time_ns,
+            unpin_time_ns: self.unpin_time_ns + rhs.unpin_time_ns,
+        }
+    }
+}
+
+impl AddAssign for TranslationStats {
+    fn add_assign(&mut self, rhs: TranslationStats) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_divide_by_lookups() {
+        let s = TranslationStats {
+            lookups: 100,
+            check_misses: 25,
+            ni_misses: 50,
+            pins: 25,
+            unpins: 10,
+            pin_calls: 5,
+            unpin_calls: 10,
+            entries_fetched: 200,
+            interrupts: 0,
+            pin_time_ns: 135_000,
+            unpin_time_ns: 250_000,
+        };
+        assert_eq!(s.check_miss_rate(), 0.25);
+        assert_eq!(s.ni_miss_rate(), 0.50);
+        assert_eq!(s.unpin_rate(), 0.10);
+        assert_eq!(s.pages_per_pin_call(), 5.0);
+        assert_eq!(s.entries_per_fetch(), 4.0);
+        let r = s.rates();
+        assert_eq!(r.check_miss_rate, 0.25);
+        assert_eq!(r.pages_per_pin, 5.0);
+        assert!((s.pin_us_per_lookup() - 1.35).abs() < 1e-9);
+        assert!((s.unpin_us_per_lookup() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = TranslationStats::default();
+        assert_eq!(s.check_miss_rate(), 0.0);
+        assert_eq!(s.pages_per_pin_call(), 1.0);
+        assert_eq!(s.entries_per_fetch(), 1.0);
+    }
+
+    #[test]
+    fn addition_is_fieldwise() {
+        let a = TranslationStats {
+            lookups: 1,
+            check_misses: 2,
+            ni_misses: 3,
+            pins: 4,
+            unpins: 5,
+            pin_calls: 6,
+            unpin_calls: 7,
+            entries_fetched: 8,
+            interrupts: 9,
+            pin_time_ns: 10,
+            unpin_time_ns: 11,
+        };
+        let mut b = a;
+        b += a;
+        assert_eq!(b.lookups, 2);
+        assert_eq!(b.interrupts, 18);
+        assert_eq!((a + a), b);
+    }
+}

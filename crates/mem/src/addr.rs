@@ -1,0 +1,212 @@
+//! Address newtypes shared by the whole workspace.
+//!
+//! The paper's machines used 4 KB pages (all footprints in Table 3 are quoted
+//! in 4 KB pages, and the Myrinet firmware "breaks down data transfer at 4 KB
+//! page boundaries"), so the page size is a crate-level constant rather than a
+//! runtime parameter.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Base-2 logarithm of the page size (4 KB pages, as on the paper's PCs).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// A physical byte address in simulated host DRAM.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw byte offset.
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// Raw byte offset into physical memory.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The physical frame number containing this address.
+    pub const fn frame_number(self) -> u64 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// Byte offset within the containing frame.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Address advanced by `bytes`.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        PhysAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A virtual byte address inside one process' address space.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// Raw address value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The virtual page containing this address.
+    pub const fn page(self) -> VirtPage {
+        VirtPage(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the containing page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Address advanced by `bytes`.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        VirtAddr(self.0 + bytes)
+    }
+
+    /// Number of pages touched by a buffer of `nbytes` starting here.
+    ///
+    /// Matches the firmware behaviour of splitting transfers at page
+    /// boundaries: a 2-byte buffer straddling a boundary touches 2 pages.
+    pub const fn span_pages(self, nbytes: u64) -> u64 {
+        if nbytes == 0 {
+            return 0;
+        }
+        let first = self.0 >> PAGE_SHIFT;
+        let last = (self.0 + nbytes - 1) >> PAGE_SHIFT;
+        last - first + 1
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+impl From<VirtPage> for VirtAddr {
+    fn from(page: VirtPage) -> Self {
+        VirtAddr(page.0 << PAGE_SHIFT)
+    }
+}
+
+/// A virtual page number (a virtual address divided by the page size).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtPage(u64);
+
+impl VirtPage {
+    /// Creates a virtual page number.
+    pub const fn new(vpn: u64) -> Self {
+        VirtPage(vpn)
+    }
+
+    /// Raw page number.
+    pub const fn number(self) -> u64 {
+        self.0
+    }
+
+    /// Base virtual address of this page.
+    pub const fn base(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The `n`-th page after this one.
+    #[must_use]
+    pub const fn offset(self, n: u64) -> Self {
+        VirtPage(self.0 + n)
+    }
+
+    /// Iterator over `count` consecutive pages starting at `self`.
+    pub fn range(self, count: u64) -> impl Iterator<Item = VirtPage> {
+        (self.0..self.0 + count).map(VirtPage)
+    }
+}
+
+impl fmt::Display for VirtPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpn:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_constants_agree() {
+        assert_eq!(PAGE_SIZE, 4096);
+        assert_eq!(1u64 << PAGE_SHIFT, PAGE_SIZE);
+    }
+
+    #[test]
+    fn phys_addr_decomposition() {
+        let pa = PhysAddr::new(5 * PAGE_SIZE + 17);
+        assert_eq!(pa.frame_number(), 5);
+        assert_eq!(pa.page_offset(), 17);
+        assert_eq!(pa.offset(PAGE_SIZE).frame_number(), 6);
+    }
+
+    #[test]
+    fn virt_addr_decomposition() {
+        let va = VirtAddr::new(0x1234_5678);
+        assert_eq!(va.page().number(), 0x12345);
+        assert_eq!(va.page_offset(), 0x678);
+        assert_eq!(VirtAddr::from(va.page()).raw(), 0x1234_5000);
+    }
+
+    #[test]
+    fn span_pages_counts_straddles() {
+        let va = VirtAddr::new(PAGE_SIZE - 1);
+        assert_eq!(va.span_pages(0), 0);
+        assert_eq!(va.span_pages(1), 1);
+        assert_eq!(va.span_pages(2), 2);
+        let aligned = VirtAddr::new(3 * PAGE_SIZE);
+        assert_eq!(aligned.span_pages(PAGE_SIZE), 1);
+        assert_eq!(aligned.span_pages(PAGE_SIZE + 1), 2);
+        assert_eq!(aligned.span_pages(4 * PAGE_SIZE), 4);
+    }
+
+    #[test]
+    fn virt_page_range_iterates_consecutively() {
+        let pages: Vec<u64> = VirtPage::new(7).range(3).map(VirtPage::number).collect();
+        assert_eq!(pages, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", PhysAddr::new(0)).is_empty());
+        assert!(!format!("{}", VirtAddr::new(0)).is_empty());
+        assert!(!format!("{}", VirtPage::new(0)).is_empty());
+    }
+}

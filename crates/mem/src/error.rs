@@ -1,0 +1,110 @@
+//! Error type for the host-memory substrate.
+
+use crate::{PhysAddr, ProcessId, VirtPage};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulated host-memory subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// Physical memory has no free frames left.
+    OutOfFrames,
+    /// A physical access fell outside the configured DRAM size.
+    PhysOutOfRange {
+        /// The offending address.
+        addr: PhysAddr,
+        /// Length of the attempted access.
+        len: usize,
+    },
+    /// The process id is not registered with the host.
+    UnknownProcess(ProcessId),
+    /// An unpin was requested for a page that is not pinned.
+    NotPinned {
+        /// Owning process.
+        pid: ProcessId,
+        /// The page that was expected to be pinned.
+        page: VirtPage,
+    },
+    /// Pinning would exceed the process' pinned-memory limit.
+    PinLimitExceeded {
+        /// Owning process.
+        pid: ProcessId,
+        /// The configured limit in pages.
+        limit_pages: u64,
+    },
+    /// A virtual page was accessed through a path that required it to be
+    /// mapped, but it has never been touched.
+    NotMapped {
+        /// Owning process.
+        pid: ProcessId,
+        /// The unmapped page.
+        page: VirtPage,
+    },
+    /// The page's contents are swapped out; the caller must bring it back
+    /// with `Host::ensure_resident` before a physical-address path can use
+    /// it.
+    SwappedOut {
+        /// The non-resident page.
+        page: VirtPage,
+    },
+    /// A reclaim targeted a pinned page — exactly the situation pinning
+    /// exists to prevent (a DMA target must stay resident).
+    CannotReclaimPinned {
+        /// Owning process.
+        pid: ProcessId,
+        /// The pinned page.
+        page: VirtPage,
+    },
+    /// A swap block id did not name a stored block.
+    UnknownSwapBlock(u64),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfFrames => write!(f, "physical memory has no free frames"),
+            MemError::PhysOutOfRange { addr, len } => {
+                write!(f, "physical access of {len} bytes at {addr} is out of range")
+            }
+            MemError::UnknownProcess(pid) => write!(f, "unknown process {pid}"),
+            MemError::NotPinned { pid, page } => {
+                write!(f, "page {page} of process {pid} is not pinned")
+            }
+            MemError::PinLimitExceeded { pid, limit_pages } => write!(
+                f,
+                "pin would exceed the {limit_pages}-page limit of process {pid}"
+            ),
+            MemError::NotMapped { pid, page } => {
+                write!(f, "page {page} of process {pid} is not mapped")
+            }
+            MemError::SwappedOut { page } => {
+                write!(f, "page {page} is swapped out; bring it resident first")
+            }
+            MemError::CannotReclaimPinned { pid, page } => {
+                write!(f, "page {page} of process {pid} is pinned and cannot be reclaimed")
+            }
+            MemError::UnknownSwapBlock(id) => write!(f, "unknown swap block {id}"),
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_displayable_and_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<MemError>();
+        let e = MemError::PinLimitExceeded {
+            pid: ProcessId::new(3),
+            limit_pages: 1024,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("1024"));
+        assert!(msg.contains("limit"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Physical frame identifiers and the frame allocator.
+
+use crate::{MemError, PhysAddr, Result, PAGE_SHIFT};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of one physical page frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(u64);
+
+impl FrameId {
+    /// Creates a frame id from a raw frame number.
+    pub const fn new(raw: u64) -> Self {
+        FrameId(raw)
+    }
+
+    /// Raw frame number.
+    pub const fn number(self) -> u64 {
+        self.0
+    }
+
+    /// Base physical address of this frame.
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr::new(self.0 << PAGE_SHIFT)
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame:{:#x}", self.0)
+    }
+}
+
+/// A simple physical frame allocator.
+///
+/// Frames are handed out from a bump pointer; freed frames go to an ordered
+/// free set and are reused lowest-first so allocation patterns are
+/// deterministic — important for reproducible simulation runs.
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    total: u64,
+    next_fresh: u64,
+    free: BTreeSet<u64>,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator managing `total` frames.
+    pub fn new(total: u64) -> Self {
+        FrameAllocator {
+            total,
+            next_fresh: 0,
+            free: BTreeSet::new(),
+        }
+    }
+
+    /// Total number of frames managed.
+    pub fn total_frames(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of frames currently allocated.
+    pub fn allocated_frames(&self) -> u64 {
+        self.next_fresh - self.free.len() as u64
+    }
+
+    /// Number of frames still available.
+    pub fn free_frames(&self) -> u64 {
+        self.total - self.allocated_frames()
+    }
+
+    /// Allocates one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfFrames`] when all frames are in use.
+    pub fn alloc(&mut self) -> Result<FrameId> {
+        if let Some(&lowest) = self.free.iter().next() {
+            self.free.remove(&lowest);
+            return Ok(FrameId(lowest));
+        }
+        if self.next_fresh < self.total {
+            let id = self.next_fresh;
+            self.next_fresh += 1;
+            Ok(FrameId(id))
+        } else {
+            Err(MemError::OutOfFrames)
+        }
+    }
+
+    /// Returns a frame to the free pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame was never allocated or is freed twice; both are
+    /// simulator bugs rather than recoverable conditions.
+    pub fn free(&mut self, frame: FrameId) {
+        assert!(
+            frame.0 < self.next_fresh,
+            "freeing frame {frame} that was never allocated"
+        );
+        let fresh = self.free.insert(frame.0);
+        assert!(fresh, "double free of frame {frame}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_sequential_then_reuses_lowest() {
+        let mut a = FrameAllocator::new(4);
+        let f0 = a.alloc().unwrap();
+        let f1 = a.alloc().unwrap();
+        let f2 = a.alloc().unwrap();
+        assert_eq!((f0.number(), f1.number(), f2.number()), (0, 1, 2));
+        a.free(f1);
+        a.free(f0);
+        assert_eq!(a.alloc().unwrap().number(), 0, "lowest freed frame first");
+        assert_eq!(a.alloc().unwrap().number(), 1);
+        assert_eq!(a.alloc().unwrap().number(), 3);
+        assert_eq!(a.alloc(), Err(MemError::OutOfFrames));
+    }
+
+    #[test]
+    fn accounting_tracks_alloc_and_free() {
+        let mut a = FrameAllocator::new(10);
+        assert_eq!(a.free_frames(), 10);
+        let f = a.alloc().unwrap();
+        assert_eq!(a.allocated_frames(), 1);
+        a.free(f);
+        assert_eq!(a.allocated_frames(), 0);
+        assert_eq!(a.free_frames(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = FrameAllocator::new(2);
+        let f = a.alloc().unwrap();
+        a.free(f);
+        a.free(f);
+    }
+
+    #[test]
+    fn frame_base_address() {
+        assert_eq!(FrameId::new(3).base().raw(), 3 * crate::PAGE_SIZE);
+    }
+}

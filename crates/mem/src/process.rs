@@ -1,0 +1,109 @@
+//! Process identity and per-process state.
+
+use crate::{AddressSpace, PhysicalMemory, Result, VirtAddr};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one simulated user process.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process id from a raw value.
+    pub const fn new(raw: u32) -> Self {
+        ProcessId(raw)
+    }
+
+    /// Raw id value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// A simulated user process: an id plus its virtual address space.
+///
+/// The process does *not* own physical memory; reads and writes go through a
+/// [`PhysicalMemory`] borrowed from the host, mirroring how real processes
+/// only ever see memory through their page tables.
+#[derive(Debug)]
+pub struct Process {
+    id: ProcessId,
+    space: AddressSpace,
+}
+
+impl Process {
+    /// Creates a process with an empty address space.
+    pub fn new(id: ProcessId) -> Self {
+        Process {
+            id,
+            space: AddressSpace::new(),
+        }
+    }
+
+    /// This process' id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Immutable access to the address space.
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Mutable access to the address space.
+    pub fn space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.space
+    }
+
+    /// Writes into the process' memory (demand-mapping pages).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and range errors from the substrate.
+    pub fn write_bytes(
+        &mut self,
+        va: VirtAddr,
+        buf: &[u8],
+        phys: &mut PhysicalMemory,
+    ) -> Result<()> {
+        self.space.write(va, buf, phys)
+    }
+
+    /// Reads from the process' memory (unmapped pages read as zero).
+    ///
+    /// # Errors
+    ///
+    /// Propagates range errors from the substrate.
+    pub fn read_bytes(&self, va: VirtAddr, buf: &mut [u8], phys: &PhysicalMemory) -> Result<()> {
+        self.space.read(va, buf, phys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_io_roundtrip() {
+        let mut phys = PhysicalMemory::new(8);
+        let mut p = Process::new(ProcessId::new(7));
+        assert_eq!(p.id().raw(), 7);
+        p.write_bytes(VirtAddr::new(0x1000), b"abc", &mut phys).unwrap();
+        let mut out = [0u8; 3];
+        p.read_bytes(VirtAddr::new(0x1000), &mut out, &phys).unwrap();
+        assert_eq!(&out, b"abc");
+    }
+
+    #[test]
+    fn process_id_display() {
+        assert_eq!(ProcessId::new(3).to_string(), "pid:3");
+    }
+}

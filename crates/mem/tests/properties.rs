@@ -1,0 +1,151 @@
+//! Property-based tests of the host-memory substrate invariants.
+
+use proptest::prelude::*;
+use utlb_mem::{
+    AddressSpace, FrameAllocator, Host, PhysAddr, PhysicalMemory, PinRegistry, ProcessId,
+    VirtAddr, VirtPage, PAGE_SIZE,
+};
+
+proptest! {
+    /// Writing any byte string anywhere in physical range reads back
+    /// identically, regardless of frame straddling.
+    #[test]
+    fn phys_write_read_roundtrip(
+        offset in 0u64..(63 * PAGE_SIZE),
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+    ) {
+        let mut mem = PhysicalMemory::new(64);
+        mem.write(PhysAddr::new(offset), &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        mem.read(PhysAddr::new(offset), &mut back).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    /// Non-overlapping writes never interfere.
+    #[test]
+    fn phys_disjoint_writes_independent(
+        a in proptest::collection::vec(any::<u8>(), 1..512),
+        b in proptest::collection::vec(any::<u8>(), 1..512),
+    ) {
+        let mut mem = PhysicalMemory::new(16);
+        let a_at = PhysAddr::new(0);
+        let b_at = PhysAddr::new(8 * PAGE_SIZE);
+        mem.write(a_at, &a).unwrap();
+        mem.write(b_at, &b).unwrap();
+        let mut back_a = vec![0u8; a.len()];
+        mem.read(a_at, &mut back_a).unwrap();
+        prop_assert_eq!(back_a, a);
+        let mut back_b = vec![0u8; b.len()];
+        mem.read(b_at, &mut back_b).unwrap();
+        prop_assert_eq!(back_b, b);
+    }
+
+    /// The frame allocator never double-allocates a live frame, and
+    /// alloc/free sequences conserve the free count.
+    #[test]
+    fn allocator_conserves_frames(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let total = 64u64;
+        let mut alloc = FrameAllocator::new(total);
+        let mut live = Vec::new();
+        for want_alloc in ops {
+            if want_alloc {
+                match alloc.alloc() {
+                    Ok(f) => {
+                        prop_assert!(!live.contains(&f), "double allocation of {f}");
+                        live.push(f);
+                    }
+                    Err(_) => prop_assert_eq!(live.len() as u64, total),
+                }
+            } else if let Some(f) = live.pop() {
+                alloc.free(f);
+            }
+            prop_assert_eq!(alloc.allocated_frames(), live.len() as u64);
+            prop_assert_eq!(alloc.free_frames(), total - live.len() as u64);
+        }
+    }
+
+    /// Address-space translation is a function: repeated translations of
+    /// the same page agree, and distinct pages get distinct frames.
+    #[test]
+    fn address_space_translation_is_injective(pages in proptest::collection::vec(0u64..10_000, 1..64)) {
+        let mut phys = PhysicalMemory::new(128);
+        let mut space = AddressSpace::new();
+        let mut seen = std::collections::HashMap::new();
+        for vpn in pages {
+            let page = VirtPage::new(vpn);
+            if let Ok(frame) = space.translate_or_map(page, &mut phys) {
+                if let Some(prev) = seen.insert(vpn, frame) {
+                    prop_assert_eq!(prev, frame, "translation changed");
+                }
+                for (other_vpn, other_frame) in &seen {
+                    if *other_vpn != vpn {
+                        prop_assert_ne!(*other_frame, frame, "frames must be distinct");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pin counting: after any interleaving of pins and unpins the distinct
+    /// pinned-page count equals the number of pages with a positive count.
+    #[test]
+    fn pin_registry_counts_are_consistent(
+        ops in proptest::collection::vec((0u64..16, any::<bool>()), 1..200),
+    ) {
+        let mut reg = PinRegistry::new();
+        let pid = ProcessId::new(1);
+        let mut model = std::collections::HashMap::<u64, u32>::new();
+        for (page, pin) in ops {
+            let p = VirtPage::new(page);
+            if pin {
+                reg.pin(pid, p).unwrap();
+                *model.entry(page).or_insert(0) += 1;
+            } else if model.get(&page).copied().unwrap_or(0) > 0 {
+                reg.unpin(pid, p).unwrap();
+                let c = model.get_mut(&page).unwrap();
+                *c -= 1;
+                if *c == 0 {
+                    model.remove(&page);
+                }
+            } else {
+                prop_assert!(reg.unpin(pid, p).is_err());
+            }
+            prop_assert_eq!(reg.pinned_pages(pid), model.len() as u64);
+            for (pg, cnt) in &model {
+                prop_assert_eq!(reg.pin_count(pid, VirtPage::new(*pg)), *cnt);
+            }
+        }
+    }
+
+    /// Process memory is isolated: concurrent writes by two processes at
+    /// the same virtual addresses never mix.
+    #[test]
+    fn process_isolation(
+        writes in proptest::collection::vec((0u64..64, any::<u8>(), any::<u8>()), 1..64),
+    ) {
+        let mut host = Host::new(1 << 10);
+        let p1 = host.spawn_process();
+        let p2 = host.spawn_process();
+        let mut model1 = std::collections::HashMap::new();
+        let mut model2 = std::collections::HashMap::new();
+        for (slot, v1, v2) in writes {
+            let va = VirtAddr::new(slot * PAGE_SIZE + 11);
+            host.process_mut(p1).unwrap().write(va, &[v1]).unwrap();
+            host.process_mut(p2).unwrap().write(va, &[v2]).unwrap();
+            model1.insert(slot, v1);
+            model2.insert(slot, v2);
+        }
+        for (slot, v) in &model1 {
+            let mut b = [0u8];
+            host.process_mut(p1).unwrap()
+                .read(VirtAddr::new(slot * PAGE_SIZE + 11), &mut b).unwrap();
+            prop_assert_eq!(b[0], *v);
+        }
+        for (slot, v) in &model2 {
+            let mut b = [0u8];
+            host.process_mut(p2).unwrap()
+                .read(VirtAddr::new(slot * PAGE_SIZE + 11), &mut b).unwrap();
+            prop_assert_eq!(b[0], *v);
+        }
+    }
+}

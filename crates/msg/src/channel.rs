@@ -1,0 +1,163 @@
+//! Channel and endpoint bookkeeping.
+
+use utlb_mem::{ProcessId, VirtAddr};
+use utlb_vmmc::{ExportId, ImportId};
+
+/// Handle to a process endpoint registered with the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EndpointId(pub u32);
+
+impl std::fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "endpoint:{}", self.0)
+    }
+}
+
+/// Handle to an established channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub u32);
+
+impl std::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "channel:{}", self.0)
+    }
+}
+
+/// Ring geometry of a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelConfig {
+    /// Slots per direction of the eager ring.
+    pub slots: u64,
+    /// Bytes per slot, including the 16-byte header.
+    pub slot_bytes: u64,
+    /// Size of the rendezvous bulk window per direction.
+    pub bulk_bytes: u64,
+}
+
+impl ChannelConfig {
+    /// Largest eager payload this configuration carries.
+    pub fn max_eager(&self) -> u64 {
+        self.slot_bytes - crate::ring::HEADER_BYTES
+    }
+}
+
+impl Default for ChannelConfig {
+    /// 16 slots of 1 KB plus a 64 KB rendezvous window.
+    fn default() -> Self {
+        ChannelConfig {
+            slots: 16,
+            slot_bytes: 1024,
+            bulk_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// One registered endpoint: a process on a node.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Endpoint {
+    pub node: usize,
+    pub pid: ProcessId,
+    /// Bump allocator for this endpoint's receive-side buffer placement.
+    pub next_va: u64,
+}
+
+/// Per-direction connection state (one of two halves of a channel).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Direction {
+    // --- receiver side (owned by `dst`) ---
+    /// Base of the eager ring in the receiver's address space.
+    pub ring_va: VirtAddr,
+    /// Base of the credit page in the receiver's address space.
+    pub credit_va: VirtAddr,
+    /// Export of the bulk rendezvous window on the receiver.
+    pub bulk_export: ExportId,
+    /// Next sequence number the receiver expects.
+    pub recv_seq: u64,
+    /// Messages consumed (mirrored into the credit page).
+    pub consumed: u64,
+
+    // --- sender side (owned by `src`) ---
+    /// Import of the ring at the sender.
+    pub ring_import: ImportId,
+    /// Import of the credit page at the sender.
+    pub credit_import: ImportId,
+    /// Import of the bulk window at the sender.
+    pub bulk_import: ImportId,
+    /// Next sequence number the sender will use.
+    pub send_seq: u64,
+    /// Sender's cached copy of the receiver's consumed counter.
+    pub credits_seen: u64,
+    /// Staging buffer in the sender's address space (eager copies and
+    /// rendezvous payloads).
+    pub send_stage_va: VirtAddr,
+    /// Scratch page the sender fetches credits/CTS grants into.
+    pub fetch_scratch_va: VirtAddr,
+    /// A large send staged and announced, awaiting the receiver's grant:
+    /// `(seq, staged address, length)`.
+    pub pending_large: Option<(u64, VirtAddr, u64)>,
+}
+
+/// A bidirectional channel: two mirrored directions.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Channel {
+    pub a: EndpointId,
+    pub b: EndpointId,
+    pub cfg: ChannelConfig,
+    /// Direction a → b.
+    pub ab: Direction,
+    /// Direction b → a.
+    pub ba: Direction,
+}
+
+impl Channel {
+    /// The direction sending *from* `src`, plus the destination endpoint.
+    pub fn direction_from(&self, src: EndpointId) -> Option<(&Direction, EndpointId)> {
+        if src == self.a {
+            Some((&self.ab, self.b))
+        } else if src == self.b {
+            Some((&self.ba, self.a))
+        } else {
+            None
+        }
+    }
+
+    /// Mutable direction sending from `src`.
+    pub fn direction_from_mut(&mut self, src: EndpointId) -> Option<(&mut Direction, EndpointId)> {
+        if src == self.a {
+            Some((&mut self.ab, self.b))
+        } else if src == self.b {
+            Some((&mut self.ba, self.a))
+        } else {
+            None
+        }
+    }
+
+    /// The direction delivering *to* `dst`, plus the source endpoint.
+    pub fn direction_to_mut(&mut self, dst: EndpointId) -> Option<(&mut Direction, EndpointId)> {
+        if dst == self.b {
+            Some((&mut self.ab, self.a))
+        } else if dst == self.a {
+            Some((&mut self.ba, self.b))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_and_max_eager() {
+        let c = ChannelConfig::default();
+        assert_eq!(c.max_eager(), 1024 - 16);
+        assert!(c.bulk_bytes > c.slot_bytes);
+    }
+
+    #[test]
+    fn handles_display() {
+        assert_eq!(EndpointId(1).to_string(), "endpoint:1");
+        assert_eq!(ChannelId(2).to_string(), "channel:2");
+    }
+}

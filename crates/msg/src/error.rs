@@ -1,0 +1,82 @@
+//! Error type for the messaging layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the messaging fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MsgError {
+    /// The endpoint id is unknown.
+    UnknownEndpoint(u32),
+    /// The channel id is unknown.
+    UnknownChannel(u32),
+    /// The endpoint is not a member of the channel.
+    NotAMember {
+        /// Offending endpoint.
+        endpoint: u32,
+        /// The channel it is not on.
+        channel: u32,
+    },
+    /// A message exceeds what the channel can carry.
+    MessageTooLarge {
+        /// Requested size.
+        len: u64,
+        /// The maximum this channel supports.
+        max: u64,
+    },
+    /// `recv` found no message and the channel is idle.
+    WouldBlock,
+    /// A rendezvous handshake step arrived out of order.
+    ProtocolViolation(&'static str),
+    /// Underlying VMMC failure.
+    Vmmc(utlb_vmmc::VmmcError),
+}
+
+impl fmt::Display for MsgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsgError::UnknownEndpoint(e) => write!(f, "unknown endpoint {e}"),
+            MsgError::UnknownChannel(c) => write!(f, "unknown channel {c}"),
+            MsgError::NotAMember { endpoint, channel } => {
+                write!(f, "endpoint {endpoint} is not on channel {channel}")
+            }
+            MsgError::MessageTooLarge { len, max } => {
+                write!(f, "message of {len} bytes exceeds channel maximum {max}")
+            }
+            MsgError::WouldBlock => write!(f, "no message available"),
+            MsgError::ProtocolViolation(what) => write!(f, "protocol violation: {what}"),
+            MsgError::Vmmc(e) => write!(f, "vmmc error: {e}"),
+        }
+    }
+}
+
+impl Error for MsgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MsgError::Vmmc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<utlb_vmmc::VmmcError> for MsgError {
+    fn from(e: utlb_vmmc::VmmcError) -> Self {
+        MsgError::Vmmc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_wiring() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<MsgError>();
+        let e = MsgError::from(utlb_vmmc::VmmcError::UnknownNode(9));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("vmmc"));
+        assert!(MsgError::WouldBlock.to_string().contains("no message"));
+    }
+}

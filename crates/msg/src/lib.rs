@@ -1,0 +1,56 @@
+//! Connection-oriented, zero-copy messaging on top of VMMC.
+//!
+//! The paper's §4.1 motivates transfer redirection with exactly this layer:
+//! "this enables zero-copy implementations of high-level communication
+//! APIs" (citing Damianakis' connection-oriented communication work). This
+//! crate is that layer, built only from the VMMC primitives the UTLB
+//! empowers:
+//!
+//! * **Eager path** (small messages): the receiver exports a ring of
+//!   message slots; `send` remote-stores the payload and then its header —
+//!   the in-order data-link channel makes the header's arrival the
+//!   completion flag — and `recv` just polls local memory. No kernel, no
+//!   interrupts, no copies beyond the single wire transfer.
+//! * **Rendezvous path** (large messages): `send` posts a
+//!   request-to-send; the receiver *redirects* its bulk export straight at
+//!   the application's destination buffer and grants a clear-to-send, which
+//!   the sender picks up with a **remote fetch**; the payload then lands in
+//!   its final location — true zero-copy, the data is never staged.
+//! * **Credit-based flow control**: the receiver publishes its consumed
+//!   count in an exported credit page; a sender that runs out of ring
+//!   credits refreshes them with a remote fetch.
+//!
+//! # Example
+//!
+//! ```
+//! use utlb_msg::{ChannelConfig, Fabric};
+//! use utlb_vmmc::Cluster;
+//!
+//! # fn main() -> Result<(), utlb_msg::MsgError> {
+//! let cluster = Cluster::new(2)?;
+//! let mut fabric = Fabric::new(cluster);
+//! let a = fabric.add_endpoint(0)?;
+//! let b = fabric.add_endpoint(1)?;
+//! let channel = fabric.connect(a, b, ChannelConfig::default())?;
+//!
+//! fabric.send(channel, a, b"hello from a")?;
+//! let msg = fabric.recv(channel, b)?;
+//! assert_eq!(&msg, b"hello from a");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod channel;
+mod error;
+mod fabric;
+mod ring;
+
+pub use channel::{ChannelConfig, ChannelId, EndpointId};
+pub use error::MsgError;
+pub use fabric::Fabric;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MsgError>;

@@ -1,0 +1,66 @@
+//! Slot layout of the eager-message ring.
+//!
+//! Each slot is `[seq: u64][len: u64][payload …]`. The sender writes the
+//! payload first and the header second; because the data-link channel is
+//! reliable and in-order, a slot whose `seq` field matches the receiver's
+//! expectation is guaranteed complete. `seq` starts at 1 and increases
+//! monotonically, so a recycled slot never looks valid early: the receiver
+//! expects exactly `last_seq + 1`.
+
+/// Bytes of slot header preceding the payload.
+pub const HEADER_BYTES: u64 = 16;
+
+/// Encodes a slot header.
+pub fn encode_header(seq: u64, len: u64) -> [u8; HEADER_BYTES as usize] {
+    let mut h = [0u8; HEADER_BYTES as usize];
+    h[..8].copy_from_slice(&seq.to_le_bytes());
+    h[8..].copy_from_slice(&len.to_le_bytes());
+    h
+}
+
+/// Decodes a slot header into `(seq, len)`.
+pub fn decode_header(bytes: &[u8]) -> (u64, u64) {
+    let seq = u64::from_le_bytes(bytes[..8].try_into().expect("8 header bytes"));
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 header bytes"));
+    (seq, len)
+}
+
+/// Byte offset of slot `seq` within a ring of `slots` slots of `slot_bytes`.
+pub fn slot_offset(seq: u64, slots: u64, slot_bytes: u64) -> u64 {
+    debug_assert!(seq >= 1, "sequence numbers start at 1");
+    ((seq - 1) % slots) * slot_bytes
+}
+
+/// Layout of the credit page the receiver exports.
+pub mod credit {
+    /// Offset of the consumed counter (eager flow control).
+    pub const CONSUMED: u64 = 0;
+    /// Offset of the clear-to-send grant sequence (rendezvous).
+    pub const CTS_SEQ: u64 = 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = encode_header(42, 1000);
+        assert_eq!(decode_header(&h), (42, 1000));
+        let zero = encode_header(0, 0);
+        assert_eq!(decode_header(&zero), (0, 0));
+    }
+
+    #[test]
+    fn slot_offsets_wrap() {
+        assert_eq!(slot_offset(1, 4, 256), 0);
+        assert_eq!(slot_offset(4, 4, 256), 768);
+        assert_eq!(slot_offset(5, 4, 256), 0, "wraps to the first slot");
+        assert_eq!(slot_offset(6, 4, 256), 256);
+    }
+
+    #[test]
+    fn credit_offsets_are_disjoint() {
+        assert_ne!(credit::CONSUMED, credit::CTS_SEQ);
+    }
+}

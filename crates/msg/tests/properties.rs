@@ -1,0 +1,155 @@
+//! Property-based tests of the messaging fabric against a queue model.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use utlb_msg::{ChannelConfig, Fabric, MsgError};
+use utlb_vmmc::Cluster;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Send a message of `len` bytes filled with `fill`, from side 0 or 1.
+    Send { from_a: bool, len: u16, fill: u8 },
+    /// Receive the next message at side 0 or 1.
+    Recv { at_a: bool },
+}
+
+fn ops() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<bool>(), 1u16..3000, any::<u8>())
+            .prop_map(|(from_a, len, fill)| Op::Send { from_a, len, fill }),
+        any::<bool>().prop_map(|at_a| Op::Recv { at_a }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The channel behaves as two independent FIFO queues (one per
+    /// direction) under arbitrary interleavings of sends and receives,
+    /// across both the eager and rendezvous paths.
+    #[test]
+    fn channel_is_two_fifo_queues(script in proptest::collection::vec(ops(), 1..60)) {
+        let mut fabric = Fabric::new(Cluster::new(2).unwrap());
+        let a = fabric.add_endpoint(0).unwrap();
+        let b = fabric.add_endpoint(1).unwrap();
+        // Small ring so WouldBlock paths get exercised too.
+        let cfg = ChannelConfig {
+            slots: 4,
+            slot_bytes: 1024,
+            bulk_bytes: 8 * 1024,
+        };
+        let ch = fabric.connect(a, b, cfg).unwrap();
+
+        let mut model_ab: VecDeque<Vec<u8>> = VecDeque::new();
+        let mut model_ba: VecDeque<Vec<u8>> = VecDeque::new();
+        // One rendezvous may be pending per direction.
+        let mut large_pending = [false, false];
+
+        for op in script {
+            match op {
+                Op::Send { from_a, len, fill } => {
+                    let payload = vec![fill; len as usize];
+                    let (from, model, pend_ix) = if from_a {
+                        (a, &mut model_ab, 0usize)
+                    } else {
+                        (b, &mut model_ba, 1usize)
+                    };
+                    let is_large = u64::from(len) > cfg.max_eager();
+                    match fabric.send(ch, from, &payload) {
+                        Ok(()) => {
+                            prop_assert!(
+                                !large_pending[pend_ix],
+                                "second rendezvous accepted while one pending"
+                            );
+                            model.push_back(payload);
+                            if is_large {
+                                large_pending[pend_ix] = true;
+                            }
+                        }
+                        Err(MsgError::WouldBlock) => {
+                            prop_assert!(
+                                model.len() >= cfg.slots as usize,
+                                "WouldBlock with only {} queued",
+                                model.len()
+                            );
+                        }
+                        Err(MsgError::ProtocolViolation(_)) => {
+                            prop_assert!(large_pending[pend_ix]);
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("send: {e}"))),
+                    }
+                }
+                Op::Recv { at_a } => {
+                    let (at, model, pend_ix) = if at_a {
+                        (a, &mut model_ba, 1usize)
+                    } else {
+                        (b, &mut model_ab, 0usize)
+                    };
+                    match fabric.recv(ch, at) {
+                        Ok(msg) => {
+                            let expect = model.pop_front()
+                                .ok_or_else(|| TestCaseError::fail("recv invented a message"))?;
+                            let was_large = expect.len() as u64 > cfg.max_eager();
+                            prop_assert_eq!(msg, expect);
+                            // Only receiving the rendezvous message itself
+                            // clears the pending flag; eager messages queued
+                            // ahead of the RTS leave it set.
+                            if was_large {
+                                large_pending[pend_ix] = false;
+                            }
+                        }
+                        Err(MsgError::WouldBlock) => {
+                            prop_assert!(model.is_empty(), "message lost");
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("recv: {e}"))),
+                    }
+                }
+            }
+        }
+
+        // Drain everything still queued; FIFO order must hold to the end.
+        while let Some(expect) = model_ab.pop_front() {
+            prop_assert_eq!(fabric.recv(ch, b).unwrap(), expect);
+        }
+        while let Some(expect) = model_ba.pop_front() {
+            prop_assert_eq!(fabric.recv(ch, a).unwrap(), expect);
+        }
+        // And the fabric never interrupted a host.
+        for i in 0..2 {
+            prop_assert_eq!(fabric.cluster().node(i).unwrap().board().intr.raised(), 0);
+        }
+    }
+}
+
+/// Messaging over a lossy wire: the data-link retransmission layer makes
+/// the fabric's FIFO guarantee hold even when a bounded number of data
+/// packets are dropped in flight.
+#[test]
+fn messaging_survives_bounded_packet_loss() {
+    use utlb_nic::packet::{Packet, PacketKind};
+
+    let mut cluster = Cluster::new(2).unwrap();
+    // Drop the 2nd, 5th and 9th data packets, once each.
+    let mut k = 0u64;
+    cluster.inject_fault(Some(Box::new(move |p: &Packet| {
+        if p.kind != PacketKind::Data {
+            return false;
+        }
+        k += 1;
+        matches!(k, 2 | 5 | 9)
+    })));
+    let mut fabric = Fabric::new(cluster);
+    let a = fabric.add_endpoint(0).unwrap();
+    let b = fabric.add_endpoint(1).unwrap();
+    let ch = fabric.connect(a, b, ChannelConfig::default()).unwrap();
+
+    for i in 0..12u32 {
+        fabric.send(ch, a, &i.to_le_bytes()).unwrap();
+        let got = fabric.recv(ch, b).unwrap();
+        assert_eq!(got, i.to_le_bytes(), "message {i}");
+    }
+    // A rendezvous transfer across the same lossy wire.
+    let big = vec![0x42u8; 12_000];
+    fabric.send(ch, a, &big).unwrap();
+    assert_eq!(fabric.recv(ch, b).unwrap(), big);
+}

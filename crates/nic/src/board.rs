@@ -1,0 +1,43 @@
+//! The assembled NIC board.
+//!
+//! Bundles the devices one physical Myrinet adapter carries — SRAM, the DMA
+//! engine, the interrupt line — together with the simulated clock the board
+//! charges its costs to. Higher layers (the UTLB engine, the VMMC firmware)
+//! borrow the board mutably for the duration of an operation.
+
+use crate::{CommandQueue, DmaEngine, InterruptController, SimClock, Sram};
+
+/// One NIC: SRAM + DMA + interrupts + command queues + clock.
+#[derive(Debug, Default)]
+pub struct Board {
+    /// On-board SRAM (1 MB by default).
+    pub sram: Sram,
+    /// DMA engine over the I/O bus.
+    pub dma: DmaEngine,
+    /// NIC-to-host interrupt line.
+    pub intr: InterruptController,
+    /// Per-process command post buffers.
+    pub cmdq: CommandQueue,
+    /// The simulated clock all devices charge.
+    pub clock: SimClock,
+}
+
+impl Board {
+    /// Creates a board with default (paper-calibrated) device models.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Nanos;
+
+    #[test]
+    fn board_devices_share_the_clock() {
+        let mut board = Board::new();
+        board.intr.raise(&mut board.clock);
+        assert_eq!(board.clock.now(), Nanos::from_micros(10.0));
+    }
+}

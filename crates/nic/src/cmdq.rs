@@ -1,0 +1,185 @@
+//! Per-process command post buffers.
+//!
+//! Paper §4.2: the driver allocates a command post buffer in Myrinet SRAM
+//! and maps it into the application's address space; the user-level library
+//! posts requests there, and the MCP polls the buffers in order. The address
+//! of the command buffer identifies the posting process — no kernel call is
+//! needed on the data path.
+
+use crate::{NicError, Result};
+use std::collections::VecDeque;
+use utlb_mem::{ProcessId, VirtAddr};
+
+/// What a posted command asks the firmware to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// Send `nbytes` from local `local_va` into the buffer `remote_offset`
+    /// bytes into an imported remote buffer (remote store).
+    Send {
+        /// Import handle the user library resolved.
+        import_id: u32,
+        /// Byte offset within the imported buffer.
+        remote_offset: u64,
+    },
+    /// Fetch `nbytes` from an imported remote buffer into local memory
+    /// (remote fetch, a VMMC-2 extension the UTLB enables).
+    Fetch {
+        /// Import handle the user library resolved.
+        import_id: u32,
+        /// Byte offset within the imported buffer.
+        remote_offset: u64,
+    },
+    /// Install a redirection: incoming data for the given exported buffer
+    /// should land at `local_va` instead of the default location.
+    Redirect {
+        /// Export handle to redirect.
+        export_id: u32,
+    },
+}
+
+/// One command as posted by the user-level library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Command {
+    /// The posting process (identified by its command-buffer address in the
+    /// real system).
+    pub pid: ProcessId,
+    /// Operation requested.
+    pub kind: CommandKind,
+    /// Local buffer address the operation reads from or writes to.
+    pub local_va: VirtAddr,
+    /// Transfer length in bytes.
+    pub nbytes: u64,
+}
+
+/// A set of per-process command queues polled round-robin by the firmware.
+#[derive(Debug, Default)]
+pub struct CommandQueue {
+    queues: Vec<(ProcessId, VecDeque<Command>)>,
+    rr_cursor: usize,
+    posted: u64,
+    polled: u64,
+}
+
+impl CommandQueue {
+    /// Creates an empty queue set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a command buffer for `pid` (driver attach time).
+    ///
+    /// Registering twice is a no-op.
+    pub fn register(&mut self, pid: ProcessId) {
+        if !self.queues.iter().any(|(p, _)| *p == pid) {
+            self.queues.push((pid, VecDeque::new()));
+        }
+    }
+
+    /// Posts a command to the owning process' buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NicError::UnknownQueue`] if `cmd.pid` was never registered.
+    pub fn post(&mut self, cmd: Command) -> Result<()> {
+        let q = self
+            .queues
+            .iter_mut()
+            .find(|(p, _)| *p == cmd.pid)
+            .ok_or(NicError::UnknownQueue(cmd.pid.raw()))?;
+        q.1.push_back(cmd);
+        self.posted += 1;
+        Ok(())
+    }
+
+    /// Polls the next command, scanning buffers round-robin the way the MCP
+    /// polls each process' command buffer in turn.
+    pub fn poll(&mut self) -> Option<Command> {
+        if self.queues.is_empty() {
+            return None;
+        }
+        let n = self.queues.len();
+        for i in 0..n {
+            let idx = (self.rr_cursor + i) % n;
+            if let Some(cmd) = self.queues[idx].1.pop_front() {
+                self.rr_cursor = (idx + 1) % n;
+                self.polled += 1;
+                return Some(cmd);
+            }
+        }
+        None
+    }
+
+    /// Total commands waiting across all buffers.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(|(_, q)| q.len()).sum()
+    }
+
+    /// (posted, polled) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.posted, self.polled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(pid: u32, off: u64) -> Command {
+        Command {
+            pid: ProcessId::new(pid),
+            kind: CommandKind::Send {
+                import_id: 1,
+                remote_offset: off,
+            },
+            local_va: VirtAddr::new(0x1000),
+            nbytes: 64,
+        }
+    }
+
+    #[test]
+    fn post_requires_registration() {
+        let mut q = CommandQueue::new();
+        assert!(matches!(q.post(cmd(1, 0)), Err(NicError::UnknownQueue(1))));
+        q.register(ProcessId::new(1));
+        q.register(ProcessId::new(1)); // idempotent
+        assert!(q.post(cmd(1, 0)).is_ok());
+        assert_eq!(q.pending(), 1);
+    }
+
+    #[test]
+    fn poll_is_round_robin_across_processes() {
+        let mut q = CommandQueue::new();
+        q.register(ProcessId::new(1));
+        q.register(ProcessId::new(2));
+        q.post(cmd(1, 10)).unwrap();
+        q.post(cmd(1, 11)).unwrap();
+        q.post(cmd(2, 20)).unwrap();
+        q.post(cmd(2, 21)).unwrap();
+        let order: Vec<u32> = std::iter::from_fn(|| q.poll()).map(|c| c.pid.raw()).collect();
+        assert_eq!(order, vec![1, 2, 1, 2], "firmware alternates buffers");
+        assert_eq!(q.counters(), (4, 4));
+    }
+
+    #[test]
+    fn poll_skips_empty_buffers() {
+        let mut q = CommandQueue::new();
+        q.register(ProcessId::new(1));
+        q.register(ProcessId::new(2));
+        q.post(cmd(2, 0)).unwrap();
+        assert_eq!(q.poll().unwrap().pid.raw(), 2);
+        assert!(q.poll().is_none());
+    }
+
+    #[test]
+    fn fifo_within_one_process() {
+        let mut q = CommandQueue::new();
+        q.register(ProcessId::new(1));
+        q.post(cmd(1, 1)).unwrap();
+        q.post(cmd(1, 2)).unwrap();
+        let first = q.poll().unwrap();
+        match first.kind {
+            CommandKind::Send { remote_offset, .. } => assert_eq!(remote_offset, 1),
+            _ => panic!("wrong kind"),
+        }
+    }
+}

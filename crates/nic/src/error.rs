@@ -1,0 +1,89 @@
+//! Error type for the NIC substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulated network interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NicError {
+    /// SRAM allocation failed (the LANai board has only 1 MB).
+    SramExhausted {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes remaining.
+        available: u64,
+    },
+    /// An SRAM access fell outside an allocated region.
+    SramOutOfRange {
+        /// Offending offset.
+        offset: u64,
+        /// Length of the attempted access.
+        len: usize,
+    },
+    /// A DMA transfer referenced invalid host memory.
+    DmaFault(utlb_mem::MemError),
+    /// A command was posted to a queue that does not exist.
+    UnknownQueue(u32),
+    /// A packet was addressed to a node the switch does not know.
+    UnknownNode(u32),
+    /// The reliable channel gave up after exhausting retransmissions.
+    DeliveryFailed {
+        /// Sequence number of the undeliverable packet.
+        seq: u64,
+    },
+}
+
+impl fmt::Display for NicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NicError::SramExhausted {
+                requested,
+                available,
+            } => write!(
+                f,
+                "sram exhausted: requested {requested} bytes, {available} available"
+            ),
+            NicError::SramOutOfRange { offset, len } => {
+                write!(f, "sram access of {len} bytes at offset {offset} out of range")
+            }
+            NicError::DmaFault(e) => write!(f, "dma fault: {e}"),
+            NicError::UnknownQueue(id) => write!(f, "unknown command queue {id}"),
+            NicError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            NicError::DeliveryFailed { seq } => {
+                write!(f, "reliable delivery failed for sequence {seq}")
+            }
+        }
+    }
+}
+
+impl Error for NicError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NicError::DmaFault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<utlb_mem::MemError> for NicError {
+    fn from(e: utlb_mem::MemError) -> Self {
+        NicError::DmaFault(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let inner = utlb_mem::MemError::OutOfFrames;
+        let e = NicError::from(inner);
+        assert!(e.to_string().contains("dma fault"));
+        assert!(e.source().is_some());
+        assert!(NicError::UnknownNode(3).source().is_none());
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<NicError>();
+    }
+}

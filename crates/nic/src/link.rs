@@ -1,0 +1,251 @@
+//! Links and the crossbar switch.
+//!
+//! Myrinet links run at 160 MB/s point-to-point through cut-through
+//! crossbar switches. The switch here models per-destination FIFO delivery
+//! with a bandwidth/latency cost and an optional fault hook that drops
+//! packets — the hook is how tests exercise the retransmission protocol.
+
+use crate::packet::Packet;
+use crate::{Nanos, NicError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a node (host + NIC) on the network.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id.
+    pub const fn new(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// Raw id.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node:{}", self.0)
+    }
+}
+
+/// Cost model of one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    latency: Nanos,
+    bytes_per_us: u64,
+}
+
+impl Link {
+    /// Creates a link with the given wire latency and bandwidth.
+    pub fn new(latency: Nanos, bytes_per_us: u64) -> Self {
+        assert!(bytes_per_us > 0, "bandwidth must be positive");
+        Link {
+            latency,
+            bytes_per_us,
+        }
+    }
+
+    /// Time for `bytes` to cross this link.
+    pub fn transit_time(&self, bytes: usize) -> Nanos {
+        let serialization = (bytes as u64 * 1000).div_ceil(self.bytes_per_us);
+        self.latency + Nanos::from_nanos(serialization)
+    }
+}
+
+impl Default for Link {
+    /// Myrinet-like defaults: 0.5 µs switch+wire latency, 160 MB/s.
+    fn default() -> Self {
+        Link::new(Nanos::from_micros(0.5), 160)
+    }
+}
+
+/// A packet-drop predicate installed on the switch for fault injection.
+pub type FaultHook = Box<dyn FnMut(&Packet) -> bool + Send>;
+
+/// A crossbar switch connecting `n` nodes.
+///
+/// Packets are enqueued per destination and drained by each node's firmware.
+/// A fault hook may drop packets in flight (for retransmission tests);
+/// delivery within one src→dst pair is otherwise FIFO, as in a real
+/// cut-through switch without adaptive routing.
+pub struct Switch {
+    ports: Vec<VecDeque<(Packet, Nanos)>>,
+    link: Link,
+    fault: Option<FaultHook>,
+    sent: u64,
+    dropped: u64,
+}
+
+impl fmt::Debug for Switch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Switch")
+            .field("ports", &self.ports.len())
+            .field("link", &self.link)
+            .field("fault_hook", &self.fault.is_some())
+            .field("sent", &self.sent)
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl Switch {
+    /// Creates a switch with `n` ports over the given link model.
+    pub fn new(n: usize, link: Link) -> Self {
+        Switch {
+            ports: (0..n).map(|_| VecDeque::new()).collect(),
+            link,
+            fault: None,
+            sent: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Installs a fault hook; packets for which it returns `true` are
+    /// silently dropped, like a failing link.
+    pub fn set_fault_hook(&mut self, hook: Option<FaultHook>) {
+        self.fault = hook;
+    }
+
+    /// Injects a packet at simulated time `now`.
+    ///
+    /// The packet becomes available at its destination after the link transit
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NicError::UnknownNode`] if the destination port does not
+    /// exist.
+    pub fn send(&mut self, packet: Packet, now: Nanos) -> Result<()> {
+        let dst = packet.dst.raw() as usize;
+        if dst >= self.ports.len() {
+            return Err(NicError::UnknownNode(packet.dst.raw()));
+        }
+        self.sent += 1;
+        if let Some(hook) = &mut self.fault {
+            if hook(&packet) {
+                self.dropped += 1;
+                return Ok(());
+            }
+        }
+        let arrive = now + self.link.transit_time(packet.wire_bytes());
+        self.ports[dst].push_back((packet, arrive));
+        Ok(())
+    }
+
+    /// Removes and returns the next packet available at `node` whose arrival
+    /// time is at or before `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NicError::UnknownNode`] for an invalid port.
+    pub fn recv(&mut self, node: NodeId, now: Nanos) -> Result<Option<Packet>> {
+        let port = self
+            .ports
+            .get_mut(node.raw() as usize)
+            .ok_or(NicError::UnknownNode(node.raw()))?;
+        match port.front() {
+            Some((_, arrive)) if *arrive <= now => Ok(port.pop_front().map(|(p, _)| p)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Earliest pending arrival time at `node`, if any — used by event loops
+    /// to know how far to advance the clock.
+    pub fn next_arrival(&self, node: NodeId) -> Option<Nanos> {
+        self.ports
+            .get(node.raw() as usize)
+            .and_then(|q| q.front().map(|(_, t)| *t))
+    }
+
+    /// (sent, dropped) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.sent, self.dropped)
+    }
+
+    /// Total packets currently in flight across all ports.
+    pub fn in_flight(&self) -> usize {
+        self.ports.iter().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{DeliveryInfo, Packet};
+
+    fn pkt(src: u32, dst: u32, seq: u64) -> Packet {
+        Packet::data(
+            NodeId::new(src),
+            NodeId::new(dst),
+            seq,
+            DeliveryInfo {
+                export_id: 0,
+                offset: 0,
+                nbytes: 8,
+            },
+            vec![0u8; 8],
+        )
+    }
+
+    #[test]
+    fn delivery_respects_transit_time() {
+        let mut sw = Switch::new(2, Link::default());
+        sw.send(pkt(0, 1, 1), Nanos::ZERO).unwrap();
+        // Not yet arrived at t=0.
+        assert!(sw.recv(NodeId::new(1), Nanos::ZERO).unwrap().is_none());
+        let arrival = sw.next_arrival(NodeId::new(1)).unwrap();
+        assert!(arrival > Nanos::ZERO);
+        let got = sw.recv(NodeId::new(1), arrival).unwrap().unwrap();
+        assert_eq!(got.seq, 1);
+    }
+
+    #[test]
+    fn fifo_per_destination() {
+        let mut sw = Switch::new(2, Link::default());
+        sw.send(pkt(0, 1, 1), Nanos::ZERO).unwrap();
+        sw.send(pkt(0, 1, 2), Nanos::ZERO).unwrap();
+        let late = Nanos::from_micros(100.0);
+        assert_eq!(sw.recv(NodeId::new(1), late).unwrap().unwrap().seq, 1);
+        assert_eq!(sw.recv(NodeId::new(1), late).unwrap().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn unknown_destination_rejected() {
+        let mut sw = Switch::new(1, Link::default());
+        assert!(matches!(
+            sw.send(pkt(0, 5, 1), Nanos::ZERO),
+            Err(NicError::UnknownNode(5))
+        ));
+        assert!(sw.recv(NodeId::new(9), Nanos::ZERO).is_err());
+    }
+
+    #[test]
+    fn fault_hook_drops() {
+        let mut sw = Switch::new(2, Link::default());
+        sw.set_fault_hook(Some(Box::new(|p: &Packet| p.seq.is_multiple_of(2))));
+        sw.send(pkt(0, 1, 1), Nanos::ZERO).unwrap();
+        sw.send(pkt(0, 1, 2), Nanos::ZERO).unwrap();
+        let late = Nanos::from_micros(100.0);
+        assert_eq!(sw.recv(NodeId::new(1), late).unwrap().unwrap().seq, 1);
+        assert!(sw.recv(NodeId::new(1), late).unwrap().is_none());
+        assert_eq!(sw.counters(), (2, 1));
+    }
+
+    #[test]
+    fn bigger_packets_take_longer() {
+        let link = Link::default();
+        assert!(link.transit_time(4096) > link.transit_time(64));
+    }
+}

@@ -1,0 +1,205 @@
+//! Wire packets.
+//!
+//! Myrinet is a switched point-to-point network with link-level flow control
+//! and very low error rates, but the VMMC-2 firmware still layers a
+//! retransmission protocol on top (paper §4.1) to survive link and port
+//! failures. Packets here carry enough structure for that protocol plus the
+//! VMMC delivery metadata.
+
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Maximum payload carried by one packet.
+///
+/// The VMMC firmware fragments transfers at 4 KB page boundaries, so one
+/// page is the natural MTU.
+pub const MAX_PAYLOAD: usize = 4096;
+
+/// Packet type discriminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// A data fragment of a remote-store.
+    Data,
+    /// A remote-fetch request (the payload is empty; `nbytes` says how much).
+    FetchRequest,
+    /// A remote-fetch reply carrying data back.
+    FetchReply,
+    /// Cumulative acknowledgement of `ack_seq`.
+    Ack,
+}
+
+/// VMMC delivery metadata: where the payload should land on the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryInfo {
+    /// Export handle on the destination node.
+    pub export_id: u32,
+    /// Byte offset within the exported buffer.
+    pub offset: u64,
+    /// Total bytes of the operation this fragment belongs to.
+    pub nbytes: u64,
+}
+
+/// One packet on the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Link-level sequence number (per src→dst channel).
+    pub seq: u64,
+    /// Cumulative ack carried by every packet (piggybacked).
+    pub ack_seq: u64,
+    /// Discriminator.
+    pub kind: PacketKind,
+    /// Delivery metadata for data/fetch packets.
+    pub delivery: Option<DeliveryInfo>,
+    /// Correlation ticket for fetch request/reply pairs (0 when unused).
+    pub ticket: u32,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Creates a data packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_PAYLOAD`]; fragmentation is the
+    /// sender's job.
+    pub fn data(src: NodeId, dst: NodeId, seq: u64, delivery: DeliveryInfo, payload: Vec<u8>) -> Self {
+        assert!(
+            payload.len() <= MAX_PAYLOAD,
+            "payload {} exceeds MTU {MAX_PAYLOAD}",
+            payload.len()
+        );
+        Packet {
+            src,
+            dst,
+            seq,
+            ack_seq: 0,
+            kind: PacketKind::Data,
+            delivery: Some(delivery),
+            ticket: 0,
+            payload,
+        }
+    }
+
+    /// Creates a remote-fetch request. The payload is empty; `delivery`
+    /// names the remote exported region to read and `ticket` correlates the
+    /// reply with the requester's pending-fetch state.
+    pub fn fetch_request(src: NodeId, dst: NodeId, delivery: DeliveryInfo, ticket: u32) -> Self {
+        Packet {
+            src,
+            dst,
+            seq: 0,
+            ack_seq: 0,
+            kind: PacketKind::FetchRequest,
+            delivery: Some(delivery),
+            ticket,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Creates a remote-fetch reply fragment carrying data back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_PAYLOAD`].
+    pub fn fetch_reply(
+        src: NodeId,
+        dst: NodeId,
+        delivery: DeliveryInfo,
+        ticket: u32,
+        payload: Vec<u8>,
+    ) -> Self {
+        assert!(
+            payload.len() <= MAX_PAYLOAD,
+            "payload {} exceeds MTU {MAX_PAYLOAD}",
+            payload.len()
+        );
+        Packet {
+            src,
+            dst,
+            seq: 0,
+            ack_seq: 0,
+            kind: PacketKind::FetchReply,
+            delivery: Some(delivery),
+            ticket,
+            payload,
+        }
+    }
+
+    /// Creates a pure acknowledgement packet.
+    pub fn ack(src: NodeId, dst: NodeId, ack_seq: u64) -> Self {
+        Packet {
+            src,
+            dst,
+            seq: 0,
+            ack_seq,
+            kind: PacketKind::Ack,
+            delivery: None,
+            ticket: 0,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Wire size in bytes (header estimate + payload), for bandwidth models.
+    pub fn wire_bytes(&self) -> usize {
+        const HEADER: usize = 32;
+        HEADER + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_packet_roundtrips_metadata() {
+        let d = DeliveryInfo {
+            export_id: 7,
+            offset: 128,
+            nbytes: 256,
+        };
+        let p = Packet::data(NodeId::new(0), NodeId::new(1), 5, d, vec![1, 2, 3]);
+        assert_eq!(p.kind, PacketKind::Data);
+        assert_eq!(p.delivery.unwrap().export_id, 7);
+        assert_eq!(p.wire_bytes(), 35);
+    }
+
+    #[test]
+    fn fetch_pair_carries_ticket() {
+        let d = DeliveryInfo {
+            export_id: 1,
+            offset: 0,
+            nbytes: 16,
+        };
+        let req = Packet::fetch_request(NodeId::new(0), NodeId::new(1), d, 42);
+        assert_eq!(req.kind, PacketKind::FetchRequest);
+        assert_eq!(req.ticket, 42);
+        assert!(req.payload.is_empty());
+        let rep = Packet::fetch_reply(NodeId::new(1), NodeId::new(0), d, 42, vec![9; 16]);
+        assert_eq!(rep.kind, PacketKind::FetchReply);
+        assert_eq!(rep.ticket, 42);
+    }
+
+    #[test]
+    fn ack_packet_is_empty() {
+        let p = Packet::ack(NodeId::new(1), NodeId::new(0), 9);
+        assert_eq!(p.kind, PacketKind::Ack);
+        assert!(p.payload.is_empty());
+        assert_eq!(p.ack_seq, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MTU")]
+    fn oversized_payload_panics() {
+        let d = DeliveryInfo {
+            export_id: 0,
+            offset: 0,
+            nbytes: 0,
+        };
+        Packet::data(NodeId::new(0), NodeId::new(1), 0, d, vec![0; MAX_PAYLOAD + 1]);
+    }
+}

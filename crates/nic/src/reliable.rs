@@ -1,0 +1,406 @@
+//! Reliable delivery at the data-link level.
+//!
+//! VMMC-2 (paper §4.1) adds "a retransmission protocol at data link level
+//! (between network interfaces) and a dynamic node remapping procedure to
+//! deal with link and port failures". This module implements both: a
+//! go-back-N sliding-window sender/receiver pair keyed by source node, and a
+//! [`RemapTable`] that redirects a logical destination to a spare physical
+//! port when its link is declared dead.
+
+use crate::packet::{Packet, PacketKind};
+use crate::{Nanos, NicError, NodeId, Result, Switch};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Default retransmission timeout: generous multiple of a link round trip.
+pub const DEFAULT_RTO: Nanos = Nanos::from_nanos(20_000);
+
+/// Default cap on retransmissions of one packet before the channel fails.
+pub const DEFAULT_MAX_RETRIES: u32 = 8;
+
+/// Sliding-window reliable sender for one src→dst channel.
+#[derive(Debug)]
+pub struct ReliableSender {
+    src: NodeId,
+    dst: NodeId,
+    next_seq: u64,
+    window: usize,
+    rto: Nanos,
+    max_retries: u32,
+    /// seq → (packet, last transmit time, attempts)
+    unacked: BTreeMap<u64, (Packet, Nanos, u32)>,
+    backlog: VecDeque<Packet>,
+    retransmissions: u64,
+}
+
+impl ReliableSender {
+    /// Creates a sender for the `src` → `dst` channel.
+    pub fn new(src: NodeId, dst: NodeId, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        ReliableSender {
+            src,
+            dst,
+            next_seq: 1,
+            window,
+            rto: DEFAULT_RTO,
+            max_retries: DEFAULT_MAX_RETRIES,
+            unacked: BTreeMap::new(),
+            backlog: VecDeque::new(),
+            retransmissions: 0,
+        }
+    }
+
+    /// Overrides the retransmission timeout.
+    pub fn set_rto(&mut self, rto: Nanos) {
+        self.rto = rto;
+    }
+
+    /// Overrides the retry cap.
+    pub fn set_max_retries(&mut self, max: u32) {
+        self.max_retries = max;
+    }
+
+    /// Number of packets awaiting acknowledgement.
+    pub fn in_flight(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Number of packets queued behind the window.
+    pub fn queued(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Whether everything handed to the channel has been delivered and
+    /// acknowledged.
+    pub fn is_drained(&self) -> bool {
+        self.unacked.is_empty() && self.backlog.is_empty()
+    }
+
+    /// Total retransmissions performed.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Queues `packet` for reliable transmission, sending immediately if the
+    /// window allows.
+    ///
+    /// The packet's `src`, `dst` and `seq` fields are overwritten by the
+    /// channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates switch errors.
+    pub fn send(
+        &mut self,
+        mut packet: Packet,
+        switch: &mut Switch,
+        remap: &RemapTable,
+        now: Nanos,
+    ) -> Result<()> {
+        packet.src = self.src;
+        packet.dst = self.dst;
+        packet.seq = self.next_seq;
+        self.next_seq += 1;
+        self.backlog.push_back(packet);
+        self.pump(switch, remap, now)
+    }
+
+    fn transmit(
+        &mut self,
+        packet: &Packet,
+        switch: &mut Switch,
+        remap: &RemapTable,
+        now: Nanos,
+    ) -> Result<()> {
+        let mut wire = packet.clone();
+        wire.dst = remap.resolve(packet.dst);
+        switch.send(wire, now)
+    }
+
+    fn pump(&mut self, switch: &mut Switch, remap: &RemapTable, now: Nanos) -> Result<()> {
+        while self.unacked.len() < self.window {
+            let Some(packet) = self.backlog.pop_front() else {
+                break;
+            };
+            self.transmit(&packet, switch, remap, now)?;
+            self.unacked.insert(packet.seq, (packet, now, 1));
+        }
+        Ok(())
+    }
+
+    /// Processes a cumulative acknowledgement: everything with
+    /// `seq <= ack_seq` is released, and backlog may enter the window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates switch errors from transmitting newly admitted packets.
+    pub fn on_ack(
+        &mut self,
+        ack_seq: u64,
+        switch: &mut Switch,
+        remap: &RemapTable,
+        now: Nanos,
+    ) -> Result<()> {
+        self.unacked.retain(|seq, _| *seq > ack_seq);
+        self.pump(switch, remap, now)
+    }
+
+    /// Retransmits timed-out packets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NicError::DeliveryFailed`] when a packet exhausts its
+    /// retries; propagates switch errors otherwise.
+    pub fn tick(&mut self, switch: &mut Switch, remap: &RemapTable, now: Nanos) -> Result<()> {
+        let expired: Vec<u64> = self
+            .unacked
+            .iter()
+            .filter(|(_, (_, sent, _))| now.saturating_sub(*sent) >= self.rto)
+            .map(|(seq, _)| *seq)
+            .collect();
+        for seq in expired {
+            let (packet, _, attempts) = self.unacked.get(&seq).expect("seq collected above");
+            if *attempts >= self.max_retries {
+                return Err(NicError::DeliveryFailed { seq });
+            }
+            let packet = packet.clone();
+            self.transmit(&packet, switch, remap, now)?;
+            self.retransmissions += 1;
+            let entry = self.unacked.get_mut(&seq).expect("seq collected above");
+            entry.1 = now;
+            entry.2 += 1;
+        }
+        Ok(())
+    }
+}
+
+/// In-order reliable receiver demultiplexing by source node.
+#[derive(Debug, Default)]
+pub struct ReliableReceiver {
+    /// Per-source next expected sequence number.
+    expected: HashMap<NodeId, u64>,
+    duplicates: u64,
+}
+
+impl ReliableReceiver {
+    /// Creates a receiver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of duplicate packets discarded.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Accepts a packet from the wire.
+    ///
+    /// Returns `(deliver, ack)`: `deliver` is `Some` if the packet is new and
+    /// in order and should be handed to the firmware; `ack` is the cumulative
+    /// acknowledgement to send back. Out-of-order packets are dropped
+    /// (go-back-N), re-acking the last in-order sequence.
+    pub fn accept(&mut self, packet: Packet) -> (Option<Packet>, u64) {
+        if packet.kind == PacketKind::Ack {
+            // Acks are handled by the sender side; nothing to deliver or ack.
+            return (None, 0);
+        }
+        let expected = self.expected.entry(packet.src).or_insert(1);
+        if packet.seq == *expected {
+            *expected += 1;
+            let ack = *expected - 1;
+            (Some(packet), ack)
+        } else {
+            self.duplicates += 1;
+            (None, *expected - 1)
+        }
+    }
+}
+
+/// Dynamic node remapping (paper §4.1): when a link or port fails, traffic
+/// for a logical node is redirected to its new physical port without the
+/// senders' protocol state changing.
+#[derive(Debug, Default, Clone)]
+pub struct RemapTable {
+    map: HashMap<NodeId, NodeId>,
+}
+
+impl RemapTable {
+    /// Creates an identity mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Redirects `logical` to `physical`.
+    pub fn remap(&mut self, logical: NodeId, physical: NodeId) {
+        self.map.insert(logical, physical);
+    }
+
+    /// Removes a redirection.
+    pub fn restore(&mut self, logical: NodeId) {
+        self.map.remove(&logical);
+    }
+
+    /// Resolves a logical node to its current physical port.
+    pub fn resolve(&self, logical: NodeId) -> NodeId {
+        self.map.get(&logical).copied().unwrap_or(logical)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::DeliveryInfo;
+    use crate::Link;
+
+    fn data_packet(n: u8) -> Packet {
+        Packet::data(
+            NodeId::new(0),
+            NodeId::new(1),
+            0, // overwritten by the channel
+            DeliveryInfo {
+                export_id: 0,
+                offset: 0,
+                nbytes: 1,
+            },
+            vec![n],
+        )
+    }
+
+    fn drain(
+        switch: &mut Switch,
+        rx: &mut ReliableReceiver,
+        node: NodeId,
+        now: Nanos,
+    ) -> (Vec<Packet>, u64) {
+        let mut delivered = Vec::new();
+        let mut last_ack = 0;
+        while let Some(p) = switch.recv(node, now).unwrap() {
+            let (d, ack) = rx.accept(p);
+            if let Some(p) = d {
+                delivered.push(p);
+            }
+            last_ack = last_ack.max(ack);
+        }
+        (delivered, last_ack)
+    }
+
+    #[test]
+    fn in_order_delivery_without_faults() {
+        let mut switch = Switch::new(2, Link::default());
+        let remap = RemapTable::new();
+        let mut tx = ReliableSender::new(NodeId::new(0), NodeId::new(1), 4);
+        let mut rx = ReliableReceiver::new();
+        let now = Nanos::ZERO;
+        for i in 0..3 {
+            tx.send(data_packet(i), &mut switch, &remap, now).unwrap();
+        }
+        let later = Nanos::from_micros(50.0);
+        let (delivered, ack) = drain(&mut switch, &mut rx, NodeId::new(1), later);
+        assert_eq!(delivered.len(), 3);
+        assert_eq!(ack, 3);
+        assert_eq!(
+            delivered.iter().map(|p| p.payload[0]).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        tx.on_ack(ack, &mut switch, &remap, later).unwrap();
+        assert_eq!(tx.in_flight(), 0);
+    }
+
+    #[test]
+    fn window_limits_in_flight_and_backlog_drains_on_ack() {
+        let mut switch = Switch::new(2, Link::default());
+        let remap = RemapTable::new();
+        let mut tx = ReliableSender::new(NodeId::new(0), NodeId::new(1), 2);
+        let now = Nanos::ZERO;
+        for i in 0..5 {
+            tx.send(data_packet(i), &mut switch, &remap, now).unwrap();
+        }
+        assert_eq!(tx.in_flight(), 2, "window caps transmissions");
+        tx.on_ack(2, &mut switch, &remap, now).unwrap();
+        assert_eq!(tx.in_flight(), 2, "backlog admitted after ack");
+    }
+
+    #[test]
+    fn dropped_packet_is_retransmitted_and_recovered() {
+        let mut switch = Switch::new(2, Link::default());
+        // Drop the very first wire transmission only.
+        let mut dropped = false;
+        switch.set_fault_hook(Some(Box::new(move |p: &Packet| {
+            if !dropped && p.seq == 1 {
+                dropped = true;
+                true
+            } else {
+                false
+            }
+        })));
+        let remap = RemapTable::new();
+        let mut tx = ReliableSender::new(NodeId::new(0), NodeId::new(1), 4);
+        let mut rx = ReliableReceiver::new();
+        tx.send(data_packet(1), &mut switch, &remap, Nanos::ZERO).unwrap();
+        tx.send(data_packet(2), &mut switch, &remap, Nanos::ZERO).unwrap();
+
+        let t1 = Nanos::from_micros(50.0);
+        let (delivered, ack) = drain(&mut switch, &mut rx, NodeId::new(1), t1);
+        // seq 1 dropped; seq 2 arrives out of order and is discarded.
+        assert!(delivered.is_empty());
+        assert_eq!(ack, 0);
+
+        // RTO fires; both go-back-N retransmitted packets arrive.
+        let t2 = t1 + DEFAULT_RTO;
+        tx.tick(&mut switch, &remap, t2).unwrap();
+        let t3 = t2 + Nanos::from_micros(50.0);
+        let (delivered, ack) = drain(&mut switch, &mut rx, NodeId::new(1), t3);
+        assert_eq!(delivered.len(), 2);
+        assert_eq!(ack, 2);
+        assert!(tx.retransmissions() >= 1);
+        assert_eq!(rx.duplicates(), 1);
+    }
+
+    #[test]
+    fn delivery_fails_after_retry_cap() {
+        let mut switch = Switch::new(2, Link::default());
+        switch.set_fault_hook(Some(Box::new(|_: &Packet| true))); // dead link
+        let remap = RemapTable::new();
+        let mut tx = ReliableSender::new(NodeId::new(0), NodeId::new(1), 1);
+        tx.set_max_retries(2);
+        tx.send(data_packet(0), &mut switch, &remap, Nanos::ZERO).unwrap();
+        let mut now = Nanos::ZERO;
+        let mut failed = false;
+        for _ in 0..5 {
+            now += DEFAULT_RTO;
+            match tx.tick(&mut switch, &remap, now) {
+                Err(NicError::DeliveryFailed { seq }) => {
+                    assert_eq!(seq, 1);
+                    failed = true;
+                    break;
+                }
+                Ok(()) => {}
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(failed, "channel must give up after max retries");
+    }
+
+    #[test]
+    fn remap_redirects_traffic_to_spare_port() {
+        let mut switch = Switch::new(3, Link::default());
+        let mut remap = RemapTable::new();
+        remap.remap(NodeId::new(1), NodeId::new(2));
+        let mut tx = ReliableSender::new(NodeId::new(0), NodeId::new(1), 4);
+        tx.send(data_packet(7), &mut switch, &remap, Nanos::ZERO).unwrap();
+        let later = Nanos::from_micros(50.0);
+        assert!(switch.recv(NodeId::new(1), later).unwrap().is_none());
+        let got = switch.recv(NodeId::new(2), later).unwrap().unwrap();
+        assert_eq!(got.payload[0], 7);
+        remap.restore(NodeId::new(1));
+        assert_eq!(remap.resolve(NodeId::new(1)), NodeId::new(1));
+    }
+
+    #[test]
+    fn receiver_ignores_ack_packets() {
+        let mut rx = ReliableReceiver::new();
+        let (d, ack) = rx.accept(Packet::ack(NodeId::new(0), NodeId::new(1), 5));
+        assert!(d.is_none());
+        assert_eq!(ack, 0);
+        assert_eq!(rx.duplicates(), 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! 3C miss classification (Figure 7).
+//!
+//! The paper breaks NIC translation-cache misses into the classic three Cs
+//! [Hill '87]: **compulsory** (first reference to the page), **capacity**
+//! (would also miss in a fully-associative LRU cache of the same total
+//! size), and **conflict** (everything else — a set-mapping artifact).
+//!
+//! The classifier shadows the real cache with a fully-associative LRU of
+//! equal capacity, updated on every access, plus a first-reference set.
+//! The shadow uses tick-stamped queue entries so refreshes are O(1)
+//! amortized: stale queue positions are skipped at eviction time.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+use utlb_mem::{ProcessId, VirtPage};
+
+/// Classification of one NIC translation miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MissKind {
+    /// First reference to the page: unavoidable at any cache size.
+    Compulsory,
+    /// Would miss even fully-associative: the working set exceeds the cache.
+    Capacity,
+    /// An artifact of the set mapping: a fully-associative cache would hit.
+    Conflict,
+}
+
+/// Aggregate 3C counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MissBreakdown {
+    /// Compulsory misses.
+    pub compulsory: u64,
+    /// Capacity misses.
+    pub capacity: u64,
+    /// Conflict misses.
+    pub conflict: u64,
+}
+
+impl MissBreakdown {
+    /// Total classified misses.
+    pub fn total(&self) -> u64 {
+        self.compulsory + self.capacity + self.conflict
+    }
+
+    /// Compulsory/capacity/conflict as rates over `lookups`.
+    pub fn rates(&self, lookups: u64) -> (f64, f64, f64) {
+        if lookups == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let d = lookups as f64;
+        (
+            self.compulsory as f64 / d,
+            self.capacity as f64 / d,
+            self.conflict as f64 / d,
+        )
+    }
+}
+
+type Key = (u32, u64);
+
+/// Streaming 3C classifier.
+#[derive(Debug)]
+pub struct MissClassifier {
+    capacity: usize,
+    seen: HashSet<Key>,
+    /// Tick of the most recent touch per resident key.
+    latest: HashMap<Key, u64>,
+    /// Touch history; entries whose tick is older than `latest[key]` are
+    /// stale and skipped at eviction time.
+    queue: VecDeque<(Key, u64)>,
+    tick: u64,
+    breakdown: MissBreakdown,
+}
+
+impl MissClassifier {
+    /// Creates a classifier shadowing a cache of `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "shadow capacity must be positive");
+        MissClassifier {
+            capacity,
+            seen: HashSet::new(),
+            latest: HashMap::new(),
+            queue: VecDeque::new(),
+            tick: 0,
+            breakdown: MissBreakdown::default(),
+        }
+    }
+
+    /// The running breakdown.
+    pub fn breakdown(&self) -> MissBreakdown {
+        self.breakdown
+    }
+
+    /// Records one access to the *real* cache and, if it missed there,
+    /// classifies the miss. Call on every access, hit or miss, so the
+    /// shadow tracks recency faithfully.
+    pub fn access(&mut self, pid: ProcessId, page: VirtPage, real_miss: bool) -> Option<MissKind> {
+        let key = (pid.raw(), page.number());
+        let first_ref = !self.seen.contains(&key);
+        let in_shadow = self.latest.contains_key(&key);
+
+        let kind = if real_miss {
+            let k = if first_ref {
+                MissKind::Compulsory
+            } else if in_shadow {
+                MissKind::Conflict
+            } else {
+                MissKind::Capacity
+            };
+            match k {
+                MissKind::Compulsory => self.breakdown.compulsory += 1,
+                MissKind::Capacity => self.breakdown.capacity += 1,
+                MissKind::Conflict => self.breakdown.conflict += 1,
+            }
+            Some(k)
+        } else {
+            None
+        };
+
+        self.seen.insert(key);
+        self.shadow_touch(key);
+        kind
+    }
+
+    fn shadow_touch(&mut self, key: Key) {
+        self.tick += 1;
+        self.latest.insert(key, self.tick);
+        self.queue.push_back((key, self.tick));
+        while self.latest.len() > self.capacity {
+            let (k, t) = self.queue.pop_front().expect("queue covers residents");
+            match self.latest.get(&k) {
+                Some(&newest) if newest == t => {
+                    self.latest.remove(&k); // genuine LRU eviction
+                }
+                _ => {} // stale queue position; the key was touched later
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u32) -> ProcessId {
+        ProcessId::new(n)
+    }
+
+    fn page(n: u64) -> VirtPage {
+        VirtPage::new(n)
+    }
+
+    #[test]
+    fn first_references_are_compulsory() {
+        let mut c = MissClassifier::new(4);
+        assert_eq!(c.access(pid(1), page(0), true), Some(MissKind::Compulsory));
+        assert_eq!(c.access(pid(1), page(1), true), Some(MissKind::Compulsory));
+        // Same page of a different process is its own first reference.
+        assert_eq!(c.access(pid(2), page(0), true), Some(MissKind::Compulsory));
+        assert_eq!(c.breakdown().compulsory, 3);
+    }
+
+    #[test]
+    fn hits_are_not_classified() {
+        let mut c = MissClassifier::new(4);
+        c.access(pid(1), page(0), true);
+        assert_eq!(c.access(pid(1), page(0), false), None);
+        assert_eq!(c.breakdown().total(), 1);
+    }
+
+    #[test]
+    fn repeat_miss_within_small_working_set_is_conflict() {
+        let mut c = MissClassifier::new(8);
+        c.access(pid(1), page(0), true); // compulsory
+        c.access(pid(1), page(1), true); // compulsory
+        // Page 0 is still in the 8-deep shadow; a real miss must be conflict.
+        assert_eq!(c.access(pid(1), page(0), true), Some(MissKind::Conflict));
+        assert_eq!(c.breakdown().conflict, 1);
+    }
+
+    #[test]
+    fn cyclic_sweep_larger_than_shadow_is_capacity() {
+        let mut c = MissClassifier::new(4);
+        // Sweep 8 pages twice; second-pass misses exceed shadow capacity.
+        for _ in 0..2 {
+            for v in 0..8 {
+                c.access(pid(1), page(v), true);
+            }
+        }
+        let b = c.breakdown();
+        assert_eq!(b.compulsory, 8);
+        assert_eq!(b.capacity, 8, "second pass entirely capacity");
+        assert_eq!(b.conflict, 0);
+    }
+
+    #[test]
+    fn shadow_lru_respects_recency() {
+        let mut c = MissClassifier::new(2);
+        c.access(pid(1), page(0), true);
+        c.access(pid(1), page(1), true);
+        c.access(pid(1), page(0), false); // refresh 0 → LRU is 1
+        c.access(pid(1), page(2), true); // evicts 1 from shadow
+        // Page 0 survived in the shadow → a real miss on it is conflict.
+        assert_eq!(c.access(pid(1), page(0), true), Some(MissKind::Conflict));
+        // Page 1 was evicted → capacity.
+        assert_eq!(c.access(pid(1), page(1), true), Some(MissKind::Capacity));
+    }
+
+    #[test]
+    fn stale_queue_entries_do_not_evict_refreshed_keys() {
+        let mut c = MissClassifier::new(2);
+        c.access(pid(1), page(0), true);
+        // Touch page 0 many times, creating stale queue entries.
+        for _ in 0..10 {
+            c.access(pid(1), page(0), false);
+        }
+        c.access(pid(1), page(1), true);
+        c.access(pid(1), page(0), false); // 0 is again the most recent
+        c.access(pid(1), page(2), true); // must evict 1, not the stale 0
+        assert_eq!(c.access(pid(1), page(0), true), Some(MissKind::Conflict));
+        assert_eq!(c.access(pid(1), page(1), true), Some(MissKind::Capacity));
+    }
+
+    #[test]
+    fn rates_normalize_by_lookups() {
+        let b = MissBreakdown {
+            compulsory: 10,
+            capacity: 5,
+            conflict: 5,
+        };
+        let (c, cap, conf) = b.rates(100);
+        assert_eq!((c, cap, conf), (0.10, 0.05, 0.05));
+        assert_eq!(b.rates(0), (0.0, 0.0, 0.0));
+        assert_eq!(b.total(), 20);
+    }
+}

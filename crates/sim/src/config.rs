@@ -1,0 +1,139 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+use utlb_core::{Associativity, CacheConfig, CostModel, IntrConfig, Policy, UtlbConfig};
+
+/// Which translation mechanism a run simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Hierarchical-UTLB with the Shared UTLB-Cache.
+    Utlb,
+    /// The interrupt-based baseline.
+    Intr,
+}
+
+impl std::fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mechanism::Utlb => f.write_str("UTLB"),
+            Mechanism::Intr => f.write_str("Intr"),
+        }
+    }
+}
+
+/// One simulation run's parameters — the axes varied throughout §6.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// NIC translation-cache entries.
+    pub cache_entries: usize,
+    /// Cache associativity.
+    pub associativity: Associativity,
+    /// Process-dependent index offsetting ("direct" vs "direct-nohash").
+    pub offsetting: bool,
+    /// Entries fetched per miss (UTLB only; 1 = no prefetch).
+    pub prefetch: u64,
+    /// Pages pinned per check miss (UTLB only; 1 = no prepinning).
+    pub prepin: u64,
+    /// Replacement policy for pinned pages (UTLB only).
+    pub policy: Policy,
+    /// Per-process pinned-memory limit in pages (`None` = infinite).
+    pub mem_limit_pages: Option<u64>,
+    /// Cost model for lookup-cost accounting.
+    pub cost: CostModel,
+    /// Engine seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's default study point: direct-mapped with offsetting, no
+    /// prefetch, no prepinning, LRU, infinite memory.
+    pub fn study(cache_entries: usize) -> Self {
+        SimConfig {
+            cache_entries,
+            associativity: Associativity::Direct,
+            offsetting: true,
+            prefetch: 1,
+            prepin: 1,
+            policy: Policy::Lru,
+            mem_limit_pages: None,
+            cost: CostModel::default(),
+            seed: 0xCAFE,
+        }
+    }
+
+    /// Pages for a megabyte-denominated per-process memory limit.
+    pub fn limit_mb(mut self, mb: u64) -> Self {
+        self.mem_limit_pages = Some(mb * 256); // 4 KB pages
+        self
+    }
+
+    /// The cache geometry of this run.
+    pub fn cache_config(&self) -> CacheConfig {
+        CacheConfig {
+            entries: self.cache_entries,
+            associativity: self.associativity,
+            offsetting: self.offsetting,
+        }
+    }
+
+    /// Engine configuration for a UTLB run.
+    pub fn utlb_config(&self) -> UtlbConfig {
+        UtlbConfig {
+            cache: self.cache_config(),
+            prefetch: self.prefetch,
+            prepin: self.prepin,
+            policy: self.policy,
+            mem_limit_pages: self.mem_limit_pages,
+            cost: self.cost.clone(),
+            seed: self.seed,
+        }
+    }
+
+    /// Engine configuration for an interrupt-based run.
+    pub fn intr_config(&self) -> IntrConfig {
+        IntrConfig {
+            cache: self.cache_config(),
+            mem_limit_pages: self.mem_limit_pages,
+            cost: self.cost.clone(),
+            seed: self.seed,
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::study(8192)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_point_matches_paper_defaults() {
+        let c = SimConfig::study(1024);
+        assert_eq!(c.cache_entries, 1024);
+        assert!(c.offsetting);
+        assert_eq!(c.prefetch, 1);
+        assert_eq!(c.mem_limit_pages, None);
+        assert_eq!(c.policy, Policy::Lru);
+    }
+
+    #[test]
+    fn limit_mb_converts_to_pages() {
+        let c = SimConfig::study(1024).limit_mb(4);
+        assert_eq!(c.mem_limit_pages, Some(1024), "4 MB = 1024 4 KB pages");
+        let c16 = SimConfig::study(1024).limit_mb(16);
+        assert_eq!(c16.mem_limit_pages, Some(4096));
+    }
+
+    #[test]
+    fn configs_propagate_geometry() {
+        let c = SimConfig::study(2048);
+        assert_eq!(c.utlb_config().cache.entries, 2048);
+        assert_eq!(c.intr_config().cache.entries, 2048);
+        assert_eq!(Mechanism::Utlb.to_string(), "UTLB");
+        assert_eq!(Mechanism::Intr.to_string(), "Intr");
+    }
+}

@@ -1,0 +1,100 @@
+//! Table 3: application problem size, communication footprint, and
+//! translation-lookup counts — both the paper's targets and what our
+//! generators actually produce.
+
+use super::app_traces;
+use crate::report::TextTable;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use utlb_trace::{GenConfig, SplashApp};
+
+/// One row of Table 3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Application.
+    pub app: SplashApp,
+    /// Problem size as quoted by the paper.
+    pub problem_size: String,
+    /// Paper's footprint target (4 KB pages).
+    pub target_footprint: u64,
+    /// Footprint of the generated trace.
+    pub measured_footprint: u64,
+    /// Paper's lookup target.
+    pub target_lookups: u64,
+    /// Lookups in the generated trace.
+    pub measured_lookups: u64,
+}
+
+/// Table 3: application characteristics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3 {
+    /// One row per application.
+    pub rows: Vec<Table3Row>,
+}
+
+/// Regenerates Table 3 by generating each trace and measuring it.
+pub fn table3(cfg: &GenConfig) -> Table3 {
+    let rows = app_traces(cfg)
+        .into_iter()
+        .map(|(app, trace)| {
+            let spec = app.spec();
+            Table3Row {
+                app,
+                problem_size: spec.problem_size.to_string(),
+                target_footprint: ((spec.footprint_pages as f64) * cfg.scale) as u64,
+                measured_footprint: trace.footprint_pages(),
+                target_lookups: ((spec.lookups as f64) * cfg.scale) as u64,
+                measured_lookups: trace.total_lookups(),
+            }
+        })
+        .collect();
+    Table3 { rows }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(
+            "Table 3: problem size, communication footprint (4 KB pages), lookups per node",
+        );
+        t.header([
+            "application",
+            "problem size",
+            "footprint (paper)",
+            "footprint (ours)",
+            "lookups (paper)",
+            "lookups (ours)",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.app.to_string(),
+                r.problem_size.clone(),
+                r.target_footprint.to_string(),
+                r.measured_footprint.to_string(),
+                r.target_lookups.to_string(),
+                r.measured_lookups.to_string(),
+            ]);
+        }
+        t.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_gen_config;
+    use super::*;
+
+    #[test]
+    fn all_apps_within_fifteen_percent_of_targets() {
+        let t = table3(&test_gen_config());
+        assert_eq!(t.rows.len(), 7);
+        for r in &t.rows {
+            let fp_err = (r.measured_footprint as f64 - r.target_footprint as f64).abs()
+                / r.target_footprint as f64;
+            let lk_err = (r.measured_lookups as f64 - r.target_lookups as f64).abs()
+                / r.target_lookups as f64;
+            assert!(fp_err < 0.15, "{}: footprint error {fp_err}", r.app);
+            assert!(lk_err < 0.15, "{}: lookup error {lk_err}", r.app);
+        }
+        assert!(t.to_string().contains("Table 3"));
+    }
+}

@@ -1,0 +1,55 @@
+//! One driver per table and figure of the paper's evaluation.
+//!
+//! Every driver takes the workload [`GenConfig`] (so tests can run scaled-
+//! down traces) and returns a typed result that renders as a paper-style
+//! text table via `Display` and serializes to JSON for archival in
+//! `EXPERIMENTS.md`.
+
+mod ablations;
+mod apps;
+mod assoc;
+mod breakdown;
+mod compare;
+mod micro;
+mod multiprog;
+mod prefetch;
+mod prepin;
+
+pub use ablations::{
+    assoc_cost, perproc_vs_shared, policy_sweep, variant_comparison, AssocCost, PerprocVsShared,
+    PolicySweep, VariantComparison,
+};
+pub use apps::{table3, Table3};
+pub use assoc::{table8, Organization, Table8};
+pub use breakdown::{fig7, Fig7, FIG7_SIZES};
+pub use compare::{table4, table5, table6, Table45, Table6};
+pub use micro::{table1, table2, Table1, Table2};
+pub use multiprog::{multiprog, Multiprog, MultiprogCell};
+pub use prefetch::{fig8, Fig8, FIG8_SIZES, PREFETCH_WIDTHS};
+pub use prepin::{prepin_sweep, table7, PrepinSweep, Table7};
+
+use utlb_trace::{gen, GenConfig, SplashApp, Trace};
+
+/// The cache sizes swept throughout §6: 1 K to 16 K entries.
+pub const CACHE_SIZES: [usize; 5] = [1024, 2048, 4096, 8192, 16384];
+
+/// The subset of sizes used by Table 6 and Figure 7.
+pub const SPARSE_SIZES: [usize; 3] = [1024, 4096, 16384];
+
+/// Generates the traces for all seven applications once, in the paper's
+/// table order.
+pub fn app_traces(cfg: &GenConfig) -> Vec<(SplashApp, Trace)> {
+    SplashApp::ALL
+        .iter()
+        .map(|app| (*app, gen::generate(*app, cfg)))
+        .collect()
+}
+
+#[cfg(test)]
+pub(crate) fn test_gen_config() -> GenConfig {
+    GenConfig {
+        seed: 7,
+        scale: 0.04,
+        app_processes: 4,
+    }
+}

@@ -1,0 +1,56 @@
+//! Trace-driven simulation of UTLB and the interrupt-based baseline.
+//!
+//! This crate is the reproduction of the paper's §6: it feeds the synthetic
+//! application traces (crate `utlb-trace`) through the *real* translation
+//! engines (crate `utlb-core`) running on the simulated host and NIC,
+//! derives the per-lookup statistics the paper reports, classifies NIC
+//! misses into compulsory/capacity/conflict (Figure 7), and packages one
+//! driver per table and figure:
+//!
+//! | Paper artifact | Driver |
+//! |---|---|
+//! | Table 1 (host-side costs) | [`experiments::table1`] |
+//! | Table 2 (NIC-side costs) | [`experiments::table2`] |
+//! | Table 3 (application characteristics) | [`experiments::table3`] |
+//! | Table 4 (UTLB vs Intr, infinite memory) | [`experiments::table4`] |
+//! | Table 5 (UTLB vs Intr, 4 MB limit) | [`experiments::table5`] |
+//! | Table 6 (average lookup cost) | [`experiments::table6`] |
+//! | Table 7 (prepinning) | [`experiments::table7`] |
+//! | Table 8 (size × associativity) | [`experiments::table8`] |
+//! | Figure 7 (3C breakdown) | [`experiments::fig7`] |
+//! | Figure 8 (prefetching) | [`experiments::fig8`] |
+//!
+//! Extension experiments the paper calls for but could not run are in
+//! `experiments::{policy_sweep, perproc_vs_shared, prepin_sweep, multiprog,
+//! assoc_cost, variant_comparison}`.
+//!
+//! # Example
+//!
+//! ```
+//! use utlb_sim::{run_intr, run_utlb, SimConfig};
+//! use utlb_trace::{gen, GenConfig, SplashApp};
+//!
+//! let cfg = GenConfig { seed: 1, scale: 0.03, app_processes: 4 };
+//! let trace = gen::generate(SplashApp::Water, &cfg);
+//! let sim = SimConfig::study(1024);
+//! let utlb = run_utlb(&trace, &sim);
+//! let intr = run_intr(&trace, &sim);
+//! // The paper's central comparison, in two calls:
+//! assert_eq!(utlb.stats.interrupts, 0);
+//! assert_eq!(intr.stats.interrupts, intr.stats.ni_misses);
+//! assert!(utlb.stats.unpins <= intr.stats.unpins);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod classify;
+mod config;
+pub mod experiments;
+mod report;
+mod runner;
+
+pub use classify::{MissBreakdown, MissClassifier, MissKind};
+pub use config::{Mechanism, SimConfig};
+pub use report::TextTable;
+pub use runner::{run_intr, run_utlb, SimResult};

@@ -1,0 +1,152 @@
+//! Plain-text table rendering for the experiment binaries.
+//!
+//! Every table/figure regenerator prints its result in the same row/column
+//! layout the paper uses, so output can be eyeballed against the original.
+
+use std::fmt;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title line.
+    pub fn new(title: impl Into<String>) -> Self {
+        TextTable {
+            title: title.into(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn header<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cols: I) -> &mut Self {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width (when a header
+    /// was set) — ragged tables are always a generator bug.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        if !self.header.is_empty() {
+            assert_eq!(
+                row.len(),
+                self.header.len(),
+                "row width {} != header width {}",
+                row.len(),
+                self.header.len()
+            );
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut w = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            w[i] = w[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        writeln!(f, "{}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (i, c) in cells.iter().enumerate() {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:<width$}", c, width = widths[i])?;
+                first = false;
+            }
+            writeln!(f)
+        };
+        if !self.header.is_empty() {
+            line(f, &self.header)?;
+            let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+            writeln!(f, "{}", "-".repeat(total))?;
+        }
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a rate with the paper's two decimal places.
+pub fn rate(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a cost in µs with one decimal place, as in Tables 1–2, 6–7.
+pub fn micros(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("Demo");
+        t.header(["app", "miss"]);
+        t.row(["fft", "0.25"]);
+        t.row(["water-spatial", "0.10"]);
+        let s = t.to_string();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("water-spatial"));
+        // Columns align: both rate cells start at the same offset.
+        let lines: Vec<&str> = s.lines().collect();
+        let pos = |l: &str, pat: &str| l.find(pat).unwrap();
+        assert_eq!(pos(lines[3], "0.25"), pos(lines[4], "0.10"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_panic() {
+        let mut t = TextTable::new("Bad");
+        t.header(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn formatters_match_paper_precision() {
+        assert_eq!(rate(0.254), "0.25");
+        assert_eq!(micros(27.04), "27.0");
+    }
+}

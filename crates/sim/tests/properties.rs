@@ -1,0 +1,121 @@
+//! Property-based tests of the simulation layer.
+
+use proptest::prelude::*;
+use utlb_mem::{ProcessId, VirtPage};
+use utlb_sim::{run_intr, run_utlb, MissClassifier, MissKind, SimConfig};
+use utlb_trace::{gen, GenConfig, SplashApp};
+
+/// A naive reference 3C classifier: an explicit fully-associative LRU list
+/// (O(n) per access) plus a seen-set.
+struct NaiveClassifier {
+    capacity: usize,
+    seen: std::collections::HashSet<(u32, u64)>,
+    lru: Vec<(u32, u64)>, // most recent last
+}
+
+impl NaiveClassifier {
+    fn new(capacity: usize) -> Self {
+        NaiveClassifier {
+            capacity,
+            seen: Default::default(),
+            lru: Vec::new(),
+        }
+    }
+
+    fn access(&mut self, pid: u32, vpn: u64, real_miss: bool) -> Option<MissKind> {
+        let key = (pid, vpn);
+        let kind = if real_miss {
+            Some(if !self.seen.contains(&key) {
+                MissKind::Compulsory
+            } else if self.lru.contains(&key) {
+                MissKind::Conflict
+            } else {
+                MissKind::Capacity
+            })
+        } else {
+            None
+        };
+        self.seen.insert(key);
+        self.lru.retain(|k| *k != key);
+        self.lru.push(key);
+        if self.lru.len() > self.capacity {
+            self.lru.remove(0);
+        }
+        kind
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The streaming classifier agrees with the naive O(n) reference on
+    /// arbitrary access/miss streams.
+    #[test]
+    fn classifier_matches_naive_reference(
+        capacity in 1usize..16,
+        stream in proptest::collection::vec((1u32..3, 0u64..24, any::<bool>()), 1..400),
+    ) {
+        let mut fast = MissClassifier::new(capacity);
+        let mut slow = NaiveClassifier::new(capacity);
+        for (pid, vpn, miss) in stream {
+            let a = fast.access(ProcessId::new(pid), VirtPage::new(vpn), miss);
+            let b = slow.access(pid, vpn, miss);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Cross-mechanism invariants hold for any cache geometry on any app.
+    #[test]
+    fn sim_invariants_hold_for_any_geometry(
+        seed in any::<u64>(),
+        entries_log in 5u32..12,
+        app_ix in 0usize..7,
+    ) {
+        let app = SplashApp::ALL[app_ix];
+        let cfg = GenConfig { seed, scale: 0.03, app_processes: 4 };
+        let trace = gen::generate(app, &cfg);
+        let sim = SimConfig::study(1 << entries_log);
+        let u = run_utlb(&trace, &sim);
+        let i = run_intr(&trace, &sim);
+        // Lookup conservation.
+        prop_assert_eq!(u.stats.lookups, trace.total_lookups());
+        prop_assert_eq!(i.stats.lookups, trace.total_lookups());
+        // Same cache, same miss stream.
+        prop_assert_eq!(u.stats.ni_misses, i.stats.ni_misses);
+        // UTLB never unpins or interrupts with infinite memory.
+        prop_assert_eq!(u.stats.unpins, 0);
+        prop_assert_eq!(u.stats.interrupts, 0);
+        // Intr: one interrupt per miss; pinned never exceeds cache size.
+        prop_assert_eq!(i.stats.interrupts, i.stats.ni_misses);
+        prop_assert!(i.stats.pins - i.stats.unpins <= (1 << entries_log));
+        // Classification covers exactly the misses.
+        prop_assert_eq!(u.breakdown.total(), u.stats.ni_misses);
+        // Check misses = compulsory pins with infinite memory.
+        prop_assert_eq!(u.stats.check_misses, u.stats.pins);
+        // Probe accounting: at least one probe per lookup, at most the ways.
+        let probes = u.probes_per_lookup();
+        prop_assert!((1.0..=1.0 + 1e-9).contains(&probes), "direct-mapped probes {probes}");
+    }
+
+    /// A memory limit is always respected and the pin/unpin ledger balances,
+    /// for any limit and policy.
+    #[test]
+    fn memory_limit_ledger_balances(
+        seed in any::<u64>(),
+        limit in 4u64..64,
+        policy_ix in 0usize..5,
+    ) {
+        let cfg = GenConfig { seed, scale: 0.03, app_processes: 4 };
+        let trace = gen::generate(SplashApp::Volrend, &cfg);
+        let sim = SimConfig {
+            policy: utlb_core::Policy::ALL[policy_ix],
+            mem_limit_pages: Some(limit),
+            ..SimConfig::study(1024)
+        };
+        let r = run_utlb(&trace, &sim);
+        prop_assert!(r.stats.pins >= r.stats.unpins);
+        // Per-process residency ≤ limit ⇒ total ≤ 5 × limit.
+        prop_assert!(r.stats.pins - r.stats.unpins <= 5 * limit);
+        prop_assert_eq!(r.stats.lookups, trace.total_lookups());
+    }
+}

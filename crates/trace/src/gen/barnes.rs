@@ -1,0 +1,72 @@
+//! Barnes: "the original Barnes-Hut algorithm for N-body simulation. Each
+//! process gets a partition of the particles ... Communication in this
+//! application is moderate as the particle partition exhibits spatial
+//! locality" (§6.1).
+//!
+//! Model: one covering pass (compulsory traffic for the partition), then a
+//! strongly local sliding-window walk for the many remaining touches
+//! (Table 3 gives ≈16 touches per page). The small instantaneous working
+//! set is what gives Barnes its low, gently size-dependent NIC miss rates
+//! (0.10 at 1 K entries down to 0.04 at 8 K, Table 4).
+
+use super::{emit_rotated, StreamPlan};
+use crate::synth::PatternBuilder;
+
+/// Step radius of the particle walk, in pages — small, so the walk's
+/// instantaneous working set stays far below even a 1 K-entry cache.
+pub const WINDOW: u64 = 3;
+
+/// Probability that the next access stays near the current position.
+pub const LOCALITY: f64 = 0.97;
+
+pub(super) fn fill(b: &mut PatternBuilder, plan: StreamPlan) {
+    if plan.span == 0 {
+        return;
+    }
+    // Covering pass, time-rotated per peer; the walk itself is already
+    // decorrelated by the per-process RNG seed.
+    let cover: Vec<u64> = (0..plan.span.min(plan.budget)).collect();
+    emit_rotated(b, &cover, plan);
+    let remaining = plan.budget.saturating_sub(plan.span);
+    b.local_walk(plan.span, remaining, WINDOW, LOCALITY);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utlb_mem::ProcessId;
+
+    #[test]
+    fn covers_partition_then_walks_locally() {
+        let mut b = PatternBuilder::new(ProcessId::new(1), 0, 1, 10);
+        fill(
+            &mut b,
+            StreamPlan {
+                phase: 0,
+                peers: 5,
+                span: 100,
+                budget: 1600,
+            },
+        );
+        let recs = b.finish();
+        assert_eq!(recs.len(), 1600);
+        let distinct: std::collections::HashSet<u64> =
+            recs.iter().map(|r| r.va.page().number()).collect();
+        assert_eq!(distinct.len(), 100);
+    }
+
+    #[test]
+    fn high_reuse_ratio() {
+        let mut b = PatternBuilder::new(ProcessId::new(1), 0, 1, 10);
+        fill(
+            &mut b,
+            StreamPlan {
+                phase: 0,
+                peers: 5,
+                span: 50,
+                budget: 800,
+            },
+        );
+        assert_eq!(b.len() as u64 / 50, 16, "≈16 touches per page");
+    }
+}

@@ -1,0 +1,190 @@
+//! Synthetic workload generators, one per SPLASH-2 application.
+//!
+//! Each generator produces one node's trace: `cfg.app_processes` application
+//! streams plus one SVM protocol-process stream (the paper ran 4 + 1 per
+//! SMP), merged by timestamp. Footprint and lookup totals are calibrated to
+//! Table 3 via [`SplashApp::spec`]; the access *shape* follows §6.1's
+//! description of each application.
+
+mod barnes;
+mod fft;
+mod lu;
+mod protocol;
+mod radix;
+mod raytrace;
+mod volrend;
+mod water;
+
+use crate::synth::{partition, GenConfig, PatternBuilder};
+use crate::{merge_streams, SplashApp, Trace, TraceRecord};
+use utlb_mem::ProcessId;
+
+/// Absolute virtual page where every process' communication region starts
+/// (256 MB in, comfortably inside the 4 GB directory coverage).
+pub const BASE_PAGE: u64 = 0x1_0000;
+
+/// Mean nanoseconds between requests of one process.
+const TS_STEP: u64 = 20_000;
+
+/// Targets for one process stream, handed to the per-app pattern functions.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StreamPlan {
+    /// Partition span in pages (the stream touches exactly these).
+    pub span: u64,
+    /// Lookup budget for the stream.
+    pub budget: u64,
+    /// This stream's index among its peers (0-based) — used to de-phase
+    /// SPMD sweeps: real processes are at different points of their data at
+    /// any instant, so generators time-rotate their sequences by
+    /// `phase / peers` of a period.
+    pub phase: u32,
+    /// Total peer streams.
+    pub peers: u32,
+}
+
+/// Emits `seq` time-rotated by `phase/peers` of its length: the stream
+/// starts mid-sequence and wraps, so lockstep peers never sweep in phase.
+pub(crate) fn emit_rotated(b: &mut PatternBuilder, seq: &[u64], plan: StreamPlan) {
+    if seq.is_empty() {
+        return;
+    }
+    let rot = (plan.phase as usize * seq.len()) / plan.peers.max(1) as usize;
+    for &p in seq[rot..].iter().chain(seq[..rot].iter()) {
+        b.page(p);
+    }
+}
+
+/// Generates the trace for `app` under `cfg`.
+///
+/// # Panics
+///
+/// Panics if `cfg.scale` is not positive or `cfg.app_processes` is zero.
+pub fn generate(app: SplashApp, cfg: &GenConfig) -> Trace {
+    assert!(cfg.scale > 0.0, "scale must be positive");
+    assert!(cfg.app_processes > 0, "need at least one application process");
+    let spec = app.spec();
+    let footprint = ((spec.footprint_pages as f64 * cfg.scale) as u64).max(cfg.total_processes() as u64);
+    let lookups = ((spec.lookups as f64 * cfg.scale) as u64).max(footprint);
+
+    let parts = partition(footprint, cfg.total_processes() as u64);
+    let budgets = partition(lookups, cfg.total_processes() as u64);
+
+    let mut streams: Vec<Vec<TraceRecord>> = Vec::new();
+    for (i, ((_offset, span), (_, budget))) in parts.iter().zip(budgets.iter()).enumerate() {
+        let pid = ProcessId::new(i as u32 + 1);
+        // Every process places its communication region at the same virtual
+        // base: the processes are SPMD instances of one program, so their
+        // heaps start at the same address in their separate address spaces.
+        // This is exactly why §3.2's process-dependent index offsetting
+        // matters — identical vpns from different processes would otherwise
+        // collide in the shared cache (the "direct-nohash" rows of Table 8).
+        let mut b = PatternBuilder::new(pid, BASE_PAGE, cfg.seed, TS_STEP);
+        let plan = StreamPlan {
+            span: *span,
+            budget: *budget,
+            phase: i as u32,
+            peers: cfg.total_processes(),
+        };
+        let is_protocol = i as u32 == cfg.app_processes;
+        if is_protocol {
+            protocol::fill(&mut b, plan);
+        } else {
+            match app {
+                SplashApp::Barnes => barnes::fill(&mut b, plan),
+                SplashApp::Fft => fft::fill(&mut b, plan),
+                SplashApp::Lu => lu::fill(&mut b, plan),
+                SplashApp::Radix => radix::fill(&mut b, plan),
+                SplashApp::Raytrace => raytrace::fill(&mut b, plan),
+                SplashApp::Volrend => volrend::fill(&mut b, plan),
+                SplashApp::Water => water::fill(&mut b, plan),
+            }
+        }
+        streams.push(b.finish());
+    }
+    let records = merge_streams(streams);
+    Trace::new(app.name(), cfg.seed, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> GenConfig {
+        GenConfig {
+            seed: 11,
+            scale: 0.05,
+            app_processes: 4,
+        }
+    }
+
+    #[test]
+    fn every_app_generates_a_nonempty_ordered_trace() {
+        for app in SplashApp::ALL {
+            let t = generate(app, &small_cfg());
+            assert!(!t.records.is_empty(), "{app}");
+            assert!(
+                t.records.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns),
+                "{app} out of order"
+            );
+            assert_eq!(t.process_ids().len(), 5, "{app}: 4 app + 1 protocol");
+        }
+    }
+
+    #[test]
+    fn footprint_and_lookups_track_table3_targets() {
+        let cfg = GenConfig {
+            seed: 3,
+            scale: 1.0,
+            app_processes: 4,
+        };
+        for app in [SplashApp::Fft, SplashApp::Lu, SplashApp::Water] {
+            let spec = app.spec();
+            let t = generate(app, &cfg);
+            let fp = t.footprint_pages() as f64;
+            let lk = t.total_lookups() as f64;
+            let fp_target = spec.footprint_pages as f64;
+            let lk_target = spec.lookups as f64;
+            assert!(
+                (fp - fp_target).abs() / fp_target < 0.15,
+                "{app}: footprint {fp} vs target {fp_target}"
+            );
+            assert!(
+                (lk - lk_target).abs() / lk_target < 0.15,
+                "{app}: lookups {lk} vs target {lk_target}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(SplashApp::Radix, &small_cfg());
+        let b = generate(SplashApp::Radix, &small_cfg());
+        assert_eq!(a, b);
+        let c = generate(
+            SplashApp::Radix,
+            &GenConfig {
+                seed: 12,
+                ..small_cfg()
+            },
+        );
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn regular_apps_have_low_reuse_irregular_high() {
+        let cfg = GenConfig {
+            seed: 5,
+            scale: 0.2,
+            app_processes: 4,
+        };
+        let lu = generate(SplashApp::Lu, &cfg);
+        let barnes = generate(SplashApp::Barnes, &cfg);
+        let reuse = |t: &Trace| t.total_lookups() as f64 / t.footprint_pages() as f64;
+        assert!(
+            reuse(&barnes) > 2.0 * reuse(&lu),
+            "barnes reuse {} vs lu {}",
+            reuse(&barnes),
+            reuse(&lu)
+        );
+    }
+}

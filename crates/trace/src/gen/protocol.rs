@@ -1,0 +1,62 @@
+//! The SVM protocol process.
+//!
+//! The paper's traces come from "four application processes and a protocol
+//! process" per SMP, all using Myrinet (§6). The home-based release-
+//! consistency protocol process forwards page updates (page-sized sends
+//! over its partition) and exchanges frequent small lock/barrier messages
+//! on a few hot pages.
+
+use super::StreamPlan;
+use crate::synth::PatternBuilder;
+
+/// Number of hot control pages (locks, barriers, queue heads).
+pub const HOT_PAGES: u64 = 4;
+
+/// One in `CONTROL_EVERY` requests is a small control message.
+pub const CONTROL_EVERY: u64 = 4;
+
+pub(super) fn fill(b: &mut PatternBuilder, plan: StreamPlan) {
+    if plan.span == 0 {
+        return;
+    }
+    // Cover the diff/page area once.
+    let cover = plan.span.min(plan.budget);
+    b.sequential(0, cover);
+    let mut remaining = plan.budget.saturating_sub(cover);
+    let hot = HOT_PAGES.min(plan.span);
+    let mut k = 0u64;
+    while remaining > 0 {
+        if k.is_multiple_of(CONTROL_EVERY) {
+            b.small(k % hot, 64);
+        } else {
+            // Page update traffic walks the partition cyclically.
+            b.page((k * 7) % plan.span);
+        }
+        k += 1;
+        remaining -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utlb_mem::ProcessId;
+
+    #[test]
+    fn covers_and_spends_budget() {
+        let mut b = PatternBuilder::new(ProcessId::new(5), 0, 1, 10);
+        fill(
+            &mut b,
+            StreamPlan {
+                phase: 0,
+                peers: 5,
+                span: 200,
+                budget: 800,
+            },
+        );
+        let recs = b.finish();
+        assert_eq!(recs.len(), 800);
+        let small = recs.iter().filter(|r| r.nbytes < 4096).count();
+        assert!(small > 100, "control messages present: {small}");
+    }
+}

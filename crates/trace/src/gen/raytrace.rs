@@ -1,0 +1,78 @@
+//! Raytrace: "uses a task-farm model to raytrace a scene. Communication in
+//! Raytrace revolves around the task queues" (§6.1); irregular (§6.5).
+//!
+//! Model: one covering pass of the scene partition, then random task tiles
+//! grabbed from the queue, interleaved with very frequent small messages on
+//! the handful of task-queue pages themselves.
+
+use super::StreamPlan;
+use crate::synth::PatternBuilder;
+
+/// Task tile size in pages.
+pub const TILE: u64 = 8;
+
+/// One in `QUEUE_EVERY` accesses is a task-queue control message.
+pub const QUEUE_EVERY: u64 = 16;
+
+pub(super) fn fill(b: &mut PatternBuilder, plan: StreamPlan) {
+    if plan.span == 0 {
+        return;
+    }
+    let cover = plan.span.min(plan.budget);
+    b.sequential(0, cover);
+    let mut remaining = plan.budget.saturating_sub(cover);
+    // Interleave tile bursts with queue messages.
+    while remaining > 0 {
+        let burst = QUEUE_EVERY.min(remaining);
+        if burst > 1 {
+            b.task_tiles(plan.span, burst - 1, TILE);
+        }
+        b.small(0, 128); // task-queue page
+        remaining -= burst;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utlb_mem::ProcessId;
+
+    #[test]
+    fn covers_and_spends_budget() {
+        let mut b = PatternBuilder::new(ProcessId::new(1), 0, 1, 10);
+        fill(
+            &mut b,
+            StreamPlan {
+                phase: 0,
+                peers: 5,
+                span: 630,
+                budget: 1460,
+            },
+        );
+        let recs = b.finish();
+        assert_eq!(recs.len(), 1460);
+        let distinct: std::collections::HashSet<u64> =
+            recs.iter().map(|r| r.va.page().number()).collect();
+        assert_eq!(distinct.len(), 630);
+    }
+
+    #[test]
+    fn queue_page_is_hot() {
+        let mut b = PatternBuilder::new(ProcessId::new(1), 0, 1, 10);
+        fill(
+            &mut b,
+            StreamPlan {
+                phase: 0,
+                peers: 5,
+                span: 100,
+                budget: 500,
+            },
+        );
+        let recs = b.finish();
+        let queue_hits = recs
+            .iter()
+            .filter(|r| r.va.page().number() == 0 && r.nbytes < 4096)
+            .count();
+        assert!(queue_hits >= 20, "queue messages: {queue_hits}");
+    }
+}

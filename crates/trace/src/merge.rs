@@ -1,0 +1,91 @@
+//! Merging per-process streams into one node trace.
+//!
+//! The paper: "Time stamps are used to serialize the traces from the five
+//! processes on each SMP." This is a k-way merge by timestamp; ties break by
+//! process id and then by stream position, which keeps the merge total and
+//! deterministic.
+
+use crate::TraceRecord;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Merges per-process record streams (each already in timestamp order) into
+/// one globally ordered stream.
+///
+/// # Panics
+///
+/// Panics if any individual stream is out of order — generator bugs should
+/// fail loudly.
+pub fn merge_streams(streams: Vec<Vec<TraceRecord>>) -> Vec<TraceRecord> {
+    for s in &streams {
+        assert!(
+            s.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns),
+            "input stream out of timestamp order"
+        );
+    }
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut heads: Vec<std::iter::Peekable<std::vec::IntoIter<TraceRecord>>> =
+        streams.into_iter().map(|s| s.into_iter().peekable()).collect();
+    let mut heap: BinaryHeap<Reverse<(u64, u32, usize)>> = BinaryHeap::new();
+    for (i, h) in heads.iter_mut().enumerate() {
+        if let Some(r) = h.peek() {
+            heap.push(Reverse((r.ts_ns, r.pid.raw(), i)));
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse((_, _, i))) = heap.pop() {
+        let rec = heads[i].next().expect("stream head exists");
+        out.push(rec);
+        if let Some(r) = heads[i].peek() {
+            heap.push(Reverse((r.ts_ns, r.pid.raw(), i)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Op;
+    use utlb_mem::{ProcessId, VirtAddr};
+
+    fn rec(ts: u64, pid: u32) -> TraceRecord {
+        TraceRecord {
+            ts_ns: ts,
+            pid: ProcessId::new(pid),
+            op: Op::Send,
+            va: VirtAddr::new(0),
+            nbytes: 64,
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_timestamp() {
+        let a = vec![rec(0, 1), rec(20, 1), rec(40, 1)];
+        let b = vec![rec(10, 2), rec(30, 2)];
+        let merged = merge_streams(vec![a, b]);
+        let ts: Vec<u64> = merged.iter().map(|r| r.ts_ns).collect();
+        assert_eq!(ts, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn ties_break_by_pid_deterministically() {
+        let a = vec![rec(5, 2)];
+        let b = vec![rec(5, 1)];
+        let merged = merge_streams(vec![a, b]);
+        assert_eq!(merged[0].pid.raw(), 1);
+        assert_eq!(merged[1].pid.raw(), 2);
+    }
+
+    #[test]
+    fn empty_streams_are_fine() {
+        assert!(merge_streams(vec![]).is_empty());
+        assert_eq!(merge_streams(vec![vec![], vec![rec(1, 1)]]).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of timestamp order")]
+    fn unsorted_input_panics() {
+        merge_streams(vec![vec![rec(10, 1), rec(5, 1)]]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Pattern primitives shared by the workload generators.
+//!
+//! Generators compose a handful of access shapes — sequential passes,
+//! strided passes, sliding-window walks, task tiles, random scatters — into
+//! per-process record streams. The primitives guarantee two calibration
+//! properties the study depends on:
+//!
+//! * the *footprint* of a process equals exactly the page partition it was
+//!   given (generators cover their partition), and
+//! * the *lookup count* tracks the per-process budget.
+
+use crate::record::send_page;
+use crate::TraceRecord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use utlb_mem::{ProcessId, VirtAddr};
+
+/// Generation parameters shared by all workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// RNG seed; equal seeds produce byte-identical traces.
+    pub seed: u64,
+    /// Scales footprint and lookup targets (1.0 = the paper's Table 3).
+    pub scale: f64,
+    /// Application processes per node (the paper ran 4 plus a protocol
+    /// process; the protocol process is always added on top of these).
+    pub app_processes: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 0x5EED,
+            scale: 1.0,
+            app_processes: 4,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Total process streams generated (apps + 1 protocol process).
+    pub fn total_processes(&self) -> u32 {
+        self.app_processes + 1
+    }
+}
+
+/// Builds one process' record stream.
+#[derive(Debug)]
+pub struct PatternBuilder {
+    pid: ProcessId,
+    base_page: u64,
+    rng: StdRng,
+    records: Vec<TraceRecord>,
+    next_ts: u64,
+    ts_step: u64,
+}
+
+impl PatternBuilder {
+    /// Creates a builder for `pid` whose partition starts at absolute
+    /// virtual page `base_page`. `ts_step` is the mean inter-request gap in
+    /// nanoseconds; a ±25% jitter decorrelates the process streams.
+    pub fn new(pid: ProcessId, base_page: u64, seed: u64, ts_step: u64) -> Self {
+        PatternBuilder {
+            pid,
+            base_page,
+            rng: StdRng::seed_from_u64(seed ^ (pid.raw() as u64) << 32),
+            records: Vec::new(),
+            next_ts: 0,
+            ts_step: ts_step.max(1),
+        }
+    }
+
+    fn advance_ts(&mut self) -> u64 {
+        let jitter = self.ts_step / 4;
+        let dt = if jitter > 0 {
+            self.ts_step - jitter + self.rng.gen_range(0..=2 * jitter)
+        } else {
+            self.ts_step
+        };
+        let ts = self.next_ts;
+        self.next_ts += dt;
+        ts
+    }
+
+    /// Number of records emitted so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Emits a one-page send of partition-relative page `rel`.
+    pub fn page(&mut self, rel: u64) {
+        let ts = self.advance_ts();
+        self.records.push(send_page(ts, self.pid, self.base_page + rel));
+    }
+
+    /// Emits a small (sub-page) control message on partition-relative page
+    /// `rel` — lock/barrier traffic in the SVM protocol.
+    pub fn small(&mut self, rel: u64, nbytes: u64) {
+        debug_assert!(nbytes < utlb_mem::PAGE_SIZE);
+        let ts = self.advance_ts();
+        self.records.push(TraceRecord {
+            ts_ns: ts,
+            pid: self.pid,
+            op: crate::Op::Send,
+            va: VirtAddr::new((self.base_page + rel) * utlb_mem::PAGE_SIZE),
+            nbytes,
+        });
+    }
+
+    /// One sequential pass over `[start, start + count)`.
+    pub fn sequential(&mut self, start: u64, count: u64) {
+        for i in 0..count {
+            self.page(start + i);
+        }
+    }
+
+    /// One strided pass over `[start, start + count)`: visits residue class
+    /// 0 first (0, s, 2s, …), then class 1, and so on — every page exactly
+    /// once, in FFT-transpose order.
+    pub fn strided(&mut self, start: u64, count: u64, stride: u64) {
+        let stride = stride.max(1);
+        for phase in 0..stride {
+            let mut i = phase;
+            while i < count {
+                self.page(start + i);
+                i += stride;
+            }
+        }
+    }
+
+    /// `count` accesses by a slow random walk over `[0, span)`: with
+    /// probability `locality` the position drifts by at most ±`step` pages,
+    /// otherwise it jumps uniformly. A *small* step keeps the instantaneous
+    /// working set tight (reuse distances short) while the walk still
+    /// wanders the whole partition over time — the access shape of a
+    /// Barnes-Hut particle partition with spatial locality.
+    pub fn local_walk(&mut self, span: u64, count: u64, step: u64, locality: f64) {
+        let step = step.max(1) as i64;
+        let mut pos = 0i64;
+        let max = span.saturating_sub(1) as i64;
+        for _ in 0..count {
+            if self.rng.gen_bool(locality.clamp(0.0, 1.0)) {
+                pos = (pos + self.rng.gen_range(-step..=step)).clamp(0, max);
+            } else {
+                pos = self.rng.gen_range(0..span) as i64;
+            }
+            self.page(pos as u64);
+        }
+    }
+
+    /// `count` uniformly random single-page accesses over `[0, span)` — the
+    /// all-to-all permutation phase of Radix.
+    pub fn scatter(&mut self, span: u64, count: u64) {
+        for _ in 0..count {
+            let p = self.rng.gen_range(0..span);
+            self.page(p);
+        }
+    }
+
+    /// Task-farm access: repeatedly grab a random tile of `tile` contiguous
+    /// pages inside `[0, span)` and walk it, until ~`count` accesses were
+    /// made. Models Raytrace/Volrend task queues.
+    pub fn task_tiles(&mut self, span: u64, count: u64, tile: u64) {
+        let tile = tile.max(1).min(span);
+        let mut done = 0u64;
+        while done < count {
+            let start = self.rng.gen_range(0..=span - tile);
+            let n = tile.min(count - done);
+            for i in 0..n {
+                self.page(start + i);
+            }
+            done += n;
+        }
+    }
+
+    /// Finishes the stream (records are in timestamp order by construction).
+    pub fn finish(self) -> Vec<TraceRecord> {
+        self.records
+    }
+}
+
+/// Splits a footprint of `total` pages into `parts` contiguous partitions;
+/// returns `(offset, len)` pairs covering `total` exactly.
+pub(crate) fn partition(total: u64, parts: u64) -> Vec<(u64, u64)> {
+    assert!(parts > 0);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts as usize);
+    let mut off = 0;
+    for i in 0..parts {
+        let len = base + u64::from(i < extra);
+        out.push((off, len));
+        off += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn distinct_pages(records: &[TraceRecord]) -> HashSet<u64> {
+        records.iter().map(|r| r.va.page().number()).collect()
+    }
+
+    fn builder() -> PatternBuilder {
+        PatternBuilder::new(ProcessId::new(1), 1000, 7, 100)
+    }
+
+    #[test]
+    fn sequential_covers_exactly_once() {
+        let mut b = builder();
+        b.sequential(0, 50);
+        let recs = b.finish();
+        assert_eq!(recs.len(), 50);
+        assert_eq!(distinct_pages(&recs).len(), 50);
+        assert_eq!(recs[0].va.page().number(), 1000);
+        assert!(recs.windows(2).all(|w| w[0].ts_ns < w[1].ts_ns));
+    }
+
+    #[test]
+    fn strided_covers_exactly_once_in_class_order() {
+        let mut b = builder();
+        b.strided(0, 10, 4);
+        let recs = b.finish();
+        let pages: Vec<u64> = recs.iter().map(|r| r.va.page().number() - 1000).collect();
+        assert_eq!(pages, vec![0, 4, 8, 1, 5, 9, 2, 6, 3, 7]);
+    }
+
+    #[test]
+    fn local_walk_stays_in_span_and_is_local() {
+        let mut b = builder();
+        b.local_walk(1000, 500, 8, 0.95);
+        let recs = b.finish();
+        assert_eq!(recs.len(), 500);
+        for r in &recs {
+            let p = r.va.page().number() - 1000;
+            assert!(p < 1000);
+        }
+        // Strong locality: consecutive accesses are mostly near each other.
+        let near = recs
+            .windows(2)
+            .filter(|w| {
+                let a = w[0].va.page().number() as i64;
+                let b = w[1].va.page().number() as i64;
+                (a - b).abs() <= 16
+            })
+            .count();
+        assert!(near > 350, "only {near}/499 near transitions");
+    }
+
+    #[test]
+    fn scatter_and_tiles_respect_span_and_count() {
+        let mut b = builder();
+        b.scatter(100, 250);
+        b.task_tiles(100, 97, 8);
+        let recs = b.finish();
+        assert_eq!(recs.len(), 250 + 97);
+        for r in &recs {
+            assert!(r.va.page().number() - 1000 < 100);
+        }
+    }
+
+    #[test]
+    fn small_messages_are_sub_page() {
+        let mut b = builder();
+        b.small(3, 64);
+        let recs = b.finish();
+        assert_eq!(recs[0].nbytes, 64);
+        assert_eq!(recs[0].lookups(), 1);
+    }
+
+    #[test]
+    fn partition_is_exact_and_contiguous() {
+        let parts = partition(103, 5);
+        assert_eq!(parts.len(), 5);
+        assert_eq!(parts.iter().map(|(_, l)| l).sum::<u64>(), 103);
+        let mut expect_off = 0;
+        for (off, len) in parts {
+            assert_eq!(off, expect_off);
+            expect_off += len;
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = PatternBuilder::new(ProcessId::new(2), 0, 9, 50);
+        let mut b = PatternBuilder::new(ProcessId::new(2), 0, 9, 50);
+        a.scatter(1000, 100);
+        b.scatter(1000, 100);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

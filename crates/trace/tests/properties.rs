@@ -1,0 +1,86 @@
+//! Property-based tests of trace generation and serialization.
+
+use proptest::prelude::*;
+use utlb_trace::{gen, merge_streams, read_jsonl, write_jsonl, GenConfig, SplashApp};
+
+fn any_app() -> impl Strategy<Value = SplashApp> {
+    prop_oneof![
+        Just(SplashApp::Barnes),
+        Just(SplashApp::Fft),
+        Just(SplashApp::Lu),
+        Just(SplashApp::Radix),
+        Just(SplashApp::Raytrace),
+        Just(SplashApp::Volrend),
+        Just(SplashApp::Water),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated trace, at any seed/scale, is timestamp-ordered,
+    /// covers a footprint close to its scaled Table 3 target, and spends a
+    /// lookup budget close to target.
+    #[test]
+    fn generated_traces_hit_targets(
+        app in any_app(),
+        seed in any::<u64>(),
+        scale in 0.02f64..0.3,
+    ) {
+        let cfg = GenConfig { seed, scale, app_processes: 4 };
+        let t = gen::generate(app, &cfg);
+        prop_assert!(t.records.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        let spec = app.spec();
+        let fp_target = (spec.footprint_pages as f64 * scale).max(5.0);
+        let lk_target = (spec.lookups as f64 * scale).max(5.0);
+        let fp = t.footprint_pages() as f64;
+        let lk = t.total_lookups() as f64;
+        prop_assert!((fp - fp_target).abs() / fp_target < 0.25,
+            "{app}: footprint {fp} vs {fp_target}");
+        prop_assert!((lk - lk_target).abs() / lk_target < 0.25,
+            "{app}: lookups {lk} vs {lk_target}");
+        // Five processes, always.
+        prop_assert_eq!(t.process_ids().len(), 5);
+    }
+
+    /// JSONL serialization roundtrips every generated trace bit-exactly.
+    #[test]
+    fn jsonl_roundtrip(app in any_app(), seed in any::<u64>()) {
+        let cfg = GenConfig { seed, scale: 0.02, app_processes: 4 };
+        let t = gen::generate(app, &cfg);
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    /// Merging is a permutation: the multiset of records is preserved and
+    /// the output is sorted.
+    #[test]
+    fn merge_is_sorted_permutation(app in any_app(), seed in any::<u64>()) {
+        let cfg = GenConfig { seed, scale: 0.02, app_processes: 4 };
+        let t = gen::generate(app, &cfg);
+        // Split by pid, then re-merge.
+        let pids = t.process_ids();
+        let streams: Vec<Vec<_>> = pids
+            .iter()
+            .map(|p| t.records.iter().filter(|r| r.pid == *p).copied().collect())
+            .collect();
+        let merged = merge_streams(streams);
+        prop_assert_eq!(merged.len(), t.records.len());
+        prop_assert!(merged.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        let mut a = merged.clone();
+        let mut b = t.records.clone();
+        let key = |r: &utlb_trace::TraceRecord| (r.ts_ns, r.pid.raw(), r.va.raw(), r.nbytes);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Generation is a pure function of (app, config).
+    #[test]
+    fn generation_deterministic(app in any_app(), seed in any::<u64>()) {
+        let cfg = GenConfig { seed, scale: 0.02, app_processes: 4 };
+        prop_assert_eq!(gen::generate(app, &cfg), gen::generate(app, &cfg));
+    }
+}

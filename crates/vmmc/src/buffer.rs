@@ -1,0 +1,98 @@
+//! Export and import handles.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use utlb_mem::{ProcessId, VirtAddr};
+use utlb_nic::NodeId;
+
+/// Handle to an exported receive buffer, scoped to its owning node.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ExportId(pub u32);
+
+impl fmt::Display for ExportId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "export:{}", self.0)
+    }
+}
+
+/// Handle to an imported remote buffer, scoped to the importing node.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ImportId(pub u32);
+
+impl fmt::Display for ImportId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "import:{}", self.0)
+    }
+}
+
+/// An exported receive buffer (paper Figure 5).
+///
+/// The buffer lives in the exporting process' virtual address space; export
+/// pins it through the UTLB so arriving data can be delivered by DMA with a
+/// table lookup and no host involvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Export {
+    /// Owning process on the exporting node.
+    pub pid: ProcessId,
+    /// Buffer start in the owner's virtual address space.
+    pub va: VirtAddr,
+    /// Buffer length in bytes.
+    pub len: u64,
+    /// Redirection target, if the application installed one (§4.1):
+    /// incoming data is delivered at this address instead of `va`.
+    pub redirect: Option<VirtAddr>,
+    /// Permission key importers must present (§2: virtualized interfaces
+    /// "typically deal with protection by using a permission key").
+    /// [`PUBLIC_KEY`] means anyone may import.
+    pub key: u32,
+}
+
+/// The permission key of unrestricted exports.
+pub const PUBLIC_KEY: u32 = 0;
+
+impl Export {
+    /// The delivery base address, honouring any redirection.
+    pub fn delivery_va(&self) -> VirtAddr {
+        self.redirect.unwrap_or(self.va)
+    }
+}
+
+/// An imported remote buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Import {
+    /// The node the buffer lives on.
+    pub remote: NodeId,
+    /// The export handle on that node.
+    pub export: ExportId,
+    /// Length in bytes, learned at import time for local bounds checks.
+    pub len: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redirect_changes_delivery_address() {
+        let mut e = Export {
+            pid: ProcessId::new(1),
+            va: VirtAddr::new(0x1000),
+            len: 4096,
+            redirect: None,
+            key: PUBLIC_KEY,
+        };
+        assert_eq!(e.delivery_va(), VirtAddr::new(0x1000));
+        e.redirect = Some(VirtAddr::new(0x9000));
+        assert_eq!(e.delivery_va(), VirtAddr::new(0x9000));
+    }
+
+    #[test]
+    fn handles_display() {
+        assert_eq!(ExportId(4).to_string(), "export:4");
+        assert_eq!(ImportId(2).to_string(), "import:2");
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for the VMMC layer.
+
+use crate::{ExportId, ImportId};
+use std::error::Error;
+use std::fmt;
+use utlb_nic::NodeId;
+
+/// Errors produced by VMMC operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmmcError {
+    /// A node index was out of range for the cluster.
+    UnknownNode(u32),
+    /// The export handle does not exist on the addressed node.
+    UnknownExport(ExportId),
+    /// The import handle does not exist on the requesting node.
+    UnknownImport(ImportId),
+    /// An import presented the wrong permission key.
+    PermissionDenied(ExportId),
+    /// A transfer would run past the end of the exported buffer.
+    OutOfBounds {
+        /// Offset requested.
+        offset: u64,
+        /// Length requested.
+        nbytes: u64,
+        /// Exported buffer size.
+        export_len: u64,
+    },
+    /// Underlying UTLB failure.
+    Utlb(utlb_core::UtlbError),
+    /// Underlying host-memory failure.
+    Mem(utlb_mem::MemError),
+    /// Underlying NIC failure (including reliable-delivery give-up).
+    Nic(utlb_nic::NicError),
+    /// The cluster failed to drain in-flight traffic (a dead link without
+    /// remapping, for example).
+    Stalled {
+        /// Node that still had work pending.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for VmmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmmcError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            VmmcError::UnknownExport(e) => write!(f, "unknown export {e}"),
+            VmmcError::UnknownImport(i) => write!(f, "unknown import {i}"),
+            VmmcError::PermissionDenied(e) => {
+                write!(f, "permission denied importing {e}: wrong key")
+            }
+            VmmcError::OutOfBounds {
+                offset,
+                nbytes,
+                export_len,
+            } => write!(
+                f,
+                "transfer [{offset}, {offset}+{nbytes}) exceeds exported buffer of {export_len} bytes"
+            ),
+            VmmcError::Utlb(e) => write!(f, "utlb error: {e}"),
+            VmmcError::Mem(e) => write!(f, "memory error: {e}"),
+            VmmcError::Nic(e) => write!(f, "nic error: {e}"),
+            VmmcError::Stalled { node } => write!(f, "cluster stalled with work pending at {node}"),
+        }
+    }
+}
+
+impl Error for VmmcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VmmcError::Utlb(e) => Some(e),
+            VmmcError::Mem(e) => Some(e),
+            VmmcError::Nic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<utlb_core::UtlbError> for VmmcError {
+    fn from(e: utlb_core::UtlbError) -> Self {
+        VmmcError::Utlb(e)
+    }
+}
+
+impl From<utlb_mem::MemError> for VmmcError {
+    fn from(e: utlb_mem::MemError) -> Self {
+        VmmcError::Mem(e)
+    }
+}
+
+impl From<utlb_nic::NicError> for VmmcError {
+    fn from(e: utlb_nic::NicError) -> Self {
+        VmmcError::Nic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_wiring() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<VmmcError>();
+        let e = VmmcError::from(utlb_mem::MemError::OutOfFrames);
+        assert!(e.source().is_some());
+        assert!(VmmcError::UnknownNode(3).to_string().contains("3"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Virtual Memory-Mapped Communication (VMMC) on the simulated cluster.
+//!
+//! VMMC (paper §4.1) is the protected user-level communication model the
+//! UTLB was built for: an application **exports** a receive buffer in its
+//! virtual address space; a remote application **imports** it and can then
+//! perform a **remote store** — data moves from the sender's virtual memory
+//! directly into the receiver's virtual memory with no copies through
+//! system buffers and no OS on the data path. The VMMC-2 extensions are
+//! implemented too:
+//!
+//! * **remote fetch** — pull data from an imported buffer into local memory,
+//! * **transfer redirection** — the receiver points incoming data for an
+//!   export at a different local buffer, enabling zero-copy high-level APIs,
+//! * **reliable communication** — a data-link retransmission protocol
+//!   between the NICs, with dynamic node remapping.
+//!
+//! Address translation on every data path goes through the UTLB engine
+//! (crate `utlb-core`): the first use of a buffer pins it and installs
+//! translations; every later use is a pure user-level + NIC-cache fast
+//! path. This crate is the integration proof that the mechanism moves real
+//! bytes end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use utlb_vmmc::Cluster;
+//! use utlb_mem::VirtAddr;
+//!
+//! # fn main() -> Result<(), utlb_vmmc::VmmcError> {
+//! let mut cluster = Cluster::new(2)?;
+//! let sender = cluster.spawn_process(0)?;
+//! let receiver = cluster.spawn_process(1)?;
+//!
+//! // Receiver exports a 2-page buffer; sender imports it.
+//! let export = cluster.export(1, receiver, VirtAddr::new(0x4000_0000), 8192)?;
+//! let import = cluster.import(0, sender, 1, export)?;
+//!
+//! // Remote store straight from the sender's virtual memory.
+//! cluster.write_local(0, sender, VirtAddr::new(0x1000_0000), b"hello vmmc")?;
+//! cluster.remote_store(0, sender, import, VirtAddr::new(0x1000_0000), 0, 10)?;
+//! cluster.run_until_quiet()?;
+//!
+//! let mut buf = [0u8; 10];
+//! cluster.read_local(1, receiver, VirtAddr::new(0x4000_0000), &mut buf)?;
+//! assert_eq!(&buf, b"hello vmmc");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod buffer;
+mod cluster;
+mod error;
+mod node;
+
+pub use buffer::{Export, ExportId, Import, ImportId, PUBLIC_KEY};
+pub use cluster::Cluster;
+pub use error::VmmcError;
+pub use node::Node;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, VmmcError>;

@@ -1,0 +1,191 @@
+//! One cluster node: host + NIC + UTLB engine + VMMC firmware state.
+
+use crate::buffer::{Export, ExportId, Import, ImportId};
+use crate::{Result, VmmcError};
+use std::collections::HashMap;
+use utlb_core::{UtlbConfig, UtlbEngine};
+use utlb_mem::{Host, ProcessId, VirtAddr, VirtPage};
+use utlb_nic::reliable::{ReliableReceiver, ReliableSender};
+use utlb_nic::{Board, NodeId};
+
+/// A pending remote fetch awaiting its reply fragments.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingFetch {
+    /// Process that issued the fetch.
+    pub pid: ProcessId,
+    /// Local buffer the reply lands in.
+    pub local_va: VirtAddr,
+    /// Bytes still outstanding.
+    pub remaining: u64,
+}
+
+/// One node of the cluster.
+///
+/// Owns the simulated host machine, the NIC board, the UTLB engine that
+/// performs all address translation, and the firmware-level VMMC state:
+/// export/import tables, reliable channels to peer nodes, and pending
+/// fetches.
+#[derive(Debug)]
+pub struct Node {
+    pub(crate) id: NodeId,
+    pub(crate) host: Host,
+    pub(crate) board: Board,
+    pub(crate) utlb: UtlbEngine,
+    pub(crate) exports: HashMap<u32, Export>,
+    pub(crate) imports: HashMap<u32, Import>,
+    pub(crate) senders: HashMap<u32, ReliableSender>,
+    pub(crate) receiver: ReliableReceiver,
+    pub(crate) pending_fetches: HashMap<u32, PendingFetch>,
+    pub(crate) held: Vec<(ProcessId, VirtPage, u64)>,
+    next_export: u32,
+    next_import: u32,
+    next_ticket: u32,
+}
+
+/// Host DRAM frames per node.
+const NODE_FRAMES: u64 = 1 << 18;
+
+impl Node {
+    /// Creates a node with a fresh host, board, and UTLB engine.
+    pub fn new(id: NodeId, utlb_cfg: UtlbConfig) -> Self {
+        Node {
+            id,
+            host: Host::new(NODE_FRAMES),
+            board: Board::new(),
+            utlb: UtlbEngine::new(utlb_cfg),
+            exports: HashMap::new(),
+            imports: HashMap::new(),
+            senders: HashMap::new(),
+            receiver: ReliableReceiver::new(),
+            pending_fetches: HashMap::new(),
+            held: Vec::new(),
+            next_export: 1,
+            next_import: 1,
+            next_ticket: 1,
+        }
+    }
+
+    /// The node's network identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The simulated host machine.
+    pub fn host(&self) -> &Host {
+        &self.host
+    }
+
+    /// Mutable host access — for simulation-harness experiments such as
+    /// injecting OS paging pressure ([`Host::reclaim_page`]) underneath
+    /// live communication.
+    pub fn host_mut(&mut self) -> &mut Host {
+        &mut self.host
+    }
+
+    /// The NIC board (clock, DMA and interrupt counters).
+    pub fn board(&self) -> &Board {
+        &self.board
+    }
+
+    /// The UTLB engine (translation statistics).
+    pub fn utlb(&self) -> &UtlbEngine {
+        &self.utlb
+    }
+
+    pub(crate) fn alloc_export(&mut self, export: Export) -> ExportId {
+        let id = ExportId(self.next_export);
+        self.next_export += 1;
+        self.exports.insert(id.0, export);
+        id
+    }
+
+    pub(crate) fn alloc_import(&mut self, import: Import) -> ImportId {
+        let id = ImportId(self.next_import);
+        self.next_import += 1;
+        self.imports.insert(id.0, import);
+        id
+    }
+
+    pub(crate) fn alloc_ticket(&mut self, pending: PendingFetch) -> u32 {
+        let t = self.next_ticket;
+        self.next_ticket += 1;
+        self.pending_fetches.insert(t, pending);
+        t
+    }
+
+    pub(crate) fn export(&self, id: ExportId) -> Result<&Export> {
+        self.exports.get(&id.0).ok_or(VmmcError::UnknownExport(id))
+    }
+
+    pub(crate) fn import(&self, id: ImportId) -> Result<&Import> {
+        self.imports.get(&id.0).ok_or(VmmcError::UnknownImport(id))
+    }
+
+    pub(crate) fn sender_to(&mut self, dst: NodeId) -> &mut ReliableSender {
+        let src = self.id;
+        self.senders
+            .entry(dst.raw())
+            .or_insert_with(|| ReliableSender::new(src, dst, 16))
+    }
+
+    /// Whether all reliable channels are drained.
+    pub(crate) fn drained(&self) -> bool {
+        self.senders.values().all(ReliableSender::is_drained)
+    }
+
+    /// Holds a page run against eviction for the duration of a transfer.
+    pub(crate) fn hold(&mut self, pid: ProcessId, start: VirtPage, npages: u64) -> Result<()> {
+        self.utlb.hold_pages(pid, start, npages)?;
+        self.held.push((pid, start, npages));
+        Ok(())
+    }
+
+    /// Releases every outstanding-transfer hold (called once the cluster is
+    /// quiet — all sends delivered and acknowledged).
+    pub(crate) fn release_all_holds(&mut self) -> Result<()> {
+        for (pid, start, npages) in std::mem::take(&mut self.held) {
+            self.utlb.release_pages(pid, start, npages)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_sequential_and_resolvable() {
+        let mut n = Node::new(NodeId::new(0), UtlbConfig::default());
+        let pid = n.host.spawn_process();
+        let e = n.alloc_export(Export {
+            pid,
+            va: VirtAddr::new(0x1000),
+            len: 4096,
+            redirect: None,
+            key: 0,
+        });
+        assert_eq!(e, ExportId(1));
+        assert!(n.export(e).is_ok());
+        assert!(n.export(ExportId(9)).is_err());
+        let i = n.alloc_import(Import {
+            remote: NodeId::new(1),
+            export: e,
+            len: 4096,
+        });
+        assert_eq!(i, ImportId(1));
+        assert!(n.import(i).is_ok());
+        assert!(n.import(ImportId(9)).is_err());
+    }
+
+    #[test]
+    fn sender_per_destination_and_drained() {
+        let mut n = Node::new(NodeId::new(0), UtlbConfig::default());
+        assert!(n.drained());
+        let s1 = n.sender_to(NodeId::new(1)) as *const _;
+        let s1b = n.sender_to(NodeId::new(1)) as *const _;
+        assert_eq!(s1, s1b, "one channel per destination");
+        n.sender_to(NodeId::new(2));
+        assert_eq!(n.senders.len(), 2);
+    }
+}

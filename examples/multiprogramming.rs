@@ -1,0 +1,71 @@
+//! Independent multiprogrammed workloads — the experiment §7 says the
+//! paper's traces could not provide.
+//!
+//! Merges two different applications' traces onto one simulated NIC (ten
+//! processes) and shows each program's translation-cache miss rate alone
+//! versus co-scheduled, with and without the process-dependent index
+//! offsetting of §3.2. Run with:
+//!
+//! ```text
+//! cargo run --release --example multiprogramming [cache_entries] [scale]
+//! ```
+
+use utlb_sim::{run_utlb, SimConfig};
+use utlb_trace::{gen, merge_multiprogram, GenConfig, SplashApp};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let entries: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(4096);
+    let scale: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.25);
+    let gen_cfg = GenConfig {
+        seed: 7,
+        scale,
+        app_processes: 4,
+    };
+
+    let pairs = [
+        (SplashApp::Fft, SplashApp::Water),
+        (SplashApp::Barnes, SplashApp::Volrend),
+    ];
+    for (a, b) in pairs {
+        let ta = gen::generate(a, &gen_cfg);
+        let tb = gen::generate(b, &gen_cfg);
+        let a_procs = ta.process_ids().len() as u32;
+        let b_procs = tb.process_ids().len() as u32;
+        let merged = merge_multiprogram(&[ta.clone(), tb.clone()]);
+
+        let offset_cfg = SimConfig::study(entries);
+        let nohash_cfg = SimConfig {
+            offsetting: false,
+            ..SimConfig::study(entries)
+        };
+
+        let alone_a = run_utlb(&ta, &offset_cfg).stats.ni_miss_rate();
+        let alone_b = run_utlb(&tb, &offset_cfg).stats.ni_miss_rate();
+        let shared = run_utlb(&merged, &offset_cfg);
+        let shared_nh = run_utlb(&merged, &nohash_cfg);
+
+        let a_pids: Vec<u32> = (1..=a_procs).collect();
+        let b_pids: Vec<u32> = (a_procs + 1..=a_procs + b_procs).collect();
+
+        println!("\n{a} + {b} sharing a {entries}-entry cache:");
+        println!(
+            "{:<15}{:>10}{:>20}{:>20}",
+            "program", "alone", "co-sched (offset)", "co-sched (nohash)"
+        );
+        for (app, pids, alone) in [(a, &a_pids, alone_a), (b, &b_pids, alone_b)] {
+            println!(
+                "{:<15}{:>10.2}{:>20.2}{:>20.2}",
+                app.to_string(),
+                alone,
+                shared.stats_for_pids(pids).ni_miss_rate(),
+                shared_nh.stats_for_pids(pids).ni_miss_rate(),
+            );
+        }
+    }
+    println!(
+        "\nIndex offsetting (§3.2) absorbs most cross-program interference; without it,\n\
+         independent programs with overlapping virtual layouts collide in the shared cache."
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Trace-driven sweep over the seven SPLASH-2-like workloads.
+//!
+//! Generates each application's communication trace, runs it through both
+//! the UTLB engine and the interrupt-based baseline at a chosen cache size,
+//! and prints the paper's per-lookup metrics side by side — a one-screen
+//! version of Table 4. Run with:
+//!
+//! ```text
+//! cargo run --release --example splash_sweep [cache_entries] [scale]
+//! ```
+
+use utlb_sim::{run_intr, run_utlb, SimConfig};
+use utlb_trace::{gen, GenConfig, SplashApp};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let entries: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(4096);
+    let scale: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.25);
+
+    let gen_cfg = GenConfig {
+        seed: 42,
+        scale,
+        app_processes: 4,
+    };
+    let sim = SimConfig::study(entries);
+
+    println!(
+        "cache: {entries} entries, direct-mapped with offsetting; trace scale {scale}"
+    );
+    println!(
+        "{:<15}{:>9}{:>9}  |{:>9}{:>9}{:>9}  |{:>9}{:>9}",
+        "application",
+        "footprnt",
+        "lookups",
+        "U check",
+        "U NImiss",
+        "U µs",
+        "I NImiss",
+        "I µs"
+    );
+    for app in SplashApp::ALL {
+        let trace = gen::generate(app, &gen_cfg);
+        let u = run_utlb(&trace, &sim);
+        let i = run_intr(&trace, &sim);
+        println!(
+            "{:<15}{:>9}{:>9}  |{:>9.2}{:>9.2}{:>9.1}  |{:>9.2}{:>9.1}",
+            app.to_string(),
+            trace.footprint_pages(),
+            trace.total_lookups(),
+            u.stats.check_miss_rate(),
+            u.stats.ni_miss_rate(),
+            u.utlb_lookup_cost(&sim),
+            i.stats.ni_miss_rate(),
+            i.intr_lookup_cost(&sim),
+        );
+    }
+    println!("\nU = UTLB, I = interrupt-based; µs = average translation lookup cost (§6.2)");
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! UTLB reproduction suite: examples and integration tests live here.
