@@ -10,26 +10,34 @@ fn bench_store(c: &mut Criterion) {
     let mut group = c.benchmark_group("remote_store");
     for nbytes in [64u64, 4096, 16384] {
         group.throughput(Throughput::Bytes(nbytes));
-        group.bench_with_input(BenchmarkId::from_parameter(nbytes), &nbytes, |b, &nbytes| {
-            let mut cluster = Cluster::new(2).unwrap();
-            let sender = cluster.spawn_process(0).unwrap();
-            let receiver = cluster.spawn_process(1).unwrap();
-            let export = cluster
-                .export(1, receiver, VirtAddr::new(0x4000_3000), nbytes)
-                .unwrap();
-            let import = cluster.import(0, sender, 1, export).unwrap();
-            let src = VirtAddr::new(0x1000_7000);
-            cluster
-                .write_local(0, sender, src, &vec![0xCD; nbytes as usize])
-                .unwrap();
-            // Warm the path once.
-            cluster.remote_store(0, sender, import, src, 0, nbytes).unwrap();
-            cluster.run_until_quiet().unwrap();
-            b.iter(|| {
-                cluster.remote_store(0, sender, import, src, 0, nbytes).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(nbytes),
+            &nbytes,
+            |b, &nbytes| {
+                let mut cluster = Cluster::new(2).unwrap();
+                let sender = cluster.spawn_process(0).unwrap();
+                let receiver = cluster.spawn_process(1).unwrap();
+                let export = cluster
+                    .export(1, receiver, VirtAddr::new(0x4000_3000), nbytes)
+                    .unwrap();
+                let import = cluster.import(0, sender, 1, export).unwrap();
+                let src = VirtAddr::new(0x1000_7000);
+                cluster
+                    .write_local(0, sender, src, &vec![0xCD; nbytes as usize])
+                    .unwrap();
+                // Warm the path once.
+                cluster
+                    .remote_store(0, sender, import, src, 0, nbytes)
+                    .unwrap();
                 cluster.run_until_quiet().unwrap();
-            })
-        });
+                b.iter(|| {
+                    cluster
+                        .remote_store(0, sender, import, src, 0, nbytes)
+                        .unwrap();
+                    cluster.run_until_quiet().unwrap();
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -38,25 +46,38 @@ fn bench_fetch(c: &mut Criterion) {
     let mut group = c.benchmark_group("remote_fetch");
     for nbytes in [2048u64, 4096] {
         group.throughput(Throughput::Bytes(nbytes));
-        group.bench_with_input(BenchmarkId::from_parameter(nbytes), &nbytes, |b, &nbytes| {
-            let mut cluster = Cluster::new(2).unwrap();
-            let requester = cluster.spawn_process(0).unwrap();
-            let owner = cluster.spawn_process(1).unwrap();
-            let export = cluster
-                .export(1, owner, VirtAddr::new(0x4000_3000), nbytes)
-                .unwrap();
-            let import = cluster.import(0, requester, 1, export).unwrap();
-            cluster
-                .write_local(1, owner, VirtAddr::new(0x4000_3000), &vec![0xEF; nbytes as usize])
-                .unwrap();
-            let dst = VirtAddr::new(0x2000_5000);
-            cluster.remote_fetch(0, requester, import, dst, 0, nbytes).unwrap();
-            cluster.run_until_quiet().unwrap();
-            b.iter(|| {
-                cluster.remote_fetch(0, requester, import, dst, 0, nbytes).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(nbytes),
+            &nbytes,
+            |b, &nbytes| {
+                let mut cluster = Cluster::new(2).unwrap();
+                let requester = cluster.spawn_process(0).unwrap();
+                let owner = cluster.spawn_process(1).unwrap();
+                let export = cluster
+                    .export(1, owner, VirtAddr::new(0x4000_3000), nbytes)
+                    .unwrap();
+                let import = cluster.import(0, requester, 1, export).unwrap();
+                cluster
+                    .write_local(
+                        1,
+                        owner,
+                        VirtAddr::new(0x4000_3000),
+                        &vec![0xEF; nbytes as usize],
+                    )
+                    .unwrap();
+                let dst = VirtAddr::new(0x2000_5000);
+                cluster
+                    .remote_fetch(0, requester, import, dst, 0, nbytes)
+                    .unwrap();
                 cluster.run_until_quiet().unwrap();
-            })
-        });
+                b.iter(|| {
+                    cluster
+                        .remote_fetch(0, requester, import, dst, 0, nbytes)
+                        .unwrap();
+                    cluster.run_until_quiet().unwrap();
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -6,9 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use utlb_core::{
-    CacheConfig, PerProcessConfig, PerProcessEngine, UtlbConfig, UtlbEngine,
-};
+use utlb_core::{CacheConfig, PerProcessConfig, PerProcessEngine, UtlbConfig, UtlbEngine};
 use utlb_mem::{Host, VirtPage};
 use utlb_nic::Board;
 
@@ -63,7 +61,9 @@ fn bench_fast_path(c: &mut Criterion) {
         let mut engine = PerProcessEngine::new(PerProcessConfig::default());
         let pid = host.spawn_process();
         engine.register_process(&mut host, &mut board, pid).unwrap();
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(7)).unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(7))
+            .unwrap();
         b.iter(|| {
             black_box(
                 engine

@@ -1,0 +1,85 @@
+//! The sweep executor and the cache hot path it feeds.
+//!
+//! Three angles: raw cache probe latency (the per-lookup cost the flat line
+//! array + validity bitmap rework targets), sweep executor overhead on
+//! trivial cells, and a real experiment grid (Figure 7-shaped) sequential
+//! vs parallel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use utlb_core::{CacheConfig, SharedUtlbCache};
+use utlb_mem::{PhysAddr, ProcessId, VirtPage};
+use utlb_sim::sweep::THREADS_ENV;
+use utlb_sim::{run_utlb, sweep, SimConfig};
+use utlb_trace::{gen, GenConfig, SplashApp};
+
+fn small_cfg() -> GenConfig {
+    GenConfig {
+        seed: 1998,
+        scale: 0.1,
+        app_processes: 4,
+    }
+}
+
+/// Per-probe latency of the shared cache: a resident working set looked up
+/// round-robin, so every lookup is a hit probing exactly one line.
+fn bench_cache_probe(c: &mut Criterion) {
+    let entries = 8192usize;
+    let mut cache = SharedUtlbCache::new(CacheConfig::direct(entries));
+    let pid = ProcessId::new(1);
+    for v in 0..entries as u64 {
+        cache.insert(pid, VirtPage::new(v), PhysAddr::new(v << 12));
+    }
+    let mut group = c.benchmark_group("sweep");
+    group.throughput(Throughput::Elements(entries as u64));
+    group.bench_function("cache_probe_hit", |b| {
+        b.iter(|| {
+            for v in 0..entries as u64 {
+                black_box(cache.lookup(pid, VirtPage::new(v)));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Executor overhead: fanning out cells that do almost nothing, so the
+/// scheduling cost itself dominates.
+fn bench_sweep_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    for cells in [16usize, 256] {
+        group.bench_with_input(BenchmarkId::new("overhead", cells), &cells, |b, &cells| {
+            b.iter(|| black_box(sweep(cells, |ix| ix.wrapping_mul(2654435761))))
+        });
+    }
+    group.finish();
+}
+
+/// A real grid — one app × four cache sizes, Figure 7-shaped — swept
+/// sequentially (`UTLB_SIM_THREADS=1`) and at the machine's parallelism.
+fn bench_grid(c: &mut Criterion) {
+    let trace = gen::generate_shared(SplashApp::Water, &small_cfg());
+    let sizes = [1024usize, 4096, 8192, 16384];
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(sizes.len() as u64));
+    for (label, threads) in [("grid_sequential", Some("1")), ("grid_parallel", None)] {
+        group.bench_function(label, |b| {
+            match threads {
+                Some(n) => std::env::set_var(THREADS_ENV, n),
+                None => std::env::remove_var(THREADS_ENV),
+            }
+            b.iter(|| {
+                black_box(sweep(sizes.len(), |ix| {
+                    run_utlb(&trace, &SimConfig::study(sizes[ix]))
+                        .stats
+                        .ni_miss_rate()
+                }))
+            })
+        });
+    }
+    std::env::remove_var(THREADS_ENV);
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_probe, bench_sweep_overhead, bench_grid);
+criterion_main!(benches);

@@ -19,7 +19,10 @@ fn main() {
         println!("{}", utlb_sim::experiments::prepin_sweep(app, &args.gen));
     }
     for app in [SplashApp::Water, SplashApp::Barnes] {
-        println!("{}", utlb_sim::experiments::assoc_cost(app, &args.gen, 2048));
+        println!(
+            "{}",
+            utlb_sim::experiments::assoc_cost(app, &args.gen, 2048)
+        );
     }
     for entries in [1024usize, 8192] {
         println!(

@@ -1,5 +1,84 @@
 //! Runs every table and figure regenerator in paper order — the one-shot
-//! reproduction of the whole evaluation section.
+//! reproduction of the whole evaluation section — then measures the sweep
+//! executor (Table 8's grid, sequential vs parallel) and the cache probe
+//! hot path, archiving the numbers to `BENCH_sweep.json`.
+
+use serde::Serialize;
+use std::time::Instant;
+use utlb_core::{CacheConfig, SharedUtlbCache};
+use utlb_mem::{PhysAddr, ProcessId, VirtPage};
+use utlb_sim::sweep::{worker_count, THREADS_ENV};
+use utlb_trace::GenConfig;
+
+/// Measured throughput of the experiment sweep machinery, archived so runs
+/// on different machines can be compared.
+#[derive(Debug, Serialize)]
+struct SweepBench {
+    /// Cells in the timed grid (Table 8: sizes × organizations × apps).
+    cells: usize,
+    /// Workers the parallel run used (1 on a single-core machine, where
+    /// the parallel numbers degenerate to the sequential ones).
+    workers: usize,
+    /// Wall-clock seconds for the forced `UTLB_SIM_THREADS=1` run.
+    sequential_secs: f64,
+    /// Wall-clock seconds at the machine's available parallelism.
+    parallel_secs: f64,
+    /// Cells per second, sequential.
+    sequential_cells_per_sec: f64,
+    /// Cells per second, parallel.
+    parallel_cells_per_sec: f64,
+    /// Parallel speedup (sequential / parallel wall-clock).
+    speedup: f64,
+    /// Nanoseconds per hit lookup in a resident 8 K-entry direct cache.
+    cache_probe_ns: f64,
+}
+
+fn time_table8(gen: &GenConfig) -> (usize, f64) {
+    let start = Instant::now();
+    let t = utlb_sim::experiments::table8(gen);
+    (t.cells.len(), start.elapsed().as_secs_f64())
+}
+
+fn bench_sweep(gen: &GenConfig) -> SweepBench {
+    // The earlier printing pass already populated the trace memo, so both
+    // timed runs measure pure simulation, not generation.
+    let prior = std::env::var(THREADS_ENV).ok();
+    std::env::set_var(THREADS_ENV, "1");
+    let (cells, sequential_secs) = time_table8(gen);
+    // Restore any user override so the "parallel" pass honours it.
+    match &prior {
+        Some(v) => std::env::set_var(THREADS_ENV, v),
+        None => std::env::remove_var(THREADS_ENV),
+    }
+    let (_, parallel_secs) = time_table8(gen);
+    let workers = worker_count(cells);
+
+    let entries = 8192usize;
+    let mut cache = SharedUtlbCache::new(CacheConfig::direct(entries));
+    let pid = ProcessId::new(1);
+    for v in 0..entries as u64 {
+        cache.insert(pid, VirtPage::new(v), PhysAddr::new(v << 12));
+    }
+    let rounds = 128u64;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for v in 0..entries as u64 {
+            std::hint::black_box(cache.lookup(pid, VirtPage::new(v)));
+        }
+    }
+    let cache_probe_ns = start.elapsed().as_nanos() as f64 / (rounds * entries as u64) as f64;
+
+    SweepBench {
+        cells,
+        workers,
+        sequential_secs,
+        parallel_secs,
+        sequential_cells_per_sec: cells as f64 / sequential_secs,
+        parallel_cells_per_sec: cells as f64 / parallel_secs,
+        speedup: sequential_secs / parallel_secs,
+        cache_probe_ns,
+    }
+}
 
 fn main() {
     let args = utlb_bench::BenchArgs::parse();
@@ -13,4 +92,12 @@ fn main() {
     println!("{}\n", utlb_sim::experiments::table8(&args.gen));
     println!("{}\n", utlb_sim::experiments::fig7(&args.gen));
     println!("{}\n", utlb_sim::experiments::fig8(&args.gen));
+
+    let bench = bench_sweep(&args.gen);
+    let body = serde_json::to_string_pretty(&bench).expect("bench serializes");
+    std::fs::write("BENCH_sweep.json", &body).expect("write BENCH_sweep.json");
+    eprintln!(
+        "sweep bench: {} cells, {} workers, {:.2}x speedup, {:.1} ns/probe → BENCH_sweep.json",
+        bench.cells, bench.workers, bench.speedup, bench.cache_probe_ns
+    );
 }

@@ -13,10 +13,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 {
         eprintln!("usage: trace_gen <app> <out.jsonl> [--scale S] [--seed N]");
-        eprintln!(
-            "apps: {}",
-            SplashApp::ALL.map(|a| a.name()).join(", ")
-        );
+        eprintln!("apps: {}", SplashApp::ALL.map(|a| a.name()).join(", "));
         std::process::exit(2);
     }
     let app_name = args.remove(0);

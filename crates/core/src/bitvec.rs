@@ -130,12 +130,126 @@ impl PinBitVector {
     }
 }
 
+/// Fixed-capacity dense bit vector.
+///
+/// Backs the validity bits of [`crate::SharedUtlbCache`]'s flat line array:
+/// one bit per cache line, packed 64 to a word, so a probe costs one shift
+/// and mask instead of chasing an `Option` discriminant per way, and
+/// occupancy is a popcount over the words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseBits {
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        DenseBits {
+            words: vec![0u64; len.div_ceil(WORD_BITS as usize)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether bit `ix` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is out of bounds.
+    #[inline]
+    pub fn get(&self, ix: usize) -> bool {
+        assert!(ix < self.len, "bit {ix} out of bounds for {}", self.len);
+        self.words[ix / 64] & (1u64 << (ix % 64)) != 0
+    }
+
+    /// Sets bit `ix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, ix: usize) {
+        assert!(ix < self.len, "bit {ix} out of bounds for {}", self.len);
+        self.words[ix / 64] |= 1u64 << (ix % 64);
+    }
+
+    /// Clears bit `ix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is out of bounds.
+    #[inline]
+    pub fn clear(&mut self, ix: usize) {
+        assert!(ix < self.len, "bit {ix} out of bounds for {}", self.len);
+        self.words[ix / 64] &= !(1u64 << (ix % 64));
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// First clear bit in `start..end`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the vector.
+    pub fn first_zero_in(&self, start: usize, end: usize) -> Option<usize> {
+        assert!(start <= end && end <= self.len, "range out of bounds");
+        (start..end).find(|&ix| !self.get(ix))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn page(n: u64) -> VirtPage {
         VirtPage::new(n)
+    }
+
+    #[test]
+    fn dense_bits_set_get_clear() {
+        let mut b = DenseBits::zeros(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.is_empty());
+        assert!(!b.get(0) && !b.get(129));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert_eq!(b.count_ones(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn dense_bits_first_zero_in() {
+        let mut b = DenseBits::zeros(8);
+        assert_eq!(b.first_zero_in(0, 8), Some(0));
+        for i in 0..4 {
+            b.set(i);
+        }
+        assert_eq!(b.first_zero_in(0, 8), Some(4));
+        assert_eq!(b.first_zero_in(0, 4), None);
+        assert_eq!(b.first_zero_in(4, 4), None, "empty range has no zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn dense_bits_get_out_of_bounds_panics() {
+        DenseBits::zeros(4).get(4);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! model reproduce why "set-associative caches lose to the direct-map cache"
 //! once lookup cost is considered.
 
+use crate::bitvec::DenseBits;
 use serde::{Deserialize, Serialize};
 use utlb_mem::{PhysAddr, ProcessId, VirtPage};
 
@@ -136,10 +137,24 @@ impl CacheStats {
 }
 
 /// The Shared UTLB-Cache.
+///
+/// Lines live in one contiguous array indexed `set * ways + way`, with a
+/// packed validity bit per line ([`DenseBits`]): the layout the real
+/// firmware uses for its SRAM line array. Compared to a vec-of-vecs of
+/// `Option<Line>`, a probe is a single indexed load plus a bit test — no
+/// pointer chase per set, no discriminant per way — and construction is one
+/// allocation regardless of geometry.
 #[derive(Debug)]
 pub struct SharedUtlbCache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Option<Line>>>,
+    lines: Vec<Line>,
+    valid: DenseBits,
+    num_sets: usize,
+    ways: usize,
+    /// `num_sets - 1` when the set count is a power of two, letting
+    /// `set_index` mask instead of divide (every paper geometry qualifies;
+    /// odd set counts fall back to modulo).
+    set_mask: Option<u64>,
     tick: u64,
     stats: CacheStats,
 }
@@ -159,9 +174,19 @@ impl SharedUtlbCache {
             cfg.entries
         );
         let num_sets = cfg.entries / ways;
+        let placeholder = Line {
+            pid: ProcessId::new(0),
+            vpn: 0,
+            phys: PhysAddr::new(0),
+            last_use: 0,
+        };
         SharedUtlbCache {
             cfg,
-            sets: vec![vec![None; ways]; num_sets],
+            lines: vec![placeholder; cfg.entries],
+            valid: DenseBits::zeros(cfg.entries),
+            num_sets,
+            ways,
+            set_mask: num_sets.is_power_of_two().then_some(num_sets as u64 - 1),
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -201,16 +226,25 @@ impl SharedUtlbCache {
             // apart) and recreates exactly the SPMD thrashing the offset
             // exists to break.
             let frac = (pid.raw() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let num_sets = self.sets.len() as u128;
-            ((frac as u128 * num_sets) >> 64) as u64
+            ((frac as u128 * self.num_sets as u128) >> 64) as u64
         } else {
             0
         }
     }
 
+    #[inline]
     fn set_index(&self, pid: ProcessId, page: VirtPage) -> usize {
-        let num_sets = self.sets.len() as u64;
-        ((page.number().wrapping_add(self.offset(pid))) % num_sets) as usize
+        let hashed = page.number().wrapping_add(self.offset(pid));
+        match self.set_mask {
+            Some(mask) => (hashed & mask) as usize,
+            None => (hashed % self.num_sets as u64) as usize,
+        }
+    }
+
+    /// First line index of the set holding `(pid, page)`.
+    #[inline]
+    fn set_base(&self, pid: ProcessId, page: VirtPage) -> usize {
+        self.set_index(pid, page) * self.ways
     }
 
     /// Looks up the translation of `(pid, page)`.
@@ -218,41 +252,38 @@ impl SharedUtlbCache {
     /// Returns the physical address on a hit and bumps the line's LRU state.
     pub fn lookup(&mut self, pid: ProcessId, page: VirtPage) -> Option<PhysAddr> {
         self.tick += 1;
-        let set = self.set_index(pid, page);
+        let base = self.set_base(pid, page);
         let tick = self.tick;
-        let mut probes = 0u64;
-        let mut found = None;
-        for line in self.sets[set].iter_mut() {
-            probes += 1;
-            if let Some(l) = line {
-                if l.pid == pid && l.vpn == page.number() {
-                    l.last_use = tick;
-                    found = Some(l.phys);
-                    break;
+        let vpn = page.number();
+        // The firmware checks ways serially, so the probe count is the
+        // position of the hit (or the full width on a miss) — invalid ways
+        // still cost a tag check.
+        for way in 0..self.ways {
+            let ix = base + way;
+            if self.valid.get(ix) {
+                let line = &mut self.lines[ix];
+                if line.pid == pid && line.vpn == vpn {
+                    line.last_use = tick;
+                    self.stats.probes += way as u64 + 1;
+                    self.stats.hits += 1;
+                    return Some(line.phys);
                 }
             }
         }
-        self.stats.probes += probes;
-        match found {
-            Some(p) => {
-                self.stats.hits += 1;
-                Some(p)
-            }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
-        }
+        self.stats.probes += self.ways as u64;
+        self.stats.misses += 1;
+        None
     }
 
     /// Checks for `(pid, page)` without touching statistics or LRU state —
     /// used by shadow structures (e.g. the invalidation path).
     pub fn peek(&self, pid: ProcessId, page: VirtPage) -> Option<PhysAddr> {
-        let set = self.set_index(pid, page);
-        self.sets[set]
-            .iter()
-            .flatten()
-            .find(|l| l.pid == pid && l.vpn == page.number())
+        let base = self.set_base(pid, page);
+        let vpn = page.number();
+        (base..base + self.ways)
+            .filter(|&ix| self.valid.get(ix))
+            .map(|ix| &self.lines[ix])
+            .find(|l| l.pid == pid && l.vpn == vpn)
             .map(|l| l.phys)
     }
 
@@ -262,39 +293,38 @@ impl SharedUtlbCache {
     /// is already present refreshes its payload without eviction.
     pub fn insert(&mut self, pid: ProcessId, page: VirtPage, phys: PhysAddr) -> Option<Evicted> {
         self.tick += 1;
-        let set = self.set_index(pid, page);
+        let base = self.set_base(pid, page);
         let tick = self.tick;
-        let lines = &mut self.sets[set];
+        let vpn = page.number();
 
         // Refresh an existing line.
-        if let Some(l) = lines
-            .iter_mut()
-            .flatten()
-            .find(|l| l.pid == pid && l.vpn == page.number())
-        {
-            l.phys = phys;
-            l.last_use = tick;
-            return None;
+        for ix in base..base + self.ways {
+            if self.valid.get(ix) {
+                let line = &mut self.lines[ix];
+                if line.pid == pid && line.vpn == vpn {
+                    line.phys = phys;
+                    line.last_use = tick;
+                    return None;
+                }
+            }
         }
         let new_line = Line {
             pid,
-            vpn: page.number(),
+            vpn,
             phys,
             last_use: tick,
         };
         // Fill an invalid way.
-        if let Some(slot) = lines.iter_mut().find(|l| l.is_none()) {
-            *slot = Some(new_line);
+        if let Some(ix) = self.valid.first_zero_in(base, base + self.ways) {
+            self.lines[ix] = new_line;
+            self.valid.set(ix);
             return None;
         }
         // Evict the LRU way.
-        let victim_ix = lines
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| l.expect("all ways valid here").last_use)
-            .map(|(i, _)| i)
+        let victim_ix = (base..base + self.ways)
+            .min_by_key(|&ix| self.lines[ix].last_use)
             .expect("set has at least one way");
-        let victim = lines[victim_ix].replace(new_line).expect("victim valid");
+        let victim = std::mem::replace(&mut self.lines[victim_ix], new_line);
         self.stats.evictions += 1;
         Some(Evicted {
             pid: victim.pid,
@@ -306,10 +336,11 @@ impl SharedUtlbCache {
     /// unpin: the host-side table entry went back to garbage, so the cached
     /// copy must die too). Returns whether a line was removed.
     pub fn invalidate(&mut self, pid: ProcessId, page: VirtPage) -> bool {
-        let set = self.set_index(pid, page);
-        for line in self.sets[set].iter_mut() {
-            if line.map(|l| l.pid == pid && l.vpn == page.number()) == Some(true) {
-                *line = None;
+        let base = self.set_base(pid, page);
+        let vpn = page.number();
+        for ix in base..base + self.ways {
+            if self.valid.get(ix) && self.lines[ix].pid == pid && self.lines[ix].vpn == vpn {
+                self.valid.clear(ix);
                 return true;
             }
         }
@@ -320,12 +351,10 @@ impl SharedUtlbCache {
     /// number of lines dropped.
     pub fn invalidate_process(&mut self, pid: ProcessId) -> usize {
         let mut dropped = 0;
-        for set in self.sets.iter_mut() {
-            for line in set.iter_mut() {
-                if line.map(|l| l.pid == pid) == Some(true) {
-                    *line = None;
-                    dropped += 1;
-                }
+        for ix in 0..self.lines.len() {
+            if self.valid.get(ix) && self.lines[ix].pid == pid {
+                self.valid.clear(ix);
+                dropped += 1;
             }
         }
         dropped
@@ -333,7 +362,7 @@ impl SharedUtlbCache {
 
     /// Number of valid lines.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().flatten().flatten().count()
+        self.valid.count_ones()
     }
 }
 

@@ -98,14 +98,7 @@ impl Default for CostModel {
             directory_ref_us: 0.3,
             interrupt_us: 10.0,
             syscall_overhead_us: 5.0,
-            dma_points: vec![
-                (1, 1.5),
-                (2, 1.6),
-                (4, 1.6),
-                (8, 1.9),
-                (16, 2.1),
-                (32, 2.5),
-            ],
+            dma_points: vec![(1, 1.5), (2, 1.6), (4, 1.6), (8, 1.9), (16, 2.1), (32, 2.5)],
             pin_points: vec![
                 (1, 27.0),
                 (2, 30.0),

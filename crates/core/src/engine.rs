@@ -295,9 +295,12 @@ impl UtlbEngine {
             Self::charge_us(board, cost.kernel_pin_cost(1));
             let pinned = host.driver_pin(pid, page, 1)?;
             let state = self.procs.get_mut(&pid).expect("registered");
-            state
-                .hier
-                .install(page, pinned[0].phys_addr(), host.physical_mut(), &mut board.sram)?;
+            state.hier.install(
+                page,
+                pinned[0].phys_addr(),
+                host.physical_mut(),
+                &mut board.sram,
+            )?;
             state.bitvec.set(page);
             state.pinned.insert(page);
             state.stats.interrupts += 1;
@@ -443,7 +446,9 @@ impl UtlbEngine {
                     let state = self.procs.get_mut(&pid).expect("registered");
                     state.bitvec.clear(victim);
                     state.pinned.remove(victim);
-                    state.hier.invalidate(victim, host.physical_mut(), &board.sram)?;
+                    state
+                        .hier
+                        .invalidate(victim, host.physical_mut(), &board.sram)?;
                     self.cache.invalidate(pid, victim);
                     let state = self.procs.get_mut(&pid).expect("registered");
                     state.stats.unpins += 1;
@@ -459,9 +464,12 @@ impl UtlbEngine {
         let pinned = host.driver_pin(pid, page, run)?;
         let state = self.procs.get_mut(&pid).expect("registered");
         for p in &pinned {
-            state
-                .hier
-                .install(p.page(), p.phys_addr(), host.physical_mut(), &mut board.sram)?;
+            state.hier.install(
+                p.page(),
+                p.phys_addr(),
+                host.physical_mut(),
+                &mut board.sram,
+            )?;
             state.bitvec.set(p.page());
             state.pinned.insert(p.page());
         }
@@ -518,7 +526,8 @@ impl UtlbEngine {
         }
         for (i, w) in words.into_iter().enumerate() {
             if w != garbage {
-                self.cache.insert(pid, page.offset(i as u64), PhysAddr::new(w));
+                self.cache
+                    .insert(pid, page.offset(i as u64), PhysAddr::new(w));
             }
         }
         Ok(first)
@@ -569,7 +578,10 @@ mod tests {
     fn translation_points_at_the_real_frame() {
         let (mut host, mut board, mut engine, pid) = setup(small_cfg());
         let va = VirtAddr::new(0x30_0000);
-        host.process_mut(pid).unwrap().write(va, b"dma payload").unwrap();
+        host.process_mut(pid)
+            .unwrap()
+            .write(va, b"dma payload")
+            .unwrap();
         let r = engine
             .lookup_buffer(&mut host, &mut board, pid, va, 11)
             .unwrap();
@@ -621,8 +633,12 @@ mod tests {
             ..UtlbConfig::default()
         };
         let (mut host, mut board, mut engine, pid) = setup(cfg);
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(1), 1).unwrap();
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(2), 1).unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(1), 1)
+            .unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(2), 1)
+            .unwrap();
         // Page 1 was unpinned: its cache line must be gone and a re-lookup
         // must re-pin and re-miss.
         assert!(engine.cache().peek(pid, VirtPage::new(1)).is_none());
@@ -641,7 +657,9 @@ mod tests {
             ..UtlbConfig::default()
         };
         let (mut host, mut board, mut engine, pid) = setup(cfg);
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 1).unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(0), 1)
+            .unwrap();
         let s = engine.stats(pid).unwrap();
         assert_eq!(s.pins, 8, "one miss pre-pins the run");
         assert_eq!(s.pin_calls, 1);
@@ -665,7 +683,9 @@ mod tests {
         };
         let (mut host, mut board, mut engine, pid) = setup(cfg);
         // One lookup pins 8 pages and prefetches all 8 entries.
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 8).unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(0), 8)
+            .unwrap();
         let s = engine.stats(pid).unwrap();
         assert_eq!(s.ni_misses, 1, "only the first page misses in the cache");
         assert_eq!(s.entries_fetched, 8);
@@ -680,7 +700,9 @@ mod tests {
             ..UtlbConfig::default()
         };
         let (mut host, mut board, mut engine, pid) = setup(cfg);
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 1).unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(0), 1)
+            .unwrap();
         // Neighbours 1..3 were fetched but hold garbage: not cached.
         assert!(engine.cache().peek(pid, VirtPage::new(1)).is_none());
         // And looking one up later is still correct (pin, then NI miss).
@@ -698,8 +720,12 @@ mod tests {
             ..UtlbConfig::default()
         };
         let (mut host, mut board, mut engine, pid) = setup(cfg);
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(1), 1).unwrap();
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(2), 1).unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(1), 1)
+            .unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(2), 1)
+            .unwrap();
         engine.hold_pages(pid, VirtPage::new(1), 2).unwrap();
         // Both pinned pages are held: pinning a third must fail.
         let err = engine
@@ -730,10 +756,14 @@ mod tests {
     #[test]
     fn unregister_releases_everything() {
         let (mut host, mut board, mut engine, pid) = setup(small_cfg());
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 4).unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(0), 4)
+            .unwrap();
         let frames_before = host.physical().allocator().allocated_frames();
         assert!(frames_before > 0);
-        engine.unregister_process(&mut host, &mut board, pid).unwrap();
+        engine
+            .unregister_process(&mut host, &mut board, pid)
+            .unwrap();
         assert_eq!(host.driver().pins().pinned_pages(pid), 0);
         assert_eq!(engine.cache().occupancy(), 0);
         assert!(engine
@@ -745,12 +775,18 @@ mod tests {
     fn two_processes_share_the_cache_without_interference_on_correctness() {
         let (mut host, mut board, mut engine, pid1) = setup(small_cfg());
         let pid2 = host.spawn_process();
-        engine.register_process(&mut host, &mut board, pid2).unwrap();
+        engine
+            .register_process(&mut host, &mut board, pid2)
+            .unwrap();
         let va = VirtAddr::new(0x50_0000);
         host.process_mut(pid1).unwrap().write(va, b"one").unwrap();
         host.process_mut(pid2).unwrap().write(va, b"two").unwrap();
-        let r1 = engine.lookup_buffer(&mut host, &mut board, pid1, va, 3).unwrap();
-        let r2 = engine.lookup_buffer(&mut host, &mut board, pid2, va, 3).unwrap();
+        let r1 = engine
+            .lookup_buffer(&mut host, &mut board, pid1, va, 3)
+            .unwrap();
+        let r2 = engine
+            .lookup_buffer(&mut host, &mut board, pid2, va, 3)
+            .unwrap();
         let mut b1 = [0u8; 3];
         let mut b2 = [0u8; 3];
         host.physical().read(r1.pages[0].phys, &mut b1).unwrap();
@@ -763,10 +799,15 @@ mod tests {
     fn nic_resolve_falls_back_to_an_interrupt_for_unpinned_pages() {
         let (mut host, mut board, mut engine, pid) = setup(small_cfg());
         let va = VirtAddr::new(0x77_000);
-        host.process_mut(pid).unwrap().write(va, b"unchecked").unwrap();
+        host.process_mut(pid)
+            .unwrap()
+            .write(va, b"unchecked")
+            .unwrap();
         // A request lands on the NIC without the user-level step: the NIC
         // interrupts the host and still resolves correctly.
-        let phys = engine.nic_resolve(&mut host, &mut board, pid, va.page()).unwrap();
+        let phys = engine
+            .nic_resolve(&mut host, &mut board, pid, va.page())
+            .unwrap();
         let mut buf = [0u8; 9];
         host.physical().read(phys, &mut buf).unwrap();
         assert_eq!(&buf, b"unchecked");
@@ -775,7 +816,9 @@ mod tests {
         assert_eq!(s.pins, 1);
         // A well-behaved lookup of the same page afterwards is a pure hit
         // and never interrupts.
-        let r = engine.lookup(&mut host, &mut board, pid, va.page(), 1).unwrap();
+        let r = engine
+            .lookup(&mut host, &mut board, pid, va.page(), 1)
+            .unwrap();
         assert!(!r.pages[0].check_miss);
         assert!(!r.pages[0].ni_miss);
         assert_eq!(engine.stats(pid).unwrap().interrupts, 1);
@@ -783,7 +826,9 @@ mod tests {
         // interrupt either (cache was filled above; invalidate to force the
         // table read).
         engine.cache.invalidate(pid, va.page());
-        engine.nic_resolve(&mut host, &mut board, pid, va.page()).unwrap();
+        engine
+            .nic_resolve(&mut host, &mut board, pid, va.page())
+            .unwrap();
         assert_eq!(engine.stats(pid).unwrap().interrupts, 1);
     }
 
@@ -799,13 +844,22 @@ mod tests {
         };
         let (mut host, mut board, mut engine, pid) = setup(cfg);
         let va = VirtAddr::new(0x123_000);
-        host.process_mut(pid).unwrap().write(va, b"survives").unwrap();
-        engine.lookup(&mut host, &mut board, pid, va.page(), 1).unwrap();
+        host.process_mut(pid)
+            .unwrap()
+            .write(va, b"survives")
+            .unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, va.page(), 1)
+            .unwrap();
         // Another page evicts (unpins) the first; the OS reclaims it.
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0x200), 1).unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(0x200), 1)
+            .unwrap();
         assert!(host.reclaim_page(pid, va.page()).unwrap());
         // Re-lookup: pin path faults the page in; data and translation agree.
-        let r = engine.lookup(&mut host, &mut board, pid, va.page(), 1).unwrap();
+        let r = engine
+            .lookup(&mut host, &mut board, pid, va.page(), 1)
+            .unwrap();
         assert!(r.pages[0].check_miss);
         let mut buf = [0u8; 8];
         host.physical().read(r.pages[0].phys, &mut buf).unwrap();

@@ -16,7 +16,9 @@
 
 use crate::{Result, UtlbError};
 use std::collections::HashMap;
-use utlb_mem::{BlockId, FrameId, PhysAddr, PhysicalMemory, ProcessId, SwapDevice, VirtPage, PAGE_SIZE};
+use utlb_mem::{
+    BlockId, FrameId, PhysAddr, PhysicalMemory, ProcessId, SwapDevice, VirtPage, PAGE_SIZE,
+};
 use utlb_nic::{Sram, SramRegion};
 
 /// Entries per second-level table: one 4 KB frame of 8-byte entries.
@@ -340,8 +342,14 @@ mod tests {
     #[test]
     fn fresh_table_reads_garbage() {
         let (host, sram, t) = setup();
-        assert_eq!(t.read_entry(VirtPage::new(7), &host, &sram).unwrap(), GARBAGE);
-        assert_eq!(t.dir_entry(VirtPage::new(7), &sram).unwrap(), DirEntry::Empty);
+        assert_eq!(
+            t.read_entry(VirtPage::new(7), &host, &sram).unwrap(),
+            GARBAGE
+        );
+        assert_eq!(
+            t.dir_entry(VirtPage::new(7), &sram).unwrap(),
+            DirEntry::Empty
+        );
         assert_eq!(t.installed(), 0);
     }
 
@@ -349,14 +357,16 @@ mod tests {
     fn install_read_invalidate_roundtrip() {
         let (mut host, mut sram, mut t) = setup();
         let page = VirtPage::new(1000);
-        t.install(page, PhysAddr::new(0x42_000), &mut host, &mut sram).unwrap();
+        t.install(page, PhysAddr::new(0x42_000), &mut host, &mut sram)
+            .unwrap();
         assert_eq!(t.installed(), 1);
         assert_eq!(
             t.read_entry(page, &host, &sram).unwrap(),
             PhysAddr::new(0x42_000)
         );
         // Re-install does not double count.
-        t.install(page, PhysAddr::new(0x43_000), &mut host, &mut sram).unwrap();
+        t.install(page, PhysAddr::new(0x43_000), &mut host, &mut sram)
+            .unwrap();
         assert_eq!(t.installed(), 1);
         t.invalidate(page, &mut host, &sram).unwrap();
         assert_eq!(t.read_entry(page, &host, &sram).unwrap(), GARBAGE);
@@ -373,8 +383,10 @@ mod tests {
         // 8 bytes apart, which is what makes prefetch a single DMA.
         let p0 = VirtPage::new(64);
         let p1 = VirtPage::new(65);
-        t.install(p0, PhysAddr::new(0x1000), &mut host, &mut sram).unwrap();
-        t.install(p1, PhysAddr::new(0x2000), &mut host, &mut sram).unwrap();
+        t.install(p0, PhysAddr::new(0x1000), &mut host, &mut sram)
+            .unwrap();
+        t.install(p1, PhysAddr::new(0x2000), &mut host, &mut sram)
+            .unwrap();
         let a0 = t.entry_addr(p0, &sram).unwrap().unwrap();
         let a1 = t.entry_addr(p1, &sram).unwrap().unwrap();
         assert_eq!(a1.raw() - a0.raw(), 8);
@@ -385,7 +397,8 @@ mod tests {
         let (mut host, mut sram, mut t) = setup();
         let mut swap = SwapDevice::new();
         let page = VirtPage::new(12);
-        t.install(page, PhysAddr::new(0x9000), &mut host, &mut sram).unwrap();
+        t.install(page, PhysAddr::new(0x9000), &mut host, &mut sram)
+            .unwrap();
         let frames_before = host.allocator().allocated_frames();
 
         let block = t.swap_out(page, &mut host, &mut sram, &mut swap).unwrap();
@@ -411,7 +424,8 @@ mod tests {
         let (mut host, mut sram, mut t) = setup();
         let mut swap = SwapDevice::new();
         assert_eq!(
-            t.swap_out(VirtPage::new(5), &mut host, &mut sram, &mut swap).unwrap(),
+            t.swap_out(VirtPage::new(5), &mut host, &mut sram, &mut swap)
+                .unwrap(),
             None
         );
     }
@@ -419,7 +433,13 @@ mod tests {
     #[test]
     fn release_frees_leaf_frames() {
         let (mut host, mut sram, mut t) = setup();
-        t.install(VirtPage::new(0), PhysAddr::new(0x1000), &mut host, &mut sram).unwrap();
+        t.install(
+            VirtPage::new(0),
+            PhysAddr::new(0x1000),
+            &mut host,
+            &mut sram,
+        )
+        .unwrap();
         t.install(
             VirtPage::new(LEAF_ENTRIES),
             PhysAddr::new(0x2000),

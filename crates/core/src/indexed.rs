@@ -166,10 +166,7 @@ impl IndexedEngine {
                 s1 == s0 + 1 && p1.number() != p0.number() + 1
             })
             .count();
-        let adjacent = occupied
-            .windows(2)
-            .filter(|w| w[1].0 == w[0].0 + 1)
-            .count();
+        let adjacent = occupied.windows(2).filter(|w| w[1].0 == w[0].0 + 1).count();
         if adjacent == 0 {
             return Ok(0.0);
         }
@@ -205,58 +202,59 @@ impl IndexedEngine {
 
         // User level: vpn → index (two memory references).
         Self::charge_us(board, cost.user_check_us);
-        let index = match state.tree.lookup(page) {
-            Some(ix) => ix,
-            None => {
-                state.stats.check_misses += 1;
-                // Claim a slot, evicting under capacity pressure. Each
-                // iteration re-fetches the process state so the borrow does
-                // not overlap the cache invalidation.
-                let slot = loop {
+        let index =
+            match state.tree.lookup(page) {
+                Some(ix) => ix,
+                None => {
+                    state.stats.check_misses += 1;
+                    // Claim a slot, evicting under capacity pressure. Each
+                    // iteration re-fetches the process state so the borrow does
+                    // not overlap the cache invalidation.
+                    let slot =
+                        loop {
+                            let state = self.procs.get_mut(&pid).expect("registered");
+                            if let Some(s) = state.free.pop() {
+                                break UtlbIndex(s);
+                            }
+                            let victim = state.pinned.select_victims(1).pop().ok_or(
+                                UtlbError::TableFull {
+                                    pid,
+                                    capacity: table_entries,
+                                },
+                            )?;
+                            let victim_ix = state
+                                .tree
+                                .invalidate(victim)
+                                .expect("pinned pages are indexed");
+                            let addr = Self::entry_addr(state, victim_ix);
+                            let garbage = host.driver().garbage_addr().raw();
+                            host.physical_mut().write_u64(addr, garbage)?;
+                            self.cache
+                                .invalidate(pid, VirtPage::new(victim_ix.0 as u64));
+                            Self::charge_us(board, cost.unpin_cost(1));
+                            host.driver_unpin(pid, victim)?;
+                            let state = self.procs.get_mut(&pid).expect("registered");
+                            state.pinned.remove(victim);
+                            state.stats.unpins += 1;
+                            state.stats.unpin_calls += 1;
+                            state.free.push(victim_ix.0);
+                        };
+                    // Pin and install at the chosen slot.
+                    Self::charge_us(board, cost.pin_cost(1));
+                    let pinned = host.driver_pin(pid, page, 1)?;
                     let state = self.procs.get_mut(&pid).expect("registered");
-                    if let Some(s) = state.free.pop() {
-                        break UtlbIndex(s);
-                    }
-                    let victim = state
-                        .pinned
-                        .select_victims(1)
-                        .pop()
-                        .ok_or(UtlbError::TableFull {
-                            pid,
-                            capacity: table_entries,
-                        })?;
-                    let victim_ix = state
-                        .tree
-                        .invalidate(victim)
-                        .expect("pinned pages are indexed");
-                    let addr = Self::entry_addr(state, victim_ix);
-                    let garbage = host.driver().garbage_addr().raw();
-                    host.physical_mut().write_u64(addr, garbage)?;
-                    self.cache.invalidate(pid, VirtPage::new(victim_ix.0 as u64));
-                    Self::charge_us(board, cost.unpin_cost(1));
-                    host.driver_unpin(pid, victim)?;
-                    let state = self.procs.get_mut(&pid).expect("registered");
-                    state.pinned.remove(victim);
-                    state.stats.unpins += 1;
-                    state.stats.unpin_calls += 1;
-                    state.free.push(victim_ix.0);
-                };
-                // Pin and install at the chosen slot.
-                Self::charge_us(board, cost.pin_cost(1));
-                let pinned = host.driver_pin(pid, page, 1)?;
-                let state = self.procs.get_mut(&pid).expect("registered");
-                let addr = Self::entry_addr(state, slot);
-                host.physical_mut()
-                    .write_u64(addr, pinned[0].phys_addr().raw())?;
-                state.tree.install(page, slot);
-                state.slot_owner.insert(slot.0, page);
-                state.pinned.insert(page);
-                state.stats.pins += 1;
-                state.stats.pin_calls += 1;
-                state.stats.pin_time_ns += (cost.pin_cost(1) * 1000.0) as u64;
-                slot
-            }
-        };
+                    let addr = Self::entry_addr(state, slot);
+                    host.physical_mut()
+                        .write_u64(addr, pinned[0].phys_addr().raw())?;
+                    state.tree.install(page, slot);
+                    state.slot_owner.insert(slot.0, page);
+                    state.pinned.insert(page);
+                    state.stats.pins += 1;
+                    state.stats.pin_calls += 1;
+                    state.stats.pin_time_ns += (cost.pin_cost(1) * 1000.0) as u64;
+                    slot
+                }
+            };
         let state = self.procs.get_mut(&pid).expect("registered");
         state.pinned.touch(page);
 
@@ -284,7 +282,10 @@ impl IndexedEngine {
 mod tests {
     use super::*;
 
-    fn setup(table_entries: usize, cache_entries: usize) -> (Host, Board, IndexedEngine, ProcessId) {
+    fn setup(
+        table_entries: usize,
+        cache_entries: usize,
+    ) -> (Host, Board, IndexedEngine, ProcessId) {
         let mut host = Host::new(1 << 14);
         let board = Board::new();
         let mut engine = IndexedEngine::new(IndexedConfig {
@@ -302,8 +303,12 @@ mod tests {
         let (mut host, mut board, mut engine, pid) = setup(64, 32);
         let va = utlb_mem::VirtAddr::new(0x30_0000);
         host.process_mut(pid).unwrap().write(va, b"ix").unwrap();
-        let pa1 = engine.lookup(&mut host, &mut board, pid, va.page()).unwrap();
-        let pa2 = engine.lookup(&mut host, &mut board, pid, va.page()).unwrap();
+        let pa1 = engine
+            .lookup(&mut host, &mut board, pid, va.page())
+            .unwrap();
+        let pa2 = engine
+            .lookup(&mut host, &mut board, pid, va.page())
+            .unwrap();
         assert_eq!(pa1, pa2);
         let mut buf = [0u8; 2];
         host.physical().read(pa1, &mut buf).unwrap();
@@ -317,15 +322,20 @@ mod tests {
     fn capacity_eviction_recycles_slots_and_invalidates_cache() {
         let (mut host, mut board, mut engine, pid) = setup(2, 32);
         for i in 0..3 {
-            engine.lookup(&mut host, &mut board, pid, VirtPage::new(i)).unwrap();
+            engine
+                .lookup(&mut host, &mut board, pid, VirtPage::new(i))
+                .unwrap();
         }
         let s = engine.stats(pid).unwrap();
         assert_eq!(s.unpins, 1, "third page evicts the LRU slot");
         assert!(!host.driver().pins().is_pinned(pid, VirtPage::new(0)));
         // Page 0 must translate freshly (slot was recycled for page 2).
-        let r = engine.lookup(&mut host, &mut board, pid, VirtPage::new(0)).unwrap();
+        let r = engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(0))
+            .unwrap();
         let expect = host
-            .process(pid).unwrap()
+            .process(pid)
+            .unwrap()
             .space()
             .translate(VirtPage::new(0))
             .unwrap()
@@ -338,13 +348,17 @@ mod tests {
         let (mut host, mut board, mut engine, pid) = setup(8, 64);
         // Fill sequentially: slots align with pages — no fragmentation.
         for i in 0..8 {
-            engine.lookup(&mut host, &mut board, pid, VirtPage::new(i)).unwrap();
+            engine
+                .lookup(&mut host, &mut board, pid, VirtPage::new(i))
+                .unwrap();
         }
         assert_eq!(engine.fragmentation(pid).unwrap(), 0.0);
         // Churn: touch a far-away region so old slots are reused out of
         // page order.
         for i in 100..104 {
-            engine.lookup(&mut host, &mut board, pid, VirtPage::new(i)).unwrap();
+            engine
+                .lookup(&mut host, &mut board, pid, VirtPage::new(i))
+                .unwrap();
         }
         assert!(
             engine.fragmentation(pid).unwrap() > 0.0,

@@ -11,10 +11,8 @@
 //! The cache structure is identical to UTLB's [`SharedUtlbCache`] — the
 //! study assumes "the cache structures are the same for both cases".
 
-use crate::{
-    CacheConfig, CostModel, Result, SharedUtlbCache, TranslationStats, UtlbError,
-};
 use crate::policy::{PinnedSet, Policy};
+use crate::{CacheConfig, CostModel, Result, SharedUtlbCache, TranslationStats, UtlbError};
 use std::collections::HashMap;
 use utlb_mem::{Host, PhysAddr, ProcessId, VirtPage};
 use utlb_nic::{Board, Nanos};
@@ -289,13 +287,17 @@ mod tests {
     #[test]
     fn every_miss_raises_an_interrupt() {
         let (mut host, mut board, mut engine, pid) = setup(small_cfg(64));
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 4).unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(0), 4)
+            .unwrap();
         let s = engine.stats(pid).unwrap();
         assert_eq!(s.ni_misses, 4);
         assert_eq!(s.interrupts, 4);
         assert_eq!(board.intr.raised(), 4);
         // Second pass hits, no new interrupts.
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 4).unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(0), 4)
+            .unwrap();
         assert_eq!(engine.stats(pid).unwrap().interrupts, 4);
     }
 
@@ -311,9 +313,13 @@ mod tests {
             ..IntrConfig::default()
         };
         let (mut host, mut board, mut engine, pid) = setup(cfg);
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 1).unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(0), 1)
+            .unwrap();
         assert!(host.driver().pins().is_pinned(pid, VirtPage::new(0)));
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(4), 1).unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(4), 1)
+            .unwrap();
         assert!(
             !host.driver().pins().is_pinned(pid, VirtPage::new(0)),
             "evicted line's page must be unpinned"
@@ -322,7 +328,9 @@ mod tests {
         assert_eq!(s.unpins, 1);
         // Re-touching page 0 is a fresh miss + pin: translations do not
         // survive eviction in this design.
-        let o = engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 1).unwrap();
+        let o = engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(0), 1)
+            .unwrap();
         assert!(o[0].ni_miss);
     }
 
@@ -330,7 +338,9 @@ mod tests {
     fn pinned_set_equals_cache_contents() {
         let (mut host, mut board, mut engine, pid) = setup(small_cfg(16));
         for i in 0..40 {
-            engine.lookup(&mut host, &mut board, pid, VirtPage::new(i), 1).unwrap();
+            engine
+                .lookup(&mut host, &mut board, pid, VirtPage::new(i), 1)
+                .unwrap();
         }
         let cached = engine.cache().occupancy() as u64;
         assert_eq!(host.driver().pins().pinned_pages(pid), cached);
@@ -347,7 +357,9 @@ mod tests {
         };
         let (mut host, mut board, mut engine, pid) = setup(cfg);
         for i in 0..32 {
-            engine.lookup(&mut host, &mut board, pid, VirtPage::new(i), 1).unwrap();
+            engine
+                .lookup(&mut host, &mut board, pid, VirtPage::new(i), 1)
+                .unwrap();
         }
         assert!(host.driver().pins().pinned_pages(pid) <= 8);
         let s = engine.stats(pid).unwrap();
@@ -359,7 +371,9 @@ mod tests {
         let (mut host, mut board, mut engine, pid) = setup(small_cfg(64));
         let va = utlb_mem::VirtAddr::new(0x12_0000);
         host.process_mut(pid).unwrap().write(va, b"intr").unwrap();
-        let o = engine.lookup(&mut host, &mut board, pid, va.page(), 1).unwrap();
+        let o = engine
+            .lookup(&mut host, &mut board, pid, va.page(), 1)
+            .unwrap();
         let mut buf = [0u8; 4];
         host.physical().read(o[0].phys, &mut buf).unwrap();
         assert_eq!(&buf, b"intr");
@@ -379,10 +393,14 @@ mod tests {
     fn miss_cost_includes_interrupt_dispatch() {
         let (mut host, mut board, mut engine, pid) = setup(small_cfg(64));
         let t0 = board.clock.now();
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 1).unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(0), 1)
+            .unwrap();
         let miss_cost = board.clock.now() - t0;
         let t1 = board.clock.now();
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(0), 1).unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(0), 1)
+            .unwrap();
         let hit_cost = board.clock.now() - t1;
         assert!(
             miss_cost.as_nanos() > hit_cost.as_nanos() + 10_000,

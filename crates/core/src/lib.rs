@@ -74,7 +74,7 @@ mod policy;
 mod stats;
 mod table;
 
-pub use bitvec::{CheckOutcome, PinBitVector};
+pub use bitvec::{CheckOutcome, DenseBits, PinBitVector};
 pub use cache::{Associativity, CacheConfig, CacheStats, Evicted, SharedUtlbCache};
 pub use cost::{CostModel, LookupRates};
 pub use engine::{LookupReport, PageOutcome, UtlbConfig, UtlbEngine};

@@ -141,14 +141,15 @@ impl PerProcessEngine {
                 // Capacity: evict table entries until a slot frees up.
                 let mut slot = state.table.alloc_slot();
                 while slot.is_none() {
-                    let victim = state
-                        .pinned
-                        .select_victims(1)
-                        .pop()
-                        .ok_or(UtlbError::TableFull {
-                            pid,
-                            capacity: state.table.capacity(),
-                        })?;
+                    let victim =
+                        state
+                            .pinned
+                            .select_victims(1)
+                            .pop()
+                            .ok_or(UtlbError::TableFull {
+                                pid,
+                                capacity: state.table.capacity(),
+                            })?;
                     let victim_ix = state
                         .tree
                         .invalidate(victim)
@@ -164,7 +165,9 @@ impl PerProcessEngine {
                 let slot = slot.expect("freed above");
                 Self::charge_us(board, cost.pin_cost(1));
                 let pinned = host.driver_pin(pid, page, 1)?;
-                state.table.install(slot, pinned[0].phys_addr(), &mut board.sram)?;
+                state
+                    .table
+                    .install(slot, pinned[0].phys_addr(), &mut board.sram)?;
                 state.tree.install(page, slot);
                 state.pinned.insert(page);
                 state.stats.pins += 1;
@@ -200,7 +203,9 @@ mod tests {
     fn lookup_pins_once_and_never_ni_misses() {
         let (mut host, mut board, mut engine, pid) = setup(16);
         for _ in 0..3 {
-            engine.lookup(&mut host, &mut board, pid, VirtPage::new(5)).unwrap();
+            engine
+                .lookup(&mut host, &mut board, pid, VirtPage::new(5))
+                .unwrap();
         }
         let s = engine.stats(pid).unwrap();
         assert_eq!(s.lookups, 3);
@@ -212,9 +217,15 @@ mod tests {
     #[test]
     fn capacity_eviction_unpins_lru() {
         let (mut host, mut board, mut engine, pid) = setup(2);
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(1)).unwrap();
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(2)).unwrap();
-        engine.lookup(&mut host, &mut board, pid, VirtPage::new(3)).unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(1))
+            .unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(2))
+            .unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(3))
+            .unwrap();
         let s = engine.stats(pid).unwrap();
         assert_eq!(s.unpins, 1);
         assert!(!host.driver().pins().is_pinned(pid, VirtPage::new(1)));
@@ -226,7 +237,9 @@ mod tests {
         let (mut host, mut board, mut engine, pid) = setup(16);
         let va = utlb_mem::VirtAddr::new(0x40_0000);
         host.process_mut(pid).unwrap().write(va, b"pp").unwrap();
-        let pa = engine.lookup(&mut host, &mut board, pid, va.page()).unwrap();
+        let pa = engine
+            .lookup(&mut host, &mut board, pid, va.page())
+            .unwrap();
         let mut buf = [0u8; 2];
         host.physical().read(pa, &mut buf).unwrap();
         assert_eq!(&buf, b"pp");

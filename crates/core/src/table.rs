@@ -146,7 +146,10 @@ mod tests {
     fn fresh_table_reads_garbage_everywhere() {
         let (sram, t) = setup(8);
         for i in 0..8 {
-            assert_eq!(t.read(UtlbIndex(i), &sram).unwrap(), PhysAddr::new(0x00BA_D000));
+            assert_eq!(
+                t.read(UtlbIndex(i), &sram).unwrap(),
+                PhysAddr::new(0x00BA_D000)
+            );
         }
         // Out-of-range index also lands on garbage, never an error.
         assert_eq!(
@@ -159,7 +162,8 @@ mod tests {
     fn install_then_read_then_evict() {
         let (mut sram, mut t) = setup(4);
         let idx = t.alloc_slot().unwrap();
-        t.install(idx, PhysAddr::new(0x0123_4000), &mut sram).unwrap();
+        t.install(idx, PhysAddr::new(0x0123_4000), &mut sram)
+            .unwrap();
         assert_eq!(t.read(idx, &sram).unwrap(), PhysAddr::new(0x0123_4000));
         t.evict(idx, &mut sram).unwrap();
         assert_eq!(t.read(idx, &sram).unwrap(), PhysAddr::new(0x00BA_D000));
@@ -179,12 +183,7 @@ mod tests {
     #[test]
     fn sram_exhaustion_surfaces() {
         let mut sram = Sram::new(64);
-        let r = PerProcessTable::new(
-            ProcessId::new(1),
-            1024,
-            &mut sram,
-            PhysAddr::new(0),
-        );
+        let r = PerProcessTable::new(ProcessId::new(1), 1024, &mut sram, PhysAddr::new(0));
         assert!(matches!(r, Err(UtlbError::Nic(_))));
     }
 }

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use utlb_core::{
-    Associativity, CacheConfig, PinBitVector, Policy, PinnedSet, SharedUtlbCache, UtlbConfig,
+    Associativity, CacheConfig, PinBitVector, PinnedSet, Policy, SharedUtlbCache, UtlbConfig,
     UtlbEngine,
 };
 use utlb_mem::{Host, PhysAddr, ProcessId, VirtPage};

@@ -10,8 +10,7 @@
 //! worst data lands in the garbage page (§4.2).
 
 use crate::{
-    FrameId, PhysAddr, PhysicalMemory, PinRegistry, PinStats, Process, ProcessId, Result,
-    VirtPage,
+    FrameId, PhysAddr, PhysicalMemory, PinRegistry, PinStats, Process, ProcessId, Result, VirtPage,
 };
 
 /// A page pinned by the driver, with the translation it reported.

@@ -65,7 +65,10 @@ impl fmt::Display for MemError {
         match self {
             MemError::OutOfFrames => write!(f, "physical memory has no free frames"),
             MemError::PhysOutOfRange { addr, len } => {
-                write!(f, "physical access of {len} bytes at {addr} is out of range")
+                write!(
+                    f,
+                    "physical access of {len} bytes at {addr} is out of range"
+                )
             }
             MemError::UnknownProcess(pid) => write!(f, "unknown process {pid}"),
             MemError::NotPinned { pid, page } => {
@@ -82,7 +85,10 @@ impl fmt::Display for MemError {
                 write!(f, "page {page} is swapped out; bring it resident first")
             }
             MemError::CannotReclaimPinned { pid, page } => {
-                write!(f, "page {page} of process {pid} is pinned and cannot be reclaimed")
+                write!(
+                    f,
+                    "page {page} of process {pid} is pinned and cannot be reclaimed"
+                )
             }
             MemError::UnknownSwapBlock(id) => write!(f, "unknown swap block {id}"),
         }

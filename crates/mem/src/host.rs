@@ -1,10 +1,10 @@
 //! The assembled host: DRAM + processes + driver + swap.
 
+use crate::space::PageSlot;
 use crate::{
     HostDriver, MemError, PhysicalMemory, PinnedPage, Process, ProcessId, Result, SwapDevice,
     VirtPage, PAGE_SIZE,
 };
-use crate::space::PageSlot;
 use std::collections::BTreeMap;
 
 /// One simulated host machine.
@@ -130,7 +130,9 @@ impl Host {
     ///
     /// Returns [`MemError::UnknownProcess`] if `pid` is not live.
     pub fn process(&self, pid: ProcessId) -> Result<&Process> {
-        self.processes.get(&pid).ok_or(MemError::UnknownProcess(pid))
+        self.processes
+            .get(&pid)
+            .ok_or(MemError::UnknownProcess(pid))
     }
 
     /// Mutable access to a process, paired with physical memory.
@@ -320,7 +322,9 @@ mod tests {
         host.process_mut(pid).unwrap().write(va, b"dma me").unwrap();
         let pinned = host.driver_pin(pid, va.page(), 1).unwrap();
         let mut buf = [0u8; 6];
-        host.physical().read(pinned[0].phys_addr(), &mut buf).unwrap();
+        host.physical()
+            .read(pinned[0].phys_addr(), &mut buf)
+            .unwrap();
         assert_eq!(&buf, b"dma me");
         host.driver_unpin(pid, va.page()).unwrap();
     }

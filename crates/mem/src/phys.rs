@@ -73,7 +73,9 @@ impl PhysicalMemory {
             let off = (cursor % PAGE_SIZE) as usize;
             let chunk = ((PAGE_SIZE as usize) - off).min(buf.len() - filled);
             match self.data.get(&frame) {
-                Some(bytes) => buf[filled..filled + chunk].copy_from_slice(&bytes[off..off + chunk]),
+                Some(bytes) => {
+                    buf[filled..filled + chunk].copy_from_slice(&bytes[off..off + chunk])
+                }
                 None => buf[filled..filled + chunk].fill(0),
             }
             filled += chunk;
@@ -176,8 +178,12 @@ mod tests {
     #[test]
     fn u64_roundtrip() {
         let mut mem = PhysicalMemory::new(4);
-        mem.write_u64(PhysAddr::new(8), 0xDEAD_BEEF_CAFE_F00D).unwrap();
-        assert_eq!(mem.read_u64(PhysAddr::new(8)).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        mem.write_u64(PhysAddr::new(8), 0xDEAD_BEEF_CAFE_F00D)
+            .unwrap();
+        assert_eq!(
+            mem.read_u64(PhysAddr::new(8)).unwrap(),
+            0xDEAD_BEEF_CAFE_F00D
+        );
     }
 
     #[test]

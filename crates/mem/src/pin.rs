@@ -175,7 +175,13 @@ mod tests {
         assert!(reg.is_pinned(pid(1), p));
         reg.unpin(pid(1), p).unwrap();
         assert!(!reg.is_pinned(pid(1), p));
-        assert_eq!(reg.unpin(pid(1), p), Err(MemError::NotPinned { pid: pid(1), page: p }));
+        assert_eq!(
+            reg.unpin(pid(1), p),
+            Err(MemError::NotPinned {
+                pid: pid(1),
+                page: p
+            })
+        );
     }
 
     #[test]

@@ -96,9 +96,11 @@ mod tests {
         let mut phys = PhysicalMemory::new(8);
         let mut p = Process::new(ProcessId::new(7));
         assert_eq!(p.id().raw(), 7);
-        p.write_bytes(VirtAddr::new(0x1000), b"abc", &mut phys).unwrap();
+        p.write_bytes(VirtAddr::new(0x1000), b"abc", &mut phys)
+            .unwrap();
         let mut out = [0u8; 3];
-        p.read_bytes(VirtAddr::new(0x1000), &mut out, &phys).unwrap();
+        p.read_bytes(VirtAddr::new(0x1000), &mut out, &phys)
+            .unwrap();
         assert_eq!(&out, b"abc");
     }
 

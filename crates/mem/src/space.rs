@@ -1,6 +1,8 @@
 //! Per-process virtual address spaces with OS-style page tables.
 
-use crate::{BlockId, FrameId, MemError, PhysAddr, PhysicalMemory, Result, VirtAddr, VirtPage, PAGE_SIZE};
+use crate::{
+    BlockId, FrameId, MemError, PhysAddr, PhysicalMemory, Result, VirtAddr, VirtPage, PAGE_SIZE,
+};
 use std::collections::BTreeMap;
 
 /// Where a mapped page's contents currently live.
@@ -119,11 +121,7 @@ impl AddressSpace {
     /// # Errors
     ///
     /// Propagates [`crate::MemError::OutOfFrames`].
-    pub fn phys_addr_of(
-        &mut self,
-        va: VirtAddr,
-        phys: &mut PhysicalMemory,
-    ) -> Result<PhysAddr> {
+    pub fn phys_addr_of(&mut self, va: VirtAddr, phys: &mut PhysicalMemory) -> Result<PhysAddr> {
         let frame = self.translate_or_map(va.page(), phys)?;
         Ok(frame.base().offset(va.page_offset()))
     }
@@ -135,12 +133,7 @@ impl AddressSpace {
     /// # Errors
     ///
     /// Propagates allocation and range errors from physical memory.
-    pub fn write(
-        &mut self,
-        va: VirtAddr,
-        buf: &[u8],
-        phys: &mut PhysicalMemory,
-    ) -> Result<()> {
+    pub fn write(&mut self, va: VirtAddr, buf: &[u8], phys: &mut PhysicalMemory) -> Result<()> {
         let mut done = 0usize;
         let mut cursor = va;
         while done < buf.len() {

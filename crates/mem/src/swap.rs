@@ -56,11 +56,7 @@ impl SwapDevice {
     /// Panics if `data` is not exactly one page — callers always swap whole
     /// second-level tables.
     pub fn store(&mut self, data: &[u8]) -> BlockId {
-        assert_eq!(
-            data.len() as u64,
-            PAGE_SIZE,
-            "swap blocks are page-sized"
-        );
+        assert_eq!(data.len() as u64, PAGE_SIZE, "swap blocks are page-sized");
         let id = self.next;
         self.next += 1;
         self.blocks.insert(id, data.to_vec().into_boxed_slice());

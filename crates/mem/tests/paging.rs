@@ -14,7 +14,10 @@ fn swap_roundtrip_preserves_contents() {
     let mut host = Host::new(16);
     let pid = host.spawn_process();
     let va = VirtAddr::new(0x7000);
-    host.process_mut(pid).unwrap().write(va, b"page me out").unwrap();
+    host.process_mut(pid)
+        .unwrap()
+        .write(va, b"page me out")
+        .unwrap();
 
     let frames_before = host.physical().allocator().allocated_frames();
     assert!(host.reclaim_page(pid, va.page()).unwrap());
@@ -58,14 +61,19 @@ fn pinning_a_swapped_page_faults_it_in_first() {
     let mut host = Host::new(16);
     let pid = host.spawn_process();
     let va = VirtAddr::new(0x9000);
-    host.process_mut(pid).unwrap().write(va, b"dma target").unwrap();
+    host.process_mut(pid)
+        .unwrap()
+        .write(va, b"dma target")
+        .unwrap();
     host.reclaim_page(pid, va.page()).unwrap();
 
     // The driver pin path must produce a *resident* translation whose frame
     // holds the original bytes — otherwise DMA would read stale garbage.
     let pinned = host.driver_pin(pid, va.page(), 1).unwrap();
     let mut buf = [0u8; 10];
-    host.physical().read(pinned[0].phys_addr(), &mut buf).unwrap();
+    host.physical()
+        .read(pinned[0].phys_addr(), &mut buf)
+        .unwrap();
     assert_eq!(&buf, b"dma target");
     // And it is now immune to further reclaim.
     assert!(host.reclaim_page(pid, va.page()).is_err());
@@ -79,7 +87,10 @@ fn reclaim_of_nonresident_pages_is_a_noop() {
     // Never touched: nothing to reclaim.
     assert!(!host.reclaim_page(pid, page).unwrap());
     // Already swapped: idempotent.
-    host.process_mut(pid).unwrap().write(page.base(), &[1]).unwrap();
+    host.process_mut(pid)
+        .unwrap()
+        .write(page.base(), &[1])
+        .unwrap();
     assert!(host.reclaim_page(pid, page).unwrap());
     assert!(!host.reclaim_page(pid, page).unwrap());
     // ensure_resident on a resident or unmapped page is a no-op too.

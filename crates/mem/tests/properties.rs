@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use utlb_mem::{
-    AddressSpace, FrameAllocator, Host, PhysAddr, PhysicalMemory, PinRegistry, ProcessId,
-    VirtAddr, VirtPage, PAGE_SIZE,
+    AddressSpace, FrameAllocator, Host, PhysAddr, PhysicalMemory, PinRegistry, ProcessId, VirtAddr,
+    VirtPage, PAGE_SIZE,
 };
 
 proptest! {

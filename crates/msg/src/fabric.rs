@@ -111,9 +111,9 @@ impl Fabric {
         let ring_import = self
             .cluster
             .import(src_ep.node, src_ep.pid, dst_ep.node, ring_export)?;
-        let credit_import = self
-            .cluster
-            .import(src_ep.node, src_ep.pid, dst_ep.node, credit_export)?;
+        let credit_import =
+            self.cluster
+                .import(src_ep.node, src_ep.pid, dst_ep.node, credit_export)?;
         let bulk_import = self
             .cluster
             .import(src_ep.node, src_ep.pid, dst_ep.node, bulk_export)?;
@@ -155,7 +155,9 @@ impl Fabric {
     }
 
     fn channel(&self, id: ChannelId) -> Result<&Channel> {
-        self.channels.get(&id.0).ok_or(MsgError::UnknownChannel(id.0))
+        self.channels
+            .get(&id.0)
+            .ok_or(MsgError::UnknownChannel(id.0))
     }
 
     fn channel_mut(&mut self, id: ChannelId) -> Result<&mut Channel> {
@@ -172,11 +174,18 @@ impl Fabric {
         credit_import: ImportId,
         scratch: VirtAddr,
     ) -> Result<u64> {
-        self.cluster
-            .remote_fetch(src.node, src.pid, credit_import, scratch, credit::CONSUMED, 8)?;
+        self.cluster.remote_fetch(
+            src.node,
+            src.pid,
+            credit_import,
+            scratch,
+            credit::CONSUMED,
+            8,
+        )?;
         self.cluster.run_until_quiet()?;
         let mut buf = [0u8; 8];
-        self.cluster.read_local(src.node, src.pid, scratch, &mut buf)?;
+        self.cluster
+            .read_local(src.node, src.pid, scratch, &mut buf)?;
         Ok(u64::from_le_bytes(buf))
     }
 
@@ -216,8 +225,7 @@ impl Fabric {
         // Flow control: outstanding eager slots.
         let mut credits_seen = dir.credits_seen;
         if dir.send_seq - 1 - credits_seen >= cfg.slots {
-            credits_seen =
-                self.refresh_credits(src, dir.credit_import, dir.fetch_scratch_va)?;
+            credits_seen = self.refresh_credits(src, dir.credit_import, dir.fetch_scratch_va)?;
             if dir.send_seq - 1 - credits_seen >= cfg.slots {
                 return Err(MsgError::WouldBlock);
             }
@@ -245,7 +253,8 @@ impl Fabric {
             // Header staging lives in the fetch-scratch page, clear of the
             // payload staging area.
             let header_va = dir.fetch_scratch_va.offset(64);
-            self.cluster.write_local(src.node, src.pid, header_va, &header)?;
+            self.cluster
+                .write_local(src.node, src.pid, header_va, &header)?;
             self.cluster.remote_store(
                 src.node,
                 src.pid,
@@ -262,7 +271,8 @@ impl Fabric {
                 .write_local(src.node, src.pid, dir.send_stage_va, payload)?;
             let header = ring::encode_header(seq, len);
             let header_va = dir.fetch_scratch_va.offset(64);
-            self.cluster.write_local(src.node, src.pid, header_va, &header)?;
+            self.cluster
+                .write_local(src.node, src.pid, header_va, &header)?;
             self.cluster.remote_store(
                 src.node,
                 src.pid,
@@ -297,7 +307,8 @@ impl Fabric {
         let n = self.recv_into(channel, to, target, probe)?;
         let dst = self.endpoint(to)?;
         let mut buf = vec![0u8; n as usize];
-        self.cluster.read_local(dst.node, dst.pid, target, &mut buf)?;
+        self.cluster
+            .read_local(dst.node, dst.pid, target, &mut buf)?;
         Ok(buf)
     }
 
@@ -399,7 +410,8 @@ impl Fabric {
             )?;
             self.cluster.run_until_quiet()?;
             let mut buf = [0u8; 8];
-            self.cluster.read_local(src.node, src.pid, cts_scratch, &mut buf)?;
+            self.cluster
+                .read_local(src.node, src.pid, cts_scratch, &mut buf)?;
             if u64::from_le_bytes(buf) != pseq {
                 return Err(MsgError::ProtocolViolation("clear-to-send not granted"));
             }

@@ -15,8 +15,11 @@ enum Op {
 
 fn ops() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<bool>(), 1u16..3000, any::<u8>())
-            .prop_map(|(from_a, len, fill)| Op::Send { from_a, len, fill }),
+        (any::<bool>(), 1u16..3000, any::<u8>()).prop_map(|(from_a, len, fill)| Op::Send {
+            from_a,
+            len,
+            fill
+        }),
         any::<bool>().prop_map(|at_a| Op::Recv { at_a }),
     ]
 }

@@ -155,7 +155,9 @@ mod tests {
         q.post(cmd(1, 11)).unwrap();
         q.post(cmd(2, 20)).unwrap();
         q.post(cmd(2, 21)).unwrap();
-        let order: Vec<u32> = std::iter::from_fn(|| q.poll()).map(|c| c.pid.raw()).collect();
+        let order: Vec<u32> = std::iter::from_fn(|| q.poll())
+            .map(|c| c.pid.raw())
+            .collect();
         assert_eq!(order, vec![1, 2, 1, 2], "firmware alternates buffers");
         assert_eq!(q.counters(), (4, 4));
     }

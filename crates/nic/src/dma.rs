@@ -194,8 +194,14 @@ mod tests {
         let mut host = PhysicalMemory::new(4);
         let mut dma = DmaEngine::default();
         host.write(PhysAddr::new(0), b"zero copy").unwrap();
-        dma.host_to_host(&mut clock, &mut host, PhysAddr::new(0), PhysAddr::new(4096), 9)
-            .unwrap();
+        dma.host_to_host(
+            &mut clock,
+            &mut host,
+            PhysAddr::new(0),
+            PhysAddr::new(4096),
+            9,
+        )
+        .unwrap();
         let mut buf = [0u8; 9];
         host.read(PhysAddr::new(4096), &mut buf).unwrap();
         assert_eq!(&buf, b"zero copy");
@@ -209,7 +215,9 @@ mod tests {
         for i in 0..8u64 {
             host.write_u64(PhysAddr::new(i * 8), 100 + i).unwrap();
         }
-        let words = dma.fetch_words(&mut clock, &host, PhysAddr::new(0), 8).unwrap();
+        let words = dma
+            .fetch_words(&mut clock, &host, PhysAddr::new(0), 8)
+            .unwrap();
         assert_eq!(words, vec![100, 101, 102, 103, 104, 105, 106, 107]);
         // Cost equals the bus model for 8 words.
         assert_eq!(clock.now(), dma.bus().dma_words(8));
@@ -224,9 +232,11 @@ mod tests {
         let mut a = DmaEngine::new(bus);
         let mut b = DmaEngine::new(bus);
         for _ in 0..8 {
-            a.fetch_words(&mut one_clock, &host, PhysAddr::new(0), 1).unwrap();
+            a.fetch_words(&mut one_clock, &host, PhysAddr::new(0), 1)
+                .unwrap();
         }
-        b.fetch_words(&mut batched_clock, &host, PhysAddr::new(0), 8).unwrap();
+        b.fetch_words(&mut batched_clock, &host, PhysAddr::new(0), 8)
+            .unwrap();
         assert!(batched_clock.now() < one_clock.now());
     }
 }

@@ -45,7 +45,10 @@ impl fmt::Display for NicError {
                 "sram exhausted: requested {requested} bytes, {available} available"
             ),
             NicError::SramOutOfRange { offset, len } => {
-                write!(f, "sram access of {len} bytes at offset {offset} out of range")
+                write!(
+                    f,
+                    "sram access of {len} bytes at offset {offset} out of range"
+                )
             }
             NicError::DmaFault(e) => write!(f, "dma fault: {e}"),
             NicError::UnknownQueue(id) => write!(f, "unknown command queue {id}"),

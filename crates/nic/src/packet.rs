@@ -67,7 +67,13 @@ impl Packet {
     ///
     /// Panics if the payload exceeds [`MAX_PAYLOAD`]; fragmentation is the
     /// sender's job.
-    pub fn data(src: NodeId, dst: NodeId, seq: u64, delivery: DeliveryInfo, payload: Vec<u8>) -> Self {
+    pub fn data(
+        src: NodeId,
+        dst: NodeId,
+        seq: u64,
+        delivery: DeliveryInfo,
+        payload: Vec<u8>,
+    ) -> Self {
         assert!(
             payload.len() <= MAX_PAYLOAD,
             "payload {} exceeds MTU {MAX_PAYLOAD}",
@@ -200,6 +206,12 @@ mod tests {
             offset: 0,
             nbytes: 0,
         };
-        Packet::data(NodeId::new(0), NodeId::new(1), 0, d, vec![0; MAX_PAYLOAD + 1]);
+        Packet::data(
+            NodeId::new(0),
+            NodeId::new(1),
+            0,
+            d,
+            vec![0; MAX_PAYLOAD + 1],
+        );
     }
 }

@@ -335,8 +335,10 @@ mod tests {
         let remap = RemapTable::new();
         let mut tx = ReliableSender::new(NodeId::new(0), NodeId::new(1), 4);
         let mut rx = ReliableReceiver::new();
-        tx.send(data_packet(1), &mut switch, &remap, Nanos::ZERO).unwrap();
-        tx.send(data_packet(2), &mut switch, &remap, Nanos::ZERO).unwrap();
+        tx.send(data_packet(1), &mut switch, &remap, Nanos::ZERO)
+            .unwrap();
+        tx.send(data_packet(2), &mut switch, &remap, Nanos::ZERO)
+            .unwrap();
 
         let t1 = Nanos::from_micros(50.0);
         let (delivered, ack) = drain(&mut switch, &mut rx, NodeId::new(1), t1);
@@ -362,7 +364,8 @@ mod tests {
         let remap = RemapTable::new();
         let mut tx = ReliableSender::new(NodeId::new(0), NodeId::new(1), 1);
         tx.set_max_retries(2);
-        tx.send(data_packet(0), &mut switch, &remap, Nanos::ZERO).unwrap();
+        tx.send(data_packet(0), &mut switch, &remap, Nanos::ZERO)
+            .unwrap();
         let mut now = Nanos::ZERO;
         let mut failed = false;
         for _ in 0..5 {
@@ -386,7 +389,8 @@ mod tests {
         let mut remap = RemapTable::new();
         remap.remap(NodeId::new(1), NodeId::new(2));
         let mut tx = ReliableSender::new(NodeId::new(0), NodeId::new(1), 4);
-        tx.send(data_packet(7), &mut switch, &remap, Nanos::ZERO).unwrap();
+        tx.send(data_packet(7), &mut switch, &remap, Nanos::ZERO)
+            .unwrap();
         let later = Nanos::from_micros(50.0);
         assert!(switch.recv(NodeId::new(1), later).unwrap().is_none());
         let got = switch.recv(NodeId::new(2), later).unwrap().unwrap();

@@ -194,10 +194,7 @@ mod tests {
         let b = sram.alloc(32).unwrap();
         assert_eq!(a.base().raw(), 0);
         assert_eq!(b.base().raw(), 32);
-        assert!(matches!(
-            sram.alloc(1),
-            Err(NicError::SramExhausted { .. })
-        ));
+        assert!(matches!(sram.alloc(1), Err(NicError::SramExhausted { .. })));
     }
 
     #[test]

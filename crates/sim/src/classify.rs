@@ -177,7 +177,7 @@ mod tests {
         let mut c = MissClassifier::new(8);
         c.access(pid(1), page(0), true); // compulsory
         c.access(pid(1), page(1), true); // compulsory
-        // Page 0 is still in the 8-deep shadow; a real miss must be conflict.
+                                         // Page 0 is still in the 8-deep shadow; a real miss must be conflict.
         assert_eq!(c.access(pid(1), page(0), true), Some(MissKind::Conflict));
         assert_eq!(c.breakdown().conflict, 1);
     }
@@ -204,7 +204,7 @@ mod tests {
         c.access(pid(1), page(1), true);
         c.access(pid(1), page(0), false); // refresh 0 → LRU is 1
         c.access(pid(1), page(2), true); // evicts 1 from shadow
-        // Page 0 survived in the shadow → a real miss on it is conflict.
+                                         // Page 0 survived in the shadow → a real miss on it is conflict.
         assert_eq!(c.access(pid(1), page(0), true), Some(MissKind::Conflict));
         // Page 1 was evicted → capacity.
         assert_eq!(c.access(pid(1), page(1), true), Some(MissKind::Capacity));

@@ -9,16 +9,45 @@
 //!   multiprogrammed traces, so we run it.
 
 use crate::report::{micros, rate, TextTable};
-use crate::{run_utlb, SimConfig};
-use utlb_core::Associativity;
+use crate::{run_utlb, sweep_over, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use utlb_core::Associativity;
 use utlb_core::{
     IndexedConfig, IndexedEngine, PerProcessConfig, PerProcessEngine, Policy, TranslationStats,
 };
-use utlb_mem::Host;
+use utlb_mem::{Host, ProcessId, VirtPage};
 use utlb_nic::Board;
 use utlb_trace::{gen, GenConfig, SplashApp, Trace};
+
+/// Spawns one process per trace pid on a fresh host/board, runs `register`
+/// for each, then replays every record's page span through `lookup`.
+///
+/// All the ablation harnesses (`run_perproc`, `run_indexed`) need exactly
+/// this registration + footprint walk; only the engine calls differ, so the
+/// engine is threaded through explicitly rather than captured.
+fn replay_trace<E>(
+    trace: &Trace,
+    engine: &mut E,
+    register: impl Fn(&mut E, &mut Host, &mut Board, ProcessId),
+    lookup: impl Fn(&mut E, &mut Host, &mut Board, ProcessId, VirtPage),
+) -> Vec<ProcessId> {
+    let pids = trace.process_ids();
+    let mut host = Host::new(1 << 20);
+    let mut board = Board::new();
+    for expected in &pids {
+        let got = host.spawn_process();
+        assert_eq!(got, *expected, "trace pids must be dense from 1");
+        register(engine, &mut host, &mut board, got);
+    }
+    for rec in &trace.records {
+        let npages = rec.va.span_pages(rec.nbytes);
+        for page in rec.va.page().range(npages) {
+            lookup(engine, &mut host, &mut board, rec.pid, page);
+        }
+    }
+    pids
+}
 
 /// One policy's outcome under memory pressure.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -48,27 +77,24 @@ pub struct PolicySweep {
 
 /// Runs all five policies on `app` with a limit at 40% of the footprint.
 pub fn policy_sweep(app: SplashApp, cfg: &GenConfig) -> PolicySweep {
-    let trace = gen::generate(app, cfg);
+    let trace = gen::generate_shared(app, cfg);
     let per_process_fp = trace.footprint_pages() / 5;
     let mem_limit_pages = (per_process_fp * 2 / 5).max(4);
-    let cells = Policy::ALL
-        .iter()
-        .map(|&policy| {
-            let sim = SimConfig {
-                policy,
-                mem_limit_pages: Some(mem_limit_pages),
-                ..SimConfig::study(8192)
-            };
-            let r = run_utlb(&trace, &sim);
-            PolicyCell {
-                policy,
-                pin_rate: r.stats.pin_rate(),
-                unpin_rate: r.stats.unpin_rate(),
-                check_miss_rate: r.stats.check_miss_rate(),
-                lookup_us: r.utlb_lookup_cost(&sim),
-            }
-        })
-        .collect();
+    let cells = sweep_over(&Policy::ALL, |&policy| {
+        let sim = SimConfig {
+            policy,
+            mem_limit_pages: Some(mem_limit_pages),
+            ..SimConfig::study(8192)
+        };
+        let r = run_utlb(&trace, &sim);
+        PolicyCell {
+            policy,
+            pin_rate: r.stats.pin_rate(),
+            unpin_rate: r.stats.unpin_rate(),
+            check_miss_rate: r.stats.check_miss_rate(),
+            lookup_us: r.utlb_lookup_cost(&sim),
+        }
+    });
     PolicySweep {
         app,
         mem_limit_pages,
@@ -82,7 +108,13 @@ impl fmt::Display for PolicySweep {
             "Replacement-policy sweep: {} ({} pinned pages/process)",
             self.app, self.mem_limit_pages
         ));
-        t.header(["policy", "pin rate", "unpin rate", "check miss", "lookup µs"]);
+        t.header([
+            "policy",
+            "pin rate",
+            "unpin rate",
+            "check miss",
+            "lookup µs",
+        ]);
         for c in &self.cells {
             t.row([
                 c.policy.to_string(),
@@ -110,12 +142,8 @@ pub struct PerprocVsShared {
 }
 
 /// Runs both UTLB variants on `app` with the same total SRAM entry budget.
-pub fn perproc_vs_shared(
-    app: SplashApp,
-    cfg: &GenConfig,
-    sram_entries: usize,
-) -> PerprocVsShared {
-    let trace = gen::generate(app, cfg);
+pub fn perproc_vs_shared(app: SplashApp, cfg: &GenConfig, sram_entries: usize) -> PerprocVsShared {
+    let trace = gen::generate_shared(app, cfg);
 
     // Shared UTLB-Cache (Hierarchical engine): the full budget is one cache.
     let shared = run_utlb(&trace, &SimConfig::study(sram_entries)).stats;
@@ -132,29 +160,23 @@ pub fn perproc_vs_shared(
 }
 
 fn run_perproc(trace: &Trace, sram_entries: usize) -> TranslationStats {
-    let pids = trace.process_ids();
-    let per_table = (sram_entries / pids.len()).max(1);
-    let mut host = Host::new(1 << 20);
-    let mut board = Board::new();
+    let per_table = (sram_entries / trace.process_ids().len()).max(1);
     let mut engine = PerProcessEngine::new(PerProcessConfig {
         table_entries: per_table,
         ..PerProcessConfig::default()
     });
-    for expected in &pids {
-        let got = host.spawn_process();
-        assert_eq!(got, *expected, "trace pids must be dense from 1");
-        engine
-            .register_process(&mut host, &mut board, got)
-            .expect("registration succeeds");
-    }
-    for rec in &trace.records {
-        let npages = rec.va.span_pages(rec.nbytes);
-        for page in rec.va.page().range(npages) {
-            engine
-                .lookup(&mut host, &mut board, rec.pid, page)
+    let pids = replay_trace(
+        trace,
+        &mut engine,
+        |e, host, board, pid| {
+            e.register_process(host, board, pid)
+                .expect("registration succeeds");
+        },
+        |e, host, board, pid, page| {
+            e.lookup(host, board, pid, page)
                 .expect("trace lookups succeed");
-        }
-    }
+        },
+    );
     pids.iter()
         .map(|p| engine.stats(*p).expect("registered"))
         .fold(TranslationStats::default(), |a, b| a + b)
@@ -166,8 +188,17 @@ impl fmt::Display for PerprocVsShared {
             "Per-process UTLB vs Shared UTLB-Cache: {} ({} SRAM entries total)",
             self.app, self.sram_entries
         ));
-        t.header(["variant", "check miss", "NI miss", "pins/lookup", "unpins/lookup"]);
-        for (name, s) in [("per-process", &self.perproc), ("shared-cache", &self.shared)] {
+        t.header([
+            "variant",
+            "check miss",
+            "NI miss",
+            "pins/lookup",
+            "unpins/lookup",
+        ]);
+        for (name, s) in [
+            ("per-process", &self.perproc),
+            ("shared-cache", &self.shared),
+        ] {
             t.row([
                 name.to_string(),
                 format!("{:.3}", s.check_miss_rate()),
@@ -205,7 +236,7 @@ pub fn variant_comparison(
     cfg: &GenConfig,
     budget_entries: usize,
 ) -> VariantComparison {
-    let trace = gen::generate(app, cfg);
+    let trace = gen::generate_shared(app, cfg);
     let hierarchical = run_utlb(&trace, &SimConfig::study(budget_entries)).stats;
     let perproc = run_perproc(&trace, budget_entries);
     let (indexed, indexed_fragmentation) = run_indexed(&trace, budget_entries);
@@ -220,27 +251,23 @@ pub fn variant_comparison(
 }
 
 fn run_indexed(trace: &Trace, cache_entries: usize) -> (TranslationStats, f64) {
-    let pids = trace.process_ids();
-    let mut host = Host::new(1 << 20);
-    let mut board = Board::new();
     let mut engine = IndexedEngine::new(IndexedConfig {
         cache: utlb_core::CacheConfig::direct(cache_entries),
         table_entries: 16384,
         ..IndexedConfig::default()
     });
-    for expected in &pids {
-        let got = host.spawn_process();
-        assert_eq!(got, *expected, "trace pids must be dense from 1");
-        engine.register_process(&mut host, got).expect("registration succeeds");
-    }
-    for rec in &trace.records {
-        let npages = rec.va.span_pages(rec.nbytes);
-        for page in rec.va.page().range(npages) {
-            engine
-                .lookup(&mut host, &mut board, rec.pid, page)
+    let pids = replay_trace(
+        trace,
+        &mut engine,
+        |e, host, _board, pid| {
+            e.register_process(host, pid)
+                .expect("registration succeeds");
+        },
+        |e, host, board, pid, page| {
+            e.lookup(host, board, pid, page)
                 .expect("trace lookups succeed");
-        }
-    }
+        },
+    );
     let stats = pids
         .iter()
         .map(|p| engine.stats(*p).expect("registered"))
@@ -259,7 +286,13 @@ impl fmt::Display for VariantComparison {
             "UTLB variants (§3.1 / §3.2 / §3.3): {} at {} NIC entries (§3.2 fragmentation {:.2})",
             self.app, self.budget_entries, self.indexed_fragmentation
         ));
-        t.header(["variant", "check miss", "NI miss", "pins/lookup", "unpins/lookup"]);
+        t.header([
+            "variant",
+            "check miss",
+            "NI miss",
+            "pins/lookup",
+            "unpins/lookup",
+        ]);
         for (name, s) in [
             ("per-process (3.1)", &self.perproc),
             ("indexed (3.2)", &self.indexed),
@@ -295,18 +328,19 @@ pub struct AssocCost {
 /// every extra way costs a serial tag check in firmware, so "the
 /// set-associative caches lose to the direct-map cache" on actual cost.
 pub fn assoc_cost(app: SplashApp, cfg: &GenConfig, cache_entries: usize) -> AssocCost {
-    let trace = gen::generate(app, cfg);
-    let rows = Associativity::ALL
-        .iter()
-        .map(|&assoc| {
-            let sim = SimConfig {
-                associativity: assoc,
-                ..SimConfig::study(cache_entries)
-            };
-            let r = run_utlb(&trace, &sim);
-            (assoc, r.stats.ni_miss_rate(), r.utlb_lookup_cost_serial(&sim))
-        })
-        .collect();
+    let trace = gen::generate_shared(app, cfg);
+    let rows = sweep_over(&Associativity::ALL, |&assoc| {
+        let sim = SimConfig {
+            associativity: assoc,
+            ..SimConfig::study(cache_entries)
+        };
+        let r = run_utlb(&trace, &sim);
+        (
+            assoc,
+            r.stats.ni_miss_rate(),
+            r.utlb_lookup_cost_serial(&sim),
+        )
+    });
     AssocCost {
         app,
         cache_entries,
@@ -374,9 +408,7 @@ mod tests {
         // §6.3: "the set-associative caches lose to the direct-map cache"
         // once the serial per-way tag checks are charged.
         let r = assoc_cost(SplashApp::Water, &test_gen_config(), 2048);
-        let cost_of = |a: Associativity| {
-            r.rows.iter().find(|(x, _, _)| *x == a).unwrap().2
-        };
+        let cost_of = |a: Associativity| r.rows.iter().find(|(x, _, _)| *x == a).unwrap().2;
         let direct = cost_of(Associativity::Direct);
         let four = cost_of(Associativity::FourWay);
         assert!(

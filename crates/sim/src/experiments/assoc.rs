@@ -7,14 +7,15 @@
 
 use super::{app_traces, CACHE_SIZES};
 use crate::report::{rate, TextTable};
-use crate::{run_utlb, SimConfig};
+use crate::{run_utlb, sweep_over, SimConfig};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 use utlb_core::Associativity;
 use utlb_trace::{GenConfig, SplashApp};
 
 /// The four cache organizations of Table 8.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Organization {
     /// Direct-mapped with index offsetting.
     Direct,
@@ -83,51 +84,79 @@ pub struct Table8Cell {
 }
 
 /// Table 8: miss rates vs size × associativity.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table8 {
     /// All cells.
     pub cells: Vec<Table8Cell>,
+    /// `(entries, org, app)` → position in `cells`, built once so the
+    /// `Display` grid and tests don't pay a linear scan per lookup.
+    index: HashMap<(usize, Organization, SplashApp), usize>,
 }
 
 /// Regenerates Table 8 (infinite host memory, no prefetch).
 pub fn table8(cfg: &GenConfig) -> Table8 {
     let traces = app_traces(cfg);
-    let mut cells = Vec::new();
+    let mut specs = Vec::new();
     for &entries in &CACHE_SIZES {
         for org in Organization::ALL {
-            let sim = org.apply(SimConfig::study(entries));
-            for (app, trace) in &traces {
-                let r = run_utlb(trace, &sim);
-                cells.push(Table8Cell {
-                    cache_entries: entries,
-                    organization: org,
-                    app: *app,
-                    miss_rate: r.stats.ni_miss_rate(),
-                });
+            for tix in 0..traces.len() {
+                specs.push((entries, org, tix));
             }
         }
     }
-    Table8 { cells }
+    let cells = sweep_over(&specs, |&(entries, org, tix)| {
+        let (app, ref trace) = traces[tix];
+        let sim = org.apply(SimConfig::study(entries));
+        let r = run_utlb(trace, &sim);
+        Table8Cell {
+            cache_entries: entries,
+            organization: org,
+            app,
+            miss_rate: r.stats.ni_miss_rate(),
+        }
+    });
+    Table8::build(cells)
 }
 
 impl Table8 {
+    /// Builds the table from its cells, indexing them by coordinates.
+    pub fn build(cells: Vec<Table8Cell>) -> Self {
+        let index = cells
+            .iter()
+            .enumerate()
+            .map(|(ix, c)| ((c.cache_entries, c.organization, c.app), ix))
+            .collect();
+        Table8 { cells, index }
+    }
+
     /// Looks up one cell.
-    pub fn cell(
-        &self,
-        entries: usize,
-        org: Organization,
-        app: SplashApp,
-    ) -> Option<&Table8Cell> {
-        self.cells.iter().find(|c| {
-            c.cache_entries == entries && c.organization == org && c.app == app
-        })
+    pub fn cell(&self, entries: usize, org: Organization, app: SplashApp) -> Option<&Table8Cell> {
+        self.index
+            .get(&(entries, org, app))
+            .map(|&ix| &self.cells[ix])
+    }
+}
+
+impl Serialize for Table8 {
+    fn to_value(&self) -> serde::Value {
+        // The index is a derived view; only the cells are archival state.
+        serde::Value::Object(vec![("cells".to_string(), self.cells.to_value())])
+    }
+}
+
+impl Deserialize for Table8 {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::custom("expected object for Table8"))?;
+        let cells = Vec::from_value(serde::field(obj, "cells", "Table8")?)?;
+        Ok(Table8::build(cells))
     }
 }
 
 impl fmt::Display for Table8 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t =
-            TextTable::new("Table 8: overall Shared UTLB-Cache miss rates (per lookup)");
+        let mut t = TextTable::new("Table 8: overall Shared UTLB-Cache miss rates (per lookup)");
         let mut header = vec!["cache".to_string(), "assoc".to_string()];
         header.extend(SplashApp::ALL.iter().map(|a| a.to_string()));
         t.header(header);

@@ -3,8 +3,9 @@
 
 use super::app_traces;
 use crate::report::TextTable;
-use crate::{run_utlb, SimConfig};
+use crate::{run_utlb, sweep_over, SimConfig};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 use utlb_trace::{GenConfig, SplashApp};
 
@@ -34,40 +35,71 @@ impl Fig7Bar {
 }
 
 /// Figure 7 data.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7 {
     /// One bar per (app, size).
     pub bars: Vec<Fig7Bar>,
+    /// `(app, entries)` → position in `bars`.
+    index: HashMap<(SplashApp, usize), usize>,
 }
 
 /// Regenerates Figure 7 (infinite host memory, direct-mapped with
 /// offsetting, no prefetch).
 pub fn fig7(cfg: &GenConfig) -> Fig7 {
     let traces = app_traces(cfg);
-    let mut bars = Vec::new();
-    for (app, trace) in &traces {
+    let mut specs = Vec::new();
+    for tix in 0..traces.len() {
         for &entries in &FIG7_SIZES {
-            let sim = SimConfig::study(entries);
-            let r = run_utlb(trace, &sim);
-            let (comp, cap, conf) = r.breakdown.rates(r.stats.lookups);
-            bars.push(Fig7Bar {
-                app: *app,
-                cache_entries: entries,
-                compulsory_pct: comp * 100.0,
-                capacity_pct: cap * 100.0,
-                conflict_pct: conf * 100.0,
-            });
+            specs.push((tix, entries));
         }
     }
-    Fig7 { bars }
+    let bars = sweep_over(&specs, |&(tix, entries)| {
+        let (app, ref trace) = traces[tix];
+        let sim = SimConfig::study(entries);
+        let r = run_utlb(trace, &sim);
+        let (comp, cap, conf) = r.breakdown.rates(r.stats.lookups);
+        Fig7Bar {
+            app,
+            cache_entries: entries,
+            compulsory_pct: comp * 100.0,
+            capacity_pct: cap * 100.0,
+            conflict_pct: conf * 100.0,
+        }
+    });
+    Fig7::build(bars)
 }
 
 impl Fig7 {
+    /// Builds the figure from its bars, indexing them by coordinates.
+    pub fn build(bars: Vec<Fig7Bar>) -> Self {
+        let index = bars
+            .iter()
+            .enumerate()
+            .map(|(ix, b)| ((b.app, b.cache_entries), ix))
+            .collect();
+        Fig7 { bars, index }
+    }
+
     /// The bar for (`app`, `entries`), if present.
     pub fn bar(&self, app: SplashApp, entries: usize) -> Option<&Fig7Bar> {
-        self.bars
-            .iter()
-            .find(|b| b.app == app && b.cache_entries == entries)
+        self.index.get(&(app, entries)).map(|&ix| &self.bars[ix])
+    }
+}
+
+impl Serialize for Fig7 {
+    fn to_value(&self) -> serde::Value {
+        // The index is a derived view; only the bars are archival state.
+        serde::Value::Object(vec![("bars".to_string(), self.bars.to_value())])
+    }
+}
+
+impl Deserialize for Fig7 {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::custom("expected object for Fig7"))?;
+        let bars = Vec::from_value(serde::field(obj, "bars", "Fig7")?)?;
+        Ok(Fig7::build(bars))
     }
 }
 
@@ -91,7 +123,14 @@ impl fmt::Display for Fig7 {
         let mut t = TextTable::new(
             "Figure 7: miss-rate breakdown, % of lookups (compulsory / capacity / conflict)",
         );
-        t.header(["app", "cache", "compulsory", "capacity", "conflict", "total"]);
+        t.header([
+            "app",
+            "cache",
+            "compulsory",
+            "capacity",
+            "conflict",
+            "total",
+        ]);
         for b in &self.bars {
             t.row([
                 b.app.to_string(),

@@ -7,8 +7,9 @@
 
 use super::{app_traces, CACHE_SIZES, SPARSE_SIZES};
 use crate::report::{micros, rate, TextTable};
-use crate::{run_intr, run_utlb, SimConfig};
+use crate::{run_intr, run_utlb, sweep_over, SimConfig};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 use utlb_trace::{GenConfig, SplashApp};
 
@@ -32,40 +33,43 @@ pub struct CompareCell {
 }
 
 /// Tables 4 and 5 share this shape; `mem_limit_mb` distinguishes them.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table45 {
     /// Per-process memory limit in MB (`None` = Table 4's infinite memory).
     pub mem_limit_mb: Option<u64>,
     /// One cell per (cache size, app).
     pub cells: Vec<CompareCell>,
+    /// `(app, entries)` → position in `cells`.
+    index: HashMap<(SplashApp, usize), usize>,
 }
 
 fn compare(cfg: &GenConfig, mem_limit_mb: Option<u64>) -> Table45 {
     let traces = app_traces(cfg);
-    let mut cells = Vec::new();
+    let mut specs = Vec::new();
     for &entries in &CACHE_SIZES {
-        for (app, trace) in &traces {
-            let mut sim = SimConfig::study(entries);
-            if let Some(mb) = mem_limit_mb {
-                sim = sim.limit_mb(mb);
-            }
-            let u = run_utlb(trace, &sim);
-            let i = run_intr(trace, &sim);
-            cells.push(CompareCell {
-                app: *app,
-                cache_entries: entries,
-                utlb_check: u.stats.check_miss_rate(),
-                utlb_ni: u.stats.ni_miss_rate(),
-                utlb_unpins: u.stats.unpin_rate(),
-                intr_ni: i.stats.ni_miss_rate(),
-                intr_unpins: i.stats.unpin_rate(),
-            });
+        for tix in 0..traces.len() {
+            specs.push((entries, tix));
         }
     }
-    Table45 {
-        mem_limit_mb,
-        cells,
-    }
+    let cells = sweep_over(&specs, |&(entries, tix)| {
+        let (app, ref trace) = traces[tix];
+        let mut sim = SimConfig::study(entries);
+        if let Some(mb) = mem_limit_mb {
+            sim = sim.limit_mb(mb);
+        }
+        let u = run_utlb(trace, &sim);
+        let i = run_intr(trace, &sim);
+        CompareCell {
+            app,
+            cache_entries: entries,
+            utlb_check: u.stats.check_miss_rate(),
+            utlb_ni: u.stats.ni_miss_rate(),
+            utlb_unpins: u.stats.unpin_rate(),
+            intr_ni: i.stats.ni_miss_rate(),
+            intr_unpins: i.stats.unpin_rate(),
+        }
+    });
+    Table45::build(mem_limit_mb, cells)
 }
 
 /// Regenerates Table 4 (infinite host memory).
@@ -79,11 +83,44 @@ pub fn table5(cfg: &GenConfig) -> Table45 {
 }
 
 impl Table45 {
+    /// Builds the table from its cells, indexing them by coordinates.
+    pub fn build(mem_limit_mb: Option<u64>, cells: Vec<CompareCell>) -> Self {
+        let index = cells
+            .iter()
+            .enumerate()
+            .map(|(ix, c)| ((c.app, c.cache_entries), ix))
+            .collect();
+        Table45 {
+            mem_limit_mb,
+            cells,
+            index,
+        }
+    }
+
     /// The cell for (`app`, `entries`), if simulated.
     pub fn cell(&self, app: SplashApp, entries: usize) -> Option<&CompareCell> {
-        self.cells
-            .iter()
-            .find(|c| c.app == app && c.cache_entries == entries)
+        self.index.get(&(app, entries)).map(|&ix| &self.cells[ix])
+    }
+}
+
+impl Serialize for Table45 {
+    fn to_value(&self) -> serde::Value {
+        // The index is a derived view; only limit + cells are archival.
+        serde::Value::Object(vec![
+            ("mem_limit_mb".to_string(), self.mem_limit_mb.to_value()),
+            ("cells".to_string(), self.cells.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Table45 {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::custom("expected object for Table45"))?;
+        let mem_limit_mb = Option::from_value(serde::field(obj, "mem_limit_mb", "Table45")?)?;
+        let cells = Vec::from_value(serde::field(obj, "cells", "Table45")?)?;
+        Ok(Table45::build(mem_limit_mb, cells))
     }
 }
 
@@ -135,21 +172,28 @@ pub struct Table6 {
 /// Regenerates Table 6 (infinite memory, no prefetch, offsetting).
 pub fn table6(cfg: &GenConfig) -> Table6 {
     let apps = [SplashApp::Barnes, SplashApp::Fft];
-    let mut rows = Vec::new();
-    for app in apps {
-        let trace = utlb_trace::gen::generate(app, cfg);
+    let traces: Vec<_> = apps
+        .iter()
+        .map(|&app| (app, utlb_trace::gen::generate_shared(app, cfg)))
+        .collect();
+    let mut specs = Vec::new();
+    for tix in 0..traces.len() {
         for &entries in &SPARSE_SIZES {
-            let sim = SimConfig::study(entries);
-            let u = run_utlb(&trace, &sim);
-            let i = run_intr(&trace, &sim);
-            rows.push(Table6Row {
-                app,
-                cache_entries: entries,
-                utlb_us: u.utlb_lookup_cost(&sim),
-                intr_us: i.intr_lookup_cost(&sim),
-            });
+            specs.push((tix, entries));
         }
     }
+    let rows = sweep_over(&specs, |&(tix, entries)| {
+        let (app, ref trace) = traces[tix];
+        let sim = SimConfig::study(entries);
+        let u = run_utlb(trace, &sim);
+        let i = run_intr(trace, &sim);
+        Table6Row {
+            app,
+            cache_entries: entries,
+            utlb_us: u.utlb_lookup_cost(&sim),
+            intr_us: i.intr_lookup_cost(&sim),
+        }
+    });
     Table6 { rows }
 }
 

@@ -28,6 +28,7 @@ pub use multiprog::{multiprog, Multiprog, MultiprogCell};
 pub use prefetch::{fig8, Fig8, FIG8_SIZES, PREFETCH_WIDTHS};
 pub use prepin::{prepin_sweep, table7, PrepinSweep, Table7};
 
+use std::sync::Arc;
 use utlb_trace::{gen, GenConfig, SplashApp, Trace};
 
 /// The cache sizes swept throughout §6: 1 K to 16 K entries.
@@ -36,12 +37,16 @@ pub const CACHE_SIZES: [usize; 5] = [1024, 2048, 4096, 8192, 16384];
 /// The subset of sizes used by Table 6 and Figure 7.
 pub const SPARSE_SIZES: [usize; 3] = [1024, 4096, 16384];
 
-/// Generates the traces for all seven applications once, in the paper's
-/// table order.
-pub fn app_traces(cfg: &GenConfig) -> Vec<(SplashApp, Trace)> {
+/// The traces for all seven applications, in the paper's table order.
+///
+/// Traces come from the process-wide memo ([`gen::generate_shared`]), so
+/// calling this from every driver in a batch run generates each app exactly
+/// once; the drivers' sweep cells then share the `Arc`s read-only across
+/// worker threads.
+pub fn app_traces(cfg: &GenConfig) -> Vec<(SplashApp, Arc<Trace>)> {
     SplashApp::ALL
         .iter()
-        .map(|app| (*app, gen::generate(*app, cfg)))
+        .map(|app| (*app, gen::generate_shared(*app, cfg)))
         .collect()
 }
 

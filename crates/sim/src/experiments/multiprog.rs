@@ -9,7 +9,7 @@
 //! programs and how much index offsetting mitigates it.
 
 use crate::report::{rate, TextTable};
-use crate::{run_utlb, SimConfig};
+use crate::{run_utlb, sweep_over, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use utlb_trace::{gen, merge_multiprogram, GenConfig, SplashApp};
@@ -44,16 +44,11 @@ pub struct Multiprog {
 }
 
 /// Runs `a` and `b` alone and co-scheduled at `cache_entries`.
-pub fn multiprog(
-    a: SplashApp,
-    b: SplashApp,
-    cfg: &GenConfig,
-    cache_entries: usize,
-) -> Multiprog {
-    let ta = gen::generate(a, cfg);
-    let tb = gen::generate(b, cfg);
+pub fn multiprog(a: SplashApp, b: SplashApp, cfg: &GenConfig, cache_entries: usize) -> Multiprog {
+    let ta = gen::generate_shared(a, cfg);
+    let tb = gen::generate_shared(b, cfg);
     let a_procs = ta.process_ids().len() as u32;
-    let merged = merge_multiprogram(&[ta.clone(), tb.clone()]);
+    let merged = merge_multiprogram(&[(*ta).clone(), (*tb).clone()]);
 
     let sim = SimConfig::study(cache_entries);
     let nohash = SimConfig {
@@ -61,10 +56,19 @@ pub fn multiprog(
         ..SimConfig::study(cache_entries)
     };
 
-    let alone_a = run_utlb(&ta, &sim).stats.ni_miss_rate();
-    let alone_b = run_utlb(&tb, &sim).stats.ni_miss_rate();
-    let shared = run_utlb(&merged, &sim);
-    let shared_nh = run_utlb(&merged, &nohash);
+    // The four runs (each program alone, merged with and without
+    // offsetting) are independent cells — fan them out.
+    let runs = [
+        (&*ta, &sim),
+        (&*tb, &sim),
+        (&merged, &sim),
+        (&merged, &nohash),
+    ];
+    let mut results = sweep_over(&runs, |&(trace, run_sim)| run_utlb(trace, run_sim));
+    let shared_nh = results.pop().expect("four runs");
+    let shared = results.pop().expect("four runs");
+    let alone_b = results.pop().expect("four runs").stats.ni_miss_rate();
+    let alone_a = results.pop().expect("four runs").stats.ni_miss_rate();
 
     let a_pids: Vec<u32> = (1..=a_procs).collect();
     let b_pids: Vec<u32> = (a_procs + 1..=a_procs + tb.process_ids().len() as u32).collect();
@@ -146,8 +150,14 @@ mod tests {
     #[test]
     fn interference_vanishes_with_a_big_cache() {
         let small = multiprog(SplashApp::Water, SplashApp::Barnes, &test_gen_config(), 256);
-        let big = multiprog(SplashApp::Water, SplashApp::Barnes, &test_gen_config(), 16384);
-        let total = |m: &Multiprog| -> f64 { m.cells.iter().map(MultiprogCell::interference).sum() };
+        let big = multiprog(
+            SplashApp::Water,
+            SplashApp::Barnes,
+            &test_gen_config(),
+            16384,
+        );
+        let total =
+            |m: &Multiprog| -> f64 { m.cells.iter().map(MultiprogCell::interference).sum() };
         assert!(
             total(&big) <= total(&small) + 0.02,
             "interference must shrink with cache size: {} vs {}",

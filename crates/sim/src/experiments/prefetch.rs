@@ -8,8 +8,9 @@
 //! lookup cost falls too.
 
 use crate::report::{micros, rate, TextTable};
-use crate::{run_utlb, SimConfig};
+use crate::{run_utlb, sweep_over, SimConfig};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 use utlb_trace::{gen, GenConfig, SplashApp};
 
@@ -33,47 +34,79 @@ pub struct Fig8Point {
 }
 
 /// Figure 8 data (the Radix application).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8 {
     /// All points.
     pub points: Vec<Fig8Point>,
+    /// `(entries, prefetch)` → position in `points`.
+    index: HashMap<(usize, u64), usize>,
 }
 
 /// Regenerates Figure 8 (Radix, infinite host memory, direct-mapped cache).
 pub fn fig8(cfg: &GenConfig) -> Fig8 {
-    let trace = gen::generate(SplashApp::Radix, cfg);
-    let mut points = Vec::new();
+    let trace = gen::generate_shared(SplashApp::Radix, cfg);
+    let mut specs = Vec::new();
     for &entries in &FIG8_SIZES {
         for &prefetch in &PREFETCH_WIDTHS {
-            // §6.5: "in order for prefetching to work well, translations
-            // for contiguous application pages must be available during a
-            // miss" — so the user library pre-pins the same width the NIC
-            // prefetches. Without this pairing, neighbours of a
-            // first-touch miss still hold the garbage address and the
-            // prefetch fetches nothing useful.
-            let sim = SimConfig {
-                prefetch,
-                prepin: prefetch,
-                ..SimConfig::study(entries)
-            };
-            let r = run_utlb(&trace, &sim);
-            points.push(Fig8Point {
-                cache_entries: entries,
-                prefetch,
-                miss_rate: r.stats.ni_miss_rate(),
-                lookup_us: r.utlb_lookup_cost(&sim),
-            });
+            specs.push((entries, prefetch));
         }
     }
-    Fig8 { points }
+    let points = sweep_over(&specs, |&(entries, prefetch)| {
+        // §6.5: "in order for prefetching to work well, translations
+        // for contiguous application pages must be available during a
+        // miss" — so the user library pre-pins the same width the NIC
+        // prefetches. Without this pairing, neighbours of a
+        // first-touch miss still hold the garbage address and the
+        // prefetch fetches nothing useful.
+        let sim = SimConfig {
+            prefetch,
+            prepin: prefetch,
+            ..SimConfig::study(entries)
+        };
+        let r = run_utlb(&trace, &sim);
+        Fig8Point {
+            cache_entries: entries,
+            prefetch,
+            miss_rate: r.stats.ni_miss_rate(),
+            lookup_us: r.utlb_lookup_cost(&sim),
+        }
+    });
+    Fig8::build(points)
 }
 
 impl Fig8 {
+    /// Builds the figure from its points, indexing them by coordinates.
+    pub fn build(points: Vec<Fig8Point>) -> Self {
+        let index = points
+            .iter()
+            .enumerate()
+            .map(|(ix, p)| ((p.cache_entries, p.prefetch), ix))
+            .collect();
+        Fig8 { points, index }
+    }
+
     /// The point for (`entries`, `prefetch`), if present.
     pub fn point(&self, entries: usize, prefetch: u64) -> Option<&Fig8Point> {
-        self.points
-            .iter()
-            .find(|p| p.cache_entries == entries && p.prefetch == prefetch)
+        self.index
+            .get(&(entries, prefetch))
+            .map(|&ix| &self.points[ix])
+    }
+}
+
+impl Serialize for Fig8 {
+    fn to_value(&self) -> serde::Value {
+        // The index is a derived view; only the points are archival state.
+        serde::Value::Object(vec![("points".to_string(), self.points.to_value())])
+    }
+}
+
+impl Deserialize for Fig8 {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::custom("expected object for Fig8"))?;
+        let points = Vec::from_value(serde::field(obj, "points", "Fig8")?)?;
+        Ok(Fig8::build(points))
     }
 }
 

@@ -9,10 +9,11 @@
 //! eventual unpins.
 
 use crate::report::{micros, TextTable};
-use crate::{run_utlb, SimConfig};
+use crate::{run_utlb, sweep_over, SimConfig};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
-use utlb_trace::{gen, GenConfig, SplashApp};
+use utlb_trace::{gen, GenConfig, SplashApp, Trace};
 
 /// Applications shown in Table 7, in the paper's column order.
 pub const TABLE7_APPS: [SplashApp; 6] = [
@@ -43,22 +44,23 @@ pub struct PrepinCell {
 }
 
 /// Table 7: amortized pinning/unpinning, 1-page vs 16-page prepinning.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table7 {
     /// Memory limit used (pages per process).
     pub mem_limit_pages: u64,
     /// All cells.
     pub cells: Vec<PrepinCell>,
+    /// `(app, prepin)` → position in `cells`.
+    index: HashMap<(SplashApp, u64), usize>,
 }
 
-fn measure(app: SplashApp, cfg: &GenConfig, prepin: u64, limit_pages: u64) -> PrepinCell {
-    let trace = gen::generate(app, cfg);
+fn measure(app: SplashApp, trace: &Trace, prepin: u64, limit_pages: u64) -> PrepinCell {
     let sim = SimConfig {
         prepin,
         mem_limit_pages: Some(limit_pages),
         ..SimConfig::study(8192)
     };
-    let r = run_utlb(&trace, &sim);
+    let r = run_utlb(trace, &sim);
     PrepinCell {
         app,
         prepin,
@@ -79,24 +81,65 @@ fn scaled_limit(cfg: &GenConfig) -> u64 {
 /// Regenerates Table 7 with the paper's 16 MB limit.
 pub fn table7(cfg: &GenConfig) -> Table7 {
     let limit_pages = scaled_limit(cfg);
-    let mut cells = Vec::new();
-    for app in TABLE7_APPS {
+    let traces: Vec<_> = TABLE7_APPS
+        .iter()
+        .map(|&app| (app, gen::generate_shared(app, cfg)))
+        .collect();
+    let mut specs = Vec::new();
+    for tix in 0..traces.len() {
         for prepin in [1u64, 16] {
-            cells.push(measure(app, cfg, prepin, limit_pages));
+            specs.push((tix, prepin));
         }
     }
-    Table7 {
-        mem_limit_pages: limit_pages,
-        cells,
-    }
+    let cells = sweep_over(&specs, |&(tix, prepin)| {
+        let (app, ref trace) = traces[tix];
+        measure(app, trace, prepin, limit_pages)
+    });
+    Table7::build(limit_pages, cells)
 }
 
 impl Table7 {
+    /// Builds the table from its cells, indexing them by coordinates.
+    pub fn build(mem_limit_pages: u64, cells: Vec<PrepinCell>) -> Self {
+        let index = cells
+            .iter()
+            .enumerate()
+            .map(|(ix, c)| ((c.app, c.prepin), ix))
+            .collect();
+        Table7 {
+            mem_limit_pages,
+            cells,
+            index,
+        }
+    }
+
     /// The cell for (`app`, `prepin`), if present.
     pub fn cell(&self, app: SplashApp, prepin: u64) -> Option<&PrepinCell> {
-        self.cells
-            .iter()
-            .find(|c| c.app == app && c.prepin == prepin)
+        self.index.get(&(app, prepin)).map(|&ix| &self.cells[ix])
+    }
+}
+
+impl Serialize for Table7 {
+    fn to_value(&self) -> serde::Value {
+        // The index is a derived view; only limit + cells are archival.
+        serde::Value::Object(vec![
+            (
+                "mem_limit_pages".to_string(),
+                self.mem_limit_pages.to_value(),
+            ),
+            ("cells".to_string(), self.cells.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Table7 {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::custom("expected object for Table7"))?;
+        let mem_limit_pages = u64::from_value(serde::field(obj, "mem_limit_pages", "Table7")?)?;
+        let cells = Vec::from_value(serde::field(obj, "cells", "Table7")?)?;
+        Ok(Table7::build(mem_limit_pages, cells))
     }
 }
 
@@ -109,10 +152,7 @@ impl fmt::Display for Table7 {
         let mut header = vec!["cost".to_string(), "pages".to_string()];
         header.extend(TABLE7_APPS.iter().map(|a| a.to_string()));
         t.header(header);
-        for (label, pick) in [
-            ("pin", true),
-            ("unpin", false),
-        ] {
+        for (label, pick) in [("pin", true), ("unpin", false)] {
             for prepin in [1u64, 16] {
                 let mut row = vec![label.to_string(), prepin.to_string()];
                 for app in TABLE7_APPS {
@@ -138,17 +178,22 @@ pub struct PrepinSweep {
 /// Sweeps prepin widths 1–32 for `app` under a 16 MB-scaled limit.
 pub fn prepin_sweep(app: SplashApp, cfg: &GenConfig) -> PrepinSweep {
     let limit_pages = scaled_limit(cfg);
-    let cells = [1u64, 2, 4, 8, 16, 32]
-        .iter()
-        .map(|&w| measure(app, cfg, w, limit_pages))
-        .collect();
+    let trace = gen::generate_shared(app, cfg);
+    let widths = [1u64, 2, 4, 8, 16, 32];
+    let cells = sweep_over(&widths, |&w| measure(app, &trace, w, limit_pages));
     PrepinSweep { app, cells }
 }
 
 impl fmt::Display for PrepinSweep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut t = TextTable::new(format!("Prepin-width sweep: {}", self.app));
-        t.header(["prepin", "pin µs/lookup", "unpin µs/lookup", "pin rate", "unpin rate"]);
+        t.header([
+            "prepin",
+            "pin µs/lookup",
+            "unpin µs/lookup",
+            "pin rate",
+            "unpin rate",
+        ]);
         for c in &self.cells {
             t.row([
                 c.prepin.to_string(),

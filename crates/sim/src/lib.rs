@@ -49,8 +49,10 @@ mod config;
 pub mod experiments;
 mod report;
 mod runner;
+pub mod sweep;
 
 pub use classify::{MissBreakdown, MissClassifier, MissKind};
 pub use config::{Mechanism, SimConfig};
 pub use report::TextTable;
 pub use runner::{run_intr, run_utlb, SimResult};
+pub use sweep::{sweep, sweep_over};

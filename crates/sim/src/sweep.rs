@@ -1,0 +1,158 @@
+//! Parallel experiment sweep executor.
+//!
+//! Every paper artifact is a grid of *independent* simulation cells — e.g.
+//! Table 8 is 5 cache sizes × 4 organizations × 7 applications, each cell
+//! one `run_utlb` over a shared trace. The drivers in
+//! [`crate::experiments`] hand such grids to [`sweep`], which fans the
+//! cells across a scoped thread pool and returns results **in input
+//! order**, so a parallel sweep is byte-identical to a sequential one.
+//!
+//! Design constraints, in order:
+//!
+//! * **determinism** — cell `i` computes exactly `f(i)` from shared
+//!   read-only inputs; scheduling can change only *when* a cell runs,
+//!   never its value or its slot in the output;
+//! * **zero dependencies** — plain `std::thread::scope` plus one atomic
+//!   work counter; workers return their `(index, value)` batches through
+//!   `join`, so there is no result lock to contend on;
+//! * **operator control** — `UTLB_SIM_THREADS` overrides the worker count
+//!   per call; `UTLB_SIM_THREADS=1` restores fully sequential in-caller
+//!   execution (no threads spawned at all).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the sweep worker count.
+pub const THREADS_ENV: &str = "UTLB_SIM_THREADS";
+
+/// Number of workers a sweep over `items` cells would use: the
+/// [`THREADS_ENV`] override if set to a positive integer, else the
+/// machine's available parallelism, clamped to the cell count (never 0).
+///
+/// Unparsable or zero overrides are ignored rather than fatal: an
+/// experiment run late in a batch script should degrade to the default,
+/// not die on a typo'd environment.
+pub fn worker_count(items: usize) -> usize {
+    let configured = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    configured.clamp(1, items.max(1))
+}
+
+/// Computes `f(0), f(1), …, f(n-1)` across a scoped worker pool and
+/// returns the results in index order.
+///
+/// `f` runs at most once per index. With one worker (single-core machine,
+/// `UTLB_SIM_THREADS=1`, or `n <= 1`) everything runs on the calling
+/// thread. Work is distributed by an atomic counter, so ragged cell
+/// durations (big apps next to small ones) self-balance instead of
+/// stranding a pre-chunked worker.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f`.
+pub fn sweep<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut batch = Vec::new();
+                    loop {
+                        let ix = next.fetch_add(1, Ordering::Relaxed);
+                        if ix >= n {
+                            return batch;
+                        }
+                        batch.push((ix, f(ix)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(batch) => {
+                    for (ix, value) in batch {
+                        slots[ix] = Some(value);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("work counter covers every index exactly once"))
+        .collect()
+}
+
+/// Sweeps `f` over a slice, returning one result per item in item order.
+/// Convenience wrapper drivers use to fan a prebuilt cell list out.
+pub fn sweep_over<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    sweep(items.len(), |ix| f(&items[ix]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        // Make high indices finish first so out-of-order completion would
+        // be caught by the order check.
+        let got = sweep(64, |ix| {
+            std::thread::sleep(std::time::Duration::from_micros((64 - ix) as u64 * 10));
+            ix * 3
+        });
+        assert_eq!(got, (0..64).map(|ix| ix * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_cell_sweeps() {
+        assert_eq!(sweep(0, |_| 0u32), Vec::<u32>::new());
+        assert_eq!(sweep(1, |ix| ix + 41), vec![41]);
+    }
+
+    #[test]
+    fn sweep_over_maps_items() {
+        let apps = ["barnes", "fft", "radix"];
+        assert_eq!(sweep_over(&apps, |a| a.len()), vec![6, 3, 5]);
+    }
+
+    #[test]
+    fn every_index_computed_exactly_once() {
+        let calls: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        let got = sweep(50, |ix| {
+            calls[ix].fetch_add(1, Ordering::Relaxed);
+            ix
+        });
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        assert!(calls.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn worker_count_clamps_to_items() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(usize::MAX) >= 1);
+    }
+}

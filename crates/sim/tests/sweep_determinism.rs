@@ -1,0 +1,39 @@
+//! The parallel sweep executor must not be observable in the results:
+//! a multi-threaded run serializes byte-for-byte identically to a forced
+//! single-threaded (`UTLB_SIM_THREADS=1`) run.
+
+use utlb_sim::experiments::{fig7, table8};
+use utlb_sim::sweep::THREADS_ENV;
+use utlb_trace::GenConfig;
+
+/// One test owns the whole sequence: `UTLB_SIM_THREADS` is process-global,
+/// so splitting the sequential and parallel halves into separate `#[test]`s
+/// would race on it.
+#[test]
+fn parallel_sweep_is_byte_identical_to_sequential() {
+    let cfg = GenConfig {
+        seed: 7,
+        scale: 0.04,
+        app_processes: 4,
+    };
+
+    std::env::set_var(THREADS_ENV, "1");
+    let table8_seq = serde_json::to_string(&table8(&cfg)).expect("serialize table 8");
+    let fig7_seq = serde_json::to_string(&fig7(&cfg)).expect("serialize figure 7");
+
+    std::env::set_var(THREADS_ENV, "4");
+    let table8_par = serde_json::to_string(&table8(&cfg)).expect("serialize table 8");
+    let fig7_par = serde_json::to_string(&fig7(&cfg)).expect("serialize figure 7");
+    std::env::remove_var(THREADS_ENV);
+
+    assert_eq!(
+        table8_seq, table8_par,
+        "table 8 must not depend on the worker count"
+    );
+    assert_eq!(
+        fig7_seq, fig7_par,
+        "figure 7 must not depend on the worker count"
+    );
+    assert!(table8_seq.contains("\"cells\""));
+    assert!(fig7_seq.contains("\"bars\""));
+}

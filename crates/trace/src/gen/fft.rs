@@ -97,7 +97,15 @@ mod tests {
     #[test]
     fn empty_span_is_safe() {
         let mut b = PatternBuilder::new(ProcessId::new(1), 0, 1, 10);
-        fill(&mut b, StreamPlan { span: 0, budget: 10, phase: 0, peers: 5 });
+        fill(
+            &mut b,
+            StreamPlan {
+                span: 0,
+                budget: 10,
+                phase: 0,
+                peers: 5,
+            },
+        );
         assert!(b.is_empty());
     }
 }

@@ -71,7 +71,15 @@ mod tests {
     #[test]
     fn budget_smaller_than_span_stops_early() {
         let mut b = PatternBuilder::new(ProcessId::new(1), 0, 1, 10);
-        fill(&mut b, StreamPlan { span: 100, budget: 10, phase: 0, peers: 5 });
+        fill(
+            &mut b,
+            StreamPlan {
+                span: 100,
+                budget: 10,
+                phase: 0,
+                peers: 5,
+            },
+        );
         assert_eq!(b.len(), 10);
     }
 }

@@ -79,9 +79,7 @@ mod tests {
         let recs = b.finish();
         let backsteps = recs
             .windows(2)
-            .filter(|w| {
-                w[1].va.page().number() + 1 == w[0].va.page().number()
-            })
+            .filter(|w| w[1].va.page().number() + 1 == w[0].va.page().number())
             .count();
         assert!(backsteps > 0);
     }

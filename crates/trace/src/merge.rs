@@ -24,8 +24,10 @@ pub fn merge_streams(streams: Vec<Vec<TraceRecord>>) -> Vec<TraceRecord> {
         );
     }
     let total: usize = streams.iter().map(Vec::len).sum();
-    let mut heads: Vec<std::iter::Peekable<std::vec::IntoIter<TraceRecord>>> =
-        streams.into_iter().map(|s| s.into_iter().peekable()).collect();
+    let mut heads: Vec<std::iter::Peekable<std::vec::IntoIter<TraceRecord>>> = streams
+        .into_iter()
+        .map(|s| s.into_iter().peekable())
+        .collect();
     let mut heap: BinaryHeap<Reverse<(u64, u32, usize)>> = BinaryHeap::new();
     for (i, h) in heads.iter_mut().enumerate() {
         if let Some(r) = h.peek() {

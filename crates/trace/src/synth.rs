@@ -95,7 +95,8 @@ impl PatternBuilder {
     /// Emits a one-page send of partition-relative page `rel`.
     pub fn page(&mut self, rel: u64) {
         let ts = self.advance_ts();
-        self.records.push(send_page(ts, self.pid, self.base_page + rel));
+        self.records
+            .push(send_page(ts, self.pid, self.base_page + rel));
     }
 
     /// Emits a small (sub-page) control message on partition-relative page

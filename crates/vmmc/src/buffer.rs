@@ -6,9 +6,7 @@ use utlb_mem::{ProcessId, VirtAddr};
 use utlb_nic::NodeId;
 
 /// Handle to an exported receive buffer, scoped to its owning node.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ExportId(pub u32);
 
 impl fmt::Display for ExportId {
@@ -18,9 +16,7 @@ impl fmt::Display for ExportId {
 }
 
 /// Handle to an imported remote buffer, scoped to the importing node.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ImportId(pub u32);
 
 impl fmt::Display for ImportId {

@@ -157,7 +157,8 @@ impl Cluster {
     pub fn spawn_process(&mut self, idx: usize) -> Result<ProcessId> {
         let node = self.node_mut(idx)?;
         let pid = node.host.spawn_process();
-        node.utlb.register_process(&mut node.host, &mut node.board, pid)?;
+        node.utlb
+            .register_process(&mut node.host, &mut node.board, pid)?;
         Ok(pid)
     }
 
@@ -398,11 +399,17 @@ impl Cluster {
         let mut cursor = va;
         while done < data.len() {
             let chunk = ((PAGE_SIZE - cursor.page_offset()) as usize).min(data.len() - done);
-            let report =
-                node.utlb
-                    .lookup_buffer(&mut node.host, &mut node.board, pid, cursor, chunk as u64)?;
+            let report = node.utlb.lookup_buffer(
+                &mut node.host,
+                &mut node.board,
+                pid,
+                cursor,
+                chunk as u64,
+            )?;
             let pa = report.pages[0].phys.offset(cursor.page_offset());
-            node.host.physical_mut().write(pa, &data[done..done + chunk])?;
+            node.host
+                .physical_mut()
+                .write(pa, &data[done..done + chunk])?;
             // The payload crosses the I/O bus into host memory.
             let cost = node.board.dma.bus().dma_bytes(chunk as u64);
             node.board.clock.advance(cost);
@@ -418,11 +425,17 @@ impl Cluster {
         let mut cursor = va;
         while done < buf.len() {
             let chunk = ((PAGE_SIZE - cursor.page_offset()) as usize).min(buf.len() - done);
-            let report =
-                node.utlb
-                    .lookup_buffer(&mut node.host, &mut node.board, pid, cursor, chunk as u64)?;
+            let report = node.utlb.lookup_buffer(
+                &mut node.host,
+                &mut node.board,
+                pid,
+                cursor,
+                chunk as u64,
+            )?;
             let pa = report.pages[0].phys.offset(cursor.page_offset());
-            node.host.physical().read(pa, &mut buf[done..done + chunk])?;
+            node.host
+                .physical()
+                .read(pa, &mut buf[done..done + chunk])?;
             let cost = node.board.dma.bus().dma_bytes(chunk as u64);
             node.board.clock.advance(cost);
             done += chunk;
@@ -461,9 +474,12 @@ impl Cluster {
                     let me = self.nodes[idx].id();
                     let now = self.nodes[idx].board.clock.now();
                     let packet = Packet::data(me, imp.remote, 0, delivery, payload);
-                    self.nodes[idx]
-                        .sender_to(imp.remote)
-                        .send(packet, &mut self.switch, &self.remap, now)?;
+                    self.nodes[idx].sender_to(imp.remote).send(
+                        packet,
+                        &mut self.switch,
+                        &self.remap,
+                        now,
+                    )?;
                     done += chunk;
                 }
             }
@@ -499,9 +515,12 @@ impl Cluster {
                 let me = self.nodes[idx].id();
                 let now = self.nodes[idx].board.clock.now();
                 let packet = Packet::fetch_request(me, imp.remote, delivery, ticket);
-                self.nodes[idx]
-                    .sender_to(imp.remote)
-                    .send(packet, &mut self.switch, &self.remap, now)?;
+                self.nodes[idx].sender_to(imp.remote).send(
+                    packet,
+                    &mut self.switch,
+                    &self.remap,
+                    now,
+                )?;
             }
             CommandKind::Redirect { export_id } => {
                 // Redirections are installed synchronously by the API; a
@@ -668,9 +687,10 @@ impl Cluster {
 
     fn quiet(&self) -> bool {
         self.switch.in_flight() == 0
-            && self.nodes.iter().all(|n| {
-                n.board.cmdq.pending() == 0 && n.drained() && n.pending_fetches.is_empty()
-            })
+            && self
+                .nodes
+                .iter()
+                .all(|n| n.board.cmdq.pending() == 0 && n.drained() && n.pending_fetches.is_empty())
     }
 
     /// Runs the firmware event loop until every posted operation has been
@@ -795,11 +815,25 @@ mod tests {
     fn out_of_bounds_is_rejected_at_post_time() {
         let (mut c, sender, _r, _e, import) = two_node_setup();
         let err = c
-            .remote_store(0, sender, import, VirtAddr::new(0x1000_0000), 4 * PAGE_SIZE - 4, 8)
+            .remote_store(
+                0,
+                sender,
+                import,
+                VirtAddr::new(0x1000_0000),
+                4 * PAGE_SIZE - 4,
+                8,
+            )
             .unwrap_err();
         assert!(matches!(err, VmmcError::OutOfBounds { .. }));
         let err = c
-            .remote_fetch(0, sender, import, VirtAddr::new(0x1000_0000), 0, 5 * PAGE_SIZE)
+            .remote_fetch(
+                0,
+                sender,
+                import,
+                VirtAddr::new(0x1000_0000),
+                0,
+                5 * PAGE_SIZE,
+            )
             .unwrap_err();
         assert!(matches!(err, VmmcError::OutOfBounds { .. }));
     }
@@ -869,10 +903,7 @@ mod tests {
             Err(VmmcError::UnknownImport(_))
         ));
         assert!(matches!(c.node(7), Err(VmmcError::UnknownNode(7))));
-        assert!(matches!(
-            c.spawn_process(7),
-            Err(VmmcError::UnknownNode(7))
-        ));
+        assert!(matches!(c.spawn_process(7), Err(VmmcError::UnknownNode(7))));
     }
 
     #[test]
@@ -894,11 +925,14 @@ mod tests {
         ));
         // The right key works end to end.
         let import = c.import_with_key(0, tx, 1, secret, 0xBEEF).unwrap();
-        c.write_local(0, tx, VirtAddr::new(0x1000_0000), b"secret").unwrap();
-        c.remote_store(0, tx, import, VirtAddr::new(0x1000_0000), 0, 6).unwrap();
+        c.write_local(0, tx, VirtAddr::new(0x1000_0000), b"secret")
+            .unwrap();
+        c.remote_store(0, tx, import, VirtAddr::new(0x1000_0000), 0, 6)
+            .unwrap();
         c.run_until_quiet().unwrap();
         let mut got = [0u8; 6];
-        c.read_local(1, rx, VirtAddr::new(0x4000_0000), &mut got).unwrap();
+        c.read_local(1, rx, VirtAddr::new(0x4000_0000), &mut got)
+            .unwrap();
         assert_eq!(&got, b"secret");
     }
 
@@ -912,14 +946,19 @@ mod tests {
             c.remote_store(0, sender, import, src, 0, 4096 + i).unwrap();
             c.run_until_quiet().unwrap();
         }
-        c.remote_fetch(0, sender, import, VirtAddr::new(0x2000_0000), 0, 64).unwrap();
+        c.remote_fetch(0, sender, import, VirtAddr::new(0x2000_0000), 0, 64)
+            .unwrap();
         c.run_until_quiet().unwrap();
         let trace = c.take_trace("live");
         assert_eq!(trace.records.len(), 5);
         assert_eq!(trace.workload, "live");
         assert!(trace.records.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
         assert_eq!(
-            trace.records.iter().filter(|r| r.op == utlb_trace::Op::Fetch).count(),
+            trace
+                .records
+                .iter()
+                .filter(|r| r.op == utlb_trace::Op::Fetch)
+                .count(),
             1
         );
         // Lookups: store of 4096 = 1 page; 4097/4098/4099 straddle = 2 each;
@@ -948,14 +987,14 @@ mod tests {
         for src in 0..4 {
             for dst in 0..4 {
                 if src != dst {
-                    imports[src][dst] =
-                        Some(c.import(src, pids[src], dst, exports[dst]).unwrap());
+                    imports[src][dst] = Some(c.import(src, pids[src], dst, exports[dst]).unwrap());
                 }
             }
         }
         for src in 0..4 {
             let va = VirtAddr::new(0x1000_0000);
-            c.write_local(src, pids[src], va, &[src as u8 + 1; 8]).unwrap();
+            c.write_local(src, pids[src], va, &[src as u8 + 1; 8])
+                .unwrap();
             for dst in 0..4 {
                 if src != dst {
                     c.remote_store(

@@ -29,10 +29,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- eager request/response -----------------------------------------
     fabric.send(channel, client, b"GET /stats")?;
     let request = fabric.recv(channel, server)?;
-    println!("server got request: {:?}", String::from_utf8_lossy(&request));
+    println!(
+        "server got request: {:?}",
+        String::from_utf8_lossy(&request)
+    );
     fabric.send(channel, server, b"200 OK: utlb is fast")?;
     let response = fabric.recv(channel, client)?;
-    println!("client got response: {:?}", String::from_utf8_lossy(&response));
+    println!(
+        "client got response: {:?}",
+        String::from_utf8_lossy(&response)
+    );
 
     // --- rendezvous bulk transfer, zero-copy into the caller's buffer ----
     let blob: Vec<u8> = (0..32_000u32).map(|i| (i * 7 % 251) as u8).collect();

@@ -50,8 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cluster.run_until_quiet()?;
         let t1 = cluster.node(0)?.board().clock.now();
         let us = (t1 - t0).as_micros();
-        let intr = cluster.node(0)?.board().intr.raised()
-            + cluster.node(1)?.board().intr.raised();
+        let intr = cluster.node(0)?.board().intr.raised() + cluster.node(1)?.board().intr.raised();
         println!("{round:<8}{us:>16.2}{intr:>16}");
         if round > 0 {
             warm_total += us;

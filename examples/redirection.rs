@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut buf = vec![0u8; msg.len()];
         cluster.read_local(1, consumer, slot, &mut buf)?;
         assert_eq!(buf, msg.as_bytes());
-        println!("round {round}: {:?} @ {slot}", String::from_utf8_lossy(&buf));
+        println!(
+            "round {round}: {:?} @ {slot}",
+            String::from_utf8_lossy(&buf)
+        );
     }
 
     // --- Part 2: lossy link --------------------------------------------
@@ -66,8 +69,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cluster.read_local(1, consumer, slot, &mut landed)?;
     assert_eq!(landed, big);
     println!("full page delivered correctly despite the lossy link");
-    println!(
-        "fetches still see the original exported buffer; redirection only moves stores"
-    );
+    println!("fetches still see the original exported buffer; redirection only moves stores");
     Ok(())
 }

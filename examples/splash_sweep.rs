@@ -24,19 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let sim = SimConfig::study(entries);
 
-    println!(
-        "cache: {entries} entries, direct-mapped with offsetting; trace scale {scale}"
-    );
+    println!("cache: {entries} entries, direct-mapped with offsetting; trace scale {scale}");
     println!(
         "{:<15}{:>9}{:>9}  |{:>9}{:>9}{:>9}  |{:>9}{:>9}",
-        "application",
-        "footprnt",
-        "lookups",
-        "U check",
-        "U NImiss",
-        "U µs",
-        "I NImiss",
-        "I µs"
+        "application", "footprnt", "lookups", "U check", "U NImiss", "U µs", "I NImiss", "I µs"
     );
     for app in SplashApp::ALL {
         let trace = gen::generate(app, &gen_cfg);

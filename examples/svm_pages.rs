@@ -127,7 +127,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )?;
             assert_eq!(u64::from_le_bytes(buf), (round + 1) * nodes as u64);
         }
-        println!("round {round}: all {} counters consistent", geo.total_pages());
+        println!(
+            "round {round}: all {} counters consistent",
+            geo.total_pages()
+        );
     }
 
     // --- the UTLB story: everything after warm-up was fast path.

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, and the tier-1 test suite.
+#
+# Everything runs --offline against the vendored dependency stubs in
+# vendor/ — this repo builds with no network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings)"
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test"
+cargo build --release --offline
+cargo test -q --offline
+
+echo "== full workspace tests"
+cargo test -q --offline --workspace
+
+echo "CI green."

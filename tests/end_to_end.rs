@@ -16,7 +16,9 @@ fn common_path_has_no_syscalls_and_no_interrupts() {
     let mut c = Cluster::new(2).unwrap();
     let tx = c.spawn_process(0).unwrap();
     let rx = c.spawn_process(1).unwrap();
-    let export = c.export(1, rx, VirtAddr::new(0x4000_2000), 2 * PAGE_SIZE).unwrap();
+    let export = c
+        .export(1, rx, VirtAddr::new(0x4000_2000), 2 * PAGE_SIZE)
+        .unwrap();
     let import = c.import(0, tx, 1, export).unwrap();
     let src = VirtAddr::new(0x1000_6000);
     c.write_local(0, tx, src, &[9u8; 512]).unwrap();
@@ -29,13 +31,17 @@ fn common_path_has_no_syscalls_and_no_interrupts() {
 
     // A hundred steady-state transfers.
     for i in 0..100u64 {
-        c.remote_store(0, tx, import, src, (i % 8) * 512, 512).unwrap();
+        c.remote_store(0, tx, import, src, (i % 8) * 512, 512)
+            .unwrap();
         c.run_until_quiet().unwrap();
     }
     let after_tx = c.node(0).unwrap().utlb().aggregate_stats();
     let after_rx = c.node(1).unwrap().utlb().aggregate_stats();
 
-    assert_eq!(after_tx.pin_calls, warm_tx.pin_calls, "no ioctl on the data path");
+    assert_eq!(
+        after_tx.pin_calls, warm_tx.pin_calls,
+        "no ioctl on the data path"
+    );
     assert_eq!(after_rx.pin_calls, warm_rx.pin_calls);
     assert_eq!(after_tx.interrupts, 0, "no device interrupts, ever");
     assert_eq!(after_rx.interrupts, 0);
@@ -60,8 +66,10 @@ fn garbage_page_protects_across_processes() {
     let import_a = c.import(0, tx, 1, export_a).unwrap();
 
     c.write_local(1, rx_b, va, b"process B's secret").unwrap();
-    c.write_local(0, tx, VirtAddr::new(0x1000_0000), b"AAAAAAAA").unwrap();
-    c.remote_store(0, tx, import_a, VirtAddr::new(0x1000_0000), 0, 8).unwrap();
+    c.write_local(0, tx, VirtAddr::new(0x1000_0000), b"AAAAAAAA")
+        .unwrap();
+    c.remote_store(0, tx, import_a, VirtAddr::new(0x1000_0000), 0, 8)
+        .unwrap();
     c.run_until_quiet().unwrap();
 
     // A landed in A's buffer; B's identical virtual address is untouched.
@@ -87,8 +95,10 @@ fn store_then_fetch_roundtrip() {
     let import_w = c.import(0, writer, 1, export).unwrap();
     let import_r = c.import(2, reader, 1, export).unwrap();
 
-    c.write_local(0, writer, VirtAddr::new(0x1000_0000), b"through the middle").unwrap();
-    c.remote_store(0, writer, import_w, VirtAddr::new(0x1000_0000), 64, 18).unwrap();
+    c.write_local(0, writer, VirtAddr::new(0x1000_0000), b"through the middle")
+        .unwrap();
+    c.remote_store(0, writer, import_w, VirtAddr::new(0x1000_0000), 64, 18)
+        .unwrap();
     c.run_until_quiet().unwrap();
 
     let dst = VirtAddr::new(0x2000_0000);
@@ -114,16 +124,28 @@ fn correctness_is_cache_size_independent() {
     let mut c = Cluster::with_config(2, cfg).unwrap();
     let tx = c.spawn_process(0).unwrap();
     let rx = c.spawn_process(1).unwrap();
-    let export = c.export(1, rx, VirtAddr::new(0x4000_0000), 8 * PAGE_SIZE).unwrap();
+    let export = c
+        .export(1, rx, VirtAddr::new(0x4000_0000), 8 * PAGE_SIZE)
+        .unwrap();
     let import = c.import(0, tx, 1, export).unwrap();
 
     let data: Vec<u8> = (0..8 * PAGE_SIZE).map(|i| (i * 31 % 251) as u8).collect();
-    c.write_local(0, tx, VirtAddr::new(0x1000_0000), &data).unwrap();
-    c.remote_store(0, tx, import, VirtAddr::new(0x1000_0000), 0, data.len() as u64).unwrap();
+    c.write_local(0, tx, VirtAddr::new(0x1000_0000), &data)
+        .unwrap();
+    c.remote_store(
+        0,
+        tx,
+        import,
+        VirtAddr::new(0x1000_0000),
+        0,
+        data.len() as u64,
+    )
+    .unwrap();
     c.run_until_quiet().unwrap();
 
     let mut got = vec![0u8; data.len()];
-    c.read_local(1, rx, VirtAddr::new(0x4000_0000), &mut got).unwrap();
+    c.read_local(1, rx, VirtAddr::new(0x4000_0000), &mut got)
+        .unwrap();
     assert_eq!(got, data);
     // And the cache really was thrashing.
     let s = c.node(0).unwrap().utlb().aggregate_stats();
@@ -150,8 +172,10 @@ fn node_remapping_survives_port_failure() {
     c.inject_fault(Some(Box::new(|p: &Packet| p.dst.raw() == 1)));
     c.remap_node(1, 2).unwrap();
 
-    c.write_local(0, tx, VirtAddr::new(0x1000_0000), b"failover").unwrap();
-    c.remote_store(0, tx, import, VirtAddr::new(0x1000_0000), 0, 8).unwrap();
+    c.write_local(0, tx, VirtAddr::new(0x1000_0000), b"failover")
+        .unwrap();
+    c.remote_store(0, tx, import, VirtAddr::new(0x1000_0000), 0, 8)
+        .unwrap();
     c.run_until_quiet().unwrap();
 
     let mut got = [0u8; 8];
@@ -173,7 +197,9 @@ fn memory_pressure_with_live_traffic_stays_correct() {
     let tx = c.spawn_process(0).unwrap();
     let rx = c.spawn_process(1).unwrap();
     // Receiver exports 4 pages (pinned under its own limit).
-    let export = c.export(1, rx, VirtAddr::new(0x4000_0000), 4 * PAGE_SIZE).unwrap();
+    let export = c
+        .export(1, rx, VirtAddr::new(0x4000_0000), 4 * PAGE_SIZE)
+        .unwrap();
     let import = c.import(0, tx, 1, export).unwrap();
 
     // Sender cycles through 12 distinct source pages — double its limit.
@@ -181,11 +207,17 @@ fn memory_pressure_with_live_traffic_stays_correct() {
         let src = VirtAddr::new(0x1000_0000 + (i % 12) * PAGE_SIZE);
         let marker = [(i % 251) as u8; 16];
         c.write_local(0, tx, src, &marker).unwrap();
-        c.remote_store(0, tx, import, src, (i % 4) * PAGE_SIZE, 16).unwrap();
+        c.remote_store(0, tx, import, src, (i % 4) * PAGE_SIZE, 16)
+            .unwrap();
         c.run_until_quiet().unwrap();
         let mut got = [0u8; 16];
-        c.read_local(1, rx, VirtAddr::new(0x4000_0000 + (i % 4) * PAGE_SIZE), &mut got)
-            .unwrap();
+        c.read_local(
+            1,
+            rx,
+            VirtAddr::new(0x4000_0000 + (i % 4) * PAGE_SIZE),
+            &mut got,
+        )
+        .unwrap();
         assert_eq!(got, marker, "iteration {i}");
     }
     let s = c.node(0).unwrap().utlb().aggregate_stats();
@@ -205,14 +237,17 @@ fn transfers_survive_os_paging_pressure() {
     let mut c = Cluster::new(2).unwrap();
     let tx = c.spawn_process(0).unwrap();
     let rx = c.spawn_process(1).unwrap();
-    let export = c.export(1, rx, VirtAddr::new(0x4000_0000), 4 * PAGE_SIZE).unwrap();
+    let export = c
+        .export(1, rx, VirtAddr::new(0x4000_0000), 4 * PAGE_SIZE)
+        .unwrap();
     let import = c.import(0, tx, 1, export).unwrap();
 
     for round in 0..12u64 {
         let src = VirtAddr::new(0x1000_0000 + (round % 6) * PAGE_SIZE);
         let marker = [(round + 1) as u8; 64];
         c.write_local(0, tx, src, &marker).unwrap();
-        c.remote_store(0, tx, import, src, (round % 4) * PAGE_SIZE, 64).unwrap();
+        c.remote_store(0, tx, import, src, (round % 4) * PAGE_SIZE, 64)
+            .unwrap();
         c.run_until_quiet().unwrap();
 
         // The OS sweeps both hosts, reclaiming every page it may touch.
@@ -236,8 +271,13 @@ fn transfers_survive_os_paging_pressure() {
         }
 
         let mut got = [0u8; 64];
-        c.read_local(1, rx, VirtAddr::new(0x4000_0000 + (round % 4) * PAGE_SIZE), &mut got)
-            .unwrap();
+        c.read_local(
+            1,
+            rx,
+            VirtAddr::new(0x4000_0000 + (round % 4) * PAGE_SIZE),
+            &mut got,
+        )
+        .unwrap();
         assert_eq!(got, marker, "round {round}");
     }
 

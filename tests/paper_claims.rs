@@ -27,7 +27,10 @@ fn conclusion_1_fewer_misses_and_no_interrupts() {
         let sim = SimConfig::study(1024);
         let u = run_utlb(&trace, &sim);
         let i = run_intr(&trace, &sim);
-        assert!(u.stats.check_miss_rate() <= u.stats.ni_miss_rate() + 1e-9, "{app}");
+        assert!(
+            u.stats.check_miss_rate() <= u.stats.ni_miss_rate() + 1e-9,
+            "{app}"
+        );
         assert_eq!(u.stats.interrupts, 0, "{app}: UTLB takes no interrupts");
         assert_eq!(
             i.stats.interrupts, i.stats.ni_misses,
@@ -88,8 +91,14 @@ fn conclusion_3_direct_mapped_is_adequate() {
     let direct = of(Organization::Direct);
     let four = of(Organization::FourWay);
     let nohash = of(Organization::DirectNohash);
-    assert!(direct <= four * 1.15, "direct {direct:.3} vs 4-way {four:.3}");
-    assert!(nohash > direct, "offsetting matters: {nohash:.3} vs {direct:.3}");
+    assert!(
+        direct <= four * 1.15,
+        "direct {direct:.3} vs 4-way {four:.3}"
+    );
+    assert!(
+        nohash > direct,
+        "offsetting matters: {nohash:.3} vs {direct:.3}"
+    );
 }
 
 /// "Prefetching can reduce the amortized overhead ... for applications that

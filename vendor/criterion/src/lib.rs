@@ -1,0 +1,253 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! The offline build environment cannot fetch the real crate. This harness
+//! keeps the API the workspace's benches use — groups, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — and measures wall-clock
+//! time per iteration, printing one summary line per benchmark.
+//!
+//! There is no statistical analysis, outlier rejection, or HTML report:
+//! each benchmark is warmed up briefly, then timed over enough iterations
+//! to fill a fixed measurement budget, and the mean ns/iteration is
+//! reported (with derived throughput when one was declared).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-exported so `b.iter(|| black_box(...))` keeps the optimizer honest.
+pub use std::hint::black_box;
+
+/// Top-level handle passed to benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Small by design: these benches exist for relative comparisons
+            // in CI logs, not publication-grade statistics.
+            measurement: Duration::from_millis(40),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// Declared units of work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput declaration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the wall-clock budget is what
+    /// actually bounds iteration count here.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            budget: self.criterion.measurement,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            budget: self.criterion.measurement,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Ends the group (prints nothing; exists for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let mut line = format!("{}/{}", self.name, id.label);
+        if bencher.iters == 0 {
+            println!("{line}: no iterations recorded");
+            return;
+        }
+        let ns = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+        let _ = write!(line, ": {ns:.1} ns/iter ({} iters)", bencher.iters);
+        match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let gib = n as f64 / ns; // bytes/ns == GiB/s within 7%; close enough: report GB/s exactly.
+                let _ = write!(line, ", {:.3} GB/s", gib);
+            }
+            Some(Throughput::Elements(n)) => {
+                let _ = write!(line, ", {:.0} elems/s", n as f64 / (ns * 1e-9));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, timing it until the measurement budget
+    /// is spent (always at least once, after one untimed warmup call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget {
+                self.total = elapsed;
+                self.iters = iters;
+                return;
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(1),
+        };
+        let mut group = c.benchmark_group("smoke");
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn ids_format_as_expected() {
+        assert_eq!(BenchmarkId::new("hit", "two_way").label, "hit/two_way");
+        assert_eq!(BenchmarkId::from_parameter(4096).label, "4096");
+    }
+}

@@ -1,0 +1,318 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The offline build environment has no `syn`/`quote`, so the input item is
+//! parsed directly from the `proc_macro` token stream. The parser supports
+//! exactly the shapes this workspace derives on:
+//!
+//! * named-field structs (serialized as objects, field order preserved),
+//! * tuple structs (newtypes transparent, wider tuples as arrays),
+//! * unit structs (serialized as `null`),
+//! * enums whose variants are all unit variants (variant-name strings).
+//!
+//! Anything else (generics, data-carrying enum variants) is rejected with a
+//! compile error naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    EnumUnit(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("generated impl must be valid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error! is valid Rust"),
+    }
+}
+
+/// Skips one attribute (`#` was already consumed when this is called the
+/// caller just saw `#`; the bracket group follows, possibly after a `!`).
+fn skip_attr(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '!' {
+            tokens.next();
+        }
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+        other => panic!("malformed attribute near {other:?}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Preamble: attributes and visibility, then `struct` / `enum`.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut tokens),
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(other) => return Err(format!("unexpected token {other} before item keyword")),
+            None => return Err("empty derive input".into()),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde derive does not support generics (on `{name}`)"
+            ));
+        }
+    }
+    let shape = match tokens.next() {
+        None => Shape::Unit,
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "enum" {
+                Shape::EnumUnit(parse_unit_variants(g.stream(), &name)?)
+            } else {
+                Shape::Named(parse_named_fields(g.stream(), &name)?)
+            }
+        }
+        other => return Err(format!("unexpected token {other:?} in `{name}`")),
+    };
+    Ok(Item { name, shape })
+}
+
+/// Counts comma-separated fields of a tuple struct body at angle-depth 0.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_any = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+            _ => saw_any = true,
+        }
+    }
+    // A trailing comma must not double-count the last field.
+    if saw_any {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+fn parse_named_fields(body: TokenStream, item: &str) -> Result<Vec<String>, String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Field preamble: attributes + visibility.
+        let field = loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut tokens),
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!("unexpected token {other} in fields of `{item}`"))
+                }
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{field}`, got {other:?}")),
+        }
+        // Skip the type: tokens until a comma at angle-depth 0.
+        let mut depth = 0i32;
+        for t in tokens.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field);
+    }
+}
+
+fn parse_unit_variants(body: TokenStream, item: &str) -> Result<Vec<String>, String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let variant = loop {
+            match tokens.next() {
+                None => return Ok(variants),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut tokens),
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!("unexpected token {other} in variants of `{item}`"))
+                }
+            }
+        };
+        match tokens.next() {
+            None => {
+                variants.push(variant);
+                return Ok(variants);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "vendored serde derive supports only unit enum variants \
+                     (`{item}::{variant}` carries data)"
+                ));
+            }
+            Some(other) => {
+                return Err(format!(
+                    "unexpected token {other} after variant `{item}::{variant}`"
+                ))
+            }
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::EnumUnit(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::field(obj, {f:?}, {name:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::DeError::custom(\
+                     ::std::format!(\"expected object for {name}, got {{}}\", v.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::DeError::custom(\
+                     ::std::format!(\"expected array for {name}, got {{}}\", v.kind())))?;\n\
+                 if arr.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"expected {n} elements for {name}, got {{}}\", arr.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::EnumUnit(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "let s = v.as_str().ok_or_else(|| ::serde::DeError::custom(\
+                     ::std::format!(\"expected variant string for {name}, got {{}}\", v.kind())))?;\n\
+                 match s {{ {}, other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown {name} variant {{other:?}}\"))) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
