@@ -7,10 +7,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use utlb_core::{CacheConfig, SharedUtlbCache};
+use utlb_core::obs::NoopProbe;
+use utlb_core::{CacheConfig, SharedUtlbCache, UtlbEngine};
 use utlb_mem::{PhysAddr, ProcessId, VirtPage};
 use utlb_sim::sweep::THREADS_ENV;
-use utlb_sim::{run_utlb, sweep, SimConfig};
+use utlb_sim::{run, run_utlb, sweep, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp};
 
 fn small_cfg() -> GenConfig {
@@ -81,5 +82,35 @@ fn bench_grid(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cache_probe, bench_sweep_overhead, bench_grid);
+/// The zero-overhead claim of the observability layer: a full trace
+/// replay with a `NoopProbe` attached must track the probe-free replay
+/// within noise (<10%, enforced strictly by the `obs_guard` binary).
+fn bench_noop_probe(c: &mut Criterion) {
+    let trace = gen::generate_shared(SplashApp::Water, &small_cfg());
+    let cfg = SimConfig::study(1024);
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("replay_no_probe", |b| {
+        b.iter(|| {
+            let mut engine = UtlbEngine::new(cfg.utlb_config());
+            black_box(run(&mut engine, &trace, &cfg).stats.lookups)
+        })
+    });
+    group.bench_function("replay_noop_probe", |b| {
+        b.iter(|| {
+            let mut engine = UtlbEngine::new(cfg.utlb_config());
+            engine.set_probe(Box::new(NoopProbe));
+            black_box(run(&mut engine, &trace, &cfg).stats.lookups)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache_probe,
+    bench_sweep_overhead,
+    bench_grid,
+    bench_noop_probe
+);
 criterion_main!(benches);

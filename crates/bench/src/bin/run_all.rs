@@ -5,10 +5,14 @@
 
 use serde::Serialize;
 use std::time::Instant;
+use utlb_core::obs::Metrics;
 use utlb_core::{CacheConfig, SharedUtlbCache};
 use utlb_mem::{PhysAddr, ProcessId, VirtPage};
 use utlb_sim::sweep::{worker_count, THREADS_ENV};
-use utlb_trace::GenConfig;
+use utlb_sim::{
+    phase_breakdown, run_mechanism_observed, sweep_over, Mechanism, ObsReport, SimConfig,
+};
+use utlb_trace::{gen, GenConfig, SplashApp};
 
 /// Measured throughput of the experiment sweep machinery, archived so runs
 /// on different machines can be compared.
@@ -80,6 +84,132 @@ fn bench_sweep(gen: &GenConfig) -> SweepBench {
     }
 }
 
+/// Per-process event-ring capacity for observed runs: enough tail to
+/// explain a surprising final state, small enough to keep exports readable.
+const OBS_RING: usize = 64;
+
+/// One observed run inside an experiment's obs export.
+#[derive(Debug, Serialize)]
+struct ObsRun {
+    /// Application name.
+    app: String,
+    /// NIC cache entries of this run.
+    cache_entries: usize,
+    /// The full probe report (metrics, rings, board counters).
+    report: ObsReport,
+}
+
+/// The `results/obs_<experiment>.json` document.
+#[derive(Debug, Serialize)]
+struct ObsExport {
+    /// Experiment name ("table4", …).
+    experiment: String,
+    /// One entry per (app, mechanism) cell.
+    runs: Vec<ObsRun>,
+}
+
+/// One observed cell: trace index, mechanism, and run parameters.
+type ObsCell = (usize, Mechanism, SimConfig);
+
+/// Reruns the headline experiments with the engine probe attached,
+/// asserting that the event stream reconciles with the engines' own
+/// statistics on every cell, printing the merged per-phase breakdown,
+/// and archiving one JSON report per experiment under `results/`.
+fn obs_pass(gencfg: &GenConfig) {
+    std::fs::create_dir_all("results").expect("create results/");
+    let traces: Vec<_> = SplashApp::ALL
+        .iter()
+        .map(|&app| (app, gen::generate_shared(app, gencfg)))
+        .collect();
+
+    let all_apps_both_mechs = |cfg: &SimConfig| -> Vec<ObsCell> {
+        let mut cells = Vec::new();
+        for tix in 0..traces.len() {
+            for mech in [Mechanism::Utlb, Mechanism::Intr] {
+                cells.push((tix, mech, cfg.clone()));
+            }
+        }
+        cells
+    };
+    let table7_cfg = {
+        let mut c = SimConfig::study(8192).limit_mb(4);
+        c.prepin = 16;
+        c
+    };
+    let fig8_cfg = {
+        let mut c = SimConfig::study(1024);
+        c.prefetch = 8;
+        c.prepin = 8;
+        c
+    };
+    let experiments: Vec<(&str, Vec<ObsCell>)> = vec![
+        ("table4", all_apps_both_mechs(&SimConfig::study(8192))),
+        (
+            "table5",
+            all_apps_both_mechs(&SimConfig::study(8192).limit_mb(4)),
+        ),
+        (
+            "table7",
+            (0..traces.len())
+                .map(|tix| (tix, Mechanism::Utlb, table7_cfg.clone()))
+                .collect(),
+        ),
+        (
+            "fig8",
+            vec![(
+                traces
+                    .iter()
+                    .position(|(app, _)| *app == SplashApp::Radix)
+                    .expect("radix is in ALL"),
+                Mechanism::Utlb,
+                fig8_cfg,
+            )],
+        ),
+    ];
+
+    for (name, cells) in experiments {
+        let runs: Vec<ObsRun> = sweep_over(&cells, |(tix, mech, cfg)| {
+            let (app, trace) = &traces[*tix];
+            let (_, report) = run_mechanism_observed(*mech, trace, cfg, OBS_RING);
+            assert!(
+                report.reconciled,
+                "{name}/{app}/{mech}: probe stream disagrees with engine stats: {:?}",
+                report.mismatches
+            );
+            ObsRun {
+                app: app.to_string(),
+                cache_entries: cfg.cache_entries,
+                report,
+            }
+        });
+        for mech in [Mechanism::Utlb, Mechanism::Intr] {
+            let mut merged = Metrics::new();
+            let mut any = false;
+            for run in runs
+                .iter()
+                .filter(|r| r.report.mechanism == mech.to_string())
+            {
+                merged.merge(&run.report.metrics);
+                any = true;
+            }
+            if any {
+                println!(
+                    "{}",
+                    phase_breakdown(format!("Obs breakdown — {name} / {mech}"), &merged)
+                );
+            }
+        }
+        let path = format!("results/obs_{name}.json");
+        let export = ObsExport {
+            experiment: name.to_string(),
+            runs,
+        };
+        let body = serde_json::to_string_pretty(&export).expect("obs export serializes");
+        std::fs::write(&path, body).expect("write obs export");
+        eprintln!("obs: {path}");
+    }
+}
+
 fn main() {
     let args = utlb_bench::BenchArgs::parse();
     println!("{}\n", utlb_sim::experiments::table1());
@@ -92,6 +222,10 @@ fn main() {
     println!("{}\n", utlb_sim::experiments::table8(&args.gen));
     println!("{}\n", utlb_sim::experiments::fig7(&args.gen));
     println!("{}\n", utlb_sim::experiments::fig8(&args.gen));
+
+    if args.obs {
+        obs_pass(&args.gen);
+    }
 
     let bench = bench_sweep(&args.gen);
     let body = serde_json::to_string_pretty(&bench).expect("bench serializes");

@@ -3,12 +3,14 @@
 //! Every binary accepts the same arguments:
 //!
 //! ```text
-//! <binary> [--scale S] [--seed N] [--json PATH]
+//! <binary> [--scale S] [--seed N] [--json PATH] [--obs]
 //! ```
 //!
 //! `--scale` shrinks the Table 3 footprint/lookup targets (default 1.0, the
 //! paper's sizes); `--json` archives the structured result next to the
-//! printed table.
+//! printed table; `--obs` (honoured by `run_all`) reruns the headline
+//! experiments with the engine probe attached and writes one
+//! `results/obs_<experiment>.json` observability report per experiment.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -27,6 +29,9 @@ pub struct BenchArgs {
     pub json: Option<PathBuf>,
     /// Where to write a CSV rendering (figure binaries only).
     pub csv: Option<PathBuf>,
+    /// Whether to run the observed (probe-attached) pass and export
+    /// `results/obs_<experiment>.json` reports (`run_all` only).
+    pub obs: bool,
 }
 
 impl BenchArgs {
@@ -39,6 +44,7 @@ impl BenchArgs {
         };
         let mut json = None;
         let mut csv = None;
+        let mut obs = false;
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
             let mut value = |name: &str| {
@@ -62,8 +68,9 @@ impl BenchArgs {
                 }
                 "--json" => json = Some(PathBuf::from(value("--json"))),
                 "--csv" => csv = Some(PathBuf::from(value("--csv"))),
+                "--obs" => obs = true,
                 "--help" | "-h" => {
-                    println!("usage: [--scale S] [--seed N] [--json PATH] [--csv PATH]");
+                    println!("usage: [--scale S] [--seed N] [--json PATH] [--csv PATH] [--obs]");
                     std::process::exit(0);
                 }
                 other => {
@@ -72,7 +79,12 @@ impl BenchArgs {
                 }
             }
         }
-        BenchArgs { gen, json, csv }
+        BenchArgs {
+            gen,
+            json,
+            csv,
+            obs,
+        }
     }
 
     /// Writes a CSV rendering if `--csv` was given.
@@ -112,6 +124,7 @@ impl Default for BenchArgs {
             },
             json: None,
             csv: None,
+            obs: false,
         }
     }
 }
@@ -126,6 +139,7 @@ mod tests {
         assert_eq!(a.gen.scale, 1.0);
         assert_eq!(a.gen.app_processes, 4);
         assert!(a.json.is_none());
+        assert!(!a.obs);
     }
 
     #[test]

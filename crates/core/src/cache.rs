@@ -364,6 +364,14 @@ impl SharedUtlbCache {
     pub fn occupancy(&self) -> usize {
         self.valid.count_ones()
     }
+
+    /// Number of valid lines belonging to `pid` — the per-process share of
+    /// the shared cache an observability export reports.
+    pub fn occupancy_for(&self, pid: ProcessId) -> usize {
+        (0..self.lines.len())
+            .filter(|&ix| self.valid.get(ix) && self.lines[ix].pid == pid)
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -548,5 +556,26 @@ mod tests {
             associativity: Associativity::FourWay,
             offsetting: false,
         });
+    }
+
+    #[test]
+    fn occupancy_for_counts_one_process_share() {
+        // No offsetting, so line indices are just `page % 16` and the two
+        // processes cannot collide.
+        let mut c = SharedUtlbCache::new(CacheConfig {
+            entries: 16,
+            associativity: Associativity::Direct,
+            offsetting: false,
+        });
+        for v in 0..3 {
+            c.insert(pid(1), page(v), pa(v));
+        }
+        c.insert(pid(2), page(8), pa(8));
+        assert_eq!(c.occupancy_for(pid(1)), 3);
+        assert_eq!(c.occupancy_for(pid(2)), 1);
+        assert_eq!(c.occupancy_for(pid(9)), 0);
+        assert_eq!(c.occupancy(), 4);
+        c.invalidate_process(pid(1));
+        assert_eq!(c.occupancy_for(pid(1)), 0);
     }
 }

@@ -14,6 +14,7 @@
 //! be pinned, and never interrupts the host — the two properties the whole
 //! design exists to provide.
 
+use crate::obs::{Event, EvictReason, Probe, ProbeSlot};
 use crate::{
     CacheConfig, CostModel, HierTable, PinBitVector, PinnedSet, Policy, Result, SharedUtlbCache,
     TranslationStats, UtlbError,
@@ -23,6 +24,12 @@ use utlb_mem::{Host, PhysAddr, ProcessId, VirtAddr, VirtPage};
 use utlb_nic::{Board, Nanos};
 
 /// Configuration of a [`UtlbEngine`].
+///
+/// Prefer [`UtlbConfig::builder`], which validates the widths up front and
+/// returns a [`Result`] instead of letting a zero `prefetch`/`prepin` reach
+/// the engine. Direct struct-literal construction still works for field
+/// updates off [`UtlbConfig::default`], but skips validation until the
+/// engine is built.
 #[derive(Debug, Clone)]
 pub struct UtlbConfig {
     /// Shared UTLB-Cache geometry.
@@ -53,6 +60,124 @@ impl Default for UtlbConfig {
             cost: CostModel::default(),
             seed: 0xDEFA,
         }
+    }
+}
+
+impl UtlbConfig {
+    /// A builder starting from [`UtlbConfig::default`] that validates on
+    /// [`build`](UtlbConfigBuilder::build).
+    pub fn builder() -> UtlbConfigBuilder {
+        UtlbConfigBuilder {
+            cfg: UtlbConfig::default(),
+        }
+    }
+
+    /// Checks the invariants the engine relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::InvalidConfig`] if `prefetch` or `prepin` is
+    /// zero, the cache has no entries, or the entry count is not a multiple
+    /// of the associativity's way count.
+    pub fn validate(&self) -> Result<()> {
+        if self.prefetch < 1 {
+            return Err(UtlbError::InvalidConfig(
+                "prefetch width must be at least 1".into(),
+            ));
+        }
+        if self.prepin < 1 {
+            return Err(UtlbError::InvalidConfig(
+                "prepin width must be at least 1".into(),
+            ));
+        }
+        if self.cache.entries == 0 {
+            return Err(UtlbError::InvalidConfig(
+                "cache must have at least one entry".into(),
+            ));
+        }
+        let ways = self.cache.associativity.ways();
+        if !self.cache.entries.is_multiple_of(ways) {
+            return Err(UtlbError::InvalidConfig(format!(
+                "cache entries {} not divisible by {} ways",
+                self.cache.entries, ways
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`UtlbConfig`] — the validating construction path.
+///
+/// ```
+/// use utlb_core::{CacheConfig, Policy, UtlbConfig};
+///
+/// let cfg = UtlbConfig::builder()
+///     .cache(CacheConfig::direct(1024))
+///     .prefetch(8)
+///     .prepin(8)
+///     .policy(Policy::Lru)
+///     .build()
+///     .expect("widths are nonzero");
+/// assert_eq!(cfg.prefetch, 8);
+/// assert!(UtlbConfig::builder().prefetch(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct UtlbConfigBuilder {
+    cfg: UtlbConfig,
+}
+
+impl UtlbConfigBuilder {
+    /// Sets the Shared UTLB-Cache geometry.
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cfg.cache = cache;
+        self
+    }
+
+    /// Sets the entries fetched per NIC miss (§6.4).
+    pub fn prefetch(mut self, prefetch: u64) -> Self {
+        self.cfg.prefetch = prefetch;
+        self
+    }
+
+    /// Sets the pages pinned per check miss (§6.5).
+    pub fn prepin(mut self, prepin: u64) -> Self {
+        self.cfg.prepin = prepin;
+        self
+    }
+
+    /// Sets the pinned-page replacement policy (§3.4).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Sets the per-process pinned-memory limit.
+    pub fn mem_limit_pages(mut self, limit: Option<u64>) -> Self {
+        self.cfg.mem_limit_pages = limit;
+        self
+    }
+
+    /// Sets the cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cfg.cost = cost;
+        self
+    }
+
+    /// Sets the RANDOM-policy seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::InvalidConfig`] as described on
+    /// [`UtlbConfig::validate`].
+    pub fn build(self) -> Result<UtlbConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -92,23 +217,48 @@ pub struct UtlbEngine {
     cfg: UtlbConfig,
     cache: SharedUtlbCache,
     procs: HashMap<ProcessId, ProcState>,
+    probe: ProbeSlot,
 }
 
 impl UtlbEngine {
     /// Creates an engine with the given configuration.
     ///
+    /// Prefer building the configuration via [`UtlbConfig::builder`], which
+    /// surfaces invalid widths as a [`Result`] before this point.
+    ///
     /// # Panics
     ///
-    /// Panics if `prefetch` or `prepin` is zero.
+    /// Panics if the configuration fails [`UtlbConfig::validate`].
     pub fn new(cfg: UtlbConfig) -> Self {
-        assert!(cfg.prefetch >= 1, "prefetch width must be at least 1");
-        assert!(cfg.prepin >= 1, "prepin width must be at least 1");
+        Self::try_new(cfg).expect("invalid UtlbConfig")
+    }
+
+    /// Creates an engine, validating the configuration first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::InvalidConfig`] as described on
+    /// [`UtlbConfig::validate`].
+    pub fn try_new(cfg: UtlbConfig) -> Result<Self> {
+        cfg.validate()?;
         let cache = SharedUtlbCache::new(cfg.cache);
-        UtlbEngine {
+        Ok(UtlbEngine {
             cfg,
             cache,
             procs: HashMap::new(),
-        }
+            probe: ProbeSlot::detached(),
+        })
+    }
+
+    /// Attaches an observability probe (see [`crate::obs`]), replacing and
+    /// returning any previous one. Detached engines skip all event work.
+    pub fn set_probe(&mut self, probe: Box<dyn Probe>) -> Option<Box<dyn Probe>> {
+        self.probe.attach(probe)
+    }
+
+    /// Detaches and returns the probe, if one was attached.
+    pub fn take_probe(&mut self) -> Option<Box<dyn Probe>> {
+        self.probe.detach()
     }
 
     /// The engine configuration.
@@ -272,6 +422,7 @@ impl UtlbEngine {
         page: VirtPage,
     ) -> Result<PhysAddr> {
         let cost = self.cfg.cost.clone();
+        let t0 = board.clock.now();
         {
             let state = self
                 .procs
@@ -281,6 +432,8 @@ impl UtlbEngine {
         }
         Self::charge_us(board, cost.ni_check_us);
         if let Some(phys) = self.cache.lookup(pid, page) {
+            let ns = (board.clock.now() - t0).as_nanos();
+            self.probe.emit(pid, Event::Lookup { ns });
             return Ok(phys);
         }
         // Miss path: check the table; a garbage entry means the page was
@@ -291,7 +444,13 @@ impl UtlbEngine {
             state.hier.read_entry(page, host.physical(), &board.sram)? == state.hier.garbage()
         };
         if needs_pin {
-            board.intr.raise(&mut board.clock);
+            let intr_cost = board.intr.raise(&mut board.clock);
+            self.probe.emit(
+                pid,
+                Event::Interrupt {
+                    ns: intr_cost.as_nanos(),
+                },
+            );
             Self::charge_us(board, cost.kernel_pin_cost(1));
             let pinned = host.driver_pin(pid, page, 1)?;
             let state = self.procs.get_mut(&pid).expect("registered");
@@ -306,19 +465,39 @@ impl UtlbEngine {
             state.stats.interrupts += 1;
             state.stats.pins += 1;
             state.stats.pin_calls += 1;
-            state.stats.pin_time_ns += (cost.kernel_pin_cost(1) * 1000.0) as u64;
+            let pin_ns = (cost.kernel_pin_cost(1) * 1000.0) as u64;
+            state.stats.pin_time_ns += pin_ns;
+            self.probe.emit(pid, Event::Pin { run: 1, ns: pin_ns });
         }
         let state = self.procs.get_mut(&pid).expect("registered");
         state.stats.ni_misses += 1;
+        self.probe.emit(pid, Event::NiMiss);
+        let state = self.procs.get_mut(&pid).expect("registered");
         let entry_addr = state
             .hier
             .entry_addr(page, &board.sram)?
             .expect("installed above or already present");
         let Board { dma, clock, .. } = board;
-        let words = dma.fetch_words(clock, host.physical(), entry_addr, 1)?;
+        let (words, dma_cost) = dma.fetch_words_timed(clock, host.physical(), entry_addr, 1)?;
         state.stats.entries_fetched += 1;
+        self.probe.emit(
+            pid,
+            Event::DmaFetch {
+                entries: 1,
+                ns: dma_cost.as_nanos(),
+            },
+        );
         let phys = PhysAddr::new(words[0]);
-        self.cache.insert(pid, page, phys);
+        if self.cache.insert(pid, page, phys).is_some() {
+            self.probe.emit(
+                pid,
+                Event::Evict {
+                    reason: EvictReason::CacheConflict,
+                },
+            );
+        }
+        let ns = (board.clock.now() - t0).as_nanos();
+        self.probe.emit(pid, Event::Lookup { ns });
         Ok(phys)
     }
 
@@ -363,6 +542,7 @@ impl UtlbEngine {
         page: VirtPage,
     ) -> Result<PageOutcome> {
         let cost = self.cfg.cost.clone();
+        let t0 = board.clock.now();
         let state = self.procs.get_mut(&pid).expect("checked by caller");
         state.stats.lookups += 1;
 
@@ -373,6 +553,7 @@ impl UtlbEngine {
 
         if check_miss {
             state.stats.check_misses += 1;
+            self.probe.emit(pid, Event::CheckMiss);
             self.pin_run(host, board, pid, page)?;
         }
 
@@ -391,7 +572,10 @@ impl UtlbEngine {
         let state = self.procs.get_mut(&pid).expect("still registered");
         if ni_miss {
             state.stats.ni_misses += 1;
+            self.probe.emit(pid, Event::NiMiss);
         }
+        let ns = (board.clock.now() - t0).as_nanos();
+        self.probe.emit(pid, Event::Lookup { ns });
         Ok(PageOutcome {
             page,
             phys,
@@ -453,7 +637,15 @@ impl UtlbEngine {
                     let state = self.procs.get_mut(&pid).expect("registered");
                     state.stats.unpins += 1;
                     state.stats.unpin_calls += 1;
-                    state.stats.unpin_time_ns += (unpin_us * 1000.0) as u64;
+                    let unpin_ns = (unpin_us * 1000.0) as u64;
+                    state.stats.unpin_time_ns += unpin_ns;
+                    self.probe.emit(
+                        pid,
+                        Event::Evict {
+                            reason: EvictReason::MemLimit,
+                        },
+                    );
+                    self.probe.emit(pid, Event::Unpin { ns: unpin_ns });
                 }
             }
         }
@@ -475,7 +667,15 @@ impl UtlbEngine {
         }
         state.stats.pins += pinned.len() as u64;
         state.stats.pin_calls += 1;
-        state.stats.pin_time_ns += (pin_us * 1000.0) as u64;
+        let pin_ns = (pin_us * 1000.0) as u64;
+        state.stats.pin_time_ns += pin_ns;
+        self.probe.emit(
+            pid,
+            Event::Pin {
+                run: pinned.len() as u64,
+                ns: pin_ns,
+            },
+        );
         Ok(())
     }
 
@@ -497,15 +697,24 @@ impl UtlbEngine {
         // Swapped-out second-level table: the NIC interrupts the host to
         // bring it back (§3.3) — the one interrupt UTLB can ever take.
         if state.hier.entry_addr(page, &board.sram)?.is_none() {
-            board.intr.raise(&mut board.clock);
+            let intr_cost = board.intr.raise(&mut board.clock);
             state.stats.interrupts += 1;
+            self.probe.emit(
+                pid,
+                Event::Interrupt {
+                    ns: intr_cost.as_nanos(),
+                },
+            );
+            let state = self.procs.get_mut(&pid).expect("checked by caller");
             let (phys, swap) = host.phys_and_swap();
             let swapped_in = state.hier.swap_in(page, phys, &mut board.sram, swap)?;
             if !swapped_in || state.hier.entry_addr(page, &board.sram)?.is_none() {
                 return Err(UtlbError::ProtocolViolation { pid, page });
             }
+            self.probe.emit(pid, Event::SwapIn);
         }
 
+        let state = self.procs.get_mut(&pid).expect("checked by caller");
         let entry_addr = state
             .hier
             .entry_addr(page, &board.sram)?
@@ -516,9 +725,17 @@ impl UtlbEngine {
         let leaf_remaining = crate::hier::LEAF_ENTRIES - page.number() % crate::hier::LEAF_ENTRIES;
         let fetch = self.cfg.prefetch.min(leaf_remaining);
         let Board { dma, clock, .. } = board;
-        let words = dma.fetch_words(clock, host.physical(), entry_addr, fetch)?;
+        let (words, dma_cost) = dma.fetch_words_timed(clock, host.physical(), entry_addr, fetch)?;
         state.stats.entries_fetched += fetch;
+        self.probe.emit(
+            pid,
+            Event::DmaFetch {
+                entries: fetch,
+                ns: dma_cost.as_nanos(),
+            },
+        );
 
+        let state = self.procs.get_mut(&pid).expect("checked by caller");
         let garbage = state.hier.garbage().raw();
         let first = PhysAddr::new(words[0]);
         if words[0] == garbage {
@@ -526,8 +743,17 @@ impl UtlbEngine {
         }
         for (i, w) in words.into_iter().enumerate() {
             if w != garbage {
-                self.cache
+                let evicted = self
+                    .cache
                     .insert(pid, page.offset(i as u64), PhysAddr::new(w));
+                if evicted.is_some() {
+                    self.probe.emit(
+                        pid,
+                        Event::Evict {
+                            reason: EvictReason::CacheConflict,
+                        },
+                    );
+                }
             }
         }
         Ok(first)
@@ -864,6 +1090,75 @@ mod tests {
         let mut buf = [0u8; 8];
         host.physical().read(r.pages[0].phys, &mut buf).unwrap();
         assert_eq!(&buf, b"survives");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_without_panicking() {
+        let bad = UtlbConfig {
+            prefetch: 0,
+            ..UtlbConfig::default()
+        };
+        assert!(matches!(
+            UtlbEngine::try_new(bad),
+            Err(UtlbError::InvalidConfig(_))
+        ));
+        assert!(UtlbConfig::builder().prepin(0).build().is_err());
+        assert!(UtlbConfig::builder()
+            .cache(CacheConfig {
+                entries: 6,
+                associativity: crate::Associativity::FourWay,
+                offsetting: false,
+            })
+            .build()
+            .is_err());
+        let good = UtlbConfig::builder()
+            .cache(CacheConfig::direct(128))
+            .prefetch(4)
+            .prepin(2)
+            .mem_limit_pages(Some(64))
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(good.prefetch, 4);
+        assert!(UtlbEngine::try_new(good).is_ok());
+    }
+
+    #[test]
+    fn probe_event_counts_reconcile_with_stats() {
+        use crate::obs::SharedCollector;
+        let cfg = UtlbConfig {
+            cache: CacheConfig::direct(64),
+            prepin: 4,
+            prefetch: 4,
+            mem_limit_pages: Some(8),
+            ..UtlbConfig::default()
+        };
+        let (mut host, mut board, mut engine, pid) = setup(cfg);
+        let collector = SharedCollector::new(16);
+        engine.set_probe(collector.boxed());
+        // The interrupt fallback path first, while pins are under the limit
+        // (nic_resolve pins directly, without the limit-eviction path).
+        engine
+            .nic_resolve(&mut host, &mut board, pid, VirtPage::new(500))
+            .unwrap();
+        // Strided lookups: check misses, NI misses, pins, limit evictions.
+        for i in 0..24 {
+            engine
+                .lookup(&mut host, &mut board, pid, VirtPage::new(i * 3), 2)
+                .unwrap();
+        }
+        let snap = collector.snapshot();
+        let stats = engine.aggregate_stats();
+        let mismatches = snap.metrics.reconcile(&stats);
+        assert!(mismatches.is_empty(), "mismatches: {mismatches:?}");
+        assert!(snap.metrics.counts.evictions > 0, "limit evictions seen");
+        assert_eq!(snap.metrics.lookup_ns.count(), stats.lookups);
+        // Detaching stops the stream: stats advance, metrics do not.
+        engine.take_probe().expect("probe was attached");
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(9000), 1)
+            .unwrap();
+        assert_eq!(collector.snapshot().metrics.counts.lookups, stats.lookups);
     }
 
     #[test]

@@ -8,6 +8,9 @@ use utlb_mem::{ProcessId, VirtPage};
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum UtlbError {
+    /// An engine configuration failed validation (see
+    /// [`UtlbConfig::validate`](crate::UtlbConfig::validate)).
+    InvalidConfig(String),
     /// The process was never registered with the engine.
     UnregisteredProcess(ProcessId),
     /// The process is already registered.
@@ -40,6 +43,7 @@ pub enum UtlbError {
 impl fmt::Display for UtlbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            UtlbError::InvalidConfig(why) => write!(f, "invalid engine configuration: {why}"),
             UtlbError::UnregisteredProcess(pid) => write!(f, "process {pid} is not registered"),
             UtlbError::AlreadyRegistered(pid) => write!(f, "process {pid} already registered"),
             UtlbError::NoEvictableVictim(pid) => {

@@ -15,6 +15,7 @@
 //! and the free list must be managed.
 
 use crate::lookup::{UserLookupTree, UtlbIndex};
+use crate::obs::{Event, EvictReason, Probe, ProbeSlot};
 use crate::policy::{PinnedSet, Policy};
 use crate::{CacheConfig, CostModel, Result, SharedUtlbCache, TranslationStats, UtlbError};
 use std::collections::HashMap;
@@ -66,6 +67,7 @@ pub struct IndexedEngine {
     cfg: IndexedConfig,
     cache: SharedUtlbCache,
     procs: HashMap<ProcessId, ProcState>,
+    probe: ProbeSlot,
 }
 
 const ENTRIES_PER_FRAME: usize = (PAGE_SIZE / 8) as usize;
@@ -78,7 +80,19 @@ impl IndexedEngine {
             cfg,
             cache,
             procs: HashMap::new(),
+            probe: ProbeSlot::detached(),
         }
+    }
+
+    /// Attaches an observability probe (see [`crate::obs`]), replacing and
+    /// returning any previous one.
+    pub fn set_probe(&mut self, probe: Box<dyn Probe>) -> Option<Box<dyn Probe>> {
+        self.probe.attach(probe)
+    }
+
+    /// Detaches and returns the probe, if one was attached.
+    pub fn take_probe(&mut self) -> Option<Box<dyn Probe>> {
+        self.probe.detach()
     }
 
     /// The shared NIC cache.
@@ -194,6 +208,11 @@ impl IndexedEngine {
     ) -> Result<PhysAddr> {
         let cost = self.cfg.cost.clone();
         let table_entries = self.cfg.table_entries;
+        let t0 = board.clock.now();
+        // The slot-claim loop re-fetches the process state, so events are
+        // buffered and flushed at the end (no allocation when detached).
+        let probe_on = self.probe.is_attached();
+        let mut events: Vec<Event> = Vec::new();
         let state = self
             .procs
             .get_mut(&pid)
@@ -207,6 +226,9 @@ impl IndexedEngine {
                 Some(ix) => ix,
                 None => {
                     state.stats.check_misses += 1;
+                    if probe_on {
+                        events.push(Event::CheckMiss);
+                    }
                     // Claim a slot, evicting under capacity pressure. Each
                     // iteration re-fetches the process state so the borrow does
                     // not overlap the cache invalidation.
@@ -231,13 +253,22 @@ impl IndexedEngine {
                             host.physical_mut().write_u64(addr, garbage)?;
                             self.cache
                                 .invalidate(pid, VirtPage::new(victim_ix.0 as u64));
-                            Self::charge_us(board, cost.unpin_cost(1));
+                            let unpin_us = cost.unpin_cost(1);
+                            Self::charge_us(board, unpin_us);
                             host.driver_unpin(pid, victim)?;
                             let state = self.procs.get_mut(&pid).expect("registered");
                             state.pinned.remove(victim);
                             state.stats.unpins += 1;
                             state.stats.unpin_calls += 1;
                             state.free.push(victim_ix.0);
+                            if probe_on {
+                                events.push(Event::Evict {
+                                    reason: EvictReason::TableFull,
+                                });
+                                events.push(Event::Unpin {
+                                    ns: (unpin_us * 1000.0) as u64,
+                                });
+                            }
                         };
                     // Pin and install at the chosen slot.
                     Self::charge_us(board, cost.pin_cost(1));
@@ -251,7 +282,11 @@ impl IndexedEngine {
                     state.pinned.insert(page);
                     state.stats.pins += 1;
                     state.stats.pin_calls += 1;
-                    state.stats.pin_time_ns += (cost.pin_cost(1) * 1000.0) as u64;
+                    let pin_ns = (cost.pin_cost(1) * 1000.0) as u64;
+                    state.stats.pin_time_ns += pin_ns;
+                    if probe_on {
+                        events.push(Event::Pin { run: 1, ns: pin_ns });
+                    }
                     slot
                 }
             };
@@ -263,6 +298,13 @@ impl IndexedEngine {
         Self::charge_us(board, cost.ni_check_us);
         let key = VirtPage::new(index.0 as u64);
         if let Some(phys) = self.cache.lookup(pid, key) {
+            if probe_on {
+                for ev in events {
+                    self.probe.emit(pid, ev);
+                }
+                let ns = (board.clock.now() - t0).as_nanos();
+                self.probe.emit(pid, Event::Lookup { ns });
+            }
             return Ok(phys);
         }
         // Miss: DMA the entry from the host-resident table.
@@ -271,9 +313,25 @@ impl IndexedEngine {
         state.stats.entries_fetched += 1;
         let addr = Self::entry_addr(state, index);
         let Board { dma, clock, .. } = board;
-        let words = dma.fetch_words(clock, host.physical(), addr, 1)?;
+        let (words, dma_cost) = dma.fetch_words_timed(clock, host.physical(), addr, 1)?;
         let phys = PhysAddr::new(words[0]);
-        self.cache.insert(pid, key, phys);
+        if self.cache.insert(pid, key, phys).is_some() && probe_on {
+            events.push(Event::Evict {
+                reason: EvictReason::CacheConflict,
+            });
+        }
+        if probe_on {
+            events.push(Event::NiMiss);
+            events.push(Event::DmaFetch {
+                entries: 1,
+                ns: dma_cost.as_nanos(),
+            });
+            for ev in events {
+                self.probe.emit(pid, ev);
+            }
+            let ns = (board.clock.now() - t0).as_nanos();
+            self.probe.emit(pid, Event::Lookup { ns });
+        }
         Ok(phys)
     }
 }

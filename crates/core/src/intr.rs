@@ -11,6 +11,7 @@
 //! The cache structure is identical to UTLB's [`SharedUtlbCache`] — the
 //! study assumes "the cache structures are the same for both cases".
 
+use crate::obs::{Event, EvictReason, Probe, ProbeSlot};
 use crate::policy::{PinnedSet, Policy};
 use crate::{CacheConfig, CostModel, Result, SharedUtlbCache, TranslationStats, UtlbError};
 use std::collections::HashMap;
@@ -66,6 +67,7 @@ pub struct IntrEngine {
     cfg: IntrConfig,
     cache: SharedUtlbCache,
     procs: HashMap<ProcessId, ProcState>,
+    probe: ProbeSlot,
 }
 
 impl IntrEngine {
@@ -76,7 +78,19 @@ impl IntrEngine {
             cfg,
             cache,
             procs: HashMap::new(),
+            probe: ProbeSlot::detached(),
         }
+    }
+
+    /// Attaches an observability probe (see [`crate::obs`]), replacing and
+    /// returning any previous one.
+    pub fn set_probe(&mut self, probe: Box<dyn Probe>) -> Option<Box<dyn Probe>> {
+        self.probe.attach(probe)
+    }
+
+    /// Detaches and returns the probe, if one was attached.
+    pub fn take_probe(&mut self) -> Option<Box<dyn Probe>> {
+        self.probe.detach()
     }
 
     /// The NIC translation cache.
@@ -86,10 +100,21 @@ impl IntrEngine {
 
     /// Registers `pid` with the engine and applies its memory limit.
     ///
+    /// This engine keeps no per-process NIC state, so `_board` is unused —
+    /// the parameter exists so the signature matches
+    /// [`UtlbEngine::register_process`](crate::UtlbEngine::register_process)
+    /// and both engines implement
+    /// [`TranslationMechanism`](crate::TranslationMechanism) directly.
+    ///
     /// # Errors
     ///
     /// Returns [`UtlbError::AlreadyRegistered`] on a duplicate.
-    pub fn register_process(&mut self, host: &mut Host, pid: ProcessId) -> Result<()> {
+    pub fn register_process(
+        &mut self,
+        host: &mut Host,
+        _board: &mut Board,
+        pid: ProcessId,
+    ) -> Result<()> {
         if self.procs.contains_key(&pid) {
             return Err(UtlbError::AlreadyRegistered(pid));
         }
@@ -105,6 +130,26 @@ impl IntrEngine {
                 stats: TranslationStats::default(),
             },
         );
+        Ok(())
+    }
+
+    /// Removes `pid`: unpins everything it had pinned and drops its cache
+    /// lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::UnregisteredProcess`] if `pid` is unknown.
+    pub fn unregister_process(
+        &mut self,
+        host: &mut Host,
+        _board: &mut Board,
+        pid: ProcessId,
+    ) -> Result<()> {
+        self.procs
+            .remove(&pid)
+            .ok_or(UtlbError::UnregisteredProcess(pid))?;
+        self.cache.invalidate_process(pid);
+        host.driver_mut().pins_mut().release_process(pid);
         Ok(())
     }
 
@@ -145,7 +190,9 @@ impl IntrEngine {
         state.pinned.remove(page);
         state.stats.unpins += 1;
         state.stats.unpin_calls += 1;
-        state.stats.unpin_time_ns += (unpin_us * 1000.0) as u64;
+        let unpin_ns = (unpin_us * 1000.0) as u64;
+        state.stats.unpin_time_ns += unpin_ns;
+        self.probe.emit(pid, Event::Unpin { ns: unpin_ns });
         Ok(())
     }
 
@@ -180,6 +227,7 @@ impl IntrEngine {
         page: VirtPage,
     ) -> Result<IntrOutcome> {
         let cost = self.cfg.cost.clone();
+        let t0 = board.clock.now();
         {
             let state = self.procs.get_mut(&pid).expect("checked by caller");
             state.stats.lookups += 1;
@@ -191,6 +239,8 @@ impl IntrEngine {
         if let Some(phys) = self.cache.lookup(pid, page) {
             let state = self.procs.get_mut(&pid).expect("registered");
             state.pinned.touch(page);
+            let ns = (board.clock.now() - t0).as_nanos();
+            self.probe.emit(pid, Event::Lookup { ns });
             return Ok(IntrOutcome {
                 page,
                 phys,
@@ -200,12 +250,19 @@ impl IntrEngine {
 
         // Miss: interrupt the host; the handler pins the page and installs
         // the translation. In-kernel, so no syscall overhead on the pin.
-        board.intr.raise(&mut board.clock);
+        let intr_cost = board.intr.raise(&mut board.clock);
         {
             let state = self.procs.get_mut(&pid).expect("registered");
             state.stats.ni_misses += 1;
             state.stats.interrupts += 1;
         }
+        self.probe.emit(pid, Event::NiMiss);
+        self.probe.emit(
+            pid,
+            Event::Interrupt {
+                ns: intr_cost.as_nanos(),
+            },
+        );
 
         // Respect the pinned-memory limit before pinning one more page.
         if let Some(limit) = self.cfg.mem_limit_pages {
@@ -224,6 +281,12 @@ impl IntrEngine {
                 };
                 let unpin_us = cost.kernel_unpin_cost(1);
                 Self::charge_us(board, unpin_us);
+                self.probe.emit(
+                    pid,
+                    Event::Evict {
+                        reason: EvictReason::MemLimit,
+                    },
+                );
                 self.unpin_page(host, pid, victim, unpin_us)?;
             }
         }
@@ -232,13 +295,15 @@ impl IntrEngine {
         Self::charge_us(board, pin_us);
         let pinned = host.driver_pin(pid, page, 1)?;
         let phys = pinned[0].phys_addr();
+        let pin_ns = (pin_us * 1000.0) as u64;
         {
             let state = self.procs.get_mut(&pid).expect("registered");
             state.stats.pins += 1;
             state.stats.pin_calls += 1;
-            state.stats.pin_time_ns += (pin_us * 1000.0) as u64;
+            state.stats.pin_time_ns += pin_ns;
             state.pinned.insert(page);
         }
+        self.probe.emit(pid, Event::Pin { run: 1, ns: pin_ns });
 
         // Install in the cache; the page evicted to make room is unpinned —
         // the defining behaviour of the interrupt-based approach.
@@ -253,9 +318,19 @@ impl IntrEngine {
             owner.pinned.remove(evicted.page);
             owner.stats.unpins += 1;
             owner.stats.unpin_calls += 1;
-            owner.stats.unpin_time_ns += (unpin_us * 1000.0) as u64;
+            let unpin_ns = (unpin_us * 1000.0) as u64;
+            owner.stats.unpin_time_ns += unpin_ns;
+            self.probe.emit(
+                evicted.pid,
+                Event::Evict {
+                    reason: EvictReason::CacheConflict,
+                },
+            );
+            self.probe.emit(evicted.pid, Event::Unpin { ns: unpin_ns });
         }
 
+        let ns = (board.clock.now() - t0).as_nanos();
+        self.probe.emit(pid, Event::Lookup { ns });
         Ok(IntrOutcome {
             page,
             phys,
@@ -270,10 +345,10 @@ mod tests {
 
     fn setup(cfg: IntrConfig) -> (Host, Board, IntrEngine, ProcessId) {
         let mut host = Host::new(1 << 16);
-        let board = Board::new();
+        let mut board = Board::new();
         let mut engine = IntrEngine::new(cfg);
         let pid = host.spawn_process();
-        engine.register_process(&mut host, pid).unwrap();
+        engine.register_process(&mut host, &mut board, pid).unwrap();
         (host, board, engine, pid)
     }
 
@@ -377,6 +452,23 @@ mod tests {
         let mut buf = [0u8; 4];
         host.physical().read(o[0].phys, &mut buf).unwrap();
         assert_eq!(&buf, b"intr");
+    }
+
+    #[test]
+    fn unregister_releases_pins_and_cache_lines() {
+        let (mut host, mut board, mut engine, pid) = setup(small_cfg(64));
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(0), 4)
+            .unwrap();
+        assert!(host.driver().pins().pinned_pages(pid) > 0);
+        engine
+            .unregister_process(&mut host, &mut board, pid)
+            .unwrap();
+        assert_eq!(host.driver().pins().pinned_pages(pid), 0);
+        assert_eq!(engine.cache().occupancy(), 0);
+        assert!(engine
+            .unregister_process(&mut host, &mut board, pid)
+            .is_err());
     }
 
     #[test]

@@ -69,6 +69,8 @@ mod hier;
 mod indexed;
 mod intr;
 mod lookup;
+mod mechanism;
+pub mod obs;
 mod perproc;
 mod policy;
 mod stats;
@@ -77,12 +79,13 @@ mod table;
 pub use bitvec::{CheckOutcome, DenseBits, PinBitVector};
 pub use cache::{Associativity, CacheConfig, CacheStats, Evicted, SharedUtlbCache};
 pub use cost::{CostModel, LookupRates};
-pub use engine::{LookupReport, PageOutcome, UtlbConfig, UtlbEngine};
+pub use engine::{LookupReport, PageOutcome, UtlbConfig, UtlbConfigBuilder, UtlbEngine};
 pub use error::UtlbError;
 pub use hier::{DirEntry, HierTable, DIR_ENTRIES, LEAF_ENTRIES};
 pub use indexed::{IndexedConfig, IndexedEngine};
 pub use intr::{IntrConfig, IntrEngine, IntrOutcome};
 pub use lookup::{UserLookupTree, UtlbIndex};
+pub use mechanism::TranslationMechanism;
 pub use perproc::{PerProcessConfig, PerProcessEngine};
 pub use policy::{PinnedSet, Policy};
 pub use stats::TranslationStats;

@@ -1,0 +1,255 @@
+//! The unified mechanism API.
+//!
+//! The paper evaluates two ways to translate addresses on the NIC — the
+//! UTLB design and the interrupt-based baseline (§6.2) — under identical
+//! workloads and cache structures. [`TranslationMechanism`] captures the
+//! surface that comparison needs (register, translate, read out statistics,
+//! attach a probe), so drivers can be written once and instantiated per
+//! mechanism instead of duplicating the replay loop per engine.
+
+use crate::obs::Probe;
+use crate::{CacheStats, IntrEngine, PageOutcome, Result, TranslationStats, UtlbEngine};
+use utlb_mem::{Host, ProcessId, VirtPage};
+use utlb_nic::Board;
+
+/// A NIC address-translation mechanism, as the simulation drives one.
+///
+/// Implemented by [`UtlbEngine`] (Hierarchical UTLB, §3.3) and
+/// [`IntrEngine`] (interrupt-based baseline, §6.2). Per-page outcomes are
+/// normalized to [`PageOutcome`]; the interrupt-based design has no
+/// user-level check, so its outcomes always report `check_miss: false`.
+pub trait TranslationMechanism {
+    /// Short human-readable mechanism name ("UTLB", "Intr").
+    fn name(&self) -> &'static str;
+
+    /// Registers `pid` with the mechanism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::AlreadyRegistered`](crate::UtlbError) on a
+    /// duplicate and propagates resource exhaustion.
+    fn register_process(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+    ) -> Result<()>;
+
+    /// Removes `pid`, releasing its pins and any NIC state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::UnregisteredProcess`](crate::UtlbError) if
+    /// unknown.
+    fn unregister_process(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+    ) -> Result<()>;
+
+    /// Translates `npages` pages starting at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pinning and memory errors.
+    fn lookup_run(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+        start: VirtPage,
+        npages: u64,
+    ) -> Result<Vec<PageOutcome>>;
+
+    /// Per-process statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtlbError::UnregisteredProcess`](crate::UtlbError) if
+    /// unknown.
+    fn stats(&self, pid: ProcessId) -> Result<TranslationStats>;
+
+    /// Statistics summed over all processes.
+    fn aggregate_stats(&self) -> TranslationStats;
+
+    /// NIC translation-cache counters.
+    fn cache_stats(&self) -> CacheStats;
+
+    /// Attaches an observability probe (see [`crate::obs`]), replacing and
+    /// returning any previous one.
+    fn set_probe(&mut self, probe: Box<dyn Probe>) -> Option<Box<dyn Probe>>;
+
+    /// Detaches and returns the probe, if one was attached.
+    fn take_probe(&mut self) -> Option<Box<dyn Probe>>;
+}
+
+impl TranslationMechanism for UtlbEngine {
+    fn name(&self) -> &'static str {
+        "UTLB"
+    }
+
+    fn register_process(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+    ) -> Result<()> {
+        UtlbEngine::register_process(self, host, board, pid)
+    }
+
+    fn unregister_process(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+    ) -> Result<()> {
+        UtlbEngine::unregister_process(self, host, board, pid)
+    }
+
+    fn lookup_run(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+        start: VirtPage,
+        npages: u64,
+    ) -> Result<Vec<PageOutcome>> {
+        UtlbEngine::lookup(self, host, board, pid, start, npages).map(|r| r.pages)
+    }
+
+    fn stats(&self, pid: ProcessId) -> Result<TranslationStats> {
+        UtlbEngine::stats(self, pid)
+    }
+
+    fn aggregate_stats(&self) -> TranslationStats {
+        UtlbEngine::aggregate_stats(self)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache().stats()
+    }
+
+    fn set_probe(&mut self, probe: Box<dyn Probe>) -> Option<Box<dyn Probe>> {
+        UtlbEngine::set_probe(self, probe)
+    }
+
+    fn take_probe(&mut self) -> Option<Box<dyn Probe>> {
+        UtlbEngine::take_probe(self)
+    }
+}
+
+impl TranslationMechanism for IntrEngine {
+    fn name(&self) -> &'static str {
+        "Intr"
+    }
+
+    fn register_process(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+    ) -> Result<()> {
+        IntrEngine::register_process(self, host, board, pid)
+    }
+
+    fn unregister_process(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+    ) -> Result<()> {
+        IntrEngine::unregister_process(self, host, board, pid)
+    }
+
+    fn lookup_run(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+        start: VirtPage,
+        npages: u64,
+    ) -> Result<Vec<PageOutcome>> {
+        IntrEngine::lookup(self, host, board, pid, start, npages).map(|outcomes| {
+            outcomes
+                .into_iter()
+                .map(|o| PageOutcome {
+                    page: o.page,
+                    phys: o.phys,
+                    // No user-level check exists in this design.
+                    check_miss: false,
+                    ni_miss: o.ni_miss,
+                })
+                .collect()
+        })
+    }
+
+    fn stats(&self, pid: ProcessId) -> Result<TranslationStats> {
+        IntrEngine::stats(self, pid)
+    }
+
+    fn aggregate_stats(&self) -> TranslationStats {
+        IntrEngine::aggregate_stats(self)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache().stats()
+    }
+
+    fn set_probe(&mut self, probe: Box<dyn Probe>) -> Option<Box<dyn Probe>> {
+        IntrEngine::set_probe(self, probe)
+    }
+
+    fn take_probe(&mut self) -> Option<Box<dyn Probe>> {
+        IntrEngine::take_probe(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheConfig, IntrConfig, UtlbConfig};
+
+    fn drive<M: TranslationMechanism>(mut mech: M) -> (TranslationStats, CacheStats) {
+        let mut host = Host::new(1 << 16);
+        let mut board = Board::new();
+        let pid = host.spawn_process();
+        mech.register_process(&mut host, &mut board, pid).unwrap();
+        for round in 0..2 {
+            let pages = mech
+                .lookup_run(&mut host, &mut board, pid, VirtPage::new(40), 4)
+                .unwrap();
+            assert_eq!(pages.len(), 4);
+            assert!(pages.iter().all(|p| p.ni_miss == (round == 0)));
+        }
+        let per = mech.stats(pid).unwrap();
+        let agg = mech.aggregate_stats();
+        assert_eq!(per, agg, "single process: per == aggregate");
+        mech.unregister_process(&mut host, &mut board, pid).unwrap();
+        assert_eq!(host.driver().pins().pinned_pages(pid), 0);
+        (agg, mech.cache_stats())
+    }
+
+    #[test]
+    fn both_engines_run_through_the_trait() {
+        let utlb = UtlbEngine::new(UtlbConfig {
+            cache: CacheConfig::direct(64),
+            ..UtlbConfig::default()
+        });
+        assert_eq!(utlb.name(), "UTLB");
+        let (stats, cache) = drive(utlb);
+        assert_eq!(stats.lookups, 8);
+        assert_eq!(stats.interrupts, 0);
+        assert_eq!(cache.misses, 4);
+
+        let intr = IntrEngine::new(IntrConfig {
+            cache: CacheConfig::direct(64),
+            ..IntrConfig::default()
+        });
+        assert_eq!(intr.name(), "Intr");
+        let (stats, cache) = drive(intr);
+        assert_eq!(stats.lookups, 8);
+        assert_eq!(stats.interrupts, 4, "the baseline interrupts per miss");
+        assert_eq!(cache.misses, 4);
+    }
+}

@@ -10,6 +10,7 @@
 //! reproduction can run that comparison as an extension.
 
 use crate::lookup::UserLookupTree;
+use crate::obs::{Event, EvictReason, Probe, ProbeSlot};
 use crate::policy::{PinnedSet, Policy};
 use crate::table::PerProcessTable;
 use crate::{CostModel, Result, TranslationStats, UtlbError};
@@ -55,6 +56,7 @@ struct ProcState {
 pub struct PerProcessEngine {
     cfg: PerProcessConfig,
     procs: HashMap<ProcessId, ProcState>,
+    probe: ProbeSlot,
 }
 
 impl PerProcessEngine {
@@ -63,7 +65,19 @@ impl PerProcessEngine {
         PerProcessEngine {
             cfg,
             procs: HashMap::new(),
+            probe: ProbeSlot::detached(),
         }
+    }
+
+    /// Attaches an observability probe (see [`crate::obs`]), replacing and
+    /// returning any previous one.
+    pub fn set_probe(&mut self, probe: Box<dyn Probe>) -> Option<Box<dyn Probe>> {
+        self.probe.attach(probe)
+    }
+
+    /// Detaches and returns the probe, if one was attached.
+    pub fn take_probe(&mut self) -> Option<Box<dyn Probe>> {
+        self.probe.detach()
     }
 
     /// Registers `pid`, statically allocating its table in NIC SRAM —
@@ -126,6 +140,12 @@ impl PerProcessEngine {
         page: VirtPage,
     ) -> Result<PhysAddr> {
         let cost = self.cfg.cost.clone();
+        let t0 = board.clock.now();
+        // One `state` borrow spans the whole miss path, so events are
+        // buffered and flushed once it ends (the buffer never allocates
+        // with the probe detached).
+        let probe_on = self.probe.is_attached();
+        let mut events: Vec<Event> = Vec::new();
         let state = self
             .procs
             .get_mut(&pid)
@@ -138,6 +158,9 @@ impl PerProcessEngine {
             Some(ix) => ix,
             None => {
                 state.stats.check_misses += 1;
+                if probe_on {
+                    events.push(Event::CheckMiss);
+                }
                 // Capacity: evict table entries until a slot frees up.
                 let mut slot = state.table.alloc_slot();
                 while slot.is_none() {
@@ -155,15 +178,25 @@ impl PerProcessEngine {
                         .invalidate(victim)
                         .expect("pinned pages are in the tree");
                     state.table.evict(victim_ix, &mut board.sram)?;
-                    Self::charge_us(board, cost.unpin_cost(1));
+                    let unpin_us = cost.unpin_cost(1);
+                    Self::charge_us(board, unpin_us);
                     host.driver_unpin(pid, victim)?;
                     state.pinned.remove(victim);
                     state.stats.unpins += 1;
                     state.stats.unpin_calls += 1;
+                    if probe_on {
+                        events.push(Event::Evict {
+                            reason: EvictReason::TableFull,
+                        });
+                        events.push(Event::Unpin {
+                            ns: (unpin_us * 1000.0) as u64,
+                        });
+                    }
                     slot = state.table.alloc_slot();
                 }
                 let slot = slot.expect("freed above");
-                Self::charge_us(board, cost.pin_cost(1));
+                let pin_us = cost.pin_cost(1);
+                Self::charge_us(board, pin_us);
                 let pinned = host.driver_pin(pid, page, 1)?;
                 state
                     .table
@@ -172,6 +205,12 @@ impl PerProcessEngine {
                 state.pinned.insert(page);
                 state.stats.pins += 1;
                 state.stats.pin_calls += 1;
+                if probe_on {
+                    events.push(Event::Pin {
+                        run: 1,
+                        ns: (pin_us * 1000.0) as u64,
+                    });
+                }
                 slot
             }
         };
@@ -179,7 +218,15 @@ impl PerProcessEngine {
 
         // NIC side: direct table read — never a miss in this variant.
         Self::charge_us(board, cost.ni_check_us);
-        state.table.read(index, &board.sram)
+        let phys = state.table.read(index, &board.sram)?;
+        if probe_on {
+            for ev in events {
+                self.probe.emit(pid, ev);
+            }
+            let ns = (board.clock.now() - t0).as_nanos();
+            self.probe.emit(pid, Event::Lookup { ns });
+        }
+        Ok(phys)
     }
 }
 

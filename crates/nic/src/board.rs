@@ -6,6 +6,7 @@
 //! borrow the board mutably for the duration of an operation.
 
 use crate::{CommandQueue, DmaEngine, InterruptController, SimClock, Sram};
+use serde::{Deserialize, Serialize};
 
 /// One NIC: SRAM + DMA + interrupts + command queues + clock.
 #[derive(Debug, Default)]
@@ -22,10 +23,42 @@ pub struct Board {
     pub clock: SimClock,
 }
 
+/// Point-in-time counters of a [`Board`], the device-level half of an
+/// observability export: what the DMA engine and interrupt line actually
+/// did, independent of the engine-level event stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoardSnapshot {
+    /// The simulated clock, in nanoseconds.
+    pub clock_ns: u64,
+    /// DMA transfers issued.
+    pub dma_transfers: u64,
+    /// Bytes moved by DMA.
+    pub dma_bytes: u64,
+    /// Simulated time the DMA engine was busy, in nanoseconds.
+    pub dma_busy_ns: u64,
+    /// Interrupts raised to the host.
+    pub interrupts_raised: u64,
+    /// Simulated time spent dispatching interrupts, in nanoseconds.
+    pub interrupt_dispatch_ns: u64,
+}
+
 impl Board {
     /// Creates a board with default (paper-calibrated) device models.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The current device counters.
+    pub fn snapshot(&self) -> BoardSnapshot {
+        let dma = self.dma.stats();
+        BoardSnapshot {
+            clock_ns: self.clock.now().as_nanos(),
+            dma_transfers: dma.transfers,
+            dma_bytes: dma.bytes,
+            dma_busy_ns: dma.busy.as_nanos(),
+            interrupts_raised: self.intr.raised(),
+            interrupt_dispatch_ns: self.intr.total_dispatch().as_nanos(),
+        }
     }
 }
 

@@ -130,6 +130,24 @@ impl DmaEngine {
         base: PhysAddr,
         words: u64,
     ) -> Result<Vec<u64>> {
+        self.fetch_words_timed(clock, host, base, words)
+            .map(|(out, _)| out)
+    }
+
+    /// Like [`fetch_words`](DmaEngine::fetch_words), but also returns the
+    /// simulated cost of the transfer — the per-event attribution an
+    /// observability probe wants without re-deriving the bus model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range errors from host memory.
+    pub fn fetch_words_timed(
+        &mut self,
+        clock: &mut SimClock,
+        host: &PhysicalMemory,
+        base: PhysAddr,
+        words: u64,
+    ) -> Result<(Vec<u64>, Nanos)> {
         let mut out = Vec::with_capacity(words as usize);
         for i in 0..words {
             out.push(host.read_u64(base.offset(i * 8))?);
@@ -139,7 +157,7 @@ impl DmaEngine {
         self.stats.transfers += 1;
         self.stats.bytes += words * 8;
         self.stats.busy += cost;
-        Ok(out)
+        Ok((out, cost))
     }
 }
 

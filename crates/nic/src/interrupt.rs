@@ -43,6 +43,11 @@ impl InterruptController {
     pub fn raised(&self) -> u64 {
         self.raised
     }
+
+    /// Total simulated time spent dispatching interrupts so far.
+    pub fn total_dispatch(&self) -> Nanos {
+        Nanos::from_nanos(self.dispatch_cost.as_nanos() * self.raised)
+    }
 }
 
 impl Default for InterruptController {

@@ -55,7 +55,7 @@ pub mod reliable;
 mod sram;
 mod time;
 
-pub use board::Board;
+pub use board::{Board, BoardSnapshot};
 pub use bus::IoBus;
 pub use cmdq::{Command, CommandKind, CommandQueue};
 pub use dma::{DmaDirection, DmaEngine, DmaStats};

@@ -47,12 +47,16 @@
 mod classify;
 mod config;
 pub mod experiments;
+mod observe;
 mod report;
 mod runner;
 pub mod sweep;
 
 pub use classify::{MissBreakdown, MissClassifier, MissKind};
 pub use config::{Mechanism, SimConfig};
-pub use report::TextTable;
-pub use runner::{run_intr, run_utlb, SimResult};
+pub use observe::ObsReport;
+pub use report::{phase_breakdown, TextTable};
+pub use runner::{
+    run, run_intr, run_mechanism, run_mechanism_observed, run_observed, run_utlb, SimResult,
+};
 pub use sweep::{sweep, sweep_over};

@@ -1,0 +1,66 @@
+//! Observability reports for simulation runs.
+//!
+//! A run driven through [`run_observed`](crate::run_observed) yields an
+//! [`ObsReport`] next to its [`SimResult`](crate::SimResult): the event
+//! counters and latency histograms collected by the engine probe, the
+//! last-events ring per process, the NIC board's own hardware counters,
+//! and the outcome of reconciling the probe stream against the engine's
+//! [`TranslationStats`](utlb_core::TranslationStats). The report is what
+//! `run_all --obs` serializes to `results/obs_<experiment>.json`.
+
+use serde::{Deserialize, Serialize};
+use utlb_core::obs::{Metrics, ProcessTrace};
+use utlb_nic::BoardSnapshot;
+
+/// Everything the probe saw during one observed run.
+///
+/// `reconciled` is the headline: `true` means every event-derived total
+/// (lookups, misses, pins, unpins, interrupts, pin/unpin time) matched the
+/// engine's own counters exactly; otherwise `mismatches` holds one line per
+/// disagreement. An unreconciled report is a bug in the emitting engine,
+/// not a measurement artifact — the two accountings share the same clock.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObsReport {
+    /// Mechanism name ("UTLB", "Intr").
+    pub mechanism: String,
+    /// Workload name of the driving trace.
+    pub workload: String,
+    /// Event counters and per-phase latency histograms.
+    pub metrics: Metrics,
+    /// NIC board hardware counters (DMA transfers, interrupt line).
+    pub board: BoardSnapshot,
+    /// Last-events ring per process, oldest first.
+    pub traces: Vec<ProcessTrace>,
+    /// Whether the probe stream reconciled exactly with the engine stats.
+    pub reconciled: bool,
+    /// One line per reconciliation mismatch (empty when `reconciled`).
+    pub mismatches: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utlb_core::obs::Event;
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let mut metrics = Metrics::new();
+        metrics.record(Event::Lookup { ns: 700 });
+        metrics.record(Event::Pin { run: 2, ns: 27_000 });
+        let report = ObsReport {
+            mechanism: "UTLB".into(),
+            workload: "water".into(),
+            metrics,
+            board: BoardSnapshot::default(),
+            traces: Vec::new(),
+            reconciled: true,
+            mismatches: Vec::new(),
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ObsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.mechanism, "UTLB");
+        assert!(back.reconciled);
+        assert_eq!(back.metrics.counts.pins, 2);
+        assert_eq!(back.metrics.lookup_ns.sum_ns(), 700);
+    }
+}

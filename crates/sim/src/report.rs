@@ -4,6 +4,7 @@
 //! layout the paper uses, so output can be eyeballed against the original.
 
 use std::fmt;
+use utlb_core::obs::Metrics;
 
 /// A simple aligned text table.
 #[derive(Debug, Clone, Default)]
@@ -105,6 +106,52 @@ impl fmt::Display for TextTable {
     }
 }
 
+/// Renders the per-phase latency breakdown of an observed run — §6.2's
+/// cost attribution (user check / NIC probe / DMA fetch / host interrupt /
+/// pin and unpin calls) recovered from the probe histograms instead of the
+/// closed-form cost model.
+///
+/// `share %` is each phase's fraction of the total end-to-end lookup time;
+/// `checks+probes` is the remainder the user-level check and the NIC cache
+/// probe account for once the driver and device phases are subtracted out.
+pub fn phase_breakdown(title: impl Into<String>, m: &Metrics) -> TextTable {
+    let total = m.lookup_ns.sum_ns();
+    let mut t = TextTable::new(title);
+    t.header(["phase", "events", "total us", "mean us", "share %"]);
+    let mut emit = |name: &str, events: u64, sum_ns: u64| {
+        let mean_us = if events == 0 {
+            0.0
+        } else {
+            sum_ns as f64 / events as f64 / 1000.0
+        };
+        let share = if total == 0 {
+            0.0
+        } else {
+            100.0 * sum_ns as f64 / total as f64
+        };
+        t.row([
+            name.to_string(),
+            events.to_string(),
+            micros(sum_ns as f64 / 1000.0),
+            micros(mean_us),
+            rate(share),
+        ]);
+    };
+    emit("pin", m.pin_ns.count(), m.pin_ns.sum_ns());
+    emit("unpin", m.unpin_ns.count(), m.unpin_ns.sum_ns());
+    emit("dma fetch", m.dma_ns.count(), m.dma_ns.sum_ns());
+    emit("interrupt", m.intr_ns.count(), m.intr_ns.sum_ns());
+    let attributed =
+        m.pin_ns.sum_ns() + m.unpin_ns.sum_ns() + m.dma_ns.sum_ns() + m.intr_ns.sum_ns();
+    emit(
+        "checks+probes",
+        m.lookup_ns.count(),
+        total.saturating_sub(attributed),
+    );
+    emit("total lookup", m.lookup_ns.count(), total);
+    t
+}
+
 /// Formats a rate with the paper's two decimal places.
 pub fn rate(x: f64) -> String {
     format!("{x:.2}")
@@ -148,5 +195,32 @@ mod tests {
     fn formatters_match_paper_precision() {
         assert_eq!(rate(0.254), "0.25");
         assert_eq!(micros(27.04), "27.0");
+    }
+
+    #[test]
+    fn phase_breakdown_attributes_time() {
+        use utlb_core::obs::Event;
+        let mut m = Metrics::new();
+        // One 100 µs lookup: 27 µs pin, 3 µs DMA, the rest checks+probes.
+        m.record(Event::Pin { run: 1, ns: 27_000 });
+        m.record(Event::DmaFetch {
+            entries: 8,
+            ns: 3_000,
+        });
+        m.record(Event::Lookup { ns: 100_000 });
+        let t = phase_breakdown("Breakdown", &m);
+        let s = t.to_string();
+        assert!(s.contains("pin"), "{s}");
+        assert!(s.contains("27.0"), "pin total µs: {s}");
+        assert!(s.contains("70.00"), "checks+probes share: {s}");
+        assert!(s.contains("100.00"), "total lookup share: {s}");
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn phase_breakdown_of_empty_metrics_is_all_zeroes() {
+        let t = phase_breakdown("Empty", &Metrics::new());
+        assert_eq!(t.len(), 6);
+        assert!(t.to_string().contains("0.00"));
     }
 }

@@ -6,11 +6,15 @@
 //! UTLB-Cache really fills over the simulated I/O bus. The statistics
 //! reported are therefore the mechanism's own counters, not a re-model.
 
-use crate::{MissBreakdown, MissClassifier, SimConfig};
+use crate::observe::ObsReport;
+use crate::{Mechanism, MissBreakdown, MissClassifier, SimConfig};
 use serde::{Deserialize, Serialize};
-use utlb_core::{CacheStats, IntrEngine, LookupRates, TranslationStats, UtlbEngine};
+use utlb_core::obs::SharedCollector;
+use utlb_core::{
+    CacheStats, IntrEngine, LookupRates, TranslationMechanism, TranslationStats, UtlbEngine,
+};
 use utlb_mem::Host;
-use utlb_nic::{Board, Nanos};
+use utlb_nic::{Board, BoardSnapshot, Nanos};
 use utlb_trace::Trace;
 
 /// Host DRAM frames for a simulation run — large enough that the footprints
@@ -87,16 +91,17 @@ impl SimResult {
     }
 }
 
-/// Runs `trace` through the Hierarchical-UTLB engine under `cfg`.
-///
-/// # Panics
-///
-/// Panics if the engine reports an internal error — trace simulation is
-/// closed-world, so any failure is a bug worth a loud stop.
-pub fn run_utlb(trace: &Trace, cfg: &SimConfig) -> SimResult {
+/// The replay loop, written once against [`TranslationMechanism`]: spawns
+/// the trace's processes, advances the board clock to each record's
+/// timestamp, translates the record's buffer, and classifies every NIC
+/// miss. Returns the result plus the board's counters for obs exports.
+fn replay<M: TranslationMechanism>(
+    engine: &mut M,
+    trace: &Trace,
+    cfg: &SimConfig,
+) -> (SimResult, BoardSnapshot) {
     let mut host = Host::new(HOST_FRAMES);
     let mut board = Board::new();
-    let mut engine = UtlbEngine::new(cfg.utlb_config());
     let mut classifier = MissClassifier::new(cfg.cache_entries);
 
     // Trace pids are 1..=n; map them onto freshly spawned host processes.
@@ -112,10 +117,11 @@ pub fn run_utlb(trace: &Trace, cfg: &SimConfig) -> SimResult {
     let t0 = board.clock.now();
     for rec in &trace.records {
         board.clock.advance_to(Nanos::from_nanos(rec.ts_ns));
-        let report = engine
-            .lookup_buffer(&mut host, &mut board, rec.pid, rec.va, rec.nbytes)
+        let npages = rec.va.span_pages(rec.nbytes);
+        let pages = engine
+            .lookup_run(&mut host, &mut board, rec.pid, rec.va.page(), npages)
             .expect("trace lookups succeed");
-        for page in &report.pages {
+        for page in &pages {
             classifier.access(rec.pid, page.page, page.ni_miss);
         }
     }
@@ -129,14 +135,115 @@ pub fn run_utlb(trace: &Trace, cfg: &SimConfig) -> SimResult {
         .iter()
         .map(|p| (p.raw(), engine.stats(*p).expect("registered")))
         .collect();
-    SimResult {
+    let result = SimResult {
         workload: trace.workload.clone(),
         stats: engine.aggregate_stats(),
-        cache: engine.cache().stats(),
+        cache: engine.cache_stats(),
         breakdown: classifier.breakdown(),
         per_process,
         sim_time_ns,
+    };
+    (result, board.snapshot())
+}
+
+/// Runs `trace` through any [`TranslationMechanism`] under `cfg`.
+///
+/// The engine is taken by mutable reference so callers can attach a probe
+/// beforehand and read engine state afterwards; [`run_utlb`] / [`run_intr`]
+/// remain as the construct-and-run conveniences.
+///
+/// # Panics
+///
+/// Panics if the engine reports an internal error — trace simulation is
+/// closed-world, so any failure is a bug worth a loud stop.
+pub fn run<M: TranslationMechanism>(engine: &mut M, trace: &Trace, cfg: &SimConfig) -> SimResult {
+    replay(engine, trace, cfg).0
+}
+
+/// Runs `trace` through `engine` with a [`SharedCollector`] attached,
+/// returning the result plus the full observability report (metrics,
+/// per-process event rings, board counters, reconciliation outcome).
+///
+/// `ring_capacity` bounds the per-process event ring (see
+/// [`utlb_core::obs::TraceRecorder`]).
+///
+/// # Panics
+///
+/// Panics on internal engine errors, as for [`run`], and if
+/// `ring_capacity` is zero.
+pub fn run_observed<M: TranslationMechanism>(
+    engine: &mut M,
+    trace: &Trace,
+    cfg: &SimConfig,
+    ring_capacity: usize,
+) -> (SimResult, ObsReport) {
+    let collector = SharedCollector::new(ring_capacity);
+    engine.set_probe(collector.boxed());
+    let (result, board) = replay(engine, trace, cfg);
+    engine.take_probe();
+    let snap = collector.snapshot();
+    let mismatches = snap.metrics.reconcile(&result.stats);
+    let report = ObsReport {
+        mechanism: engine.name().to_string(),
+        workload: result.workload.clone(),
+        metrics: snap.metrics,
+        board,
+        traces: snap.recorder.dump(),
+        reconciled: mismatches.is_empty(),
+        mismatches,
+    };
+    (result, report)
+}
+
+/// Runs `trace` through the mechanism `mech` selects — the dispatch
+/// experiment drivers use when the mechanism is itself a table axis.
+///
+/// # Panics
+///
+/// Panics on internal engine errors, as for [`run`].
+pub fn run_mechanism(mech: Mechanism, trace: &Trace, cfg: &SimConfig) -> SimResult {
+    match mech {
+        Mechanism::Utlb => run(&mut UtlbEngine::new(cfg.utlb_config()), trace, cfg),
+        Mechanism::Intr => run(&mut IntrEngine::new(cfg.intr_config()), trace, cfg),
     }
+}
+
+/// [`run_observed`] behind a [`Mechanism`] dispatch — what the `--obs`
+/// export path of the experiment runner uses.
+///
+/// # Panics
+///
+/// Panics on internal engine errors and on a zero `ring_capacity`.
+pub fn run_mechanism_observed(
+    mech: Mechanism,
+    trace: &Trace,
+    cfg: &SimConfig,
+    ring_capacity: usize,
+) -> (SimResult, ObsReport) {
+    match mech {
+        Mechanism::Utlb => run_observed(
+            &mut UtlbEngine::new(cfg.utlb_config()),
+            trace,
+            cfg,
+            ring_capacity,
+        ),
+        Mechanism::Intr => run_observed(
+            &mut IntrEngine::new(cfg.intr_config()),
+            trace,
+            cfg,
+            ring_capacity,
+        ),
+    }
+}
+
+/// Runs `trace` through the Hierarchical-UTLB engine under `cfg`.
+///
+/// # Panics
+///
+/// Panics if the engine reports an internal error — trace simulation is
+/// closed-world, so any failure is a bug worth a loud stop.
+pub fn run_utlb(trace: &Trace, cfg: &SimConfig) -> SimResult {
+    run(&mut UtlbEngine::new(cfg.utlb_config()), trace, cfg)
 }
 
 /// Runs `trace` through the interrupt-based baseline under `cfg`.
@@ -145,45 +252,7 @@ pub fn run_utlb(trace: &Trace, cfg: &SimConfig) -> SimResult {
 ///
 /// Panics on internal engine errors, as for [`run_utlb`].
 pub fn run_intr(trace: &Trace, cfg: &SimConfig) -> SimResult {
-    let mut host = Host::new(HOST_FRAMES);
-    let mut board = Board::new();
-    let mut engine = IntrEngine::new(cfg.intr_config());
-    let mut classifier = MissClassifier::new(cfg.cache_entries);
-
-    let pids = trace.process_ids();
-    for expected in &pids {
-        let got = host.spawn_process();
-        assert_eq!(got, *expected, "trace pids must be dense from 1");
-        engine
-            .register_process(&mut host, got)
-            .expect("registration succeeds on a fresh host");
-    }
-
-    let t0 = board.clock.now();
-    for rec in &trace.records {
-        board.clock.advance_to(Nanos::from_nanos(rec.ts_ns));
-        let npages = rec.va.span_pages(rec.nbytes);
-        let outcomes = engine
-            .lookup(&mut host, &mut board, rec.pid, rec.va.page(), npages)
-            .expect("trace lookups succeed");
-        for o in &outcomes {
-            classifier.access(rec.pid, o.page, o.ni_miss);
-        }
-    }
-    let sim_time_ns = (board.clock.now() - t0).as_nanos();
-
-    let per_process = pids
-        .iter()
-        .map(|p| (p.raw(), engine.stats(*p).expect("registered")))
-        .collect();
-    SimResult {
-        workload: trace.workload.clone(),
-        stats: engine.aggregate_stats(),
-        cache: engine.cache().stats(),
-        breakdown: classifier.breakdown(),
-        per_process,
-        sim_time_ns,
-    }
+    run(&mut IntrEngine::new(cfg.intr_config()), trace, cfg)
 }
 
 #[cfg(test)]
@@ -260,6 +329,36 @@ mod tests {
         let all: Vec<u32> = r.per_process.iter().map(|(p, _)| *p).collect();
         assert_eq!(r.stats_for_pids(&all), r.stats);
         assert_eq!(r.stats_for_pids(&[]).lookups, 0);
+    }
+
+    #[test]
+    fn generic_run_matches_the_named_wrappers() {
+        let trace = tiny(SplashApp::Water);
+        let cfg = SimConfig::study(256);
+        let via_wrapper = run_utlb(&trace, &cfg);
+        let via_dispatch = run_mechanism(Mechanism::Utlb, &trace, &cfg);
+        assert_eq!(via_wrapper.stats, via_dispatch.stats);
+        assert_eq!(via_wrapper.cache, via_dispatch.cache);
+        assert_eq!(via_wrapper.sim_time_ns, via_dispatch.sim_time_ns);
+    }
+
+    #[test]
+    fn observed_run_reconciles_and_changes_nothing() {
+        let trace = tiny(SplashApp::Water);
+        let cfg = SimConfig::study(256).limit_mb(1);
+        for mech in [Mechanism::Utlb, Mechanism::Intr] {
+            let plain = run_mechanism(mech, &trace, &cfg);
+            let (result, obs) = run_mechanism_observed(mech, &trace, &cfg, 32);
+            // The probe is passive: observed and plain runs agree exactly.
+            assert_eq!(result.stats, plain.stats, "{mech}");
+            assert_eq!(result.sim_time_ns, plain.sim_time_ns, "{mech}");
+            // And the event stream reconciles with the engine counters.
+            assert!(obs.reconciled, "{mech} mismatches: {:?}", obs.mismatches);
+            assert_eq!(obs.mechanism, mech.to_string());
+            assert_eq!(obs.metrics.counts.lookups, result.stats.lookups);
+            assert_eq!(obs.traces.len(), trace.process_ids().len());
+            assert_eq!(obs.board.interrupts_raised, result.stats.interrupts);
+        }
     }
 
     #[test]

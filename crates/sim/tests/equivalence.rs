@@ -1,0 +1,161 @@
+//! The generic-runner refactor must be invisible in the results.
+//!
+//! `run_utlb` / `run_intr` used to carry one hand-written replay loop each;
+//! both now delegate to the single `run<M: TranslationMechanism>` loop.
+//! These tests replicate the *old* loops verbatim — driving the engines
+//! through their inherent methods, no trait involved — and require the
+//! refactored runners to produce byte-identical `SimResult` JSON.
+
+use utlb_core::{IntrEngine, UtlbEngine};
+use utlb_mem::Host;
+use utlb_nic::{Board, Nanos};
+use utlb_sim::{
+    run_intr, run_mechanism_observed, run_utlb, Mechanism, MissClassifier, SimConfig, SimResult,
+};
+use utlb_trace::{gen, GenConfig, SplashApp, Trace};
+
+/// Host frames; must stay in sync with the runner's own constant.
+const HOST_FRAMES: u64 = 1 << 20;
+
+fn water() -> Trace {
+    gen::generate(
+        SplashApp::Water,
+        &GenConfig {
+            seed: 21,
+            scale: 0.05,
+            app_processes: 4,
+        },
+    )
+}
+
+/// The pre-refactor `run_utlb` body, kept as the golden reference.
+fn legacy_run_utlb(trace: &Trace, cfg: &SimConfig) -> SimResult {
+    let mut host = Host::new(HOST_FRAMES);
+    let mut board = Board::new();
+    let mut engine = UtlbEngine::new(cfg.utlb_config());
+    let mut classifier = MissClassifier::new(cfg.cache_entries);
+
+    let pids = trace.process_ids();
+    for expected in &pids {
+        let got = host.spawn_process();
+        assert_eq!(got, *expected);
+        engine
+            .register_process(&mut host, &mut board, got)
+            .expect("registration succeeds on a fresh host");
+    }
+
+    let t0 = board.clock.now();
+    for rec in &trace.records {
+        board.clock.advance_to(Nanos::from_nanos(rec.ts_ns));
+        let report = engine
+            .lookup_buffer(&mut host, &mut board, rec.pid, rec.va, rec.nbytes)
+            .expect("trace lookups succeed");
+        for page in &report.pages {
+            classifier.access(rec.pid, page.page, page.ni_miss);
+        }
+    }
+    let sim_time_ns = (board.clock.now() - t0).as_nanos();
+
+    let per_process = pids
+        .iter()
+        .map(|p| (p.raw(), engine.stats(*p).expect("registered")))
+        .collect();
+    SimResult {
+        workload: trace.workload.clone(),
+        stats: engine.aggregate_stats(),
+        cache: engine.cache().stats(),
+        breakdown: classifier.breakdown(),
+        per_process,
+        sim_time_ns,
+    }
+}
+
+/// The pre-refactor `run_intr` body, kept as the golden reference.
+fn legacy_run_intr(trace: &Trace, cfg: &SimConfig) -> SimResult {
+    let mut host = Host::new(HOST_FRAMES);
+    let mut board = Board::new();
+    let mut engine = IntrEngine::new(cfg.intr_config());
+    let mut classifier = MissClassifier::new(cfg.cache_entries);
+
+    let pids = trace.process_ids();
+    for expected in &pids {
+        let got = host.spawn_process();
+        assert_eq!(got, *expected);
+        engine
+            .register_process(&mut host, &mut board, got)
+            .expect("registration succeeds on a fresh host");
+    }
+
+    let t0 = board.clock.now();
+    for rec in &trace.records {
+        board.clock.advance_to(Nanos::from_nanos(rec.ts_ns));
+        let npages = rec.va.span_pages(rec.nbytes);
+        let outcomes = engine
+            .lookup(&mut host, &mut board, rec.pid, rec.va.page(), npages)
+            .expect("trace lookups succeed");
+        for o in &outcomes {
+            classifier.access(rec.pid, o.page, o.ni_miss);
+        }
+    }
+    let sim_time_ns = (board.clock.now() - t0).as_nanos();
+
+    let per_process = pids
+        .iter()
+        .map(|p| (p.raw(), engine.stats(*p).expect("registered")))
+        .collect();
+    SimResult {
+        workload: trace.workload.clone(),
+        stats: engine.aggregate_stats(),
+        cache: engine.cache().stats(),
+        breakdown: classifier.breakdown(),
+        per_process,
+        sim_time_ns,
+    }
+}
+
+#[test]
+fn generic_utlb_run_is_byte_identical_to_the_legacy_loop() {
+    let trace = water();
+    for cfg in [SimConfig::study(256), SimConfig::study(1024).limit_mb(1)] {
+        let legacy = serde_json::to_string(&legacy_run_utlb(&trace, &cfg)).unwrap();
+        let generic = serde_json::to_string(&run_utlb(&trace, &cfg)).unwrap();
+        assert_eq!(legacy, generic, "cache_entries = {}", cfg.cache_entries);
+    }
+}
+
+#[test]
+fn generic_intr_run_is_byte_identical_to_the_legacy_loop() {
+    let trace = water();
+    for cfg in [SimConfig::study(256), SimConfig::study(1024).limit_mb(1)] {
+        let legacy = serde_json::to_string(&legacy_run_intr(&trace, &cfg)).unwrap();
+        let generic = serde_json::to_string(&run_intr(&trace, &cfg)).unwrap();
+        assert_eq!(legacy, generic, "cache_entries = {}", cfg.cache_entries);
+    }
+}
+
+#[test]
+fn probe_stream_reconciles_with_engine_stats_on_water() {
+    let trace = water();
+    let cfg = SimConfig::study(256).limit_mb(1);
+    for mech in [Mechanism::Utlb, Mechanism::Intr] {
+        let (result, obs) = run_mechanism_observed(mech, &trace, &cfg, 64);
+        assert!(obs.reconciled, "{mech} mismatches: {:?}", obs.mismatches);
+        // The headline counters, spelled out: the event stream carries the
+        // same totals as the engines' own statistics.
+        assert_eq!(obs.metrics.counts.lookups, result.stats.lookups, "{mech}");
+        assert_eq!(
+            obs.metrics.counts.ni_misses, result.stats.ni_misses,
+            "{mech}"
+        );
+        assert_eq!(obs.metrics.counts.pins, result.stats.pins, "{mech}");
+        assert_eq!(obs.metrics.counts.unpins, result.stats.unpins, "{mech}");
+        assert_eq!(
+            obs.metrics.counts.interrupts, result.stats.interrupts,
+            "{mech}"
+        );
+        assert_eq!(obs.metrics.pin_ns.sum_ns(), result.stats.pin_time_ns);
+        // Ring traces exist for every trace process and respect capacity.
+        assert_eq!(obs.traces.len(), trace.process_ids().len());
+        assert!(obs.traces.iter().all(|t| t.events.len() <= 64));
+    }
+}

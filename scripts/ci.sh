@@ -19,4 +19,12 @@ cargo test -q --offline
 echo "== full workspace tests"
 cargo test -q --offline --workspace
 
+echo "== observability: runner-equivalence and probe-reconciliation tests"
+cargo test -q --offline -p utlb-sim --test equivalence
+cargo test -q --offline -p utlb-core obs::
+cargo test -q --offline -p utlb-core mechanism::
+
+echo "== observability: no-op probe overhead guard (<10%)"
+cargo run -q --release --offline -p utlb-bench --bin obs_guard -- --scale 0.3
+
 echo "CI green."
