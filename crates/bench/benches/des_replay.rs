@@ -1,0 +1,51 @@
+//! The DES overlay's replay cost against the serial runner it wraps.
+//!
+//! Three angles on one trace: the plain serial replay (`run`), the DES
+//! replay at zero contention (same timing answer, plus station bookkeeping),
+//! and the DES replay with the trace's payload traffic put back on the bus
+//! at 4x offered load. The zero-contention gap is the price of the station
+//! accounting; the contended gap is the extra event traffic payload DMA
+//! induces.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use utlb_sim::{run_des_mechanism, run_mechanism, DesConfig, Mechanism, SimConfig};
+use utlb_trace::{gen, GenConfig, SplashApp};
+
+fn small_cfg() -> GenConfig {
+    GenConfig {
+        seed: 1998,
+        scale: 0.1,
+        app_processes: 4,
+    }
+}
+
+/// Serial vs DES replay of the same trace under both mechanisms.
+fn bench_des_replay(c: &mut Criterion) {
+    let trace = gen::generate_shared(SplashApp::Radix, &small_cfg());
+    let sim = SimConfig::study(2048);
+    let mut group = c.benchmark_group("des_replay");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.records.len() as u64));
+    for mech in [Mechanism::Utlb, Mechanism::Intr] {
+        group.bench_function(format!("serial_{mech}"), |b| {
+            b.iter(|| black_box(run_mechanism(mech, &trace, &sim).sim_time_ns))
+        });
+        group.bench_function(format!("des_zero_contention_{mech}"), |b| {
+            b.iter(|| {
+                let r = run_des_mechanism(mech, &trace, &sim, &DesConfig::zero_contention());
+                black_box(r.des_time_ns)
+            })
+        });
+        group.bench_function(format!("des_contended_{mech}"), |b| {
+            b.iter(|| {
+                let r = run_des_mechanism(mech, &trace, &sim, &DesConfig::contended(4.0));
+                black_box(r.des_time_ns)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_des_replay);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Regenerates the extension contention experiments: the offered-load
+//! sweep (translation latency vs background bus traffic, per mechanism)
+//! and the DES interference run (each program's latency alone vs
+//! co-scheduled on one NIC), plus the per-station service/wait breakdown
+//! of one representative contended replay.
+
+use serde::Serialize;
+use utlb_sim::experiments::{bus_contention, interference_des, BusContention, InterferenceDes};
+use utlb_sim::{run_des_mechanism, wait_breakdown, DesConfig, Mechanism, SimConfig};
+use utlb_trace::{gen, SplashApp};
+
+/// Cache entries used by every contention run, matching Tables 4–5.
+const CACHE_ENTRIES: usize = 8192;
+
+/// Offered load of the interference run and the breakdown replay.
+const INTERFERENCE_LOAD: f64 = 4.0;
+
+/// Both contention results in one archivable document.
+#[derive(Debug, Serialize)]
+struct ContentionReport {
+    /// The offered-load sweep.
+    contention: BusContention,
+    /// The multiprogrammed interference run.
+    interference: InterferenceDes,
+}
+
+fn main() {
+    let args = utlb_bench::BenchArgs::parse();
+    let contention = bus_contention(&args.gen, CACHE_ENTRIES);
+    println!("{contention}");
+    let interference = interference_des(
+        SplashApp::Radix,
+        SplashApp::Fft,
+        &args.gen,
+        CACHE_ENTRIES,
+        INTERFERENCE_LOAD,
+    );
+    println!("{interference}");
+
+    let radix = gen::generate_shared(SplashApp::Radix, &args.gen);
+    let r = run_des_mechanism(
+        Mechanism::Utlb,
+        &radix,
+        &SimConfig::study(CACHE_ENTRIES),
+        &DesConfig::contended(INTERFERENCE_LOAD),
+    );
+    println!(
+        "{}",
+        wait_breakdown(
+            format!("Station breakdown — radix / utlb @ load {INTERFERENCE_LOAD:.1}"),
+            &r
+        )
+    );
+
+    args.archive(&ContentionReport {
+        contention,
+        interference,
+    });
+}

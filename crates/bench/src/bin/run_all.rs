@@ -210,6 +210,30 @@ fn obs_pass(gencfg: &GenConfig) {
     }
 }
 
+/// Runs the extension contention experiments — the offered-load sweep and
+/// the multiprogrammed interference run — printing both tables and
+/// archiving each as JSON under `results/`.
+fn contention_pass(gencfg: &GenConfig) {
+    std::fs::create_dir_all("results").expect("create results/");
+    let contention = utlb_sim::experiments::bus_contention(gencfg, 8192);
+    println!("{contention}\n");
+    let body = serde_json::to_string_pretty(&contention).expect("contention serializes");
+    std::fs::write("results/contention.json", body).expect("write results/contention.json");
+    eprintln!("contention: results/contention.json");
+
+    let interference = utlb_sim::experiments::interference_des(
+        SplashApp::Radix,
+        SplashApp::Fft,
+        gencfg,
+        8192,
+        4.0,
+    );
+    println!("{interference}\n");
+    let body = serde_json::to_string_pretty(&interference).expect("interference serializes");
+    std::fs::write("results/interference.json", body).expect("write results/interference.json");
+    eprintln!("interference: results/interference.json");
+}
+
 fn main() {
     let args = utlb_bench::BenchArgs::parse();
     println!("{}\n", utlb_sim::experiments::table1());
@@ -222,6 +246,7 @@ fn main() {
     println!("{}\n", utlb_sim::experiments::table8(&args.gen));
     println!("{}\n", utlb_sim::experiments::fig7(&args.gen));
     println!("{}\n", utlb_sim::experiments::fig8(&args.gen));
+    contention_pass(&args.gen);
 
     if args.obs {
         obs_pass(&args.gen);

@@ -1,0 +1,193 @@
+//! Per-page resource-demand decomposition.
+//!
+//! The engines charge every cost to one serial clock and narrate what they
+//! did through [`obs::Event`](crate::obs::Event)s. A contention simulator
+//! needs the opposite view: *which resource* each nanosecond of a lookup
+//! wanted — host kernel pin/unpin work, host interrupt dispatch, DMA over
+//! the I/O bus, or NIC firmware time. [`page_demands`] recovers that split
+//! from the event stream of one `lookup_run`, page by page, without the
+//! engines having to know a queueing model exists.
+//!
+//! Both engines end every page with an [`Event::Lookup`] carrying the total
+//! serial cost of that page, and emit their component events (`Pin`,
+//! `Unpin`, `Interrupt`, `DmaFetch`) before it. Whatever the components do
+//! not explain is NIC-firmware time ([`PageDemand::firmware_ns`]): check
+//! probes, cache management, table walks.
+
+use crate::obs::Event;
+use serde::{Deserialize, Serialize};
+
+/// Resource demand of one translated page, recovered from the event stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageDemand {
+    /// Total serial cost of the page (the `Lookup` event's charge).
+    pub total_ns: u64,
+    /// Host kernel pin + unpin work (driver `ioctl` bodies, victim
+    /// unpinning). Runs in interrupt context iff the mechanism's
+    /// `kernel_pins()` says so.
+    pub pin_ns: u64,
+    /// Host interrupt dispatch cost.
+    pub intr_ns: u64,
+    /// Translation-entry DMA time (engine programming + bus transfer).
+    pub dma_ns: u64,
+    /// Translation entries fetched by that DMA.
+    pub dma_entries: u64,
+}
+
+impl PageDemand {
+    /// NIC-firmware time: the slice of [`PageDemand::total_ns`] the
+    /// component events do not explain (checks, cache probes, walks).
+    /// Saturating, so a page can never demand negative firmware time.
+    pub fn firmware_ns(&self) -> u64 {
+        self.total_ns
+            .saturating_sub(self.pin_ns + self.intr_ns + self.dma_ns)
+    }
+
+    /// Whether this page needed no host or bus work at all — the pure
+    /// fast path.
+    pub fn is_fast_path(&self) -> bool {
+        self.pin_ns == 0 && self.intr_ns == 0 && self.dma_ns == 0
+    }
+
+    fn fold(&mut self, event: &Event) {
+        match *event {
+            Event::Pin { ns, .. } | Event::Unpin { ns } => self.pin_ns += ns,
+            Event::Interrupt { ns } => self.intr_ns += ns,
+            Event::DmaFetch { entries, ns } => {
+                self.dma_ns += ns;
+                self.dma_entries += entries;
+            }
+            // Structural markers carry no cost; Wait events are produced by
+            // the contention runner itself, never consumed here.
+            Event::Lookup { .. }
+            | Event::CheckMiss
+            | Event::NiMiss
+            | Event::Evict { .. }
+            | Event::SwapIn
+            | Event::Wait { .. } => {}
+        }
+    }
+}
+
+/// Decomposes the event stream of one `lookup_run` into per-page demands.
+///
+/// Each [`Event::Lookup`] closes a page; component events since the previous
+/// `Lookup` belong to it. Events after the final `Lookup` (which the engines
+/// never produce) are conservatively returned as one extra demand whose
+/// total is the sum of its parts, so no charged time is dropped.
+pub fn page_demands(events: &[Event]) -> Vec<PageDemand> {
+    let mut pages = Vec::new();
+    let mut current = PageDemand::default();
+    let mut open = false;
+    for event in events {
+        current.fold(event);
+        if let Event::Lookup { ns } = *event {
+            current.total_ns = ns;
+            pages.push(current);
+            current = PageDemand::default();
+            open = false;
+        } else {
+            open = true;
+        }
+    }
+    if open {
+        current.total_ns = current.pin_ns + current.intr_ns + current.dma_ns;
+        pages.push(current);
+    }
+    pages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::EvictReason;
+
+    #[test]
+    fn utlb_miss_page_splits_into_pin_dma_and_firmware() {
+        // The UTLB engine's emission order on a pinning miss with a
+        // conflict eviction after the cache fill.
+        let events = vec![
+            Event::CheckMiss,
+            Event::Pin { run: 2, ns: 54_000 },
+            Event::DmaFetch {
+                entries: 2,
+                ns: 1_532,
+            },
+            Event::Evict {
+                reason: EvictReason::CacheConflict,
+            },
+            Event::NiMiss,
+            Event::Lookup { ns: 56_000 },
+        ];
+        let pages = page_demands(&events);
+        assert_eq!(pages.len(), 1);
+        let p = pages[0];
+        assert_eq!(p.total_ns, 56_000);
+        assert_eq!(p.pin_ns, 54_000);
+        assert_eq!(p.intr_ns, 0);
+        assert_eq!(p.dma_ns, 1_532);
+        assert_eq!(p.dma_entries, 2);
+        assert_eq!(p.firmware_ns(), 56_000 - 54_000 - 1_532);
+        assert!(!p.is_fast_path());
+    }
+
+    #[test]
+    fn intr_miss_page_routes_everything_to_interrupt_and_pin() {
+        // The baseline: interrupt dispatch, victim unpin, pin — no DMA.
+        let events = vec![
+            Event::NiMiss,
+            Event::Interrupt { ns: 10_000 },
+            Event::Evict {
+                reason: EvictReason::MemLimit,
+            },
+            Event::Unpin { ns: 25_000 },
+            Event::Pin { run: 1, ns: 27_000 },
+            Event::Lookup { ns: 62_000 },
+        ];
+        let pages = page_demands(&events);
+        assert_eq!(pages.len(), 1);
+        let p = pages[0];
+        assert_eq!(p.pin_ns, 52_000, "pin and unpin both count as pin work");
+        assert_eq!(p.intr_ns, 10_000);
+        assert_eq!(p.dma_ns, 0, "the baseline never DMAs entries");
+        assert_eq!(p.firmware_ns(), 0, "62 - 52 - 10 leaves nothing");
+    }
+
+    #[test]
+    fn hit_pages_are_pure_firmware() {
+        let events = vec![
+            Event::Lookup { ns: 80 },
+            Event::Lookup { ns: 80 },
+            Event::CheckMiss,
+            Event::Lookup { ns: 400 },
+        ];
+        let pages = page_demands(&events);
+        assert_eq!(pages.len(), 3);
+        assert!(pages.iter().all(|p| p.is_fast_path()));
+        assert_eq!(pages[0].firmware_ns(), 80);
+        assert_eq!(pages[2].firmware_ns(), 400);
+    }
+
+    #[test]
+    fn firmware_residual_saturates() {
+        // A lookup cheaper than its components (cannot happen with the real
+        // engines, but the decomposition must not panic or wrap).
+        let events = vec![Event::Pin { run: 1, ns: 500 }, Event::Lookup { ns: 100 }];
+        let pages = page_demands(&events);
+        assert_eq!(pages[0].firmware_ns(), 0);
+    }
+
+    #[test]
+    fn trailing_events_become_a_conservative_extra_page() {
+        let events = vec![Event::Lookup { ns: 90 }, Event::Pin { run: 1, ns: 1_000 }];
+        let pages = page_demands(&events);
+        assert_eq!(pages.len(), 2);
+        assert_eq!(pages[1].total_ns, 1_000);
+        assert_eq!(pages[1].firmware_ns(), 0);
+    }
+
+    #[test]
+    fn empty_stream_yields_no_pages() {
+        assert_eq!(page_demands(&[]), Vec::new());
+    }
+}

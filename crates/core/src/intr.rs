@@ -281,6 +281,7 @@ impl IntrEngine {
                 };
                 let unpin_us = cost.kernel_unpin_cost(1);
                 Self::charge_us(board, unpin_us);
+                board.intr.account_handler(Nanos::from_micros(unpin_us));
                 self.probe.emit(
                     pid,
                     Event::Evict {
@@ -293,6 +294,7 @@ impl IntrEngine {
 
         let pin_us = cost.kernel_pin_cost(1);
         Self::charge_us(board, pin_us);
+        board.intr.account_handler(Nanos::from_micros(pin_us));
         let pinned = host.driver_pin(pid, page, 1)?;
         let phys = pinned[0].phys_addr();
         let pin_ns = (pin_us * 1000.0) as u64;
@@ -310,6 +312,7 @@ impl IntrEngine {
         if let Some(evicted) = self.cache.insert(pid, page, phys) {
             let unpin_us = cost.kernel_unpin_cost(1);
             Self::charge_us(board, unpin_us);
+            board.intr.account_handler(Nanos::from_micros(unpin_us));
             host.driver_unpin(evicted.pid, evicted.page)?;
             let owner = self
                 .procs
@@ -407,6 +410,36 @@ mod tests {
             .lookup(&mut host, &mut board, pid, VirtPage::new(0), 1)
             .unwrap();
         assert!(o[0].ni_miss);
+    }
+
+    #[test]
+    fn handler_occupancy_equals_kernel_pin_and_unpin_time() {
+        // Direct-mapped, 4 entries, no offsetting: pages 0 and 4 collide, so
+        // the second lookup pins inside the handler *and* unpins the victim.
+        let cfg = IntrConfig {
+            cache: CacheConfig {
+                entries: 4,
+                associativity: crate::Associativity::Direct,
+                offsetting: false,
+            },
+            ..IntrConfig::default()
+        };
+        let cost = cfg.cost.clone();
+        let (mut host, mut board, mut engine, pid) = setup(cfg);
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(0), 1)
+            .unwrap();
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(4), 1)
+            .unwrap();
+        let expect = Nanos::from_micros(cost.kernel_pin_cost(1)) * 2
+            + Nanos::from_micros(cost.kernel_unpin_cost(1));
+        assert_eq!(board.intr.total_handler(), expect);
+        // Hits add nothing: the handler only runs on misses.
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(4), 1)
+            .unwrap();
+        assert_eq!(board.intr.total_handler(), expect);
     }
 
     #[test]

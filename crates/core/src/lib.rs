@@ -63,6 +63,7 @@
 mod bitvec;
 mod cache;
 mod cost;
+mod demand;
 mod engine;
 mod error;
 mod hier;
@@ -79,6 +80,7 @@ mod table;
 pub use bitvec::{CheckOutcome, DenseBits, PinBitVector};
 pub use cache::{Associativity, CacheConfig, CacheStats, Evicted, SharedUtlbCache};
 pub use cost::{CostModel, LookupRates};
+pub use demand::{page_demands, PageDemand};
 pub use engine::{LookupReport, PageOutcome, UtlbConfig, UtlbConfigBuilder, UtlbEngine};
 pub use error::UtlbError;
 pub use hier::{DirEntry, HierTable, DIR_ENTRIES, LEAF_ENTRIES};

@@ -22,6 +22,15 @@ pub trait TranslationMechanism {
     /// Short human-readable mechanism name ("UTLB", "Intr").
     fn name(&self) -> &'static str;
 
+    /// Whether pin/unpin work runs inside the host interrupt handler.
+    ///
+    /// The interrupt-based baseline does all pinning in interrupt context,
+    /// so a contention model must queue that work behind host interrupt
+    /// service; UTLB pins from the kernel top half on the miss path, where
+    /// it serializes with the translation itself. Drivers use this to route
+    /// each mechanism's miss-time work to the right contended resource.
+    fn kernel_pins(&self) -> bool;
+
     /// Registers `pid` with the mechanism.
     ///
     /// # Errors
@@ -89,6 +98,10 @@ impl TranslationMechanism for UtlbEngine {
         "UTLB"
     }
 
+    fn kernel_pins(&self) -> bool {
+        false
+    }
+
     fn register_process(
         &mut self,
         host: &mut Host,
@@ -142,6 +155,10 @@ impl TranslationMechanism for UtlbEngine {
 impl TranslationMechanism for IntrEngine {
     fn name(&self) -> &'static str {
         "Intr"
+    }
+
+    fn kernel_pins(&self) -> bool {
+        true
     }
 
     fn register_process(
@@ -237,6 +254,7 @@ mod tests {
             ..UtlbConfig::default()
         });
         assert_eq!(utlb.name(), "UTLB");
+        assert!(!utlb.kernel_pins(), "UTLB pins outside interrupt context");
         let (stats, cache) = drive(utlb);
         assert_eq!(stats.lookups, 8);
         assert_eq!(stats.interrupts, 0);
@@ -247,6 +265,7 @@ mod tests {
             ..IntrConfig::default()
         });
         assert_eq!(intr.name(), "Intr");
+        assert!(intr.kernel_pins(), "the baseline pins inside the handler");
         let (stats, cache) = drive(intr);
         assert_eq!(stats.lookups, 8);
         assert_eq!(stats.interrupts, 4, "the baseline interrupts per miss");

@@ -39,6 +39,20 @@ pub enum EvictReason {
     TableFull,
 }
 
+/// A shared station a translation can queue at (see `utlb-des` and
+/// `utlb-sim::run_des`): which device a [`Event::Wait`] was spent behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WaitResource {
+    /// The NIC firmware processor serializing translation requests.
+    Firmware,
+    /// The NIC DMA engine (per-transfer programming).
+    DmaEngine,
+    /// The shared I/O bus (data movement).
+    Bus,
+    /// Host interrupt service (dispatch + handler occupancy).
+    IntrService,
+}
+
 /// One observable step of a translation engine.
 ///
 /// Latencies are simulated nanoseconds charged to the board clock, so the
@@ -90,6 +104,16 @@ pub enum Event {
     },
     /// A swapped-out second-level table page was brought back (§3.3).
     SwapIn,
+    /// Queueing delay spent waiting for a shared station — emitted by the
+    /// discrete-event runner (`utlb-sim::run_des`), never by the engines
+    /// themselves, so service histograms stay pure device cost and wait
+    /// histograms pure contention.
+    Wait {
+        /// The station waited for.
+        resource: WaitResource,
+        /// Simulated nanoseconds of queueing delay (0 when uncontended).
+        ns: u64,
+    },
 }
 
 impl Serialize for Event {
@@ -110,6 +134,10 @@ impl Serialize for Event {
             Event::Unpin { ns } => ("Unpin", vec![("ns", Value::U64(ns))]),
             Event::Evict { reason } => ("Evict", vec![("reason", reason.to_value())]),
             Event::SwapIn => ("SwapIn", Vec::new()),
+            Event::Wait { resource, ns } => (
+                "Wait",
+                vec![("resource", resource.to_value()), ("ns", Value::U64(ns))],
+            ),
         };
         let mut obj = vec![("event".to_string(), Value::Str(kind.to_string()))];
         obj.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
@@ -152,6 +180,10 @@ impl Deserialize for Event {
                 reason: EvictReason::from_value(serde::field(obj, "reason", "Event")?)?,
             }),
             "SwapIn" => Ok(Event::SwapIn),
+            "Wait" => Ok(Event::Wait {
+                resource: WaitResource::from_value(serde::field(obj, "resource", "Event")?)?,
+                ns: get("ns")?,
+            }),
             other => Err(DeError::custom(format!("Event: unknown tag `{other}`"))),
         }
     }
@@ -351,6 +383,9 @@ pub struct EventCounts {
     pub evictions: u64,
     /// [`Event::SwapIn`] events.
     pub swap_ins: u64,
+    /// [`Event::Wait`] events (one per station acquisition under the
+    /// discrete-event runner, zero-delay acquisitions included).
+    pub waits: u64,
 }
 
 /// The latency metrics registry: one histogram per charged phase plus the
@@ -370,6 +405,16 @@ pub struct Metrics {
     pub dma_ns: Histogram,
     /// Host interrupt dispatch latency.
     pub intr_ns: Histogram,
+    /// Queueing delay behind the NIC firmware processor
+    /// ([`WaitResource::Firmware`]).
+    pub fw_wait_ns: Histogram,
+    /// Queueing delay behind the DMA engine ([`WaitResource::DmaEngine`]).
+    pub dma_wait_ns: Histogram,
+    /// Queueing delay behind the I/O bus ([`WaitResource::Bus`]).
+    pub bus_wait_ns: Histogram,
+    /// Queueing delay behind host interrupt service
+    /// ([`WaitResource::IntrService`]).
+    pub intr_wait_ns: Histogram,
 }
 
 impl Metrics {
@@ -407,7 +452,25 @@ impl Metrics {
             }
             Event::Evict { .. } => self.counts.evictions += 1,
             Event::SwapIn => self.counts.swap_ins += 1,
+            Event::Wait { resource, ns } => {
+                self.counts.waits += 1;
+                match resource {
+                    WaitResource::Firmware => self.fw_wait_ns.record(ns),
+                    WaitResource::DmaEngine => self.dma_wait_ns.record(ns),
+                    WaitResource::Bus => self.bus_wait_ns.record(ns),
+                    WaitResource::IntrService => self.intr_wait_ns.record(ns),
+                }
+            }
         }
+    }
+
+    /// Total queueing delay across all stations, in nanoseconds — the
+    /// contention surcharge on top of the serial cost model.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.fw_wait_ns.sum_ns()
+            + self.dma_wait_ns.sum_ns()
+            + self.bus_wait_ns.sum_ns()
+            + self.intr_wait_ns.sum_ns()
     }
 
     /// Folds another registry in.
@@ -425,11 +488,16 @@ impl Metrics {
         c.unpins += o.unpins;
         c.evictions += o.evictions;
         c.swap_ins += o.swap_ins;
+        c.waits += o.waits;
         self.lookup_ns.merge(&other.lookup_ns);
         self.pin_ns.merge(&other.pin_ns);
         self.unpin_ns.merge(&other.unpin_ns);
         self.dma_ns.merge(&other.dma_ns);
         self.intr_ns.merge(&other.intr_ns);
+        self.fw_wait_ns.merge(&other.fw_wait_ns);
+        self.dma_wait_ns.merge(&other.dma_wait_ns);
+        self.bus_wait_ns.merge(&other.bus_wait_ns);
+        self.intr_wait_ns.merge(&other.intr_wait_ns);
     }
 
     /// Cross-checks the event-derived totals against an engine's own
@@ -705,13 +773,26 @@ mod tests {
             reason: EvictReason::MemLimit,
         });
         m.record(Event::SwapIn);
+        m.record(Event::Wait {
+            resource: WaitResource::Bus,
+            ns: 64,
+        });
+        m.record(Event::Wait {
+            resource: WaitResource::IntrService,
+            ns: 5_000,
+        });
         assert_eq!(m.counts.lookups, 2);
         assert_eq!(m.counts.entries_fetched, 4);
         assert_eq!(m.counts.pins, 8);
         assert_eq!(m.counts.pin_calls, 1);
         assert_eq!(m.counts.evictions, 1);
         assert_eq!(m.counts.swap_ins, 1);
+        assert_eq!(m.counts.waits, 2);
         assert_eq!(m.lookup_ns.mean_ns(), 2000.0);
+        assert_eq!(m.bus_wait_ns.sum_ns(), 64);
+        assert_eq!(m.intr_wait_ns.sum_ns(), 5_000);
+        assert_eq!(m.fw_wait_ns.count(), 0);
+        assert_eq!(m.total_wait_ns(), 5_064);
 
         let stats = TranslationStats {
             lookups: 2,
@@ -822,6 +903,14 @@ mod tests {
             },
             Event::Evict {
                 reason: EvictReason::CacheConflict,
+            },
+            Event::Wait {
+                resource: WaitResource::DmaEngine,
+                ns: 1468,
+            },
+            Event::Wait {
+                resource: WaitResource::Firmware,
+                ns: 0,
             },
         ];
         let json = serde_json::to_string(&events).unwrap();

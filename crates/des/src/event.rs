@@ -1,0 +1,179 @@
+//! The pending-event set.
+//!
+//! A discrete-event simulation is only as reproducible as its event order.
+//! Entries here are totally ordered by `(at, key, seq)`: simulated time
+//! first, then a caller-chosen tie-break key (the trace replayer uses the
+//! process id, matching `utlb-trace`'s merge order), then the insertion
+//! sequence number — so two events scheduled for the same instant with the
+//! same key pop in the order they were pushed, on every run, under any
+//! thread count.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use utlb_nic::Nanos;
+
+/// One scheduled event, as returned by [`EventQueue::pop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheduled<T> {
+    /// When the event fires.
+    pub at: Nanos,
+    /// Caller-chosen tie-break key (see [`EventQueue::push_keyed`]).
+    pub key: u64,
+    /// Insertion sequence number — the final tie-break.
+    pub seq: u64,
+    /// The event itself.
+    pub payload: T,
+}
+
+/// Heap entry; ordering ignores the payload entirely so `T` needs no `Ord`.
+#[derive(Debug)]
+struct Entry<T>(Scheduled<T>);
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.0.at, self.0.key, self.0.seq) == (other.0.at, other.0.key, other.0.seq)
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.0.at, other.0.key, other.0.seq).cmp(&(self.0.at, self.0.key, self.0.seq))
+    }
+}
+
+/// A deterministic pending-event set keyed by simulated time.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `at` with tie-break key 0.
+    pub fn push(&mut self, at: Nanos, payload: T) -> u64 {
+        self.push_keyed(at, 0, payload)
+    }
+
+    /// Schedules `payload` at `at` with an explicit tie-break `key`.
+    ///
+    /// Among events at the same instant, smaller keys pop first; among
+    /// equal keys, earlier pushes pop first. Returns the sequence number
+    /// assigned.
+    pub fn push_keyed(&mut self, at: Nanos, key: u64, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry(Scheduled {
+            at,
+            key,
+            seq,
+            payload,
+        }));
+        seq
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<Scheduled<T>> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|e| e.0.at)
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Events pushed over the queue's lifetime (the next sequence number).
+    pub fn total_scheduled(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> Nanos {
+        Nanos::from_nanos(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(ns(30), "c");
+        q.push(ns(10), "a");
+        q.push(ns(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_instant_ties_break_by_key_then_seq() {
+        let mut q = EventQueue::new();
+        q.push_keyed(ns(5), 2, "pid2-first");
+        q.push_keyed(ns(5), 1, "pid1");
+        q.push_keyed(ns(5), 2, "pid2-second");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, ["pid1", "pid2-first", "pid2-second"]);
+    }
+
+    #[test]
+    fn peek_and_counters() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(ns(7), ());
+        q.push(ns(3), ());
+        assert_eq!(q.peek_time(), Some(ns(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_scheduled(), 2);
+        q.pop();
+        assert_eq!(q.peek_time(), Some(ns(7)));
+        assert_eq!(q.total_scheduled(), 2, "popping does not unschedule");
+    }
+
+    #[test]
+    fn sequence_numbers_are_stable_across_identical_runs() {
+        let build = || {
+            let mut q = EventQueue::new();
+            for i in 0..100u64 {
+                // Adversarial: many same-time, same-key events.
+                q.push_keyed(ns(i % 3), i % 2, i);
+            }
+            std::iter::from_fn(move || q.pop().map(|e| (e.at, e.key, e.seq, e.payload)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,41 @@
+//! Deterministic discrete-event contention core.
+//!
+//! The paper's §6 cost model charges every translation a *fixed* cost and
+//! sums serially, so the Shared UTLB-Cache's DMA fills, the interrupt-based
+//! baseline's handler dispatches, and multiprogrammed processes never
+//! contend — yet the whole argument is about traffic crossing a shared I/O
+//! bus. This crate supplies the timing substrate under which load actually
+//! interferes:
+//!
+//! * [`EventQueue`] — a [`Nanos`]-keyed pending-event set, tie-broken by an
+//!   explicit key and then by insertion sequence, so replays are
+//!   reproducible byte for byte regardless of how the caller is threaded.
+//! * [`Resource`] — a named multi-server station with FIFO or priority
+//!   queueing and occupancy tracking; grants split each acquisition into
+//!   *wait* (queueing delay) and *service* (the device's own cost), which
+//!   is exactly the split the paper's Table 2 numbers cannot show.
+//! * [`models`] — concrete stations for the I/O bus (per-transfer setup +
+//!   per-word bandwidth, fitted to Table 2), the NIC DMA engine, and host
+//!   interrupt service (dispatch latency + handler occupancy), plus the
+//!   [`DesConfig`] knob set — [`DesConfig::zero_contention`] reproduces the
+//!   serial cost model exactly, which `utlb-sim`'s equivalence tests pin.
+//!
+//! The crate is deliberately free of simulation policy: it knows nothing
+//! about caches, pins, or traces. `utlb-sim::run_des` drives the real
+//! translation engines and routes their bus/DMA/interrupt demands through
+//! these stations.
+//!
+//! [`Nanos`]: utlb_nic::Nanos
+//! [`DesConfig`]: models::DesConfig
+//! [`DesConfig::zero_contention`]: models::DesConfig::zero_contention
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod event;
+pub mod models;
+mod resource;
+
+pub use event::{EventQueue, Scheduled};
+pub use models::{DesConfig, DmaEngineModel, IntrServiceModel, IoBusModel};
+pub use resource::{Capacity, Discipline, Grant, Resource, ResourceReport, ResourceStats};

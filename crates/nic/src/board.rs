@@ -40,6 +40,9 @@ pub struct BoardSnapshot {
     pub interrupts_raised: u64,
     /// Simulated time spent dispatching interrupts, in nanoseconds.
     pub interrupt_dispatch_ns: u64,
+    /// Simulated time spent in interrupt handler bodies (kernel pin/unpin
+    /// work in the interrupt-based design), in nanoseconds.
+    pub interrupt_handler_ns: u64,
 }
 
 impl Board {
@@ -58,6 +61,7 @@ impl Board {
             dma_busy_ns: dma.busy.as_nanos(),
             interrupts_raised: self.intr.raised(),
             interrupt_dispatch_ns: self.intr.total_dispatch().as_nanos(),
+            interrupt_handler_ns: self.intr.total_handler().as_nanos(),
         }
     }
 }

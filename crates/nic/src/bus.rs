@@ -36,7 +36,14 @@ impl IoBus {
     /// A zero-length DMA still pays setup — the engine has to be programmed
     /// before it can discover there is nothing to do.
     pub fn dma_words(&self, words: u64) -> Nanos {
-        self.setup + self.per_word * words
+        self.setup + self.data_time(words)
+    }
+
+    /// The post-setup data phase of a `words`-word DMA — the slice of
+    /// [`IoBus::dma_words`] that actually occupies the shared wire, which a
+    /// contention model queues separately from engine programming.
+    pub fn data_time(&self, words: u64) -> Nanos {
+        self.per_word * words
     }
 
     /// Time to DMA `bytes` bytes (rounded up to whole words).
@@ -76,6 +83,14 @@ mod tests {
     fn zero_length_dma_pays_setup() {
         let bus = IoBus::default();
         assert_eq!(bus.dma_words(0), bus.setup());
+    }
+
+    #[test]
+    fn setup_and_data_phases_partition_the_transfer() {
+        let bus = IoBus::default();
+        for words in [0u64, 1, 32, 4096] {
+            assert_eq!(bus.setup() + bus.data_time(words), bus.dma_words(words));
+        }
     }
 
     #[test]

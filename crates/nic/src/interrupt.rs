@@ -14,6 +14,7 @@ use crate::{Nanos, SimClock};
 pub struct InterruptController {
     dispatch_cost: Nanos,
     raised: u64,
+    handler_busy: Nanos,
 }
 
 impl InterruptController {
@@ -22,6 +23,7 @@ impl InterruptController {
         InterruptController {
             dispatch_cost,
             raised: 0,
+            handler_busy: Nanos::ZERO,
         }
     }
 
@@ -48,6 +50,24 @@ impl InterruptController {
     pub fn total_dispatch(&self) -> Nanos {
         Nanos::from_nanos(self.dispatch_cost.as_nanos() * self.raised)
     }
+
+    /// Accounts `ns` of in-handler work (kernel pins, table repair) to this
+    /// line's occupancy. The caller has already charged the clock — this
+    /// only tracks how long the host CPU was held by interrupt context, the
+    /// occupancy a contention model needs.
+    pub fn account_handler(&mut self, ns: Nanos) {
+        self.handler_busy += ns;
+    }
+
+    /// Total in-handler work accounted so far (excludes dispatch).
+    pub fn total_handler(&self) -> Nanos {
+        self.handler_busy
+    }
+
+    /// Total host-CPU occupancy of this line: dispatch plus handler bodies.
+    pub fn total_occupancy(&self) -> Nanos {
+        self.total_dispatch() + self.handler_busy
+    }
 }
 
 impl Default for InterruptController {
@@ -70,6 +90,20 @@ mod tests {
         assert_eq!(c, Nanos::from_micros(10.0));
         assert_eq!(clock.now(), Nanos::from_micros(20.0));
         assert_eq!(intr.raised(), 2);
+    }
+
+    #[test]
+    fn handler_occupancy_accumulates_separately_from_dispatch() {
+        let mut clock = SimClock::new();
+        let mut intr = InterruptController::default();
+        intr.raise(&mut clock);
+        intr.account_handler(Nanos::from_micros(27.0));
+        intr.account_handler(Nanos::from_micros(3.0));
+        assert_eq!(intr.total_handler(), Nanos::from_micros(30.0));
+        assert_eq!(intr.total_dispatch(), Nanos::from_micros(10.0));
+        assert_eq!(intr.total_occupancy(), Nanos::from_micros(40.0));
+        // Accounting never touches the clock.
+        assert_eq!(clock.now(), Nanos::from_micros(10.0));
     }
 
     #[test]

@@ -25,10 +25,34 @@ impl Nanos {
         Nanos(ns)
     }
 
-    /// Creates a duration from microseconds (the paper's unit).
+    /// Creates a duration from microseconds (the paper's unit), rounding
+    /// half-away-from-zero to the nearest nanosecond (so `2.4999 µs` →
+    /// `2500 ns`, matching the LANai clock's 0.5 µs quantization being far
+    /// coarser than a nanosecond).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is negative, NaN, infinite, or rounds past
+    /// `u64::MAX` nanoseconds — the silent saturation an unchecked `as`
+    /// cast would produce is never a duration anyone meant.
     pub fn from_micros(us: f64) -> Self {
-        assert!(us >= 0.0, "durations are non-negative");
-        Nanos((us * 1000.0).round() as u64)
+        Nanos::checked_from_micros(us)
+            .unwrap_or_else(|| panic!("invalid duration: {us} us is not exactly representable"))
+    }
+
+    /// Checked variant of [`Nanos::from_micros`]: `None` when `us` is
+    /// negative, not finite, or rounds beyond `u64::MAX` nanoseconds.
+    pub fn checked_from_micros(us: f64) -> Option<Self> {
+        if !us.is_finite() || us < 0.0 {
+            return None;
+        }
+        let ns = (us * 1000.0).round();
+        // 2^64 is exactly representable in f64; anything at or above it
+        // does not fit a u64 nanosecond count.
+        if ns >= u64::MAX as f64 {
+            return None;
+        }
+        Some(Nanos(ns as u64))
     }
 
     /// Raw nanosecond count.
@@ -137,6 +161,42 @@ mod tests {
         let d = Nanos::from_micros(2.5);
         assert_eq!(d.as_nanos(), 2500);
         assert!((d.as_micros() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn micros_round_to_nearest_nanosecond() {
+        assert_eq!(Nanos::from_micros(1.2344).as_nanos(), 1234, "rounds down");
+        assert_eq!(Nanos::from_micros(1.2346).as_nanos(), 1235, "rounds up");
+        assert_eq!(
+            Nanos::from_micros(0.0005).as_nanos(),
+            1,
+            "half away from zero"
+        );
+        assert_eq!(Nanos::from_micros(0.0).as_nanos(), 0);
+    }
+
+    #[test]
+    fn checked_micros_rejects_unrepresentable_durations() {
+        assert_eq!(Nanos::checked_from_micros(f64::NAN), None);
+        assert_eq!(Nanos::checked_from_micros(f64::INFINITY), None);
+        assert_eq!(Nanos::checked_from_micros(-0.001), None);
+        assert_eq!(Nanos::checked_from_micros(1e18), None, "overflows u64 ns");
+        assert_eq!(
+            Nanos::checked_from_micros(10.0),
+            Some(Nanos::from_nanos(10_000))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn from_micros_panics_on_nan() {
+        Nanos::from_micros(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn from_micros_panics_on_overflow() {
+        Nanos::from_micros(1e18);
     }
 
     #[test]

@@ -1,0 +1,532 @@
+//! Discrete-event replay: the serial runner's timing, made contention-aware.
+//!
+//! [`run_des`] drives the same engines over the same traces as
+//! [`run`](crate::run), but instead of charging every cost to one serial
+//! clock it routes each lookup's resource demands — NIC firmware time, host
+//! kernel pin work, interrupt dispatch, translation-entry DMA — through the
+//! contended stations of `utlb-des`. The engine replay itself is kept
+//! *bit-identical* to the serial runner (same record order, same clock
+//! advances, same statistics); the DES layer is a timing overlay computed
+//! from the engines' own event streams via
+//! [`page_demands`](utlb_core::page_demands).
+//!
+//! With [`DesConfig::zero_contention`] every station sees at most one
+//! request in flight and the overlay's completion time reproduces the
+//! serial `sim_time_ns` exactly — the executable specification the
+//! `des_equivalence` test suite pins. Turning payload traffic on
+//! ([`DesConfig::contended`]) puts the trace's own transfer bytes on the
+//! shared bus and (optionally) a completion interrupt per transfer on host
+//! interrupt service, which is where queueing delay — the paper's §7 open
+//! question — appears.
+
+use crate::observe::ObsReport;
+use crate::{Mechanism, MissClassifier, SimConfig, SimResult};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+use utlb_core::obs::{Event, Histogram, Probe, SharedCollector, WaitResource};
+use utlb_core::{page_demands, IntrEngine, TranslationMechanism, UtlbEngine};
+use utlb_mem::{Host, ProcessId};
+use utlb_nic::{Board, BoardSnapshot, Nanos};
+use utlb_trace::{Trace, TraceRecord};
+
+pub use utlb_des::DesConfig;
+use utlb_des::{
+    DmaEngineModel, EventQueue, IntrServiceModel, IoBusModel, Resource, ResourceReport,
+};
+
+/// Host DRAM frames — matches the serial runner.
+const HOST_FRAMES: u64 = 1 << 20;
+
+/// Outcome of one discrete-event run: the serial result (identical to what
+/// [`run`](crate::run) returns for the same inputs) plus the queueing view.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DesResult {
+    /// The serial-replay result — counters, cache, classification,
+    /// `sim_time_ns` — byte-identical to a plain [`run`](crate::run).
+    pub base: SimResult,
+    /// When the last translation finished on the contended stations,
+    /// relative to the same origin as `base.sim_time_ns`. Equals
+    /// `base.sim_time_ns` under zero contention.
+    pub des_time_ns: u64,
+    /// Per-request translation latency (arrival to last page translated),
+    /// service and queueing included.
+    pub latency_ns: Histogram,
+    /// Per-process request-latency histograms, keyed by raw pid.
+    pub per_process_latency: Vec<(u32, Histogram)>,
+    /// Queueing delay spent behind the NIC firmware processor.
+    pub fw_wait_ns: u64,
+    /// Queueing delay spent behind the DMA engine.
+    pub dma_wait_ns: u64,
+    /// Queueing delay spent behind the I/O bus.
+    pub bus_wait_ns: u64,
+    /// Queueing delay spent behind host interrupt service.
+    pub intr_wait_ns: u64,
+    /// Station occupancy reports (firmware, DMA engine, bus, interrupt
+    /// service), in a fixed order.
+    pub resources: Vec<ResourceReport>,
+    /// Background payload transfers injected ([`DesConfig::payload_load`]).
+    pub payload_transfers: u64,
+    /// Total background payload words moved across the bus.
+    pub payload_words: u64,
+}
+
+impl DesResult {
+    /// Total queueing delay across all stations, in nanoseconds.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.fw_wait_ns + self.dma_wait_ns + self.bus_wait_ns + self.intr_wait_ns
+    }
+
+    /// Mean per-request translation latency in µs.
+    pub fn mean_latency_us(&self) -> f64 {
+        self.latency_ns.mean_ns() / 1000.0
+    }
+
+    /// Worst per-request translation latency in µs.
+    pub fn max_latency_us(&self) -> f64 {
+        self.latency_ns.max_ns() as f64 / 1000.0
+    }
+
+    /// Merged request-latency histogram over a pid subset (one program of a
+    /// multiprogrammed trace).
+    pub fn latency_for_pids(&self, pids: &[u32]) -> Histogram {
+        let mut h = Histogram::new();
+        for (p, hist) in &self.per_process_latency {
+            if pids.contains(p) {
+                h.merge(hist);
+            }
+        }
+        h
+    }
+
+    /// Mean queueing delay per request in µs — the contention surcharge.
+    pub fn mean_wait_us(&self) -> f64 {
+        if self.latency_ns.count() == 0 {
+            0.0
+        } else {
+            self.total_wait_ns() as f64 / self.latency_ns.count() as f64 / 1000.0
+        }
+    }
+}
+
+/// Captures the engine's event stream per `lookup_run` for demand
+/// decomposition, forwarding to an optional downstream probe (the obs
+/// collector in observed runs).
+#[derive(Debug)]
+struct DemandTap {
+    buf: Rc<RefCell<Vec<Event>>>,
+    inner: Option<Box<dyn Probe>>,
+}
+
+impl Probe for DemandTap {
+    fn on_event(&mut self, pid: ProcessId, event: Event) {
+        self.buf.borrow_mut().push(event);
+        if let Some(p) = &mut self.inner {
+            p.on_event(pid, event);
+        }
+    }
+}
+
+/// What the event queue schedules: the next unconsumed record of one
+/// per-process stream.
+#[derive(Debug, Clone, Copy)]
+struct Arrival {
+    stream: usize,
+}
+
+/// Emits a [`Event::Wait`] to the optional observation probe.
+fn emit_wait(
+    probe: &mut Option<Box<dyn Probe>>,
+    pid: ProcessId,
+    resource: WaitResource,
+    wait: Nanos,
+) {
+    if let Some(p) = probe {
+        p.on_event(
+            pid,
+            Event::Wait {
+                resource,
+                ns: wait.as_nanos(),
+            },
+        );
+    }
+}
+
+/// The discrete-event replay loop. Returns the DES result plus the board
+/// snapshot (for obs exports).
+fn replay_des<M: TranslationMechanism>(
+    engine: &mut M,
+    trace: &Trace,
+    cfg: &SimConfig,
+    des: &DesConfig,
+    obs: Option<&SharedCollector>,
+) -> (DesResult, BoardSnapshot) {
+    let mut host = Host::new(HOST_FRAMES);
+    let mut board = Board::new();
+    let mut classifier = MissClassifier::new(cfg.cache_entries);
+
+    // Identical to the serial runner: trace pids are dense from 1.
+    let pids = trace.process_ids();
+    for expected in &pids {
+        let got = host.spawn_process();
+        assert_eq!(got, *expected, "trace pids must be dense from 1");
+        engine
+            .register_process(&mut host, &mut board, got)
+            .expect("registration succeeds on a fresh host");
+    }
+    let t0 = board.clock.now();
+
+    // Tap the engine's event stream; in observed mode also forward it.
+    let buf: Rc<RefCell<Vec<Event>>> = Rc::new(RefCell::new(Vec::new()));
+    engine.set_probe(Box::new(DemandTap {
+        buf: Rc::clone(&buf),
+        inner: obs.map(SharedCollector::boxed),
+    }));
+    let mut wait_probe: Option<Box<dyn Probe>> = obs.map(SharedCollector::boxed);
+
+    // The stations. The NIC firmware is the root server: a lookup holds it
+    // for its full duration (the LANai processor walks pages serially),
+    // queueing at the nested stations while it does — exactly the serial
+    // recurrence `c_i = max(c_{i-1}, ts_i) + cost_i` when nothing else
+    // competes. Registration work precedes all traffic, so the firmware
+    // starts busy until `t0`.
+    let mut firmware = Resource::fifo("nic_firmware", 1);
+    if t0 > Nanos::ZERO {
+        firmware.acquire(Nanos::ZERO, t0);
+    }
+    let mut io_bus = IoBusModel::new(des.bus);
+    let mut dma = DmaEngineModel::new(&des.bus);
+    let mut intr_svc = IntrServiceModel::new(des.intr_dispatch);
+
+    // Per-process streams re-interleaved by arrival time. Arrivals are
+    // keyed by the record's position in the original trace so ties resolve
+    // exactly as the serial runner iterated.
+    let streams = trace.per_process_streams();
+    let mut order: Vec<Vec<u64>> = streams
+        .iter()
+        .map(|(_, s)| Vec::with_capacity(s.len()))
+        .collect();
+    for (ix, rec) in trace.records.iter().enumerate() {
+        let slot = streams
+            .iter()
+            .position(|(pid, _)| *pid == rec.pid)
+            .expect("streams cover every pid");
+        order[slot].push(ix as u64);
+    }
+    let mut cursors = vec![0usize; streams.len()];
+    let mut queue: EventQueue<Arrival> = EventQueue::new();
+    for (ix, (_, recs)) in streams.iter().enumerate() {
+        if let Some(first) = recs.first() {
+            queue.push_keyed(
+                Nanos::from_nanos(first.ts_ns),
+                order[ix][0],
+                Arrival { stream: ix },
+            );
+        }
+    }
+
+    let kernel_pins = engine.kernel_pins();
+    let mut latency_ns = Histogram::new();
+    let mut per_process_latency: Vec<(u32, Histogram)> =
+        pids.iter().map(|p| (p.raw(), Histogram::new())).collect();
+    let (mut fw_wait, mut dma_wait, mut bus_wait, mut intr_wait) =
+        (Nanos::ZERO, Nanos::ZERO, Nanos::ZERO, Nanos::ZERO);
+    let mut des_end = t0;
+    let mut payload_transfers = 0u64;
+    let mut payload_words = 0u64;
+
+    while let Some(sched) = queue.pop() {
+        let stream = sched.payload.stream;
+        let (pid, recs) = &streams[stream];
+        let pid = *pid;
+        let rec: TraceRecord = recs[cursors[stream]];
+
+        // --- Serial half, verbatim from the plain runner. ---
+        board.clock.advance_to(Nanos::from_nanos(rec.ts_ns));
+        let npages = rec.va.span_pages(rec.nbytes);
+        let pages = engine
+            .lookup_run(&mut host, &mut board, pid, rec.va.page(), npages)
+            .expect("trace lookups succeed");
+        for page in &pages {
+            classifier.access(pid, page.page, page.ni_miss);
+        }
+
+        // --- DES overlay: route this lookup's demands through the
+        // stations, holding the firmware for the whole request. ---
+        let events = std::mem::take(&mut *buf.borrow_mut());
+        let demands = page_demands(&events);
+        let arrival = Nanos::from_nanos(rec.ts_ns);
+        let grant = firmware.acquire_with(arrival, |start| {
+            let mut cursor = start;
+            for d in &demands {
+                // Firmware-only time; UTLB's pins run in the kernel
+                // top half, serial with the translation.
+                cursor += Nanos::from_nanos(d.firmware_ns());
+                let mut intr_occupancy = d.intr_ns;
+                if kernel_pins {
+                    intr_occupancy += d.pin_ns;
+                } else {
+                    cursor += Nanos::from_nanos(d.pin_ns);
+                }
+                if intr_occupancy > 0 {
+                    let g = intr_svc.handle_for(cursor, Nanos::from_nanos(intr_occupancy));
+                    intr_wait += g.wait;
+                    emit_wait(&mut wait_probe, pid, WaitResource::IntrService, g.wait);
+                    cursor = g.end;
+                }
+                if d.dma_ns > 0 {
+                    // Split the serial DMA charge into engine
+                    // programming and the bus data phase; the two
+                    // service times sum to the serial charge.
+                    let total = Nanos::from_nanos(d.dma_ns);
+                    let setup = dma.setup().min(total);
+                    let g1 = dma.program_for(cursor, setup);
+                    dma_wait += g1.wait;
+                    emit_wait(&mut wait_probe, pid, WaitResource::DmaEngine, g1.wait);
+                    let g2 = io_bus.transfer(g1.end, total - setup);
+                    bus_wait += g2.wait;
+                    emit_wait(&mut wait_probe, pid, WaitResource::Bus, g2.wait);
+                    cursor = g2.end;
+                }
+            }
+            cursor
+        });
+        fw_wait += grant.wait;
+        emit_wait(&mut wait_probe, pid, WaitResource::Firmware, grant.wait);
+        let lat = grant.end - arrival;
+        latency_ns.record(lat.as_nanos());
+        per_process_latency[stream].1.record(lat.as_nanos());
+        des_end = des_end.max(grant.end);
+
+        // Background payload traffic: the record's own transfer bytes
+        // (scaled by the offered load) cross the same bus after
+        // translation, optionally raising a completion interrupt.
+        // Fire-and-forget: it loads the stations but the sender does not
+        // block on it. The notification is admitted to interrupt service at
+        // its (already-known) completion time right here, so station
+        // admission order follows trace order regardless of load — which
+        // keeps results reproducible and latency monotone in offered load.
+        if des.payload_load > 0.0 {
+            let words = des.payload_words(rec.nbytes);
+            if words > 0 {
+                payload_transfers += 1;
+                payload_words += words;
+                let g1 = dma.program(grant.end);
+                let g2 = io_bus.transfer(g1.end, io_bus.data_service(words));
+                if des.notify_interrupts {
+                    let g = intr_svc.handle(g2.end, Nanos::ZERO);
+                    intr_wait += g.wait;
+                    emit_wait(&mut wait_probe, pid, WaitResource::IntrService, g.wait);
+                }
+            }
+        }
+
+        // Schedule this stream's next record.
+        cursors[stream] += 1;
+        if let Some(next) = recs.get(cursors[stream]) {
+            queue.push_keyed(
+                Nanos::from_nanos(next.ts_ns),
+                order[stream][cursors[stream]],
+                Arrival { stream },
+            );
+        }
+    }
+    engine.take_probe();
+    drop(wait_probe);
+
+    let sim_time_ns = (board.clock.now() - t0).as_nanos();
+    let per_process = pids
+        .iter()
+        .map(|p| (p.raw(), engine.stats(*p).expect("registered")))
+        .collect();
+    let base = SimResult {
+        workload: trace.workload.clone(),
+        stats: engine.aggregate_stats(),
+        cache: engine.cache_stats(),
+        breakdown: classifier.breakdown(),
+        per_process,
+        sim_time_ns,
+    };
+    let result = DesResult {
+        base,
+        des_time_ns: (des_end - t0).as_nanos(),
+        latency_ns,
+        per_process_latency,
+        fw_wait_ns: fw_wait.as_nanos(),
+        dma_wait_ns: dma_wait.as_nanos(),
+        bus_wait_ns: bus_wait.as_nanos(),
+        intr_wait_ns: intr_wait.as_nanos(),
+        resources: vec![
+            firmware.report(),
+            dma.report(),
+            io_bus.report(),
+            intr_svc.report(),
+        ],
+        payload_transfers,
+        payload_words,
+    };
+    (result, board.snapshot())
+}
+
+/// Runs `trace` through `engine` on the discrete-event stations.
+///
+/// The serial half of the result (`base`) is byte-identical to
+/// [`run`](crate::run) on the same inputs; the DES half adds queueing
+/// delays, per-request latency distributions, and station occupancy.
+///
+/// # Panics
+///
+/// Panics on internal engine errors, as for [`run`](crate::run).
+pub fn run_des<M: TranslationMechanism>(
+    engine: &mut M,
+    trace: &Trace,
+    cfg: &SimConfig,
+    des: &DesConfig,
+) -> DesResult {
+    replay_des(engine, trace, cfg, des, None).0
+}
+
+/// [`run_des`] behind a [`Mechanism`] dispatch.
+///
+/// # Panics
+///
+/// Panics on internal engine errors.
+pub fn run_des_mechanism(
+    mech: Mechanism,
+    trace: &Trace,
+    cfg: &SimConfig,
+    des: &DesConfig,
+) -> DesResult {
+    match mech {
+        Mechanism::Utlb => run_des(&mut UtlbEngine::new(cfg.utlb_config()), trace, cfg, des),
+        Mechanism::Intr => run_des(&mut IntrEngine::new(cfg.intr_config()), trace, cfg, des),
+    }
+}
+
+/// [`run_des`] with a [`SharedCollector`] attached: engine events *and* the
+/// runner's [`Event::Wait`]s flow into the metrics, so the wait histograms
+/// in the report carry the true queueing-delay distributions.
+///
+/// # Panics
+///
+/// Panics on internal engine errors and on a zero `ring_capacity`.
+pub fn run_des_observed<M: TranslationMechanism>(
+    engine: &mut M,
+    trace: &Trace,
+    cfg: &SimConfig,
+    des: &DesConfig,
+    ring_capacity: usize,
+) -> (DesResult, ObsReport) {
+    let collector = SharedCollector::new(ring_capacity);
+    let (result, board) = replay_des(engine, trace, cfg, des, Some(&collector));
+    let snap = collector.snapshot();
+    let mismatches = snap.metrics.reconcile(&result.base.stats);
+    let report = ObsReport {
+        mechanism: engine.name().to_string(),
+        workload: result.base.workload.clone(),
+        metrics: snap.metrics,
+        board,
+        traces: snap.recorder.dump(),
+        reconciled: mismatches.is_empty(),
+        mismatches,
+    };
+    (result, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_mechanism;
+    use utlb_trace::{gen, GenConfig, SplashApp};
+
+    fn tiny(app: SplashApp) -> Trace {
+        gen::generate(
+            app,
+            &GenConfig {
+                seed: 21,
+                scale: 0.05,
+                app_processes: 4,
+            },
+        )
+    }
+
+    #[test]
+    fn zero_contention_replay_matches_serial_exactly() {
+        let trace = tiny(SplashApp::Water);
+        let cfg = SimConfig::study(256);
+        for mech in [Mechanism::Utlb, Mechanism::Intr] {
+            let serial = run_mechanism(mech, &trace, &cfg);
+            let des = run_des_mechanism(mech, &trace, &cfg, &DesConfig::zero_contention());
+            assert_eq!(des.base.stats, serial.stats, "{mech}");
+            assert_eq!(des.base.cache, serial.cache, "{mech}");
+            assert_eq!(des.base.sim_time_ns, serial.sim_time_ns, "{mech}");
+            assert_eq!(des.des_time_ns, serial.sim_time_ns, "{mech}: DES overlay");
+            // Queueing behind the firmware is part of the serial model
+            // itself (records can arrive while the previous one is still
+            // being walked); the *devices* see no contention.
+            let nested = des.dma_wait_ns + des.bus_wait_ns + des.intr_wait_ns;
+            assert_eq!(nested, 0, "{mech}: devices never queue uncontended");
+        }
+    }
+
+    #[test]
+    fn latency_histogram_covers_every_record() {
+        let trace = tiny(SplashApp::Fft);
+        let cfg = SimConfig::study(256);
+        let des = run_des_mechanism(Mechanism::Utlb, &trace, &cfg, &DesConfig::zero_contention());
+        assert_eq!(des.latency_ns.count(), trace.records.len() as u64);
+        let per: u64 = des.per_process_latency.iter().map(|(_, h)| h.count()).sum();
+        assert_eq!(per, trace.records.len() as u64);
+        assert!(des.mean_latency_us() > 0.0);
+    }
+
+    #[test]
+    fn payload_load_induces_waits_and_stretches_completion() {
+        let trace = tiny(SplashApp::Radix);
+        let cfg = SimConfig::study(256);
+        let quiet = run_des_mechanism(Mechanism::Utlb, &trace, &cfg, &DesConfig::zero_contention());
+        let loaded = run_des_mechanism(Mechanism::Utlb, &trace, &cfg, &DesConfig::contended(8.0));
+        assert!(loaded.payload_transfers > 0);
+        assert!(loaded.payload_words > 0);
+        assert!(
+            loaded.total_wait_ns() > 0,
+            "heavy payload traffic must queue"
+        );
+        assert!(loaded.des_time_ns >= quiet.des_time_ns);
+        // The serial half is untouched by the overlay.
+        assert_eq!(loaded.base.stats, quiet.base.stats);
+        assert_eq!(loaded.base.sim_time_ns, quiet.base.sim_time_ns);
+    }
+
+    #[test]
+    fn observed_des_run_reconciles_and_records_waits() {
+        let trace = tiny(SplashApp::Water);
+        let cfg = SimConfig::study(128);
+        let mut engine = IntrEngine::new(cfg.intr_config());
+        let (result, obs) =
+            run_des_observed(&mut engine, &trace, &cfg, &DesConfig::contended(4.0), 32);
+        assert!(obs.reconciled, "mismatches: {:?}", obs.mismatches);
+        assert!(obs.metrics.counts.waits > 0, "waits were recorded");
+        assert_eq!(obs.metrics.total_wait_ns(), result.total_wait_ns());
+        assert_eq!(obs.metrics.counts.lookups, result.base.stats.lookups);
+    }
+
+    #[test]
+    fn intr_baseline_queues_on_interrupt_service_not_the_bus() {
+        // The paper's asymmetry, now visible as *where* time queues: the
+        // baseline's misses serialize on host interrupt service and never
+        // touch the DMA path for translations.
+        let trace = tiny(SplashApp::Radix);
+        let cfg = SimConfig::study(64);
+        let des = run_des_mechanism(Mechanism::Intr, &trace, &cfg, &DesConfig::zero_contention());
+        let dma_station = &des.resources[1];
+        assert_eq!(dma_station.name, "dma_engine");
+        assert_eq!(
+            dma_station.stats.arrivals, 0,
+            "no translation-entry DMA in the baseline"
+        );
+        let intr_station = &des.resources[3];
+        assert_eq!(intr_station.name, "intr_service");
+        assert!(intr_station.stats.busy_ns > 0);
+    }
+}

@@ -10,6 +10,7 @@ mod apps;
 mod assoc;
 mod breakdown;
 mod compare;
+mod contention;
 mod micro;
 mod multiprog;
 mod prefetch;
@@ -23,6 +24,10 @@ pub use apps::{table3, Table3};
 pub use assoc::{table8, Organization, Table8};
 pub use breakdown::{fig7, Fig7, FIG7_SIZES};
 pub use compare::{table4, table5, table6, Table45, Table6};
+pub use contention::{
+    bus_contention, interference_des, BusContention, ContentionCell, InterferenceCell,
+    InterferenceDes, CONTENTION_APPS, CONTENTION_LOADS,
+};
 pub use micro::{table1, table2, Table1, Table2};
 pub use multiprog::{multiprog, Multiprog, MultiprogCell};
 pub use prefetch::{fig8, Fig8, FIG8_SIZES, PREFETCH_WIDTHS};

@@ -46,6 +46,7 @@
 
 mod classify;
 mod config;
+mod des_runner;
 pub mod experiments;
 mod observe;
 mod report;
@@ -54,8 +55,9 @@ pub mod sweep;
 
 pub use classify::{MissBreakdown, MissClassifier, MissKind};
 pub use config::{Mechanism, SimConfig};
+pub use des_runner::{run_des, run_des_mechanism, run_des_observed, DesConfig, DesResult};
 pub use observe::ObsReport;
-pub use report::{phase_breakdown, TextTable};
+pub use report::{phase_breakdown, wait_breakdown, TextTable};
 pub use runner::{
     run, run_intr, run_mechanism, run_mechanism_observed, run_observed, run_utlb, SimResult,
 };

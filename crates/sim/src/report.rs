@@ -152,6 +152,32 @@ pub fn phase_breakdown(title: impl Into<String>, m: &Metrics) -> TextTable {
     t
 }
 
+/// Renders the service-vs-wait split of a discrete-event run, one row per
+/// station: how much of each device's involvement was useful occupancy and
+/// how much was queueing delay behind earlier work. Complements
+/// [`phase_breakdown`] (which attributes *serial* cost to phases) with the
+/// contention view only [`run_des`](crate::run_des) can produce.
+pub fn wait_breakdown(title: impl Into<String>, r: &crate::DesResult) -> TextTable {
+    let mut t = TextTable::new(title);
+    t.header([
+        "station",
+        "arrivals",
+        "service us",
+        "wait us",
+        "mean wait us",
+    ]);
+    for res in &r.resources {
+        t.row([
+            res.name.clone(),
+            res.stats.arrivals.to_string(),
+            micros(res.stats.busy_ns as f64 / 1000.0),
+            micros(res.stats.wait_ns as f64 / 1000.0),
+            micros(res.stats.mean_wait_ns() / 1000.0),
+        ]);
+    }
+    t
+}
+
 /// Formats a rate with the paper's two decimal places.
 pub fn rate(x: f64) -> String {
     format!("{x:.2}")
@@ -222,5 +248,31 @@ mod tests {
         let t = phase_breakdown("Empty", &Metrics::new());
         assert_eq!(t.len(), 6);
         assert!(t.to_string().contains("0.00"));
+    }
+
+    #[test]
+    fn wait_breakdown_lists_every_station() {
+        use crate::{run_des_mechanism, DesConfig, Mechanism, SimConfig};
+        use utlb_trace::{gen, GenConfig, SplashApp};
+        let trace = gen::generate(
+            SplashApp::Water,
+            &GenConfig {
+                seed: 21,
+                scale: 0.03,
+                app_processes: 4,
+            },
+        );
+        let r = run_des_mechanism(
+            Mechanism::Utlb,
+            &trace,
+            &SimConfig::study(256),
+            &DesConfig::contended(4.0),
+        );
+        let t = wait_breakdown("Waits", &r);
+        assert_eq!(t.len(), 4, "firmware, dma, bus, intr");
+        let s = t.to_string();
+        for station in ["nic_firmware", "dma_engine", "io_bus", "intr_service"] {
+            assert!(s.contains(station), "{s}");
+        }
     }
 }

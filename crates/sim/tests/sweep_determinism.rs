@@ -2,7 +2,7 @@
 //! a multi-threaded run serializes byte-for-byte identically to a forced
 //! single-threaded (`UTLB_SIM_THREADS=1`) run.
 
-use utlb_sim::experiments::{fig7, table8};
+use utlb_sim::experiments::{bus_contention, fig7, table8};
 use utlb_sim::sweep::THREADS_ENV;
 use utlb_trace::GenConfig;
 
@@ -20,10 +20,14 @@ fn parallel_sweep_is_byte_identical_to_sequential() {
     std::env::set_var(THREADS_ENV, "1");
     let table8_seq = serde_json::to_string(&table8(&cfg)).expect("serialize table 8");
     let fig7_seq = serde_json::to_string(&fig7(&cfg)).expect("serialize figure 7");
+    let contention_seq =
+        serde_json::to_string(&bus_contention(&cfg, 2048)).expect("serialize contention");
 
     std::env::set_var(THREADS_ENV, "4");
     let table8_par = serde_json::to_string(&table8(&cfg)).expect("serialize table 8");
     let fig7_par = serde_json::to_string(&fig7(&cfg)).expect("serialize figure 7");
+    let contention_par =
+        serde_json::to_string(&bus_contention(&cfg, 2048)).expect("serialize contention");
     std::env::remove_var(THREADS_ENV);
 
     assert_eq!(
@@ -34,6 +38,11 @@ fn parallel_sweep_is_byte_identical_to_sequential() {
         fig7_seq, fig7_par,
         "figure 7 must not depend on the worker count"
     );
+    assert_eq!(
+        contention_seq, contention_par,
+        "the DES contention sweep must not depend on the worker count"
+    );
     assert!(table8_seq.contains("\"cells\""));
     assert!(fig7_seq.contains("\"bars\""));
+    assert!(contention_seq.contains("\"payload_load\""));
 }

@@ -27,4 +27,15 @@ cargo test -q --offline -p utlb-core mechanism::
 echo "== observability: no-op probe overhead guard (<10%)"
 cargo run -q --release --offline -p utlb-bench --bin obs_guard -- --scale 0.3
 
+echo "== DES: core unit tests and zero-contention equivalence gate"
+cargo test -q --offline -p utlb-des
+cargo test -q --offline -p utlb-sim des_runner::
+cargo test -q --offline -p utlb-sim --test des_equivalence
+
+echo "== DES: contention experiments (load monotonicity, interference)"
+cargo test -q --offline -p utlb-sim contention::
+
+echo "== DES: replay overhead bench"
+cargo bench -q --offline -p utlb-bench --bench des_replay
+
 echo "CI green."
