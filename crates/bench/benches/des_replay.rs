@@ -20,14 +20,14 @@ fn small_cfg() -> GenConfig {
     }
 }
 
-/// Serial vs DES replay of the same trace under both mechanisms.
+/// Serial vs DES replay of the same trace under all four mechanisms.
 fn bench_des_replay(c: &mut Criterion) {
     let trace = gen::generate_shared(SplashApp::Radix, &small_cfg());
     let sim = SimConfig::study(2048);
     let mut group = c.benchmark_group("des_replay");
     group.sample_size(10);
     group.throughput(Throughput::Elements(trace.records.len() as u64));
-    for mech in [Mechanism::Utlb, Mechanism::Intr] {
+    for mech in Mechanism::ALL {
         group.bench_function(format!("serial_{mech}"), |b| {
             b.iter(|| black_box(run_mechanism(mech, &trace, &sim).sim_time_ns))
         });

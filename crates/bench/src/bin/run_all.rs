@@ -122,10 +122,10 @@ fn obs_pass(gencfg: &GenConfig) {
         .map(|&app| (app, gen::generate_shared(app, gencfg)))
         .collect();
 
-    let all_apps_both_mechs = |cfg: &SimConfig| -> Vec<ObsCell> {
+    let all_apps_all_mechs = |cfg: &SimConfig| -> Vec<ObsCell> {
         let mut cells = Vec::new();
         for tix in 0..traces.len() {
-            for mech in [Mechanism::Utlb, Mechanism::Intr] {
+            for mech in Mechanism::ALL {
                 cells.push((tix, mech, cfg.clone()));
             }
         }
@@ -143,10 +143,10 @@ fn obs_pass(gencfg: &GenConfig) {
         c
     };
     let experiments: Vec<(&str, Vec<ObsCell>)> = vec![
-        ("table4", all_apps_both_mechs(&SimConfig::study(8192))),
+        ("table4", all_apps_all_mechs(&SimConfig::study(8192))),
         (
             "table5",
-            all_apps_both_mechs(&SimConfig::study(8192).limit_mb(4)),
+            all_apps_all_mechs(&SimConfig::study(8192).limit_mb(4)),
         ),
         (
             "table7",
@@ -182,7 +182,7 @@ fn obs_pass(gencfg: &GenConfig) {
                 report,
             }
         });
-        for mech in [Mechanism::Utlb, Mechanism::Intr] {
+        for mech in Mechanism::ALL {
             let mut merged = Metrics::new();
             let mut any = false;
             for run in runs

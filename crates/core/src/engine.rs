@@ -14,10 +14,10 @@
 //! be pinned, and never interrupts the host — the two properties the whole
 //! design exists to provide.
 
-use crate::obs::{Event, EvictReason, Probe, ProbeSlot};
+use crate::obs::{Event, EvictReason, ProbeSlot};
+use crate::pincore::{charge_us, probe_stats_accessors, PinCore};
 use crate::{
-    CacheConfig, CostModel, HierTable, PinBitVector, PinnedSet, Policy, Result, SharedUtlbCache,
-    TranslationStats, UtlbError,
+    CacheConfig, CostModel, HierTable, PinBitVector, Policy, Result, SharedUtlbCache, UtlbError,
 };
 use std::collections::HashMap;
 use utlb_mem::{Host, PhysAddr, ProcessId, VirtAddr, VirtPage};
@@ -207,8 +207,7 @@ pub struct LookupReport {
 struct ProcState {
     bitvec: PinBitVector,
     hier: HierTable,
-    pinned: PinnedSet,
-    stats: TranslationStats,
+    core: PinCore,
 }
 
 /// The Hierarchical-UTLB translation engine.
@@ -250,16 +249,7 @@ impl UtlbEngine {
         })
     }
 
-    /// Attaches an observability probe (see [`crate::obs`]), replacing and
-    /// returning any previous one. Detached engines skip all event work.
-    pub fn set_probe(&mut self, probe: Box<dyn Probe>) -> Option<Box<dyn Probe>> {
-        self.probe.attach(probe)
-    }
-
-    /// Detaches and returns the probe, if one was attached.
-    pub fn take_probe(&mut self) -> Option<Box<dyn Probe>> {
-        self.probe.detach()
-    }
+    probe_stats_accessors!();
 
     /// The engine configuration.
     pub fn config(&self) -> &UtlbConfig {
@@ -298,8 +288,7 @@ impl UtlbEngine {
             ProcState {
                 bitvec: PinBitVector::new(),
                 hier,
-                pinned: PinnedSet::new(self.cfg.policy, self.cfg.seed ^ pid.raw() as u64),
-                stats: TranslationStats::default(),
+                core: PinCore::new(self.cfg.policy, self.cfg.seed, pid),
             },
         );
         Ok(())
@@ -327,26 +316,6 @@ impl UtlbEngine {
         Ok(())
     }
 
-    /// Per-process statistics.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`UtlbError::UnregisteredProcess`] if `pid` is unknown.
-    pub fn stats(&self, pid: ProcessId) -> Result<TranslationStats> {
-        self.procs
-            .get(&pid)
-            .map(|s| s.stats)
-            .ok_or(UtlbError::UnregisteredProcess(pid))
-    }
-
-    /// Statistics summed over all processes.
-    pub fn aggregate_stats(&self) -> TranslationStats {
-        self.procs
-            .values()
-            .map(|s| s.stats)
-            .fold(TranslationStats::default(), |a, b| a + b)
-    }
-
     /// Marks the pages of a buffer as held by an outstanding send so the
     /// replacement policy cannot unpin them mid-transfer (§3.1).
     ///
@@ -359,7 +328,7 @@ impl UtlbEngine {
             .get_mut(&pid)
             .ok_or(UtlbError::UnregisteredProcess(pid))?;
         for p in start.range(npages) {
-            state.pinned.hold(p);
+            state.core.pinned.hold(p);
         }
         Ok(())
     }
@@ -375,7 +344,7 @@ impl UtlbEngine {
             .get_mut(&pid)
             .ok_or(UtlbError::UnregisteredProcess(pid))?;
         for p in start.range(npages) {
-            state.pinned.release(p);
+            state.core.pinned.release(p);
         }
         Ok(())
     }
@@ -421,39 +390,49 @@ impl UtlbEngine {
         pid: ProcessId,
         page: VirtPage,
     ) -> Result<PhysAddr> {
-        let cost = self.cfg.cost.clone();
+        // Disjoint borrows: the process state, the shared cache, and the
+        // probe are all live across the miss path.
+        let UtlbEngine {
+            cfg,
+            cache,
+            procs,
+            probe,
+        } = self;
+        let cost = &cfg.cost;
         let t0 = board.clock.now();
-        {
-            let state = self
-                .procs
-                .get_mut(&pid)
-                .ok_or(UtlbError::UnregisteredProcess(pid))?;
-            state.stats.lookups += 1;
-        }
-        Self::charge_us(board, cost.ni_check_us);
-        if let Some(phys) = self.cache.lookup(pid, page) {
+        let state = procs
+            .get_mut(&pid)
+            .ok_or(UtlbError::UnregisteredProcess(pid))?;
+        state.core.stats.lookups += 1;
+        charge_us(board, cost.ni_check_us);
+        if let Some(phys) = cache.lookup(pid, page) {
             let ns = (board.clock.now() - t0).as_nanos();
-            self.probe.emit(pid, Event::Lookup { ns });
+            probe.emit(pid, Event::Lookup { ns });
             return Ok(phys);
         }
         // Miss path: check the table; a garbage entry means the page was
         // never pinned — fall back to interrupting the host.
-        Self::charge_us(board, cost.directory_ref_us);
-        let needs_pin = {
-            let state = self.procs.get_mut(&pid).expect("registered");
-            state.hier.read_entry(page, host.physical(), &board.sram)? == state.hier.garbage()
-        };
+        charge_us(board, cost.directory_ref_us);
+        let needs_pin =
+            state.hier.read_entry(page, host.physical(), &board.sram)? == state.hier.garbage();
         if needs_pin {
             let intr_cost = board.intr.raise(&mut board.clock);
-            self.probe.emit(
+            probe.emit(
                 pid,
                 Event::Interrupt {
                     ns: intr_cost.as_nanos(),
                 },
             );
-            Self::charge_us(board, cost.kernel_pin_cost(1));
-            let pinned = host.driver_pin(pid, page, 1)?;
-            let state = self.procs.get_mut(&pid).expect("registered");
+            state.core.stats.interrupts += 1;
+            let pinned = state.core.pin(
+                host,
+                board,
+                pid,
+                page,
+                1,
+                cost.kernel_pin_cost(1),
+                &mut |ev| probe.emit(pid, ev),
+            )?;
             state.hier.install(
                 page,
                 pinned[0].phys_addr(),
@@ -461,26 +440,17 @@ impl UtlbEngine {
                 &mut board.sram,
             )?;
             state.bitvec.set(page);
-            state.pinned.insert(page);
-            state.stats.interrupts += 1;
-            state.stats.pins += 1;
-            state.stats.pin_calls += 1;
-            let pin_ns = (cost.kernel_pin_cost(1) * 1000.0) as u64;
-            state.stats.pin_time_ns += pin_ns;
-            self.probe.emit(pid, Event::Pin { run: 1, ns: pin_ns });
         }
-        let state = self.procs.get_mut(&pid).expect("registered");
-        state.stats.ni_misses += 1;
-        self.probe.emit(pid, Event::NiMiss);
-        let state = self.procs.get_mut(&pid).expect("registered");
+        state.core.stats.ni_misses += 1;
+        probe.emit(pid, Event::NiMiss);
         let entry_addr = state
             .hier
             .entry_addr(page, &board.sram)?
             .expect("installed above or already present");
         let Board { dma, clock, .. } = board;
         let (words, dma_cost) = dma.fetch_words_timed(clock, host.physical(), entry_addr, 1)?;
-        state.stats.entries_fetched += 1;
-        self.probe.emit(
+        state.core.stats.entries_fetched += 1;
+        probe.emit(
             pid,
             Event::DmaFetch {
                 entries: 1,
@@ -488,8 +458,8 @@ impl UtlbEngine {
             },
         );
         let phys = PhysAddr::new(words[0]);
-        if self.cache.insert(pid, page, phys).is_some() {
-            self.probe.emit(
+        if cache.insert(pid, page, phys).is_some() {
+            probe.emit(
                 pid,
                 Event::Evict {
                     reason: EvictReason::CacheConflict,
@@ -497,7 +467,7 @@ impl UtlbEngine {
             );
         }
         let ns = (board.clock.now() - t0).as_nanos();
-        self.probe.emit(pid, Event::Lookup { ns });
+        probe.emit(pid, Event::Lookup { ns });
         Ok(phys)
     }
 
@@ -530,10 +500,6 @@ impl UtlbEngine {
         })
     }
 
-    fn charge_us(board: &mut Board, us: f64) {
-        board.clock.advance(Nanos::from_micros(us));
-    }
-
     fn lookup_page(
         &mut self,
         host: &mut Host,
@@ -544,24 +510,24 @@ impl UtlbEngine {
         let cost = self.cfg.cost.clone();
         let t0 = board.clock.now();
         let state = self.procs.get_mut(&pid).expect("checked by caller");
-        state.stats.lookups += 1;
+        state.core.stats.lookups += 1;
 
         // 1. User-level check against the pin bitmap (Figure 2 step 1).
-        Self::charge_us(board, cost.user_check_us);
+        charge_us(board, cost.user_check_us);
         let check = state.bitvec.check_run(page, 1);
         let check_miss = !check.is_hit();
 
         if check_miss {
-            state.stats.check_misses += 1;
+            state.core.stats.check_misses += 1;
             self.probe.emit(pid, Event::CheckMiss);
             self.pin_run(host, board, pid, page)?;
         }
 
         let state = self.procs.get_mut(&pid).expect("still registered");
-        state.pinned.touch(page);
+        state.core.pinned.touch(page);
 
         // 2. NIC-side resolution (Figure 2 NIC steps 1–2).
-        Self::charge_us(board, cost.ni_check_us);
+        charge_us(board, cost.ni_check_us);
         let (phys, ni_miss) = match self.cache.lookup(pid, page) {
             Some(phys) => (phys, false),
             None => {
@@ -571,7 +537,7 @@ impl UtlbEngine {
         };
         let state = self.procs.get_mut(&pid).expect("still registered");
         if ni_miss {
-            state.stats.ni_misses += 1;
+            state.core.stats.ni_misses += 1;
             self.probe.emit(pid, Event::NiMiss);
         }
         let ns = (board.clock.now() - t0).as_nanos();
@@ -594,22 +560,29 @@ impl UtlbEngine {
         pid: ProcessId,
         page: VirtPage,
     ) -> Result<()> {
-        let cost = self.cfg.cost.clone();
-        let state = self.procs.get_mut(&pid).expect("checked by caller");
+        let UtlbEngine {
+            cfg,
+            cache,
+            procs,
+            probe,
+        } = self;
+        let cost = &cfg.cost;
+        let state = procs.get_mut(&pid).expect("checked by caller");
+        let mut sink = |ev: Event| probe.emit(pid, ev);
 
         // Length of the contiguous unpinned run, capped by the prepin width.
         let mut run = 0u64;
-        while run < self.cfg.prepin && !state.bitvec.is_set(page.offset(run)) {
+        while run < cfg.prepin && !state.bitvec.is_set(page.offset(run)) {
             run += 1;
         }
         debug_assert!(run >= 1, "called on a check miss");
 
         // Make room under the pinned-memory limit.
-        if let Some(limit) = self.cfg.mem_limit_pages {
-            let pinned = state.pinned.len() as u64;
+        if let Some(limit) = cfg.mem_limit_pages {
+            let pinned = state.core.pinned.len() as u64;
             if pinned + run > limit {
-                let mut deficit = (pinned + run).saturating_sub(limit);
-                let victims = state.pinned.select_victims(deficit as usize);
+                let deficit = (pinned + run).saturating_sub(limit);
+                let victims = state.core.pinned.select_victims(deficit as usize);
                 if victims.is_empty() && pinned >= limit {
                     // Cannot pin even the demanded page.
                     return Err(UtlbError::NoEvictableVictim(pid));
@@ -619,42 +592,31 @@ impl UtlbEngine {
                 if (victims.len() as u64) < deficit {
                     let shortfall = deficit - victims.len() as u64;
                     run = run.saturating_sub(shortfall).max(1);
-                    deficit = victims.len() as u64;
                 }
-                let _ = deficit;
                 for victim in victims {
                     // Unpinning is one page at a time (§6.5).
-                    let unpin_us = cost.unpin_cost(1);
-                    Self::charge_us(board, unpin_us);
-                    host.driver_unpin(pid, victim)?;
-                    let state = self.procs.get_mut(&pid).expect("registered");
+                    state.core.unpin(
+                        host,
+                        board,
+                        pid,
+                        victim,
+                        cost.unpin_cost(1),
+                        EvictReason::MemLimit,
+                        &mut sink,
+                    )?;
                     state.bitvec.clear(victim);
-                    state.pinned.remove(victim);
                     state
                         .hier
                         .invalidate(victim, host.physical_mut(), &board.sram)?;
-                    self.cache.invalidate(pid, victim);
-                    let state = self.procs.get_mut(&pid).expect("registered");
-                    state.stats.unpins += 1;
-                    state.stats.unpin_calls += 1;
-                    let unpin_ns = (unpin_us * 1000.0) as u64;
-                    state.stats.unpin_time_ns += unpin_ns;
-                    self.probe.emit(
-                        pid,
-                        Event::Evict {
-                            reason: EvictReason::MemLimit,
-                        },
-                    );
-                    self.probe.emit(pid, Event::Unpin { ns: unpin_ns });
+                    cache.invalidate(pid, victim);
                 }
             }
         }
 
         // One ioctl pins the whole run (Figure 2 step 2).
-        let pin_us = cost.pin_cost(run);
-        Self::charge_us(board, pin_us);
-        let pinned = host.driver_pin(pid, page, run)?;
-        let state = self.procs.get_mut(&pid).expect("registered");
+        let pinned = state
+            .core
+            .pin(host, board, pid, page, run, cost.pin_cost(run), &mut sink)?;
         for p in &pinned {
             state.hier.install(
                 p.page(),
@@ -663,19 +625,7 @@ impl UtlbEngine {
                 &mut board.sram,
             )?;
             state.bitvec.set(p.page());
-            state.pinned.insert(p.page());
         }
-        state.stats.pins += pinned.len() as u64;
-        state.stats.pin_calls += 1;
-        let pin_ns = (pin_us * 1000.0) as u64;
-        state.stats.pin_time_ns += pin_ns;
-        self.probe.emit(
-            pid,
-            Event::Pin {
-                run: pinned.len() as u64,
-                ns: pin_ns,
-            },
-        );
         Ok(())
     }
 
@@ -690,31 +640,35 @@ impl UtlbEngine {
         pid: ProcessId,
         page: VirtPage,
     ) -> Result<PhysAddr> {
-        let cost = self.cfg.cost.clone();
-        Self::charge_us(board, cost.directory_ref_us);
+        let UtlbEngine {
+            cfg,
+            cache,
+            procs,
+            probe,
+        } = self;
+        let cost = &cfg.cost;
+        charge_us(board, cost.directory_ref_us);
 
-        let state = self.procs.get_mut(&pid).expect("checked by caller");
+        let state = procs.get_mut(&pid).expect("checked by caller");
         // Swapped-out second-level table: the NIC interrupts the host to
         // bring it back (§3.3) — the one interrupt UTLB can ever take.
         if state.hier.entry_addr(page, &board.sram)?.is_none() {
             let intr_cost = board.intr.raise(&mut board.clock);
-            state.stats.interrupts += 1;
-            self.probe.emit(
+            state.core.stats.interrupts += 1;
+            probe.emit(
                 pid,
                 Event::Interrupt {
                     ns: intr_cost.as_nanos(),
                 },
             );
-            let state = self.procs.get_mut(&pid).expect("checked by caller");
             let (phys, swap) = host.phys_and_swap();
             let swapped_in = state.hier.swap_in(page, phys, &mut board.sram, swap)?;
             if !swapped_in || state.hier.entry_addr(page, &board.sram)?.is_none() {
                 return Err(UtlbError::ProtocolViolation { pid, page });
             }
-            self.probe.emit(pid, Event::SwapIn);
+            probe.emit(pid, Event::SwapIn);
         }
 
-        let state = self.procs.get_mut(&pid).expect("checked by caller");
         let entry_addr = state
             .hier
             .entry_addr(page, &board.sram)?
@@ -723,11 +677,11 @@ impl UtlbEngine {
         // Fetch up to `prefetch` consecutive entries, not crossing the leaf
         // (one DMA must stay within one second-level table).
         let leaf_remaining = crate::hier::LEAF_ENTRIES - page.number() % crate::hier::LEAF_ENTRIES;
-        let fetch = self.cfg.prefetch.min(leaf_remaining);
+        let fetch = cfg.prefetch.min(leaf_remaining);
         let Board { dma, clock, .. } = board;
         let (words, dma_cost) = dma.fetch_words_timed(clock, host.physical(), entry_addr, fetch)?;
-        state.stats.entries_fetched += fetch;
-        self.probe.emit(
+        state.core.stats.entries_fetched += fetch;
+        probe.emit(
             pid,
             Event::DmaFetch {
                 entries: fetch,
@@ -735,25 +689,23 @@ impl UtlbEngine {
             },
         );
 
-        let state = self.procs.get_mut(&pid).expect("checked by caller");
         let garbage = state.hier.garbage().raw();
         let first = PhysAddr::new(words[0]);
         if words[0] == garbage {
             return Err(UtlbError::ProtocolViolation { pid, page });
         }
         for (i, w) in words.into_iter().enumerate() {
-            if w != garbage {
-                let evicted = self
-                    .cache
-                    .insert(pid, page.offset(i as u64), PhysAddr::new(w));
-                if evicted.is_some() {
-                    self.probe.emit(
-                        pid,
-                        Event::Evict {
-                            reason: EvictReason::CacheConflict,
-                        },
-                    );
-                }
+            if w != garbage
+                && cache
+                    .insert(pid, page.offset(i as u64), PhysAddr::new(w))
+                    .is_some()
+            {
+                probe.emit(
+                    pid,
+                    Event::Evict {
+                        reason: EvictReason::CacheConflict,
+                    },
+                );
             }
         }
         Ok(first)

@@ -15,12 +15,13 @@
 //! and the free list must be managed.
 
 use crate::lookup::{UserLookupTree, UtlbIndex};
-use crate::obs::{Event, EvictReason, Probe, ProbeSlot};
-use crate::policy::{PinnedSet, Policy};
-use crate::{CacheConfig, CostModel, Result, SharedUtlbCache, TranslationStats, UtlbError};
+use crate::obs::{Event, EvictReason, ProbeSlot};
+use crate::pincore::{charge_us, probe_stats_accessors, PinCore};
+use crate::policy::Policy;
+use crate::{CacheConfig, CostModel, PageOutcome, Result, SharedUtlbCache, UtlbError};
 use std::collections::HashMap;
 use utlb_mem::{FrameId, Host, PhysAddr, ProcessId, VirtPage, PAGE_SIZE};
-use utlb_nic::{Board, Nanos};
+use utlb_nic::Board;
 
 /// Configuration of an [`IndexedEngine`].
 #[derive(Debug, Clone)]
@@ -57,8 +58,7 @@ struct ProcState {
     /// Which vpn occupies each slot (for eviction bookkeeping).
     slot_owner: HashMap<u32, VirtPage>,
     free: Vec<u32>,
-    pinned: PinnedSet,
-    stats: TranslationStats,
+    core: PinCore,
 }
 
 /// The §3.2 engine: host-resident index-keyed tables + shared NIC cache.
@@ -84,16 +84,7 @@ impl IndexedEngine {
         }
     }
 
-    /// Attaches an observability probe (see [`crate::obs`]), replacing and
-    /// returning any previous one.
-    pub fn set_probe(&mut self, probe: Box<dyn Probe>) -> Option<Box<dyn Probe>> {
-        self.probe.attach(probe)
-    }
-
-    /// Detaches and returns the probe, if one was attached.
-    pub fn take_probe(&mut self) -> Option<Box<dyn Probe>> {
-        self.probe.detach()
-    }
+    probe_stats_accessors!();
 
     /// The shared NIC cache.
     pub fn cache(&self) -> &SharedUtlbCache {
@@ -103,11 +94,20 @@ impl IndexedEngine {
     /// Registers `pid`, allocating its flat table in host memory and
     /// initializing every slot with the garbage address (§4.2).
     ///
+    /// The table lives in host DRAM, so `_board` is unused — the parameter
+    /// exists so the signature matches every other engine's and the
+    /// [`TranslationMechanism`](crate::TranslationMechanism) impl is direct.
+    ///
     /// # Errors
     ///
     /// Returns [`UtlbError::AlreadyRegistered`] on duplicates; propagates
     /// frame allocation failures.
-    pub fn register_process(&mut self, host: &mut Host, pid: ProcessId) -> Result<()> {
+    pub fn register_process(
+        &mut self,
+        host: &mut Host,
+        _board: &mut Board,
+        pid: ProcessId,
+    ) -> Result<()> {
         if self.procs.contains_key(&pid) {
             return Err(UtlbError::AlreadyRegistered(pid));
         }
@@ -129,23 +129,34 @@ impl IndexedEngine {
                 tree: UserLookupTree::new(),
                 slot_owner: HashMap::new(),
                 free: (0..self.cfg.table_entries as u32).rev().collect(),
-                pinned: PinnedSet::new(self.cfg.policy, self.cfg.seed ^ pid.raw() as u64),
-                stats: TranslationStats::default(),
+                core: PinCore::new(self.cfg.policy, self.cfg.seed, pid),
             },
         );
         Ok(())
     }
 
-    /// Per-process statistics.
+    /// Removes `pid`: unpins everything it had pinned, drops its cache
+    /// lines, and returns its table frames to the host allocator.
     ///
     /// # Errors
     ///
-    /// Returns [`UtlbError::UnregisteredProcess`] if unknown.
-    pub fn stats(&self, pid: ProcessId) -> Result<TranslationStats> {
-        self.procs
-            .get(&pid)
-            .map(|s| s.stats)
-            .ok_or(UtlbError::UnregisteredProcess(pid))
+    /// Returns [`UtlbError::UnregisteredProcess`] if `pid` is unknown.
+    pub fn unregister_process(
+        &mut self,
+        host: &mut Host,
+        _board: &mut Board,
+        pid: ProcessId,
+    ) -> Result<()> {
+        let state = self
+            .procs
+            .remove(&pid)
+            .ok_or(UtlbError::UnregisteredProcess(pid))?;
+        self.cache.invalidate_process(pid);
+        for f in state.table_frames {
+            host.physical_mut().free_frame(f);
+        }
+        host.driver_mut().pins_mut().release_process(pid);
+        Ok(())
     }
 
     /// Host physical address of table entry `index`.
@@ -187,10 +198,6 @@ impl IndexedEngine {
         Ok(broken as f64 / adjacent as f64)
     }
 
-    fn charge_us(board: &mut Board, us: f64) {
-        board.clock.advance(Nanos::from_micros(us));
-    }
-
     /// Translates one page: user-level tree lookup for the index, then a
     /// Shared UTLB-Cache probe keyed by `(pid, index)`, with a host-table
     /// DMA on a miss.
@@ -205,134 +212,123 @@ impl IndexedEngine {
         board: &mut Board,
         pid: ProcessId,
         page: VirtPage,
-    ) -> Result<PhysAddr> {
-        let cost = self.cfg.cost.clone();
-        let table_entries = self.cfg.table_entries;
+    ) -> Result<PageOutcome> {
+        // Destructure so the process state, the shared cache, and the probe
+        // are disjoint borrows for the whole miss path.
+        let IndexedEngine {
+            cfg,
+            cache,
+            procs,
+            probe,
+        } = self;
+        let cost = cfg.cost.clone();
         let t0 = board.clock.now();
-        // The slot-claim loop re-fetches the process state, so events are
-        // buffered and flushed at the end (no allocation when detached).
-        let probe_on = self.probe.is_attached();
+        let probe_on = probe.is_attached();
         let mut events: Vec<Event> = Vec::new();
-        let state = self
-            .procs
+        let mut sink = |ev: Event| {
+            if probe_on {
+                events.push(ev);
+            }
+        };
+        let state = procs
             .get_mut(&pid)
             .ok_or(UtlbError::UnregisteredProcess(pid))?;
-        state.stats.lookups += 1;
+        state.core.stats.lookups += 1;
 
         // User level: vpn → index (two memory references).
-        Self::charge_us(board, cost.user_check_us);
-        let index =
-            match state.tree.lookup(page) {
-                Some(ix) => ix,
-                None => {
-                    state.stats.check_misses += 1;
-                    if probe_on {
-                        events.push(Event::CheckMiss);
-                    }
-                    // Claim a slot, evicting under capacity pressure. Each
-                    // iteration re-fetches the process state so the borrow does
-                    // not overlap the cache invalidation.
-                    let slot =
-                        loop {
-                            let state = self.procs.get_mut(&pid).expect("registered");
-                            if let Some(s) = state.free.pop() {
-                                break UtlbIndex(s);
-                            }
-                            let victim = state.pinned.select_victims(1).pop().ok_or(
-                                UtlbError::TableFull {
-                                    pid,
-                                    capacity: table_entries,
-                                },
-                            )?;
-                            let victim_ix = state
-                                .tree
-                                .invalidate(victim)
-                                .expect("pinned pages are indexed");
-                            let addr = Self::entry_addr(state, victim_ix);
-                            let garbage = host.driver().garbage_addr().raw();
-                            host.physical_mut().write_u64(addr, garbage)?;
-                            self.cache
-                                .invalidate(pid, VirtPage::new(victim_ix.0 as u64));
-                            let unpin_us = cost.unpin_cost(1);
-                            Self::charge_us(board, unpin_us);
-                            host.driver_unpin(pid, victim)?;
-                            let state = self.procs.get_mut(&pid).expect("registered");
-                            state.pinned.remove(victim);
-                            state.stats.unpins += 1;
-                            state.stats.unpin_calls += 1;
-                            state.free.push(victim_ix.0);
-                            if probe_on {
-                                events.push(Event::Evict {
-                                    reason: EvictReason::TableFull,
-                                });
-                                events.push(Event::Unpin {
-                                    ns: (unpin_us * 1000.0) as u64,
-                                });
-                            }
-                        };
-                    // Pin and install at the chosen slot.
-                    Self::charge_us(board, cost.pin_cost(1));
-                    let pinned = host.driver_pin(pid, page, 1)?;
-                    let state = self.procs.get_mut(&pid).expect("registered");
-                    let addr = Self::entry_addr(state, slot);
-                    host.physical_mut()
-                        .write_u64(addr, pinned[0].phys_addr().raw())?;
-                    state.tree.install(page, slot);
-                    state.slot_owner.insert(slot.0, page);
-                    state.pinned.insert(page);
-                    state.stats.pins += 1;
-                    state.stats.pin_calls += 1;
-                    let pin_ns = (cost.pin_cost(1) * 1000.0) as u64;
-                    state.stats.pin_time_ns += pin_ns;
-                    if probe_on {
-                        events.push(Event::Pin { run: 1, ns: pin_ns });
-                    }
-                    slot
-                }
-            };
-        let state = self.procs.get_mut(&pid).expect("registered");
-        state.pinned.touch(page);
+        charge_us(board, cost.user_check_us);
+        let (index, check_miss) = match state.tree.lookup(page) {
+            Some(ix) => (ix, false),
+            None => {
+                state.core.stats.check_misses += 1;
+                sink(Event::CheckMiss);
+                // Claim a slot, evicting under capacity pressure.
+                let slot =
+                    loop {
+                        if let Some(s) = state.free.pop() {
+                            break UtlbIndex(s);
+                        }
+                        let victim = state.core.pinned.select_victims(1).pop().ok_or(
+                            UtlbError::TableFull {
+                                pid,
+                                capacity: cfg.table_entries,
+                            },
+                        )?;
+                        let victim_ix = state
+                            .tree
+                            .invalidate(victim)
+                            .expect("pinned pages are indexed");
+                        let addr = Self::entry_addr(state, victim_ix);
+                        let garbage = host.driver().garbage_addr().raw();
+                        host.physical_mut().write_u64(addr, garbage)?;
+                        cache.invalidate(pid, VirtPage::new(victim_ix.0 as u64));
+                        state.core.unpin(
+                            host,
+                            board,
+                            pid,
+                            victim,
+                            cost.unpin_cost(1),
+                            EvictReason::TableFull,
+                            &mut sink,
+                        )?;
+                        state.slot_owner.remove(&victim_ix.0);
+                        state.free.push(victim_ix.0);
+                    };
+                // Pin and install at the chosen slot.
+                let pinned =
+                    state
+                        .core
+                        .pin(host, board, pid, page, 1, cost.pin_cost(1), &mut sink)?;
+                let addr = Self::entry_addr(state, slot);
+                host.physical_mut()
+                    .write_u64(addr, pinned[0].phys_addr().raw())?;
+                state.tree.install(page, slot);
+                state.slot_owner.insert(slot.0, page);
+                (slot, true)
+            }
+        };
+        state.core.pinned.touch(page);
 
         // NIC level: the cache is keyed by the *index*, not the vpn
         // (Figure 3's "UTLB index tag" + "process tag" line format).
-        Self::charge_us(board, cost.ni_check_us);
+        charge_us(board, cost.ni_check_us);
         let key = VirtPage::new(index.0 as u64);
-        if let Some(phys) = self.cache.lookup(pid, key) {
-            if probe_on {
-                for ev in events {
-                    self.probe.emit(pid, ev);
+        let (phys, ni_miss) = match cache.lookup(pid, key) {
+            Some(phys) => (phys, false),
+            None => {
+                // Miss: DMA the entry from the host-resident table.
+                state.core.stats.ni_misses += 1;
+                state.core.stats.entries_fetched += 1;
+                let addr = Self::entry_addr(state, index);
+                let Board { dma, clock, .. } = board;
+                let (words, dma_cost) = dma.fetch_words_timed(clock, host.physical(), addr, 1)?;
+                let phys = PhysAddr::new(words[0]);
+                if cache.insert(pid, key, phys).is_some() {
+                    sink(Event::Evict {
+                        reason: EvictReason::CacheConflict,
+                    });
                 }
-                let ns = (board.clock.now() - t0).as_nanos();
-                self.probe.emit(pid, Event::Lookup { ns });
+                sink(Event::NiMiss);
+                sink(Event::DmaFetch {
+                    entries: 1,
+                    ns: dma_cost.as_nanos(),
+                });
+                (phys, true)
             }
-            return Ok(phys);
-        }
-        // Miss: DMA the entry from the host-resident table.
-        let state = self.procs.get_mut(&pid).expect("registered");
-        state.stats.ni_misses += 1;
-        state.stats.entries_fetched += 1;
-        let addr = Self::entry_addr(state, index);
-        let Board { dma, clock, .. } = board;
-        let (words, dma_cost) = dma.fetch_words_timed(clock, host.physical(), addr, 1)?;
-        let phys = PhysAddr::new(words[0]);
-        if self.cache.insert(pid, key, phys).is_some() && probe_on {
-            events.push(Event::Evict {
-                reason: EvictReason::CacheConflict,
-            });
-        }
+        };
         if probe_on {
-            events.push(Event::NiMiss);
-            events.push(Event::DmaFetch {
-                entries: 1,
-                ns: dma_cost.as_nanos(),
-            });
             for ev in events {
-                self.probe.emit(pid, ev);
+                probe.emit(pid, ev);
             }
             let ns = (board.clock.now() - t0).as_nanos();
-            self.probe.emit(pid, Event::Lookup { ns });
+            probe.emit(pid, Event::Lookup { ns });
         }
-        Ok(phys)
+        Ok(PageOutcome {
+            page,
+            phys,
+            check_miss,
+            ni_miss,
+        })
     }
 }
 
@@ -345,14 +341,14 @@ mod tests {
         cache_entries: usize,
     ) -> (Host, Board, IndexedEngine, ProcessId) {
         let mut host = Host::new(1 << 14);
-        let board = Board::new();
+        let mut board = Board::new();
         let mut engine = IndexedEngine::new(IndexedConfig {
             cache: CacheConfig::direct(cache_entries),
             table_entries,
             ..IndexedConfig::default()
         });
         let pid = host.spawn_process();
-        engine.register_process(&mut host, pid).unwrap();
+        engine.register_process(&mut host, &mut board, pid).unwrap();
         (host, board, engine, pid)
     }
 
@@ -361,15 +357,17 @@ mod tests {
         let (mut host, mut board, mut engine, pid) = setup(64, 32);
         let va = utlb_mem::VirtAddr::new(0x30_0000);
         host.process_mut(pid).unwrap().write(va, b"ix").unwrap();
-        let pa1 = engine
+        let o1 = engine
             .lookup(&mut host, &mut board, pid, va.page())
             .unwrap();
-        let pa2 = engine
+        let o2 = engine
             .lookup(&mut host, &mut board, pid, va.page())
             .unwrap();
-        assert_eq!(pa1, pa2);
+        assert_eq!(o1.phys, o2.phys);
+        assert!(o1.ni_miss && o1.check_miss);
+        assert!(!o2.ni_miss && !o2.check_miss);
         let mut buf = [0u8; 2];
-        host.physical().read(pa1, &mut buf).unwrap();
+        host.physical().read(o1.phys, &mut buf).unwrap();
         assert_eq!(&buf, b"ix");
         let s = engine.stats(pid).unwrap();
         assert_eq!(s.ni_misses, 1, "second lookup hits the shared cache");
@@ -386,6 +384,7 @@ mod tests {
         }
         let s = engine.stats(pid).unwrap();
         assert_eq!(s.unpins, 1, "third page evicts the LRU slot");
+        assert!(s.unpin_time_ns > 0, "unpin work is time-accounted");
         assert!(!host.driver().pins().is_pinned(pid, VirtPage::new(0)));
         // Page 0 must translate freshly (slot was recycled for page 2).
         let r = engine
@@ -398,7 +397,7 @@ mod tests {
             .translate(VirtPage::new(0))
             .unwrap()
             .base();
-        assert_eq!(r, expect, "recycled slot must not alias the old page");
+        assert_eq!(r.phys, expect, "recycled slot must not alias the old page");
     }
 
     #[test]
@@ -435,25 +434,49 @@ mod tests {
         });
         let p1 = host.spawn_process();
         let p2 = host.spawn_process();
-        engine.register_process(&mut host, p1).unwrap();
-        engine.register_process(&mut host, p2).unwrap();
+        engine.register_process(&mut host, &mut board, p1).unwrap();
+        engine.register_process(&mut host, &mut board, p2).unwrap();
         // Both processes use index 0 for different pages.
         let va = utlb_mem::VirtAddr::new(0x40_0000);
         host.process_mut(p1).unwrap().write(va, b"p1").unwrap();
         host.process_mut(p2).unwrap().write(va, b"p2").unwrap();
         let a = engine.lookup(&mut host, &mut board, p1, va.page()).unwrap();
         let b = engine.lookup(&mut host, &mut board, p2, va.page()).unwrap();
-        assert_ne!(a, b, "process tag must disambiguate identical indices");
+        assert_ne!(
+            a.phys, b.phys,
+            "process tag must disambiguate identical indices"
+        );
         let mut b1 = [0u8; 2];
-        host.physical().read(a, &mut b1).unwrap();
+        host.physical().read(a.phys, &mut b1).unwrap();
         assert_eq!(&b1, b"p1");
+    }
+
+    #[test]
+    fn unregister_frees_table_frames_and_pins() {
+        let (mut host, mut board, mut engine, pid) = setup(64, 32);
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(3))
+            .unwrap();
+        assert!(host.driver().pins().pinned_pages(pid) > 0);
+        let free_before = host.physical().allocator().free_frames();
+        engine
+            .unregister_process(&mut host, &mut board, pid)
+            .unwrap();
+        assert_eq!(host.driver().pins().pinned_pages(pid), 0);
+        assert!(
+            host.physical().allocator().free_frames() > free_before,
+            "host-resident table frames are reclaimed"
+        );
+        assert!(engine
+            .unregister_process(&mut host, &mut board, pid)
+            .is_err());
     }
 
     #[test]
     fn unknown_and_duplicate_process_errors() {
         let (mut host, mut board, mut engine, pid) = setup(8, 32);
         assert!(matches!(
-            engine.register_process(&mut host, pid),
+            engine.register_process(&mut host, &mut board, pid),
             Err(UtlbError::AlreadyRegistered(_))
         ));
         assert!(matches!(

@@ -12,7 +12,8 @@
 //! study assumes "the cache structures are the same for both cases".
 
 use crate::obs::{Event, EvictReason, Probe, ProbeSlot};
-use crate::policy::{PinnedSet, Policy};
+use crate::pincore::{aggregate, charge_us, PinCore};
+use crate::policy::Policy;
 use crate::{CacheConfig, CostModel, Result, SharedUtlbCache, TranslationStats, UtlbError};
 use std::collections::HashMap;
 use utlb_mem::{Host, PhysAddr, ProcessId, VirtPage};
@@ -42,14 +43,6 @@ impl Default for IntrConfig {
     }
 }
 
-#[derive(Debug)]
-struct ProcState {
-    /// Pinned pages — by the invariant of this design, exactly the pages
-    /// with a live line in the NIC cache.
-    pinned: PinnedSet,
-    stats: TranslationStats,
-}
-
 /// Outcome of one interrupt-based lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IntrOutcome {
@@ -62,11 +55,15 @@ pub struct IntrOutcome {
 }
 
 /// The interrupt-based translation engine.
+///
+/// The entire per-process state is one [`PinCore`]: by the invariant of this
+/// design, the pinned pages are exactly the pages with a live line in the
+/// NIC cache — there is no per-process translation structure to keep.
 #[derive(Debug)]
 pub struct IntrEngine {
     cfg: IntrConfig,
     cache: SharedUtlbCache,
-    procs: HashMap<ProcessId, ProcState>,
+    procs: HashMap<ProcessId, PinCore>,
     probe: ProbeSlot,
 }
 
@@ -121,15 +118,10 @@ impl IntrEngine {
         host.driver_mut()
             .pins_mut()
             .set_limit(pid, self.cfg.mem_limit_pages);
-        self.procs.insert(
-            pid,
-            ProcState {
-                // LRU over cached translations, matching the cache's own
-                // within-set LRU as closely as a global policy can.
-                pinned: PinnedSet::new(Policy::Lru, self.cfg.seed ^ pid.raw() as u64),
-                stats: TranslationStats::default(),
-            },
-        );
+        // LRU over cached translations, matching the cache's own within-set
+        // LRU as closely as a global policy can.
+        self.procs
+            .insert(pid, PinCore::new(Policy::Lru, self.cfg.seed, pid));
         Ok(())
     }
 
@@ -161,39 +153,13 @@ impl IntrEngine {
     pub fn stats(&self, pid: ProcessId) -> Result<TranslationStats> {
         self.procs
             .get(&pid)
-            .map(|s| s.stats)
+            .map(|c| c.stats)
             .ok_or(UtlbError::UnregisteredProcess(pid))
     }
 
     /// Statistics summed over all processes.
     pub fn aggregate_stats(&self) -> TranslationStats {
-        self.procs
-            .values()
-            .map(|s| s.stats)
-            .fold(TranslationStats::default(), |a, b| a + b)
-    }
-
-    fn charge_us(board: &mut Board, us: f64) {
-        board.clock.advance(Nanos::from_micros(us));
-    }
-
-    fn unpin_page(
-        &mut self,
-        host: &mut Host,
-        pid: ProcessId,
-        page: VirtPage,
-        unpin_us: f64,
-    ) -> Result<()> {
-        host.driver_unpin(pid, page)?;
-        self.cache.invalidate(pid, page);
-        let state = self.procs.get_mut(&pid).expect("registered");
-        state.pinned.remove(page);
-        state.stats.unpins += 1;
-        state.stats.unpin_calls += 1;
-        let unpin_ns = (unpin_us * 1000.0) as u64;
-        state.stats.unpin_time_ns += unpin_ns;
-        self.probe.emit(pid, Event::Unpin { ns: unpin_ns });
-        Ok(())
+        aggregate(self.procs.values())
     }
 
     /// Translates `npages` pages starting at `start`.
@@ -226,21 +192,24 @@ impl IntrEngine {
         pid: ProcessId,
         page: VirtPage,
     ) -> Result<IntrOutcome> {
-        let cost = self.cfg.cost.clone();
+        let IntrEngine {
+            cfg,
+            cache,
+            procs,
+            probe,
+        } = self;
+        let cost = &cfg.cost;
         let t0 = board.clock.now();
-        {
-            let state = self.procs.get_mut(&pid).expect("checked by caller");
-            state.stats.lookups += 1;
-        }
+        let core = procs.get_mut(&pid).expect("checked by caller");
+        core.stats.lookups += 1;
 
         // The NIC check happens on every request; there is no user-level
         // structure in this design.
-        Self::charge_us(board, cost.ni_check_us);
-        if let Some(phys) = self.cache.lookup(pid, page) {
-            let state = self.procs.get_mut(&pid).expect("registered");
-            state.pinned.touch(page);
+        charge_us(board, cost.ni_check_us);
+        if let Some(phys) = cache.lookup(pid, page) {
+            core.pinned.touch(page);
             let ns = (board.clock.now() - t0).as_nanos();
-            self.probe.emit(pid, Event::Lookup { ns });
+            probe.emit(pid, Event::Lookup { ns });
             return Ok(IntrOutcome {
                 page,
                 phys,
@@ -251,13 +220,10 @@ impl IntrEngine {
         // Miss: interrupt the host; the handler pins the page and installs
         // the translation. In-kernel, so no syscall overhead on the pin.
         let intr_cost = board.intr.raise(&mut board.clock);
-        {
-            let state = self.procs.get_mut(&pid).expect("registered");
-            state.stats.ni_misses += 1;
-            state.stats.interrupts += 1;
-        }
-        self.probe.emit(pid, Event::NiMiss);
-        self.probe.emit(
+        core.stats.ni_misses += 1;
+        core.stats.interrupts += 1;
+        probe.emit(pid, Event::NiMiss);
+        probe.emit(
             pid,
             Event::Interrupt {
                 ns: intr_cost.as_nanos(),
@@ -265,75 +231,56 @@ impl IntrEngine {
         );
 
         // Respect the pinned-memory limit before pinning one more page.
-        if let Some(limit) = self.cfg.mem_limit_pages {
-            let needs_evict = {
-                let state = self.procs.get(&pid).expect("registered");
-                state.pinned.len() as u64 >= limit
-            };
-            if needs_evict {
-                let victim = {
-                    let state = self.procs.get_mut(&pid).expect("registered");
-                    state
-                        .pinned
-                        .select_victims(1)
-                        .pop()
-                        .ok_or(UtlbError::NoEvictableVictim(pid))?
-                };
+        if let Some(limit) = cfg.mem_limit_pages {
+            if core.pinned.len() as u64 >= limit {
+                let victim = core
+                    .pinned
+                    .select_victims(1)
+                    .pop()
+                    .ok_or(UtlbError::NoEvictableVictim(pid))?;
                 let unpin_us = cost.kernel_unpin_cost(1);
-                Self::charge_us(board, unpin_us);
                 board.intr.account_handler(Nanos::from_micros(unpin_us));
-                self.probe.emit(
+                core.unpin(
+                    host,
+                    board,
                     pid,
-                    Event::Evict {
-                        reason: EvictReason::MemLimit,
-                    },
-                );
-                self.unpin_page(host, pid, victim, unpin_us)?;
+                    victim,
+                    unpin_us,
+                    EvictReason::MemLimit,
+                    &mut |ev| probe.emit(pid, ev),
+                )?;
+                cache.invalidate(pid, victim);
             }
         }
 
         let pin_us = cost.kernel_pin_cost(1);
-        Self::charge_us(board, pin_us);
         board.intr.account_handler(Nanos::from_micros(pin_us));
-        let pinned = host.driver_pin(pid, page, 1)?;
+        let pinned = core.pin(host, board, pid, page, 1, pin_us, &mut |ev| {
+            probe.emit(pid, ev)
+        })?;
         let phys = pinned[0].phys_addr();
-        let pin_ns = (pin_us * 1000.0) as u64;
-        {
-            let state = self.procs.get_mut(&pid).expect("registered");
-            state.stats.pins += 1;
-            state.stats.pin_calls += 1;
-            state.stats.pin_time_ns += pin_ns;
-            state.pinned.insert(page);
-        }
-        self.probe.emit(pid, Event::Pin { run: 1, ns: pin_ns });
 
         // Install in the cache; the page evicted to make room is unpinned —
         // the defining behaviour of the interrupt-based approach.
-        if let Some(evicted) = self.cache.insert(pid, page, phys) {
+        if let Some(evicted) = cache.insert(pid, page, phys) {
             let unpin_us = cost.kernel_unpin_cost(1);
-            Self::charge_us(board, unpin_us);
             board.intr.account_handler(Nanos::from_micros(unpin_us));
-            host.driver_unpin(evicted.pid, evicted.page)?;
-            let owner = self
-                .procs
+            let owner = procs
                 .get_mut(&evicted.pid)
                 .expect("evicted lines belong to registered processes");
-            owner.pinned.remove(evicted.page);
-            owner.stats.unpins += 1;
-            owner.stats.unpin_calls += 1;
-            let unpin_ns = (unpin_us * 1000.0) as u64;
-            owner.stats.unpin_time_ns += unpin_ns;
-            self.probe.emit(
+            owner.unpin(
+                host,
+                board,
                 evicted.pid,
-                Event::Evict {
-                    reason: EvictReason::CacheConflict,
-                },
-            );
-            self.probe.emit(evicted.pid, Event::Unpin { ns: unpin_ns });
+                evicted.page,
+                unpin_us,
+                EvictReason::CacheConflict,
+                &mut |ev| probe.emit(evicted.pid, ev),
+            )?;
         }
 
         let ns = (board.clock.now() - t0).as_nanos();
-        self.probe.emit(pid, Event::Lookup { ns });
+        probe.emit(pid, Event::Lookup { ns });
         Ok(IntrOutcome {
             page,
             phys,

@@ -19,17 +19,23 @@
 //! * **a fast user-level lookup structure** so the send path can tell with
 //!   a couple of memory references whether pinning is needed at all.
 //!
-//! Three variants are provided, matching the paper's §3:
+//! Four mechanisms are provided — the three UTLB variants of §3 plus the
+//! interrupt-driven design of §6.2 — and all of them implement
+//! [`TranslationMechanism`], so every runner, experiment, and contention
+//! model drives any of them through one surface:
 //!
-//! | Variant | Module | Translation state |
-//! |---|---|---|
-//! | Per-process UTLB (§3.1) | [`PerProcessEngine`] | fixed table in NIC SRAM + user-level two-level [`UserLookupTree`] |
-//! | Shared UTLB-Cache (§3.2) | [`IndexedEngine`] | flat index-keyed tables in host DRAM, shared cache on the NIC |
-//! | Hierarchical-UTLB (§3.3) | [`UtlbEngine`] | two-level [`HierTable`] keyed by virtual address + [`PinBitVector`] + shared cache |
+//! | Mechanism | Engine | `kernel_pins` | Translation state |
+//! |---|---|---|---|
+//! | Per-process UTLB (§3.1) | [`PerProcessEngine`] | no | fixed table in NIC SRAM + user-level two-level [`UserLookupTree`]; never NI-misses |
+//! | Shared UTLB-Cache (§3.2) | [`IndexedEngine`] | no | flat index-keyed tables in host DRAM, shared `(pid, index)`-tagged cache on the NIC |
+//! | Hierarchical-UTLB (§3.3) | [`UtlbEngine`] | no | two-level [`HierTable`] keyed by virtual address + [`PinBitVector`] + shared cache |
+//! | Interrupt baseline (§6.2) | [`IntrEngine`] | yes | NIC cache only; every miss interrupts the host, every cache eviction unpins |
 //!
-//! The interrupt-based baseline the paper compares against (§6.2) is
-//! [`IntrEngine`]. The measured cost constants live in [`CostModel`];
-//! replacement policies (§3.4) in [`Policy`]/[`PinnedSet`].
+//! Each engine composes the shared [`PinCore`] — the per-process
+//! [`PinnedSet`] + counters block and the demand-pin/unpin path — and adds
+//! only its own translation structure on top. The measured cost constants
+//! live in [`CostModel`]; replacement policies (§3.4) in
+//! [`Policy`]/[`PinnedSet`].
 //!
 //! # Example
 //!
@@ -73,6 +79,7 @@ mod lookup;
 mod mechanism;
 pub mod obs;
 mod perproc;
+mod pincore;
 mod policy;
 mod stats;
 mod table;
@@ -89,6 +96,7 @@ pub use intr::{IntrConfig, IntrEngine, IntrOutcome};
 pub use lookup::{UserLookupTree, UtlbIndex};
 pub use mechanism::TranslationMechanism;
 pub use perproc::{PerProcessConfig, PerProcessEngine};
+pub use pincore::PinCore;
 pub use policy::{PinnedSet, Policy};
 pub use stats::TranslationStats;
 pub use table::PerProcessTable;

@@ -10,13 +10,14 @@
 //! reproduction can run that comparison as an extension.
 
 use crate::lookup::UserLookupTree;
-use crate::obs::{Event, EvictReason, Probe, ProbeSlot};
-use crate::policy::{PinnedSet, Policy};
+use crate::obs::{Event, EvictReason, ProbeSlot};
+use crate::pincore::{charge_us, probe_stats_accessors, PinCore};
+use crate::policy::Policy;
 use crate::table::PerProcessTable;
-use crate::{CostModel, Result, TranslationStats, UtlbError};
+use crate::{CostModel, PageOutcome, Result, UtlbError};
 use std::collections::HashMap;
-use utlb_mem::{Host, PhysAddr, ProcessId, VirtPage};
-use utlb_nic::{Board, Nanos};
+use utlb_mem::{Host, ProcessId, VirtPage};
+use utlb_nic::Board;
 
 /// Configuration of a [`PerProcessEngine`].
 #[derive(Debug, Clone)]
@@ -47,8 +48,7 @@ impl Default for PerProcessConfig {
 struct ProcState {
     table: PerProcessTable,
     tree: UserLookupTree,
-    pinned: PinnedSet,
-    stats: TranslationStats,
+    core: PinCore,
 }
 
 /// The per-process UTLB engine.
@@ -69,16 +69,7 @@ impl PerProcessEngine {
         }
     }
 
-    /// Attaches an observability probe (see [`crate::obs`]), replacing and
-    /// returning any previous one.
-    pub fn set_probe(&mut self, probe: Box<dyn Probe>) -> Option<Box<dyn Probe>> {
-        self.probe.attach(probe)
-    }
-
-    /// Detaches and returns the probe, if one was attached.
-    pub fn take_probe(&mut self) -> Option<Box<dyn Probe>> {
-        self.probe.detach()
-    }
+    probe_stats_accessors!();
 
     /// Registers `pid`, statically allocating its table in NIC SRAM —
     /// the allocation that motivates the Shared UTLB-Cache when it fails.
@@ -103,27 +94,32 @@ impl PerProcessEngine {
             ProcState {
                 table,
                 tree: UserLookupTree::new(),
-                pinned: PinnedSet::new(self.cfg.policy, self.cfg.seed ^ pid.raw() as u64),
-                stats: TranslationStats::default(),
+                core: PinCore::new(self.cfg.policy, self.cfg.seed, pid),
             },
         );
         Ok(())
     }
 
-    /// Per-process statistics.
+    /// Removes `pid` and unpins everything it had pinned. The statically
+    /// allocated SRAM region is *not* reclaimed — the board allocator is a
+    /// bump allocator, which is exactly the §3.1 design cost this variant
+    /// exists to demonstrate: static tables occupy SRAM for the life of the
+    /// board.
     ///
     /// # Errors
     ///
-    /// Returns [`UtlbError::UnregisteredProcess`] if unknown.
-    pub fn stats(&self, pid: ProcessId) -> Result<TranslationStats> {
+    /// Returns [`UtlbError::UnregisteredProcess`] if `pid` is unknown.
+    pub fn unregister_process(
+        &mut self,
+        host: &mut Host,
+        _board: &mut Board,
+        pid: ProcessId,
+    ) -> Result<()> {
         self.procs
-            .get(&pid)
-            .map(|s| s.stats)
-            .ok_or(UtlbError::UnregisteredProcess(pid))
-    }
-
-    fn charge_us(board: &mut Board, us: f64) {
-        board.clock.advance(Nanos::from_micros(us));
+            .remove(&pid)
+            .ok_or(UtlbError::UnregisteredProcess(pid))?;
+        host.driver_mut().pins_mut().release_process(pid);
+        Ok(())
     }
 
     /// Translates one page: user-level tree lookup, then an SRAM table read.
@@ -138,7 +134,7 @@ impl PerProcessEngine {
         board: &mut Board,
         pid: ProcessId,
         page: VirtPage,
-    ) -> Result<PhysAddr> {
+    ) -> Result<PageOutcome> {
         let cost = self.cfg.cost.clone();
         let t0 = board.clock.now();
         // One `state` borrow spans the whole miss path, so events are
@@ -146,78 +142,66 @@ impl PerProcessEngine {
         // with the probe detached).
         let probe_on = self.probe.is_attached();
         let mut events: Vec<Event> = Vec::new();
+        let mut sink = |ev: Event| {
+            if probe_on {
+                events.push(ev);
+            }
+        };
         let state = self
             .procs
             .get_mut(&pid)
             .ok_or(UtlbError::UnregisteredProcess(pid))?;
-        state.stats.lookups += 1;
+        state.core.stats.lookups += 1;
 
         // User-level lookup: two memory references.
-        Self::charge_us(board, cost.user_check_us);
-        let index = match state.tree.lookup(page) {
-            Some(ix) => ix,
-            None => {
-                state.stats.check_misses += 1;
-                if probe_on {
-                    events.push(Event::CheckMiss);
-                }
-                // Capacity: evict table entries until a slot frees up.
-                let mut slot = state.table.alloc_slot();
-                while slot.is_none() {
-                    let victim =
-                        state
-                            .pinned
-                            .select_victims(1)
-                            .pop()
-                            .ok_or(UtlbError::TableFull {
+        charge_us(board, cost.user_check_us);
+        let (index, check_miss) =
+            match state.tree.lookup(page) {
+                Some(ix) => (ix, false),
+                None => {
+                    state.core.stats.check_misses += 1;
+                    sink(Event::CheckMiss);
+                    // Capacity: evict table entries until a slot frees up.
+                    let mut slot = state.table.alloc_slot();
+                    while slot.is_none() {
+                        let victim = state.core.pinned.select_victims(1).pop().ok_or(
+                            UtlbError::TableFull {
                                 pid,
                                 capacity: state.table.capacity(),
-                            })?;
-                    let victim_ix = state
-                        .tree
-                        .invalidate(victim)
-                        .expect("pinned pages are in the tree");
-                    state.table.evict(victim_ix, &mut board.sram)?;
-                    let unpin_us = cost.unpin_cost(1);
-                    Self::charge_us(board, unpin_us);
-                    host.driver_unpin(pid, victim)?;
-                    state.pinned.remove(victim);
-                    state.stats.unpins += 1;
-                    state.stats.unpin_calls += 1;
-                    if probe_on {
-                        events.push(Event::Evict {
-                            reason: EvictReason::TableFull,
-                        });
-                        events.push(Event::Unpin {
-                            ns: (unpin_us * 1000.0) as u64,
-                        });
+                            },
+                        )?;
+                        let victim_ix = state
+                            .tree
+                            .invalidate(victim)
+                            .expect("pinned pages are in the tree");
+                        state.table.evict(victim_ix, &mut board.sram)?;
+                        state.core.unpin(
+                            host,
+                            board,
+                            pid,
+                            victim,
+                            cost.unpin_cost(1),
+                            EvictReason::TableFull,
+                            &mut sink,
+                        )?;
+                        slot = state.table.alloc_slot();
                     }
-                    slot = state.table.alloc_slot();
+                    let slot = slot.expect("freed above");
+                    let pinned =
+                        state
+                            .core
+                            .pin(host, board, pid, page, 1, cost.pin_cost(1), &mut sink)?;
+                    state
+                        .table
+                        .install(slot, pinned[0].phys_addr(), &mut board.sram)?;
+                    state.tree.install(page, slot);
+                    (slot, true)
                 }
-                let slot = slot.expect("freed above");
-                let pin_us = cost.pin_cost(1);
-                Self::charge_us(board, pin_us);
-                let pinned = host.driver_pin(pid, page, 1)?;
-                state
-                    .table
-                    .install(slot, pinned[0].phys_addr(), &mut board.sram)?;
-                state.tree.install(page, slot);
-                state.pinned.insert(page);
-                state.stats.pins += 1;
-                state.stats.pin_calls += 1;
-                if probe_on {
-                    events.push(Event::Pin {
-                        run: 1,
-                        ns: (pin_us * 1000.0) as u64,
-                    });
-                }
-                slot
-            }
-        };
-        state.pinned.touch(page);
+            };
+        state.core.pinned.touch(page);
 
         // NIC side: direct table read — never a miss in this variant.
-        Self::charge_us(board, cost.ni_check_us);
+        charge_us(board, cost.ni_check_us);
         let phys = state.table.read(index, &board.sram)?;
         if probe_on {
             for ev in events {
@@ -226,7 +210,13 @@ impl PerProcessEngine {
             let ns = (board.clock.now() - t0).as_nanos();
             self.probe.emit(pid, Event::Lookup { ns });
         }
-        Ok(phys)
+        Ok(PageOutcome {
+            page,
+            phys,
+            check_miss,
+            // The statically allocated table is authoritative on the NIC.
+            ni_miss: false,
+        })
     }
 }
 
@@ -249,32 +239,32 @@ mod tests {
     #[test]
     fn lookup_pins_once_and_never_ni_misses() {
         let (mut host, mut board, mut engine, pid) = setup(16);
-        for _ in 0..3 {
-            engine
+        for round in 0..3 {
+            let o = engine
                 .lookup(&mut host, &mut board, pid, VirtPage::new(5))
                 .unwrap();
+            assert_eq!(o.check_miss, round == 0);
+            assert!(!o.ni_miss);
         }
         let s = engine.stats(pid).unwrap();
         assert_eq!(s.lookups, 3);
         assert_eq!(s.check_misses, 1);
         assert_eq!(s.ni_misses, 0, "table is authoritative on the NIC");
         assert_eq!(s.pins, 1);
+        assert!(s.pin_time_ns > 0, "pin work is time-accounted");
     }
 
     #[test]
     fn capacity_eviction_unpins_lru() {
         let (mut host, mut board, mut engine, pid) = setup(2);
-        engine
-            .lookup(&mut host, &mut board, pid, VirtPage::new(1))
-            .unwrap();
-        engine
-            .lookup(&mut host, &mut board, pid, VirtPage::new(2))
-            .unwrap();
-        engine
-            .lookup(&mut host, &mut board, pid, VirtPage::new(3))
-            .unwrap();
+        for p in 1..=3 {
+            engine
+                .lookup(&mut host, &mut board, pid, VirtPage::new(p))
+                .unwrap();
+        }
         let s = engine.stats(pid).unwrap();
         assert_eq!(s.unpins, 1);
+        assert!(s.unpin_time_ns > 0, "unpin work is time-accounted");
         assert!(!host.driver().pins().is_pinned(pid, VirtPage::new(1)));
         assert!(host.driver().pins().is_pinned(pid, VirtPage::new(3)));
     }
@@ -284,11 +274,11 @@ mod tests {
         let (mut host, mut board, mut engine, pid) = setup(16);
         let va = utlb_mem::VirtAddr::new(0x40_0000);
         host.process_mut(pid).unwrap().write(va, b"pp").unwrap();
-        let pa = engine
+        let o = engine
             .lookup(&mut host, &mut board, pid, va.page())
             .unwrap();
         let mut buf = [0u8; 2];
-        host.physical().read(pa, &mut buf).unwrap();
+        host.physical().read(o.phys, &mut buf).unwrap();
         assert_eq!(&buf, b"pp");
     }
 
@@ -307,5 +297,27 @@ mod tests {
             }
         }
         assert!(failed, "static tables must exhaust the 1 MB board");
+    }
+
+    #[test]
+    fn unregister_releases_pins_but_not_sram() {
+        let (mut host, mut board, mut engine, pid) = setup(16);
+        engine
+            .lookup(&mut host, &mut board, pid, VirtPage::new(7))
+            .unwrap();
+        assert!(host.driver().pins().pinned_pages(pid) > 0);
+        let sram_before = board.sram.available();
+        engine
+            .unregister_process(&mut host, &mut board, pid)
+            .unwrap();
+        assert_eq!(host.driver().pins().pinned_pages(pid), 0);
+        assert_eq!(
+            board.sram.available(),
+            sram_before,
+            "static SRAM tables are never reclaimed (§3.1's cost)"
+        );
+        assert!(engine
+            .unregister_process(&mut host, &mut board, pid)
+            .is_err());
     }
 }

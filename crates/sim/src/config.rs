@@ -1,21 +1,41 @@
 //! Simulation configuration.
 
 use serde::{Deserialize, Serialize};
-use utlb_core::{Associativity, CacheConfig, CostModel, IntrConfig, Policy, UtlbConfig};
+use utlb_core::{
+    Associativity, CacheConfig, CostModel, IndexedConfig, IntrConfig, PerProcessConfig, Policy,
+    UtlbConfig,
+};
 
 /// Which translation mechanism a run simulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Mechanism {
-    /// Hierarchical-UTLB with the Shared UTLB-Cache.
+    /// Hierarchical-UTLB with the Shared UTLB-Cache (§3.3).
     Utlb,
-    /// The interrupt-based baseline.
+    /// The per-process UTLB with statically allocated SRAM tables (§3.1).
+    PerProc,
+    /// The Shared UTLB-Cache over host-resident indexed tables (§3.2).
+    Indexed,
+    /// The interrupt-based baseline (§6.2).
     Intr,
+}
+
+impl Mechanism {
+    /// All four mechanisms, in the paper's presentation order — the axis
+    /// experiment drivers iterate.
+    pub const ALL: [Mechanism; 4] = [
+        Mechanism::Utlb,
+        Mechanism::PerProc,
+        Mechanism::Indexed,
+        Mechanism::Intr,
+    ];
 }
 
 impl std::fmt::Display for Mechanism {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Mechanism::Utlb => f.write_str("UTLB"),
+            Mechanism::PerProc => f.write_str("PerProc"),
+            Mechanism::Indexed => f.write_str("Indexed"),
             Mechanism::Intr => f.write_str("Intr"),
         }
     }
@@ -38,6 +58,9 @@ pub struct SimConfig {
     pub policy: Policy,
     /// Per-process pinned-memory limit in pages (`None` = infinite).
     pub mem_limit_pages: Option<u64>,
+    /// Flat translation-table entries per process (§3.1/§3.2 engines only;
+    /// the hierarchical engine sizes its tables on demand).
+    pub table_entries: usize,
     /// Cost model for lookup-cost accounting.
     pub cost: CostModel,
     /// Engine seed.
@@ -56,6 +79,7 @@ impl SimConfig {
             prepin: 1,
             policy: Policy::Lru,
             mem_limit_pages: None,
+            table_entries: 8192,
             cost: CostModel::default(),
             seed: 0xCAFE,
         }
@@ -98,6 +122,28 @@ impl SimConfig {
             seed: self.seed,
         }
     }
+
+    /// Engine configuration for a per-process-table run (§3.1). The cache
+    /// axes do not apply: the design has no shared NIC cache.
+    pub fn perproc_config(&self) -> PerProcessConfig {
+        PerProcessConfig {
+            table_entries: self.table_entries,
+            policy: self.policy,
+            cost: self.cost.clone(),
+            seed: self.seed,
+        }
+    }
+
+    /// Engine configuration for an indexed-table run (§3.2).
+    pub fn indexed_config(&self) -> IndexedConfig {
+        IndexedConfig {
+            cache: self.cache_config(),
+            table_entries: self.table_entries,
+            policy: self.policy,
+            cost: self.cost.clone(),
+            seed: self.seed,
+        }
+    }
 }
 
 impl Default for SimConfig {
@@ -133,7 +179,13 @@ mod tests {
         let c = SimConfig::study(2048);
         assert_eq!(c.utlb_config().cache.entries, 2048);
         assert_eq!(c.intr_config().cache.entries, 2048);
+        assert_eq!(c.indexed_config().cache.entries, 2048);
+        assert_eq!(c.perproc_config().table_entries, 8192);
+        assert_eq!(c.indexed_config().table_entries, 8192);
         assert_eq!(Mechanism::Utlb.to_string(), "UTLB");
+        assert_eq!(Mechanism::PerProc.to_string(), "PerProc");
+        assert_eq!(Mechanism::Indexed.to_string(), "Indexed");
         assert_eq!(Mechanism::Intr.to_string(), "Intr");
+        assert_eq!(Mechanism::ALL.len(), 4);
     }
 }

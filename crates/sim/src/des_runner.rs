@@ -25,7 +25,9 @@ use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::rc::Rc;
 use utlb_core::obs::{Event, Histogram, Probe, SharedCollector, WaitResource};
-use utlb_core::{page_demands, IntrEngine, TranslationMechanism, UtlbEngine};
+use utlb_core::{
+    page_demands, IndexedEngine, IntrEngine, PerProcessEngine, TranslationMechanism, UtlbEngine,
+};
 use utlb_mem::{Host, ProcessId};
 use utlb_nic::{Board, BoardSnapshot, Nanos};
 use utlb_trace::{Trace, TraceRecord};
@@ -399,6 +401,18 @@ pub fn run_des_mechanism(
 ) -> DesResult {
     match mech {
         Mechanism::Utlb => run_des(&mut UtlbEngine::new(cfg.utlb_config()), trace, cfg, des),
+        Mechanism::PerProc => run_des(
+            &mut PerProcessEngine::new(cfg.perproc_config()),
+            trace,
+            cfg,
+            des,
+        ),
+        Mechanism::Indexed => run_des(
+            &mut IndexedEngine::new(cfg.indexed_config()),
+            trace,
+            cfg,
+            des,
+        ),
         Mechanism::Intr => run_des(&mut IntrEngine::new(cfg.intr_config()), trace, cfg, des),
     }
 }
@@ -454,7 +468,7 @@ mod tests {
     fn zero_contention_replay_matches_serial_exactly() {
         let trace = tiny(SplashApp::Water);
         let cfg = SimConfig::study(256);
-        for mech in [Mechanism::Utlb, Mechanism::Intr] {
+        for mech in Mechanism::ALL {
             let serial = run_mechanism(mech, &trace, &cfg);
             let des = run_des_mechanism(mech, &trace, &cfg, &DesConfig::zero_contention());
             assert_eq!(des.base.stats, serial.stats, "{mech}");

@@ -9,44 +9,38 @@
 //!   multiprogrammed traces, so we run it.
 
 use crate::report::{micros, rate, TextTable};
-use crate::{run_utlb, sweep_over, SimConfig};
+use crate::{run, run_mechanism, run_utlb, sweep_over, Mechanism, SimConfig, SimResult};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use utlb_core::Associativity;
-use utlb_core::{
-    IndexedConfig, IndexedEngine, PerProcessConfig, PerProcessEngine, Policy, TranslationStats,
-};
-use utlb_mem::{Host, ProcessId, VirtPage};
-use utlb_nic::Board;
-use utlb_trace::{gen, GenConfig, SplashApp, Trace};
+use utlb_core::{Associativity, IndexedEngine, Policy, TranslationStats};
+use utlb_trace::{gen, GenConfig, SplashApp};
 
-/// Spawns one process per trace pid on a fresh host/board, runs `register`
-/// for each, then replays every record's page span through `lookup`.
-///
-/// All the ablation harnesses (`run_perproc`, `run_indexed`) need exactly
-/// this registration + footprint walk; only the engine calls differ, so the
-/// engine is threaded through explicitly rather than captured.
-fn replay_trace<E>(
-    trace: &Trace,
-    engine: &mut E,
-    register: impl Fn(&mut E, &mut Host, &mut Board, ProcessId),
-    lookup: impl Fn(&mut E, &mut Host, &mut Board, ProcessId, VirtPage),
-) -> Vec<ProcessId> {
-    let pids = trace.process_ids();
-    let mut host = Host::new(1 << 20);
-    let mut board = Board::new();
-    for expected in &pids {
-        let got = host.spawn_process();
-        assert_eq!(got, *expected, "trace pids must be dense from 1");
-        register(engine, &mut host, &mut board, got);
-    }
-    for rec in &trace.records {
-        let npages = rec.va.span_pages(rec.nbytes);
-        for page in rec.va.page().range(npages) {
-            lookup(engine, &mut host, &mut board, rec.pid, page);
+/// One variant's outcome in a comparison table: the counters plus the
+/// serial-clock timing the unified runner reports for every mechanism.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VariantCell {
+    /// Aggregate translation counters.
+    pub stats: TranslationStats,
+    /// Total simulated translation time (ns).
+    pub sim_time_ns: u64,
+    /// Simulated translation time per lookup (µs).
+    pub sim_us_per_lookup: f64,
+}
+
+impl From<SimResult> for VariantCell {
+    fn from(r: SimResult) -> Self {
+        VariantCell {
+            sim_us_per_lookup: r.sim_us_per_lookup(),
+            sim_time_ns: r.sim_time_ns,
+            stats: r.stats,
         }
     }
-    pids
+}
+
+/// The §3.1 engine's SRAM budget, statically divided across the trace's
+/// processes: `SimConfig` for a per-process run under a total entry budget.
+fn perproc_split(budget_entries: usize, nprocs: usize) -> usize {
+    (budget_entries / nprocs.max(1)).max(1)
 }
 
 /// One policy's outcome under memory pressure.
@@ -135,21 +129,30 @@ pub struct PerprocVsShared {
     pub app: SplashApp,
     /// SRAM entries total (split across processes for per-process tables).
     pub sram_entries: usize,
-    /// Per-process variant counters.
-    pub perproc: TranslationStats,
-    /// Shared-cache variant counters.
-    pub shared: TranslationStats,
+    /// Per-process variant (§3.1).
+    pub perproc: VariantCell,
+    /// Shared-cache variant (§3.3).
+    pub shared: VariantCell,
 }
 
 /// Runs both UTLB variants on `app` with the same total SRAM entry budget.
+///
+/// Both runs go through the unified [`run_mechanism`] dispatch, so the
+/// timing columns come from the same simulated clock as every other
+/// experiment.
 pub fn perproc_vs_shared(app: SplashApp, cfg: &GenConfig, sram_entries: usize) -> PerprocVsShared {
     let trace = gen::generate_shared(app, cfg);
 
     // Shared UTLB-Cache (Hierarchical engine): the full budget is one cache.
-    let shared = run_utlb(&trace, &SimConfig::study(sram_entries)).stats;
+    let shared_cfg = SimConfig::study(sram_entries);
+    let shared = run_mechanism(Mechanism::Utlb, &trace, &shared_cfg).into();
 
     // Per-process UTLB: the budget is statically divided per process.
-    let perproc = run_perproc(&trace, sram_entries);
+    let perproc_cfg = SimConfig {
+        table_entries: perproc_split(sram_entries, trace.process_ids().len()),
+        ..SimConfig::study(sram_entries)
+    };
+    let perproc = run_mechanism(Mechanism::PerProc, &trace, &perproc_cfg).into();
 
     PerprocVsShared {
         app,
@@ -157,29 +160,6 @@ pub fn perproc_vs_shared(app: SplashApp, cfg: &GenConfig, sram_entries: usize) -
         perproc,
         shared,
     }
-}
-
-fn run_perproc(trace: &Trace, sram_entries: usize) -> TranslationStats {
-    let per_table = (sram_entries / trace.process_ids().len()).max(1);
-    let mut engine = PerProcessEngine::new(PerProcessConfig {
-        table_entries: per_table,
-        ..PerProcessConfig::default()
-    });
-    let pids = replay_trace(
-        trace,
-        &mut engine,
-        |e, host, board, pid| {
-            e.register_process(host, board, pid)
-                .expect("registration succeeds");
-        },
-        |e, host, board, pid, page| {
-            e.lookup(host, board, pid, page)
-                .expect("trace lookups succeed");
-        },
-    );
-    pids.iter()
-        .map(|p| engine.stats(*p).expect("registered"))
-        .fold(TranslationStats::default(), |a, b| a + b)
 }
 
 impl fmt::Display for PerprocVsShared {
@@ -194,17 +174,19 @@ impl fmt::Display for PerprocVsShared {
             "NI miss",
             "pins/lookup",
             "unpins/lookup",
+            "sim µs/lookup",
         ]);
-        for (name, s) in [
+        for (name, c) in [
             ("per-process", &self.perproc),
             ("shared-cache", &self.shared),
         ] {
             t.row([
                 name.to_string(),
-                format!("{:.3}", s.check_miss_rate()),
-                format!("{:.3}", s.ni_miss_rate()),
-                format!("{:.3}", s.pin_rate()),
-                format!("{:.3}", s.unpin_rate()),
+                format!("{:.3}", c.stats.check_miss_rate()),
+                format!("{:.3}", c.stats.ni_miss_rate()),
+                format!("{:.3}", c.stats.pin_rate()),
+                format!("{:.3}", c.stats.unpin_rate()),
+                micros(c.sim_us_per_lookup),
             ]);
         }
         t.fmt(f)
@@ -220,64 +202,57 @@ pub struct VariantComparison {
     /// NIC entry budget (cache entries for §3.2/§3.3; divided into static
     /// tables for §3.1).
     pub budget_entries: usize,
-    /// §3.1 counters.
-    pub perproc: TranslationStats,
-    /// §3.2 counters.
-    pub indexed: TranslationStats,
-    /// §3.3 counters.
-    pub hierarchical: TranslationStats,
+    /// §3.1 cell.
+    pub perproc: VariantCell,
+    /// §3.2 cell.
+    pub indexed: VariantCell,
+    /// §3.3 cell.
+    pub hierarchical: VariantCell,
     /// §3.2 table fragmentation at end of run (0 = fully contiguous).
     pub indexed_fragmentation: f64,
 }
 
 /// Runs the three variants of §3 on `app` with the same NIC entry budget.
+///
+/// Every variant replays through [`run`]/[`run_mechanism`]; the §3.2 run
+/// holds its engine so the end-of-run table fragmentation can be read back
+/// after the replay.
 pub fn variant_comparison(
     app: SplashApp,
     cfg: &GenConfig,
     budget_entries: usize,
 ) -> VariantComparison {
     let trace = gen::generate_shared(app, cfg);
-    let hierarchical = run_utlb(&trace, &SimConfig::study(budget_entries)).stats;
-    let perproc = run_perproc(&trace, budget_entries);
-    let (indexed, indexed_fragmentation) = run_indexed(&trace, budget_entries);
+    let hierarchical = run_mechanism(Mechanism::Utlb, &trace, &SimConfig::study(budget_entries));
+
+    let perproc_cfg = SimConfig {
+        table_entries: perproc_split(budget_entries, trace.process_ids().len()),
+        ..SimConfig::study(budget_entries)
+    };
+    let perproc = run_mechanism(Mechanism::PerProc, &trace, &perproc_cfg);
+
+    // §3.2: host tables far larger than the footprint, NIC budget as cache.
+    let indexed_cfg = SimConfig {
+        table_entries: 16384,
+        ..SimConfig::study(budget_entries)
+    };
+    let mut indexed_engine = IndexedEngine::new(indexed_cfg.indexed_config());
+    let indexed = run(&mut indexed_engine, &trace, &indexed_cfg);
+    let pids = trace.process_ids();
+    let indexed_fragmentation = pids
+        .iter()
+        .map(|p| indexed_engine.fragmentation(*p).expect("registered"))
+        .sum::<f64>()
+        / pids.len() as f64;
+
     VariantComparison {
         app,
         budget_entries,
-        perproc,
-        indexed,
-        hierarchical,
+        perproc: perproc.into(),
+        indexed: indexed.into(),
+        hierarchical: hierarchical.into(),
         indexed_fragmentation,
     }
-}
-
-fn run_indexed(trace: &Trace, cache_entries: usize) -> (TranslationStats, f64) {
-    let mut engine = IndexedEngine::new(IndexedConfig {
-        cache: utlb_core::CacheConfig::direct(cache_entries),
-        table_entries: 16384,
-        ..IndexedConfig::default()
-    });
-    let pids = replay_trace(
-        trace,
-        &mut engine,
-        |e, host, _board, pid| {
-            e.register_process(host, pid)
-                .expect("registration succeeds");
-        },
-        |e, host, board, pid, page| {
-            e.lookup(host, board, pid, page)
-                .expect("trace lookups succeed");
-        },
-    );
-    let stats = pids
-        .iter()
-        .map(|p| engine.stats(*p).expect("registered"))
-        .fold(TranslationStats::default(), |a, b| a + b);
-    let frag = pids
-        .iter()
-        .map(|p| engine.fragmentation(*p).expect("registered"))
-        .sum::<f64>()
-        / pids.len() as f64;
-    (stats, frag)
 }
 
 impl fmt::Display for VariantComparison {
@@ -292,18 +267,20 @@ impl fmt::Display for VariantComparison {
             "NI miss",
             "pins/lookup",
             "unpins/lookup",
+            "sim µs/lookup",
         ]);
-        for (name, s) in [
+        for (name, c) in [
             ("per-process (3.1)", &self.perproc),
             ("indexed (3.2)", &self.indexed),
             ("hierarchical (3.3)", &self.hierarchical),
         ] {
             t.row([
                 name.to_string(),
-                format!("{:.3}", s.check_miss_rate()),
-                format!("{:.3}", s.ni_miss_rate()),
-                format!("{:.3}", s.pin_rate()),
-                format!("{:.3}", s.unpin_rate()),
+                format!("{:.3}", c.stats.check_miss_rate()),
+                format!("{:.3}", c.stats.ni_miss_rate()),
+                format!("{:.3}", c.stats.pin_rate()),
+                format!("{:.3}", c.stats.unpin_rate()),
+                micros(c.sim_us_per_lookup),
             ]);
         }
         t.fmt(f)
@@ -392,15 +369,24 @@ mod tests {
         // SRAM tables), while §3.2 and §3.3 keep translations alive in host
         // memory (large tables) and never unpin.
         let v = variant_comparison(SplashApp::Lu, &test_gen_config(), 128);
-        assert!(v.perproc.unpins > 0, "static tables overflow");
-        assert_eq!(v.indexed.unpins, 0, "host tables are big enough");
-        assert_eq!(v.hierarchical.unpins, 0);
+        assert!(v.perproc.stats.unpins > 0, "static tables overflow");
+        assert_eq!(v.indexed.stats.unpins, 0, "host tables are big enough");
+        assert_eq!(v.hierarchical.stats.unpins, 0);
         // §3.1 never misses on the NIC; the cached variants may.
-        assert_eq!(v.perproc.ni_misses, 0);
-        assert!(v.indexed.ni_misses > 0);
+        assert_eq!(v.perproc.stats.ni_misses, 0);
+        assert!(v.indexed.stats.ni_misses > 0);
         // §3.2 and §3.3 agree on check misses (same pinning discipline).
-        assert_eq!(v.indexed.check_misses, v.hierarchical.check_misses);
+        assert_eq!(
+            v.indexed.stats.check_misses,
+            v.hierarchical.stats.check_misses
+        );
+        // Every variant now reports wall-clock translation time.
+        assert!(v.perproc.sim_time_ns > 0);
+        assert!(v.indexed.sim_time_ns > 0);
+        assert!(v.hierarchical.sim_time_ns > 0);
+        assert!(v.indexed.sim_us_per_lookup > 0.0);
         assert!(v.to_string().contains("hierarchical"));
+        assert!(v.to_string().contains("sim µs/lookup"));
     }
 
     #[test]
@@ -425,13 +411,16 @@ mod tests {
         // keeps translations alive in host memory and never unpins.
         let cfg = test_gen_config();
         let r = perproc_vs_shared(SplashApp::Lu, &cfg, 128);
-        assert_eq!(r.shared.unpins, 0);
+        assert_eq!(r.shared.stats.unpins, 0);
         assert!(
-            r.perproc.unpins > 0,
+            r.perproc.stats.unpins > 0,
             "static tables must overflow: {:?}",
             r.perproc
         );
-        assert!(r.perproc.check_miss_rate() >= r.shared.check_miss_rate());
+        assert!(r.perproc.stats.check_miss_rate() >= r.shared.stats.check_miss_rate());
+        // The capacity churn is visible in simulated time too: every unpin
+        // charges the clock, so the churning variant pays more per lookup.
+        assert!(r.perproc.sim_us_per_lookup > r.shared.sim_us_per_lookup);
         assert!(r.to_string().contains("per-process"));
     }
 }

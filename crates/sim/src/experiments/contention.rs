@@ -83,14 +83,14 @@ fn des_config(load: f64) -> DesConfig {
     }
 }
 
-/// Sweeps offered load over [`CONTENTION_APPS`] × both mechanisms ×
-/// [`CONTENTION_LOADS`] at `cache_entries`, one DES replay per cell,
-/// fanned out across sweep workers.
+/// Sweeps offered load over [`CONTENTION_APPS`] × all four mechanisms
+/// ([`Mechanism::ALL`]) × [`CONTENTION_LOADS`] at `cache_entries`, one DES
+/// replay per cell, fanned out across sweep workers.
 pub fn bus_contention(cfg: &GenConfig, cache_entries: usize) -> BusContention {
     let mut points: Vec<(SplashApp, Arc<Trace>, Mechanism, f64)> = Vec::new();
     for app in CONTENTION_APPS {
         let trace = gen::generate_shared(app, cfg);
-        for mech in [Mechanism::Utlb, Mechanism::Intr] {
+        for mech in Mechanism::ALL {
             for load in CONTENTION_LOADS {
                 points.push((app, Arc::clone(&trace), mech, load));
             }
@@ -184,7 +184,7 @@ pub struct InterferenceDes {
 }
 
 /// Replays `a` and `b` alone and merged (via [`merge_multiprogram`]) under
-/// both mechanisms at `load`, comparing each program's mean translation
+/// all four mechanisms at `load`, comparing each program's mean translation
 /// latency — queueing interference between independent programs sharing
 /// one NIC, which the serial runner cannot see.
 pub fn interference_des(
@@ -202,7 +202,7 @@ pub fn interference_des(
 
     let sim = SimConfig::study(cache_entries);
     let des = des_config(load);
-    let runs: Vec<(Arc<Trace>, Mechanism)> = [Mechanism::Utlb, Mechanism::Intr]
+    let runs: Vec<(Arc<Trace>, Mechanism)> = Mechanism::ALL
         .into_iter()
         .flat_map(|m| {
             [
@@ -219,7 +219,7 @@ pub fn interference_des(
     let a_pids: Vec<u32> = (1..=a_procs).collect();
     let b_pids: Vec<u32> = (a_procs + 1..=a_procs + b_procs).collect();
     let mut cells = Vec::new();
-    for (mi, mech) in [Mechanism::Utlb, Mechanism::Intr].into_iter().enumerate() {
+    for (mi, mech) in Mechanism::ALL.into_iter().enumerate() {
         let alone_a = &results[3 * mi];
         let alone_b = &results[3 * mi + 1];
         let shared = &results[3 * mi + 2];
@@ -275,10 +275,10 @@ mod tests {
         let bc = bus_contention(&test_gen_config(), 2048);
         assert_eq!(
             bc.cells.len(),
-            CONTENTION_APPS.len() * 2 * CONTENTION_LOADS.len()
+            CONTENTION_APPS.len() * Mechanism::ALL.len() * CONTENTION_LOADS.len()
         );
         for app in CONTENTION_APPS {
-            for mech in [Mechanism::Utlb, Mechanism::Intr] {
+            for mech in Mechanism::ALL {
                 let series = bc.latency_series(app, mech);
                 assert_eq!(series.len(), CONTENTION_LOADS.len());
                 for pair in series.windows(2) {
@@ -318,7 +318,7 @@ mod tests {
             2048,
             4.0,
         );
-        assert_eq!(ix.cells.len(), 4);
+        assert_eq!(ix.cells.len(), 2 * Mechanism::ALL.len());
         for c in &ix.cells {
             assert!(
                 c.shared_us >= c.alone_us * 0.98,

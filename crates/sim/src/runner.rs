@@ -11,7 +11,8 @@ use crate::{Mechanism, MissBreakdown, MissClassifier, SimConfig};
 use serde::{Deserialize, Serialize};
 use utlb_core::obs::SharedCollector;
 use utlb_core::{
-    CacheStats, IntrEngine, LookupRates, TranslationMechanism, TranslationStats, UtlbEngine,
+    CacheStats, IndexedEngine, IntrEngine, LookupRates, PerProcessEngine, TranslationMechanism,
+    TranslationStats, UtlbEngine,
 };
 use utlb_mem::Host;
 use utlb_nic::{Board, BoardSnapshot, Nanos};
@@ -204,6 +205,8 @@ pub fn run_observed<M: TranslationMechanism>(
 pub fn run_mechanism(mech: Mechanism, trace: &Trace, cfg: &SimConfig) -> SimResult {
     match mech {
         Mechanism::Utlb => run(&mut UtlbEngine::new(cfg.utlb_config()), trace, cfg),
+        Mechanism::PerProc => run(&mut PerProcessEngine::new(cfg.perproc_config()), trace, cfg),
+        Mechanism::Indexed => run(&mut IndexedEngine::new(cfg.indexed_config()), trace, cfg),
         Mechanism::Intr => run(&mut IntrEngine::new(cfg.intr_config()), trace, cfg),
     }
 }
@@ -223,6 +226,18 @@ pub fn run_mechanism_observed(
     match mech {
         Mechanism::Utlb => run_observed(
             &mut UtlbEngine::new(cfg.utlb_config()),
+            trace,
+            cfg,
+            ring_capacity,
+        ),
+        Mechanism::PerProc => run_observed(
+            &mut PerProcessEngine::new(cfg.perproc_config()),
+            trace,
+            cfg,
+            ring_capacity,
+        ),
+        Mechanism::Indexed => run_observed(
+            &mut IndexedEngine::new(cfg.indexed_config()),
             trace,
             cfg,
             ring_capacity,
@@ -346,7 +361,7 @@ mod tests {
     fn observed_run_reconciles_and_changes_nothing() {
         let trace = tiny(SplashApp::Water);
         let cfg = SimConfig::study(256).limit_mb(1);
-        for mech in [Mechanism::Utlb, Mechanism::Intr] {
+        for mech in Mechanism::ALL {
             let plain = run_mechanism(mech, &trace, &cfg);
             let (result, obs) = run_mechanism_observed(mech, &trace, &cfg, 32);
             // The probe is passive: observed and plain runs agree exactly.

@@ -17,7 +17,7 @@ fn table_cfg() -> GenConfig {
 }
 
 /// The acceptance matrix: all seven applications under the Table 4
-/// (infinite memory) and Table 5 (4 MB limit) configurations, both
+/// (infinite memory) and Table 5 (4 MB limit) configurations, all four
 /// mechanisms. Zero-contention DES time must equal serial time exactly,
 /// and the serial half of the DES run must be unperturbed.
 #[test]
@@ -29,7 +29,7 @@ fn zero_contention_des_matches_serial_on_all_table45_workloads() {
         .map(|&app| (app, gen::generate_shared(app, &gencfg)))
     {
         for sim in [SimConfig::study(8192), SimConfig::study(8192).limit_mb(4)] {
-            for mech in [Mechanism::Utlb, Mechanism::Intr] {
+            for mech in Mechanism::ALL {
                 let serial = run_mechanism(mech, &trace, &sim);
                 let r = run_des_mechanism(mech, &trace, &sim, &des);
                 assert_eq!(
@@ -61,20 +61,20 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// Zero-contention equivalence holds for any trace and cache geometry,
-    /// not just the table configurations.
+    /// not just the table configurations — for every mechanism.
     #[test]
     fn zero_contention_des_matches_serial_for_any_trace(
         seed in any::<u64>(),
         scale in 0.02f64..0.06,
         entries_log in 5u32..12,
         app_ix in 0usize..7,
-        intr in any::<bool>(),
+        mech_ix in 0usize..4,
     ) {
         let app = SplashApp::ALL[app_ix];
         let cfg = GenConfig { seed, scale, app_processes: 4 };
         let trace = gen::generate(app, &cfg);
         let sim = SimConfig::study(1 << entries_log);
-        let mech = if intr { Mechanism::Intr } else { Mechanism::Utlb };
+        let mech = Mechanism::ALL[mech_ix];
         let serial = run_mechanism(mech, &trace, &sim);
         let r = run_des_mechanism(mech, &trace, &sim, &DesConfig::zero_contention());
         prop_assert_eq!(r.des_time_ns, serial.sim_time_ns);

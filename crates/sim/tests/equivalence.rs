@@ -1,16 +1,22 @@
 //! The generic-runner refactor must be invisible in the results.
 //!
 //! `run_utlb` / `run_intr` used to carry one hand-written replay loop each;
-//! both now delegate to the single `run<M: TranslationMechanism>` loop.
-//! These tests replicate the *old* loops verbatim — driving the engines
-//! through their inherent methods, no trait involved — and require the
-//! refactored runners to produce byte-identical `SimResult` JSON.
+//! both now delegate to the single `run<M: TranslationMechanism>` loop. The
+//! §3.1/§3.2 ablations likewise used to carry a bespoke `replay_trace`
+//! harness; they now go through the same loop. These tests replicate the
+//! *old* loops verbatim — driving the engines through their inherent
+//! methods, no trait involved — and require the refactored runners to
+//! produce byte-identical JSON.
 
-use utlb_core::{IntrEngine, UtlbEngine};
-use utlb_mem::Host;
+use proptest::prelude::*;
+use utlb_core::{
+    CacheStats, IndexedEngine, IntrEngine, PerProcessEngine, TranslationStats, UtlbEngine,
+};
+use utlb_mem::{Host, ProcessId, VirtPage};
 use utlb_nic::{Board, Nanos};
 use utlb_sim::{
-    run_intr, run_mechanism_observed, run_utlb, Mechanism, MissClassifier, SimConfig, SimResult,
+    run_intr, run_mechanism, run_mechanism_observed, run_utlb, Mechanism, MissClassifier,
+    SimConfig, SimResult,
 };
 use utlb_trace::{gen, GenConfig, SplashApp, Trace};
 
@@ -113,6 +119,77 @@ fn legacy_run_intr(trace: &Trace, cfg: &SimConfig) -> SimResult {
     }
 }
 
+/// The pre-refactor ablation harness, verbatim from
+/// `experiments/ablations.rs`: spawn one process per trace pid, register,
+/// then walk every record's page span through a per-page `lookup` — never
+/// advancing the simulated clock.
+fn legacy_replay<E>(
+    trace: &Trace,
+    engine: &mut E,
+    register: impl Fn(&mut E, &mut Host, &mut Board, ProcessId),
+    lookup: impl Fn(&mut E, &mut Host, &mut Board, ProcessId, VirtPage),
+) -> Vec<ProcessId> {
+    let pids = trace.process_ids();
+    let mut host = Host::new(HOST_FRAMES);
+    let mut board = Board::new();
+    for expected in &pids {
+        let got = host.spawn_process();
+        assert_eq!(got, *expected, "trace pids must be dense from 1");
+        register(engine, &mut host, &mut board, got);
+    }
+    for rec in &trace.records {
+        let npages = rec.va.span_pages(rec.nbytes);
+        for page in rec.va.page().range(npages) {
+            lookup(engine, &mut host, &mut board, rec.pid, page);
+        }
+    }
+    pids
+}
+
+/// The pre-refactor §3.1 ablation body, kept as the golden reference.
+fn legacy_run_perproc(trace: &Trace, cfg: &SimConfig) -> TranslationStats {
+    let mut engine = PerProcessEngine::new(cfg.perproc_config());
+    let pids = legacy_replay(
+        trace,
+        &mut engine,
+        |e, host, board, pid| {
+            e.register_process(host, board, pid)
+                .expect("registration succeeds");
+        },
+        |e, host, board, pid, page| {
+            e.lookup(host, board, pid, page)
+                .expect("trace lookups succeed");
+        },
+    );
+    pids.iter()
+        .map(|p| engine.stats(*p).expect("registered"))
+        .fold(TranslationStats::default(), |a, b| a + b)
+}
+
+/// The pre-refactor §3.2 ablation body, kept as the golden reference. (The
+/// registration call has grown a `&mut Board` argument since; the loop is
+/// otherwise untouched.)
+fn legacy_run_indexed(trace: &Trace, cfg: &SimConfig) -> (TranslationStats, CacheStats) {
+    let mut engine = IndexedEngine::new(cfg.indexed_config());
+    let pids = legacy_replay(
+        trace,
+        &mut engine,
+        |e, host, board, pid| {
+            e.register_process(host, board, pid)
+                .expect("registration succeeds");
+        },
+        |e, host, board, pid, page| {
+            e.lookup(host, board, pid, page)
+                .expect("trace lookups succeed");
+        },
+    );
+    let stats = pids
+        .iter()
+        .map(|p| engine.stats(*p).expect("registered"))
+        .fold(TranslationStats::default(), |a, b| a + b);
+    (stats, engine.cache().stats())
+}
+
 #[test]
 fn generic_utlb_run_is_byte_identical_to_the_legacy_loop() {
     let trace = water();
@@ -134,10 +211,80 @@ fn generic_intr_run_is_byte_identical_to_the_legacy_loop() {
 }
 
 #[test]
+fn unified_perproc_run_matches_the_legacy_ablation_loop() {
+    let trace = water();
+    // A small static table forces the §3.1 capacity-evict path; the default
+    // covers the all-hits regime.
+    for cfg in [
+        SimConfig {
+            table_entries: 64,
+            ..SimConfig::study(256)
+        },
+        SimConfig::study(256),
+    ] {
+        let legacy = serde_json::to_string(&legacy_run_perproc(&trace, &cfg)).unwrap();
+        let unified = run_mechanism(Mechanism::PerProc, &trace, &cfg);
+        let got = serde_json::to_string(&unified.stats).unwrap();
+        assert_eq!(legacy, got, "table_entries = {}", cfg.table_entries);
+        // §3.1 has no NIC cache; the unified runner must report it as empty.
+        assert_eq!(unified.cache, CacheStats::default());
+    }
+}
+
+#[test]
+fn unified_indexed_run_matches_the_legacy_ablation_loop() {
+    let trace = water();
+    // A tiny cache exercises conflict evictions and the DMA re-fetch path.
+    for cfg in [SimConfig::study(64), SimConfig::study(1024)] {
+        let (legacy_stats, legacy_cache) = legacy_run_indexed(&trace, &cfg);
+        let unified = run_mechanism(Mechanism::Indexed, &trace, &cfg);
+        assert_eq!(
+            serde_json::to_string(&legacy_stats).unwrap(),
+            serde_json::to_string(&unified.stats).unwrap(),
+            "cache_entries = {}",
+            cfg.cache_entries
+        );
+        assert_eq!(legacy_cache, unified.cache);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The §3.1/§3.2 unification holds for arbitrary traces and table
+    /// geometries, not just the hand-picked configurations above.
+    #[test]
+    fn unified_variant_runs_match_legacy_loops_for_any_trace(
+        seed in any::<u64>(),
+        scale in 0.02f64..0.05,
+        table_log in 5u32..13,
+        app_ix in 0usize..7,
+        indexed in any::<bool>(),
+    ) {
+        let app = SplashApp::ALL[app_ix];
+        let gencfg = GenConfig { seed, scale, app_processes: 4 };
+        let trace = gen::generate(app, &gencfg);
+        let cfg = SimConfig {
+            table_entries: 1 << table_log,
+            ..SimConfig::study(256)
+        };
+        if indexed {
+            let (legacy, _) = legacy_run_indexed(&trace, &cfg);
+            let unified = run_mechanism(Mechanism::Indexed, &trace, &cfg);
+            prop_assert_eq!(legacy, unified.stats);
+        } else {
+            let legacy = legacy_run_perproc(&trace, &cfg);
+            let unified = run_mechanism(Mechanism::PerProc, &trace, &cfg);
+            prop_assert_eq!(legacy, unified.stats);
+        }
+    }
+}
+
+#[test]
 fn probe_stream_reconciles_with_engine_stats_on_water() {
     let trace = water();
     let cfg = SimConfig::study(256).limit_mb(1);
-    for mech in [Mechanism::Utlb, Mechanism::Intr] {
+    for mech in Mechanism::ALL {
         let (result, obs) = run_mechanism_observed(mech, &trace, &cfg, 64);
         assert!(obs.reconciled, "{mech} mismatches: {:?}", obs.mismatches);
         // The headline counters, spelled out: the event stream carries the

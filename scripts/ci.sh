@@ -24,6 +24,12 @@ cargo test -q --offline -p utlb-sim --test equivalence
 cargo test -q --offline -p utlb-core obs::
 cargo test -q --offline -p utlb-core mechanism::
 
+echo "== four-mechanism unification: shared pin core and variant ablations"
+cargo test -q --offline -p utlb-core pincore::
+cargo test -q --offline -p utlb-core perproc::
+cargo test -q --offline -p utlb-core indexed::
+cargo test -q --offline -p utlb-sim ablations::
+
 echo "== observability: no-op probe overhead guard (<10%)"
 cargo run -q --release --offline -p utlb-bench --bin obs_guard -- --scale 0.3
 
@@ -32,10 +38,13 @@ cargo test -q --offline -p utlb-des
 cargo test -q --offline -p utlb-sim des_runner::
 cargo test -q --offline -p utlb-sim --test des_equivalence
 
-echo "== DES: contention experiments (load monotonicity, interference)"
+echo "== DES: contention experiments (load monotonicity, interference, per-mechanism axis)"
 cargo test -q --offline -p utlb-sim contention::
 
 echo "== DES: replay overhead bench"
 cargo bench -q --offline -p utlb-bench --bench des_replay
+
+echo "== docs build clean"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline --workspace
 
 echo "CI green."
