@@ -9,6 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use utlb_bench::scalar_run_mechanism;
 use utlb_sim::{run_des_mechanism, run_mechanism, DesConfig, Mechanism, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp};
 
@@ -28,6 +29,11 @@ fn bench_des_replay(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(trace.records.len() as u64));
     for mech in Mechanism::ALL {
+        // Pre-batching baseline: the same replay through per-record
+        // allocating `lookup_run`, for the batched-vs-scalar comparison.
+        group.bench_function(format!("serial_scalar_{mech}"), |b| {
+            b.iter(|| black_box(scalar_run_mechanism(mech, &trace, &sim).sim_time_ns))
+        });
         group.bench_function(format!("serial_{mech}"), |b| {
             b.iter(|| black_box(run_mechanism(mech, &trace, &sim).sim_time_ns))
         });

@@ -5,14 +5,21 @@
 //! trivial cells, and a real experiment grid (Figure 7-shaped) sequential
 //! vs parallel.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{
+    criterion_group, criterion_main, BenchmarkGroup, BenchmarkId, Criterion, Throughput,
+};
 use std::hint::black_box;
+use utlb_bench::scalar_run_mechanism;
 use utlb_core::obs::NoopProbe;
-use utlb_core::{CacheConfig, SharedUtlbCache, UtlbEngine};
-use utlb_mem::{PhysAddr, ProcessId, VirtPage};
+use utlb_core::{
+    CacheConfig, IndexedEngine, IntrEngine, LookupBatch, OutcomeBuf, PerProcessEngine,
+    SharedUtlbCache, TranslationMechanism, UtlbEngine,
+};
+use utlb_mem::{Host, PhysAddr, ProcessId, VirtPage, PAGE_SIZE};
+use utlb_nic::Board;
 use utlb_sim::sweep::THREADS_ENV;
-use utlb_sim::{run, run_utlb, sweep, SimConfig};
-use utlb_trace::{gen, GenConfig, SplashApp};
+use utlb_sim::{run, run_mechanism, run_utlb, sweep, Mechanism, SimConfig};
+use utlb_trace::{gen, GenConfig, SplashApp, Trace};
 
 fn small_cfg() -> GenConfig {
     GenConfig {
@@ -106,11 +113,182 @@ fn bench_noop_probe(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched vs scalar replay throughput on a Table 4 workload, all four
+/// mechanisms. `replay_scalar_*` is the pre-batching loop (one outcome
+/// `Vec` per record, per-page classification); `replay_batched_*` is the
+/// library runner on the allocation-free `lookup_run_into` path.
+fn bench_replay_paths(c: &mut Criterion) {
+    let trace = gen::generate_shared(SplashApp::Water, &small_cfg());
+    let cfg = SimConfig::study(1024);
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.records.len() as u64));
+    for mech in Mechanism::ALL {
+        group.bench_function(format!("replay_scalar_{mech}"), |b| {
+            b.iter(|| black_box(scalar_run_mechanism(mech, &trace, &cfg).stats.lookups))
+        });
+        group.bench_function(format!("replay_batched_{mech}"), |b| {
+            b.iter(|| black_box(run_mechanism(mech, &trace, &cfg).stats.lookups))
+        });
+    }
+    group.finish();
+}
+
+/// Registers one warmed engine's scalar/batched steady-state pair: spawn,
+/// register, replay the trace once to absorb compulsory misses, then bench
+/// each lookup path over the whole trace per iteration.
+fn hot_pair<M: TranslationMechanism>(
+    group: &mut BenchmarkGroup<'_>,
+    prefix: &str,
+    mech: Mechanism,
+    mut engine: M,
+    trace: &Trace,
+) {
+    let mut host = Host::new(1 << 20);
+    let mut board = Board::new();
+    for expected in &trace.process_ids() {
+        let got = host.spawn_process();
+        assert_eq!(got, *expected, "trace pids must be dense from 1");
+        engine
+            .register_process(&mut host, &mut board, got)
+            .expect("registration succeeds on a fresh host");
+    }
+    let mut out = OutcomeBuf::new();
+    for rec in &trace.records {
+        out.clear();
+        engine
+            .lookup_run_into(
+                &mut host,
+                &mut board,
+                LookupBatch::for_buffer(rec.pid, rec.va, rec.nbytes),
+                &mut out,
+            )
+            .expect("warmup lookups succeed");
+    }
+    group.bench_function(format!("{prefix}_scalar_{mech}"), |b| {
+        b.iter(|| {
+            let mut pages = 0usize;
+            for rec in &trace.records {
+                let npages = rec.va.span_pages(rec.nbytes);
+                pages += engine
+                    .lookup_run(&mut host, &mut board, rec.pid, rec.va.page(), npages)
+                    .expect("trace lookups succeed")
+                    .len();
+            }
+            black_box(pages)
+        })
+    });
+    group.bench_function(format!("{prefix}_batched_{mech}"), |b| {
+        b.iter(|| {
+            let mut pages = 0usize;
+            for rec in &trace.records {
+                out.clear();
+                engine
+                    .lookup_run_into(
+                        &mut host,
+                        &mut board,
+                        LookupBatch::for_buffer(rec.pid, rec.va, rec.nbytes),
+                        &mut out,
+                    )
+                    .expect("trace lookups succeed");
+                pages += out.len();
+            }
+            black_box(pages)
+        })
+    });
+}
+
+/// Dispatches [`hot_pair`] for a mechanism.
+fn hot_pair_for(
+    group: &mut BenchmarkGroup<'_>,
+    prefix: &str,
+    mech: Mechanism,
+    cfg: &SimConfig,
+    trace: &Trace,
+) {
+    match mech {
+        Mechanism::Utlb => hot_pair(
+            group,
+            prefix,
+            mech,
+            UtlbEngine::new(cfg.utlb_config()),
+            trace,
+        ),
+        Mechanism::PerProc => hot_pair(
+            group,
+            prefix,
+            mech,
+            PerProcessEngine::new(cfg.perproc_config()),
+            trace,
+        ),
+        Mechanism::Indexed => hot_pair(
+            group,
+            prefix,
+            mech,
+            IndexedEngine::new(cfg.indexed_config()),
+            trace,
+        ),
+        Mechanism::Intr => hot_pair(
+            group,
+            prefix,
+            mech,
+            IntrEngine::new(cfg.intr_config()),
+            trace,
+        ),
+    }
+}
+
+/// Steady-state lookup throughput, warmed: compulsory misses absorbed by a
+/// warmup pass, so the scalar/batched gap is the per-page software cost the
+/// batch API removes (per-record outcome `Vec`, per-page cost-model clone
+/// and µs→ns conversions, per-page clock advances).
+fn bench_hot_replay(c: &mut Criterion) {
+    let trace = gen::generate_shared(SplashApp::Water, &small_cfg());
+    let cfg = SimConfig::study(8192);
+    let pages: u64 = trace.records.iter().map(|r| r.lookups()).sum();
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(pages));
+    for mech in Mechanism::ALL {
+        hot_pair_for(&mut group, "hot", mech, &cfg, &trace);
+    }
+    group.finish();
+}
+
+/// The same steady-state comparison on bulk transfers — every record
+/// widened to a 16-page run, the shape the run-coalescing fast path is
+/// built for: per-process state resolved once per record and consecutive
+/// hit pages walked with one coalesced clock advance.
+fn bench_bulk_replay(c: &mut Criterion) {
+    let base = gen::generate_shared(SplashApp::Water, &small_cfg());
+    let records = base
+        .records
+        .iter()
+        .map(|r| utlb_trace::TraceRecord {
+            nbytes: 16 * PAGE_SIZE,
+            ..*r
+        })
+        .collect();
+    let trace = Trace::new("water-bulk", base.seed, records);
+    let cfg = SimConfig::study(16384);
+    let pages: u64 = trace.records.iter().map(|r| r.lookups()).sum();
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(pages));
+    for mech in Mechanism::ALL {
+        hot_pair_for(&mut group, "bulk", mech, &cfg, &trace);
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_cache_probe,
     bench_sweep_overhead,
     bench_grid,
-    bench_noop_probe
+    bench_noop_probe,
+    bench_replay_paths,
+    bench_hot_replay,
+    bench_bulk_replay
 );
 criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! The batched, allocation-free lookup path.
+//!
+//! The replay runners translate one trace record at a time, and a record is
+//! a contiguous page run for one process. The scalar
+//! [`lookup_run`](crate::TranslationMechanism::lookup_run) entry point
+//! allocates a fresh `Vec<PageOutcome>` per record and re-derives per-process
+//! state page by page; at millions of records that allocation and re-derivation
+//! is the replay hot path. [`LookupBatch`] names the record's page run and
+//! [`OutcomeBuf`] is the caller-owned buffer the batched
+//! [`lookup_run_into`](crate::TranslationMechanism::lookup_run_into) path
+//! emits into — the runner clears and reuses one buffer across the whole
+//! trace, so the steady state allocates nothing per record.
+
+use crate::PageOutcome;
+use utlb_mem::{ProcessId, VirtAddr, VirtPage};
+
+/// One record's translation request: `npages` consecutive pages for `pid`
+/// starting at `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupBatch {
+    /// The requesting process.
+    pub pid: ProcessId,
+    /// First page of the run.
+    pub start: VirtPage,
+    /// Number of consecutive pages.
+    pub npages: u64,
+}
+
+impl LookupBatch {
+    /// A batch over an explicit page run.
+    pub fn new(pid: ProcessId, start: VirtPage, npages: u64) -> Self {
+        LookupBatch { pid, start, npages }
+    }
+
+    /// The batch covering the buffer `[va, va + nbytes)` — the page span a
+    /// trace record describes.
+    pub fn for_buffer(pid: ProcessId, va: VirtAddr, nbytes: u64) -> Self {
+        LookupBatch {
+            pid,
+            start: va.page(),
+            npages: va.span_pages(nbytes),
+        }
+    }
+}
+
+/// A caller-owned, reusable buffer of per-page outcomes.
+///
+/// The batched lookup path appends into this instead of returning a fresh
+/// `Vec` per record; callers clear and reuse one buffer across a whole
+/// trace, so its capacity is paid once.
+#[derive(Debug, Default)]
+pub struct OutcomeBuf {
+    outcomes: Vec<PageOutcome>,
+}
+
+impl OutcomeBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        OutcomeBuf::default()
+    }
+
+    /// An empty buffer with room for `npages` outcomes.
+    pub fn with_capacity(npages: usize) -> Self {
+        OutcomeBuf {
+            outcomes: Vec::with_capacity(npages),
+        }
+    }
+
+    /// Empties the buffer, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.outcomes.clear();
+    }
+
+    /// Appends one outcome.
+    pub fn push(&mut self, outcome: PageOutcome) {
+        self.outcomes.push(outcome);
+    }
+
+    /// Appends a slice of outcomes.
+    pub fn extend_from_slice(&mut self, outcomes: &[PageOutcome]) {
+        self.outcomes.extend_from_slice(outcomes);
+    }
+
+    /// Outcomes recorded so far, in page order.
+    pub fn as_slice(&self) -> &[PageOutcome] {
+        &self.outcomes
+    }
+
+    /// Number of outcomes recorded.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether no outcomes are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Current capacity in outcomes.
+    pub fn capacity(&self) -> usize {
+        self.outcomes.capacity()
+    }
+
+    /// Iterates the recorded outcomes.
+    pub fn iter(&self) -> std::slice::Iter<'_, PageOutcome> {
+        self.outcomes.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a OutcomeBuf {
+    type Item = &'a PageOutcome;
+    type IntoIter = std::slice::Iter<'a, PageOutcome>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.outcomes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utlb_mem::PhysAddr;
+
+    #[test]
+    fn buffer_reuse_keeps_capacity() {
+        let mut buf = OutcomeBuf::with_capacity(8);
+        for i in 0..8 {
+            buf.push(PageOutcome {
+                page: VirtPage::new(i),
+                phys: PhysAddr::new(i << 12),
+                check_miss: false,
+                ni_miss: false,
+            });
+        }
+        assert_eq!(buf.len(), 8);
+        let cap = buf.capacity();
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap, "clear keeps the allocation");
+        assert_eq!(buf.iter().count(), 0);
+    }
+
+    #[test]
+    fn batch_for_buffer_matches_the_record_span() {
+        let pid = ProcessId::new(1);
+        // 16 bytes before a page boundary, 32 bytes long: two pages.
+        let va = VirtAddr::new(0x10_0FF0);
+        let batch = LookupBatch::for_buffer(pid, va, 32);
+        assert_eq!(batch, LookupBatch::new(pid, va.page(), 2));
+        assert_eq!(batch.npages, 2);
+    }
+}

@@ -128,6 +128,36 @@ impl PinBitVector {
             words_probed,
         }
     }
+
+    /// Length of the pinned run starting at `start`, capped at `max` pages.
+    ///
+    /// The batched lookup path's word-wise predictor: each probe decides a
+    /// whole bitmap word (up to 64 pages) at once, so a long pinned run is
+    /// confirmed with one probe per 64 pages instead of one per page.
+    pub fn pinned_prefix(&self, start: VirtPage, max: u64) -> u64 {
+        let mut n = 0u64;
+        while n < max {
+            let (chunk, word, bit) = Self::locate(start.offset(n));
+            let Some(c) = self.chunks.get(&chunk) else {
+                return n;
+            };
+            // All bits from `bit` to the end of the word (bounded by the
+            // pages still wanted), decided in one mask compare.
+            let span = (WORD_BITS - bit).min(max - n);
+            let mask = if span == WORD_BITS {
+                u64::MAX
+            } else {
+                ((1u64 << span) - 1) << bit
+            };
+            let missing = !c[word] & mask;
+            if missing == 0 {
+                n += span;
+            } else {
+                return n + (missing.trailing_zeros() as u64 - bit);
+            }
+        }
+        n
+    }
 }
 
 /// Fixed-capacity dense bit vector.
@@ -306,6 +336,41 @@ mod tests {
         assert!(v.is_set(page(1 << 30)));
         assert!(!v.is_set(page(1 << 29)));
         assert_eq!(v.count(), 2);
+    }
+
+    #[test]
+    fn pinned_prefix_agrees_with_check_run() {
+        let mut v = PinBitVector::new();
+        for i in 0..200 {
+            v.set(page(i));
+        }
+        v.clear(page(130));
+        assert_eq!(v.pinned_prefix(page(0), 256), 130);
+        assert_eq!(v.pinned_prefix(page(0), 64), 64, "capped by max");
+        assert_eq!(v.pinned_prefix(page(131), 69), 69);
+        assert_eq!(v.pinned_prefix(page(130), 10), 0);
+        assert_eq!(v.pinned_prefix(page(500), 10), 0, "untouched chunk");
+        // Exhaustive cross-check against the scalar predicate.
+        for start in 0..210 {
+            for len in [1u64, 3, 63, 64, 65, 128] {
+                let expect = (0..len).take_while(|i| v.is_set(page(start + i))).count() as u64;
+                assert_eq!(
+                    v.pinned_prefix(page(start), len),
+                    expect,
+                    "start {start} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_prefix_crosses_chunk_boundaries() {
+        let mut v = PinBitVector::new();
+        let base = CHUNK_PAGES - 3;
+        for i in 0..6 {
+            v.set(page(base + i));
+        }
+        assert_eq!(v.pinned_prefix(page(base), 10), 6);
     }
 
     #[test]

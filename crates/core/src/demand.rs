@@ -77,13 +77,22 @@ impl PageDemand {
 /// total is the sum of its parts, so no charged time is dropped.
 pub fn page_demands(events: &[Event]) -> Vec<PageDemand> {
     let mut pages = Vec::new();
+    page_demands_into(events, &mut pages);
+    pages
+}
+
+/// [`page_demands`] into a caller-owned buffer: clears `out` and appends the
+/// demands, keeping its allocation. The contention runner decomposes every
+/// record this way, reusing one buffer across the whole trace.
+pub fn page_demands_into(events: &[Event], out: &mut Vec<PageDemand>) {
+    out.clear();
     let mut current = PageDemand::default();
     let mut open = false;
     for event in events {
         current.fold(event);
         if let Event::Lookup { ns } = *event {
             current.total_ns = ns;
-            pages.push(current);
+            out.push(current);
             current = PageDemand::default();
             open = false;
         } else {
@@ -92,9 +101,8 @@ pub fn page_demands(events: &[Event]) -> Vec<PageDemand> {
     }
     if open {
         current.total_ns = current.pin_ns + current.intr_ns + current.dma_ns;
-        pages.push(current);
+        out.push(current);
     }
-    pages
 }
 
 #[cfg(test)]
@@ -189,5 +197,18 @@ mod tests {
     #[test]
     fn empty_stream_yields_no_pages() {
         assert_eq!(page_demands(&[]), Vec::new());
+    }
+
+    #[test]
+    fn into_variant_clears_and_reuses_the_buffer() {
+        let first = vec![Event::Lookup { ns: 10 }, Event::Lookup { ns: 20 }];
+        let second = vec![Event::Lookup { ns: 30 }];
+        let mut out = Vec::new();
+        page_demands_into(&first, &mut out);
+        assert_eq!(out, page_demands(&first));
+        let cap = out.capacity();
+        page_demands_into(&second, &mut out);
+        assert_eq!(out, page_demands(&second));
+        assert_eq!(out.capacity(), cap, "reuse keeps the allocation");
     }
 }

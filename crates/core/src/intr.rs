@@ -14,7 +14,10 @@
 use crate::obs::{Event, EvictReason, Probe, ProbeSlot};
 use crate::pincore::{aggregate, charge_us, PinCore};
 use crate::policy::Policy;
-use crate::{CacheConfig, CostModel, Result, SharedUtlbCache, TranslationStats, UtlbError};
+use crate::{
+    CacheConfig, CostModel, OutcomeBuf, PageOutcome, Result, SharedUtlbCache, TranslationStats,
+    UtlbError,
+};
 use std::collections::HashMap;
 use utlb_mem::{Host, PhysAddr, ProcessId, VirtPage};
 use utlb_nic::{Board, Nanos};
@@ -183,6 +186,89 @@ impl IntrEngine {
             out.push(self.lookup_page(host, board, pid, page)?);
         }
         Ok(out)
+    }
+
+    /// Batched lookup: translates `npages` pages starting at `start`,
+    /// appending outcomes into the caller-owned buffer. (This design has no
+    /// user-level check, so outcomes always report `check_miss: false`.)
+    ///
+    /// Consecutive pages a stats-free cache peek finds present take a
+    /// coalesced fast path — their identical NIC-check charges applied in
+    /// one clock advance. Any missing page settles the pending charges and
+    /// goes through the scalar per-page walk unchanged (a miss may unpin a
+    /// *different* process's page via a conflict eviction, so the whole
+    /// interrupt path stays scalar); outcomes, statistics, probe events,
+    /// and the clock are identical to [`lookup`](IntrEngine::lookup).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pinning and memory errors.
+    #[allow(clippy::too_many_arguments)] // host/board/pid threading is the engine calling convention
+    pub fn lookup_run_into(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+        start: VirtPage,
+        npages: u64,
+        out: &mut OutcomeBuf,
+    ) -> Result<()> {
+        if !self.procs.contains_key(&pid) {
+            return Err(UtlbError::UnregisteredProcess(pid));
+        }
+        // A hit charges only the NIC check; its Lookup event carries that
+        // clock delta, independent of absolute time.
+        let hit_ns = Nanos::from_micros(self.cfg.cost.ni_check_us);
+        let hit_event_ns = hit_ns.as_nanos();
+
+        let mut pending = 0u64; // coalesced hit charges not yet on the clock
+        let mut i = 0u64;
+        while i < npages {
+            let page = start.offset(i);
+            if self.cache.peek(pid, page).is_none() {
+                // Miss: settle the coalesced time first so the interrupt
+                // path sees the same absolute clock as the scalar walk.
+                if pending > 0 {
+                    board.clock.advance(hit_ns * pending);
+                    pending = 0;
+                }
+                let o = self.lookup_page(host, board, pid, page)?;
+                out.push(PageOutcome {
+                    page: o.page,
+                    phys: o.phys,
+                    check_miss: false,
+                    ni_miss: o.ni_miss,
+                });
+                i += 1;
+                continue;
+            }
+            // Run of cached pages: one state resolution, deferred charges.
+            let core = self.procs.get_mut(&pid).expect("checked above");
+            let mut run = 0u64;
+            while i + run < npages {
+                let page = start.offset(i + run);
+                let Some(phys) = self.cache.peek(pid, page) else {
+                    break;
+                };
+                let looked_up = self.cache.lookup(pid, page);
+                debug_assert_eq!(looked_up, Some(phys), "peek agrees with lookup");
+                core.fast_hit(page);
+                self.probe.emit(pid, Event::Lookup { ns: hit_event_ns });
+                out.push(PageOutcome {
+                    page,
+                    phys,
+                    check_miss: false,
+                    ni_miss: false,
+                });
+                run += 1;
+            }
+            pending += run;
+            i += run;
+        }
+        if pending > 0 {
+            board.clock.advance(hit_ns * pending);
+        }
+        Ok(())
     }
 
     fn lookup_page(

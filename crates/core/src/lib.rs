@@ -66,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod batch;
 mod bitvec;
 mod cache;
 mod cost;
@@ -84,10 +85,11 @@ mod policy;
 mod stats;
 mod table;
 
+pub use batch::{LookupBatch, OutcomeBuf};
 pub use bitvec::{CheckOutcome, DenseBits, PinBitVector};
 pub use cache::{Associativity, CacheConfig, CacheStats, Evicted, SharedUtlbCache};
 pub use cost::{CostModel, LookupRates};
-pub use demand::{page_demands, PageDemand};
+pub use demand::{page_demands, page_demands_into, PageDemand};
 pub use engine::{LookupReport, PageOutcome, UtlbConfig, UtlbConfigBuilder, UtlbEngine};
 pub use error::UtlbError;
 pub use hier::{DirEntry, HierTable, DIR_ENTRIES, LEAF_ENTRIES};

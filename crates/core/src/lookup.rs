@@ -66,6 +66,19 @@ impl UserLookupTree {
         old
     }
 
+    /// The leaf slice covering `page` and `page`'s offset inside it, or
+    /// `None` if the leaf was never populated.
+    ///
+    /// One directory reference resolves up to `LEAF_ENTRIES` consecutive
+    /// pages: the batched lookup path walks the returned slice directly
+    /// instead of re-splitting and re-hashing per page. (The slice holds
+    /// `LEAF_ENTRIES - offset` entries from `page` to the leaf edge; runs
+    /// crossing the edge re-resolve the next leaf.)
+    pub fn leaf(&self, page: VirtPage) -> Option<(&[Option<UtlbIndex>], usize)> {
+        let (dir, leaf) = Self::split(page);
+        self.directory.get(&dir).map(|l| (&l[..], leaf))
+    }
+
     /// Invalidates the mapping for `page`, returning the removed index.
     pub fn invalidate(&mut self, page: VirtPage) -> Option<UtlbIndex> {
         let (dir, leaf) = Self::split(page);
@@ -107,6 +120,20 @@ mod tests {
         t.install(page(5 + LEAF_ENTRIES), UtlbIndex(2));
         assert_eq!(t.lookup(page(5)), Some(UtlbIndex(1)));
         assert_eq!(t.lookup(page(5 + LEAF_ENTRIES)), Some(UtlbIndex(2)));
+    }
+
+    #[test]
+    fn leaf_slice_agrees_with_per_page_lookup() {
+        let mut t = UserLookupTree::new();
+        t.install(page(100), UtlbIndex(1));
+        t.install(page(101), UtlbIndex(2));
+        let (slice, off) = t.leaf(page(100)).expect("leaf populated");
+        assert_eq!(off, 100);
+        assert_eq!(slice[off], Some(UtlbIndex(1)));
+        assert_eq!(slice[off + 1], Some(UtlbIndex(2)));
+        assert_eq!(slice[off + 2], None);
+        assert_eq!(slice.len(), LEAF_ENTRIES as usize);
+        assert!(t.leaf(page(LEAF_ENTRIES)).is_none(), "unpopulated leaf");
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use crate::obs::Probe;
 use crate::{
-    CacheStats, IndexedEngine, IntrEngine, PageOutcome, PerProcessEngine, Result, TranslationStats,
-    UtlbEngine,
+    CacheStats, IndexedEngine, IntrEngine, LookupBatch, OutcomeBuf, PageOutcome, PerProcessEngine,
+    Result, TranslationStats, UtlbEngine,
 };
 use utlb_mem::{Host, ProcessId, VirtPage};
 use utlb_nic::Board;
@@ -79,6 +79,32 @@ pub trait TranslationMechanism {
         npages: u64,
     ) -> Result<Vec<PageOutcome>>;
 
+    /// Translates a batch into a caller-owned buffer, appending one outcome
+    /// per page — the allocation-free path the replay runners drive.
+    ///
+    /// Outcomes, statistics, probe events, and clock charges are identical
+    /// to [`lookup_run`](TranslationMechanism::lookup_run); only the
+    /// software overhead differs. The default implementation delegates to
+    /// the scalar path; the four engines override it with fast paths that
+    /// resolve per-process state once per record and coalesce runs of
+    /// consecutive hit pages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pinning and memory errors, as for
+    /// [`lookup_run`](TranslationMechanism::lookup_run).
+    fn lookup_run_into(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        batch: LookupBatch,
+        out: &mut OutcomeBuf,
+    ) -> Result<()> {
+        let pages = self.lookup_run(host, board, batch.pid, batch.start, batch.npages)?;
+        out.extend_from_slice(&pages);
+        Ok(())
+    }
+
     /// Per-process statistics.
     ///
     /// # Errors
@@ -137,6 +163,16 @@ impl TranslationMechanism for UtlbEngine {
         npages: u64,
     ) -> Result<Vec<PageOutcome>> {
         UtlbEngine::lookup(self, host, board, pid, start, npages).map(|r| r.pages)
+    }
+
+    fn lookup_run_into(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        batch: LookupBatch,
+        out: &mut OutcomeBuf,
+    ) -> Result<()> {
+        UtlbEngine::lookup_run_into(self, host, board, batch.pid, batch.start, batch.npages, out)
     }
 
     fn stats(&self, pid: ProcessId) -> Result<TranslationStats> {
@@ -202,6 +238,24 @@ impl TranslationMechanism for PerProcessEngine {
         Ok(out)
     }
 
+    fn lookup_run_into(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        batch: LookupBatch,
+        out: &mut OutcomeBuf,
+    ) -> Result<()> {
+        PerProcessEngine::lookup_run_into(
+            self,
+            host,
+            board,
+            batch.pid,
+            batch.start,
+            batch.npages,
+            out,
+        )
+    }
+
     fn stats(&self, pid: ProcessId) -> Result<TranslationStats> {
         PerProcessEngine::stats(self, pid)
     }
@@ -265,6 +319,16 @@ impl TranslationMechanism for IndexedEngine {
             out.push(IndexedEngine::lookup(self, host, board, pid, page)?);
         }
         Ok(out)
+    }
+
+    fn lookup_run_into(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        batch: LookupBatch,
+        out: &mut OutcomeBuf,
+    ) -> Result<()> {
+        IndexedEngine::lookup_run_into(self, host, board, batch.pid, batch.start, batch.npages, out)
     }
 
     fn stats(&self, pid: ProcessId) -> Result<TranslationStats> {
@@ -337,6 +401,16 @@ impl TranslationMechanism for IntrEngine {
         })
     }
 
+    fn lookup_run_into(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        batch: LookupBatch,
+        out: &mut OutcomeBuf,
+    ) -> Result<()> {
+        IntrEngine::lookup_run_into(self, host, board, batch.pid, batch.start, batch.npages, out)
+    }
+
     fn stats(&self, pid: ProcessId) -> Result<TranslationStats> {
         IntrEngine::stats(self, pid)
     }
@@ -381,6 +455,59 @@ mod tests {
         mech.unregister_process(&mut host, &mut board, pid).unwrap();
         assert_eq!(host.driver().pins().pinned_pages(pid), 0);
         (agg, mech.cache_stats())
+    }
+
+    /// Drives the batched entry point twice into one buffer, checking the
+    /// trait contract: `lookup_run_into` *appends* (the caller owns
+    /// clearing) and produces the same outcomes as the scalar path.
+    fn drive_batched<M: TranslationMechanism>(mut mech: M, mut scalar: M) {
+        let mut host = Host::new(1 << 16);
+        let mut board = Board::new();
+        let mut host_s = Host::new(1 << 16);
+        let mut board_s = Board::new();
+        let pid = host.spawn_process();
+        assert_eq!(host_s.spawn_process(), pid);
+        mech.register_process(&mut host, &mut board, pid).unwrap();
+        scalar
+            .register_process(&mut host_s, &mut board_s, pid)
+            .unwrap();
+        let mut out = OutcomeBuf::new();
+        let mut reference = Vec::new();
+        for _ in 0..2 {
+            let batch = LookupBatch::new(pid, VirtPage::new(40), 4);
+            mech.lookup_run_into(&mut host, &mut board, batch, &mut out)
+                .unwrap();
+            reference.extend(
+                scalar
+                    .lookup_run(&mut host_s, &mut board_s, pid, VirtPage::new(40), 4)
+                    .unwrap(),
+            );
+        }
+        assert_eq!(out.len(), 8, "two batches appended, none overwritten");
+        assert_eq!(out.as_slice(), &reference[..]);
+        assert_eq!(board.clock.now(), board_s.clock.now());
+        assert_eq!(mech.aggregate_stats(), scalar.aggregate_stats());
+        assert_eq!(mech.cache_stats(), scalar.cache_stats());
+    }
+
+    #[test]
+    fn batched_entry_point_appends_and_matches_scalar_for_all_mechanisms() {
+        drive_batched(
+            UtlbEngine::new(UtlbConfig::default()),
+            UtlbEngine::new(UtlbConfig::default()),
+        );
+        drive_batched(
+            PerProcessEngine::new(PerProcessConfig::default()),
+            PerProcessEngine::new(PerProcessConfig::default()),
+        );
+        drive_batched(
+            IndexedEngine::new(IndexedConfig::default()),
+            IndexedEngine::new(IndexedConfig::default()),
+        );
+        drive_batched(
+            IntrEngine::new(IntrConfig::default()),
+            IntrEngine::new(IntrConfig::default()),
+        );
     }
 
     #[test]

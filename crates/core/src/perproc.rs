@@ -14,10 +14,10 @@ use crate::obs::{Event, EvictReason, ProbeSlot};
 use crate::pincore::{charge_us, probe_stats_accessors, PinCore};
 use crate::policy::Policy;
 use crate::table::PerProcessTable;
-use crate::{CostModel, PageOutcome, Result, UtlbError};
+use crate::{CostModel, OutcomeBuf, PageOutcome, Result, UtlbError};
 use std::collections::HashMap;
 use utlb_mem::{Host, ProcessId, VirtPage};
-use utlb_nic::Board;
+use utlb_nic::{Board, Nanos};
 
 /// Configuration of a [`PerProcessEngine`].
 #[derive(Debug, Clone)]
@@ -217,6 +217,89 @@ impl PerProcessEngine {
             // The statically allocated table is authoritative on the NIC.
             ni_miss: false,
         })
+    }
+
+    /// Batched lookup: translates `npages` pages starting at `start`,
+    /// appending outcomes into the caller-owned buffer.
+    ///
+    /// The user-level tree's leaf slice is resolved once per run
+    /// ([`UserLookupTree::leaf`]); consecutive mapped pages inside it take
+    /// a coalesced fast path — one SRAM table read each, their identical
+    /// clock charges applied in one advance. An unmapped page settles the
+    /// pending charges and goes through the scalar
+    /// [`lookup`](PerProcessEngine::lookup) unchanged, so outcomes,
+    /// statistics, probe events, and the clock are identical to the scalar
+    /// walk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pinning and SRAM errors; [`UtlbError::TableFull`] if no
+    /// entry can be evicted.
+    #[allow(clippy::too_many_arguments)] // host/board/pid threading is the engine calling convention
+    pub fn lookup_run_into(
+        &mut self,
+        host: &mut Host,
+        board: &mut Board,
+        pid: ProcessId,
+        start: VirtPage,
+        npages: u64,
+        out: &mut OutcomeBuf,
+    ) -> Result<()> {
+        if !self.procs.contains_key(&pid) {
+            return Err(UtlbError::UnregisteredProcess(pid));
+        }
+        let user_ns = Nanos::from_micros(self.cfg.cost.user_check_us);
+        let ni_ns = Nanos::from_micros(self.cfg.cost.ni_check_us);
+        let hit_ns = user_ns + ni_ns;
+        let hit_event_ns = hit_ns.as_nanos();
+
+        let mut pending = 0u64; // coalesced hit charges not yet on the clock
+        let mut i = 0u64;
+        while i < npages {
+            let page = start.offset(i);
+            let state = self.procs.get_mut(&pid).expect("checked above");
+            let ProcState { table, tree, core } = state;
+            // One directory reference covers the whole leaf; walk mapped
+            // entries until the leaf edge, the record edge, or a miss.
+            let (leaf, off) = match tree.leaf(page) {
+                Some(found) => found,
+                None => (&[][..], 0),
+            };
+            let span = (leaf.len() - off).min((npages - i) as usize);
+            let mut run = 0usize;
+            while run < span {
+                let Some(index) = leaf[off + run] else { break };
+                let page = start.offset(i + run as u64);
+                core.fast_hit(page);
+                let phys = table.read(index, &board.sram)?;
+                self.probe.emit(pid, Event::Lookup { ns: hit_event_ns });
+                out.push(PageOutcome {
+                    page,
+                    phys,
+                    check_miss: false,
+                    // The statically allocated table is authoritative.
+                    ni_miss: false,
+                });
+                run += 1;
+            }
+            if run == 0 {
+                // Unmapped page: settle the coalesced time first so the
+                // miss path sees the same absolute clock as the scalar walk.
+                if pending > 0 {
+                    board.clock.advance(hit_ns * pending);
+                    pending = 0;
+                }
+                out.push(self.lookup(host, board, pid, page)?);
+                i += 1;
+            } else {
+                pending += run as u64;
+                i += run as u64;
+            }
+        }
+        if pending > 0 {
+            board.clock.advance(hit_ns * pending);
+        }
+        Ok(())
     }
 }
 

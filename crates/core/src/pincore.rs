@@ -49,6 +49,17 @@ impl PinCore {
         }
     }
 
+    /// The counter/recency work of a pure translation hit, shared by every
+    /// engine's batched fast path: one lookup counted and the page's
+    /// recency refreshed in the replacement set. The caller owns the clock
+    /// charge (batched walks coalesce the identical hit charges of a run
+    /// into one advance) and the NIC-side structure probe.
+    #[inline]
+    pub fn fast_hit(&mut self, page: VirtPage) {
+        self.stats.lookups += 1;
+        self.pinned.touch(page);
+    }
+
     /// The demand-unpin path: charge `unpin_us` to the board clock, drop
     /// the driver pin, update the replacement set and counters, and narrate
     /// the eviction as `Evict { reason }` + `Unpin`.

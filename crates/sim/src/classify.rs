@@ -12,6 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
+use utlb_core::PageOutcome;
 use utlb_mem::{ProcessId, VirtPage};
 
 /// Classification of one NIC translation miss.
@@ -124,6 +125,16 @@ impl MissClassifier {
         self.seen.insert(key);
         self.shadow_touch(key);
         kind
+    }
+
+    /// Feeds a whole record's page outcomes — as produced by
+    /// [`utlb_core::TranslationMechanism::lookup_run_into`] — through the
+    /// classifier in order. Exactly equivalent to calling
+    /// [`access`](MissClassifier::access) per page.
+    pub fn access_batch(&mut self, pid: ProcessId, pages: &[PageOutcome]) {
+        for p in pages {
+            self.access(pid, p.page, p.ni_miss);
+        }
     }
 
     fn shadow_touch(&mut self, key: Key) {

@@ -26,7 +26,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use utlb_core::obs::{Event, Histogram, Probe, SharedCollector, WaitResource};
 use utlb_core::{
-    page_demands, IndexedEngine, IntrEngine, PerProcessEngine, TranslationMechanism, UtlbEngine,
+    page_demands_into, IndexedEngine, IntrEngine, LookupBatch, OutcomeBuf, PageDemand,
+    PerProcessEngine, TranslationMechanism, UtlbEngine,
 };
 use utlb_mem::{Host, ProcessId};
 use utlb_nic::{Board, BoardSnapshot, Nanos};
@@ -237,6 +238,13 @@ fn replay_des<M: TranslationMechanism>(
     let mut payload_transfers = 0u64;
     let mut payload_words = 0u64;
 
+    // Reused across records: page outcomes from the batched lookup path,
+    // the drained event tap, and the decomposed per-page demands. Steady
+    // state allocates nothing per record.
+    let mut out = OutcomeBuf::new();
+    let mut events_scratch: Vec<Event> = Vec::new();
+    let mut demands: Vec<PageDemand> = Vec::new();
+
     while let Some(sched) = queue.pop() {
         let stream = sched.payload.stream;
         let (pid, recs) = &streams[stream];
@@ -245,18 +253,22 @@ fn replay_des<M: TranslationMechanism>(
 
         // --- Serial half, verbatim from the plain runner. ---
         board.clock.advance_to(Nanos::from_nanos(rec.ts_ns));
-        let npages = rec.va.span_pages(rec.nbytes);
-        let pages = engine
-            .lookup_run(&mut host, &mut board, pid, rec.va.page(), npages)
+        out.clear();
+        engine
+            .lookup_run_into(
+                &mut host,
+                &mut board,
+                LookupBatch::for_buffer(pid, rec.va, rec.nbytes),
+                &mut out,
+            )
             .expect("trace lookups succeed");
-        for page in &pages {
-            classifier.access(pid, page.page, page.ni_miss);
-        }
+        classifier.access_batch(pid, out.as_slice());
 
         // --- DES overlay: route this lookup's demands through the
         // stations, holding the firmware for the whole request. ---
-        let events = std::mem::take(&mut *buf.borrow_mut());
-        let demands = page_demands(&events);
+        events_scratch.clear();
+        std::mem::swap(&mut *buf.borrow_mut(), &mut events_scratch);
+        page_demands_into(&events_scratch, &mut demands);
         let arrival = Nanos::from_nanos(rec.ts_ns);
         let grant = firmware.acquire_with(arrival, |start| {
             let mut cursor = start;

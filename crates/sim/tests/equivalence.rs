@@ -10,13 +10,14 @@
 
 use proptest::prelude::*;
 use utlb_core::{
-    CacheStats, IndexedEngine, IntrEngine, PerProcessEngine, TranslationStats, UtlbEngine,
+    CacheStats, IndexedEngine, IntrEngine, LookupBatch, OutcomeBuf, PerProcessEngine,
+    TranslationMechanism, TranslationStats, UtlbEngine,
 };
 use utlb_mem::{Host, ProcessId, VirtPage};
 use utlb_nic::{Board, Nanos};
 use utlb_sim::{
-    run_intr, run_mechanism, run_mechanism_observed, run_utlb, Mechanism, MissClassifier,
-    SimConfig, SimResult,
+    run_des_mechanism, run_intr, run_mechanism, run_mechanism_observed, run_utlb, DesConfig,
+    Mechanism, MissClassifier, SimConfig, SimResult,
 };
 use utlb_trace::{gen, GenConfig, SplashApp, Trace};
 
@@ -277,6 +278,232 @@ proptest! {
             let unified = run_mechanism(Mechanism::PerProc, &trace, &cfg);
             prop_assert_eq!(legacy, unified.stats);
         }
+    }
+}
+
+/// The scalar per-record replay loop — the pre-batching `run` body, kept as
+/// the golden reference for the batched lookup path. Drives the trait's
+/// allocating `lookup_run`, classifying each page individually.
+fn scalar_replay<M: TranslationMechanism>(
+    engine: &mut M,
+    trace: &Trace,
+    cfg: &SimConfig,
+) -> SimResult {
+    let mut host = Host::new(HOST_FRAMES);
+    let mut board = Board::new();
+    let mut classifier = MissClassifier::new(cfg.cache_entries);
+
+    let pids = trace.process_ids();
+    for expected in &pids {
+        let got = host.spawn_process();
+        assert_eq!(got, *expected);
+        engine
+            .register_process(&mut host, &mut board, got)
+            .expect("registration succeeds on a fresh host");
+    }
+
+    let t0 = board.clock.now();
+    for rec in &trace.records {
+        board.clock.advance_to(Nanos::from_nanos(rec.ts_ns));
+        let npages = rec.va.span_pages(rec.nbytes);
+        let pages = engine
+            .lookup_run(&mut host, &mut board, rec.pid, rec.va.page(), npages)
+            .expect("trace lookups succeed");
+        for page in &pages {
+            classifier.access(rec.pid, page.page, page.ni_miss);
+        }
+    }
+    let sim_time_ns = (board.clock.now() - t0).as_nanos();
+
+    let per_process = pids
+        .iter()
+        .map(|p| (p.raw(), engine.stats(*p).expect("registered")))
+        .collect();
+    SimResult {
+        workload: trace.workload.clone(),
+        stats: engine.aggregate_stats(),
+        cache: engine.cache_stats(),
+        breakdown: classifier.breakdown(),
+        per_process,
+        sim_time_ns,
+    }
+}
+
+/// [`scalar_replay`] behind a [`Mechanism`] dispatch.
+fn scalar_run_mechanism(mech: Mechanism, trace: &Trace, cfg: &SimConfig) -> SimResult {
+    match mech {
+        Mechanism::Utlb => scalar_replay(&mut UtlbEngine::new(cfg.utlb_config()), trace, cfg),
+        Mechanism::PerProc => {
+            scalar_replay(&mut PerProcessEngine::new(cfg.perproc_config()), trace, cfg)
+        }
+        Mechanism::Indexed => {
+            scalar_replay(&mut IndexedEngine::new(cfg.indexed_config()), trace, cfg)
+        }
+        Mechanism::Intr => scalar_replay(&mut IntrEngine::new(cfg.intr_config()), trace, cfg),
+    }
+}
+
+/// Drives two engines of the same type in lockstep — one through scalar
+/// `lookup_run`, one through batched `lookup_run_into` — asserting after
+/// *every record* that outcomes and simulated clocks agree, and at the end
+/// that all statistics do. Stronger than end-state JSON comparison: a
+/// transient divergence that later cancels out would still fail here.
+fn assert_batched_lockstep_matches_scalar<M: TranslationMechanism>(
+    scalar: &mut M,
+    batched: &mut M,
+    trace: &Trace,
+) {
+    let mut host_s = Host::new(HOST_FRAMES);
+    let mut host_b = Host::new(HOST_FRAMES);
+    let mut board_s = Board::new();
+    let mut board_b = Board::new();
+
+    let pids = trace.process_ids();
+    for expected in &pids {
+        assert_eq!(host_s.spawn_process(), *expected);
+        assert_eq!(host_b.spawn_process(), *expected);
+        scalar
+            .register_process(&mut host_s, &mut board_s, *expected)
+            .expect("registration succeeds");
+        batched
+            .register_process(&mut host_b, &mut board_b, *expected)
+            .expect("registration succeeds");
+    }
+
+    let mut out = OutcomeBuf::new();
+    for (ix, rec) in trace.records.iter().enumerate() {
+        board_s.clock.advance_to(Nanos::from_nanos(rec.ts_ns));
+        board_b.clock.advance_to(Nanos::from_nanos(rec.ts_ns));
+        let npages = rec.va.span_pages(rec.nbytes);
+        let pages = scalar
+            .lookup_run(&mut host_s, &mut board_s, rec.pid, rec.va.page(), npages)
+            .expect("trace lookups succeed");
+        out.clear();
+        batched
+            .lookup_run_into(
+                &mut host_b,
+                &mut board_b,
+                LookupBatch::for_buffer(rec.pid, rec.va, rec.nbytes),
+                &mut out,
+            )
+            .expect("trace lookups succeed");
+        assert_eq!(
+            out.as_slice(),
+            &pages[..],
+            "outcomes diverge at record {ix}"
+        );
+        assert_eq!(
+            board_s.clock.now(),
+            board_b.clock.now(),
+            "clocks diverge at record {ix}"
+        );
+    }
+
+    assert_eq!(scalar.aggregate_stats(), batched.aggregate_stats());
+    assert_eq!(scalar.cache_stats(), batched.cache_stats());
+    for pid in &pids {
+        assert_eq!(
+            scalar.stats(*pid).expect("registered"),
+            batched.stats(*pid).expect("registered"),
+            "per-process stats diverge for {pid:?}"
+        );
+    }
+}
+
+/// Lockstep comparison behind a [`Mechanism`] dispatch.
+fn assert_batched_matches_scalar(mech: Mechanism, trace: &Trace, cfg: &SimConfig) {
+    match mech {
+        Mechanism::Utlb => assert_batched_lockstep_matches_scalar(
+            &mut UtlbEngine::new(cfg.utlb_config()),
+            &mut UtlbEngine::new(cfg.utlb_config()),
+            trace,
+        ),
+        Mechanism::PerProc => assert_batched_lockstep_matches_scalar(
+            &mut PerProcessEngine::new(cfg.perproc_config()),
+            &mut PerProcessEngine::new(cfg.perproc_config()),
+            trace,
+        ),
+        Mechanism::Indexed => assert_batched_lockstep_matches_scalar(
+            &mut IndexedEngine::new(cfg.indexed_config()),
+            &mut IndexedEngine::new(cfg.indexed_config()),
+            trace,
+        ),
+        Mechanism::Intr => assert_batched_lockstep_matches_scalar(
+            &mut IntrEngine::new(cfg.intr_config()),
+            &mut IntrEngine::new(cfg.intr_config()),
+            trace,
+        ),
+    }
+}
+
+#[test]
+fn batched_lookup_matches_scalar_lockstep_for_all_mechanisms() {
+    let trace = water();
+    // A tiny cache forces evictions (and for Intr, conflict unpins across
+    // processes); the memory limit adds mem-limit unpins; the larger cache
+    // covers the mostly-hits fast-path regime the batching targets.
+    for cfg in [
+        SimConfig::study(64),
+        SimConfig::study(256).limit_mb(1),
+        SimConfig::study(1024),
+    ] {
+        for mech in Mechanism::ALL {
+            assert_batched_matches_scalar(mech, &trace, &cfg);
+        }
+    }
+}
+
+#[test]
+fn batched_run_is_byte_identical_to_a_scalar_replay() {
+    let trace = water();
+    let cfg = SimConfig::study(256).limit_mb(1);
+    for mech in Mechanism::ALL {
+        let scalar = serde_json::to_string(&scalar_run_mechanism(mech, &trace, &cfg)).unwrap();
+        let batched = serde_json::to_string(&run_mechanism(mech, &trace, &cfg)).unwrap();
+        assert_eq!(scalar, batched, "{mech}");
+    }
+}
+
+#[test]
+fn des_zero_contention_base_is_byte_identical_to_a_scalar_replay() {
+    // `run_des` now drives the batched path too; its serial half must still
+    // reproduce the scalar replay bit-exactly under zero contention.
+    let trace = water();
+    let cfg = SimConfig::study(256);
+    for mech in Mechanism::ALL {
+        let scalar = scalar_run_mechanism(mech, &trace, &cfg);
+        let des = run_des_mechanism(mech, &trace, &cfg, &DesConfig::zero_contention());
+        assert_eq!(
+            serde_json::to_string(&scalar).unwrap(),
+            serde_json::to_string(&des.base).unwrap(),
+            "{mech}"
+        );
+        assert_eq!(des.des_time_ns, scalar.sim_time_ns, "{mech}: DES overlay");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Batched and scalar lookup paths agree in lockstep for arbitrary
+    /// traces and cache geometries, for every mechanism.
+    #[test]
+    fn batched_lookup_matches_scalar_for_any_trace(
+        seed in any::<u64>(),
+        scale in 0.02f64..0.05,
+        cache_log in 6u32..11,
+        app_ix in 0usize..7,
+        mech_ix in 0usize..4,
+        limit in any::<bool>(),
+    ) {
+        let app = SplashApp::ALL[app_ix];
+        let gencfg = GenConfig { seed, scale, app_processes: 4 };
+        let trace = gen::generate(app, &gencfg);
+        let mut cfg = SimConfig::study(1usize << cache_log);
+        if limit {
+            cfg = cfg.limit_mb(1);
+        }
+        assert_batched_matches_scalar(Mechanism::ALL[mech_ix], &trace, &cfg);
     }
 }
 

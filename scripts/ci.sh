@@ -41,8 +41,17 @@ cargo test -q --offline -p utlb-sim --test des_equivalence
 echo "== DES: contention experiments (load monotonicity, interference, per-mechanism axis)"
 cargo test -q --offline -p utlb-sim contention::
 
+echo "== batched lookup path: scalar-equivalence gate"
+cargo test -q --offline -p utlb-sim --test equivalence scalar
+cargo test -q --offline -p utlb-core batch::
+cargo test -q --offline -p utlb-core pinned_prefix
+cargo test -q --offline -p utlb-bench scalar_baseline
+
 echo "== DES: replay overhead bench"
 cargo bench -q --offline -p utlb-bench --bench des_replay
+
+echo "== criterion smoke: batched-vs-scalar replay benches compile and run"
+cargo bench -q --offline -p utlb-bench --bench sweep -- --test
 
 echo "== docs build clean"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline --workspace
