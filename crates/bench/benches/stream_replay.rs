@@ -1,0 +1,64 @@
+//! Streamed vs materialized replay.
+//!
+//! Three points pin the cost structure of the streaming path:
+//!
+//! * `replay_materialized` — replay of a pre-built trace, the classic
+//!   inner loop (generation excluded),
+//! * `fused_generate_replay` — the streaming path end to end: records are
+//!   synthesized on demand and replayed without ever being stored,
+//! * `generate_then_replay` — the pre-streaming end-to-end pipeline:
+//!   materialize the full trace, then replay it.
+//!
+//! Fused must track `generate_then_replay` closely (same work, no
+//! intermediate vector); the gap between the end-to-end pairs and
+//! `replay_materialized` is the generation cost itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use utlb_core::UtlbEngine;
+use utlb_sim::{run_stream, run_utlb, SimConfig};
+use utlb_trace::{gen, GenConfig, SplashApp};
+
+fn small_cfg() -> GenConfig {
+    GenConfig {
+        seed: 1998,
+        scale: 0.1,
+        app_processes: 4,
+    }
+}
+
+fn bench_stream_replay(c: &mut Criterion) {
+    let gcfg = small_cfg();
+    // FFT: the suite's largest trace by lookups (Table 3).
+    let app = SplashApp::Fft;
+    let trace = gen::generate(app, &gcfg);
+    let lookups = trace.total_lookups();
+    let sim = SimConfig::study(2048);
+
+    let mut group = c.benchmark_group("stream_replay");
+    group.throughput(Throughput::Elements(lookups));
+    group.sample_size(10);
+    group.bench_function("replay_materialized", |b| {
+        b.iter(|| black_box(run_utlb(&trace, &sim)))
+    });
+    group.bench_function("fused_generate_replay", |b| {
+        b.iter(|| {
+            let mut stream = gen::stream(app, &gcfg);
+            black_box(run_stream(
+                &mut UtlbEngine::new(sim.utlb_config()),
+                &mut stream,
+                &sim,
+            ))
+        })
+    });
+    group.bench_function("generate_then_replay", |b| {
+        b.iter(|| {
+            let t = gen::generate(app, &gcfg);
+            black_box(run_utlb(&t, &sim))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_replay);
+criterion_main!(benches);

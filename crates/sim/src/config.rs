@@ -65,7 +65,15 @@ pub struct SimConfig {
     pub cost: CostModel,
     /// Engine seed.
     pub seed: u64,
+    /// Host DRAM frames backing a run. The default is large enough that the
+    /// footprints of Table 3 plus translation tables never exhaust simulated
+    /// memory; shrink it to study pin pressure, or grow it for scaled-up
+    /// workloads.
+    pub host_frames: u64,
 }
+
+/// Default host DRAM frames per run (4 GB of 4 KB pages).
+pub const DEFAULT_HOST_FRAMES: u64 = 1 << 20;
 
 impl SimConfig {
     /// The paper's default study point: direct-mapped with offsetting, no
@@ -82,12 +90,19 @@ impl SimConfig {
             table_entries: 8192,
             cost: CostModel::default(),
             seed: 0xCAFE,
+            host_frames: DEFAULT_HOST_FRAMES,
         }
     }
 
     /// Pages for a megabyte-denominated per-process memory limit.
     pub fn limit_mb(mut self, mb: u64) -> Self {
         self.mem_limit_pages = Some(mb * 256); // 4 KB pages
+        self
+    }
+
+    /// Host DRAM frames for the run.
+    pub fn host_frames(mut self, frames: u64) -> Self {
+        self.host_frames = frames;
         self
     }
 
@@ -164,6 +179,13 @@ mod tests {
         assert_eq!(c.prefetch, 1);
         assert_eq!(c.mem_limit_pages, None);
         assert_eq!(c.policy, Policy::Lru);
+        assert_eq!(c.host_frames, DEFAULT_HOST_FRAMES);
+    }
+
+    #[test]
+    fn host_frames_builder_overrides_the_default() {
+        let c = SimConfig::study(1024).host_frames(1 << 10);
+        assert_eq!(c.host_frames, 1 << 10);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! question — appears.
 
 use crate::observe::ObsReport;
+use crate::runner::STREAM_CHUNK;
 use crate::{Mechanism, MissClassifier, SimConfig, SimResult};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -31,15 +32,10 @@ use utlb_core::{
 };
 use utlb_mem::{Host, ProcessId};
 use utlb_nic::{Board, BoardSnapshot, Nanos};
-use utlb_trace::{Trace, TraceRecord};
+use utlb_trace::{fill_chunk, Trace, TraceStream, TraceView};
 
 pub use utlb_des::DesConfig;
-use utlb_des::{
-    DmaEngineModel, EventQueue, IntrServiceModel, IoBusModel, Resource, ResourceReport,
-};
-
-/// Host DRAM frames — matches the serial runner.
-const HOST_FRAMES: u64 = 1 << 20;
+use utlb_des::{DmaEngineModel, IntrServiceModel, IoBusModel, Resource, ResourceReport};
 
 /// Outcome of one discrete-event run: the serial result (identical to what
 /// [`run`](crate::run) returns for the same inputs) plus the queueing view.
@@ -130,13 +126,6 @@ impl Probe for DemandTap {
     }
 }
 
-/// What the event queue schedules: the next unconsumed record of one
-/// per-process stream.
-#[derive(Debug, Clone, Copy)]
-struct Arrival {
-    stream: usize,
-}
-
 /// Emits a [`Event::Wait`] to the optional observation probe.
 fn emit_wait(
     probe: &mut Option<Box<dyn Probe>>,
@@ -155,21 +144,27 @@ fn emit_wait(
     }
 }
 
-/// The discrete-event replay loop. Returns the DES result plus the board
-/// snapshot (for obs exports).
-fn replay_des<M: TranslationMechanism>(
+/// The discrete-event replay loop, consuming a [`TraceStream`] in the same
+/// [`STREAM_CHUNK`]-sized refills as the serial runner. Returns the DES
+/// result plus the board snapshot (for obs exports).
+///
+/// Station admission follows stream order, which *is* arrival order: a
+/// stream yields records by non-decreasing timestamp, so no event queue is
+/// needed to re-interleave per-process arrivals — and a fused
+/// generate+replay run never materializes the trace at all.
+fn replay_des<M: TranslationMechanism, S: TraceStream>(
     engine: &mut M,
-    trace: &Trace,
+    stream: &mut S,
     cfg: &SimConfig,
     des: &DesConfig,
     obs: Option<&SharedCollector>,
 ) -> (DesResult, BoardSnapshot) {
-    let mut host = Host::new(HOST_FRAMES);
+    let mut host = Host::new(cfg.host_frames);
     let mut board = Board::new();
     let mut classifier = MissClassifier::new(cfg.cache_entries);
 
     // Identical to the serial runner: trace pids are dense from 1.
-    let pids = trace.process_ids();
+    let pids = stream.process_ids();
     for expected in &pids {
         let got = host.spawn_process();
         assert_eq!(got, *expected, "trace pids must be dense from 1");
@@ -177,6 +172,7 @@ fn replay_des<M: TranslationMechanism>(
             .register_process(&mut host, &mut board, got)
             .expect("registration succeeds on a fresh host");
     }
+    let workload = stream.workload().to_string();
     let t0 = board.clock.now();
 
     // Tap the engine's event stream; in observed mode also forward it.
@@ -201,33 +197,6 @@ fn replay_des<M: TranslationMechanism>(
     let mut dma = DmaEngineModel::new(&des.bus);
     let mut intr_svc = IntrServiceModel::new(des.intr_dispatch);
 
-    // Per-process streams re-interleaved by arrival time. Arrivals are
-    // keyed by the record's position in the original trace so ties resolve
-    // exactly as the serial runner iterated.
-    let streams = trace.per_process_streams();
-    let mut order: Vec<Vec<u64>> = streams
-        .iter()
-        .map(|(_, s)| Vec::with_capacity(s.len()))
-        .collect();
-    for (ix, rec) in trace.records.iter().enumerate() {
-        let slot = streams
-            .iter()
-            .position(|(pid, _)| *pid == rec.pid)
-            .expect("streams cover every pid");
-        order[slot].push(ix as u64);
-    }
-    let mut cursors = vec![0usize; streams.len()];
-    let mut queue: EventQueue<Arrival> = EventQueue::new();
-    for (ix, (_, recs)) in streams.iter().enumerate() {
-        if let Some(first) = recs.first() {
-            queue.push_keyed(
-                Nanos::from_nanos(first.ts_ns),
-                order[ix][0],
-                Arrival { stream: ix },
-            );
-        }
-    }
-
     let kernel_pins = engine.kernel_pins();
     let mut latency_ns = Histogram::new();
     let mut per_process_latency: Vec<(u32, Histogram)> =
@@ -238,111 +207,104 @@ fn replay_des<M: TranslationMechanism>(
     let mut payload_transfers = 0u64;
     let mut payload_words = 0u64;
 
-    // Reused across records: page outcomes from the batched lookup path,
-    // the drained event tap, and the decomposed per-page demands. Steady
-    // state allocates nothing per record.
+    // Reused across records: the stream chunk, page outcomes from the
+    // batched lookup path, the drained event tap, and the decomposed
+    // per-page demands. Steady state allocates nothing per record.
+    let mut chunk = Vec::with_capacity(STREAM_CHUNK);
     let mut out = OutcomeBuf::new();
     let mut events_scratch: Vec<Event> = Vec::new();
     let mut demands: Vec<PageDemand> = Vec::new();
 
-    while let Some(sched) = queue.pop() {
-        let stream = sched.payload.stream;
-        let (pid, recs) = &streams[stream];
-        let pid = *pid;
-        let rec: TraceRecord = recs[cursors[stream]];
+    while fill_chunk(stream, &mut chunk, STREAM_CHUNK) > 0 {
+        for rec in &chunk {
+            let pid = rec.pid;
+            // Pids are dense from 1 (asserted above), so the per-process slot
+            // is the pid itself.
+            let slot = (pid.raw() - 1) as usize;
 
-        // --- Serial half, verbatim from the plain runner. ---
-        board.clock.advance_to(Nanos::from_nanos(rec.ts_ns));
-        out.clear();
-        engine
-            .lookup_run_into(
-                &mut host,
-                &mut board,
-                LookupBatch::for_buffer(pid, rec.va, rec.nbytes),
-                &mut out,
-            )
-            .expect("trace lookups succeed");
-        classifier.access_batch(pid, out.as_slice());
+            // --- Serial half, verbatim from the plain runner. ---
+            board.clock.advance_to(Nanos::from_nanos(rec.ts_ns));
+            out.clear();
+            engine
+                .lookup_run_into(
+                    &mut host,
+                    &mut board,
+                    LookupBatch::for_buffer(pid, rec.va, rec.nbytes),
+                    &mut out,
+                )
+                .expect("trace lookups succeed");
+            classifier.access_batch(pid, out.as_slice());
 
-        // --- DES overlay: route this lookup's demands through the
-        // stations, holding the firmware for the whole request. ---
-        events_scratch.clear();
-        std::mem::swap(&mut *buf.borrow_mut(), &mut events_scratch);
-        page_demands_into(&events_scratch, &mut demands);
-        let arrival = Nanos::from_nanos(rec.ts_ns);
-        let grant = firmware.acquire_with(arrival, |start| {
-            let mut cursor = start;
-            for d in &demands {
-                // Firmware-only time; UTLB's pins run in the kernel
-                // top half, serial with the translation.
-                cursor += Nanos::from_nanos(d.firmware_ns());
-                let mut intr_occupancy = d.intr_ns;
-                if kernel_pins {
-                    intr_occupancy += d.pin_ns;
-                } else {
-                    cursor += Nanos::from_nanos(d.pin_ns);
+            // --- DES overlay: route this lookup's demands through the
+            // stations, holding the firmware for the whole request. ---
+            events_scratch.clear();
+            std::mem::swap(&mut *buf.borrow_mut(), &mut events_scratch);
+            page_demands_into(&events_scratch, &mut demands);
+            let arrival = Nanos::from_nanos(rec.ts_ns);
+            let grant = firmware.acquire_with(arrival, |start| {
+                let mut cursor = start;
+                for d in &demands {
+                    // Firmware-only time; UTLB's pins run in the kernel
+                    // top half, serial with the translation.
+                    cursor += Nanos::from_nanos(d.firmware_ns());
+                    let mut intr_occupancy = d.intr_ns;
+                    if kernel_pins {
+                        intr_occupancy += d.pin_ns;
+                    } else {
+                        cursor += Nanos::from_nanos(d.pin_ns);
+                    }
+                    if intr_occupancy > 0 {
+                        let g = intr_svc.handle_for(cursor, Nanos::from_nanos(intr_occupancy));
+                        intr_wait += g.wait;
+                        emit_wait(&mut wait_probe, pid, WaitResource::IntrService, g.wait);
+                        cursor = g.end;
+                    }
+                    if d.dma_ns > 0 {
+                        // Split the serial DMA charge into engine
+                        // programming and the bus data phase; the two
+                        // service times sum to the serial charge.
+                        let total = Nanos::from_nanos(d.dma_ns);
+                        let setup = dma.setup().min(total);
+                        let g1 = dma.program_for(cursor, setup);
+                        dma_wait += g1.wait;
+                        emit_wait(&mut wait_probe, pid, WaitResource::DmaEngine, g1.wait);
+                        let g2 = io_bus.transfer(g1.end, total - setup);
+                        bus_wait += g2.wait;
+                        emit_wait(&mut wait_probe, pid, WaitResource::Bus, g2.wait);
+                        cursor = g2.end;
+                    }
                 }
-                if intr_occupancy > 0 {
-                    let g = intr_svc.handle_for(cursor, Nanos::from_nanos(intr_occupancy));
-                    intr_wait += g.wait;
-                    emit_wait(&mut wait_probe, pid, WaitResource::IntrService, g.wait);
-                    cursor = g.end;
-                }
-                if d.dma_ns > 0 {
-                    // Split the serial DMA charge into engine
-                    // programming and the bus data phase; the two
-                    // service times sum to the serial charge.
-                    let total = Nanos::from_nanos(d.dma_ns);
-                    let setup = dma.setup().min(total);
-                    let g1 = dma.program_for(cursor, setup);
-                    dma_wait += g1.wait;
-                    emit_wait(&mut wait_probe, pid, WaitResource::DmaEngine, g1.wait);
-                    let g2 = io_bus.transfer(g1.end, total - setup);
-                    bus_wait += g2.wait;
-                    emit_wait(&mut wait_probe, pid, WaitResource::Bus, g2.wait);
-                    cursor = g2.end;
+                cursor
+            });
+            fw_wait += grant.wait;
+            emit_wait(&mut wait_probe, pid, WaitResource::Firmware, grant.wait);
+            let lat = grant.end - arrival;
+            latency_ns.record(lat.as_nanos());
+            per_process_latency[slot].1.record(lat.as_nanos());
+            des_end = des_end.max(grant.end);
+
+            // Background payload traffic: the record's own transfer bytes
+            // (scaled by the offered load) cross the same bus after
+            // translation, optionally raising a completion interrupt.
+            // Fire-and-forget: it loads the stations but the sender does not
+            // block on it. The notification is admitted to interrupt service at
+            // its (already-known) completion time right here, so station
+            // admission order follows trace order regardless of load — which
+            // keeps results reproducible and latency monotone in offered load.
+            if des.payload_load > 0.0 {
+                let words = des.payload_words(rec.nbytes);
+                if words > 0 {
+                    payload_transfers += 1;
+                    payload_words += words;
+                    let g1 = dma.program(grant.end);
+                    let g2 = io_bus.transfer(g1.end, io_bus.data_service(words));
+                    if des.notify_interrupts {
+                        let g = intr_svc.handle(g2.end, Nanos::ZERO);
+                        intr_wait += g.wait;
+                        emit_wait(&mut wait_probe, pid, WaitResource::IntrService, g.wait);
+                    }
                 }
             }
-            cursor
-        });
-        fw_wait += grant.wait;
-        emit_wait(&mut wait_probe, pid, WaitResource::Firmware, grant.wait);
-        let lat = grant.end - arrival;
-        latency_ns.record(lat.as_nanos());
-        per_process_latency[stream].1.record(lat.as_nanos());
-        des_end = des_end.max(grant.end);
-
-        // Background payload traffic: the record's own transfer bytes
-        // (scaled by the offered load) cross the same bus after
-        // translation, optionally raising a completion interrupt.
-        // Fire-and-forget: it loads the stations but the sender does not
-        // block on it. The notification is admitted to interrupt service at
-        // its (already-known) completion time right here, so station
-        // admission order follows trace order regardless of load — which
-        // keeps results reproducible and latency monotone in offered load.
-        if des.payload_load > 0.0 {
-            let words = des.payload_words(rec.nbytes);
-            if words > 0 {
-                payload_transfers += 1;
-                payload_words += words;
-                let g1 = dma.program(grant.end);
-                let g2 = io_bus.transfer(g1.end, io_bus.data_service(words));
-                if des.notify_interrupts {
-                    let g = intr_svc.handle(g2.end, Nanos::ZERO);
-                    intr_wait += g.wait;
-                    emit_wait(&mut wait_probe, pid, WaitResource::IntrService, g.wait);
-                }
-            }
-        }
-
-        // Schedule this stream's next record.
-        cursors[stream] += 1;
-        if let Some(next) = recs.get(cursors[stream]) {
-            queue.push_keyed(
-                Nanos::from_nanos(next.ts_ns),
-                order[stream][cursors[stream]],
-                Arrival { stream },
-            );
         }
     }
     engine.take_probe();
@@ -354,7 +316,7 @@ fn replay_des<M: TranslationMechanism>(
         .map(|p| (p.raw(), engine.stats(*p).expect("registered")))
         .collect();
     let base = SimResult {
-        workload: trace.workload.clone(),
+        workload,
         stats: engine.aggregate_stats(),
         cache: engine.cache_stats(),
         breakdown: classifier.breakdown(),
@@ -397,7 +359,23 @@ pub fn run_des<M: TranslationMechanism>(
     cfg: &SimConfig,
     des: &DesConfig,
 ) -> DesResult {
-    replay_des(engine, trace, cfg, des, None).0
+    replay_des(engine, &mut TraceView::new(trace), cfg, des, None).0
+}
+
+/// Runs a [`TraceStream`] through `engine` on the discrete-event stations —
+/// the fused generate+replay counterpart of [`run_des`]. The trace is never
+/// materialized; resident trace memory is O([`STREAM_CHUNK`]).
+///
+/// # Panics
+///
+/// Panics on internal engine errors, as for [`run_des`].
+pub fn run_des_stream<M: TranslationMechanism, S: TraceStream>(
+    engine: &mut M,
+    stream: &mut S,
+    cfg: &SimConfig,
+    des: &DesConfig,
+) -> DesResult {
+    replay_des(engine, stream, cfg, des, None).0
 }
 
 /// [`run_des`] behind a [`Mechanism`] dispatch.
@@ -444,7 +422,13 @@ pub fn run_des_observed<M: TranslationMechanism>(
     ring_capacity: usize,
 ) -> (DesResult, ObsReport) {
     let collector = SharedCollector::new(ring_capacity);
-    let (result, board) = replay_des(engine, trace, cfg, des, Some(&collector));
+    let (result, board) = replay_des(
+        engine,
+        &mut TraceView::new(trace),
+        cfg,
+        des,
+        Some(&collector),
+    );
     let snap = collector.snapshot();
     let mismatches = snap.metrics.reconcile(&result.base.stats);
     let report = ObsReport {

@@ -15,6 +15,7 @@ mod micro;
 mod multiprog;
 mod prefetch;
 mod prepin;
+mod stream_scale;
 
 pub use ablations::{
     assoc_cost, perproc_vs_shared, policy_sweep, variant_comparison, AssocCost, PerprocVsShared,
@@ -32,6 +33,9 @@ pub use micro::{table1, table2, Table1, Table2};
 pub use multiprog::{multiprog, Multiprog, MultiprogCell};
 pub use prefetch::{fig8, Fig8, FIG8_SIZES, PREFETCH_WIDTHS};
 pub use prepin::{prepin_sweep, table7, PrepinSweep, Table7};
+pub use stream_scale::{
+    peak_rss_kb, stream_scale, StreamScale, STREAM_SCALE_APP, STREAM_SCALE_BASELINE,
+};
 
 use std::sync::Arc;
 use utlb_trace::{gen, GenConfig, SplashApp, Trace};

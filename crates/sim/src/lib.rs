@@ -54,11 +54,14 @@ mod runner;
 pub mod sweep;
 
 pub use classify::{MissBreakdown, MissClassifier, MissKind};
-pub use config::{Mechanism, SimConfig};
-pub use des_runner::{run_des, run_des_mechanism, run_des_observed, DesConfig, DesResult};
+pub use config::{Mechanism, SimConfig, DEFAULT_HOST_FRAMES};
+pub use des_runner::{
+    run_des, run_des_mechanism, run_des_observed, run_des_stream, DesConfig, DesResult,
+};
 pub use observe::ObsReport;
 pub use report::{phase_breakdown, wait_breakdown, TextTable};
 pub use runner::{
-    run, run_intr, run_mechanism, run_mechanism_observed, run_observed, run_utlb, SimResult,
+    run, run_intr, run_mechanism, run_mechanism_observed, run_observed, run_stream,
+    run_stream_mechanism, run_stream_observed, run_utlb, SimResult, STREAM_CHUNK,
 };
 pub use sweep::{sweep, sweep_over};

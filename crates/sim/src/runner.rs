@@ -16,11 +16,11 @@ use utlb_core::{
 };
 use utlb_mem::Host;
 use utlb_nic::{Board, BoardSnapshot, Nanos};
-use utlb_trace::Trace;
+use utlb_trace::{fill_chunk, Trace, TraceStream, TraceView};
 
-/// Host DRAM frames for a simulation run — large enough that the footprints
-/// of Table 3 plus translation tables never exhaust simulated memory.
-const HOST_FRAMES: u64 = 1 << 20;
+/// Records pulled per refill of the streaming replay loop. The loop's
+/// resident trace state is one chunk, whatever the stream's total size.
+pub const STREAM_CHUNK: usize = 1024;
 
 /// Outcome of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -92,21 +92,30 @@ impl SimResult {
     }
 }
 
-/// The replay loop, written once against [`TranslationMechanism`]: spawns
-/// the trace's processes, advances the board clock to each record's
-/// timestamp, translates the record's buffer, and classifies every NIC
-/// miss. Returns the result plus the board's counters for obs exports.
-fn replay<M: TranslationMechanism>(
+/// The replay loop, written once against [`TranslationMechanism`] and
+/// [`TraceStream`]: spawns the stream's processes, then consumes records in
+/// [`STREAM_CHUNK`]-sized refills of one reused buffer — advancing the board
+/// clock to each record's timestamp, translating the record's buffer through
+/// the batched zero-allocation lookup path, and classifying every NIC miss.
+/// Returns the result plus the board's counters for obs exports.
+///
+/// Both replay modes are this one function: a materialized [`Trace`] enters
+/// through [`TraceView`] (see [`replay`]), a fused generate+replay run hands
+/// in the generator stream directly — which is why their results are
+/// identical by construction, and why replay memory is O(chunk) rather than
+/// O(trace) in the fused mode.
+fn replay_stream<M: TranslationMechanism, S: TraceStream>(
     engine: &mut M,
-    trace: &Trace,
+    stream: &mut S,
     cfg: &SimConfig,
 ) -> (SimResult, BoardSnapshot) {
-    let mut host = Host::new(HOST_FRAMES);
+    let mut host = Host::new(cfg.host_frames);
     let mut board = Board::new();
     let mut classifier = MissClassifier::new(cfg.cache_entries);
 
-    // Trace pids are 1..=n; map them onto freshly spawned host processes.
-    let pids = trace.process_ids();
+    // Stream pids are 1..=n; map them onto freshly spawned host processes.
+    // The process set is stream metadata, known before the first record.
+    let pids = stream.process_ids();
     for expected in &pids {
         let got = host.spawn_process();
         assert_eq!(got, *expected, "trace pids must be dense from 1");
@@ -114,24 +123,28 @@ fn replay<M: TranslationMechanism>(
             .register_process(&mut host, &mut board, got)
             .expect("registration succeeds on a fresh host");
     }
+    let workload = stream.workload().to_string();
 
     let t0 = board.clock.now();
-    // One outcome buffer reused across the whole trace: the batched lookup
-    // path appends into it, so the replay loop allocates nothing per record
-    // once the buffer has grown to the largest run in the trace.
+    // One chunk buffer and one outcome buffer reused across the whole
+    // stream: the batched lookup path appends into `out`, so the replay loop
+    // allocates nothing per record once both have grown to steady state.
+    let mut chunk = Vec::with_capacity(STREAM_CHUNK);
     let mut out = OutcomeBuf::new();
-    for rec in &trace.records {
-        board.clock.advance_to(Nanos::from_nanos(rec.ts_ns));
-        out.clear();
-        engine
-            .lookup_run_into(
-                &mut host,
-                &mut board,
-                LookupBatch::for_buffer(rec.pid, rec.va, rec.nbytes),
-                &mut out,
-            )
-            .expect("trace lookups succeed");
-        classifier.access_batch(rec.pid, out.as_slice());
+    while fill_chunk(stream, &mut chunk, STREAM_CHUNK) > 0 {
+        for rec in &chunk {
+            board.clock.advance_to(Nanos::from_nanos(rec.ts_ns));
+            out.clear();
+            engine
+                .lookup_run_into(
+                    &mut host,
+                    &mut board,
+                    LookupBatch::for_buffer(rec.pid, rec.va, rec.nbytes),
+                    &mut out,
+                )
+                .expect("trace lookups succeed");
+            classifier.access_batch(rec.pid, out.as_slice());
+        }
     }
     // Simulated wall time from registration to the last record's completion,
     // including idle gaps between trace timestamps.
@@ -142,7 +155,7 @@ fn replay<M: TranslationMechanism>(
         .map(|p| (p.raw(), engine.stats(*p).expect("registered")))
         .collect();
     let result = SimResult {
-        workload: trace.workload.clone(),
+        workload,
         stats: engine.aggregate_stats(),
         cache: engine.cache_stats(),
         breakdown: classifier.breakdown(),
@@ -150,6 +163,15 @@ fn replay<M: TranslationMechanism>(
         sim_time_ns,
     };
     (result, board.snapshot())
+}
+
+/// [`replay_stream`] over a materialized trace.
+fn replay<M: TranslationMechanism>(
+    engine: &mut M,
+    trace: &Trace,
+    cfg: &SimConfig,
+) -> (SimResult, BoardSnapshot) {
+    replay_stream(engine, &mut TraceView::new(trace), cfg)
 }
 
 /// Runs `trace` through any [`TranslationMechanism`] under `cfg`.
@@ -164,6 +186,80 @@ fn replay<M: TranslationMechanism>(
 /// closed-world, so any failure is a bug worth a loud stop.
 pub fn run<M: TranslationMechanism>(engine: &mut M, trace: &Trace, cfg: &SimConfig) -> SimResult {
     replay(engine, trace, cfg).0
+}
+
+/// Runs a [`TraceStream`] through any [`TranslationMechanism`] under `cfg`
+/// — the fused generate+replay mode. Records are synthesized as they are
+/// consumed; the trace is never materialized, so resident trace memory is
+/// O([`STREAM_CHUNK`]) however many lookups the stream carries.
+///
+/// Replaying [`utlb_trace::gen::stream`]`(app, gen_cfg)` returns exactly
+/// the [`SimResult`] of [`run`] on `generate(app, gen_cfg)`.
+///
+/// # Panics
+///
+/// Panics if the engine reports an internal error, as for [`run`].
+pub fn run_stream<M: TranslationMechanism, S: TraceStream>(
+    engine: &mut M,
+    stream: &mut S,
+    cfg: &SimConfig,
+) -> SimResult {
+    replay_stream(engine, stream, cfg).0
+}
+
+/// [`run_stream`] behind a [`Mechanism`] dispatch.
+///
+/// # Panics
+///
+/// Panics on internal engine errors, as for [`run`].
+pub fn run_stream_mechanism<S: TraceStream>(
+    mech: Mechanism,
+    stream: &mut S,
+    cfg: &SimConfig,
+) -> SimResult {
+    match mech {
+        Mechanism::Utlb => run_stream(&mut UtlbEngine::new(cfg.utlb_config()), stream, cfg),
+        Mechanism::PerProc => run_stream(
+            &mut PerProcessEngine::new(cfg.perproc_config()),
+            stream,
+            cfg,
+        ),
+        Mechanism::Indexed => {
+            run_stream(&mut IndexedEngine::new(cfg.indexed_config()), stream, cfg)
+        }
+        Mechanism::Intr => run_stream(&mut IntrEngine::new(cfg.intr_config()), stream, cfg),
+    }
+}
+
+/// [`run_stream`] with a [`SharedCollector`] attached, returning the full
+/// observability report alongside the result — the streamed counterpart of
+/// [`run_observed`].
+///
+/// # Panics
+///
+/// Panics on internal engine errors and if `ring_capacity` is zero.
+pub fn run_stream_observed<M: TranslationMechanism, S: TraceStream>(
+    engine: &mut M,
+    stream: &mut S,
+    cfg: &SimConfig,
+    ring_capacity: usize,
+) -> (SimResult, ObsReport) {
+    let collector = SharedCollector::new(ring_capacity);
+    engine.set_probe(collector.boxed());
+    let (result, board) = replay_stream(engine, stream, cfg);
+    engine.take_probe();
+    let snap = collector.snapshot();
+    let mismatches = snap.metrics.reconcile(&result.stats);
+    let report = ObsReport {
+        mechanism: engine.name().to_string(),
+        workload: result.workload.clone(),
+        metrics: snap.metrics,
+        board,
+        traces: snap.recorder.dump(),
+        reconciled: mismatches.is_empty(),
+        mismatches,
+    };
+    (result, report)
 }
 
 /// Runs `trace` through `engine` with a [`SharedCollector`] attached,
@@ -183,22 +279,7 @@ pub fn run_observed<M: TranslationMechanism>(
     cfg: &SimConfig,
     ring_capacity: usize,
 ) -> (SimResult, ObsReport) {
-    let collector = SharedCollector::new(ring_capacity);
-    engine.set_probe(collector.boxed());
-    let (result, board) = replay(engine, trace, cfg);
-    engine.take_probe();
-    let snap = collector.snapshot();
-    let mismatches = snap.metrics.reconcile(&result.stats);
-    let report = ObsReport {
-        mechanism: engine.name().to_string(),
-        workload: result.workload.clone(),
-        metrics: snap.metrics,
-        board,
-        traces: snap.recorder.dump(),
-        reconciled: mismatches.is_empty(),
-        mismatches,
-    };
-    (result, report)
+    run_stream_observed(engine, &mut TraceView::new(trace), cfg, ring_capacity)
 }
 
 /// Runs `trace` through the mechanism `mech` selects — the dispatch

@@ -18,6 +18,13 @@
 //! * **operator control** — `UTLB_SIM_THREADS` overrides the worker count
 //!   per call; `UTLB_SIM_THREADS=1` restores fully sequential in-caller
 //!   execution (no threads spawned at all).
+//!
+//! Cells need not share a materialized trace at all: a cell closure can
+//! build its own generator stream and replay it fused
+//! (`crate::run_stream` over `utlb_trace::gen::stream`), keeping a grid's
+//! resident trace memory at one chunk per worker instead of one
+//! `Arc<Trace>` per app. Streamed cells are pinned byte-identical to
+//! materialized cells by `tests/stream_equivalence.rs`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

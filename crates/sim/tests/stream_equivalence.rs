@@ -1,0 +1,216 @@
+//! The streaming-replay gate: fused generate+replay must be byte-identical
+//! to materialize-then-replay.
+//!
+//! The contract this suite pins (and `scripts/ci.sh` enforces) is the
+//! tentpole invariant of the streaming path: for every application and
+//! every mechanism, replaying `gen::stream(app, cfg)` — records synthesized
+//! on demand, never stored — produces a [`SimResult`] whose serialized JSON
+//! is identical to replaying the materialized `gen::generate(app, cfg)`
+//! trace. The DES runner and the observed runner are held to the same
+//! standard, and a property test sweeps random geometries.
+
+use proptest::prelude::*;
+use utlb_core::{IntrEngine, UtlbEngine};
+use utlb_sim::{
+    run_des_mechanism, run_des_stream, run_mechanism, run_mechanism_observed, run_observed,
+    run_stream, run_stream_mechanism, run_stream_observed, DesConfig, Mechanism, SimConfig,
+};
+use utlb_trace::{gen, GenConfig, Looped, SplashApp, TraceStream, TraceView};
+
+fn gen_cfg(seed: u64, scale: f64) -> GenConfig {
+    GenConfig {
+        seed,
+        scale,
+        app_processes: 4,
+    }
+}
+
+/// Every app × every mechanism: streamed replay equals materialized replay,
+/// compared as serialized JSON so *every* field of the result — counters,
+/// cache stats, 3C breakdown, per-process split, simulated time — is pinned
+/// byte-for-byte.
+#[test]
+fn streamed_replay_is_byte_identical_to_materialized_for_all_apps_and_mechanisms() {
+    let cfg = SimConfig::study(256);
+    for app in SplashApp::ALL {
+        let gcfg = gen_cfg(17, 0.05);
+        let trace = gen::generate(app, &gcfg);
+        for mech in Mechanism::ALL {
+            let materialized = run_mechanism(mech, &trace, &cfg);
+            let streamed = run_stream_mechanism(mech, &mut gen::stream(app, &gcfg), &cfg);
+            let a = serde_json::to_string(&materialized).unwrap();
+            let b = serde_json::to_string(&streamed).unwrap();
+            assert_eq!(a, b, "{app}/{mech}: streamed SimResult JSON drifted");
+        }
+    }
+}
+
+/// The DES overlay sees the same records in the same order either way.
+#[test]
+fn streamed_des_replay_matches_materialized_des_replay() {
+    let cfg = SimConfig::study(128);
+    let des = DesConfig::contended(4.0);
+    for app in [SplashApp::Water, SplashApp::Radix] {
+        let gcfg = gen_cfg(29, 0.05);
+        let trace = gen::generate(app, &gcfg);
+        for mech in Mechanism::ALL {
+            let materialized = run_des_mechanism(mech, &trace, &cfg, &des);
+            let streamed = match mech {
+                Mechanism::Utlb => run_des_stream(
+                    &mut UtlbEngine::new(cfg.utlb_config()),
+                    &mut gen::stream(app, &gcfg),
+                    &cfg,
+                    &des,
+                ),
+                Mechanism::Intr => run_des_stream(
+                    &mut IntrEngine::new(cfg.intr_config()),
+                    &mut gen::stream(app, &gcfg),
+                    &cfg,
+                    &des,
+                ),
+                // The dispatching wrapper is already pinned against the
+                // generic entry point; two engines suffice here.
+                _ => continue,
+            };
+            let a = serde_json::to_string(&materialized).unwrap();
+            let b = serde_json::to_string(&streamed).unwrap();
+            assert_eq!(a, b, "{app}/{mech}: streamed DesResult JSON drifted");
+        }
+    }
+}
+
+/// Observed streaming runs reconcile and agree with observed materialized
+/// runs.
+#[test]
+fn streamed_observed_run_reconciles_and_matches_materialized() {
+    let cfg = SimConfig::study(256);
+    let gcfg = gen_cfg(31, 0.05);
+    let trace = gen::generate(SplashApp::Volrend, &gcfg);
+    let (mat_result, mat_obs) =
+        run_observed(&mut UtlbEngine::new(cfg.utlb_config()), &trace, &cfg, 32);
+    let (str_result, str_obs) = run_stream_observed(
+        &mut UtlbEngine::new(cfg.utlb_config()),
+        &mut gen::stream(SplashApp::Volrend, &gcfg),
+        &cfg,
+        32,
+    );
+    assert!(str_obs.reconciled, "mismatches: {:?}", str_obs.mismatches);
+    assert_eq!(
+        serde_json::to_string(&mat_result).unwrap(),
+        serde_json::to_string(&str_result).unwrap()
+    );
+    assert_eq!(mat_obs.metrics.counts, str_obs.metrics.counts);
+}
+
+/// A looped (multi-epoch) stream replays identically to the equivalent
+/// materialized concatenation — the scale lever itself is equivalence-
+/// checked, just at a size small enough to materialize.
+#[test]
+fn looped_stream_matches_its_materialized_concatenation() {
+    let cfg = SimConfig::study(128);
+    let gcfg = gen_cfg(37, 0.03);
+    let app = SplashApp::Barnes;
+    const EPOCHS: u64 = 3;
+    const GAP: u64 = 10_000;
+
+    let mut looped = Looped::new(gen::stream(app, &gcfg), EPOCHS, GAP, |_| {
+        gen::stream(app, &gcfg)
+    });
+    // Materialize the identical workload by collecting the same adapter.
+    let collected = Looped::new(gen::stream(app, &gcfg), EPOCHS, GAP, |_| {
+        gen::stream(app, &gcfg)
+    })
+    .collect_trace();
+    assert_eq!(
+        collected.total_lookups(),
+        gen::generate(app, &gcfg).total_lookups() * EPOCHS
+    );
+
+    let streamed = run_stream(&mut UtlbEngine::new(cfg.utlb_config()), &mut looped, &cfg);
+    let materialized = run_stream(
+        &mut UtlbEngine::new(cfg.utlb_config()),
+        &mut TraceView::new(&collected),
+        &cfg,
+    );
+    assert_eq!(
+        serde_json::to_string(&streamed).unwrap(),
+        serde_json::to_string(&materialized).unwrap()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random geometry × workload: the streamed and materialized replays
+    /// agree everywhere, not just at the study point.
+    #[test]
+    fn streamed_equals_materialized_over_random_geometry(
+        cache_pow in 5u32..12,
+        seed in 0u64..1000,
+        scale in 0.02f64..0.08,
+        app_ix in 0usize..7,
+        mech_ix in 0usize..4,
+    ) {
+        let app = SplashApp::ALL[app_ix];
+        let mech = Mechanism::ALL[mech_ix];
+        let cfg = SimConfig::study(1 << cache_pow);
+        let gcfg = gen_cfg(seed, scale);
+        let trace = gen::generate(app, &gcfg);
+        let materialized = run_mechanism(mech, &trace, &cfg);
+        let streamed = run_stream_mechanism(mech, &mut gen::stream(app, &gcfg), &cfg);
+        prop_assert_eq!(
+            serde_json::to_string(&materialized).unwrap(),
+            serde_json::to_string(&streamed).unwrap()
+        );
+    }
+}
+
+/// The sweep executor composes with fused streams: each cell builds its
+/// own stream — no shared `Arc<Trace>` — and the (possibly parallel)
+/// sweep equals the sequential materialized grid cell for cell.
+#[test]
+fn streamed_sweep_matches_materialized_grid() {
+    let gcfg = gen_cfg(53, 0.04);
+    let grid: Vec<(SplashApp, usize)> = SplashApp::ALL
+        .iter()
+        .flat_map(|a| [(*a, 128usize), (*a, 512)])
+        .collect();
+    let streamed = utlb_sim::sweep_over(&grid, |(app, entries)| {
+        let cfg = SimConfig::study(*entries);
+        serde_json::to_string(&run_stream(
+            &mut UtlbEngine::new(cfg.utlb_config()),
+            &mut gen::stream(*app, &gcfg),
+            &cfg,
+        ))
+        .unwrap()
+    });
+    let materialized: Vec<String> = grid
+        .iter()
+        .map(|(app, entries)| {
+            let cfg = SimConfig::study(*entries);
+            let trace = gen::generate(*app, &gcfg);
+            serde_json::to_string(&run_mechanism(Mechanism::Utlb, &trace, &cfg)).unwrap()
+        })
+        .collect();
+    assert_eq!(streamed, materialized);
+}
+
+/// Dispatch sanity: the observed-dispatch wrapper also rides the shared
+/// streaming loop (it delegates through `TraceView`), so a spot check
+/// suffices to pin the wrapper wiring.
+#[test]
+fn observed_dispatch_still_agrees_with_plain_dispatch() {
+    let cfg = SimConfig::study(128);
+    let gcfg = gen_cfg(41, 0.04);
+    let trace = gen::generate(SplashApp::Fft, &gcfg);
+    for mech in Mechanism::ALL {
+        let plain = run_mechanism(mech, &trace, &cfg);
+        let (observed, obs) = run_mechanism_observed(mech, &trace, &cfg, 16);
+        assert!(obs.reconciled, "{mech}");
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&observed).unwrap(),
+            "{mech}"
+        );
+    }
+}

@@ -9,8 +9,8 @@
 //! set is what gives Barnes its low, gently size-dependent NIC miss rates
 //! (0.10 at 1 K entries down to 0.04 at 8 K, Table 4).
 
-use super::{emit_rotated, StreamPlan};
-use crate::synth::PatternBuilder;
+use super::StreamPlan;
+use crate::synth::PatternOp;
 
 /// Step radius of the particle walk, in pages — small, so the walk's
 /// instantaneous working set stays far below even a 1 K-entry cache.
@@ -19,21 +19,36 @@ pub const WINDOW: u64 = 3;
 /// Probability that the next access stays near the current position.
 pub const LOCALITY: f64 = 0.97;
 
-pub(super) fn fill(b: &mut PatternBuilder, plan: StreamPlan) {
+pub(super) fn ops(plan: StreamPlan) -> Vec<PatternOp> {
     if plan.span == 0 {
-        return;
+        return Vec::new();
     }
     // Covering pass, time-rotated per peer; the walk itself is already
     // decorrelated by the per-process RNG seed.
-    let cover: Vec<u64> = (0..plan.span.min(plan.budget)).collect();
-    emit_rotated(b, &cover, plan);
-    let remaining = plan.budget.saturating_sub(plan.span);
-    b.local_walk(plan.span, remaining, WINDOW, LOCALITY);
+    let cover = plan.span.min(plan.budget);
+    vec![
+        PatternOp::Rotated {
+            seq: (0..cover).collect(),
+            total: cover,
+        },
+        PatternOp::LocalWalk {
+            span: plan.span,
+            count: plan.budget.saturating_sub(plan.span),
+            step: WINDOW,
+            locality: LOCALITY,
+        },
+    ]
+}
+
+#[cfg(test)]
+pub(super) fn fill(b: &mut crate::synth::PatternBuilder, plan: StreamPlan) {
+    crate::synth::execute_ops(b, &ops(plan), plan.phase, plan.peers);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::synth::PatternBuilder;
     use utlb_mem::ProcessId;
 
     #[test]

@@ -11,8 +11,8 @@
 //! small caches instead of 1.0 — the second touch hits even when a pass is
 //! far larger than the cache.
 
-use super::{emit_rotated, StreamPlan};
-use crate::synth::PatternBuilder;
+use super::StreamPlan;
+use crate::synth::PatternOp;
 
 /// Stride of the transpose walk, in pages.
 pub const STRIDE: u64 = 16;
@@ -20,12 +20,14 @@ pub const STRIDE: u64 = 16;
 /// Consecutive touches per page visit (send + follow-up).
 pub const REPS: u64 = 2;
 
-pub(super) fn fill(b: &mut PatternBuilder, plan: StreamPlan) {
+pub(super) fn ops(plan: StreamPlan) -> Vec<PatternOp> {
     if plan.span == 0 {
-        return;
+        return Vec::new();
     }
     // One strided pass visits every page REPS times back to back, residue
-    // class by class.
+    // class by class. Passes repeat cyclically (with remainder) to meet the
+    // budget, then time-rotate so SPMD peers transpose different rows at
+    // any instant — all captured by one Rotated op over the single pass.
     let mut pass = Vec::with_capacity((plan.span * REPS) as usize);
     for class in 0..STRIDE {
         let mut i = class;
@@ -36,19 +38,21 @@ pub(super) fn fill(b: &mut PatternBuilder, plan: StreamPlan) {
             i += STRIDE;
         }
     }
-    // Repeat passes (with remainder) to meet the budget, then time-rotate
-    // so SPMD peers transpose different rows at any instant.
-    let mut seq = Vec::with_capacity(plan.budget as usize);
-    while (seq.len() as u64) < plan.budget {
-        let take = (plan.budget - seq.len() as u64).min(pass.len() as u64) as usize;
-        seq.extend_from_slice(&pass[..take]);
-    }
-    emit_rotated(b, &seq, plan);
+    vec![PatternOp::Rotated {
+        seq: pass,
+        total: plan.budget,
+    }]
+}
+
+#[cfg(test)]
+pub(super) fn fill(b: &mut crate::synth::PatternBuilder, plan: StreamPlan) {
+    crate::synth::execute_ops(b, &ops(plan), plan.phase, plan.peers);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::synth::PatternBuilder;
     use utlb_mem::ProcessId;
 
     #[test]

@@ -5,8 +5,8 @@
 //! because the second touch is immediate, the miss rate is pinned at ~0.5
 //! at *every* cache size — exactly LU's flat ~0.49 row in Tables 4 and 8.
 
-use super::{emit_rotated, StreamPlan};
-use crate::synth::PatternBuilder;
+use super::StreamPlan;
+use crate::synth::PatternOp;
 
 /// Block size of the sweep, in pages (a 64-page column block of the 4K×4K
 /// matrix).
@@ -15,38 +15,39 @@ pub const BLOCK: u64 = 64;
 /// Consecutive touches per page visit.
 pub const REPS: u64 = 2;
 
-pub(super) fn fill(b: &mut PatternBuilder, plan: StreamPlan) {
+pub(super) fn ops(plan: StreamPlan) -> Vec<PatternOp> {
     if plan.span == 0 {
-        return;
+        return Vec::new();
     }
-    // Blocked sweeps with clustered REPS-touches until the budget is
-    // spent, then time-rotated so peers factor different blocks at any
-    // instant.
-    let mut seq = Vec::with_capacity(plan.budget as usize);
-    'outer: loop {
-        let mut block_start = 0u64;
-        while block_start < plan.span {
-            let len = BLOCK.min(plan.span - block_start);
-            for i in 0..len {
-                for _ in 0..REPS {
-                    if seq.len() as u64 >= plan.budget {
-                        break 'outer;
-                    }
-                    seq.push(block_start + i);
-                }
+    // One blocked sweep with clustered REPS-touches; sweeps repeat
+    // cyclically until the budget is spent, then time-rotate so peers
+    // factor different blocks at any instant.
+    let mut pass = Vec::with_capacity((plan.span * REPS) as usize);
+    let mut block_start = 0u64;
+    while block_start < plan.span {
+        let len = BLOCK.min(plan.span - block_start);
+        for i in 0..len {
+            for _ in 0..REPS {
+                pass.push(block_start + i);
             }
-            block_start += len;
         }
-        if seq.len() as u64 >= plan.budget {
-            break;
-        }
+        block_start += len;
     }
-    emit_rotated(b, &seq, plan);
+    vec![PatternOp::Rotated {
+        seq: pass,
+        total: plan.budget,
+    }]
+}
+
+#[cfg(test)]
+pub(super) fn fill(b: &mut crate::synth::PatternBuilder, plan: StreamPlan) {
+    crate::synth::execute_ops(b, &ops(plan), plan.phase, plan.peers);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::synth::PatternBuilder;
     use utlb_mem::ProcessId;
 
     #[test]

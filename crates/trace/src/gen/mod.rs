@@ -5,6 +5,14 @@
 //! SMP), merged by timestamp. Footprint and lookup totals are calibrated to
 //! Table 3 via [`SplashApp::spec`]; the access *shape* follows §6.1's
 //! description of each application.
+//!
+//! Generation is pull-based: each per-app module compiles its plan into a
+//! short `PatternOp` program, a
+//! [`ProcessStream`] interprets the program one record
+//! per pull, and [`stream`] lazily merges the per-process streams by
+//! timestamp. [`generate`] is a thin collect-the-stream wrapper, so the
+//! eager and streaming paths are identical by construction — and pinned
+//! byte-identical by the golden-fingerprint test below.
 
 mod barnes;
 mod fft;
@@ -15,8 +23,10 @@ mod raytrace;
 mod volrend;
 mod water;
 
-use crate::synth::{partition, GenConfig, PatternBuilder};
-use crate::{merge_streams, SplashApp, Trace, TraceRecord};
+use crate::merge::{merge_trace_streams, MergedStream};
+use crate::stream::TraceStream;
+use crate::synth::{partition, GenConfig, PatternOp, ProcessStream};
+use crate::{SplashApp, Trace};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use utlb_mem::ProcessId;
@@ -44,24 +54,30 @@ pub(crate) struct StreamPlan {
     pub peers: u32,
 }
 
-/// Emits `seq` time-rotated by `phase/peers` of its length: the stream
-/// starts mid-sequence and wraps, so lockstep peers never sweep in phase.
-pub(crate) fn emit_rotated(b: &mut PatternBuilder, seq: &[u64], plan: StreamPlan) {
-    if seq.is_empty() {
-        return;
+/// Compiles the op program for process `i` of `app`'s node trace.
+fn ops_for(app: SplashApp, plan: StreamPlan, is_protocol: bool) -> Vec<PatternOp> {
+    if is_protocol {
+        return protocol::ops(plan);
     }
-    let rot = (plan.phase as usize * seq.len()) / plan.peers.max(1) as usize;
-    for &p in seq[rot..].iter().chain(seq[..rot].iter()) {
-        b.page(p);
+    match app {
+        SplashApp::Barnes => barnes::ops(plan),
+        SplashApp::Fft => fft::ops(plan),
+        SplashApp::Lu => lu::ops(plan),
+        SplashApp::Radix => radix::ops(plan),
+        SplashApp::Raytrace => raytrace::ops(plan),
+        SplashApp::Volrend => volrend::ops(plan),
+        SplashApp::Water => water::ops(plan),
     }
 }
 
-/// Generates the trace for `app` under `cfg`.
+/// Builds the lazy per-process record streams for `app` under `cfg`, in pid
+/// order. Shared by [`stream`] and by callers that want to loop or re-merge
+/// the processes themselves.
 ///
 /// # Panics
 ///
 /// Panics if `cfg.scale` is not positive or `cfg.app_processes` is zero.
-pub fn generate(app: SplashApp, cfg: &GenConfig) -> Trace {
+pub fn process_streams(app: SplashApp, cfg: &GenConfig) -> Vec<ProcessStream> {
     assert!(cfg.scale > 0.0, "scale must be positive");
     assert!(
         cfg.app_processes > 0,
@@ -75,16 +91,9 @@ pub fn generate(app: SplashApp, cfg: &GenConfig) -> Trace {
     let parts = partition(footprint, cfg.total_processes() as u64);
     let budgets = partition(lookups, cfg.total_processes() as u64);
 
-    let mut streams: Vec<Vec<TraceRecord>> = Vec::new();
+    let mut streams = Vec::with_capacity(parts.len());
     for (i, ((_offset, span), (_, budget))) in parts.iter().zip(budgets.iter()).enumerate() {
         let pid = ProcessId::new(i as u32 + 1);
-        // Every process places its communication region at the same virtual
-        // base: the processes are SPMD instances of one program, so their
-        // heaps start at the same address in their separate address spaces.
-        // This is exactly why §3.2's process-dependent index offsetting
-        // matters — identical vpns from different processes would otherwise
-        // collide in the shared cache (the "direct-nohash" rows of Table 8).
-        let mut b = PatternBuilder::new(pid, BASE_PAGE, cfg.seed, TS_STEP);
         let plan = StreamPlan {
             span: *span,
             budget: *budget,
@@ -92,23 +101,49 @@ pub fn generate(app: SplashApp, cfg: &GenConfig) -> Trace {
             peers: cfg.total_processes(),
         };
         let is_protocol = i as u32 == cfg.app_processes;
-        if is_protocol {
-            protocol::fill(&mut b, plan);
-        } else {
-            match app {
-                SplashApp::Barnes => barnes::fill(&mut b, plan),
-                SplashApp::Fft => fft::fill(&mut b, plan),
-                SplashApp::Lu => lu::fill(&mut b, plan),
-                SplashApp::Radix => radix::fill(&mut b, plan),
-                SplashApp::Raytrace => raytrace::fill(&mut b, plan),
-                SplashApp::Volrend => volrend::fill(&mut b, plan),
-                SplashApp::Water => water::fill(&mut b, plan),
-            }
-        }
-        streams.push(b.finish());
+        // Every process places its communication region at the same virtual
+        // base: the processes are SPMD instances of one program, so their
+        // heaps start at the same address in their separate address spaces.
+        // This is exactly why §3.2's process-dependent index offsetting
+        // matters — identical vpns from different processes would otherwise
+        // collide in the shared cache (the "direct-nohash" rows of Table 8).
+        streams.push(ProcessStream::new(
+            pid,
+            BASE_PAGE,
+            cfg.seed,
+            TS_STEP,
+            plan.phase,
+            plan.peers,
+            ops_for(app, plan, is_protocol),
+            app.name(),
+        ));
     }
-    let records = merge_streams(streams);
-    Trace::new(app.name(), cfg.seed, records)
+    streams
+}
+
+/// Generates the trace for `app` under `cfg` as a lazy stream: records are
+/// synthesized one at a time as they are pulled, so replaying the stream
+/// never holds more than O(one sweep) of trace state however large the
+/// lookup budget is. Pulling the whole stream yields exactly
+/// [`generate`]'s records.
+///
+/// # Panics
+///
+/// Panics as [`generate`] does on invalid `cfg`.
+pub fn stream(app: SplashApp, cfg: &GenConfig) -> MergedStream<ProcessStream> {
+    merge_trace_streams(process_streams(app, cfg), app.name(), cfg.seed)
+}
+
+/// Generates the trace for `app` under `cfg`.
+///
+/// This is a thin wrapper that collects [`stream`]; prefer the stream for
+/// large workloads.
+///
+/// # Panics
+///
+/// Panics if `cfg.scale` is not positive or `cfg.app_processes` is zero.
+pub fn generate(app: SplashApp, cfg: &GenConfig) -> Trace {
+    stream(app, cfg).collect_trace()
 }
 
 /// Memo key: `scale` enters by bit pattern, which is exact for the config
@@ -119,11 +154,49 @@ type MemoKey = (SplashApp, u64, u64, u32);
 /// One memo slot: a lazily generated shared trace.
 type MemoSlot = Arc<OnceLock<Arc<Trace>>>;
 
+/// Materialized traces the memo keeps at once. The paper suite touches 7
+/// apps × 1 config, so the cap is invisible to the experiments; it exists
+/// so long-running callers that sweep *configs* (seeds, scales) cannot grow
+/// the table without bound. Streaming callers bypass the memo entirely.
+pub const MEMO_CAPACITY: usize = 8;
+
+/// LRU state: per-key slot plus a monotonic last-use stamp.
+struct Memo {
+    slots: HashMap<MemoKey, (u64, MemoSlot)>,
+    tick: u64,
+}
+
 fn memo_cell(key: MemoKey) -> MemoSlot {
-    static MEMO: OnceLock<Mutex<HashMap<MemoKey, MemoSlot>>> = OnceLock::new();
-    let map = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut guard = map.lock().expect("trace memo poisoned");
-    Arc::clone(guard.entry(key).or_default())
+    static MEMO: OnceLock<Mutex<Memo>> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| {
+        Mutex::new(Memo {
+            slots: HashMap::new(),
+            tick: 0,
+        })
+    });
+    let mut guard = memo.lock().expect("trace memo poisoned");
+    guard.tick += 1;
+    let tick = guard.tick;
+    if let Some((stamp, slot)) = guard.slots.get_mut(&key) {
+        *stamp = tick;
+        return Arc::clone(slot);
+    }
+    // Evict the least-recently-used entry once over capacity. Outstanding
+    // Arcs keep evicted traces alive for their holders; the memo just stops
+    // handing them out.
+    if guard.slots.len() >= MEMO_CAPACITY {
+        if let Some(oldest) = guard
+            .slots
+            .iter()
+            .min_by_key(|(_, (stamp, _))| *stamp)
+            .map(|(k, _)| *k)
+        {
+            guard.slots.remove(&oldest);
+        }
+    }
+    let slot = MemoSlot::default();
+    guard.slots.insert(key, (tick, Arc::clone(&slot)));
+    slot
 }
 
 /// Like [`generate`], but memoized: the first caller per `(app, cfg)`
@@ -132,9 +205,9 @@ fn memo_cell(key: MemoKey) -> MemoSlot {
 ///
 /// Experiment sweeps simulate one app under dozens of cache geometries;
 /// generation dominated their setup time and, worse, was repeated per cell.
-/// The memo holds one entry per distinct `(app, cfg)` for the life of the
-/// process — a handful of traces for the full paper suite, so the table is
-/// deliberately never evicted.
+/// The memo holds up to [`MEMO_CAPACITY`] traces with LRU eviction — enough
+/// for the full paper suite to hit every time, bounded for callers that
+/// sweep seeds or scales. Streaming replay ([`stream`]) never touches it.
 ///
 /// # Panics
 ///
@@ -151,12 +224,167 @@ pub fn generate_shared(app: SplashApp, cfg: &GenConfig) -> Arc<Trace> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TraceRecord;
 
     fn small_cfg() -> GenConfig {
         GenConfig {
             seed: 11,
             scale: 0.05,
             app_processes: 4,
+        }
+    }
+
+    /// FNV-1a-style mix over every field of every record, plus the count.
+    fn fingerprint(records: &[TraceRecord]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for r in records {
+            for v in [r.ts_ns, u64::from(r.pid.raw()), r.va.raw(), r.nbytes] {
+                h ^= v;
+                h = h.wrapping_mul(0x0100_0000_01b3);
+            }
+        }
+        h ^ records.len() as u64
+    }
+
+    /// Golden fingerprints captured from the eager pre-streaming generators
+    /// (materialize-then-merge over `PatternBuilder`). The streaming path
+    /// must reproduce those traces byte-for-byte: any drift in RNG draw
+    /// order, rotation arithmetic, timestamps, or merge tie-breaking shows
+    /// up here.
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn streamed_generation_matches_pre_streaming_golden_fingerprints() {
+        let golden: &[(u64, f64, &[(SplashApp, u64)])] = &[
+            (
+                11,
+                0.05,
+                &[
+                    (SplashApp::Fft, 0xa32d55508689b1ad),
+                    (SplashApp::Lu, 0xec2a5b857bfbcfbb),
+                    (SplashApp::Barnes, 0x4822dc1f96d475ad),
+                    (SplashApp::Radix, 0x52630d77941621ac),
+                    (SplashApp::Raytrace, 0x04c8a0f5f204ec67),
+                    (SplashApp::Volrend, 0x01f414cc161018ec),
+                    (SplashApp::Water, 0x0055813b4c7b7fbf),
+                ],
+            ),
+            (
+                7,
+                0.04,
+                &[
+                    (SplashApp::Fft, 0xbf9c2cbaf42a2809),
+                    (SplashApp::Lu, 0xa1d22dad952edad4),
+                    (SplashApp::Barnes, 0x6515e5831f87ad60),
+                    (SplashApp::Radix, 0xe2bf4848ddd992be),
+                    (SplashApp::Raytrace, 0x102b24aa719bc1d6),
+                    (SplashApp::Volrend, 0x8f13697e0932664c),
+                    (SplashApp::Water, 0x1e8a3089b1822ada),
+                ],
+            ),
+            (
+                3,
+                1.0,
+                &[
+                    (SplashApp::Fft, 0x7bd7f69fedf1413e),
+                    (SplashApp::Lu, 0xdb336d31c4e1b700),
+                    (SplashApp::Barnes, 0x746808847137f6c0),
+                    (SplashApp::Radix, 0x178dac252bba5467),
+                    (SplashApp::Raytrace, 0x71a73fa5931cddba),
+                    (SplashApp::Volrend, 0xb8cb460719b0de1a),
+                    (SplashApp::Water, 0x7a299b7c5791dadf),
+                ],
+            ),
+        ];
+        for &(seed, scale, apps) in golden {
+            let cfg = GenConfig {
+                seed,
+                scale,
+                app_processes: 4,
+            };
+            for &(app, want) in apps {
+                let t = generate(app, &cfg);
+                assert_eq!(
+                    fingerprint(&t.records),
+                    want,
+                    "{app} (seed {seed}, scale {scale}) drifted from the \
+                     pre-streaming eager generator"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_has_exact_metadata_and_collects_to_generate() {
+        for app in SplashApp::ALL {
+            let cfg = small_cfg();
+            let eager = generate(app, &cfg);
+            let s = stream(app, &cfg);
+            assert_eq!(s.remaining(), eager.records.len() as u64, "{app}");
+            assert_eq!(s.workload(), eager.workload, "{app}");
+            assert_eq!(s.seed(), eager.seed, "{app}");
+            assert_eq!(s.process_ids(), eager.process_ids(), "{app}");
+            assert_eq!(s.collect_trace(), eager, "{app}: stream != generate");
+        }
+    }
+
+    #[test]
+    fn per_app_streaming_matches_the_eager_op_executor() {
+        // The cfg(test) `fill` wrappers run `execute_ops` — the executable
+        // spec each streaming interpreter is pinned against, exercised here
+        // through every app's real op program.
+        use crate::synth::PatternBuilder;
+        let cfg = GenConfig {
+            seed: 23,
+            scale: 0.07,
+            app_processes: 3,
+        };
+        for app in SplashApp::ALL {
+            let spec = app.spec();
+            let footprint = ((spec.footprint_pages as f64 * cfg.scale) as u64)
+                .max(cfg.total_processes() as u64);
+            let lookups = ((spec.lookups as f64 * cfg.scale) as u64).max(footprint);
+            let parts = partition(footprint, cfg.total_processes() as u64);
+            let budgets = partition(lookups, cfg.total_processes() as u64);
+            for (i, ((_, span), (_, budget))) in parts.iter().zip(budgets.iter()).enumerate() {
+                let pid = ProcessId::new(i as u32 + 1);
+                let plan = StreamPlan {
+                    span: *span,
+                    budget: *budget,
+                    phase: i as u32,
+                    peers: cfg.total_processes(),
+                };
+                let is_protocol = i as u32 == cfg.app_processes;
+                let mut b = PatternBuilder::new(pid, BASE_PAGE, cfg.seed, TS_STEP);
+                if is_protocol {
+                    protocol::fill(&mut b, plan);
+                } else {
+                    match app {
+                        SplashApp::Barnes => barnes::fill(&mut b, plan),
+                        SplashApp::Fft => fft::fill(&mut b, plan),
+                        SplashApp::Lu => lu::fill(&mut b, plan),
+                        SplashApp::Radix => radix::fill(&mut b, plan),
+                        SplashApp::Raytrace => raytrace::fill(&mut b, plan),
+                        SplashApp::Volrend => volrend::fill(&mut b, plan),
+                        SplashApp::Water => water::fill(&mut b, plan),
+                    }
+                }
+                let eager = b.finish();
+                let mut s = ProcessStream::new(
+                    pid,
+                    BASE_PAGE,
+                    cfg.seed,
+                    TS_STEP,
+                    plan.phase,
+                    plan.peers,
+                    ops_for(app, plan, is_protocol),
+                    app.name(),
+                );
+                let mut got = Vec::new();
+                while let Some(r) = s.next_record() {
+                    got.push(r);
+                }
+                assert_eq!(got, eager, "{app} pid {i}: stream != eager spec");
+            }
         }
     }
 
@@ -229,5 +457,36 @@ mod tests {
             reuse(&barnes),
             reuse(&lu)
         );
+    }
+
+    #[test]
+    fn memo_caps_at_capacity_and_evicts_lru() {
+        // Distinct seeds far from other tests' values, so this test owns
+        // its keys even though the memo is process-global.
+        let cfg = |seed: u64| GenConfig {
+            seed,
+            scale: 0.02,
+            app_processes: 4,
+        };
+        let first = generate_shared(SplashApp::Lu, &cfg(9_000));
+        // Flood the memo well past capacity.
+        for s in 9_001..9_001 + 2 * MEMO_CAPACITY as u64 {
+            let _ = generate_shared(SplashApp::Lu, &cfg(s));
+        }
+        // The first entry was evicted: a fresh call regenerates rather than
+        // returning the same allocation...
+        let again = generate_shared(SplashApp::Lu, &cfg(9_000));
+        assert!(
+            !Arc::ptr_eq(&first, &again),
+            "evicted entry should be regenerated"
+        );
+        // ...but the trace is still byte-identical (determinism), and the
+        // evicted Arc remained valid for its holder.
+        assert_eq!(*first, *again);
+        // The most recent key is still cached.
+        let last_seed = 9_000 + 2 * MEMO_CAPACITY as u64;
+        let a = generate_shared(SplashApp::Lu, &cfg(last_seed));
+        let b = generate_shared(SplashApp::Lu, &cfg(last_seed));
+        assert!(Arc::ptr_eq(&a, &b), "recent entry stays shared");
     }
 }

@@ -7,7 +7,7 @@
 //! on a few hot pages.
 
 use super::StreamPlan;
-use crate::synth::PatternBuilder;
+use crate::synth::PatternOp;
 
 /// Number of hot control pages (locks, barriers, queue heads).
 pub const HOT_PAGES: u64 = 4;
@@ -15,31 +15,44 @@ pub const HOT_PAGES: u64 = 4;
 /// One in `CONTROL_EVERY` requests is a small control message.
 pub const CONTROL_EVERY: u64 = 4;
 
-pub(super) fn fill(b: &mut PatternBuilder, plan: StreamPlan) {
+/// Size of a control message in bytes.
+pub const CONTROL_MSG_BYTES: u64 = 64;
+
+/// Cyclic walk stride of the page-update traffic.
+pub const UPDATE_STRIDE: u64 = 7;
+
+pub(super) fn ops(plan: StreamPlan) -> Vec<PatternOp> {
     if plan.span == 0 {
-        return;
+        return Vec::new();
     }
-    // Cover the diff/page area once.
+    // Cover the diff/page area once, then pump control messages on the hot
+    // pages interleaved with cyclic page-update traffic.
     let cover = plan.span.min(plan.budget);
-    b.sequential(0, cover);
-    let mut remaining = plan.budget.saturating_sub(cover);
-    let hot = HOT_PAGES.min(plan.span);
-    let mut k = 0u64;
-    while remaining > 0 {
-        if k.is_multiple_of(CONTROL_EVERY) {
-            b.small(k % hot, 64);
-        } else {
-            // Page update traffic walks the partition cyclically.
-            b.page((k * 7) % plan.span);
-        }
-        k += 1;
-        remaining -= 1;
-    }
+    vec![
+        PatternOp::Sequential {
+            start: 0,
+            count: cover,
+        },
+        PatternOp::ControlPump {
+            span: plan.span,
+            total: plan.budget.saturating_sub(cover),
+            hot: HOT_PAGES.min(plan.span),
+            every: CONTROL_EVERY,
+            nbytes: CONTROL_MSG_BYTES,
+            stride: UPDATE_STRIDE,
+        },
+    ]
+}
+
+#[cfg(test)]
+pub(super) fn fill(b: &mut crate::synth::PatternBuilder, plan: StreamPlan) {
+    crate::synth::execute_ops(b, &ops(plan), plan.phase, plan.peers);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::synth::PatternBuilder;
     use utlb_mem::ProcessId;
 
     #[test]

@@ -11,15 +11,16 @@
 //! the *sequential sort* halves still reward prefetch.
 
 use super::StreamPlan;
-use crate::synth::PatternBuilder;
+use crate::synth::PatternOp;
 
 /// Number of radix phases.
 pub const PHASES: u64 = 4;
 
-pub(super) fn fill(b: &mut PatternBuilder, plan: StreamPlan) {
+pub(super) fn ops(plan: StreamPlan) -> Vec<PatternOp> {
     if plan.span == 0 {
-        return;
+        return Vec::new();
     }
+    let mut ops = Vec::new();
     // Budget split: each phase is half sequential sort, half scatter.
     let per_phase = (plan.budget / PHASES).max(1);
     let mut emitted = 0u64;
@@ -31,24 +32,37 @@ pub(super) fn fill(b: &mut PatternBuilder, plan: StreamPlan) {
         // Each phase sorts a different slice so the union covers everything.
         let start = (phase * plan.span / PHASES).min(plan.span - 1);
         let len = seq.min(plan.span - start);
-        b.sequential(start, len);
+        ops.push(PatternOp::Sequential { start, count: len });
         emitted += len;
         if emitted >= plan.budget {
             break;
         }
         let scatter = (per_phase - per_phase / 2).min(plan.budget - emitted);
-        b.scatter(plan.span, scatter);
+        ops.push(PatternOp::Scatter {
+            span: plan.span,
+            count: scatter,
+        });
         emitted += scatter;
     }
     // Cover any pages the phases missed, so footprint matches Table 3.
     if emitted < plan.budget {
-        b.sequential(0, (plan.budget - emitted).min(plan.span));
+        ops.push(PatternOp::Sequential {
+            start: 0,
+            count: (plan.budget - emitted).min(plan.span),
+        });
     }
+    ops
+}
+
+#[cfg(test)]
+pub(super) fn fill(b: &mut crate::synth::PatternBuilder, plan: StreamPlan) {
+    crate::synth::execute_ops(b, &ops(plan), plan.phase, plan.peers);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::synth::PatternBuilder;
     use utlb_mem::ProcessId;
 
     #[test]

@@ -6,7 +6,7 @@
 //! the handful of task-queue pages themselves.
 
 use super::StreamPlan;
-use crate::synth::PatternBuilder;
+use crate::synth::PatternOp;
 
 /// Task tile size in pages.
 pub const TILE: u64 = 8;
@@ -14,27 +14,39 @@ pub const TILE: u64 = 8;
 /// One in `QUEUE_EVERY` accesses is a task-queue control message.
 pub const QUEUE_EVERY: u64 = 16;
 
-pub(super) fn fill(b: &mut PatternBuilder, plan: StreamPlan) {
+/// Size of a task-queue control message in bytes.
+pub const QUEUE_MSG_BYTES: u64 = 128;
+
+pub(super) fn ops(plan: StreamPlan) -> Vec<PatternOp> {
     if plan.span == 0 {
-        return;
+        return Vec::new();
     }
     let cover = plan.span.min(plan.budget);
-    b.sequential(0, cover);
-    let mut remaining = plan.budget.saturating_sub(cover);
-    // Interleave tile bursts with queue messages.
-    while remaining > 0 {
-        let burst = QUEUE_EVERY.min(remaining);
-        if burst > 1 {
-            b.task_tiles(plan.span, burst - 1, TILE);
-        }
-        b.small(0, 128); // task-queue page
-        remaining -= burst;
-    }
+    vec![
+        PatternOp::Sequential {
+            start: 0,
+            count: cover,
+        },
+        // Tile bursts interleaved with queue messages on the queue page.
+        PatternOp::TileBursts {
+            span: plan.span,
+            total: plan.budget.saturating_sub(cover),
+            tile: TILE,
+            every: QUEUE_EVERY,
+            nbytes: QUEUE_MSG_BYTES,
+        },
+    ]
+}
+
+#[cfg(test)]
+pub(super) fn fill(b: &mut crate::synth::PatternBuilder, plan: StreamPlan) {
+    crate::synth::execute_ops(b, &ops(plan), plan.phase, plan.peers);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::synth::PatternBuilder;
     use utlb_mem::ProcessId;
 
     #[test]

@@ -6,7 +6,7 @@
 //! is why its miss-rate floor (≈0.25) sits below Raytrace's (≈0.43).
 
 use super::StreamPlan;
-use crate::synth::PatternBuilder;
+use crate::synth::PatternOp;
 
 /// Task tile size in pages (volume bricks are smaller than scene tiles).
 pub const TILE: u64 = 4;
@@ -14,26 +14,38 @@ pub const TILE: u64 = 4;
 /// One in `QUEUE_EVERY` accesses is a task-queue control message.
 pub const QUEUE_EVERY: u64 = 12;
 
-pub(super) fn fill(b: &mut PatternBuilder, plan: StreamPlan) {
+/// Size of a task-queue control message in bytes.
+pub const QUEUE_MSG_BYTES: u64 = 96;
+
+pub(super) fn ops(plan: StreamPlan) -> Vec<PatternOp> {
     if plan.span == 0 {
-        return;
+        return Vec::new();
     }
     let cover = plan.span.min(plan.budget);
-    b.sequential(0, cover);
-    let mut remaining = plan.budget.saturating_sub(cover);
-    while remaining > 0 {
-        let burst = QUEUE_EVERY.min(remaining);
-        if burst > 1 {
-            b.task_tiles(plan.span, burst - 1, TILE);
-        }
-        b.small(0, 96);
-        remaining -= burst;
-    }
+    vec![
+        PatternOp::Sequential {
+            start: 0,
+            count: cover,
+        },
+        PatternOp::TileBursts {
+            span: plan.span,
+            total: plan.budget.saturating_sub(cover),
+            tile: TILE,
+            every: QUEUE_EVERY,
+            nbytes: QUEUE_MSG_BYTES,
+        },
+    ]
+}
+
+#[cfg(test)]
+pub(super) fn fill(b: &mut crate::synth::PatternBuilder, plan: StreamPlan) {
+    crate::synth::execute_ops(b, &ops(plan), plan.phase, plan.peers);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::synth::PatternBuilder;
     use utlb_mem::ProcessId;
 
     #[test]

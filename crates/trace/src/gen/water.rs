@@ -8,8 +8,8 @@
 //! one, reproducing Water's strong cache-size sensitivity in Table 4
 //! (0.35 at 1 K entries collapsing to ~0.1 once the footprint fits).
 
-use super::{emit_rotated, StreamPlan};
-use crate::synth::PatternBuilder;
+use super::StreamPlan;
+use crate::synth::PatternOp;
 
 /// Consecutive touches per cell visit.
 pub const REPS: u64 = 2;
@@ -17,32 +17,37 @@ pub const REPS: u64 = 2;
 /// Every `JITTER_EVERY`-th visit also touches the neighbouring cell.
 pub const JITTER_EVERY: u64 = 8;
 
-pub(super) fn fill(b: &mut PatternBuilder, plan: StreamPlan) {
+pub(super) fn ops(plan: StreamPlan) -> Vec<PatternOp> {
     if plan.span == 0 {
-        return;
+        return Vec::new();
     }
-    let mut seq = Vec::with_capacity(plan.budget as usize);
-    'outer: loop {
-        for i in 0..plan.span {
-            for _ in 0..REPS {
-                if seq.len() as u64 >= plan.budget {
-                    break 'outer;
-                }
-                seq.push(i);
-            }
-            // Neighbour-cell interaction: revisit the previous page.
-            if i > 0 && i.is_multiple_of(JITTER_EVERY) && (seq.len() as u64) < plan.budget {
-                seq.push(i - 1);
-            }
+    // One full sweep; sweeps repeat cyclically until the budget is spent,
+    // then time-rotate so each peer is at a different cell of its sweep.
+    let mut pass = Vec::with_capacity((plan.span * REPS) as usize);
+    for i in 0..plan.span {
+        for _ in 0..REPS {
+            pass.push(i);
+        }
+        // Neighbour-cell interaction: revisit the previous page.
+        if i > 0 && i.is_multiple_of(JITTER_EVERY) {
+            pass.push(i - 1);
         }
     }
-    // Time-rotate: each peer is at a different cell of its sweep.
-    emit_rotated(b, &seq, plan);
+    vec![PatternOp::Rotated {
+        seq: pass,
+        total: plan.budget,
+    }]
+}
+
+#[cfg(test)]
+pub(super) fn fill(b: &mut crate::synth::PatternBuilder, plan: StreamPlan) {
+    crate::synth::execute_ops(b, &ops(plan), plan.phase, plan.peers);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::synth::PatternBuilder;
     use utlb_mem::ProcessId;
 
     #[test]

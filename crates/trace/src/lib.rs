@@ -20,6 +20,12 @@
 //! SVM protocol process, interleaved in time, exactly the multiprogramming
 //! level the paper's NIC saw.
 //!
+//! Generation is **streaming-first**: [`gen::stream`] yields the same
+//! records as [`gen::generate`] one at a time through the [`TraceStream`]
+//! trait, [`merge_trace_streams`] interleaves per-process streams lazily,
+//! and [`Looped`] repeats a bounded-footprint stream for arbitrarily many
+//! epochs — so replay memory is O(chunk), not O(trace).
+//!
 //! # Example
 //!
 //! ```
@@ -41,10 +47,12 @@ pub mod gen;
 mod io;
 mod merge;
 mod record;
+mod stream;
 mod synth;
 
 pub use apps::{AppSpec, SplashApp};
 pub use io::{read_jsonl, write_jsonl};
-pub use merge::merge_streams;
+pub use merge::{merge_streams, merge_trace_streams, MergedStream};
 pub use record::{merge_multiprogram, Op, Trace, TraceRecord};
-pub use synth::{GenConfig, PatternBuilder};
+pub use stream::{fill_chunk, Looped, TraceStream, TraceView};
+pub use synth::{GenConfig, PatternBuilder, ProcessStream};

@@ -5,9 +5,11 @@
 //! process id and then by stream position, which keeps the merge total and
 //! deterministic.
 
+use crate::stream::TraceStream;
 use crate::TraceRecord;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use utlb_mem::ProcessId;
 
 /// Merges per-process record streams (each already in timestamp order) into
 /// one globally ordered stream.
@@ -45,11 +47,114 @@ pub fn merge_streams(streams: Vec<Vec<TraceRecord>>) -> Vec<TraceRecord> {
     out
 }
 
+/// The k-way merge over pull-based streams: identical ordering to
+/// [`merge_streams`] — timestamp, then pid, then stream index — but lazy,
+/// holding exactly one look-ahead record per input stream.
+///
+/// This is how a whole-node trace is synthesized in O(streams) memory: each
+/// per-process generator stream is pulled only as fast as the merged output
+/// is consumed.
+#[derive(Debug)]
+pub struct MergedStream<S> {
+    streams: Vec<S>,
+    /// One look-ahead record per stream (`None` once exhausted).
+    heads: Vec<Option<TraceRecord>>,
+    /// Last timestamp pulled per stream, for the monotonicity check.
+    last_ts: Vec<u64>,
+    heap: BinaryHeap<Reverse<(u64, u32, usize)>>,
+    remaining: u64,
+    workload: String,
+    seed: u64,
+    pids: Vec<ProcessId>,
+}
+
+impl<S: TraceStream> MergedStream<S> {
+    /// Merges `streams` under the given workload metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics (possibly later, mid-pull) if any input stream yields records
+    /// out of timestamp order — generator bugs should fail loudly, exactly
+    /// as [`merge_streams`] does.
+    pub fn new(mut streams: Vec<S>, workload: impl Into<String>, seed: u64) -> Self {
+        let mut pids: Vec<ProcessId> = streams.iter().flat_map(|s| s.process_ids()).collect();
+        pids.sort();
+        pids.dedup();
+        let mut remaining = 0u64;
+        let mut heads = Vec::with_capacity(streams.len());
+        let mut heap = BinaryHeap::new();
+        for (i, s) in streams.iter_mut().enumerate() {
+            // Counted before pulling the head, so the head is included.
+            remaining += s.remaining();
+            let head = s.next_record();
+            if let Some(r) = &head {
+                heap.push(Reverse((r.ts_ns, r.pid.raw(), i)));
+            }
+            heads.push(head);
+        }
+        MergedStream {
+            last_ts: vec![0; streams.len()],
+            streams,
+            heads,
+            heap,
+            remaining,
+            workload: workload.into(),
+            seed,
+            pids,
+        }
+    }
+}
+
+impl<S: TraceStream> TraceStream for MergedStream<S> {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let Reverse((_, _, i)) = self.heap.pop()?;
+        let rec = self.heads[i].take().expect("heap entries have a head");
+        assert!(
+            rec.ts_ns >= self.last_ts[i],
+            "input stream out of timestamp order"
+        );
+        self.last_ts[i] = rec.ts_ns;
+        if let Some(next) = self.streams[i].next_record() {
+            self.heap.push(Reverse((next.ts_ns, next.pid.raw(), i)));
+            self.heads[i] = Some(next);
+        }
+        self.remaining -= 1;
+        Some(rec)
+    }
+
+    fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn process_ids(&self) -> Vec<ProcessId> {
+        self.pids.clone()
+    }
+}
+
+/// Merges pull-based per-process streams into one ordered stream — the
+/// heap-over-iterators counterpart of [`merge_streams`].
+pub fn merge_trace_streams<S: TraceStream>(
+    streams: Vec<S>,
+    workload: impl Into<String>,
+    seed: u64,
+) -> MergedStream<S> {
+    MergedStream::new(streams, workload, seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Op;
-    use utlb_mem::{ProcessId, VirtAddr};
+    use crate::stream::TraceView;
+    use crate::{Op, Trace};
+    use utlb_mem::VirtAddr;
 
     fn rec(ts: u64, pid: u32) -> TraceRecord {
         TraceRecord {
@@ -89,5 +194,52 @@ mod tests {
     #[should_panic(expected = "out of timestamp order")]
     fn unsorted_input_panics() {
         merge_streams(vec![vec![rec(10, 1), rec(5, 1)]]);
+    }
+
+    fn trace_of(records: Vec<TraceRecord>) -> Trace {
+        Trace::new("part", 0, records)
+    }
+
+    #[test]
+    fn streaming_merge_matches_materialized_merge() {
+        let a = vec![rec(0, 1), rec(20, 1), rec(40, 1)];
+        let b = vec![rec(10, 2), rec(30, 2), rec(30, 2)];
+        let c = vec![rec(5, 3)];
+        let eager = merge_streams(vec![a.clone(), b.clone(), c.clone()]);
+
+        let traces: Vec<Trace> = [a, b, c].into_iter().map(trace_of).collect();
+        let views = traces.iter().map(TraceView::new).collect();
+        let mut merged = merge_trace_streams(views, "merged", 9);
+        assert_eq!(merged.remaining(), eager.len() as u64);
+        assert_eq!(merged.workload(), "merged");
+        assert_eq!(merged.seed(), 9);
+        let pids: Vec<u32> = merged.process_ids().iter().map(|p| p.raw()).collect();
+        assert_eq!(pids, vec![1, 2, 3]);
+        let mut got = Vec::new();
+        while let Some(r) = merged.next_record() {
+            got.push(r);
+        }
+        assert_eq!(got, eager);
+        assert_eq!(merged.remaining(), 0);
+    }
+
+    #[test]
+    fn streaming_merge_ties_break_by_pid_then_stream() {
+        let a = trace_of(vec![rec(5, 2)]);
+        let b = trace_of(vec![rec(5, 1)]);
+        let mut merged =
+            merge_trace_streams(vec![TraceView::new(&a), TraceView::new(&b)], "tie", 0);
+        assert_eq!(merged.next_record().unwrap().pid.raw(), 1);
+        assert_eq!(merged.next_record().unwrap().pid.raw(), 2);
+        assert!(merged.next_record().is_none());
+    }
+
+    #[test]
+    fn streaming_merge_of_empty_streams_is_empty() {
+        let t = trace_of(vec![]);
+        let mut merged =
+            merge_trace_streams(vec![TraceView::new(&t), TraceView::new(&t)], "empty", 0);
+        assert_eq!(merged.remaining(), 0);
+        assert!(merged.next_record().is_none());
     }
 }

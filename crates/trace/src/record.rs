@@ -222,6 +222,43 @@ mod tests {
         Trace::new("bad", 0, vec![rec(10, 1, 0), rec(5, 1, 1)]);
     }
 
+    /// A zero-byte request touches no page: it costs no lookups and adds
+    /// nothing to the footprint, so replay loops may pass it through the
+    /// batch path without special-casing.
+    #[test]
+    fn zero_byte_requests_cost_no_lookups() {
+        let r = TraceRecord {
+            ts_ns: 0,
+            pid: ProcessId::new(1),
+            op: Op::Fetch,
+            va: VirtAddr::new(123),
+            nbytes: 0,
+        };
+        assert_eq!(r.lookups(), 0);
+        let t = Trace::new("zero", 0, vec![r]);
+        assert_eq!(t.total_lookups(), 0);
+        assert_eq!(t.footprint_pages(), 0);
+        assert_eq!(t.total_bytes(), 0);
+    }
+
+    /// A transfer straddling interior page boundaries costs one lookup per
+    /// page touched, and the footprint counts each of those pages.
+    #[test]
+    fn straddling_transfers_cost_one_lookup_per_page_touched() {
+        let r = TraceRecord {
+            ts_ns: 0,
+            pid: ProcessId::new(1),
+            op: Op::Send,
+            va: VirtAddr::new(PAGE_SIZE / 2),
+            nbytes: 3 * PAGE_SIZE,
+        };
+        // Half of page 0, pages 1 and 2, half of page 3.
+        assert_eq!(r.lookups(), 4);
+        let t = Trace::new("straddle", 0, vec![r]);
+        assert_eq!(t.footprint_pages(), 4);
+        assert_eq!(t.mean_pages_per_request(), 4.0);
+    }
+
     #[test]
     fn multiprogram_merge_remaps_pids_disjointly() {
         let t1 = Trace::new("one", 0, vec![rec(0, 1, 5), rec(10, 2, 6)]);

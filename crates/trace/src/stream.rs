@@ -1,0 +1,304 @@
+//! Pull-based trace streaming.
+//!
+//! A [`TraceStream`] yields [`TraceRecord`]s one at a time in timestamp
+//! order, together with the exact metadata a replay loop needs up front
+//! (workload name, seed, process set, exact remaining record count). This is
+//! the out-of-core face of the trace crate: generators synthesize records on
+//! demand ([`crate::gen::stream`]), the k-way merge re-interleaves streams
+//! lazily ([`crate::merge_trace_streams`]), and the simulation runners
+//! consume the result in fixed-size chunks — so a billion-lookup workload
+//! costs O(chunk) resident trace memory instead of O(lookups).
+//!
+//! A materialized [`Trace`] adapts to the same interface via [`TraceView`],
+//! which is how the eager `generate`-then-replay path and the fused
+//! generate+replay path share one replay implementation (and why their
+//! results are identical by construction).
+
+use crate::{Trace, TraceRecord};
+use utlb_mem::ProcessId;
+
+/// A deterministic, timestamp-ordered record stream with exact-size and
+/// provenance metadata.
+///
+/// Implementations must yield records in non-decreasing `ts_ns` order and
+/// must report `remaining` exactly: after `remaining()` more calls,
+/// `next_record` returns `None`.
+pub trait TraceStream {
+    /// Yields the next record, or `None` when the stream is exhausted.
+    fn next_record(&mut self) -> Option<TraceRecord>;
+
+    /// Exact number of records not yet yielded.
+    fn remaining(&self) -> u64;
+
+    /// Human-readable workload name (e.g. `"radix"`).
+    fn workload(&self) -> &str;
+
+    /// Seed the generator used, for reproducibility.
+    fn seed(&self) -> u64;
+
+    /// Distinct processes the full stream touches, sorted ascending.
+    ///
+    /// Known up front — a replay loop must spawn and register every process
+    /// before the first record, without consuming the stream to find out.
+    fn process_ids(&self) -> Vec<ProcessId>;
+
+    /// Drains the stream into a materialized [`Trace`].
+    ///
+    /// This is what makes `generate` a thin wrapper over the streaming
+    /// generators: collect-the-stream, nothing more.
+    fn collect_trace(mut self) -> Trace
+    where
+        Self: Sized,
+    {
+        let mut records = Vec::with_capacity(self.remaining() as usize);
+        while let Some(r) = self.next_record() {
+            records.push(r);
+        }
+        Trace::new(self.workload().to_string(), self.seed(), records)
+    }
+}
+
+/// Refills `buf` with up to `chunk` records pulled from `stream`.
+///
+/// `buf` is cleared first and reused across calls, so a replay loop that
+/// owns one chunk buffer allocates nothing in steady state. Returns the
+/// number of records now in `buf` (0 exactly when the stream is done).
+pub fn fill_chunk<S: TraceStream + ?Sized>(
+    stream: &mut S,
+    buf: &mut Vec<TraceRecord>,
+    chunk: usize,
+) -> usize {
+    buf.clear();
+    while buf.len() < chunk {
+        match stream.next_record() {
+            Some(r) => buf.push(r),
+            None => break,
+        }
+    }
+    buf.len()
+}
+
+/// A borrowed view of a materialized [`Trace`] as a [`TraceStream`].
+///
+/// Adapts the eager world to the streaming replay loop: replaying a
+/// `TraceView` is byte-identical to iterating `trace.records` directly.
+#[derive(Debug)]
+pub struct TraceView<'a> {
+    trace: &'a Trace,
+    pos: usize,
+}
+
+impl<'a> TraceView<'a> {
+    /// Creates a stream over `trace`'s records.
+    pub fn new(trace: &'a Trace) -> Self {
+        TraceView { trace, pos: 0 }
+    }
+}
+
+impl TraceStream for TraceView<'_> {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let r = self.trace.records.get(self.pos).copied();
+        self.pos += r.is_some() as usize;
+        r
+    }
+
+    fn remaining(&self) -> u64 {
+        (self.trace.records.len() - self.pos) as u64
+    }
+
+    fn workload(&self) -> &str {
+        &self.trace.workload
+    }
+
+    fn seed(&self) -> u64 {
+        self.trace.seed
+    }
+
+    fn process_ids(&self) -> Vec<ProcessId> {
+        self.trace.process_ids()
+    }
+}
+
+/// Repeats a generated stream for `epochs` epochs, shifting each epoch's
+/// timestamps past the previous epoch's end.
+///
+/// This is the scale lever of the fused generate+replay mode: one epoch has
+/// a bounded footprint (so engine state stays bounded), while total lookups
+/// grow linearly with `epochs` — a 100M-lookup workload is one app trace
+/// looped, never materialized. The factory is called once per epoch with
+/// the epoch index and must return the *same* stream each time (same
+/// record count, same process set); epoch 0's stream is passed in directly.
+pub struct Looped<S, F> {
+    inner: S,
+    factory: F,
+    epochs: u64,
+    epoch: u64,
+    /// Timestamp shift applied to the current epoch.
+    offset: u64,
+    /// Largest shifted timestamp yielded so far.
+    max_ts: u64,
+    /// Gap inserted between the last record of one epoch and the first of
+    /// the next.
+    gap: u64,
+    /// Records per epoch, captured from the fresh epoch-0 stream.
+    per_epoch: u64,
+    workload: String,
+}
+
+impl<S: TraceStream, F: FnMut(u64) -> S> Looped<S, F> {
+    /// Loops `first` (epoch 0) for `epochs` total epochs, using `factory`
+    /// to regenerate the stream for epochs 1.., separated by `gap_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is zero.
+    pub fn new(first: S, epochs: u64, gap_ns: u64, factory: F) -> Self {
+        assert!(epochs > 0, "need at least one epoch");
+        let per_epoch = first.remaining();
+        let workload = format!("{}x{epochs}", first.workload());
+        Looped {
+            inner: first,
+            factory,
+            epochs,
+            epoch: 0,
+            offset: 0,
+            max_ts: 0,
+            gap: gap_ns,
+            per_epoch,
+            workload,
+        }
+    }
+}
+
+impl<S: TraceStream, F: FnMut(u64) -> S> TraceStream for Looped<S, F> {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        loop {
+            if let Some(mut r) = self.inner.next_record() {
+                r.ts_ns += self.offset;
+                self.max_ts = self.max_ts.max(r.ts_ns);
+                return Some(r);
+            }
+            if self.epoch + 1 >= self.epochs {
+                return None;
+            }
+            self.epoch += 1;
+            self.inner = (self.factory)(self.epoch);
+            self.offset = self.max_ts + self.gap;
+        }
+    }
+
+    fn remaining(&self) -> u64 {
+        self.inner.remaining() + (self.epochs - self.epoch - 1) * self.per_epoch
+    }
+
+    fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    fn seed(&self) -> u64 {
+        self.inner.seed()
+    }
+
+    fn process_ids(&self) -> Vec<ProcessId> {
+        self.inner.process_ids()
+    }
+}
+
+impl<S, F> std::fmt::Debug for Looped<S, F>
+where
+    S: std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Looped")
+            .field("inner", &self.inner)
+            .field("epochs", &self.epochs)
+            .field("epoch", &self.epoch)
+            .field("offset", &self.offset)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::send_page;
+
+    fn toy_trace() -> Trace {
+        let recs = (0..7u64)
+            .map(|i| send_page(i * 10, ProcessId::new(1 + (i % 2) as u32), i))
+            .collect();
+        Trace::new("toy", 3, recs)
+    }
+
+    #[test]
+    fn trace_view_replays_the_records_exactly() {
+        let t = toy_trace();
+        let mut v = TraceView::new(&t);
+        assert_eq!(v.remaining(), 7);
+        assert_eq!(v.workload(), "toy");
+        assert_eq!(v.seed(), 3);
+        assert_eq!(v.process_ids(), t.process_ids());
+        let mut got = Vec::new();
+        while let Some(r) = v.next_record() {
+            got.push(r);
+            assert_eq!(v.remaining(), 7 - got.len() as u64);
+        }
+        assert_eq!(got, t.records);
+        assert!(v.next_record().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn collect_trace_roundtrips() {
+        let t = toy_trace();
+        let back = TraceView::new(&t).collect_trace();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn fill_chunk_partitions_without_losing_records() {
+        let t = toy_trace();
+        let mut v = TraceView::new(&t);
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        loop {
+            let n = fill_chunk(&mut v, &mut buf, 3);
+            if n == 0 {
+                break;
+            }
+            assert!(n <= 3);
+            got.extend_from_slice(&buf);
+        }
+        assert_eq!(got, t.records);
+    }
+
+    #[test]
+    fn looped_stream_repeats_with_monotone_timestamps() {
+        let t = toy_trace();
+        let looped = Looped::new(TraceView::new(&t), 3, 5, |_| TraceView::new(&t));
+        assert_eq!(looped.remaining(), 21);
+        assert_eq!(looped.workload(), "toyx3");
+        let collected = looped.collect_trace();
+        assert_eq!(collected.records.len(), 21);
+        assert!(collected
+            .records
+            .windows(2)
+            .all(|w| w[0].ts_ns <= w[1].ts_ns));
+        // Each epoch is the same page sequence, shifted in time.
+        let pages: Vec<u64> = collected
+            .records
+            .iter()
+            .map(|r| r.va.page().number())
+            .collect();
+        assert_eq!(&pages[0..7], &pages[7..14]);
+        assert_eq!(&pages[0..7], &pages[14..21]);
+        // Epoch 1 starts strictly after epoch 0 ends.
+        assert_eq!(collected.records[7].ts_ns, 60 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn looped_rejects_zero_epochs() {
+        let t = toy_trace();
+        let _ = Looped::new(TraceView::new(&t), 0, 5, |_| TraceView::new(&t));
+    }
+}

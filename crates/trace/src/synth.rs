@@ -10,9 +10,11 @@
 //! * the *lookup count* tracks the per-process budget.
 
 use crate::record::send_page;
+use crate::stream::TraceStream;
 use crate::TraceRecord;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
 use utlb_mem::{ProcessId, VirtAddr};
 
 /// Generation parameters shared by all workloads.
@@ -185,6 +187,474 @@ impl PatternBuilder {
     }
 }
 
+/// One lazily executed access-pattern step of a process stream.
+///
+/// A workload generator is a short *program* of these ops; [`ProcessStream`]
+/// interprets the program pull-style, one record per `next_record`, drawing
+/// from the RNG in exactly the order the eager [`PatternBuilder`] primitives
+/// would — so streaming and materialized generation are byte-identical.
+/// Every op's record count is known up front ([`PatternOp::count`]), which
+/// is what makes the streams exact-size.
+#[derive(Debug, Clone)]
+pub(crate) enum PatternOp {
+    /// `emit_rotated` over `seq` cyclically extended to `total` records:
+    /// emission `k` is `seq[((rot + k) % total) % seq.len()]` with
+    /// `rot = phase * total / peers`. Holds O(one pass) memory — the page
+    /// sequence of a single sweep — regardless of `total`.
+    Rotated {
+        /// One pass of the access pattern (partition-relative pages).
+        seq: Vec<u64>,
+        /// Total records to emit (the lookup budget of the op).
+        total: u64,
+    },
+    /// One sequential pass over `[start, start + count)`.
+    Sequential {
+        /// First partition-relative page.
+        start: u64,
+        /// Pages visited.
+        count: u64,
+    },
+    /// `count` uniformly random single-page accesses over `[0, span)`.
+    Scatter {
+        /// Partition span in pages.
+        span: u64,
+        /// Accesses to emit.
+        count: u64,
+    },
+    /// `count` accesses by the slow random walk of
+    /// [`PatternBuilder::local_walk`].
+    LocalWalk {
+        /// Partition span in pages.
+        span: u64,
+        /// Accesses to emit.
+        count: u64,
+        /// Drift radius in pages.
+        step: u64,
+        /// Probability of drifting instead of jumping.
+        locality: f64,
+    },
+    /// Task-farm bursts: repeatedly grab a random tile and walk it for
+    /// `every - 1` accesses, then emit one small control message on page 0
+    /// — the raytrace/volrend task-queue shape, `total` records in all.
+    TileBursts {
+        /// Partition span in pages.
+        span: u64,
+        /// Total records to emit.
+        total: u64,
+        /// Tile size in pages.
+        tile: u64,
+        /// Burst length including the control message.
+        every: u64,
+        /// Control-message size in bytes.
+        nbytes: u64,
+    },
+    /// The SVM protocol pump: every `every`-th request is a small control
+    /// message on one of `hot` pages, the rest walk the partition with a
+    /// fixed stride — `total` records in all.
+    ControlPump {
+        /// Partition span in pages.
+        span: u64,
+        /// Total records to emit.
+        total: u64,
+        /// Hot control pages.
+        hot: u64,
+        /// Control-message period.
+        every: u64,
+        /// Control-message size in bytes.
+        nbytes: u64,
+        /// Page-walk stride.
+        stride: u64,
+    },
+}
+
+impl PatternOp {
+    /// Exact number of records this op emits.
+    pub(crate) fn count(&self) -> u64 {
+        match self {
+            PatternOp::Rotated { total, .. } => *total,
+            PatternOp::Sequential { count, .. } => *count,
+            PatternOp::Scatter { count, .. } => *count,
+            PatternOp::LocalWalk { count, .. } => *count,
+            PatternOp::TileBursts { total, .. } => *total,
+            PatternOp::ControlPump { total, .. } => *total,
+        }
+    }
+}
+
+/// Per-op interpreter state of a [`ProcessStream`].
+#[derive(Debug)]
+enum OpCursor {
+    Rotated {
+        k: u64,
+    },
+    Sequential {
+        i: u64,
+    },
+    Scatter {
+        i: u64,
+    },
+    LocalWalk {
+        i: u64,
+        pos: i64,
+    },
+    TileBursts {
+        left: u64,
+        burst: u64,
+        tiles_left: u64,
+        tile_page: u64,
+        tile_rem: u64,
+    },
+    ControlPump {
+        k: u64,
+        left: u64,
+    },
+}
+
+impl OpCursor {
+    fn for_op(op: &PatternOp) -> OpCursor {
+        match op {
+            PatternOp::Rotated { .. } => OpCursor::Rotated { k: 0 },
+            PatternOp::Sequential { .. } => OpCursor::Sequential { i: 0 },
+            PatternOp::Scatter { .. } => OpCursor::Scatter { i: 0 },
+            PatternOp::LocalWalk { .. } => OpCursor::LocalWalk { i: 0, pos: 0 },
+            PatternOp::TileBursts { total, .. } => OpCursor::TileBursts {
+                left: *total,
+                burst: 0,
+                tiles_left: 0,
+                tile_page: 0,
+                tile_rem: 0,
+            },
+            PatternOp::ControlPump { total, .. } => OpCursor::ControlPump { k: 0, left: *total },
+        }
+    }
+}
+
+/// One process' record stream, generated on demand.
+///
+/// The streaming counterpart of [`PatternBuilder`]: same pid/base-page
+/// addressing, same seeded RNG, same timestamp jitter — but records are
+/// synthesized one at a time by interpreting a `PatternOp` program, so
+/// the stream holds O(one pass) memory however large its lookup budget is.
+#[derive(Debug)]
+pub struct ProcessStream {
+    pid: ProcessId,
+    base_page: u64,
+    rng: StdRng,
+    next_ts: u64,
+    ts_step: u64,
+    /// Rotation phase of this stream among its peers (see `emit_rotated`).
+    phase: u32,
+    peers: u32,
+    ops: VecDeque<PatternOp>,
+    cur: Option<OpCursor>,
+    remaining: u64,
+    workload: String,
+    /// The node-level generator seed (not the per-process RNG seed).
+    meta_seed: u64,
+}
+
+impl ProcessStream {
+    /// Creates a stream for `pid` executing `ops`. Seeding and timestamp
+    /// behavior match `PatternBuilder::new(pid, base_page, seed, ts_step)`;
+    /// `phase`/`peers` position the stream among its SPMD siblings for
+    /// rotated ops; `workload` and the raw `seed` are carried as metadata.
+    // Each argument is one independent axis of the generator identity;
+    // bundling them into a struct would just rename the call sites.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        pid: ProcessId,
+        base_page: u64,
+        seed: u64,
+        ts_step: u64,
+        phase: u32,
+        peers: u32,
+        ops: Vec<PatternOp>,
+        workload: impl Into<String>,
+    ) -> Self {
+        let remaining = ops.iter().map(PatternOp::count).sum();
+        ProcessStream {
+            pid,
+            base_page,
+            rng: StdRng::seed_from_u64(seed ^ (pid.raw() as u64) << 32),
+            next_ts: 0,
+            ts_step: ts_step.max(1),
+            phase,
+            peers,
+            ops: ops.into(),
+            cur: None,
+            remaining,
+            workload: workload.into(),
+            meta_seed: seed,
+        }
+    }
+
+    /// Identical to `PatternBuilder::advance_ts`.
+    fn advance_ts(&mut self) -> u64 {
+        let jitter = self.ts_step / 4;
+        let dt = if jitter > 0 {
+            self.ts_step - jitter + self.rng.gen_range(0..=2 * jitter)
+        } else {
+            self.ts_step
+        };
+        let ts = self.next_ts;
+        self.next_ts += dt;
+        ts
+    }
+
+    fn emit_page(&mut self, rel: u64) -> TraceRecord {
+        let ts = self.advance_ts();
+        send_page(ts, self.pid, self.base_page + rel)
+    }
+
+    fn emit_small(&mut self, rel: u64, nbytes: u64) -> TraceRecord {
+        debug_assert!(nbytes < utlb_mem::PAGE_SIZE);
+        let ts = self.advance_ts();
+        TraceRecord {
+            ts_ns: ts,
+            pid: self.pid,
+            op: crate::Op::Send,
+            va: VirtAddr::new((self.base_page + rel) * utlb_mem::PAGE_SIZE),
+            nbytes,
+        }
+    }
+
+    /// Emits one record of the front op, or `None` if the op is exhausted.
+    fn step_front(&mut self) -> Option<TraceRecord> {
+        // The op is taken by value and restored so the RNG (`&mut self`)
+        // stays usable inside the match; ops are small (one Vec at most).
+        let op = self.ops.front().cloned()?;
+        let mut cur = match self.cur.take() {
+            Some(c) => c,
+            None => OpCursor::for_op(&op),
+        };
+        let rec = match (&op, &mut cur) {
+            (PatternOp::Rotated { seq, total }, OpCursor::Rotated { k }) => {
+                if *k >= *total || seq.is_empty() {
+                    None
+                } else {
+                    let rot = (self.phase as u64 * *total) / u64::from(self.peers.max(1));
+                    let idx = (rot + *k) % *total;
+                    let page = seq[(idx % seq.len() as u64) as usize];
+                    *k += 1;
+                    Some(self.emit_page(page))
+                }
+            }
+            (PatternOp::Sequential { start, count }, OpCursor::Sequential { i }) => {
+                if *i >= *count {
+                    None
+                } else {
+                    let page = *start + *i;
+                    *i += 1;
+                    Some(self.emit_page(page))
+                }
+            }
+            (PatternOp::Scatter { span, count }, OpCursor::Scatter { i }) => {
+                if *i >= *count {
+                    None
+                } else {
+                    *i += 1;
+                    let p = self.rng.gen_range(0..*span);
+                    Some(self.emit_page(p))
+                }
+            }
+            (
+                PatternOp::LocalWalk {
+                    span,
+                    count,
+                    step,
+                    locality,
+                },
+                OpCursor::LocalWalk { i, pos },
+            ) => {
+                if *i >= *count {
+                    None
+                } else {
+                    *i += 1;
+                    let step = (*step).max(1) as i64;
+                    let max = span.saturating_sub(1) as i64;
+                    if self.rng.gen_bool(locality.clamp(0.0, 1.0)) {
+                        *pos = (*pos + self.rng.gen_range(-step..=step)).clamp(0, max);
+                    } else {
+                        *pos = self.rng.gen_range(0..*span) as i64;
+                    }
+                    Some(self.emit_page(*pos as u64))
+                }
+            }
+            (
+                PatternOp::TileBursts {
+                    span,
+                    tile,
+                    every,
+                    nbytes,
+                    ..
+                },
+                OpCursor::TileBursts {
+                    left,
+                    burst,
+                    tiles_left,
+                    tile_page,
+                    tile_rem,
+                },
+            ) => {
+                if *left == 0 {
+                    None
+                } else {
+                    if *burst == 0 {
+                        *burst = (*every).min(*left);
+                        *tiles_left = *burst - 1;
+                    }
+                    if *tiles_left > 0 {
+                        let tile_c = (*tile).max(1).min(*span);
+                        if *tile_rem == 0 {
+                            *tile_page = self.rng.gen_range(0..=*span - tile_c);
+                            *tile_rem = tile_c.min(*tiles_left);
+                        }
+                        let page = *tile_page;
+                        *tile_page += 1;
+                        *tile_rem -= 1;
+                        *tiles_left -= 1;
+                        Some(self.emit_page(page))
+                    } else {
+                        *left -= *burst;
+                        *burst = 0;
+                        Some(self.emit_small(0, *nbytes))
+                    }
+                }
+            }
+            (
+                PatternOp::ControlPump {
+                    span,
+                    hot,
+                    every,
+                    nbytes,
+                    stride,
+                    ..
+                },
+                OpCursor::ControlPump { k, left },
+            ) => {
+                if *left == 0 {
+                    None
+                } else {
+                    *left -= 1;
+                    let kk = *k;
+                    *k += 1;
+                    if kk % *every == 0 {
+                        Some(self.emit_small(kk % *hot, *nbytes))
+                    } else {
+                        Some(self.emit_page((kk * *stride) % *span))
+                    }
+                }
+            }
+            _ => unreachable!("cursor always matches the front op"),
+        };
+        if rec.is_some() {
+            self.cur = Some(cur);
+        }
+        rec
+    }
+}
+
+impl TraceStream for ProcessStream {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        loop {
+            if self.ops.is_empty() {
+                return None;
+            }
+            if let Some(rec) = self.step_front() {
+                self.remaining -= 1;
+                return Some(rec);
+            }
+            // Front op exhausted: drop it and its cursor, try the next.
+            self.ops.pop_front();
+            self.cur = None;
+        }
+    }
+
+    fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    fn seed(&self) -> u64 {
+        self.meta_seed
+    }
+
+    fn process_ids(&self) -> Vec<ProcessId> {
+        vec![self.pid]
+    }
+}
+
+/// Executes an op program eagerly against a [`PatternBuilder`] — the
+/// executable specification the streaming interpreter is pinned against.
+/// `phase`/`peers` must match what the [`ProcessStream`] was given.
+#[cfg(test)]
+pub(crate) fn execute_ops(b: &mut PatternBuilder, ops: &[PatternOp], phase: u32, peers: u32) {
+    for op in ops {
+        match op {
+            PatternOp::Rotated { seq, total } => {
+                if seq.is_empty() {
+                    continue;
+                }
+                let full: Vec<u64> = (0..*total)
+                    .map(|k| seq[(k % seq.len() as u64) as usize])
+                    .collect();
+                let rot = (phase as usize * full.len()) / peers.max(1) as usize;
+                for &p in full[rot..].iter().chain(full[..rot].iter()) {
+                    b.page(p);
+                }
+            }
+            PatternOp::Sequential { start, count } => b.sequential(*start, *count),
+            PatternOp::Scatter { span, count } => b.scatter(*span, *count),
+            PatternOp::LocalWalk {
+                span,
+                count,
+                step,
+                locality,
+            } => b.local_walk(*span, *count, *step, *locality),
+            PatternOp::TileBursts {
+                span,
+                total,
+                tile,
+                every,
+                nbytes,
+            } => {
+                let mut remaining = *total;
+                while remaining > 0 {
+                    let burst = (*every).min(remaining);
+                    if burst > 1 {
+                        b.task_tiles(*span, burst - 1, *tile);
+                    }
+                    b.small(0, *nbytes);
+                    remaining -= burst;
+                }
+            }
+            PatternOp::ControlPump {
+                span,
+                total,
+                hot,
+                every,
+                nbytes,
+                stride,
+            } => {
+                let mut k = 0u64;
+                let mut remaining = *total;
+                while remaining > 0 {
+                    if k.is_multiple_of(*every) {
+                        b.small(k % hot, *nbytes);
+                    } else {
+                        b.page((k * stride) % span);
+                    }
+                    k += 1;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+}
+
 /// Splits a footprint of `total` pages into `parts` contiguous partitions;
 /// returns `(offset, len)` pairs covering `total` exactly.
 pub(crate) fn partition(total: u64, parts: u64) -> Vec<(u64, u64)> {
@@ -286,6 +756,68 @@ mod tests {
         for (off, len) in parts {
             assert_eq!(off, expect_off);
             expect_off += len;
+        }
+    }
+
+    #[test]
+    fn process_stream_matches_eager_executor_on_a_mixed_program() {
+        let ops = vec![
+            PatternOp::Rotated {
+                seq: (0..37).collect(),
+                total: 90,
+            },
+            PatternOp::Sequential {
+                start: 5,
+                count: 20,
+            },
+            PatternOp::Scatter {
+                span: 64,
+                count: 50,
+            },
+            PatternOp::LocalWalk {
+                span: 64,
+                count: 80,
+                step: 3,
+                locality: 0.9,
+            },
+            PatternOp::TileBursts {
+                span: 64,
+                total: 100,
+                tile: 8,
+                every: 16,
+                nbytes: 128,
+            },
+            PatternOp::ControlPump {
+                span: 64,
+                total: 77,
+                hot: 4,
+                every: 4,
+                nbytes: 64,
+                stride: 7,
+            },
+        ];
+        for (phase, peers) in [(0u32, 5u32), (3, 5)] {
+            let mut b = PatternBuilder::new(ProcessId::new(3), 500, 42, 100);
+            execute_ops(&mut b, &ops, phase, peers);
+            let eager = b.finish();
+            let mut s = ProcessStream::new(
+                ProcessId::new(3),
+                500,
+                42,
+                100,
+                phase,
+                peers,
+                ops.clone(),
+                "mix",
+            );
+            assert_eq!(s.remaining(), eager.len() as u64, "exact-size metadata");
+            assert_eq!(s.process_ids(), vec![ProcessId::new(3)]);
+            let mut got = Vec::new();
+            while let Some(r) = s.next_record() {
+                got.push(r);
+            }
+            assert_eq!(got, eager, "phase {phase}: stream == eager spec");
+            assert_eq!(s.remaining(), 0);
         }
     }
 

@@ -1,7 +1,11 @@
 //! Property-based tests of trace generation and serialization.
 
 use proptest::prelude::*;
-use utlb_trace::{gen, merge_streams, read_jsonl, write_jsonl, GenConfig, SplashApp};
+use utlb_mem::{ProcessId, VirtAddr, PAGE_SIZE};
+use utlb_trace::{
+    gen, merge_streams, merge_trace_streams, read_jsonl, write_jsonl, GenConfig, Op, SplashApp,
+    Trace, TraceRecord, TraceStream, TraceView,
+};
 
 fn any_app() -> impl Strategy<Value = SplashApp> {
     prop_oneof![
@@ -15,8 +19,60 @@ fn any_app() -> impl Strategy<Value = SplashApp> {
     ]
 }
 
+/// 1–5 per-process streams with sorted timestamps, arbitrary gaps (including
+/// simultaneous records), zero-byte and page-straddling transfers, and
+/// possibly no records at all; stream `i` belongs to pid `i + 1`.
+fn arb_per_process_streams() -> impl Strategy<Value = Vec<Vec<TraceRecord>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u64..5_000, 0u64..64, 0u64..3 * PAGE_SIZE), 0..40),
+        1..6,
+    )
+    .prop_map(|streams| {
+        streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, items)| {
+                let mut ts = 0u64;
+                items
+                    .into_iter()
+                    .map(|(dt, page, nbytes)| {
+                        ts += dt;
+                        TraceRecord {
+                            ts_ns: ts,
+                            pid: ProcessId::new(i as u32 + 1),
+                            op: Op::Send,
+                            va: VirtAddr::new(page * PAGE_SIZE + nbytes % 97),
+                            nbytes,
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Heap-merging lazy per-process streams yields exactly the
+    /// materialized k-way merge, for arbitrary stream shapes — empty
+    /// streams, timestamp ties, zero-byte records, page straddles.
+    #[test]
+    fn streaming_merge_equals_materialized_merge(streams in arb_per_process_streams()) {
+        let eager = merge_streams(streams.clone());
+        let traces: Vec<Trace> = streams
+            .into_iter()
+            .map(|s| Trace::new("part", 0, s))
+            .collect();
+        let views: Vec<TraceView> = traces.iter().map(TraceView::new).collect();
+        let mut merged = merge_trace_streams(views, "merged", 1);
+        prop_assert_eq!(merged.remaining(), eager.len() as u64);
+        let mut got = Vec::with_capacity(eager.len());
+        while let Some(r) = merged.next_record() {
+            got.push(r);
+        }
+        prop_assert_eq!(got, eager);
+    }
 
     /// Every generated trace, at any seed/scale, is timestamp-ordered,
     /// covers a footprint close to its scaled Table 3 target, and spends a

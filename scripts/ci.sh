@@ -47,8 +47,20 @@ cargo test -q --offline -p utlb-core batch::
 cargo test -q --offline -p utlb-core pinned_prefix
 cargo test -q --offline -p utlb-bench scalar_baseline
 
+echo "== streaming: fused generate+replay byte-identity gate"
+cargo test -q --offline -p utlb-sim --test stream_equivalence
+cargo test -q --offline -p utlb-trace merge::
+cargo test -q --offline -p utlb-trace stream::
+cargo test -q --offline -p utlb-trace synth::
+
+echo "== streaming: bounded-memory scale run (small epoch count)"
+UTLB_STREAM_EPOCHS=40 cargo run -q --release --offline -p utlb-bench --bin stream_scale
+
 echo "== DES: replay overhead bench"
 cargo bench -q --offline -p utlb-bench --bench des_replay
+
+echo "== streaming: fused-vs-materialized replay bench smoke"
+cargo bench -q --offline -p utlb-bench --bench stream_replay -- --test
 
 echo "== criterion smoke: batched-vs-scalar replay benches compile and run"
 cargo bench -q --offline -p utlb-bench --bench sweep -- --test
