@@ -1,0 +1,40 @@
+//! The cluster runner's sharding cost: the same multiprogrammed stream
+//! replayed on one board (the serial DES schedule plus routing overhead)
+//! and sharded over eight boards. The 1-board number is directly comparable
+//! to `des_replay`'s zero-contention row; the 8-board number adds the
+//! shared-station arbitration and per-board finalization.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use utlb_sim::experiments::cluster_workload;
+use utlb_sim::{ClusterConfig, Mechanism, Run, SimConfig};
+use utlb_trace::GenConfig;
+
+fn small_cfg() -> GenConfig {
+    GenConfig {
+        seed: 1998,
+        scale: 0.1,
+        app_processes: 4,
+    }
+}
+
+/// 1-board vs 8-board cluster replay of one 8-job workload.
+fn bench_cluster_replay(c: &mut Criterion) {
+    let trace = cluster_workload(&small_cfg(), 8);
+    let sim = SimConfig::study(2048);
+    let mut group = c.benchmark_group("cluster_replay");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.records.len() as u64));
+    for nodes in [1usize, 8] {
+        let run = Run::new(Mechanism::Utlb)
+            .config(&sim)
+            .cluster(ClusterConfig::new(nodes));
+        group.bench_function(format!("boards_{nodes}"), |b| {
+            b.iter(|| black_box(run.execute(&trace).into_cluster().des_time_ns))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_replay);
+criterion_main!(benches);

@@ -10,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use utlb_bench::scalar_run_mechanism;
-use utlb_sim::{run_des_mechanism, run_mechanism, DesConfig, Mechanism, SimConfig};
+use utlb_sim::{DesConfig, Mechanism, Run, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp};
 
 fn small_cfg() -> GenConfig {
@@ -35,19 +35,18 @@ fn bench_des_replay(c: &mut Criterion) {
             b.iter(|| black_box(scalar_run_mechanism(mech, &trace, &sim).sim_time_ns))
         });
         group.bench_function(format!("serial_{mech}"), |b| {
-            b.iter(|| black_box(run_mechanism(mech, &trace, &sim).sim_time_ns))
+            let run = Run::new(mech).config(&sim);
+            b.iter(|| black_box(run.execute(&trace).into_sim().sim_time_ns))
         });
         group.bench_function(format!("des_zero_contention_{mech}"), |b| {
-            b.iter(|| {
-                let r = run_des_mechanism(mech, &trace, &sim, &DesConfig::zero_contention());
-                black_box(r.des_time_ns)
-            })
+            let run = Run::new(mech)
+                .config(&sim)
+                .des(DesConfig::zero_contention());
+            b.iter(|| black_box(run.execute(&trace).into_des().des_time_ns))
         });
         group.bench_function(format!("des_contended_{mech}"), |b| {
-            b.iter(|| {
-                let r = run_des_mechanism(mech, &trace, &sim, &DesConfig::contended(4.0));
-                black_box(r.des_time_ns)
-            })
+            let run = Run::new(mech).config(&sim).des(DesConfig::contended(4.0));
+            b.iter(|| black_box(run.execute(&trace).into_des().des_time_ns))
         });
     }
     group.finish();

@@ -15,8 +15,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
-use utlb_core::UtlbEngine;
-use utlb_sim::{run_stream, run_utlb, SimConfig};
+use utlb_sim::{Mechanism, Run, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp};
 
 fn small_cfg() -> GenConfig {
@@ -38,23 +37,20 @@ fn bench_stream_replay(c: &mut Criterion) {
     let mut group = c.benchmark_group("stream_replay");
     group.throughput(Throughput::Elements(lookups));
     group.sample_size(10);
+    let run = Run::new(Mechanism::Utlb).config(&sim);
     group.bench_function("replay_materialized", |b| {
-        b.iter(|| black_box(run_utlb(&trace, &sim)))
+        b.iter(|| black_box(run.execute(&trace).into_sim()))
     });
     group.bench_function("fused_generate_replay", |b| {
         b.iter(|| {
             let mut stream = gen::stream(app, &gcfg);
-            black_box(run_stream(
-                &mut UtlbEngine::new(sim.utlb_config()),
-                &mut stream,
-                &sim,
-            ))
+            black_box(run.execute(&mut stream).into_sim())
         })
     });
     group.bench_function("generate_then_replay", |b| {
         b.iter(|| {
             let t = gen::generate(app, &gcfg);
-            black_box(run_utlb(&t, &sim))
+            black_box(run.execute(&t).into_sim())
         })
     });
     group.finish();

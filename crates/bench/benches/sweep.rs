@@ -18,7 +18,7 @@ use utlb_core::{
 use utlb_mem::{Host, PhysAddr, ProcessId, VirtPage, PAGE_SIZE};
 use utlb_nic::Board;
 use utlb_sim::sweep::THREADS_ENV;
-use utlb_sim::{run, run_mechanism, run_utlb, sweep, Mechanism, SimConfig};
+use utlb_sim::{sweep, Mechanism, Run, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp, Trace};
 
 fn small_cfg() -> GenConfig {
@@ -78,7 +78,10 @@ fn bench_grid(c: &mut Criterion) {
             }
             b.iter(|| {
                 black_box(sweep(sizes.len(), |ix| {
-                    run_utlb(&trace, &SimConfig::study(sizes[ix]))
+                    Run::new(Mechanism::Utlb)
+                        .config(&SimConfig::study(sizes[ix]))
+                        .execute(&trace)
+                        .into_sim()
                         .stats
                         .ni_miss_rate()
                 }))
@@ -100,14 +103,26 @@ fn bench_noop_probe(c: &mut Criterion) {
     group.bench_function("replay_no_probe", |b| {
         b.iter(|| {
             let mut engine = UtlbEngine::new(cfg.utlb_config());
-            black_box(run(&mut engine, &trace, &cfg).stats.lookups)
+            black_box(
+                Run::with_config(&cfg)
+                    .execute_with(&mut engine, &trace)
+                    .into_sim()
+                    .stats
+                    .lookups,
+            )
         })
     });
     group.bench_function("replay_noop_probe", |b| {
         b.iter(|| {
             let mut engine = UtlbEngine::new(cfg.utlb_config());
             engine.set_probe(Box::new(NoopProbe));
-            black_box(run(&mut engine, &trace, &cfg).stats.lookups)
+            black_box(
+                Run::with_config(&cfg)
+                    .execute_with(&mut engine, &trace)
+                    .into_sim()
+                    .stats
+                    .lookups,
+            )
         })
     });
     group.finish();
@@ -128,7 +143,16 @@ fn bench_replay_paths(c: &mut Criterion) {
             b.iter(|| black_box(scalar_run_mechanism(mech, &trace, &cfg).stats.lookups))
         });
         group.bench_function(format!("replay_batched_{mech}"), |b| {
-            b.iter(|| black_box(run_mechanism(mech, &trace, &cfg).stats.lookups))
+            b.iter(|| {
+                black_box(
+                    Run::new(mech)
+                        .config(&cfg)
+                        .execute(&trace)
+                        .into_sim()
+                        .stats
+                        .lookups,
+                )
+            })
         });
     }
     group.finish();

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use utlb_core::Associativity;
-use utlb_sim::{run_intr, run_utlb, SimConfig};
+use utlb_sim::{Mechanism, Run, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp};
 
 fn small_cfg() -> GenConfig {
@@ -23,12 +23,12 @@ fn bench_engines(c: &mut Criterion) {
     group.throughput(Throughput::Elements(lookups));
     group.sample_size(10);
     group.bench_function("utlb_radix", |b| {
-        let cfg = SimConfig::study(2048);
-        b.iter(|| black_box(run_utlb(&trace, &cfg)))
+        let run = Run::new(Mechanism::Utlb).config(&SimConfig::study(2048));
+        b.iter(|| black_box(run.execute(&trace).into_sim()))
     });
     group.bench_function("intr_radix", |b| {
-        let cfg = SimConfig::study(2048);
-        b.iter(|| black_box(run_intr(&trace, &cfg)))
+        let run = Run::new(Mechanism::Intr).config(&SimConfig::study(2048));
+        b.iter(|| black_box(run.execute(&trace).into_sim()))
     });
     group.finish();
 }
@@ -46,7 +46,8 @@ fn bench_associativity_ablation(c: &mut Criterion) {
                     associativity: assoc,
                     ..SimConfig::study(2048)
                 };
-                b.iter(|| black_box(run_utlb(&trace, &cfg)))
+                let run = Run::new(Mechanism::Utlb).config(&cfg);
+                b.iter(|| black_box(run.execute(&trace).into_sim()))
             },
         );
     }

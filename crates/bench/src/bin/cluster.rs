@@ -1,0 +1,53 @@
+//! Cluster node-count scaling: shards a multiprogrammed workload over
+//! 2 → 256 simulated boards (per-board engine, firmware, and DMA; shared
+//! host memory, I/O bus, and interrupt service), one job per board (weak
+//! scaling), and archives the sweep — plain and with mid-trace migrations
+//! — to `results/cluster.json`.
+//!
+//! `UTLB_CLUSTER_NODES` caps the node axis (CI smoke runs use a small
+//! value); a capped run writes `results/cluster_smoke.json` instead so the
+//! archived full-axis numbers are never clobbered.
+
+use utlb_sim::experiments::{cluster_scaling, CLUSTER_NODES};
+
+/// NIC cache entries per board — the paper's default study point.
+const CACHE_ENTRIES: usize = 8192;
+
+fn main() {
+    let args = utlb_bench::BenchArgs::parse();
+    let cap: Option<usize> = std::env::var("UTLB_CLUSTER_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let axis: Vec<usize> = match cap {
+        Some(n) => CLUSTER_NODES.iter().copied().filter(|&x| x <= n).collect(),
+        None => CLUSTER_NODES.to_vec(),
+    };
+    assert!(
+        !axis.is_empty(),
+        "UTLB_CLUSTER_NODES below the smallest axis point"
+    );
+
+    eprintln!(
+        "cluster: weak-scaling sweep over {:?} boards, one job per board (scale {}, seed {})...",
+        axis, args.gen.scale, args.gen.seed
+    );
+    let result = cluster_scaling(&args.gen, CACHE_ENTRIES, &axis);
+    println!("{result}");
+
+    let body = serde_json::to_string_pretty(&result).expect("cluster scaling serializes");
+    std::fs::create_dir_all("results").expect("create results/");
+    let dest = if cap.is_none() {
+        std::fs::write("results/cluster.json", &body).expect("write results/cluster.json");
+        "results/cluster.json"
+    } else {
+        std::fs::write("results/cluster_smoke.json", &body)
+            .expect("write results/cluster_smoke.json");
+        "results/cluster_smoke.json"
+    };
+    eprintln!(
+        "cluster: {} cells across {} node counts, detail at {} boards → {dest}",
+        result.cells.len(),
+        result.topology.nodes_axis.len(),
+        result.detail.nodes
+    );
+}

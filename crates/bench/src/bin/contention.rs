@@ -6,7 +6,7 @@
 
 use serde::Serialize;
 use utlb_sim::experiments::{bus_contention, interference_des, BusContention, InterferenceDes};
-use utlb_sim::{run_des_mechanism, wait_breakdown, DesConfig, Mechanism, SimConfig};
+use utlb_sim::{wait_breakdown, DesConfig, Mechanism, Run, SimConfig};
 use utlb_trace::{gen, SplashApp};
 
 /// Cache entries used by every contention run, matching Tables 4–5.
@@ -38,12 +38,11 @@ fn main() {
     println!("{interference}");
 
     let radix = gen::generate_shared(SplashApp::Radix, &args.gen);
-    let r = run_des_mechanism(
-        Mechanism::Utlb,
-        &radix,
-        &SimConfig::study(CACHE_ENTRIES),
-        &DesConfig::contended(INTERFERENCE_LOAD),
-    );
+    let r = Run::new(Mechanism::Utlb)
+        .config(&SimConfig::study(CACHE_ENTRIES))
+        .des(DesConfig::contended(INTERFERENCE_LOAD))
+        .execute(&radix)
+        .into_des();
     println!(
         "{}",
         wait_breakdown(

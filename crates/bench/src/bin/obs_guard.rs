@@ -13,7 +13,7 @@ use std::hint::black_box;
 use std::time::Instant;
 use utlb_core::obs::NoopProbe;
 use utlb_core::UtlbEngine;
-use utlb_sim::{run, SimConfig};
+use utlb_sim::{Run, SimConfig};
 use utlb_trace::{gen, SplashApp};
 
 /// Interleaved timing rounds per side.
@@ -28,11 +28,12 @@ fn main() {
     let cfg = SimConfig::study(1024);
 
     // Warm both paths (page tables, allocator, trace cache) before timing.
-    run(&mut UtlbEngine::new(cfg.utlb_config()), &trace, &cfg);
+    let runner = Run::with_config(&cfg);
+    runner.execute_with(&mut UtlbEngine::new(cfg.utlb_config()), &trace);
     {
         let mut engine = UtlbEngine::new(cfg.utlb_config());
         engine.set_probe(Box::new(NoopProbe));
-        run(&mut engine, &trace, &cfg);
+        runner.execute_with(&mut engine, &trace);
     }
 
     let mut base = f64::INFINITY;
@@ -40,13 +41,25 @@ fn main() {
     for _ in 0..ROUNDS {
         let mut engine = UtlbEngine::new(cfg.utlb_config());
         let t = Instant::now();
-        black_box(run(&mut engine, &trace, &cfg).stats.lookups);
+        black_box(
+            runner
+                .execute_with(&mut engine, &trace)
+                .into_sim()
+                .stats
+                .lookups,
+        );
         base = base.min(t.elapsed().as_secs_f64());
 
         let mut engine = UtlbEngine::new(cfg.utlb_config());
         engine.set_probe(Box::new(NoopProbe));
         let t = Instant::now();
-        black_box(run(&mut engine, &trace, &cfg).stats.lookups);
+        black_box(
+            runner
+                .execute_with(&mut engine, &trace)
+                .into_sim()
+                .stats
+                .lookups,
+        );
         probed = probed.min(t.elapsed().as_secs_f64());
     }
 

@@ -9,9 +9,7 @@ use utlb_core::obs::Metrics;
 use utlb_core::{CacheConfig, SharedUtlbCache};
 use utlb_mem::{PhysAddr, ProcessId, VirtPage};
 use utlb_sim::sweep::{worker_count, THREADS_ENV};
-use utlb_sim::{
-    phase_breakdown, run_mechanism_observed, sweep_over, Mechanism, ObsReport, SimConfig,
-};
+use utlb_sim::{phase_breakdown, sweep_over, Mechanism, ObsReport, Run, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp};
 
 /// Measured throughput of the experiment sweep machinery, archived so runs
@@ -23,6 +21,11 @@ struct SweepBench {
     /// Workers the parallel run used (1 on a single-core machine, where
     /// the parallel numbers degenerate to the sequential ones).
     workers: usize,
+    /// Boards each sweep cell simulates — the paper's serial runners model
+    /// one NIC; multi-board topologies archive to `results/cluster.json`.
+    nodes: usize,
+    /// Stations shared across boards in these runs (none at one board).
+    shared_stations: Vec<String>,
     /// Wall-clock seconds for the forced `UTLB_SIM_THREADS=1` run.
     sequential_secs: f64,
     /// Wall-clock seconds at the machine's available parallelism.
@@ -75,6 +78,8 @@ fn bench_sweep(gen: &GenConfig) -> SweepBench {
     SweepBench {
         cells,
         workers,
+        nodes: 1,
+        shared_stations: Vec::new(),
         sequential_secs,
         parallel_secs,
         sequential_cells_per_sec: cells as f64 / sequential_secs,
@@ -170,7 +175,11 @@ fn obs_pass(gencfg: &GenConfig) {
     for (name, cells) in experiments {
         let runs: Vec<ObsRun> = sweep_over(&cells, |(tix, mech, cfg)| {
             let (app, trace) = &traces[*tix];
-            let (_, report) = run_mechanism_observed(*mech, trace, cfg, OBS_RING);
+            let (_, report) = Run::new(*mech)
+                .config(cfg)
+                .observed_ring(OBS_RING)
+                .execute(trace)
+                .into_observed();
             assert!(
                 report.reconciled,
                 "{name}/{app}/{mech}: probe stream disagrees with engine stats: {:?}",

@@ -7,7 +7,7 @@
 
 use std::fs::File;
 use std::io::BufReader;
-use utlb_sim::{run_intr, run_utlb, SimConfig};
+use utlb_sim::{Mechanism, Run, SimConfig};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -30,8 +30,14 @@ fn main() {
 
     let mut sim = SimConfig::study(entries);
     sim.mem_limit_pages = limit;
-    let u = run_utlb(&trace, &sim);
-    let i = run_intr(&trace, &sim);
+    let u = Run::new(Mechanism::Utlb)
+        .config(&sim)
+        .execute(&trace)
+        .into_sim();
+    let i = Run::new(Mechanism::Intr)
+        .config(&sim)
+        .execute(&trace)
+        .into_sim();
     println!("cache {entries} entries, mem limit {limit:?} pages/process\n");
     println!(
         "{:<8}{:>12}{:>12}{:>12}{:>14}{:>12}",

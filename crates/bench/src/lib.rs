@@ -231,7 +231,10 @@ mod tests {
         let cfg = utlb_sim::SimConfig::study(256);
         for mech in utlb_sim::Mechanism::ALL {
             let scalar = scalar_run_mechanism(mech, &trace, &cfg);
-            let batched = utlb_sim::run_mechanism(mech, &trace, &cfg);
+            let batched = utlb_sim::Run::new(mech)
+                .config(&cfg)
+                .execute(&trace)
+                .into_sim();
             assert_eq!(
                 serde_json::to_string(&scalar).unwrap(),
                 serde_json::to_string(&batched).unwrap(),

@@ -51,6 +51,9 @@ pub enum WaitResource {
     Bus,
     /// Host interrupt service (dispatch + handler occupancy).
     IntrService,
+    /// The host memory system serializing pin/unpin driver work — shared
+    /// across boards by the cluster runner (`utlb-sim::cluster`).
+    HostMem,
 }
 
 /// One observable step of a translation engine.
@@ -415,6 +418,10 @@ pub struct Metrics {
     /// Queueing delay behind host interrupt service
     /// ([`WaitResource::IntrService`]).
     pub intr_wait_ns: Histogram,
+    /// Queueing delay behind the shared host memory system
+    /// ([`WaitResource::HostMem`]) — populated only by the cluster runner,
+    /// where pin work from many boards funnels through one station.
+    pub host_mem_wait_ns: Histogram,
 }
 
 impl Metrics {
@@ -459,6 +466,7 @@ impl Metrics {
                     WaitResource::DmaEngine => self.dma_wait_ns.record(ns),
                     WaitResource::Bus => self.bus_wait_ns.record(ns),
                     WaitResource::IntrService => self.intr_wait_ns.record(ns),
+                    WaitResource::HostMem => self.host_mem_wait_ns.record(ns),
                 }
             }
         }
@@ -471,6 +479,7 @@ impl Metrics {
             + self.dma_wait_ns.sum_ns()
             + self.bus_wait_ns.sum_ns()
             + self.intr_wait_ns.sum_ns()
+            + self.host_mem_wait_ns.sum_ns()
     }
 
     /// Folds another registry in.
@@ -498,6 +507,7 @@ impl Metrics {
         self.dma_wait_ns.merge(&other.dma_wait_ns);
         self.bus_wait_ns.merge(&other.bus_wait_ns);
         self.intr_wait_ns.merge(&other.intr_wait_ns);
+        self.host_mem_wait_ns.merge(&other.host_mem_wait_ns);
     }
 
     /// Cross-checks the event-derived totals against an engine's own
@@ -911,6 +921,10 @@ mod tests {
             Event::Wait {
                 resource: WaitResource::Firmware,
                 ns: 0,
+            },
+            Event::Wait {
+                resource: WaitResource::HostMem,
+                ns: 312,
             },
         ];
         let json = serde_json::to_string(&events).unwrap();

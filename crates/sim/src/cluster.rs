@@ -1,0 +1,788 @@
+//! Multi-NIC cluster replay: N boards sharding one multiprogrammed stream
+//! over shared host-memory and I/O-bus stations.
+//!
+//! The paper's evaluation stops at one NIC shared by one node's processes
+//! (§6); the ROADMAP's cluster item asks what happens when many boards
+//! contend for the resources a single node *assumed* were private. This
+//! runner splits a merged stream (see [`utlb_trace::merge_multiprogram`])
+//! across `nodes` simulated boards by a per-process [`ShardMap`]:
+//!
+//! * **per board** — its own engine instance (same mechanism and SRAM/cache
+//!   geometry on every board), its own NIC firmware station, and its own
+//!   DMA engine, exactly the private resources a physical NIC carries;
+//! * **shared** — one host-memory station (driver pin/unpin work from every
+//!   board funnels through the host memory system), one I/O bus, and one
+//!   host interrupt service, the `utlb-des` stations a cluster backplane
+//!   cannot replicate per board.
+//!
+//! **Draw-order contract.** Records are replayed in global stream order
+//! (non-decreasing timestamps), and shared stations admit work in exactly
+//! that order — so the admission sequence is a pure function of the input
+//! stream, never of host-side scheduling, and a cluster run is
+//! byte-deterministic under any sweep worker count. On one board under
+//! [`DesConfig::zero_contention`] every shared-station acquisition starts
+//! at its cursor (the previous grant always ends no later), which is why
+//! the 1-board cluster is *bit-exact* with the serial [`run_des`] overlay
+//! (pinned by `tests/cluster.rs`).
+//!
+//! **Migration.** A [`Migration`] rehomes one process mid-trace: its stats
+//! are snapshotted, the source board's engine drops the process through the
+//! existing `unregister_process` path — invalidating every translation and
+//! releasing every pinned page it held there — and the destination board
+//! registers it fresh, so its working set demand-repins. A stale
+//! translation surviving on the source board would be a correctness bug;
+//! `tests/cluster.rs` prop-tests that none ever does.
+//!
+//! [`run_des`]: crate::run_des
+
+use crate::des_runner::{emit_wait, DemandTap, DesConfig};
+use crate::runner::STREAM_CHUNK;
+use crate::{Mechanism, MissClassifier, SimConfig, SimResult};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+use utlb_core::obs::{Event, Histogram, Metrics, Probe, SharedCollector, WaitResource};
+use utlb_core::{
+    page_demands_into, LookupBatch, OutcomeBuf, PageDemand, TranslationMechanism, TranslationStats,
+};
+use utlb_des::{DmaEngineModel, IntrServiceModel, IoBusModel, Resource, ResourceReport};
+use utlb_mem::{Host, ProcessId};
+use utlb_nic::{Board, Nanos};
+use utlb_trace::{fill_chunk, ShardMap, TraceStream};
+
+/// Per-process event-ring capacity of the per-board collectors.
+const CLUSTER_OBS_RING: usize = 32;
+
+/// One scheduled cross-board process migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Migration {
+    /// Raw pid of the process to rehome.
+    pub pid: u32,
+    /// Trace time at which the move takes effect: the migration is applied
+    /// before the first record with `ts_ns >= at_ns` (or at end of stream).
+    pub at_ns: u64,
+    /// Destination board.
+    pub to_board: usize,
+}
+
+/// Topology of a cluster run: board count, process placement, scheduled
+/// migrations.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of simulated boards.
+    pub nodes: usize,
+    /// Initial process placement; `None` means round-robin over the
+    /// stream's pids ([`ShardMap::round_robin`]).
+    pub shard: Option<ShardMap>,
+    /// Scheduled migrations, applied in `(at_ns, insertion order)` order.
+    pub migrations: Vec<Migration>,
+}
+
+impl ClusterConfig {
+    /// A round-robin cluster of `nodes` boards with no migrations.
+    ///
+    /// # Panics
+    ///
+    /// The run panics at execute time if `nodes` is zero.
+    pub fn new(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            shard: None,
+            migrations: Vec::new(),
+        }
+    }
+
+    /// Uses an explicit placement instead of round-robin.
+    pub fn shard(mut self, map: ShardMap) -> Self {
+        self.shard = Some(map);
+        self
+    }
+
+    /// Schedules a migration of `pid` to `to_board` at trace time `at_ns`.
+    pub fn migrate(mut self, pid: u32, at_ns: u64, to_board: usize) -> Self {
+        self.migrations.push(Migration {
+            pid,
+            at_ns,
+            to_board,
+        });
+        self
+    }
+}
+
+/// What one migration did when it was applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationReport {
+    /// The process that moved.
+    pub pid: u32,
+    /// Scheduled trace time of the move.
+    pub at_ns: u64,
+    /// Source board.
+    pub from: usize,
+    /// Destination board.
+    pub to: usize,
+    /// Pages the source board had pinned for the process — all invalidated
+    /// and released by the move, to be demand-repinned at the destination.
+    pub pages_invalidated: u64,
+}
+
+/// One board's share of a cluster run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BoardCell {
+    /// Board index.
+    pub board: usize,
+    /// Raw pids homed on this board when the run ended.
+    pub pids: Vec<u32>,
+    /// The board's serial-half result. `stats`/`per_process` include the
+    /// full history of processes that migrated away (snapshotted at each
+    /// departure); `sim_time_ns` is relative to this board's registration
+    /// end. On a 1-board cluster this is byte-identical to the serial
+    /// runner's [`SimResult`].
+    pub sim: SimResult,
+    /// When this board's last translation finished on the stations,
+    /// relative to the same origin as `sim.sim_time_ns`.
+    pub des_time_ns: u64,
+    /// Per-request latency of requests served by this board.
+    pub latency_ns: Histogram,
+    /// Queueing delay behind this board's firmware processor.
+    pub fw_wait_ns: u64,
+    /// Queueing delay behind this board's DMA engine.
+    pub dma_wait_ns: u64,
+    /// This board's share of queueing behind the shared I/O bus.
+    pub bus_wait_ns: u64,
+    /// This board's share of queueing behind shared interrupt service.
+    pub intr_wait_ns: u64,
+    /// This board's share of queueing behind the shared host memory system.
+    pub host_mem_wait_ns: u64,
+    /// Full per-board observability: event counts and latency/wait
+    /// histograms from this board's collector.
+    pub metrics: Metrics,
+    /// Whether `metrics` reconciled exactly with the board's engine stats.
+    pub reconciled: bool,
+    /// This board's private stations (firmware, DMA engine).
+    pub resources: Vec<ResourceReport>,
+}
+
+/// Outcome of a cluster run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterResult {
+    /// Workload name of the driving stream.
+    pub workload: String,
+    /// Number of boards.
+    pub nodes: usize,
+    /// Cluster completion time: the maximum over boards of their
+    /// `des_time_ns`. Equals the serial `des_time_ns` on one board.
+    pub des_time_ns: u64,
+    /// Cluster-wide per-request latency (all boards merged).
+    pub latency_ns: Histogram,
+    /// Per-board results, board 0 first.
+    pub boards: Vec<BoardCell>,
+    /// The shared stations (host memory, I/O bus, interrupt service), in
+    /// that order.
+    pub shared: Vec<ResourceReport>,
+    /// Total queueing behind the shared host memory station.
+    pub host_mem_wait_ns: u64,
+    /// Total queueing behind the shared I/O bus.
+    pub bus_wait_ns: u64,
+    /// Total queueing behind shared interrupt service.
+    pub intr_wait_ns: u64,
+    /// Migrations applied, in application order.
+    pub migrations: Vec<MigrationReport>,
+    /// Background payload transfers injected across all boards.
+    pub payload_transfers: u64,
+    /// Total background payload words moved across the shared bus.
+    pub payload_words: u64,
+}
+
+impl ClusterResult {
+    /// Translation counters summed over every board (migrated process
+    /// histories included). Lookups equal the input stream's lookups.
+    pub fn aggregate_stats(&self) -> TranslationStats {
+        self.boards
+            .iter()
+            .map(|b| b.sim.stats)
+            .fold(TranslationStats::default(), |a, b| a + b)
+    }
+
+    /// Total queueing delay across all stations, shared and per-board.
+    pub fn total_wait_ns(&self) -> u64 {
+        let per_board: u64 = self
+            .boards
+            .iter()
+            .map(|b| b.fw_wait_ns + b.dma_wait_ns)
+            .sum();
+        per_board + self.host_mem_wait_ns + self.bus_wait_ns + self.intr_wait_ns
+    }
+
+    /// Mean per-request translation latency in µs.
+    pub fn mean_latency_us(&self) -> f64 {
+        self.latency_ns.mean_ns() / 1000.0
+    }
+
+    /// Worst per-request translation latency in µs.
+    pub fn max_latency_us(&self) -> f64 {
+        self.latency_ns.max_ns() as f64 / 1000.0
+    }
+
+    /// Load imbalance: slowest board's `des_time_ns` over the mean.
+    pub fn imbalance(&self) -> f64 {
+        let times: Vec<u64> = self.boards.iter().map(|b| b.des_time_ns).collect();
+        let sum: u64 = times.iter().sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        let mean = sum as f64 / times.len() as f64;
+        *times.iter().max().expect("at least one board") as f64 / mean
+    }
+}
+
+/// Private per-board replay state.
+struct BoardState {
+    engine: Box<dyn TranslationMechanism>,
+    board: Board,
+    classifier: MissClassifier,
+    firmware: Resource,
+    dma: DmaEngineModel,
+    tap_buf: Rc<RefCell<Vec<Event>>>,
+    collector: SharedCollector,
+    wait_probe: Option<Box<dyn Probe>>,
+    t0: Nanos,
+    des_end: Nanos,
+    latency: Histogram,
+    fw_wait: Nanos,
+    dma_wait: Nanos,
+    bus_wait: Nanos,
+    intr_wait: Nanos,
+    host_mem_wait: Nanos,
+    payload_transfers: u64,
+    payload_words: u64,
+    /// Stats of completed residencies, keyed by raw pid — the engine drops
+    /// a process's counters at `unregister_process`, so they are
+    /// snapshotted here before every migration away from this board.
+    carried: BTreeMap<u32, TranslationStats>,
+    /// Every pid that was ever resident on this board.
+    ever_resident: BTreeSet<u32>,
+}
+
+/// The cluster replay loop. See the [module docs](self) for the topology
+/// and the draw-order contract.
+///
+/// # Panics
+///
+/// Panics on zero `nodes`, on a shard map that does not cover the stream's
+/// pids or disagrees with `nodes`, on a migration naming an unknown pid or
+/// out-of-range board, and on internal engine errors.
+pub(crate) fn replay_cluster<S>(
+    mech: Mechanism,
+    stream: &mut S,
+    cfg: &SimConfig,
+    des: &DesConfig,
+    cluster: &ClusterConfig,
+) -> ClusterResult
+where
+    S: TraceStream + ?Sized,
+{
+    let nodes = cluster.nodes;
+    assert!(nodes > 0, "a cluster needs at least one board");
+
+    let mut host = Host::new(cfg.host_frames);
+    let pids = stream.process_ids();
+    let shard = match &cluster.shard {
+        Some(map) => {
+            assert_eq!(map.nodes(), nodes, "shard map nodes != cluster nodes");
+            for pid in &pids {
+                assert!(
+                    map.board_of(*pid).is_some(),
+                    "shard map misses pid {}",
+                    pid.raw()
+                );
+            }
+            map.clone()
+        }
+        None => ShardMap::round_robin(&pids, nodes),
+    };
+
+    // Boards with their private stations and collectors.
+    let mut boards: Vec<BoardState> = (0..nodes)
+        .map(|_| {
+            let collector = SharedCollector::new(CLUSTER_OBS_RING);
+            BoardState {
+                engine: mech.engine(cfg),
+                board: Board::new(),
+                classifier: MissClassifier::new(cfg.cache_entries),
+                firmware: Resource::fifo("nic_firmware", 1),
+                dma: DmaEngineModel::new(&des.bus),
+                tap_buf: Rc::new(RefCell::new(Vec::new())),
+                wait_probe: Some(collector.boxed()),
+                collector,
+                t0: Nanos::ZERO,
+                des_end: Nanos::ZERO,
+                latency: Histogram::new(),
+                fw_wait: Nanos::ZERO,
+                dma_wait: Nanos::ZERO,
+                bus_wait: Nanos::ZERO,
+                intr_wait: Nanos::ZERO,
+                host_mem_wait: Nanos::ZERO,
+                payload_transfers: 0,
+                payload_words: 0,
+                carried: BTreeMap::new(),
+                ever_resident: BTreeSet::new(),
+            }
+        })
+        .collect();
+
+    // The shared stations: one host memory system, one I/O bus, one host
+    // interrupt service for the whole cluster.
+    let mut host_mem = Resource::fifo("host_mem", 1);
+    let mut io_bus = IoBusModel::new(des.bus);
+    let mut intr_svc = IntrServiceModel::new(des.intr_dispatch);
+
+    // Spawn all processes on the shared host in global pid order (dense
+    // from 1, as every runner asserts), registering each on its home board.
+    let mut route: Vec<usize> = Vec::with_capacity(pids.len());
+    for expected in &pids {
+        let got = host.spawn_process();
+        assert_eq!(got, *expected, "trace pids must be dense from 1");
+        let home = shard.board_of(got).expect("shard covers every pid");
+        let bs = &mut boards[home];
+        bs.engine
+            .register_process(&mut host, &mut bs.board, got)
+            .expect("registration succeeds on a fresh host");
+        bs.ever_resident.insert(got.raw());
+        route.push(home);
+    }
+
+    // Registration work precedes all traffic on each board: its firmware
+    // starts busy until that board's registration end, and its DES origin
+    // is that same instant (exactly the serial runner's `t0`).
+    for bs in &mut boards {
+        bs.t0 = bs.board.clock.now();
+        if bs.t0 > Nanos::ZERO {
+            bs.firmware.acquire(Nanos::ZERO, bs.t0);
+        }
+        bs.des_end = bs.t0;
+        bs.engine.set_probe(Box::new(DemandTap {
+            buf: Rc::clone(&bs.tap_buf),
+            inner: Some(bs.collector.boxed()),
+        }));
+    }
+
+    // Migrations in (at_ns, insertion order) order; validate eagerly.
+    let mut migrations = cluster.migrations.clone();
+    migrations.sort_by_key(|m| m.at_ns);
+    for m in &migrations {
+        assert!(m.to_board < nodes, "migration to out-of-range board");
+        assert!(
+            (m.pid as usize) >= 1 && (m.pid as usize) <= route.len(),
+            "migration names unknown pid {}",
+            m.pid
+        );
+    }
+    let mut next_migration = 0usize;
+    let mut applied: Vec<MigrationReport> = Vec::new();
+    let workload = stream.workload().to_string();
+
+    let kernel_pins = boards[0].engine.kernel_pins();
+    let mut chunk = Vec::with_capacity(STREAM_CHUNK);
+    let mut out = OutcomeBuf::new();
+    let mut events_scratch: Vec<Event> = Vec::new();
+    let mut demands: Vec<PageDemand> = Vec::new();
+
+    while fill_chunk(stream, &mut chunk, STREAM_CHUNK) > 0 {
+        for rec in &chunk {
+            // Apply migrations that fall due at or before this record.
+            while next_migration < migrations.len() && migrations[next_migration].at_ns <= rec.ts_ns
+            {
+                let m = migrations[next_migration];
+                next_migration += 1;
+                if let Some(report) = apply_migration(&mut host, &mut boards, &mut route, m) {
+                    applied.push(report);
+                }
+            }
+
+            let pid = rec.pid;
+            let slot = (pid.raw() - 1) as usize;
+            let bs = &mut boards[route[slot]];
+
+            // --- Serial half, verbatim from the single-board runners. ---
+            bs.board.clock.advance_to(Nanos::from_nanos(rec.ts_ns));
+            out.clear();
+            bs.engine
+                .lookup_run_into(
+                    &mut host,
+                    &mut bs.board,
+                    LookupBatch::for_buffer(pid, rec.va, rec.nbytes),
+                    &mut out,
+                )
+                .expect("trace lookups succeed");
+            bs.classifier.access_batch(pid, out.as_slice());
+
+            // --- DES overlay: private firmware/DMA, shared everything
+            // else. Field-level borrows so the firmware closure can use the
+            // board's other stations.
+            events_scratch.clear();
+            std::mem::swap(&mut *bs.tap_buf.borrow_mut(), &mut events_scratch);
+            page_demands_into(&events_scratch, &mut demands);
+            let arrival = Nanos::from_nanos(rec.ts_ns);
+            let BoardState {
+                firmware,
+                dma,
+                wait_probe,
+                dma_wait,
+                bus_wait,
+                intr_wait,
+                host_mem_wait,
+                ..
+            } = bs;
+            let grant = firmware.acquire_with(arrival, |start| {
+                let mut cursor = start;
+                for d in &demands {
+                    cursor += Nanos::from_nanos(d.firmware_ns());
+                    let mut intr_occupancy = d.intr_ns;
+                    if kernel_pins {
+                        intr_occupancy += d.pin_ns;
+                    } else if d.pin_ns > 0 {
+                        // Driver pin work crosses to the shared host memory
+                        // system. Uncontended the grant starts at the
+                        // cursor, reproducing the serial charge exactly.
+                        let g = host_mem.acquire(cursor, Nanos::from_nanos(d.pin_ns));
+                        *host_mem_wait += g.wait;
+                        emit_wait(wait_probe, pid, WaitResource::HostMem, g.wait);
+                        cursor = g.end;
+                    }
+                    if intr_occupancy > 0 {
+                        let g = intr_svc.handle_for(cursor, Nanos::from_nanos(intr_occupancy));
+                        *intr_wait += g.wait;
+                        emit_wait(wait_probe, pid, WaitResource::IntrService, g.wait);
+                        cursor = g.end;
+                    }
+                    if d.dma_ns > 0 {
+                        let total = Nanos::from_nanos(d.dma_ns);
+                        let setup = dma.setup().min(total);
+                        let g1 = dma.program_for(cursor, setup);
+                        *dma_wait += g1.wait;
+                        emit_wait(wait_probe, pid, WaitResource::DmaEngine, g1.wait);
+                        let g2 = io_bus.transfer(g1.end, total - setup);
+                        *bus_wait += g2.wait;
+                        emit_wait(wait_probe, pid, WaitResource::Bus, g2.wait);
+                        cursor = g2.end;
+                    }
+                }
+                cursor
+            });
+            bs.fw_wait += grant.wait;
+            emit_wait(&mut bs.wait_probe, pid, WaitResource::Firmware, grant.wait);
+            let lat = grant.end - arrival;
+            bs.latency.record(lat.as_nanos());
+            bs.des_end = bs.des_end.max(grant.end);
+
+            // Background payload traffic, as in the serial DES runner but
+            // over the shared bus and interrupt service.
+            if des.payload_load > 0.0 {
+                let words = des.payload_words(rec.nbytes);
+                if words > 0 {
+                    bs.payload_transfers += 1;
+                    bs.payload_words += words;
+                    let g1 = bs.dma.program(grant.end);
+                    let g2 = io_bus.transfer(g1.end, io_bus.data_service(words));
+                    if des.notify_interrupts {
+                        let g = intr_svc.handle(g2.end, Nanos::ZERO);
+                        bs.intr_wait += g.wait;
+                        emit_wait(&mut bs.wait_probe, pid, WaitResource::IntrService, g.wait);
+                    }
+                }
+            }
+        }
+    }
+
+    // Migrations scheduled past the last record still execute: the process
+    // ends the run homed where the plan says, with its state invalidated at
+    // the source.
+    while next_migration < migrations.len() {
+        let m = migrations[next_migration];
+        next_migration += 1;
+        if let Some(report) = apply_migration(&mut host, &mut boards, &mut route, m) {
+            applied.push(report);
+        }
+    }
+
+    // Finalize per board.
+    let mut cells: Vec<BoardCell> = Vec::with_capacity(nodes);
+    let mut cluster_latency = Histogram::new();
+    let (mut bus_wait_total, mut intr_wait_total, mut host_mem_wait_total) =
+        (Nanos::ZERO, Nanos::ZERO, Nanos::ZERO);
+    let (mut payload_transfers, mut payload_words) = (0u64, 0u64);
+    for (ix, mut bs) in boards.into_iter().enumerate() {
+        bs.engine.take_probe();
+        bs.wait_probe = None;
+
+        let resident_now: Vec<u32> = route
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b == ix)
+            .map(|(slot, _)| slot as u32 + 1)
+            .collect();
+        // Per-pid totals over every residency on this board: the carried
+        // snapshots of departed stays plus live engine counters.
+        let per_process: Vec<(u32, TranslationStats)> = bs
+            .ever_resident
+            .iter()
+            .map(|pid| {
+                let mut stats = bs.carried.get(pid).copied().unwrap_or_default();
+                if resident_now.contains(pid) {
+                    stats += bs
+                        .engine
+                        .stats(ProcessId::new(*pid))
+                        .expect("resident pid is registered");
+                }
+                (*pid, stats)
+            })
+            .collect();
+        let stats = per_process
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(TranslationStats::default(), |a, b| a + b);
+
+        let metrics = bs.collector.snapshot().metrics;
+        let reconciled = metrics.reconcile(&stats).is_empty();
+        cluster_latency.merge(&bs.latency);
+        bus_wait_total += bs.bus_wait;
+        intr_wait_total += bs.intr_wait;
+        host_mem_wait_total += bs.host_mem_wait;
+        payload_transfers += bs.payload_transfers;
+        payload_words += bs.payload_words;
+
+        cells.push(BoardCell {
+            board: ix,
+            pids: resident_now,
+            sim: SimResult {
+                workload: workload.clone(),
+                stats,
+                cache: bs.engine.cache_stats(),
+                breakdown: bs.classifier.breakdown(),
+                per_process,
+                sim_time_ns: (bs.board.clock.now() - bs.t0).as_nanos(),
+            },
+            des_time_ns: (bs.des_end - bs.t0).as_nanos(),
+            latency_ns: bs.latency,
+            fw_wait_ns: bs.fw_wait.as_nanos(),
+            dma_wait_ns: bs.dma_wait.as_nanos(),
+            bus_wait_ns: bs.bus_wait.as_nanos(),
+            intr_wait_ns: bs.intr_wait.as_nanos(),
+            host_mem_wait_ns: bs.host_mem_wait.as_nanos(),
+            metrics,
+            reconciled,
+            resources: vec![bs.firmware.report(), bs.dma.report()],
+        });
+    }
+
+    ClusterResult {
+        workload,
+        nodes,
+        des_time_ns: cells.iter().map(|c| c.des_time_ns).max().unwrap_or(0),
+        latency_ns: cluster_latency,
+        boards: cells,
+        shared: vec![host_mem.report(), io_bus.report(), intr_svc.report()],
+        host_mem_wait_ns: host_mem_wait_total.as_nanos(),
+        bus_wait_ns: bus_wait_total.as_nanos(),
+        intr_wait_ns: intr_wait_total.as_nanos(),
+        migrations: applied,
+        payload_transfers,
+        payload_words,
+    }
+}
+
+/// Rehomes one process: snapshot its counters (the engine drops them at
+/// unregister), invalidate + unpin everything it held on the source board,
+/// register it fresh on the destination. Probes are parked during the move
+/// so registration bookkeeping never pollutes the demand tap or the
+/// per-board metrics. Returns `None` for a no-op move (already home).
+fn apply_migration(
+    host: &mut Host,
+    boards: &mut [BoardState],
+    route: &mut [usize],
+    m: Migration,
+) -> Option<MigrationReport> {
+    let slot = (m.pid - 1) as usize;
+    let from = route[slot];
+    if from == m.to_board {
+        return None;
+    }
+    let pid = ProcessId::new(m.pid);
+    let pages_invalidated = host.driver().pins().pinned_pages(pid);
+
+    let src = &mut boards[from];
+    let src_probe = src.engine.take_probe();
+    let snapshot = src.engine.stats(pid).expect("migrating pid is registered");
+    *src.carried.entry(m.pid).or_default() += snapshot;
+    src.engine
+        .unregister_process(host, &mut src.board, pid)
+        .expect("unregister succeeds for a registered pid");
+    if let Some(p) = src_probe {
+        src.engine.set_probe(p);
+    }
+    src.tap_buf.borrow_mut().clear();
+
+    let dst = &mut boards[m.to_board];
+    let dst_probe = dst.engine.take_probe();
+    dst.engine
+        .register_process(host, &mut dst.board, pid)
+        .expect("re-registration succeeds");
+    if let Some(p) = dst_probe {
+        dst.engine.set_probe(p);
+    }
+    dst.tap_buf.borrow_mut().clear();
+    dst.ever_resident.insert(m.pid);
+
+    route[slot] = m.to_board;
+    Some(MigrationReport {
+        pid: m.pid,
+        at_ns: m.at_ns,
+        from,
+        to: m.to_board,
+        pages_invalidated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Run;
+    use utlb_mem::{VirtAddr, PAGE_SIZE};
+    use utlb_trace::{Op, Trace, TraceRecord};
+
+    fn rec(ts: u64, pid: u32, page: u64) -> TraceRecord {
+        TraceRecord {
+            ts_ns: ts,
+            pid: ProcessId::new(pid),
+            op: Op::Send,
+            va: VirtAddr::new(page * PAGE_SIZE),
+            nbytes: PAGE_SIZE,
+        }
+    }
+
+    /// Two pids touching disjoint pages: pid 1 on board 0, pid 2 on board 1.
+    fn two_pid_trace() -> Trace {
+        Trace::new(
+            "two",
+            7,
+            vec![
+                rec(0, 1, 10),
+                rec(1_000, 2, 20),
+                rec(2_000, 1, 11),
+                rec(3_000, 2, 21),
+                rec(4_000, 1, 10),
+                rec(5_000, 2, 20),
+            ],
+        )
+    }
+
+    #[test]
+    fn boards_partition_lookups_and_stats() {
+        let trace = two_pid_trace();
+        let cfg = SimConfig::study(256);
+        let r = Run::new(Mechanism::Utlb)
+            .config(&cfg)
+            .cluster(ClusterConfig::new(2))
+            .execute(&trace)
+            .into_cluster();
+        assert_eq!(r.nodes, 2);
+        assert_eq!(r.boards[0].pids, vec![1]);
+        assert_eq!(r.boards[1].pids, vec![2]);
+        assert_eq!(r.boards[0].sim.stats.lookups, 3);
+        assert_eq!(r.boards[1].sim.stats.lookups, 3);
+        assert_eq!(r.aggregate_stats().lookups, trace.total_lookups());
+        assert_eq!(
+            r.latency_ns.count(),
+            trace.records.len() as u64,
+            "every request gets a latency sample"
+        );
+        assert!(r.boards.iter().all(|b| b.reconciled));
+        assert_eq!(r.shared.len(), 3);
+        assert_eq!(r.shared[0].name, "host_mem");
+    }
+
+    #[test]
+    fn migration_invalidates_source_and_repins_at_destination() {
+        // pid 1 touches pages {10, 11} before the move and the same pages
+        // after; pid 2 keeps board 1 busy so both boards stay live.
+        let trace = Trace::new(
+            "mig",
+            7,
+            vec![
+                rec(0, 1, 10),
+                rec(1_000, 1, 11),
+                rec(2_000, 2, 20),
+                rec(10_000, 1, 10),
+                rec(11_000, 1, 11),
+            ],
+        );
+        let cfg = SimConfig::study(256);
+        let r = Run::new(Mechanism::Utlb)
+            .config(&cfg)
+            .cluster(ClusterConfig::new(2).migrate(1, 5_000, 1))
+            .execute(&trace)
+            .into_cluster();
+        assert_eq!(r.migrations.len(), 1);
+        let m = r.migrations[0];
+        assert_eq!((m.pid, m.from, m.to), (1, 0, 1));
+        assert_eq!(m.pages_invalidated, 2, "both pinned pages released");
+        // Board 0 served the first residency: 2 lookups, 2 pins.
+        let b0: Vec<_> = r.boards[0].sim.per_process.clone();
+        assert_eq!(b0, vec![(1, r.boards[0].sim.stats)]);
+        assert_eq!(r.boards[0].sim.stats.lookups, 2);
+        assert_eq!(r.boards[0].sim.stats.pins, 2);
+        // Board 1 re-pinned the same pages: no stale translation survived,
+        // so both re-touches check-missed again.
+        let b1_pid1 = r.boards[1]
+            .sim
+            .per_process
+            .iter()
+            .find(|(p, _)| *p == 1)
+            .expect("pid 1 ends on board 1")
+            .1;
+        assert_eq!(b1_pid1.lookups, 2);
+        assert_eq!(b1_pid1.check_misses, 2, "demand re-pin after migration");
+        assert_eq!(b1_pid1.pins, 2);
+        assert_eq!(r.boards[1].pids, vec![1, 2]);
+        assert!(r.boards[0].pids.is_empty());
+        assert_eq!(r.aggregate_stats().lookups, trace.total_lookups());
+    }
+
+    #[test]
+    fn migration_after_last_record_still_applies() {
+        let trace = Trace::new("late", 7, vec![rec(0, 1, 10), rec(1_000, 2, 20)]);
+        let cfg = SimConfig::study(64);
+        let r = Run::new(Mechanism::Utlb)
+            .config(&cfg)
+            .cluster(ClusterConfig::new(2).migrate(1, 1_000_000, 1))
+            .execute(&trace)
+            .into_cluster();
+        assert_eq!(r.migrations.len(), 1);
+        assert_eq!(r.boards[1].pids, vec![1, 2]);
+        // The carried snapshot keeps the history even though the engine
+        // dropped the process at the source.
+        assert_eq!(r.boards[0].sim.stats.lookups, 1);
+    }
+
+    #[test]
+    fn noop_migration_reports_nothing() {
+        let trace = two_pid_trace();
+        let r = Run::new(Mechanism::Utlb)
+            .config(&SimConfig::study(64))
+            .cluster(ClusterConfig::new(2).migrate(1, 2_500, 0))
+            .execute(&trace)
+            .into_cluster();
+        assert!(r.migrations.is_empty(), "pid 1 already lives on board 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn migration_to_unknown_board_panics() {
+        let trace = two_pid_trace();
+        Run::new(Mechanism::Utlb)
+            .config(&SimConfig::study(64))
+            .cluster(ClusterConfig::new(2).migrate(1, 0, 5))
+            .execute(&trace);
+    }
+}

@@ -2,8 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 use utlb_core::{
-    Associativity, CacheConfig, CostModel, IndexedConfig, IntrConfig, PerProcessConfig, Policy,
-    UtlbConfig,
+    Associativity, CacheConfig, CostModel, IndexedConfig, IndexedEngine, IntrConfig, IntrEngine,
+    PerProcessConfig, PerProcessEngine, Policy, TranslationMechanism, UtlbConfig, UtlbEngine,
 };
 
 /// Which translation mechanism a run simulates.
@@ -28,6 +28,18 @@ impl Mechanism {
         Mechanism::Indexed,
         Mechanism::Intr,
     ];
+
+    /// Constructs a fresh engine of this mechanism from `cfg` — the one
+    /// dispatch point all runners share ([`crate::Run`] and the cluster
+    /// runner, which builds one engine per board).
+    pub fn engine(&self, cfg: &SimConfig) -> Box<dyn TranslationMechanism> {
+        match self {
+            Mechanism::Utlb => Box::new(UtlbEngine::new(cfg.utlb_config())),
+            Mechanism::PerProc => Box::new(PerProcessEngine::new(cfg.perproc_config())),
+            Mechanism::Indexed => Box::new(IndexedEngine::new(cfg.indexed_config())),
+            Mechanism::Intr => Box::new(IntrEngine::new(cfg.intr_config())),
+        }
+    }
 }
 
 impl std::fmt::Display for Mechanism {

@@ -21,18 +21,15 @@
 
 use crate::observe::ObsReport;
 use crate::runner::STREAM_CHUNK;
-use crate::{Mechanism, MissClassifier, SimConfig, SimResult};
+use crate::{Mechanism, MissClassifier, Run, SimConfig, SimResult};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::rc::Rc;
 use utlb_core::obs::{Event, Histogram, Probe, SharedCollector, WaitResource};
-use utlb_core::{
-    page_demands_into, IndexedEngine, IntrEngine, LookupBatch, OutcomeBuf, PageDemand,
-    PerProcessEngine, TranslationMechanism, UtlbEngine,
-};
+use utlb_core::{page_demands_into, LookupBatch, OutcomeBuf, PageDemand, TranslationMechanism};
 use utlb_mem::{Host, ProcessId};
 use utlb_nic::{Board, BoardSnapshot, Nanos};
-use utlb_trace::{fill_chunk, Trace, TraceStream, TraceView};
+use utlb_trace::{fill_chunk, Trace, TraceStream};
 
 pub use utlb_des::DesConfig;
 use utlb_des::{DmaEngineModel, IntrServiceModel, IoBusModel, Resource, ResourceReport};
@@ -112,9 +109,9 @@ impl DesResult {
 /// decomposition, forwarding to an optional downstream probe (the obs
 /// collector in observed runs).
 #[derive(Debug)]
-struct DemandTap {
-    buf: Rc<RefCell<Vec<Event>>>,
-    inner: Option<Box<dyn Probe>>,
+pub(crate) struct DemandTap {
+    pub(crate) buf: Rc<RefCell<Vec<Event>>>,
+    pub(crate) inner: Option<Box<dyn Probe>>,
 }
 
 impl Probe for DemandTap {
@@ -127,7 +124,7 @@ impl Probe for DemandTap {
 }
 
 /// Emits a [`Event::Wait`] to the optional observation probe.
-fn emit_wait(
+pub(crate) fn emit_wait(
     probe: &mut Option<Box<dyn Probe>>,
     pid: ProcessId,
     resource: WaitResource,
@@ -152,13 +149,17 @@ fn emit_wait(
 /// stream yields records by non-decreasing timestamp, so no event queue is
 /// needed to re-interleave per-process arrivals — and a fused
 /// generate+replay run never materializes the trace at all.
-fn replay_des<M: TranslationMechanism, S: TraceStream>(
+pub(crate) fn replay_des<M, S>(
     engine: &mut M,
     stream: &mut S,
     cfg: &SimConfig,
     des: &DesConfig,
     obs: Option<&SharedCollector>,
-) -> (DesResult, BoardSnapshot) {
+) -> (DesResult, BoardSnapshot)
+where
+    M: TranslationMechanism + ?Sized,
+    S: TraceStream + ?Sized,
+{
     let mut host = Host::new(cfg.host_frames);
     let mut board = Board::new();
     let mut classifier = MissClassifier::new(cfg.cache_entries);
@@ -352,14 +353,18 @@ fn replay_des<M: TranslationMechanism, S: TraceStream>(
 ///
 /// # Panics
 ///
-/// Panics on internal engine errors, as for [`run`](crate::run).
+/// Panics on internal engine errors, as for [`Run::execute`].
+#[deprecated(note = "use `Run::with_config(cfg).des(*des).execute_with(engine, trace).into_des()`")]
 pub fn run_des<M: TranslationMechanism>(
     engine: &mut M,
     trace: &Trace,
     cfg: &SimConfig,
     des: &DesConfig,
 ) -> DesResult {
-    replay_des(engine, &mut TraceView::new(trace), cfg, des, None).0
+    Run::with_config(cfg)
+        .des(*des)
+        .execute_with(engine, trace)
+        .into_des()
 }
 
 /// Runs a [`TraceStream`] through `engine` on the discrete-event stations —
@@ -369,13 +374,19 @@ pub fn run_des<M: TranslationMechanism>(
 /// # Panics
 ///
 /// Panics on internal engine errors, as for [`run_des`].
+#[deprecated(
+    note = "use `Run::with_config(cfg).des(*des).execute_with(engine, stream).into_des()`"
+)]
 pub fn run_des_stream<M: TranslationMechanism, S: TraceStream>(
     engine: &mut M,
     stream: &mut S,
     cfg: &SimConfig,
     des: &DesConfig,
 ) -> DesResult {
-    replay_des(engine, stream, cfg, des, None).0
+    Run::with_config(cfg)
+        .des(*des)
+        .execute_with(engine, stream)
+        .into_des()
 }
 
 /// [`run_des`] behind a [`Mechanism`] dispatch.
@@ -383,28 +394,18 @@ pub fn run_des_stream<M: TranslationMechanism, S: TraceStream>(
 /// # Panics
 ///
 /// Panics on internal engine errors.
+#[deprecated(note = "use `Run::new(mech).config(cfg).des(*des).execute(trace).into_des()`")]
 pub fn run_des_mechanism(
     mech: Mechanism,
     trace: &Trace,
     cfg: &SimConfig,
     des: &DesConfig,
 ) -> DesResult {
-    match mech {
-        Mechanism::Utlb => run_des(&mut UtlbEngine::new(cfg.utlb_config()), trace, cfg, des),
-        Mechanism::PerProc => run_des(
-            &mut PerProcessEngine::new(cfg.perproc_config()),
-            trace,
-            cfg,
-            des,
-        ),
-        Mechanism::Indexed => run_des(
-            &mut IndexedEngine::new(cfg.indexed_config()),
-            trace,
-            cfg,
-            des,
-        ),
-        Mechanism::Intr => run_des(&mut IntrEngine::new(cfg.intr_config()), trace, cfg, des),
-    }
+    Run::new(mech)
+        .config(cfg)
+        .des(*des)
+        .execute(trace)
+        .into_des()
 }
 
 /// [`run_des`] with a [`SharedCollector`] attached: engine events *and* the
@@ -414,6 +415,9 @@ pub fn run_des_mechanism(
 /// # Panics
 ///
 /// Panics on internal engine errors and on a zero `ring_capacity`.
+#[deprecated(
+    note = "use `Run::with_config(cfg).des(*des).observed_ring(n).execute_with(engine, trace).into_des_observed()`"
+)]
 pub fn run_des_observed<M: TranslationMechanism>(
     engine: &mut M,
     trace: &Trace,
@@ -421,32 +425,16 @@ pub fn run_des_observed<M: TranslationMechanism>(
     des: &DesConfig,
     ring_capacity: usize,
 ) -> (DesResult, ObsReport) {
-    let collector = SharedCollector::new(ring_capacity);
-    let (result, board) = replay_des(
-        engine,
-        &mut TraceView::new(trace),
-        cfg,
-        des,
-        Some(&collector),
-    );
-    let snap = collector.snapshot();
-    let mismatches = snap.metrics.reconcile(&result.base.stats);
-    let report = ObsReport {
-        mechanism: engine.name().to_string(),
-        workload: result.base.workload.clone(),
-        metrics: snap.metrics,
-        board,
-        traces: snap.recorder.dump(),
-        reconciled: mismatches.is_empty(),
-        mismatches,
-    };
-    (result, report)
+    Run::with_config(cfg)
+        .des(*des)
+        .observed_ring(ring_capacity)
+        .execute_with(engine, trace)
+        .into_des_observed()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::run_mechanism;
     use utlb_trace::{gen, GenConfig, SplashApp};
 
     fn tiny(app: SplashApp) -> Trace {
@@ -460,13 +448,21 @@ mod tests {
         )
     }
 
+    fn exec_des(mech: Mechanism, trace: &Trace, cfg: &SimConfig, des: &DesConfig) -> DesResult {
+        Run::new(mech)
+            .config(cfg)
+            .des(*des)
+            .execute(trace)
+            .into_des()
+    }
+
     #[test]
     fn zero_contention_replay_matches_serial_exactly() {
         let trace = tiny(SplashApp::Water);
         let cfg = SimConfig::study(256);
         for mech in Mechanism::ALL {
-            let serial = run_mechanism(mech, &trace, &cfg);
-            let des = run_des_mechanism(mech, &trace, &cfg, &DesConfig::zero_contention());
+            let serial = Run::new(mech).config(&cfg).execute(&trace).into_sim();
+            let des = exec_des(mech, &trace, &cfg, &DesConfig::zero_contention());
             assert_eq!(des.base.stats, serial.stats, "{mech}");
             assert_eq!(des.base.cache, serial.cache, "{mech}");
             assert_eq!(des.base.sim_time_ns, serial.sim_time_ns, "{mech}");
@@ -483,7 +479,7 @@ mod tests {
     fn latency_histogram_covers_every_record() {
         let trace = tiny(SplashApp::Fft);
         let cfg = SimConfig::study(256);
-        let des = run_des_mechanism(Mechanism::Utlb, &trace, &cfg, &DesConfig::zero_contention());
+        let des = exec_des(Mechanism::Utlb, &trace, &cfg, &DesConfig::zero_contention());
         assert_eq!(des.latency_ns.count(), trace.records.len() as u64);
         let per: u64 = des.per_process_latency.iter().map(|(_, h)| h.count()).sum();
         assert_eq!(per, trace.records.len() as u64);
@@ -494,8 +490,8 @@ mod tests {
     fn payload_load_induces_waits_and_stretches_completion() {
         let trace = tiny(SplashApp::Radix);
         let cfg = SimConfig::study(256);
-        let quiet = run_des_mechanism(Mechanism::Utlb, &trace, &cfg, &DesConfig::zero_contention());
-        let loaded = run_des_mechanism(Mechanism::Utlb, &trace, &cfg, &DesConfig::contended(8.0));
+        let quiet = exec_des(Mechanism::Utlb, &trace, &cfg, &DesConfig::zero_contention());
+        let loaded = exec_des(Mechanism::Utlb, &trace, &cfg, &DesConfig::contended(8.0));
         assert!(loaded.payload_transfers > 0);
         assert!(loaded.payload_words > 0);
         assert!(
@@ -512,9 +508,12 @@ mod tests {
     fn observed_des_run_reconciles_and_records_waits() {
         let trace = tiny(SplashApp::Water);
         let cfg = SimConfig::study(128);
-        let mut engine = IntrEngine::new(cfg.intr_config());
-        let (result, obs) =
-            run_des_observed(&mut engine, &trace, &cfg, &DesConfig::contended(4.0), 32);
+        let (result, obs) = Run::new(Mechanism::Intr)
+            .config(&cfg)
+            .des(DesConfig::contended(4.0))
+            .observed_ring(32)
+            .execute(&trace)
+            .into_des_observed();
         assert!(obs.reconciled, "mismatches: {:?}", obs.mismatches);
         assert!(obs.metrics.counts.waits > 0, "waits were recorded");
         assert_eq!(obs.metrics.total_wait_ns(), result.total_wait_ns());
@@ -528,7 +527,7 @@ mod tests {
         // touch the DMA path for translations.
         let trace = tiny(SplashApp::Radix);
         let cfg = SimConfig::study(64);
-        let des = run_des_mechanism(Mechanism::Intr, &trace, &cfg, &DesConfig::zero_contention());
+        let des = exec_des(Mechanism::Intr, &trace, &cfg, &DesConfig::zero_contention());
         let dma_station = &des.resources[1];
         assert_eq!(dma_station.name, "dma_engine");
         assert_eq!(

@@ -9,7 +9,7 @@
 //!   multiprogrammed traces, so we run it.
 
 use crate::report::{micros, rate, TextTable};
-use crate::{run, run_mechanism, run_utlb, sweep_over, Mechanism, SimConfig, SimResult};
+use crate::{sweep_over, Mechanism, Run, SimConfig, SimResult};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use utlb_core::{Associativity, IndexedEngine, Policy, TranslationStats};
@@ -80,7 +80,10 @@ pub fn policy_sweep(app: SplashApp, cfg: &GenConfig) -> PolicySweep {
             mem_limit_pages: Some(mem_limit_pages),
             ..SimConfig::study(8192)
         };
-        let r = run_utlb(&trace, &sim);
+        let r = Run::new(Mechanism::Utlb)
+            .config(&sim)
+            .execute(&trace)
+            .into_sim();
         PolicyCell {
             policy,
             pin_rate: r.stats.pin_rate(),
@@ -137,22 +140,29 @@ pub struct PerprocVsShared {
 
 /// Runs both UTLB variants on `app` with the same total SRAM entry budget.
 ///
-/// Both runs go through the unified [`run_mechanism`] dispatch, so the
-/// timing columns come from the same simulated clock as every other
-/// experiment.
+/// Both runs go through the unified [`Run`] builder, so the timing columns
+/// come from the same simulated clock as every other experiment.
 pub fn perproc_vs_shared(app: SplashApp, cfg: &GenConfig, sram_entries: usize) -> PerprocVsShared {
     let trace = gen::generate_shared(app, cfg);
 
     // Shared UTLB-Cache (Hierarchical engine): the full budget is one cache.
     let shared_cfg = SimConfig::study(sram_entries);
-    let shared = run_mechanism(Mechanism::Utlb, &trace, &shared_cfg).into();
+    let shared = Run::new(Mechanism::Utlb)
+        .config(&shared_cfg)
+        .execute(&trace)
+        .into_sim()
+        .into();
 
     // Per-process UTLB: the budget is statically divided per process.
     let perproc_cfg = SimConfig {
         table_entries: perproc_split(sram_entries, trace.process_ids().len()),
         ..SimConfig::study(sram_entries)
     };
-    let perproc = run_mechanism(Mechanism::PerProc, &trace, &perproc_cfg).into();
+    let perproc = Run::new(Mechanism::PerProc)
+        .config(&perproc_cfg)
+        .execute(&trace)
+        .into_sim()
+        .into();
 
     PerprocVsShared {
         app,
@@ -214,22 +224,28 @@ pub struct VariantComparison {
 
 /// Runs the three variants of §3 on `app` with the same NIC entry budget.
 ///
-/// Every variant replays through [`run`]/[`run_mechanism`]; the §3.2 run
-/// holds its engine so the end-of-run table fragmentation can be read back
-/// after the replay.
+/// Every variant replays through the [`Run`] builder; the §3.2 run supplies
+/// its own engine (`execute_with`) so the end-of-run table fragmentation can
+/// be read back after the replay.
 pub fn variant_comparison(
     app: SplashApp,
     cfg: &GenConfig,
     budget_entries: usize,
 ) -> VariantComparison {
     let trace = gen::generate_shared(app, cfg);
-    let hierarchical = run_mechanism(Mechanism::Utlb, &trace, &SimConfig::study(budget_entries));
+    let hierarchical = Run::new(Mechanism::Utlb)
+        .config(&SimConfig::study(budget_entries))
+        .execute(&trace)
+        .into_sim();
 
     let perproc_cfg = SimConfig {
         table_entries: perproc_split(budget_entries, trace.process_ids().len()),
         ..SimConfig::study(budget_entries)
     };
-    let perproc = run_mechanism(Mechanism::PerProc, &trace, &perproc_cfg);
+    let perproc = Run::new(Mechanism::PerProc)
+        .config(&perproc_cfg)
+        .execute(&trace)
+        .into_sim();
 
     // §3.2: host tables far larger than the footprint, NIC budget as cache.
     let indexed_cfg = SimConfig {
@@ -237,7 +253,9 @@ pub fn variant_comparison(
         ..SimConfig::study(budget_entries)
     };
     let mut indexed_engine = IndexedEngine::new(indexed_cfg.indexed_config());
-    let indexed = run(&mut indexed_engine, &trace, &indexed_cfg);
+    let indexed = Run::with_config(&indexed_cfg)
+        .execute_with(&mut indexed_engine, &trace)
+        .into_sim();
     let pids = trace.process_ids();
     let indexed_fragmentation = pids
         .iter()
@@ -311,7 +329,10 @@ pub fn assoc_cost(app: SplashApp, cfg: &GenConfig, cache_entries: usize) -> Asso
             associativity: assoc,
             ..SimConfig::study(cache_entries)
         };
-        let r = run_utlb(&trace, &sim);
+        let r = Run::new(Mechanism::Utlb)
+            .config(&sim)
+            .execute(&trace)
+            .into_sim();
         (
             assoc,
             r.stats.ni_miss_rate(),

@@ -7,7 +7,7 @@
 
 use super::{app_traces, CACHE_SIZES};
 use crate::report::{rate, TextTable};
-use crate::{run_utlb, sweep_over, SimConfig};
+use crate::{sweep_over, Mechanism, Run, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -107,7 +107,10 @@ pub fn table8(cfg: &GenConfig) -> Table8 {
     let cells = sweep_over(&specs, |&(entries, org, tix)| {
         let (app, ref trace) = traces[tix];
         let sim = org.apply(SimConfig::study(entries));
-        let r = run_utlb(trace, &sim);
+        let r = Run::new(Mechanism::Utlb)
+            .config(&sim)
+            .execute(trace)
+            .into_sim();
         Table8Cell {
             cache_entries: entries,
             organization: org,

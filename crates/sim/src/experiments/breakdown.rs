@@ -3,7 +3,7 @@
 
 use super::app_traces;
 use crate::report::TextTable;
-use crate::{run_utlb, sweep_over, SimConfig};
+use crate::{sweep_over, Mechanism, Run, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -56,7 +56,10 @@ pub fn fig7(cfg: &GenConfig) -> Fig7 {
     let bars = sweep_over(&specs, |&(tix, entries)| {
         let (app, ref trace) = traces[tix];
         let sim = SimConfig::study(entries);
-        let r = run_utlb(trace, &sim);
+        let r = Run::new(Mechanism::Utlb)
+            .config(&sim)
+            .execute(trace)
+            .into_sim();
         let (comp, cap, conf) = r.breakdown.rates(r.stats.lookups);
         Fig7Bar {
             app,

@@ -7,7 +7,7 @@
 
 use super::{app_traces, CACHE_SIZES, SPARSE_SIZES};
 use crate::report::{micros, rate, TextTable};
-use crate::{run_intr, run_utlb, sweep_over, SimConfig};
+use crate::{sweep_over, Mechanism, Run, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -57,8 +57,14 @@ fn compare(cfg: &GenConfig, mem_limit_mb: Option<u64>) -> Table45 {
         if let Some(mb) = mem_limit_mb {
             sim = sim.limit_mb(mb);
         }
-        let u = run_utlb(trace, &sim);
-        let i = run_intr(trace, &sim);
+        let u = Run::new(Mechanism::Utlb)
+            .config(&sim)
+            .execute(trace)
+            .into_sim();
+        let i = Run::new(Mechanism::Intr)
+            .config(&sim)
+            .execute(trace)
+            .into_sim();
         CompareCell {
             app,
             cache_entries: entries,
@@ -185,8 +191,14 @@ pub fn table6(cfg: &GenConfig) -> Table6 {
     let rows = sweep_over(&specs, |&(tix, entries)| {
         let (app, ref trace) = traces[tix];
         let sim = SimConfig::study(entries);
-        let u = run_utlb(trace, &sim);
-        let i = run_intr(trace, &sim);
+        let u = Run::new(Mechanism::Utlb)
+            .config(&sim)
+            .execute(trace)
+            .into_sim();
+        let i = Run::new(Mechanism::Intr)
+            .config(&sim)
+            .execute(trace)
+            .into_sim();
         Table6Row {
             app,
             cache_entries: entries,
@@ -270,8 +282,14 @@ mod tests {
             mem_limit_pages: Some(trace.footprint_pages() / 10),
             ..sim
         };
-        let u = run_utlb(trace, &tight);
-        let i = run_intr(trace, &tight);
+        let u = Run::new(Mechanism::Utlb)
+            .config(&tight)
+            .execute(trace)
+            .into_sim();
+        let i = Run::new(Mechanism::Intr)
+            .config(&tight)
+            .execute(trace)
+            .into_sim();
         assert!(u.stats.unpins > 0, "{app}: limit must bind");
         assert!(
             u.stats.unpins <= i.stats.unpins,

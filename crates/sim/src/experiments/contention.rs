@@ -4,14 +4,14 @@
 //! translation needs it. §7's limitations concede the traces "may not
 //! reveal certain behaviors that multiple independent programs have"; the
 //! same is true of a loaded I/O bus. These drivers replay the traces
-//! through [`run_des_mechanism`] with the trace's own payload bytes put
+//! through the DES overlay ([`Run::des`]) with the trace's own payload bytes put
 //! back on the shared bus (scaled by an *offered load* factor), measuring
 //! how translation latency degrades as the bus, DMA engine, and host
 //! interrupt service saturate — per mechanism, so the UTLB-vs-interrupt
 //! comparison extends from cost to queueing behavior.
 
 use crate::report::{micros, TextTable};
-use crate::{run_des_mechanism, sweep_over, DesConfig, Mechanism, SimConfig};
+use crate::{sweep_over, DesConfig, Mechanism, Run, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -98,7 +98,11 @@ pub fn bus_contention(cfg: &GenConfig, cache_entries: usize) -> BusContention {
     }
     let sim = SimConfig::study(cache_entries);
     let cells = sweep_over(&points, |(app, trace, mech, load)| {
-        let r = run_des_mechanism(*mech, trace, &sim, &des_config(*load));
+        let r = Run::new(*mech)
+            .config(&sim)
+            .des(des_config(*load))
+            .execute(trace.as_ref())
+            .into_des();
         ContentionCell {
             app: *app,
             mechanism: *mech,
@@ -213,7 +217,11 @@ pub fn interference_des(
         })
         .collect();
     let results = sweep_over(&runs, |(trace, mech)| {
-        run_des_mechanism(*mech, trace, &sim, &des)
+        Run::new(*mech)
+            .config(&sim)
+            .des(des)
+            .execute(trace.as_ref())
+            .into_des()
     });
 
     let a_pids: Vec<u32> = (1..=a_procs).collect();

@@ -9,6 +9,7 @@ mod ablations;
 mod apps;
 mod assoc;
 mod breakdown;
+mod cluster;
 mod compare;
 mod contention;
 mod micro;
@@ -24,6 +25,10 @@ pub use ablations::{
 pub use apps::{table3, Table3};
 pub use assoc::{table8, Organization, Table8};
 pub use breakdown::{fig7, Fig7, FIG7_SIZES};
+pub use cluster::{
+    cluster_scaling, cluster_workload, ClusterCell, ClusterScaling, ClusterTopology,
+    CLUSTER_DETAIL_NODES, CLUSTER_NODES,
+};
 pub use compare::{table4, table5, table6, Table45, Table6};
 pub use contention::{
     bus_contention, interference_des, BusContention, ContentionCell, InterferenceCell,

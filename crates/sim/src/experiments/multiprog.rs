@@ -9,7 +9,7 @@
 //! programs and how much index offsetting mitigates it.
 
 use crate::report::{rate, TextTable};
-use crate::{run_utlb, sweep_over, SimConfig};
+use crate::{sweep_over, Mechanism, Run, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use utlb_trace::{gen, merge_multiprogram, GenConfig, SplashApp};
@@ -64,7 +64,12 @@ pub fn multiprog(a: SplashApp, b: SplashApp, cfg: &GenConfig, cache_entries: usi
         (&merged, &sim),
         (&merged, &nohash),
     ];
-    let mut results = sweep_over(&runs, |&(trace, run_sim)| run_utlb(trace, run_sim));
+    let mut results = sweep_over(&runs, |&(trace, run_sim)| {
+        Run::new(Mechanism::Utlb)
+            .config(run_sim)
+            .execute(trace)
+            .into_sim()
+    });
     let shared_nh = results.pop().expect("four runs");
     let shared = results.pop().expect("four runs");
     let alone_b = results.pop().expect("four runs").stats.ni_miss_rate();

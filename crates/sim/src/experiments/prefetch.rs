@@ -8,7 +8,7 @@
 //! lookup cost falls too.
 
 use crate::report::{micros, rate, TextTable};
-use crate::{run_utlb, sweep_over, SimConfig};
+use crate::{sweep_over, Mechanism, Run, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -63,7 +63,10 @@ pub fn fig8(cfg: &GenConfig) -> Fig8 {
             prepin: prefetch,
             ..SimConfig::study(entries)
         };
-        let r = run_utlb(&trace, &sim);
+        let r = Run::new(Mechanism::Utlb)
+            .config(&sim)
+            .execute(&trace)
+            .into_sim();
         Fig8Point {
             cache_entries: entries,
             prefetch,

@@ -9,7 +9,7 @@
 //! eventual unpins.
 
 use crate::report::{micros, TextTable};
-use crate::{run_utlb, sweep_over, SimConfig};
+use crate::{sweep_over, Mechanism, Run, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -60,7 +60,10 @@ fn measure(app: SplashApp, trace: &Trace, prepin: u64, limit_pages: u64) -> Prep
         mem_limit_pages: Some(limit_pages),
         ..SimConfig::study(8192)
     };
-    let r = run_utlb(trace, &sim);
+    let r = Run::new(Mechanism::Utlb)
+        .config(&sim)
+        .execute(trace)
+        .into_sim();
     PrepinCell {
         app,
         prepin,

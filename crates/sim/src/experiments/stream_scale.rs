@@ -3,7 +3,7 @@
 //! The paper's traces top out at ~43 K lookups per node (Table 3) — small
 //! enough to materialize. The streaming path removes that ceiling: a
 //! [`Looped`] generator stream repeats one bounded-footprint epoch for
-//! arbitrarily many epochs, and [`run_stream`] consumes it in
+//! arbitrarily many epochs, and the [`Run`] builder consumes it in
 //! [`STREAM_CHUNK`]-sized refills, so total lookups grow without the trace
 //! ever existing in memory. This driver measures that claim: it replays a
 //! multi-epoch stream orders of magnitude larger than the largest
@@ -19,7 +19,7 @@
 
 use crate::report::TextTable;
 use crate::runner::STREAM_CHUNK;
-use crate::{run_stream, SimConfig};
+use crate::{Mechanism, Run, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Instant;
@@ -108,7 +108,7 @@ pub fn peak_rss_kb() -> Option<u64> {
 ///
 /// # Panics
 ///
-/// Panics on internal engine errors, as for [`run_stream`].
+/// Panics on internal engine errors, as for any [`Run`] execution.
 pub fn stream_scale(cfg: &GenConfig, epochs: u64, cache_entries: usize) -> StreamScale {
     let sim = SimConfig::study(cache_entries);
 
@@ -121,14 +121,19 @@ pub fn stream_scale(cfg: &GenConfig, epochs: u64, cache_entries: usize) -> Strea
     );
     let streamed_records = looped.remaining();
     let start = Instant::now();
-    let streamed = run_stream(&mut UtlbEngine::new(sim.utlb_config()), &mut looped, &sim);
+    let streamed = Run::with_config(&sim)
+        .execute_with(&mut UtlbEngine::new(sim.utlb_config()), &mut looped)
+        .into_sim();
     let streamed_wall = start.elapsed();
     let peak_rss_after_stream_kb = peak_rss_kb();
 
     // --- Baseline: materialize-then-replay the largest paper trace. ---
     let baseline_trace = gen::generate(STREAM_SCALE_BASELINE, cfg);
     let start = Instant::now();
-    let baseline = crate::run_utlb(&baseline_trace, &sim);
+    let baseline = Run::new(Mechanism::Utlb)
+        .config(&sim)
+        .execute(&baseline_trace)
+        .into_sim();
     let baseline_wall = start.elapsed();
 
     let record_bytes = std::mem::size_of::<TraceRecord>() as u64;

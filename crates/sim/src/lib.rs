@@ -26,42 +26,58 @@
 //!
 //! # Example
 //!
+//! Every run goes through one builder: pick a [`Mechanism`], layer on
+//! configuration, and execute against a trace or stream.
+//!
 //! ```
-//! use utlb_sim::{run_intr, run_utlb, SimConfig};
+//! use utlb_sim::{Mechanism, Run, SimConfig};
 //! use utlb_trace::{gen, GenConfig, SplashApp};
 //!
 //! let cfg = GenConfig { seed: 1, scale: 0.03, app_processes: 4 };
 //! let trace = gen::generate(SplashApp::Water, &cfg);
 //! let sim = SimConfig::study(1024);
-//! let utlb = run_utlb(&trace, &sim);
-//! let intr = run_intr(&trace, &sim);
+//! let utlb = Run::new(Mechanism::Utlb).config(&sim).execute(&trace).into_sim();
+//! let intr = Run::new(Mechanism::Intr).config(&sim).execute(&trace).into_sim();
 //! // The paper's central comparison, in two calls:
 //! assert_eq!(utlb.stats.interrupts, 0);
 //! assert_eq!(intr.stats.interrupts, intr.stats.ni_misses);
 //! assert!(utlb.stats.unpins <= intr.stats.unpins);
 //! ```
+//!
+//! Sharding that same run across a simulated multi-NIC cluster is one more
+//! builder call — see [`ClusterConfig`] and [`ClusterResult`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod classify;
+mod cluster;
 mod config;
 mod des_runner;
 pub mod experiments;
 mod observe;
 mod report;
+mod run;
 mod runner;
 pub mod sweep;
 
 pub use classify::{MissBreakdown, MissClassifier, MissKind};
+pub use cluster::{BoardCell, ClusterConfig, ClusterResult, Migration, MigrationReport};
 pub use config::{Mechanism, SimConfig, DEFAULT_HOST_FRAMES};
-pub use des_runner::{
-    run_des, run_des_mechanism, run_des_observed, run_des_stream, DesConfig, DesResult,
-};
+pub use des_runner::{DesConfig, DesResult};
 pub use observe::ObsReport;
 pub use report::{phase_breakdown, wait_breakdown, TextTable};
+pub use run::{Run, RunInput, RunOutput, StreamVisitor, DEFAULT_OBS_RING};
+pub use runner::{SimResult, STREAM_CHUNK};
+pub use sweep::{sweep, sweep_over};
+
+// The pre-builder entry points, kept as thin deprecated shims so downstream
+// code migrates at its own pace. Everything here is expressible as one
+// `Run` chain.
+#[allow(deprecated)]
+pub use des_runner::{run_des, run_des_mechanism, run_des_observed, run_des_stream};
+#[allow(deprecated)]
 pub use runner::{
     run, run_intr, run_mechanism, run_mechanism_observed, run_observed, run_stream,
-    run_stream_mechanism, run_stream_observed, run_utlb, SimResult, STREAM_CHUNK,
+    run_stream_mechanism, run_stream_observed, run_utlb,
 };
-pub use sweep::{sweep, sweep_over};

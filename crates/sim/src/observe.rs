@@ -9,7 +9,8 @@
 //! `run_all --obs` serializes to `results/obs_<experiment>.json`.
 
 use serde::{Deserialize, Serialize};
-use utlb_core::obs::{Metrics, ProcessTrace};
+use utlb_core::obs::{Metrics, ProcessTrace, SharedCollector};
+use utlb_core::TranslationStats;
 use utlb_nic::BoardSnapshot;
 
 /// Everything the probe saw during one observed run.
@@ -35,6 +36,28 @@ pub struct ObsReport {
     pub reconciled: bool,
     /// One line per reconciliation mismatch (empty when `reconciled`).
     pub mismatches: Vec<String>,
+}
+
+/// Snapshots `collector` into a report reconciled against `stats` — the one
+/// assembly point every observed runner shares.
+pub(crate) fn build_report(
+    mechanism: &str,
+    workload: &str,
+    stats: &TranslationStats,
+    board: BoardSnapshot,
+    collector: &SharedCollector,
+) -> ObsReport {
+    let snap = collector.snapshot();
+    let mismatches = snap.metrics.reconcile(stats);
+    ObsReport {
+        mechanism: mechanism.to_string(),
+        workload: workload.to_string(),
+        metrics: snap.metrics,
+        board,
+        traces: snap.recorder.dump(),
+        reconciled: mismatches.is_empty(),
+        mismatches,
+    }
 }
 
 #[cfg(test)]

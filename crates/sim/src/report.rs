@@ -156,7 +156,8 @@ pub fn phase_breakdown(title: impl Into<String>, m: &Metrics) -> TextTable {
 /// station: how much of each device's involvement was useful occupancy and
 /// how much was queueing delay behind earlier work. Complements
 /// [`phase_breakdown`] (which attributes *serial* cost to phases) with the
-/// contention view only [`run_des`](crate::run_des) can produce.
+/// contention view only a DES run ([`Run::des`](crate::Run::des)) can
+/// produce.
 pub fn wait_breakdown(title: impl Into<String>, r: &crate::DesResult) -> TextTable {
     let mut t = TextTable::new(title);
     t.header([
@@ -252,7 +253,7 @@ mod tests {
 
     #[test]
     fn wait_breakdown_lists_every_station() {
-        use crate::{run_des_mechanism, DesConfig, Mechanism, SimConfig};
+        use crate::{DesConfig, Mechanism, Run, SimConfig};
         use utlb_trace::{gen, GenConfig, SplashApp};
         let trace = gen::generate(
             SplashApp::Water,
@@ -262,12 +263,11 @@ mod tests {
                 app_processes: 4,
             },
         );
-        let r = run_des_mechanism(
-            Mechanism::Utlb,
-            &trace,
-            &SimConfig::study(256),
-            &DesConfig::contended(4.0),
-        );
+        let r = Run::new(Mechanism::Utlb)
+            .config(&SimConfig::study(256))
+            .des(DesConfig::contended(4.0))
+            .execute(&trace)
+            .into_des();
         let t = wait_breakdown("Waits", &r);
         assert_eq!(t.len(), 4, "firmware, dma, bus, intr");
         let s = t.to_string();

@@ -1,0 +1,498 @@
+//! The unified run builder — the one public entry point into every replay
+//! mode.
+//!
+//! The thirteen `run*`/`run_des*` functions that accreted as the simulator
+//! grew (serial/streamed × dispatched/engine-supplied × observed/plain ×
+//! serial-clock/discrete-event) were all the same replay loop behind
+//! different argument lists. [`Run`] replaces them with one builder:
+//!
+//! ```
+//! use utlb_sim::{Mechanism, Run, SimConfig};
+//! use utlb_trace::{gen, GenConfig, SplashApp};
+//!
+//! let cfg = GenConfig { seed: 1, scale: 0.03, app_processes: 4 };
+//! let trace = gen::generate(SplashApp::Water, &cfg);
+//! let sim = SimConfig::study(1024);
+//!
+//! // Plain serial replay of a materialized trace:
+//! let utlb = Run::new(Mechanism::Utlb).config(&sim).execute(&trace).into_sim();
+//! assert_eq!(utlb.stats.interrupts, 0);
+//!
+//! // The same run observed, as a fused generate+replay stream:
+//! let mut stream = gen::stream(SplashApp::Water, &cfg);
+//! let (streamed, obs) = Run::new(Mechanism::Utlb)
+//!     .config(&sim)
+//!     .observed()
+//!     .execute(&mut stream)
+//!     .into_observed();
+//! assert_eq!(streamed.stats, utlb.stats);
+//! assert!(obs.reconciled);
+//! ```
+//!
+//! `execute` accepts a `&Trace` or `&mut` any [`TraceStream`] — the two
+//! input shapes every legacy pair (`run`/`run_stream`, …) used to split
+//! over. `.des(cfg)` switches the timing model to the discrete-event
+//! stations, `.cluster(cfg)` shards the stream across simulated boards,
+//! and `.observed()` attaches the metrics/event-ring collector to any of
+//! them. The legacy names survive as `#[deprecated]` one-line wrappers;
+//! `tests/builder_equivalence.rs` pins every one of them byte-identical to
+//! its builder spelling.
+
+use crate::cluster::{replay_cluster, ClusterConfig, ClusterResult};
+use crate::des_runner::{replay_des, DesResult};
+use crate::observe::{build_report, ObsReport};
+use crate::runner::{replay_stream, SimResult};
+use crate::{Mechanism, SimConfig};
+use utlb_core::obs::SharedCollector;
+use utlb_core::TranslationMechanism;
+use utlb_des::DesConfig;
+use utlb_trace::{Trace, TraceStream, TraceView};
+
+/// Per-process event-ring capacity [`Run::observed`] uses.
+pub const DEFAULT_OBS_RING: usize = 64;
+
+/// A configured simulation run: mechanism (or caller-supplied engine),
+/// simulation parameters, optional observability, optional discrete-event
+/// timing, optional cluster topology. See the crate docs for the grammar.
+#[derive(Debug, Clone)]
+pub struct Run {
+    mech: Option<Mechanism>,
+    cfg: SimConfig,
+    des: Option<DesConfig>,
+    obs_ring: Option<usize>,
+    cluster: Option<ClusterConfig>,
+}
+
+impl Run {
+    /// A run of mechanism `mech` under the default [`SimConfig`].
+    pub fn new(mech: Mechanism) -> Self {
+        Run {
+            mech: Some(mech),
+            cfg: SimConfig::default(),
+            des: None,
+            obs_ring: None,
+            cluster: None,
+        }
+    }
+
+    /// A run with no mechanism selected, for [`execute_with`] — the caller
+    /// brings the engine (to pre-attach a probe, reuse state, or drive a
+    /// custom [`TranslationMechanism`] implementation).
+    ///
+    /// [`execute_with`]: Run::execute_with
+    pub fn with_config(cfg: &SimConfig) -> Self {
+        Run {
+            mech: None,
+            cfg: cfg.clone(),
+            des: None,
+            obs_ring: None,
+            cluster: None,
+        }
+    }
+
+    /// Sets the simulation parameters (cloned).
+    pub fn config(mut self, cfg: &SimConfig) -> Self {
+        self.cfg = cfg.clone();
+        self
+    }
+
+    /// Attaches the standard observability collector (metrics + per-process
+    /// event rings of [`DEFAULT_OBS_RING`] events) so the output carries an
+    /// [`ObsReport`].
+    pub fn observed(self) -> Self {
+        self.observed_ring(DEFAULT_OBS_RING)
+    }
+
+    /// [`observed`](Run::observed) with an explicit per-process ring
+    /// capacity.
+    ///
+    /// # Panics
+    ///
+    /// The run panics at execute time if `ring_capacity` is zero.
+    pub fn observed_ring(mut self, ring_capacity: usize) -> Self {
+        self.obs_ring = Some(ring_capacity);
+        self
+    }
+
+    /// Switches timing to the discrete-event stations of `utlb-des`: the
+    /// output becomes a [`DesResult`] whose serial half is byte-identical
+    /// to the plain run.
+    pub fn des(mut self, des: DesConfig) -> Self {
+        self.des = Some(des);
+        self
+    }
+
+    /// Shards the run across the simulated boards of `cluster`; the output
+    /// becomes a [`ClusterResult`]. Cluster runs always use the
+    /// discrete-event stations — `.des(cfg)` sets their parameters and
+    /// defaults to [`DesConfig::zero_contention`].
+    pub fn cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Executes the run, constructing the engine(s) from the configured
+    /// [`Mechanism`]. `input` is a `&Trace` or `&mut` any [`TraceStream`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no mechanism was configured ([`Run::with_config`] runs
+    /// need [`execute_with`](Run::execute_with)), and on internal engine
+    /// errors — trace simulation is closed-world, so any failure is a bug
+    /// worth a loud stop.
+    pub fn execute(&self, input: impl RunInput) -> RunOutput {
+        let mech = self
+            .mech
+            .expect("Run has no mechanism: use Run::new(mech) or Run::execute_with");
+        if self.cluster.is_some() {
+            return input.dispatch(ClusterExec { run: self, mech });
+        }
+        let mut engine = mech.engine(&self.cfg);
+        self.execute_with(&mut *engine, input)
+    }
+
+    /// Executes the run on a caller-supplied engine. The engine's processes
+    /// and probe slot are used in place; any probe the caller attached
+    /// beforehand stays attached for non-observed serial runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cluster topology is configured — cluster runs build one
+    /// engine per board and must go through [`execute`](Run::execute) —
+    /// and on internal engine errors.
+    pub fn execute_with<M>(&self, engine: &mut M, input: impl RunInput) -> RunOutput
+    where
+        M: TranslationMechanism + ?Sized,
+    {
+        assert!(
+            self.cluster.is_none(),
+            "cluster runs construct one engine per board: use Run::execute"
+        );
+        input.dispatch(EngineExec { run: self, engine })
+    }
+}
+
+/// An input [`Run::execute`] accepts: a materialized `&`[`Trace`] or a
+/// `&mut` [`TraceStream`] (fused generate+replay). Implemented for exactly
+/// those two shapes; the trait only routes the input to the replay loop.
+pub trait RunInput {
+    /// Hands the underlying stream to `visitor`. Not meant to be called
+    /// directly — [`Run::execute`] does.
+    #[doc(hidden)]
+    fn dispatch<V: StreamVisitor>(self, visitor: V) -> V::Out;
+}
+
+/// Internal visitor that receives the stream an input resolves to.
+#[doc(hidden)]
+pub trait StreamVisitor {
+    /// The visit result.
+    type Out;
+    /// Consumes the resolved stream.
+    fn visit<S: TraceStream + ?Sized>(self, stream: &mut S) -> Self::Out;
+}
+
+impl RunInput for &Trace {
+    fn dispatch<V: StreamVisitor>(self, visitor: V) -> V::Out {
+        visitor.visit(&mut TraceView::new(self))
+    }
+}
+
+impl RunInput for &std::sync::Arc<Trace> {
+    fn dispatch<V: StreamVisitor>(self, visitor: V) -> V::Out {
+        visitor.visit(&mut TraceView::new(self))
+    }
+}
+
+impl<S: TraceStream> RunInput for &mut S {
+    fn dispatch<V: StreamVisitor>(self, visitor: V) -> V::Out {
+        visitor.visit(self)
+    }
+}
+
+/// Single-engine execution: serial or DES, observed or plain.
+struct EngineExec<'r, 'e, M: ?Sized> {
+    run: &'r Run,
+    engine: &'e mut M,
+}
+
+impl<M: TranslationMechanism + ?Sized> StreamVisitor for EngineExec<'_, '_, M> {
+    type Out = RunOutput;
+
+    fn visit<S: TraceStream + ?Sized>(self, stream: &mut S) -> RunOutput {
+        let collector = self.run.obs_ring.map(SharedCollector::new);
+        if let Some(des) = &self.run.des {
+            let (result, board) =
+                replay_des(self.engine, stream, &self.run.cfg, des, collector.as_ref());
+            let obs = collector.map(|c| {
+                build_report(
+                    self.engine.name(),
+                    &result.base.workload,
+                    &result.base.stats,
+                    board,
+                    &c,
+                )
+            });
+            RunOutput {
+                payload: Payload::Des(Box::new(result)),
+                obs,
+            }
+        } else if let Some(collector) = collector {
+            self.engine.set_probe(collector.boxed());
+            let (result, board) = replay_stream(self.engine, stream, &self.run.cfg);
+            self.engine.take_probe();
+            let obs = build_report(
+                self.engine.name(),
+                &result.workload,
+                &result.stats,
+                board,
+                &collector,
+            );
+            RunOutput {
+                payload: Payload::Sim(result),
+                obs: Some(obs),
+            }
+        } else {
+            let (result, _) = replay_stream(self.engine, stream, &self.run.cfg);
+            RunOutput {
+                payload: Payload::Sim(result),
+                obs: None,
+            }
+        }
+    }
+}
+
+/// Cluster execution: one engine per board, shared stations.
+struct ClusterExec<'r> {
+    run: &'r Run,
+    mech: Mechanism,
+}
+
+impl StreamVisitor for ClusterExec<'_> {
+    type Out = RunOutput;
+
+    fn visit<S: TraceStream + ?Sized>(self, stream: &mut S) -> RunOutput {
+        let des = self.run.des.unwrap_or_default();
+        let cluster = self.run.cluster.as_ref().expect("checked by execute");
+        let result = replay_cluster(self.mech, stream, &self.run.cfg, &des, cluster);
+        RunOutput {
+            payload: Payload::Cluster(Box::new(result)),
+            obs: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Payload {
+    Sim(SimResult),
+    Des(Box<DesResult>),
+    Cluster(Box<ClusterResult>),
+}
+
+/// What a [`Run`] produced: a serial [`SimResult`], a discrete-event
+/// [`DesResult`], or a [`ClusterResult`], plus the [`ObsReport`] when the
+/// run was observed. The accessors panic when asked for a shape the run
+/// was not configured to produce — a misread result is a driver bug, not a
+/// recoverable condition.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    payload: Payload,
+    obs: Option<ObsReport>,
+}
+
+impl RunOutput {
+    /// The serial result: the plain result of a serial run, or the `base`
+    /// half of a DES run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a cluster run — per-board results live in
+    /// [`cluster`](RunOutput::cluster).
+    pub fn sim(&self) -> &SimResult {
+        match &self.payload {
+            Payload::Sim(r) => r,
+            Payload::Des(r) => &r.base,
+            Payload::Cluster(_) => panic!("cluster run: per-board results are in .cluster()"),
+        }
+    }
+
+    /// Consumes the output into its serial result (see
+    /// [`sim`](RunOutput::sim)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a cluster run.
+    pub fn into_sim(self) -> SimResult {
+        match self.payload {
+            Payload::Sim(r) => r,
+            Payload::Des(r) => r.base,
+            Payload::Cluster(_) => panic!("cluster run: per-board results are in .into_cluster()"),
+        }
+    }
+
+    /// The discrete-event result, if the run was configured with
+    /// [`Run::des`].
+    pub fn des(&self) -> Option<&DesResult> {
+        match &self.payload {
+            Payload::Des(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes the output into its discrete-event result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not configured with [`Run::des`].
+    pub fn into_des(self) -> DesResult {
+        match self.payload {
+            Payload::Des(r) => *r,
+            _ => panic!("not a DES run: configure with Run::des"),
+        }
+    }
+
+    /// The cluster result, if the run was configured with [`Run::cluster`].
+    pub fn cluster(&self) -> Option<&ClusterResult> {
+        match &self.payload {
+            Payload::Cluster(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes the output into its cluster result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not configured with [`Run::cluster`].
+    pub fn into_cluster(self) -> ClusterResult {
+        match self.payload {
+            Payload::Cluster(r) => *r,
+            _ => panic!("not a cluster run: configure with Run::cluster"),
+        }
+    }
+
+    /// The observability report, if the run was observed.
+    pub fn obs(&self) -> Option<&ObsReport> {
+        self.obs.as_ref()
+    }
+
+    /// Consumes the output into `(serial result, report)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not observed, or on a cluster run.
+    pub fn into_observed(self) -> (SimResult, ObsReport) {
+        let obs = self
+            .obs
+            .expect("not an observed run: configure with Run::observed");
+        let sim = match self.payload {
+            Payload::Sim(r) => r,
+            Payload::Des(r) => r.base,
+            Payload::Cluster(_) => panic!("cluster run: per-board results are in .into_cluster()"),
+        };
+        (sim, obs)
+    }
+
+    /// Consumes the output into `(DES result, report)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not both observed and DES-timed.
+    pub fn into_des_observed(self) -> (DesResult, ObsReport) {
+        let obs = self
+            .obs
+            .expect("not an observed run: configure with Run::observed");
+        match self.payload {
+            Payload::Des(r) => (*r, obs),
+            _ => panic!("not a DES run: configure with Run::des"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utlb_core::UtlbEngine;
+    use utlb_trace::{gen, GenConfig, SplashApp};
+
+    fn tiny() -> Trace {
+        gen::generate(
+            SplashApp::Water,
+            &GenConfig {
+                seed: 21,
+                scale: 0.05,
+                app_processes: 4,
+            },
+        )
+    }
+
+    #[test]
+    fn trace_and_stream_inputs_agree() {
+        let trace = tiny();
+        let sim = SimConfig::study(256);
+        let run = Run::new(Mechanism::Utlb).config(&sim);
+        let a = run.execute(&trace).into_sim();
+        let mut view = TraceView::new(&trace);
+        let b = run.execute(&mut view).into_sim();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.sim_time_ns, b.sim_time_ns);
+    }
+
+    #[test]
+    fn execute_with_uses_the_supplied_engine() {
+        let trace = tiny();
+        let sim = SimConfig::study(256);
+        let mut engine = UtlbEngine::new(sim.utlb_config());
+        let r = Run::with_config(&sim)
+            .execute_with(&mut engine, &trace)
+            .into_sim();
+        assert_eq!(r.stats.lookups, trace.total_lookups());
+        // The engine keeps its state: stats remain queryable afterwards.
+        assert_eq!(engine.aggregate_stats(), r.stats);
+    }
+
+    #[test]
+    fn observed_output_carries_a_reconciled_report() {
+        let trace = tiny();
+        let sim = SimConfig::study(256);
+        let (r, obs) = Run::new(Mechanism::Intr)
+            .config(&sim)
+            .observed_ring(16)
+            .execute(&trace)
+            .into_observed();
+        assert!(obs.reconciled, "mismatches: {:?}", obs.mismatches);
+        assert_eq!(obs.metrics.counts.lookups, r.stats.lookups);
+    }
+
+    #[test]
+    fn des_output_nests_the_serial_result() {
+        let trace = tiny();
+        let sim = SimConfig::study(256);
+        let plain = Run::new(Mechanism::Utlb)
+            .config(&sim)
+            .execute(&trace)
+            .into_sim();
+        let out = Run::new(Mechanism::Utlb)
+            .config(&sim)
+            .des(DesConfig::zero_contention())
+            .execute(&trace);
+        assert_eq!(out.sim().stats, plain.stats, "sim() reads the DES base");
+        let des = out.into_des();
+        assert_eq!(des.base.sim_time_ns, plain.sim_time_ns);
+        assert_eq!(des.des_time_ns, plain.sim_time_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "no mechanism")]
+    fn execute_without_mechanism_panics() {
+        Run::with_config(&SimConfig::study(64)).execute(&tiny());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a DES run")]
+    fn misreading_a_serial_output_panics() {
+        Run::new(Mechanism::Utlb)
+            .config(&SimConfig::study(64))
+            .execute(&tiny())
+            .into_des();
+    }
+}

@@ -7,16 +7,14 @@
 //! reported are therefore the mechanism's own counters, not a re-model.
 
 use crate::observe::ObsReport;
-use crate::{Mechanism, MissBreakdown, MissClassifier, SimConfig};
+use crate::{Mechanism, MissBreakdown, MissClassifier, Run, SimConfig};
 use serde::{Deserialize, Serialize};
-use utlb_core::obs::SharedCollector;
 use utlb_core::{
-    CacheStats, IndexedEngine, IntrEngine, LookupBatch, LookupRates, OutcomeBuf, PerProcessEngine,
-    TranslationMechanism, TranslationStats, UtlbEngine,
+    CacheStats, LookupBatch, LookupRates, OutcomeBuf, TranslationMechanism, TranslationStats,
 };
 use utlb_mem::Host;
 use utlb_nic::{Board, BoardSnapshot, Nanos};
-use utlb_trace::{fill_chunk, Trace, TraceStream, TraceView};
+use utlb_trace::{fill_chunk, Trace, TraceStream};
 
 /// Records pulled per refill of the streaming replay loop. The loop's
 /// resident trace state is one chunk, whatever the stream's total size.
@@ -100,15 +98,19 @@ impl SimResult {
 /// Returns the result plus the board's counters for obs exports.
 ///
 /// Both replay modes are this one function: a materialized [`Trace`] enters
-/// through [`TraceView`] (see [`replay`]), a fused generate+replay run hands
-/// in the generator stream directly — which is why their results are
-/// identical by construction, and why replay memory is O(chunk) rather than
-/// O(trace) in the fused mode.
-fn replay_stream<M: TranslationMechanism, S: TraceStream>(
+/// through a [`utlb_trace::TraceView`] (see [`Run`]), a fused
+/// generate+replay run hands in the generator stream directly — which is
+/// why their results are identical by construction, and why replay memory
+/// is O(chunk) rather than O(trace) in the fused mode.
+pub(crate) fn replay_stream<M, S>(
     engine: &mut M,
     stream: &mut S,
     cfg: &SimConfig,
-) -> (SimResult, BoardSnapshot) {
+) -> (SimResult, BoardSnapshot)
+where
+    M: TranslationMechanism + ?Sized,
+    S: TraceStream + ?Sized,
+{
     let mut host = Host::new(cfg.host_frames);
     let mut board = Board::new();
     let mut classifier = MissClassifier::new(cfg.cache_entries);
@@ -165,195 +167,144 @@ fn replay_stream<M: TranslationMechanism, S: TraceStream>(
     (result, board.snapshot())
 }
 
-/// [`replay_stream`] over a materialized trace.
-fn replay<M: TranslationMechanism>(
-    engine: &mut M,
-    trace: &Trace,
-    cfg: &SimConfig,
-) -> (SimResult, BoardSnapshot) {
-    replay_stream(engine, &mut TraceView::new(trace), cfg)
-}
-
 /// Runs `trace` through any [`TranslationMechanism`] under `cfg`.
-///
-/// The engine is taken by mutable reference so callers can attach a probe
-/// beforehand and read engine state afterwards; [`run_utlb`] / [`run_intr`]
-/// remain as the construct-and-run conveniences.
 ///
 /// # Panics
 ///
 /// Panics if the engine reports an internal error — trace simulation is
 /// closed-world, so any failure is a bug worth a loud stop.
+#[deprecated(note = "use `Run::with_config(cfg).execute_with(engine, trace).into_sim()`")]
 pub fn run<M: TranslationMechanism>(engine: &mut M, trace: &Trace, cfg: &SimConfig) -> SimResult {
-    replay(engine, trace, cfg).0
+    Run::with_config(cfg).execute_with(engine, trace).into_sim()
 }
 
 /// Runs a [`TraceStream`] through any [`TranslationMechanism`] under `cfg`
-/// — the fused generate+replay mode. Records are synthesized as they are
-/// consumed; the trace is never materialized, so resident trace memory is
-/// O([`STREAM_CHUNK`]) however many lookups the stream carries.
-///
-/// Replaying [`utlb_trace::gen::stream`]`(app, gen_cfg)` returns exactly
-/// the [`SimResult`] of [`run`] on `generate(app, gen_cfg)`.
+/// — the fused generate+replay mode.
 ///
 /// # Panics
 ///
-/// Panics if the engine reports an internal error, as for [`run`].
+/// Panics if the engine reports an internal error.
+#[deprecated(note = "use `Run::with_config(cfg).execute_with(engine, stream).into_sim()`")]
 pub fn run_stream<M: TranslationMechanism, S: TraceStream>(
     engine: &mut M,
     stream: &mut S,
     cfg: &SimConfig,
 ) -> SimResult {
-    replay_stream(engine, stream, cfg).0
+    Run::with_config(cfg)
+        .execute_with(engine, stream)
+        .into_sim()
 }
 
 /// [`run_stream`] behind a [`Mechanism`] dispatch.
 ///
 /// # Panics
 ///
-/// Panics on internal engine errors, as for [`run`].
+/// Panics on internal engine errors.
+#[deprecated(note = "use `Run::new(mech).config(cfg).execute(stream).into_sim()`")]
 pub fn run_stream_mechanism<S: TraceStream>(
     mech: Mechanism,
     stream: &mut S,
     cfg: &SimConfig,
 ) -> SimResult {
-    match mech {
-        Mechanism::Utlb => run_stream(&mut UtlbEngine::new(cfg.utlb_config()), stream, cfg),
-        Mechanism::PerProc => run_stream(
-            &mut PerProcessEngine::new(cfg.perproc_config()),
-            stream,
-            cfg,
-        ),
-        Mechanism::Indexed => {
-            run_stream(&mut IndexedEngine::new(cfg.indexed_config()), stream, cfg)
-        }
-        Mechanism::Intr => run_stream(&mut IntrEngine::new(cfg.intr_config()), stream, cfg),
-    }
+    Run::new(mech).config(cfg).execute(stream).into_sim()
 }
 
-/// [`run_stream`] with a [`SharedCollector`] attached, returning the full
-/// observability report alongside the result — the streamed counterpart of
-/// [`run_observed`].
+/// [`run_stream`] with a collector attached, returning the observability
+/// report alongside the result.
 ///
 /// # Panics
 ///
 /// Panics on internal engine errors and if `ring_capacity` is zero.
+#[deprecated(
+    note = "use `Run::with_config(cfg).observed_ring(n).execute_with(engine, stream).into_observed()`"
+)]
 pub fn run_stream_observed<M: TranslationMechanism, S: TraceStream>(
     engine: &mut M,
     stream: &mut S,
     cfg: &SimConfig,
     ring_capacity: usize,
 ) -> (SimResult, ObsReport) {
-    let collector = SharedCollector::new(ring_capacity);
-    engine.set_probe(collector.boxed());
-    let (result, board) = replay_stream(engine, stream, cfg);
-    engine.take_probe();
-    let snap = collector.snapshot();
-    let mismatches = snap.metrics.reconcile(&result.stats);
-    let report = ObsReport {
-        mechanism: engine.name().to_string(),
-        workload: result.workload.clone(),
-        metrics: snap.metrics,
-        board,
-        traces: snap.recorder.dump(),
-        reconciled: mismatches.is_empty(),
-        mismatches,
-    };
-    (result, report)
+    Run::with_config(cfg)
+        .observed_ring(ring_capacity)
+        .execute_with(engine, stream)
+        .into_observed()
 }
 
-/// Runs `trace` through `engine` with a [`SharedCollector`] attached,
-/// returning the result plus the full observability report (metrics,
-/// per-process event rings, board counters, reconciliation outcome).
-///
-/// `ring_capacity` bounds the per-process event ring (see
-/// [`utlb_core::obs::TraceRecorder`]).
+/// Runs `trace` through `engine` with a collector attached.
 ///
 /// # Panics
 ///
-/// Panics on internal engine errors, as for [`run`], and if
-/// `ring_capacity` is zero.
+/// Panics on internal engine errors and if `ring_capacity` is zero.
+#[deprecated(
+    note = "use `Run::with_config(cfg).observed_ring(n).execute_with(engine, trace).into_observed()`"
+)]
 pub fn run_observed<M: TranslationMechanism>(
     engine: &mut M,
     trace: &Trace,
     cfg: &SimConfig,
     ring_capacity: usize,
 ) -> (SimResult, ObsReport) {
-    run_stream_observed(engine, &mut TraceView::new(trace), cfg, ring_capacity)
+    Run::with_config(cfg)
+        .observed_ring(ring_capacity)
+        .execute_with(engine, trace)
+        .into_observed()
 }
 
-/// Runs `trace` through the mechanism `mech` selects — the dispatch
-/// experiment drivers use when the mechanism is itself a table axis.
+/// Runs `trace` through the mechanism `mech` selects.
 ///
 /// # Panics
 ///
-/// Panics on internal engine errors, as for [`run`].
+/// Panics on internal engine errors.
+#[deprecated(note = "use `Run::new(mech).config(cfg).execute(trace).into_sim()`")]
 pub fn run_mechanism(mech: Mechanism, trace: &Trace, cfg: &SimConfig) -> SimResult {
-    match mech {
-        Mechanism::Utlb => run(&mut UtlbEngine::new(cfg.utlb_config()), trace, cfg),
-        Mechanism::PerProc => run(&mut PerProcessEngine::new(cfg.perproc_config()), trace, cfg),
-        Mechanism::Indexed => run(&mut IndexedEngine::new(cfg.indexed_config()), trace, cfg),
-        Mechanism::Intr => run(&mut IntrEngine::new(cfg.intr_config()), trace, cfg),
-    }
+    Run::new(mech).config(cfg).execute(trace).into_sim()
 }
 
-/// [`run_observed`] behind a [`Mechanism`] dispatch — what the `--obs`
-/// export path of the experiment runner uses.
+/// [`run_mechanism`] with a collector attached.
 ///
 /// # Panics
 ///
 /// Panics on internal engine errors and on a zero `ring_capacity`.
+#[deprecated(
+    note = "use `Run::new(mech).config(cfg).observed_ring(n).execute(trace).into_observed()`"
+)]
 pub fn run_mechanism_observed(
     mech: Mechanism,
     trace: &Trace,
     cfg: &SimConfig,
     ring_capacity: usize,
 ) -> (SimResult, ObsReport) {
-    match mech {
-        Mechanism::Utlb => run_observed(
-            &mut UtlbEngine::new(cfg.utlb_config()),
-            trace,
-            cfg,
-            ring_capacity,
-        ),
-        Mechanism::PerProc => run_observed(
-            &mut PerProcessEngine::new(cfg.perproc_config()),
-            trace,
-            cfg,
-            ring_capacity,
-        ),
-        Mechanism::Indexed => run_observed(
-            &mut IndexedEngine::new(cfg.indexed_config()),
-            trace,
-            cfg,
-            ring_capacity,
-        ),
-        Mechanism::Intr => run_observed(
-            &mut IntrEngine::new(cfg.intr_config()),
-            trace,
-            cfg,
-            ring_capacity,
-        ),
-    }
+    Run::new(mech)
+        .config(cfg)
+        .observed_ring(ring_capacity)
+        .execute(trace)
+        .into_observed()
 }
 
 /// Runs `trace` through the Hierarchical-UTLB engine under `cfg`.
 ///
 /// # Panics
 ///
-/// Panics if the engine reports an internal error — trace simulation is
-/// closed-world, so any failure is a bug worth a loud stop.
+/// Panics on internal engine errors.
+#[deprecated(note = "use `Run::new(Mechanism::Utlb).config(cfg).execute(trace).into_sim()`")]
 pub fn run_utlb(trace: &Trace, cfg: &SimConfig) -> SimResult {
-    run(&mut UtlbEngine::new(cfg.utlb_config()), trace, cfg)
+    Run::new(Mechanism::Utlb)
+        .config(cfg)
+        .execute(trace)
+        .into_sim()
 }
 
 /// Runs `trace` through the interrupt-based baseline under `cfg`.
 ///
 /// # Panics
 ///
-/// Panics on internal engine errors, as for [`run_utlb`].
+/// Panics on internal engine errors.
+#[deprecated(note = "use `Run::new(Mechanism::Intr).config(cfg).execute(trace).into_sim()`")]
 pub fn run_intr(trace: &Trace, cfg: &SimConfig) -> SimResult {
-    run(&mut IntrEngine::new(cfg.intr_config()), trace, cfg)
+    Run::new(Mechanism::Intr)
+        .config(cfg)
+        .execute(trace)
+        .into_sim()
 }
 
 #[cfg(test)]
@@ -372,10 +323,14 @@ mod tests {
         )
     }
 
+    fn exec(mech: Mechanism, trace: &Trace, cfg: &SimConfig) -> SimResult {
+        Run::new(mech).config(cfg).execute(trace).into_sim()
+    }
+
     #[test]
     fn utlb_unpins_nothing_with_infinite_memory() {
         let trace = tiny(SplashApp::Water);
-        let r = run_utlb(&trace, &SimConfig::study(1024));
+        let r = exec(Mechanism::Utlb, &trace, &SimConfig::study(1024));
         assert_eq!(r.stats.unpins, 0, "Table 4: UTLB never unpins");
         assert_eq!(r.stats.lookups, trace.total_lookups());
         // Check misses equal distinct pages (every page pinned exactly once).
@@ -387,7 +342,7 @@ mod tests {
     fn intr_unpins_on_every_eviction() {
         let trace = tiny(SplashApp::Water);
         // Cache much smaller than footprint forces evictions.
-        let r = run_intr(&trace, &SimConfig::study(64));
+        let r = exec(Mechanism::Intr, &trace, &SimConfig::study(64));
         assert!(r.stats.unpins > 0);
         assert_eq!(r.stats.interrupts, r.stats.ni_misses);
         // pins - unpins = pages still cached, bounded by the cache size.
@@ -400,8 +355,8 @@ mod tests {
         // §6.2: "we assume that the cache structures are the same for both".
         let trace = tiny(SplashApp::Volrend);
         let cfg = SimConfig::study(256);
-        let u = run_utlb(&trace, &cfg);
-        let i = run_intr(&trace, &cfg);
+        let u = exec(Mechanism::Utlb, &trace, &cfg);
+        let i = exec(Mechanism::Intr, &trace, &cfg);
         assert_eq!(u.stats.ni_misses, i.stats.ni_misses);
         assert_eq!(u.breakdown, i.breakdown);
     }
@@ -409,15 +364,15 @@ mod tests {
     #[test]
     fn classification_totals_match_ni_misses() {
         let trace = tiny(SplashApp::Radix);
-        let r = run_utlb(&trace, &SimConfig::study(128));
+        let r = exec(Mechanism::Utlb, &trace, &SimConfig::study(128));
         assert_eq!(r.breakdown.total(), r.stats.ni_misses);
     }
 
     #[test]
     fn bigger_cache_never_increases_compulsory_misses() {
         let trace = tiny(SplashApp::Barnes);
-        let small = run_utlb(&trace, &SimConfig::study(64));
-        let big = run_utlb(&trace, &SimConfig::study(4096));
+        let small = exec(Mechanism::Utlb, &trace, &SimConfig::study(64));
+        let big = exec(Mechanism::Utlb, &trace, &SimConfig::study(4096));
         assert_eq!(small.breakdown.compulsory, big.breakdown.compulsory);
         assert!(big.stats.ni_misses <= small.stats.ni_misses);
     }
@@ -425,7 +380,7 @@ mod tests {
     #[test]
     fn per_process_stats_sum_to_aggregate() {
         let trace = tiny(SplashApp::Volrend);
-        let r = run_utlb(&trace, &SimConfig::study(256));
+        let r = exec(Mechanism::Utlb, &trace, &SimConfig::study(256));
         assert_eq!(r.per_process.len(), 5);
         let all: Vec<u32> = r.per_process.iter().map(|(p, _)| *p).collect();
         assert_eq!(r.stats_for_pids(&all), r.stats);
@@ -433,6 +388,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn generic_run_matches_the_named_wrappers() {
         let trace = tiny(SplashApp::Water);
         let cfg = SimConfig::study(256);
@@ -448,8 +404,12 @@ mod tests {
         let trace = tiny(SplashApp::Water);
         let cfg = SimConfig::study(256).limit_mb(1);
         for mech in Mechanism::ALL {
-            let plain = run_mechanism(mech, &trace, &cfg);
-            let (result, obs) = run_mechanism_observed(mech, &trace, &cfg, 32);
+            let plain = exec(mech, &trace, &cfg);
+            let (result, obs) = Run::new(mech)
+                .config(&cfg)
+                .observed_ring(32)
+                .execute(&trace)
+                .into_observed();
             // The probe is passive: observed and plain runs agree exactly.
             assert_eq!(result.stats, plain.stats, "{mech}");
             assert_eq!(result.sim_time_ns, plain.sim_time_ns, "{mech}");
@@ -471,7 +431,7 @@ mod tests {
     fn lookup_costs_are_positive_and_reflect_misses() {
         let trace = tiny(SplashApp::Fft);
         let cfg = SimConfig::study(128);
-        let r = run_utlb(&trace, &cfg);
+        let r = exec(Mechanism::Utlb, &trace, &cfg);
         let utlb = r.utlb_lookup_cost(&cfg);
         assert!(utlb > 1.0, "at least the two check hits: {utlb}");
         assert!(r.sim_us_per_lookup() > 0.0);

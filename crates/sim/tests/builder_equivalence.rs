@@ -1,0 +1,207 @@
+//! The [`Run`] builder is the only supported entry point; every legacy
+//! `run*`/`run_des*` function is a thin deprecated shim over it. This suite
+//! pins the migration contract: for each of the 13 legacy entry points, the
+//! builder call its deprecation note names produces **byte-identical JSON**
+//! across all four mechanisms, so downstream code can migrate mechanically
+//! with zero behavior change.
+
+// The deprecated entry points are this suite's subject — it calls them on
+// purpose to pin their equivalence with the builder.
+#![allow(deprecated)]
+
+use utlb_core::{IndexedEngine, IntrEngine, PerProcessEngine, TranslationMechanism, UtlbEngine};
+use utlb_sim::{
+    run, run_des, run_des_mechanism, run_des_observed, run_des_stream, run_intr, run_mechanism,
+    run_mechanism_observed, run_observed, run_stream, run_stream_mechanism, run_stream_observed,
+    run_utlb, DesConfig, Mechanism, Run, SimConfig,
+};
+use utlb_trace::{gen, GenConfig, SplashApp, Trace};
+
+const RING: usize = 64;
+const APP: SplashApp = SplashApp::Radix;
+
+fn gen_config() -> GenConfig {
+    GenConfig {
+        seed: 42,
+        scale: 0.04,
+        app_processes: 4,
+    }
+}
+
+fn tiny() -> Trace {
+    gen::generate(APP, &gen_config())
+}
+
+fn json<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).expect("result serializes")
+}
+
+/// All the engine-generic legacy wrappers against the builder, for one
+/// concrete engine type. `make` yields a fresh engine per wrapper call so
+/// no state leaks between comparisons.
+fn check_engine_generic<M, F>(mech: Mechanism, mut make: F, cfg: &SimConfig)
+where
+    M: TranslationMechanism,
+    F: FnMut() -> M,
+{
+    let trace = tiny();
+    let gc = gen_config();
+    let des = DesConfig::contended(0.4);
+
+    // run
+    let built = json(&Run::new(mech).config(cfg).execute(&trace).into_sim());
+    assert_eq!(json(&run(&mut make(), &trace, cfg)), built, "{mech}: run");
+
+    // run_stream
+    assert_eq!(
+        json(&run_stream(&mut make(), &mut gen::stream(APP, &gc), cfg)),
+        built,
+        "{mech}: run_stream replays the same records"
+    );
+
+    // run_observed / run_stream_observed
+    let obs_built = Run::new(mech)
+        .config(cfg)
+        .observed_ring(RING)
+        .execute(&trace)
+        .into_observed();
+    let got = run_observed(&mut make(), &trace, cfg, RING);
+    assert_eq!(json(&got.0), json(&obs_built.0), "{mech}: run_observed");
+    assert_eq!(json(&got.1), json(&obs_built.1), "{mech}: run_observed");
+    let got = run_stream_observed(&mut make(), &mut gen::stream(APP, &gc), cfg, RING);
+    assert_eq!(
+        json(&got.0),
+        json(&obs_built.0),
+        "{mech}: run_stream_observed"
+    );
+    assert_eq!(
+        json(&got.1),
+        json(&obs_built.1),
+        "{mech}: run_stream_observed"
+    );
+
+    // run_des / run_des_stream / run_des_observed
+    let des_built = json(
+        &Run::new(mech)
+            .config(cfg)
+            .des(des)
+            .execute(&trace)
+            .into_des(),
+    );
+    assert_eq!(
+        json(&run_des(&mut make(), &trace, cfg, &des)),
+        des_built,
+        "{mech}: run_des"
+    );
+    assert_eq!(
+        json(&run_des_stream(
+            &mut make(),
+            &mut gen::stream(APP, &gc),
+            cfg,
+            &des
+        )),
+        des_built,
+        "{mech}: run_des_stream"
+    );
+    let des_obs_built = Run::new(mech)
+        .config(cfg)
+        .des(des)
+        .observed_ring(RING)
+        .execute(&trace)
+        .into_des_observed();
+    let got = run_des_observed(&mut make(), &trace, cfg, &des, RING);
+    assert_eq!(
+        json(&got.0),
+        json(&des_obs_built.0),
+        "{mech}: run_des_observed"
+    );
+    assert_eq!(
+        json(&got.1),
+        json(&des_obs_built.1),
+        "{mech}: run_des_observed"
+    );
+}
+
+#[test]
+fn engine_generic_wrappers_match_the_builder() {
+    let cfg = SimConfig::study(1024);
+    check_engine_generic(Mechanism::Utlb, || UtlbEngine::new(cfg.utlb_config()), &cfg);
+    check_engine_generic(
+        Mechanism::PerProc,
+        || PerProcessEngine::new(cfg.perproc_config()),
+        &cfg,
+    );
+    check_engine_generic(
+        Mechanism::Indexed,
+        || IndexedEngine::new(cfg.indexed_config()),
+        &cfg,
+    );
+    check_engine_generic(Mechanism::Intr, || IntrEngine::new(cfg.intr_config()), &cfg);
+}
+
+#[test]
+fn mechanism_dispatch_wrappers_match_the_builder() {
+    let trace = tiny();
+    let cfg = SimConfig::study(1024);
+    let gc = gen_config();
+    let des = DesConfig::zero_contention();
+    for mech in Mechanism::ALL {
+        let built = json(&Run::new(mech).config(&cfg).execute(&trace).into_sim());
+        assert_eq!(
+            json(&run_mechanism(mech, &trace, &cfg)),
+            built,
+            "{mech}: run_mechanism"
+        );
+        assert_eq!(
+            json(&run_stream_mechanism(
+                mech,
+                &mut gen::stream(APP, &gc),
+                &cfg
+            )),
+            built,
+            "{mech}: run_stream_mechanism"
+        );
+
+        let obs_built = Run::new(mech)
+            .config(&cfg)
+            .observed_ring(RING)
+            .execute(&trace)
+            .into_observed();
+        let got = run_mechanism_observed(mech, &trace, &cfg, RING);
+        assert_eq!(json(&got.0), json(&obs_built.0), "{mech}");
+        assert_eq!(json(&got.1), json(&obs_built.1), "{mech}");
+
+        let des_built = json(
+            &Run::new(mech)
+                .config(&cfg)
+                .des(des)
+                .execute(&trace)
+                .into_des(),
+        );
+        assert_eq!(
+            json(&run_des_mechanism(mech, &trace, &cfg, &des)),
+            des_built,
+            "{mech}: run_des_mechanism"
+        );
+    }
+}
+
+#[test]
+fn named_shortcuts_match_the_builder() {
+    let trace = tiny();
+    let cfg = SimConfig::study(1024);
+    let utlb = json(
+        &Run::new(Mechanism::Utlb)
+            .config(&cfg)
+            .execute(&trace)
+            .into_sim(),
+    );
+    assert_eq!(json(&run_utlb(&trace, &cfg)), utlb);
+    let intr = json(
+        &Run::new(Mechanism::Intr)
+            .config(&cfg)
+            .execute(&trace)
+            .into_sim(),
+    );
+    assert_eq!(json(&run_intr(&trace, &cfg)), intr);
+}

@@ -8,6 +8,10 @@
 //! methods, no trait involved — and require the refactored runners to
 //! produce byte-identical JSON.
 
+// The deprecated entry points are this suite's subject: they must keep
+// producing the byte-identical results the builder produces.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use utlb_core::{
     CacheStats, IndexedEngine, IntrEngine, LookupBatch, OutcomeBuf, PerProcessEngine,

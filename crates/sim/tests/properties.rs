@@ -1,5 +1,9 @@
 //! Property-based tests of the simulation layer.
 
+// Exercises the deprecated wrappers on purpose — they must stay faithful
+// to the builder until removed.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use utlb_mem::{ProcessId, VirtPage};
 use utlb_sim::{run_intr, run_utlb, MissClassifier, MissKind, SimConfig};

@@ -47,6 +47,7 @@ pub mod gen;
 mod io;
 mod merge;
 mod record;
+mod shard;
 mod stream;
 mod synth;
 
@@ -54,5 +55,6 @@ pub use apps::{AppSpec, SplashApp};
 pub use io::{read_jsonl, write_jsonl};
 pub use merge::{merge_streams, merge_trace_streams, MergedStream};
 pub use record::{merge_multiprogram, Op, Trace, TraceRecord};
+pub use shard::{shard_trace, ShardMap};
 pub use stream::{fill_chunk, Looped, TraceStream, TraceView};
 pub use synth::{GenConfig, PatternBuilder, ProcessStream};

@@ -1,0 +1,213 @@
+//! Per-process sharding of a multiprogrammed trace across NIC boards.
+//!
+//! The paper's evaluation stops at one NIC shared by a handful of
+//! processes (§6); the cluster extension (`utlb-sim::cluster`) spreads a
+//! merged multiprogrammed stream over many simulated boards. A [`ShardMap`]
+//! is the placement function for that topology: every process id is homed
+//! on exactly one board, and a board serves exactly the lookups of its
+//! resident processes. The map is a plain table (not a hash of the pid) so
+//! that mid-trace migration can rehome a process without touching the
+//! others.
+
+use crate::{Trace, TraceRecord};
+use std::collections::BTreeMap;
+use utlb_mem::ProcessId;
+
+/// A placement of process ids onto `nodes` boards (0-based board indices).
+///
+/// Deterministic by construction: the table iterates in pid order, so two
+/// maps built from the same assignments compare and enumerate identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    nodes: usize,
+    home: BTreeMap<u32, usize>,
+}
+
+impl ShardMap {
+    /// An empty map over `nodes` boards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one board");
+        ShardMap {
+            nodes,
+            home: BTreeMap::new(),
+        }
+    }
+
+    /// The canonical placement: pids in ascending order dealt round-robin
+    /// across boards (pid rank `i` lands on board `i % nodes`), so load
+    /// spreads evenly regardless of how dense or sparse the pid space is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn round_robin(pids: &[ProcessId], nodes: usize) -> Self {
+        let mut sorted: Vec<ProcessId> = pids.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        let mut map = ShardMap::new(nodes);
+        for (rank, pid) in sorted.iter().enumerate() {
+            map.assign(*pid, rank % nodes);
+        }
+        map
+    }
+
+    /// Homes `pid` on `board`, replacing any previous assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `board` is out of range.
+    pub fn assign(&mut self, pid: ProcessId, board: usize) {
+        assert!(
+            board < self.nodes,
+            "board {board} out of range for {} nodes",
+            self.nodes
+        );
+        self.home.insert(pid.raw(), board);
+    }
+
+    /// The board `pid` is homed on, if assigned.
+    pub fn board_of(&self, pid: ProcessId) -> Option<usize> {
+        self.home.get(&pid.raw()).copied()
+    }
+
+    /// Number of boards in the topology.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of assigned processes.
+    pub fn len(&self) -> usize {
+        self.home.len()
+    }
+
+    /// Whether no process has been assigned yet.
+    pub fn is_empty(&self) -> bool {
+        self.home.is_empty()
+    }
+
+    /// The processes homed on `board`, in ascending pid order.
+    pub fn pids_on(&self, board: usize) -> Vec<ProcessId> {
+        self.home
+            .iter()
+            .filter(|(_, b)| **b == board)
+            .map(|(pid, _)| ProcessId::new(*pid))
+            .collect()
+    }
+
+    /// All assigned processes in ascending pid order.
+    pub fn pids(&self) -> Vec<ProcessId> {
+        self.home.keys().map(|p| ProcessId::new(*p)).collect()
+    }
+}
+
+/// Splits a merged trace into one sub-trace per board, preserving record
+/// order within each shard. Records of unassigned pids are dropped; the
+/// shard of board `b` is named `"<workload>@board<b>"`.
+///
+/// The cluster runner itself replays the *merged* stream in global order
+/// (shared stations need one admission order); this per-board split is the
+/// reference decomposition tests check board-local behavior against.
+pub fn shard_trace(trace: &Trace, map: &ShardMap) -> Vec<Trace> {
+    let mut shards: Vec<Vec<TraceRecord>> = vec![Vec::new(); map.nodes()];
+    for r in &trace.records {
+        if let Some(board) = map.board_of(r.pid) {
+            shards[board].push(*r);
+        }
+    }
+    shards
+        .into_iter()
+        .enumerate()
+        .map(|(b, records)| Trace::new(format!("{}@board{b}", trace.workload), trace.seed, records))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::send_page;
+
+    fn pid(n: u32) -> ProcessId {
+        ProcessId::new(n)
+    }
+
+    #[test]
+    fn round_robin_deals_pids_in_order() {
+        let pids: Vec<ProcessId> = [3, 1, 2, 5, 1].iter().map(|n| pid(*n)).collect();
+        let map = ShardMap::round_robin(&pids, 2);
+        // Sorted + deduped: 1, 2, 3, 5 → boards 0, 1, 0, 1.
+        assert_eq!(map.nodes(), 2);
+        assert_eq!(map.len(), 4);
+        assert_eq!(map.board_of(pid(1)), Some(0));
+        assert_eq!(map.board_of(pid(2)), Some(1));
+        assert_eq!(map.board_of(pid(3)), Some(0));
+        assert_eq!(map.board_of(pid(5)), Some(1));
+        assert_eq!(map.board_of(pid(4)), None);
+        assert_eq!(map.pids_on(0), vec![pid(1), pid(3)]);
+        assert_eq!(map.pids_on(1), vec![pid(2), pid(5)]);
+    }
+
+    #[test]
+    fn more_boards_than_pids_leaves_empty_boards() {
+        let map = ShardMap::round_robin(&[pid(1), pid(2)], 4);
+        assert_eq!(map.pids_on(0), vec![pid(1)]);
+        assert_eq!(map.pids_on(1), vec![pid(2)]);
+        assert!(map.pids_on(2).is_empty());
+        assert!(map.pids_on(3).is_empty());
+    }
+
+    #[test]
+    fn assign_rehomes_a_pid() {
+        let mut map = ShardMap::round_robin(&[pid(1), pid(2)], 2);
+        map.assign(pid(1), 1);
+        assert_eq!(map.board_of(pid(1)), Some(1));
+        assert_eq!(map.pids_on(0), Vec::<ProcessId>::new());
+        assert_eq!(map.pids_on(1), vec![pid(1), pid(2)]);
+        assert_eq!(map.len(), 2, "rehoming is not a second assignment");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_board_panics() {
+        ShardMap::new(2).assign(pid(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one board")]
+    fn zero_node_map_panics() {
+        ShardMap::new(0);
+    }
+
+    #[test]
+    fn shard_trace_partitions_and_preserves_order() {
+        let t = Trace::new(
+            "mp",
+            7,
+            vec![
+                send_page(0, pid(1), 10),
+                send_page(5, pid(2), 20),
+                send_page(9, pid(1), 11),
+                send_page(12, pid(3), 30),
+            ],
+        );
+        let map = ShardMap::round_robin(&t.process_ids(), 2);
+        let shards = shard_trace(&t, &map);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].workload, "mp@board0");
+        // Board 0 homes pids 1 and 3; board 1 homes pid 2.
+        assert_eq!(
+            shards[0].records,
+            vec![
+                send_page(0, pid(1), 10),
+                send_page(9, pid(1), 11),
+                send_page(12, pid(3), 30),
+            ]
+        );
+        assert_eq!(shards[1].records, vec![send_page(5, pid(2), 20)]);
+        let total: usize = shards.iter().map(|s| s.records.len()).sum();
+        assert_eq!(total, t.records.len(), "partition loses nothing");
+    }
+}

@@ -10,7 +10,7 @@
 //! cargo run --release --example multiprogramming [cache_entries] [scale]
 //! ```
 
-use utlb_sim::{run_utlb, SimConfig};
+use utlb_sim::{Mechanism, Run, SimConfig};
 use utlb_trace::{gen, merge_multiprogram, GenConfig, SplashApp};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -40,10 +40,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..SimConfig::study(entries)
         };
 
-        let alone_a = run_utlb(&ta, &offset_cfg).stats.ni_miss_rate();
-        let alone_b = run_utlb(&tb, &offset_cfg).stats.ni_miss_rate();
-        let shared = run_utlb(&merged, &offset_cfg);
-        let shared_nh = run_utlb(&merged, &nohash_cfg);
+        let alone_a = Run::new(Mechanism::Utlb)
+            .config(&offset_cfg)
+            .execute(&ta)
+            .into_sim()
+            .stats
+            .ni_miss_rate();
+        let alone_b = Run::new(Mechanism::Utlb)
+            .config(&offset_cfg)
+            .execute(&tb)
+            .into_sim()
+            .stats
+            .ni_miss_rate();
+        let shared = Run::new(Mechanism::Utlb)
+            .config(&offset_cfg)
+            .execute(&merged)
+            .into_sim();
+        let shared_nh = Run::new(Mechanism::Utlb)
+            .config(&nohash_cfg)
+            .execute(&merged)
+            .into_sim();
 
         let a_pids: Vec<u32> = (1..=a_procs).collect();
         let b_pids: Vec<u32> = (a_procs + 1..=a_procs + b_procs).collect();

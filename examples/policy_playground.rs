@@ -12,7 +12,7 @@
 //! ```
 
 use utlb_core::Policy;
-use utlb_sim::{run_utlb, SimConfig};
+use utlb_sim::{Mechanism, Run, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 mem_limit_pages: Some(limit),
                 ..SimConfig::study(8192)
             };
-            let r = run_utlb(&trace, &sim);
+            let r = Run::new(Mechanism::Utlb)
+                .config(&sim)
+                .execute(&trace)
+                .into_sim();
             let cost = r.utlb_lookup_cost(&sim);
             println!(
                 "{:<10}{:>12.3}{:>12.3}{:>14.3}{:>12.1}",

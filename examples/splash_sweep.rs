@@ -9,7 +9,7 @@
 //! cargo run --release --example splash_sweep [cache_entries] [scale]
 //! ```
 
-use utlb_sim::{run_intr, run_utlb, SimConfig};
+use utlb_sim::{Mechanism, Run, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,8 +31,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for app in SplashApp::ALL {
         let trace = gen::generate(app, &gen_cfg);
-        let u = run_utlb(&trace, &sim);
-        let i = run_intr(&trace, &sim);
+        let u = Run::new(Mechanism::Utlb)
+            .config(&sim)
+            .execute(&trace)
+            .into_sim();
+        let i = Run::new(Mechanism::Intr)
+            .config(&sim)
+            .execute(&trace)
+            .into_sim();
         println!(
             "{:<15}{:>9}{:>9}  |{:>9.2}{:>9.2}{:>9.1}  |{:>9.2}{:>9.1}",
             app.to_string(),

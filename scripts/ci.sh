@@ -9,8 +9,8 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "== cargo clippy (-D warnings)"
-cargo clippy -q --offline --workspace --all-targets -- -D warnings
+echo "== cargo clippy (-D warnings, -D deprecated: in-repo code stays off the legacy run_* shims)"
+cargo clippy -q --offline --workspace --all-targets -- -D warnings -D deprecated
 
 echo "== tier-1: cargo build --release && cargo test"
 cargo build --release --offline
@@ -55,6 +55,20 @@ cargo test -q --offline -p utlb-trace synth::
 
 echo "== streaming: bounded-memory scale run (small epoch count)"
 UTLB_STREAM_EPOCHS=40 cargo run -q --release --offline -p utlb-bench --bin stream_scale
+
+echo "== builder: byte-identity of the Run builder vs all 13 legacy entry points"
+cargo test -q --offline -p utlb-sim --test builder_equivalence
+cargo test -q --offline -p utlb-sim run::
+
+echo "== cluster: 1-board bit-exactness, determinism, migration proptest"
+cargo test -q --offline -p utlb-sim --test cluster
+cargo test -q --offline -p utlb-sim cluster::
+
+echo "== cluster: capped-axis scaling run (full axis reserved for the archive)"
+UTLB_CLUSTER_NODES=8 cargo run -q --release --offline -p utlb-bench --bin cluster -- --scale 0.1
+
+echo "== cluster: 1-vs-8-board replay bench smoke"
+cargo bench -q --offline -p utlb-bench --bench cluster_replay -- --test
 
 echo "== DES: replay overhead bench"
 cargo bench -q --offline -p utlb-bench --bench des_replay

@@ -5,7 +5,7 @@
 //! the suite stays fast; the bench binaries run the full scale).
 
 use utlb_sim::experiments::{self, CACHE_SIZES};
-use utlb_sim::{run_intr, run_utlb, SimConfig};
+use utlb_sim::{Mechanism, Run, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp};
 
 fn cfg() -> GenConfig {
@@ -25,8 +25,14 @@ fn conclusion_1_fewer_misses_and_no_interrupts() {
     for app in SplashApp::ALL {
         let trace = gen::generate(app, &cfg());
         let sim = SimConfig::study(1024);
-        let u = run_utlb(&trace, &sim);
-        let i = run_intr(&trace, &sim);
+        let u = Run::new(Mechanism::Utlb)
+            .config(&sim)
+            .execute(&trace)
+            .into_sim();
+        let i = Run::new(Mechanism::Intr)
+            .config(&sim)
+            .execute(&trace)
+            .into_sim();
         assert!(
             u.stats.check_miss_rate() <= u.stats.ni_miss_rate() + 1e-9,
             "{app}"
@@ -58,10 +64,26 @@ fn conclusion_2_utlb_less_size_sensitive() {
         let trace = gen::generate(app, &cfg());
         let small = SimConfig::study(CACHE_SIZES[0]);
         let big = SimConfig::study(CACHE_SIZES[4]);
-        let u_small = run_utlb(&trace, &small).utlb_lookup_cost(&small);
-        let u_big = run_utlb(&trace, &big).utlb_lookup_cost(&big);
-        let i_small = run_intr(&trace, &small).intr_lookup_cost(&small);
-        let i_big = run_intr(&trace, &big).intr_lookup_cost(&big);
+        let u_small = Run::new(Mechanism::Utlb)
+            .config(&small)
+            .execute(&trace)
+            .into_sim()
+            .utlb_lookup_cost(&small);
+        let u_big = Run::new(Mechanism::Utlb)
+            .config(&big)
+            .execute(&trace)
+            .into_sim()
+            .utlb_lookup_cost(&big);
+        let i_small = Run::new(Mechanism::Intr)
+            .config(&small)
+            .execute(&trace)
+            .into_sim()
+            .intr_lookup_cost(&small);
+        let i_big = Run::new(Mechanism::Intr)
+            .config(&big)
+            .execute(&trace)
+            .into_sim()
+            .intr_lookup_cost(&big);
         utlb_growth += u_small / u_big;
         intr_growth += i_small / i_big;
     }

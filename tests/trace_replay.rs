@@ -5,7 +5,7 @@
 //! simulator, and check the two views agree where they must.
 
 use utlb_mem::{VirtAddr, PAGE_SIZE};
-use utlb_sim::{run_utlb, SimConfig};
+use utlb_sim::{Mechanism, Run, SimConfig};
 use utlb_vmmc::Cluster;
 
 /// Drives a small producer/consumer workload on a live cluster and returns
@@ -44,7 +44,10 @@ fn live_trace_replays_consistently_through_the_simulator() {
     assert_eq!(trace.footprint_pages(), 8);
 
     let sim = SimConfig::study(8192); // same default geometry as the cluster
-    let replay = run_utlb(&trace, &sim);
+    let replay = Run::new(Mechanism::Utlb)
+        .config(&sim)
+        .execute(&trace)
+        .into_sim();
 
     // The simulator accounts exactly the traced requests.
     assert_eq!(replay.stats.lookups, trace.total_lookups());
@@ -70,7 +73,13 @@ fn live_trace_round_trips_through_jsonl() {
     assert_eq!(trace, back);
     // And the deserialized trace drives the simulator identically.
     let sim = SimConfig::study(1024);
-    let a = run_utlb(&trace, &sim);
-    let b = run_utlb(&back, &sim);
+    let a = Run::new(Mechanism::Utlb)
+        .config(&sim)
+        .execute(&trace)
+        .into_sim();
+    let b = Run::new(Mechanism::Utlb)
+        .config(&sim)
+        .execute(&back)
+        .into_sim();
     assert_eq!(a.stats, b.stats);
 }
