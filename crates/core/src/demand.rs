@@ -57,14 +57,18 @@ impl PageDemand {
                 self.dma_ns += ns;
                 self.dma_entries += entries;
             }
-            // Structural markers carry no cost; Wait events are produced by
-            // the contention runner itself, never consumed here.
+            // Structural markers carry no cost; Wait/Backpressure events are
+            // produced by the contention and request-plane runners
+            // themselves, never consumed here.
             Event::Lookup { .. }
             | Event::CheckMiss
             | Event::NiMiss
             | Event::Evict { .. }
             | Event::SwapIn
-            | Event::Wait { .. } => {}
+            | Event::Wait { .. }
+            | Event::Connect
+            | Event::Close
+            | Event::Backpressure { .. } => {}
         }
     }
 }

@@ -117,6 +117,19 @@ pub enum Event {
         /// Simulated nanoseconds of queueing delay (0 when uncontended).
         ns: u64,
     },
+    /// A request-plane peer completed its handshake and was registered
+    /// with the board (`utlb-sim::frontend`).
+    Connect,
+    /// A request-plane peer closed gracefully and was unregistered,
+    /// releasing its pinned pages.
+    Close,
+    /// A request stalled at the admission point because the connection's
+    /// credit window was exhausted — emitted by the request-plane front
+    /// end, one event per stalled admission.
+    Backpressure {
+        /// Simulated nanoseconds the request waited for a credit.
+        ns: u64,
+    },
 }
 
 impl Serialize for Event {
@@ -141,6 +154,9 @@ impl Serialize for Event {
                 "Wait",
                 vec![("resource", resource.to_value()), ("ns", Value::U64(ns))],
             ),
+            Event::Connect => ("Connect", Vec::new()),
+            Event::Close => ("Close", Vec::new()),
+            Event::Backpressure { ns } => ("Backpressure", vec![("ns", Value::U64(ns))]),
         };
         let mut obj = vec![("event".to_string(), Value::Str(kind.to_string()))];
         obj.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
@@ -187,6 +203,9 @@ impl Deserialize for Event {
                 resource: WaitResource::from_value(serde::field(obj, "resource", "Event")?)?,
                 ns: get("ns")?,
             }),
+            "Connect" => Ok(Event::Connect),
+            "Close" => Ok(Event::Close),
+            "Backpressure" => Ok(Event::Backpressure { ns: get("ns")? }),
             other => Err(DeError::custom(format!("Event: unknown tag `{other}`"))),
         }
     }
@@ -342,6 +361,31 @@ impl Histogram {
         self.max
     }
 
+    /// Approximate `q`-quantile in nanoseconds (`0.0 < q <= 1.0`), from the
+    /// log₂ buckets: the upper bound of the bucket holding the
+    /// `ceil(q · count)`-th sample, clamped to the observed `[min, max]`
+    /// range so p100 is exact and single-bucket histograms report exactly.
+    /// Returns 0 when empty. Deterministic: a pure function of the recorded
+    /// samples, so merged worker histograms report identical quantiles
+    /// regardless of merge order.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        // ceil(q * count) without floating-point edge surprises at q=1.0.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let hi = if b == 0 { 0 } else { (1u64 << b) - 1 };
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     /// `(lower_ns, upper_ns, count)` for each occupied bucket — the shape a
     /// textual or JSON rendering wants.
     pub fn occupied_buckets(&self) -> Vec<(u64, u64, u64)> {
@@ -389,6 +433,12 @@ pub struct EventCounts {
     /// [`Event::Wait`] events (one per station acquisition under the
     /// discrete-event runner, zero-delay acquisitions included).
     pub waits: u64,
+    /// [`Event::Connect`] events (request-plane handshakes completed).
+    pub connects: u64,
+    /// [`Event::Close`] events (request-plane graceful closes).
+    pub closes: u64,
+    /// [`Event::Backpressure`] events (credit-window admission stalls).
+    pub backpressure: u64,
 }
 
 /// The latency metrics registry: one histogram per charged phase plus the
@@ -422,6 +472,10 @@ pub struct Metrics {
     /// ([`WaitResource::HostMem`]) — populated only by the cluster runner,
     /// where pin work from many boards funnels through one station.
     pub host_mem_wait_ns: Histogram,
+    /// Credit-window admission stall latency ([`Event::Backpressure`]) —
+    /// populated only by the request-plane front end
+    /// (`utlb-sim::frontend`).
+    pub backpressure_ns: Histogram,
 }
 
 impl Metrics {
@@ -469,6 +523,12 @@ impl Metrics {
                     WaitResource::HostMem => self.host_mem_wait_ns.record(ns),
                 }
             }
+            Event::Connect => self.counts.connects += 1,
+            Event::Close => self.counts.closes += 1,
+            Event::Backpressure { ns } => {
+                self.counts.backpressure += 1;
+                self.backpressure_ns.record(ns);
+            }
         }
     }
 
@@ -498,6 +558,9 @@ impl Metrics {
         c.evictions += o.evictions;
         c.swap_ins += o.swap_ins;
         c.waits += o.waits;
+        c.connects += o.connects;
+        c.closes += o.closes;
+        c.backpressure += o.backpressure;
         self.lookup_ns.merge(&other.lookup_ns);
         self.pin_ns.merge(&other.pin_ns);
         self.unpin_ns.merge(&other.unpin_ns);
@@ -508,6 +571,7 @@ impl Metrics {
         self.bus_wait_ns.merge(&other.bus_wait_ns);
         self.intr_wait_ns.merge(&other.intr_wait_ns);
         self.host_mem_wait_ns.merge(&other.host_mem_wait_ns);
+        self.backpressure_ns.merge(&other.backpressure_ns);
     }
 
     /// Cross-checks the event-derived totals against an engine's own
@@ -742,6 +806,75 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        // 100 samples: 90 at 100 ns, 9 at 1000 ns, 1 at 100_000 ns.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..9 {
+            h.record(1000);
+        }
+        h.record(100_000);
+        // p50 and p90 land in the [64,127] bucket → upper bound 127.
+        assert_eq!(h.quantile_ns(0.5), 127);
+        assert_eq!(h.quantile_ns(0.9), 127);
+        // p99 lands in the [512,1023] bucket.
+        assert_eq!(h.quantile_ns(0.99), 1023);
+        // p99.9 and p100 hit the top sample's bucket, clamped to max.
+        assert_eq!(h.quantile_ns(0.999), 100_000);
+        assert_eq!(h.quantile_ns(1.0), 100_000);
+        // Quantiles clamp to [min, max]: a single-valued histogram reports
+        // the exact value at every quantile.
+        let mut single = Histogram::new();
+        single.record(300);
+        assert_eq!(single.quantile_ns(0.5), 300);
+        assert_eq!(single.quantile_ns(0.999), 300);
+        assert_eq!(Histogram::new().quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_survive_merge_in_any_order() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for ns in [10, 20, 5000] {
+            a.record(ns);
+        }
+        for ns in [15, 700_000] {
+            b.record(ns);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(ab.quantile_ns(q), ba.quantile_ns(q));
+        }
+    }
+
+    #[test]
+    fn frontend_events_route_and_merge() {
+        let mut m = Metrics::new();
+        m.record(Event::Connect);
+        m.record(Event::Connect);
+        m.record(Event::Close);
+        m.record(Event::Backpressure { ns: 4000 });
+        assert_eq!(m.counts.connects, 2);
+        assert_eq!(m.counts.closes, 1);
+        assert_eq!(m.counts.backpressure, 1);
+        assert_eq!(m.backpressure_ns.sum_ns(), 4000);
+        let mut other = Metrics::new();
+        other.record(Event::Backpressure { ns: 1000 });
+        other.record(Event::Close);
+        m.merge(&other);
+        assert_eq!(m.counts.backpressure, 2);
+        assert_eq!(m.counts.closes, 2);
+        assert_eq!(m.backpressure_ns.count(), 2);
+        // Frontend events do not perturb engine reconciliation.
+        assert!(m.reconcile(&TranslationStats::default()).is_empty());
+    }
+
+    #[test]
     fn histogram_merge_is_lossless() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();
@@ -926,6 +1059,9 @@ mod tests {
                 resource: WaitResource::HostMem,
                 ns: 312,
             },
+            Event::Connect,
+            Event::Close,
+            Event::Backpressure { ns: 777 },
         ];
         let json = serde_json::to_string(&events).unwrap();
         let back: Vec<Event> = serde_json::from_str(&json).unwrap();

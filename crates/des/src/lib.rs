@@ -32,10 +32,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod admission;
 mod event;
 pub mod models;
 mod resource;
 
+pub use admission::{Admission, AdmissionOutcome, AdmissionStats, CreditWindow};
 pub use event::{EventQueue, Scheduled};
 pub use models::{DesConfig, DmaEngineModel, IntrServiceModel, IoBusModel};
 pub use resource::{Capacity, Discipline, Grant, Resource, ResourceReport, ResourceStats};

@@ -35,9 +35,50 @@ pub struct ChannelConfig {
 }
 
 impl ChannelConfig {
-    /// Largest eager payload this configuration carries.
+    /// Largest eager payload this configuration carries: exactly
+    /// `slot_bytes - HEADER_BYTES`. A payload of this length still takes
+    /// the eager ring; one byte more switches to rendezvous.
+    ///
+    /// Saturates at 0 for a slot smaller than its own header — such a
+    /// config cannot carry *any* eager payload, and [`validate`] rejects
+    /// it before a channel is built, so the saturation is never a silent
+    /// misclassification on a live channel.
+    ///
+    /// [`validate`]: ChannelConfig::validate
     pub fn max_eager(&self) -> u64 {
-        self.slot_bytes - crate::ring::HEADER_BYTES
+        self.slot_bytes.saturating_sub(crate::ring::HEADER_BYTES)
+    }
+
+    /// Checks that the geometry can carry traffic at all. Called by
+    /// [`Fabric::connect`](crate::Fabric::connect), so every established
+    /// channel satisfies these invariants:
+    ///
+    /// * at least one ring slot,
+    /// * slots strictly larger than the slot header (otherwise
+    ///   [`max_eager`](ChannelConfig::max_eager) underflows to "nothing
+    ///   fits eagerly", silently forcing even 1-byte payloads through the
+    ///   rendezvous path),
+    /// * a bulk window no smaller than the eager maximum (otherwise the
+    ///   size check would reject payloads the ring could carry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MsgError::InvalidConfig`](crate::MsgError::InvalidConfig)
+    /// naming the violated invariant.
+    pub fn validate(&self) -> crate::Result<()> {
+        use crate::MsgError::InvalidConfig;
+        if self.slots == 0 {
+            return Err(InvalidConfig("ring needs at least one slot"));
+        }
+        if self.slot_bytes <= crate::ring::HEADER_BYTES {
+            return Err(InvalidConfig(
+                "slot_bytes must exceed the 16-byte slot header",
+            ));
+        }
+        if self.bulk_bytes < self.max_eager() {
+            return Err(InvalidConfig("bulk window smaller than the eager maximum"));
+        }
+        Ok(())
     }
 }
 
@@ -59,6 +100,10 @@ pub(crate) struct Endpoint {
     pub pid: ProcessId,
     /// Bump allocator for this endpoint's receive-side buffer placement.
     pub next_va: u64,
+    /// Reusable landing region for [`Fabric::recv`](crate::Fabric::recv):
+    /// base address and capacity. Allocated lazily and grown (never per
+    /// message), so the convenience path stops leaking address space.
+    pub recv_scratch: Option<(VirtAddr, u64)>,
 }
 
 /// Per-direction connection state (one of two halves of a channel).
@@ -153,6 +198,44 @@ mod tests {
         let c = ChannelConfig::default();
         assert_eq!(c.max_eager(), 1024 - 16);
         assert!(c.bulk_bytes > c.slot_bytes);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_configs_are_error_typed() {
+        use crate::MsgError;
+        let ok = ChannelConfig::default();
+        let no_slots = ChannelConfig { slots: 0, ..ok };
+        assert!(matches!(
+            no_slots.validate(),
+            Err(MsgError::InvalidConfig(_))
+        ));
+        // slot_bytes == header leaves zero eager bytes; smaller would
+        // underflow the subtraction — both must be typed errors, and
+        // max_eager must saturate instead of wrapping to ~u64::MAX
+        // (which would misclassify every payload as eager).
+        for slot_bytes in [0, 8, 16] {
+            let tiny = ChannelConfig { slot_bytes, ..ok };
+            assert_eq!(tiny.max_eager(), 0, "slot_bytes={slot_bytes}");
+            assert!(matches!(tiny.validate(), Err(MsgError::InvalidConfig(_))));
+        }
+        assert_eq!(
+            ChannelConfig {
+                slot_bytes: 17,
+                bulk_bytes: 17,
+                ..ok
+            }
+            .max_eager(),
+            1
+        );
+        let narrow_bulk = ChannelConfig {
+            bulk_bytes: 100,
+            ..ok
+        };
+        assert!(matches!(
+            narrow_bulk.validate(),
+            Err(MsgError::InvalidConfig(_))
+        ));
     }
 
     #[test]

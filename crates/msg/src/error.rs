@@ -29,6 +29,11 @@ pub enum MsgError {
     WouldBlock,
     /// A rendezvous handshake step arrived out of order.
     ProtocolViolation(&'static str),
+    /// A [`ChannelConfig`](crate::ChannelConfig) describes a ring that
+    /// cannot work (e.g. slots smaller than the slot header).
+    InvalidConfig(&'static str),
+    /// A request-plane frame failed to decode.
+    BadFrame(&'static str),
     /// Underlying VMMC failure.
     Vmmc(utlb_vmmc::VmmcError),
 }
@@ -46,6 +51,8 @@ impl fmt::Display for MsgError {
             }
             MsgError::WouldBlock => write!(f, "no message available"),
             MsgError::ProtocolViolation(what) => write!(f, "protocol violation: {what}"),
+            MsgError::InvalidConfig(what) => write!(f, "invalid channel config: {what}"),
+            MsgError::BadFrame(what) => write!(f, "bad frame: {what}"),
             MsgError::Vmmc(e) => write!(f, "vmmc error: {e}"),
         }
     }

@@ -12,6 +12,52 @@ use utlb_vmmc::{Cluster, ImportId};
 /// application buffers live below it).
 const FABRIC_BASE: u64 = 0x8000_0000;
 
+/// A caller-owned reusable receive buffer for
+/// [`Fabric::recv_reuse`] — the messaging analogue of the lookup path's
+/// `OutcomeBuf`: one simulated landing region plus one byte `Vec`, both
+/// kept across messages so a steady-state receive loop allocates nothing
+/// per message (neither host memory nor simulated address space).
+///
+/// A buffer is bound to the first endpoint it receives for and rebinds
+/// (with a fresh region) if used with a different one; the common pattern
+/// is one `RecvBuf` per receiving endpoint.
+#[derive(Debug, Default)]
+pub struct RecvBuf {
+    /// Landing region: owning endpoint, base address, capacity.
+    region: Option<(EndpointId, VirtAddr, u64)>,
+    /// The last received payload.
+    bytes: Vec<u8>,
+}
+
+impl RecvBuf {
+    /// An empty buffer; the landing region is allocated on first use.
+    pub fn new() -> Self {
+        RecvBuf::default()
+    }
+
+    /// The last received payload.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Length of the last received payload, in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the last received payload was empty (or nothing was
+    /// received yet).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Base address of the simulated landing region, if one is allocated —
+    /// useful for asserting reuse in tests.
+    pub fn region_base(&self) -> Option<VirtAddr> {
+        self.region.map(|(_, base, _)| base)
+    }
+}
+
 /// The messaging fabric.
 ///
 /// Owns the [`Cluster`] and drives both endpoints of every channel — the
@@ -58,6 +104,7 @@ impl Fabric {
             node,
             pid,
             next_va: FABRIC_BASE,
+            recv_scratch: None,
         });
         Ok(EndpointId(self.endpoints.len() as u32 - 1))
     }
@@ -139,13 +186,16 @@ impl Fabric {
     ///
     /// # Errors
     ///
-    /// Propagates export/import failures.
+    /// Returns [`MsgError::InvalidConfig`] for a ring geometry that cannot
+    /// carry traffic (see [`ChannelConfig::validate`]) and propagates
+    /// export/import failures.
     pub fn connect(
         &mut self,
         a: EndpointId,
         b: EndpointId,
         cfg: ChannelConfig,
     ) -> Result<ChannelId> {
+        cfg.validate()?;
         let ab = self.build_direction(a, b, cfg)?;
         let ba = self.build_direction(b, a, cfg)?;
         let id = ChannelId(self.next_channel);
@@ -294,22 +344,77 @@ impl Fabric {
         Ok(())
     }
 
+    /// Grows (or lazily allocates) `to`'s reusable receive-scratch region
+    /// to hold at least `len` bytes, returning its base address.
+    fn recv_scratch(&mut self, to: EndpointId, len: u64) -> Result<VirtAddr> {
+        if let Some((va, cap)) = self.endpoint(to)?.recv_scratch {
+            if cap >= len {
+                return Ok(va);
+            }
+        }
+        let cap = len.max(PAGE_SIZE);
+        let va = self.alloc_va(to, cap)?;
+        self.endpoints[to.0 as usize].recv_scratch = Some((va, cap));
+        Ok(va)
+    }
+
     /// Receives the next message on `channel` for endpoint `to`, into a
-    /// fresh buffer.
+    /// fresh `Vec`.
+    ///
+    /// Convenience path: the payload lands in a per-endpoint scratch region
+    /// (reused across calls, not leaked per message) and is then copied
+    /// out. Hot paths should hold a [`RecvBuf`] and call
+    /// [`recv_reuse`](Fabric::recv_reuse), or go straight to
+    /// [`recv_into`](Fabric::recv_into).
     ///
     /// # Errors
     ///
     /// Returns [`MsgError::WouldBlock`] if no message is pending.
     pub fn recv(&mut self, channel: ChannelId, to: EndpointId) -> Result<Vec<u8>> {
-        // Rendezvous payloads land in a fabric-allocated buffer.
         let probe = self.peek_len(channel, to)?;
-        let target = self.alloc_va(to, probe.max(1))?;
+        let target = self.recv_scratch(to, probe.max(1))?;
         let n = self.recv_into(channel, to, target, probe)?;
         let dst = self.endpoint(to)?;
         let mut buf = vec![0u8; n as usize];
         self.cluster
             .read_local(dst.node, dst.pid, target, &mut buf)?;
         Ok(buf)
+    }
+
+    /// Receives the next message into a caller-owned [`RecvBuf`], reusing
+    /// both its simulated landing region and its byte buffer — the
+    /// allocation-free analogue of `OutcomeBuf` on the lookup path.
+    /// Returns the message length; the payload is in
+    /// [`RecvBuf::as_slice`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MsgError::WouldBlock`] if no message is pending.
+    pub fn recv_reuse(
+        &mut self,
+        channel: ChannelId,
+        to: EndpointId,
+        buf: &mut RecvBuf,
+    ) -> Result<u64> {
+        let len = self.peek_len(channel, to)?;
+        let base = match buf.region {
+            Some((ep, base, cap)) if ep == to && cap >= len.max(1) => base,
+            _ => {
+                // First use, a different endpoint, or a message larger than
+                // the region: (re)allocate, then reuse until outgrown.
+                let cap = len.max(PAGE_SIZE);
+                let base = self.alloc_va(to, cap)?;
+                buf.region = Some((to, base, cap));
+                base
+            }
+        };
+        let n = self.recv_into(channel, to, base, len)?;
+        let dst = self.endpoint(to)?;
+        buf.bytes.clear();
+        buf.bytes.resize(n as usize, 0);
+        self.cluster
+            .read_local(dst.node, dst.pid, base, &mut buf.bytes)?;
+        Ok(n)
     }
 
     /// Length of the next pending message, without consuming it.
@@ -548,6 +653,114 @@ mod tests {
             f.send(ChannelId(99), a, b"hi"),
             Err(MsgError::UnknownChannel(99))
         ));
+    }
+
+    #[test]
+    fn eager_rendezvous_switch_is_exact_at_max_eager() {
+        let (mut f, a, b, ch) = two_endpoint_fabric();
+        let max = ChannelConfig::default().max_eager();
+
+        // Exactly max_eager: stays on the eager path. Proof: a second send
+        // succeeds immediately — a rendezvous would leave `pending_large`
+        // set and fail it with ProtocolViolation.
+        let at_max = vec![0x11u8; max as usize];
+        f.send(ch, a, &at_max).unwrap();
+        f.send(ch, a, b"follow-up").unwrap();
+        assert_eq!(f.recv(ch, b).unwrap(), at_max);
+        assert_eq!(f.recv(ch, b).unwrap(), b"follow-up");
+
+        // One byte more: rendezvous. The same probe now fails.
+        let over_max = vec![0x22u8; max as usize + 1];
+        f.send(ch, a, &over_max).unwrap();
+        assert!(matches!(
+            f.send(ch, a, b"blocked"),
+            Err(MsgError::ProtocolViolation(_))
+        ));
+        assert_eq!(f.recv(ch, b).unwrap(), over_max);
+        f.send(ch, a, b"unblocked").unwrap();
+        assert_eq!(f.recv(ch, b).unwrap(), b"unblocked");
+    }
+
+    #[test]
+    fn zero_byte_payloads_roundtrip_eagerly() {
+        let (mut f, a, b, ch) = two_endpoint_fabric();
+        f.send(ch, a, b"").unwrap();
+        f.send(ch, a, b"after-empty").unwrap();
+        assert_eq!(f.recv(ch, b).unwrap(), b"");
+        assert_eq!(f.recv(ch, b).unwrap(), b"after-empty");
+        // Zero-byte also works through the zero-copy and reuse paths.
+        f.send(ch, b, b"").unwrap();
+        assert_eq!(
+            f.recv_into(ch, a, VirtAddr::new(0x2000_0000), 0).unwrap(),
+            0
+        );
+        f.send(ch, b, b"").unwrap();
+        let mut buf = RecvBuf::new();
+        assert_eq!(f.recv_reuse(ch, a, &mut buf).unwrap(), 0);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn degenerate_ring_geometry_cannot_connect() {
+        let mut f = Fabric::new(Cluster::new(2).unwrap());
+        let a = f.add_endpoint(0).unwrap();
+        let b = f.add_endpoint(1).unwrap();
+        let bad = ChannelConfig {
+            slot_bytes: 16, // no room for any payload after the header
+            ..ChannelConfig::default()
+        };
+        assert!(matches!(
+            f.connect(a, b, bad),
+            Err(MsgError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn recv_reuse_keeps_one_region_and_buffer_across_messages() {
+        let (mut f, a, b, ch) = two_endpoint_fabric();
+        let mut buf = RecvBuf::new();
+        f.send(ch, a, b"first").unwrap();
+        f.recv_reuse(ch, b, &mut buf).unwrap();
+        assert_eq!(buf.as_slice(), b"first");
+        let base = buf.region_base().expect("region allocated");
+        let cap = buf.bytes.capacity();
+        for i in 0..20u8 {
+            f.send(ch, a, &[i; 5]).unwrap();
+            let n = f.recv_reuse(ch, b, &mut buf).unwrap();
+            assert_eq!(n, 5);
+            assert_eq!(buf.as_slice(), &[i; 5]);
+            assert_eq!(buf.region_base(), Some(base), "region is reused");
+            assert_eq!(buf.bytes.capacity(), cap, "byte buffer is reused");
+        }
+        // A message larger than the region grows it once …
+        let big = vec![0x5Au8; 20_000];
+        f.send(ch, a, &big).unwrap();
+        f.recv_reuse(ch, b, &mut buf).unwrap();
+        assert_eq!(buf.as_slice(), &big[..]);
+        let grown = buf.region_base().unwrap();
+        assert_ne!(grown, base);
+        // … and small messages keep reusing the grown region.
+        f.send(ch, a, b"small again").unwrap();
+        f.recv_reuse(ch, b, &mut buf).unwrap();
+        assert_eq!(buf.region_base(), Some(grown));
+    }
+
+    #[test]
+    fn recv_scratch_region_is_reused_not_leaked() {
+        let (mut f, a, b, ch) = two_endpoint_fabric();
+        // Warm up: the first recv allocates the scratch region.
+        f.send(ch, a, b"warm").unwrap();
+        f.recv(ch, b).unwrap();
+        let va_after_warmup = f.endpoint(b).unwrap().next_va;
+        for _ in 0..50 {
+            f.send(ch, a, b"steady").unwrap();
+            f.recv(ch, b).unwrap();
+        }
+        assert_eq!(
+            f.endpoint(b).unwrap().next_va,
+            va_after_warmup,
+            "steady-state recv must not bump-allocate address space"
+        );
     }
 
     #[test]

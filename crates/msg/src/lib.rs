@@ -46,11 +46,13 @@
 mod channel;
 mod error;
 mod fabric;
+pub mod proto;
 mod ring;
 
 pub use channel::{ChannelConfig, ChannelId, EndpointId};
 pub use error::MsgError;
-pub use fabric::Fabric;
+pub use fabric::{Fabric, RecvBuf};
+pub use proto::{Frame, FRAME_BYTES};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, MsgError>;

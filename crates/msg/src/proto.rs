@@ -1,0 +1,276 @@
+//! Wire vocabulary of the request plane (`utlb-sim::frontend`).
+//!
+//! Simulated peers talk to a board through fixed-size frames — the
+//! RDMA-verbs-shaped subset of operations the UTLB exists to serve:
+//! connection setup ([`Frame::Hello`]/[`Frame::Welcome`]), buffer export,
+//! remote stores and fetches against exported buffers
+//! ([`Frame::Store`]/[`Frame::Fetch`]), completions ([`Frame::Done`]),
+//! credit exhaustion ([`Frame::Busy`]), and graceful teardown
+//! ([`Frame::Bye`]/[`Frame::ByeAck`]).
+//!
+//! Frames are exactly [`FRAME_BYTES`] bytes — tag byte first, fields
+//! little-endian — and encode *into a caller-owned buffer*
+//! ([`Frame::encode_into`]), so a reactor moving millions of frames
+//! allocates nothing per message (the same discipline as the fabric's
+//! [`RecvBuf`](crate::RecvBuf) and the lookup path's `OutcomeBuf`). The
+//! codec is total and deterministic: every frame round-trips bit-exactly,
+//! and every malformed buffer decodes to a typed
+//! [`MsgError::BadFrame`].
+
+use crate::{MsgError, Result};
+
+/// Size of every encoded frame, in bytes.
+pub const FRAME_BYTES: usize = 32;
+
+/// One request-plane message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → board: open a connection and export a receive buffer of
+    /// `buffer_bytes` starting at the client's chosen base.
+    Hello {
+        /// Caller-chosen client identity (echoed for tracing).
+        client: u64,
+        /// Bytes of buffer the client exports on connect.
+        buffer_bytes: u64,
+    },
+    /// Board → client: connection accepted, registration done.
+    Welcome {
+        /// The connection id the board assigned.
+        conn: u32,
+        /// Credits in the client's send window.
+        credits: u32,
+    },
+    /// Client → board: remote store of `nbytes` at virtual address `va`
+    /// in the connection's exported buffer.
+    Store {
+        /// Client-assigned request sequence number.
+        seq: u64,
+        /// Target virtual address.
+        va: u64,
+        /// Transfer length in bytes.
+        nbytes: u64,
+    },
+    /// Client → board: remote fetch of `nbytes` from `va`.
+    Fetch {
+        /// Client-assigned request sequence number.
+        seq: u64,
+        /// Source virtual address.
+        va: u64,
+        /// Transfer length in bytes.
+        nbytes: u64,
+    },
+    /// Board → client: request `seq` completed, returning one credit.
+    Done {
+        /// The completed request.
+        seq: u64,
+        /// End-to-end simulated latency, arrival to completion.
+        latency_ns: u64,
+    },
+    /// Board → client: request `seq` was rejected — window and stall
+    /// queue both full. The credit is not consumed.
+    Busy {
+        /// The rejected request.
+        seq: u64,
+    },
+    /// Client → board: graceful close; no further requests follow.
+    Bye,
+    /// Board → client: close acknowledged, buffers unpinned.
+    ByeAck,
+}
+
+/// Frame tags (first byte of every encoding).
+mod tag {
+    pub const HELLO: u8 = 1;
+    pub const WELCOME: u8 = 2;
+    pub const STORE: u8 = 3;
+    pub const FETCH: u8 = 4;
+    pub const DONE: u8 = 5;
+    pub const BUSY: u8 = 6;
+    pub const BYE: u8 = 7;
+    pub const BYE_ACK: u8 = 8;
+}
+
+fn put_u64(out: &mut [u8; FRAME_BYTES], at: usize, v: u64) {
+    out[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes in frame"))
+}
+
+impl Frame {
+    /// Encodes into a caller-owned frame buffer (zeroing it first).
+    pub fn encode_into(&self, out: &mut [u8; FRAME_BYTES]) {
+        out.fill(0);
+        match *self {
+            Frame::Hello {
+                client,
+                buffer_bytes,
+            } => {
+                out[0] = tag::HELLO;
+                put_u64(out, 8, client);
+                put_u64(out, 16, buffer_bytes);
+            }
+            Frame::Welcome { conn, credits } => {
+                out[0] = tag::WELCOME;
+                out[8..12].copy_from_slice(&conn.to_le_bytes());
+                out[12..16].copy_from_slice(&credits.to_le_bytes());
+            }
+            Frame::Store { seq, va, nbytes } => {
+                out[0] = tag::STORE;
+                put_u64(out, 8, seq);
+                put_u64(out, 16, va);
+                put_u64(out, 24, nbytes);
+            }
+            Frame::Fetch { seq, va, nbytes } => {
+                out[0] = tag::FETCH;
+                put_u64(out, 8, seq);
+                put_u64(out, 16, va);
+                put_u64(out, 24, nbytes);
+            }
+            Frame::Done { seq, latency_ns } => {
+                out[0] = tag::DONE;
+                put_u64(out, 8, seq);
+                put_u64(out, 16, latency_ns);
+            }
+            Frame::Busy { seq } => {
+                out[0] = tag::BUSY;
+                put_u64(out, 8, seq);
+            }
+            Frame::Bye => out[0] = tag::BYE,
+            Frame::ByeAck => out[0] = tag::BYE_ACK,
+        }
+    }
+
+    /// Encodes into a fresh frame buffer (convenience; hot paths use
+    /// [`encode_into`](Frame::encode_into)).
+    pub fn encode(&self) -> [u8; FRAME_BYTES] {
+        let mut out = [0u8; FRAME_BYTES];
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MsgError::BadFrame`] for a buffer shorter than
+    /// [`FRAME_BYTES`] or an unknown tag.
+    pub fn decode(buf: &[u8]) -> Result<Frame> {
+        if buf.len() < FRAME_BYTES {
+            return Err(MsgError::BadFrame("frame shorter than FRAME_BYTES"));
+        }
+        Ok(match buf[0] {
+            tag::HELLO => Frame::Hello {
+                client: get_u64(buf, 8),
+                buffer_bytes: get_u64(buf, 16),
+            },
+            tag::WELCOME => Frame::Welcome {
+                conn: u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")),
+                credits: u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")),
+            },
+            tag::STORE => Frame::Store {
+                seq: get_u64(buf, 8),
+                va: get_u64(buf, 16),
+                nbytes: get_u64(buf, 24),
+            },
+            tag::FETCH => Frame::Fetch {
+                seq: get_u64(buf, 8),
+                va: get_u64(buf, 16),
+                nbytes: get_u64(buf, 24),
+            },
+            tag::DONE => Frame::Done {
+                seq: get_u64(buf, 8),
+                latency_ns: get_u64(buf, 16),
+            },
+            tag::BUSY => Frame::Busy {
+                seq: get_u64(buf, 8),
+            },
+            tag::BYE => Frame::Bye,
+            tag::BYE_ACK => Frame::ByeAck,
+            _ => return Err(MsgError::BadFrame("unknown frame tag")),
+        })
+    }
+
+    /// Whether this frame is a client-side request (vs. a board response).
+    pub fn is_request(&self) -> bool {
+        matches!(
+            self,
+            Frame::Hello { .. } | Frame::Store { .. } | Frame::Fetch { .. } | Frame::Bye
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                client: 0xDEAD_BEEF,
+                buffer_bytes: 1 << 20,
+            },
+            Frame::Welcome {
+                conn: 42,
+                credits: 8,
+            },
+            Frame::Store {
+                seq: 7,
+                va: 0x4000_1000,
+                nbytes: 8192,
+            },
+            Frame::Fetch {
+                seq: u64::MAX,
+                va: 0,
+                nbytes: 1,
+            },
+            Frame::Done {
+                seq: 7,
+                latency_ns: 56_000,
+            },
+            Frame::Busy { seq: 9 },
+            Frame::Bye,
+            Frame::ByeAck,
+        ]
+    }
+
+    #[test]
+    fn every_frame_roundtrips_bit_exactly() {
+        for f in all_frames() {
+            let enc = f.encode();
+            assert_eq!(Frame::decode(&enc).unwrap(), f, "{f:?}");
+            // encode_into agrees with encode and zeroes stale bytes.
+            let mut buf = [0xFFu8; FRAME_BYTES];
+            f.encode_into(&mut buf);
+            assert_eq!(buf, enc, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn request_response_split() {
+        assert!(Frame::Bye.is_request());
+        assert!(Frame::Store {
+            seq: 1,
+            va: 0,
+            nbytes: 1
+        }
+        .is_request());
+        assert!(!Frame::ByeAck.is_request());
+        assert!(!Frame::Busy { seq: 1 }.is_request());
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors() {
+        assert!(matches!(
+            Frame::decode(&[0u8; 8]),
+            Err(MsgError::BadFrame(_))
+        ));
+        let mut unknown = [0u8; FRAME_BYTES];
+        unknown[0] = 0xEE;
+        assert!(matches!(
+            Frame::decode(&unknown),
+            Err(MsgError::BadFrame(_))
+        ));
+    }
+}

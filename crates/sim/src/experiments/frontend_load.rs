@@ -1,0 +1,296 @@
+//! Extension: request-plane load axis — connections × offered load ×
+//! mechanism.
+//!
+//! The paper replays recorded traces; this driver measures the four
+//! mechanisms *serving live peers* through the `utlb_sim::frontend`
+//! request plane: connection churn, credit-window admission, and
+//! on-demand translation on one board. Two loads per connection count —
+//! think times well below and well above the service time — bracket the
+//! regimes where the credit window stalls requests and where it is idle.
+//!
+//! The connection axis runs to 10⁶, which is the experiment's real
+//! subject: mechanisms whose registration state is a board-lifetime SRAM
+//! allocation (§3.1 per-process tables, and the hierarchical UTLB's
+//! SRAM-resident top level) refuse almost the entire axis, while §3.2
+//! host-resident indexed tables and the interrupt baseline accept every
+//! connection — the capacity argument for shared, dynamically-backed
+//! translation state, made with connection counts instead of prose.
+//!
+//! Per-cell config uses small per-process tables (256 entries) so the
+//! SRAM cliff lands *inside* the axis rather than at its first point, and
+//! `open_window` connections at a time so a million-connection cell holds
+//! live state for only 256 of them.
+
+use crate::frontend::{FrontendConfig, FrontendResult};
+use crate::report::{micros, TextTable};
+use crate::sweep::sweep_over;
+use crate::{Live, Mechanism, Run, SimConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The connection axis of the full experiment.
+pub const FRONTEND_CONNS: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// Mean think times (ns) per connection: heavy load (well under the drain
+/// time, so the credit window saturates) and light load (well over it).
+pub const FRONTEND_LOADS: [u64; 2] = [500, 20_000];
+
+/// Connection count whose full UTLB-mechanism [`FrontendResult`] (latency
+/// histogram, admission counters) is archived as the detail point.
+pub const FRONTEND_DETAIL_CONNS: usize = 10_000;
+
+/// Per-process translation-table entries every cell runs with — small
+/// enough that the §3.1 SRAM cliff is visible inside the axis.
+const FRONTEND_TABLE_ENTRIES: usize = 256;
+
+/// The front-end shape shared by every cell of a sweep, archived in the
+/// JSON header. Deliberately excludes anything host-dependent (worker
+/// counts, wall time): the archive must be byte-identical on any machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrontendAxes {
+    /// The connection counts swept.
+    pub conns_axis: Vec<usize>,
+    /// The think times swept (ns).
+    pub think_axis: Vec<u64>,
+    /// Connections open simultaneously in every cell.
+    pub open_window: usize,
+    /// Requests each connection issues.
+    pub requests_per_conn: usize,
+    /// Per-connection credit window.
+    pub credit_window: usize,
+    /// Per-connection stall-queue depth.
+    pub queue_depth: usize,
+    /// Payload drain time charged per served request (ns).
+    pub drain_ns: u64,
+    /// NIC cache entries.
+    pub cache_entries: usize,
+    /// Per-process translation-table entries.
+    pub table_entries: usize,
+}
+
+/// One (mechanism, connections, think time) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrontendCell {
+    /// Serving mechanism.
+    pub mechanism: Mechanism,
+    /// Connections attempted.
+    pub connections: u64,
+    /// Mean think time between a connection's requests (ns).
+    pub think_ns: u64,
+    /// Connections the mechanism registered.
+    pub accepted: u64,
+    /// Connections refused at the handshake (board capacity).
+    pub refused: u64,
+    /// Requests offered by accepted connections.
+    pub offered: u64,
+    /// Requests admitted and translated.
+    pub served: u64,
+    /// Requests rejected by a full window + stall queue.
+    pub rejected: u64,
+    /// Requests that stalled for a credit before admission.
+    pub stalled: u64,
+    /// Total stall time charged (ns).
+    pub stall_ns: u64,
+    /// Served requests per second of simulated time.
+    pub throughput_rps: f64,
+    /// Median request latency (µs).
+    pub p50_us: f64,
+    /// 99th-percentile request latency (µs).
+    pub p99_us: f64,
+    /// 99.9th-percentile request latency (µs).
+    pub p999_us: f64,
+    /// Simulated service time (ns).
+    pub sim_time_ns: u64,
+}
+
+/// The request-plane load sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrontendLoad {
+    /// Front-end shape shared by all cells.
+    pub axes: FrontendAxes,
+    /// One cell per (connections, think, mechanism), axis-major.
+    pub cells: Vec<FrontendCell>,
+    /// Full result of the UTLB mechanism at [`FRONTEND_DETAIL_CONNS`] (or
+    /// the largest swept count below it) under heavy load, with the
+    /// complete latency histogram and admission counters.
+    pub detail: FrontendResult,
+}
+
+/// The per-cell front-end config of a sweep over `cache_entries`.
+fn cell_config(connections: usize, think_ns: u64) -> FrontendConfig {
+    FrontendConfig {
+        connections,
+        open_window: 256.min(connections),
+        requests_per_conn: 8,
+        credit_window: 4,
+        queue_depth: 8,
+        think_ns,
+        drain_ns: 4_000,
+        payload_bytes: 4096,
+        buffer_pages: 64,
+        seed: 0xF00D,
+    }
+}
+
+/// Runs the load sweep over `conns_axis` × [`FRONTEND_LOADS`] for all four
+/// mechanisms. Cells are independent simulations and fan out across the
+/// sweep pool; results are in axis order regardless of worker count, and
+/// nothing host-dependent enters the result (CI pins the JSON byte-
+/// identical across worker counts).
+pub fn frontend_load(cache_entries: usize, conns_axis: &[usize]) -> FrontendLoad {
+    assert!(!conns_axis.is_empty(), "need at least one connection count");
+    let sim = SimConfig {
+        table_entries: FRONTEND_TABLE_ENTRIES,
+        ..SimConfig::study(cache_entries)
+    };
+
+    let mut grid = Vec::new();
+    for &connections in conns_axis {
+        for &think_ns in &FRONTEND_LOADS {
+            for mech in Mechanism::ALL {
+                grid.push((connections, think_ns, mech));
+            }
+        }
+    }
+    let results = sweep_over(&grid, |&(connections, think_ns, mech)| {
+        Run::new(mech)
+            .config(&sim)
+            .frontend(cell_config(connections, think_ns))
+            .execute(Live)
+            .into_frontend()
+    });
+
+    let detail_conns = conns_axis
+        .iter()
+        .copied()
+        .filter(|c| *c <= FRONTEND_DETAIL_CONNS)
+        .max()
+        .unwrap_or(conns_axis[0]);
+    let mut detail = None;
+    let mut cells = Vec::with_capacity(grid.len());
+    for (&(connections, think_ns, mech), r) in grid.iter().zip(results) {
+        cells.push(FrontendCell {
+            mechanism: mech,
+            connections: connections as u64,
+            think_ns,
+            accepted: r.accepted,
+            refused: r.refused,
+            offered: r.offered,
+            served: r.served,
+            rejected: r.admission.rejected,
+            stalled: r.admission.stalled,
+            stall_ns: r.admission.stall_ns,
+            throughput_rps: r.throughput_rps(),
+            p50_us: r.p50_us(),
+            p99_us: r.p99_us(),
+            p999_us: r.p999_us(),
+            sim_time_ns: r.sim_time_ns,
+        });
+        if mech == Mechanism::Utlb && connections == detail_conns && think_ns == FRONTEND_LOADS[0] {
+            detail = Some(r);
+        }
+    }
+
+    FrontendLoad {
+        axes: FrontendAxes {
+            conns_axis: conns_axis.to_vec(),
+            think_axis: FRONTEND_LOADS.to_vec(),
+            open_window: 256,
+            requests_per_conn: 8,
+            credit_window: 4,
+            queue_depth: 8,
+            drain_ns: 4_000,
+            cache_entries,
+            table_entries: FRONTEND_TABLE_ENTRIES,
+        },
+        cells,
+        detail: detail.expect("detail connection count is on the axis"),
+    }
+}
+
+impl fmt::Display for FrontendLoad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(format!(
+            "Request-plane load: up to {} connections, {} open at a time ({} cache entries, {} table entries)",
+            self.axes.conns_axis.iter().max().unwrap_or(&0),
+            self.axes.open_window,
+            self.axes.cache_entries,
+            self.axes.table_entries,
+        ));
+        t.header([
+            "mech", "conns", "think ns", "accepted", "refused", "served", "busy", "stalled",
+            "req/s", "p50 µs", "p99 µs", "p999 µs",
+        ]);
+        for c in &self.cells {
+            t.row([
+                c.mechanism.to_string(),
+                c.connections.to_string(),
+                c.think_ns.to_string(),
+                c.accepted.to_string(),
+                c.refused.to_string(),
+                c.served.to_string(),
+                c.rejected.to_string(),
+                c.stalled.to_string(),
+                format!("{:.0}", c.throughput_rps),
+                micros(c.p50_us),
+                micros(c.p99_us),
+                micros(c.p999_us),
+            ]);
+        }
+        t.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_grid_and_separates_the_regimes() {
+        let s = frontend_load(512, &[64, 600]);
+        // 2 connection counts × 2 loads × 4 mechanisms.
+        assert_eq!(s.cells.len(), 16);
+        for c in &s.cells {
+            assert_eq!(c.accepted + c.refused, c.connections);
+            assert_eq!(c.offered, c.accepted * 8);
+            assert_eq!(c.offered, c.served + c.rejected);
+            if c.served > 0 {
+                assert!(c.throughput_rps > 0.0);
+                assert!(c.p999_us >= c.p50_us);
+            }
+        }
+        // Heavy load stalls more than light load for the same cell.
+        let stalls = |think: u64| -> u64 {
+            s.cells
+                .iter()
+                .filter(|c| c.think_ns == think)
+                .map(|c| c.stalled)
+                .sum()
+        };
+        assert!(stalls(FRONTEND_LOADS[0]) > stalls(FRONTEND_LOADS[1]));
+        // The SRAM-table mechanisms hit their registration cliffs on the
+        // 600-connection points (the hierarchical UTLB's 16 KiB directory
+        // caps a 1 MiB SRAM at 64 processes; 256-entry §3.1 tables cap it
+        // at 512); dynamically-backed ones never refuse.
+        for c in &s.cells {
+            match c.mechanism {
+                Mechanism::Indexed | Mechanism::Intr => assert_eq!(c.refused, 0),
+                Mechanism::PerProc | Mechanism::Utlb => {
+                    if c.connections == 600 {
+                        assert!(c.refused > 0, "{:?} must exhaust SRAM", c.mechanism);
+                    }
+                }
+            }
+        }
+        assert_eq!(s.detail.workload, "frontend");
+        assert!(s.to_string().contains("req/s"));
+    }
+
+    #[test]
+    fn results_are_deterministic_and_host_independent() {
+        let a = serde_json::to_string(&frontend_load(256, &[96])).unwrap();
+        let b = serde_json::to_string(&frontend_load(256, &[96])).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.contains("workers"), "no host shape in the archive");
+    }
+}

@@ -12,6 +12,7 @@ mod breakdown;
 mod cluster;
 mod compare;
 mod contention;
+mod frontend_load;
 mod micro;
 mod multiprog;
 mod prefetch;
@@ -33,6 +34,10 @@ pub use compare::{table4, table5, table6, Table45, Table6};
 pub use contention::{
     bus_contention, interference_des, BusContention, ContentionCell, InterferenceCell,
     InterferenceDes, CONTENTION_APPS, CONTENTION_LOADS,
+};
+pub use frontend_load::{
+    frontend_load, FrontendAxes, FrontendCell, FrontendLoad, FRONTEND_CONNS, FRONTEND_DETAIL_CONNS,
+    FRONTEND_LOADS,
 };
 pub use micro::{table1, table2, Table1, Table2};
 pub use multiprog::{multiprog, Multiprog, MultiprogCell};

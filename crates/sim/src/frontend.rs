@@ -1,0 +1,711 @@
+//! Request-plane front end: serve translations to live simulated peers.
+//!
+//! The trace runners replay *recorded* communication; this module generates
+//! it live. N simulated peers connect to one board, export a buffer, and
+//! issue remote stores and fetches that the configured
+//! [`TranslationMechanism`] translates on demand — the full connection
+//! lifecycle the paper's VMMC software ran above the UTLB, driven by a
+//! poll-free deterministic reactor stepped by simulated time:
+//!
+//! * **Handshake** — a peer's [`Frame::Hello`] spawns a host process and
+//!   registers it with the mechanism ([`Frame::Welcome`] carries its credit
+//!   window). A registration the mechanism cannot satisfy — the §3.1
+//!   engine's statically allocated SRAM tables are a bump allocation that
+//!   outlives the process, so they *will* run out under connection churn —
+//!   refuses the connection instead of failing the run: that capacity
+//!   cliff is a result, not an error.
+//! * **Admission** — each connection owns a bounded
+//!   [`CreditWindow`]: requests beyond the window
+//!   stall to the instant a credit returns (charged as wait time and
+//!   emitted as [`Event::Backpressure`]), requests beyond the stall queue
+//!   are rejected with [`Frame::Busy`].
+//! * **Service** — admitted requests go through the same batched
+//!   [`LookupBatch`]/[`OutcomeBuf`] path as the replay runners, on the same
+//!   serial board clock, so firmware FIFO queueing emerges from the clock
+//!   rather than being modeled separately.
+//! * **Teardown** — [`Frame::Bye`] snapshots the connection's counters,
+//!   unregisters the process (releasing its pins), and kills it, so live
+//!   state is O(open connections) however many connections a run churns.
+//!
+//! Determinism contract: the whole run is a pure function of
+//! ([`FrontendConfig`], [`SimConfig`], mechanism). Peers are deterministic
+//! generators; the reactor admits events in `(timestamp, pid)` order from a
+//! binary heap; nothing reads wall-clock time or ambient randomness. The
+//! zero-backpressure image of the workload is also available as a
+//! materialized [`Trace`] ([`frontend_trace`]), and a one-connection run
+//! with ample credits is bit-exact with serially replaying that trace —
+//! `tests/frontend.rs` and CI pin both.
+
+use crate::{Mechanism, Run, SimConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use utlb_core::obs::{Event, Histogram, Probe, SharedCollector};
+use utlb_core::{CacheStats, LookupBatch, OutcomeBuf, TranslationMechanism, TranslationStats};
+use utlb_des::{AdmissionOutcome, AdmissionStats, CreditWindow};
+use utlb_mem::{Host, ProcessId, VirtAddr, PAGE_SIZE};
+use utlb_msg::{Frame, FRAME_BYTES};
+use utlb_nic::{Board, BoardSnapshot, Nanos};
+use utlb_trace::{Op, Trace, TraceRecord};
+
+/// Shape of one front-end run: how many peers connect, how hard each one
+/// pushes, and how much credit the board extends.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrontendConfig {
+    /// Total connections over the run's lifetime.
+    pub connections: usize,
+    /// Connections open simultaneously; the rest wait for a slot. Live
+    /// reactor state is O(`open_window`), never O(`connections`).
+    pub open_window: usize,
+    /// Requests each connection issues before its [`Frame::Bye`].
+    pub requests_per_conn: usize,
+    /// Credits per connection: requests in service at once.
+    pub credit_window: usize,
+    /// Stall-queue depth per connection; a request beyond window + queue
+    /// is rejected with [`Frame::Busy`].
+    pub queue_depth: usize,
+    /// Mean think time between a connection's requests (ns). Lower = more
+    /// offered load.
+    pub think_ns: u64,
+    /// Time a served request keeps its credit after translation while the
+    /// payload drains (ns) — the window's service-time component.
+    pub drain_ns: u64,
+    /// Bytes per remote store/fetch.
+    pub payload_bytes: u64,
+    /// Pages in each connection's exported buffer.
+    pub buffer_pages: u64,
+    /// Seed for the per-connection request generators.
+    pub seed: u64,
+}
+
+impl Default for FrontendConfig {
+    /// A moderate study point: 1 K connections through a 256-wide open
+    /// window, credit window 4 over an 8-deep stall queue.
+    fn default() -> Self {
+        FrontendConfig {
+            connections: 1024,
+            open_window: 256,
+            requests_per_conn: 8,
+            credit_window: 4,
+            queue_depth: 8,
+            think_ns: 2_000,
+            drain_ns: 4_000,
+            payload_bytes: 4096,
+            buffer_pages: 64,
+            seed: 0xF00D,
+        }
+    }
+}
+
+impl FrontendConfig {
+    /// Checks the shape can run at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero connection/window/request count or a payload
+    /// larger than the exported buffer — every one of those silently
+    /// degenerates the workload, which a study config must not do.
+    pub fn validate(&self) {
+        assert!(
+            self.connections > 0,
+            "frontend needs at least one connection"
+        );
+        assert!(self.open_window > 0, "open window must admit a connection");
+        assert!(
+            self.requests_per_conn > 0,
+            "connections must issue requests"
+        );
+        assert!(self.credit_window > 0, "credit window needs a credit");
+        assert!(self.payload_bytes > 0, "zero-byte payloads carry nothing");
+        assert!(
+            self.buffer_pages * PAGE_SIZE >= self.payload_bytes,
+            "payload must fit the exported buffer"
+        );
+    }
+
+    /// Total requests the run offers if no connection is refused.
+    pub fn offered_requests(&self) -> u64 {
+        self.connections as u64 * self.requests_per_conn as u64
+    }
+}
+
+/// Base of every connection's exported buffer (each process has its own
+/// address space, so the bases coincide harmlessly).
+const BUFFER_BASE: u64 = 0x4000_0000;
+
+/// One generated request, before admission.
+#[derive(Debug, Clone, Copy)]
+struct Req {
+    ts_ns: u64,
+    op: Op,
+    va: VirtAddr,
+    nbytes: u64,
+}
+
+/// Deterministic per-connection request generator — the *peer*. Both the
+/// live reactor and [`frontend_trace`] draw from this one definition, which
+/// is what makes the trace the exact zero-backpressure image of the run.
+#[derive(Debug)]
+struct ReqGen {
+    rng: StdRng,
+    clock_ns: u64,
+    remaining: usize,
+}
+
+impl ReqGen {
+    fn new(fcfg: &FrontendConfig, conn: u64, open_ns: u64) -> Self {
+        ReqGen {
+            rng: StdRng::seed_from_u64(
+                fcfg.seed ^ (conn.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+            clock_ns: open_ns,
+            remaining: fcfg.requests_per_conn,
+        }
+    }
+
+    /// Think time to the next request: uniform in [think/2, 3·think/2),
+    /// never zero so per-connection arrivals strictly increase.
+    fn gap(&mut self, fcfg: &FrontendConfig) -> u64 {
+        let think = fcfg.think_ns.max(1);
+        (think / 2 + self.rng.gen_range(0..think)).max(1)
+    }
+
+    fn next(&mut self, fcfg: &FrontendConfig) -> Option<Req> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.clock_ns += self.gap(fcfg);
+        let span = fcfg.buffer_pages * PAGE_SIZE - fcfg.payload_bytes;
+        let offset = if span == 0 {
+            0
+        } else {
+            // 64-byte-aligned offsets, the transfer granularity of the
+            // simulated data link.
+            self.rng.gen_range(0..=span / 64) * 64
+        };
+        let op = if self.rng.gen_bool(0.5) {
+            Op::Send
+        } else {
+            Op::Fetch
+        };
+        Some(Req {
+            ts_ns: self.clock_ns,
+            op,
+            va: VirtAddr::new(BUFFER_BASE + offset),
+            nbytes: fcfg.payload_bytes,
+        })
+    }
+}
+
+/// One open connection's reactor state.
+#[derive(Debug)]
+struct Conn {
+    pid: ProcessId,
+    gen: ReqGen,
+    window: CreditWindow,
+    /// The request scheduled in the event heap, generated ahead of time so
+    /// the heap knows its timestamp.
+    pending: Option<Req>,
+    /// Latest completion (translation + drain) of this connection, for
+    /// timing the close.
+    last_done_ns: u64,
+    seq: u64,
+}
+
+/// What one front-end run produced. Aggregates and histograms only — never
+/// per-connection vectors — so the result is O(1) in the connection count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrontendResult {
+    /// Workload label (`"frontend"`).
+    pub workload: String,
+    /// Connections the run attempted.
+    pub connections: u64,
+    /// Connections the mechanism accepted (handshake succeeded).
+    pub accepted: u64,
+    /// Connections refused at the handshake — the mechanism could not
+    /// register another process (e.g. §3.1 static SRAM exhaustion).
+    pub refused: u64,
+    /// Requests offered by accepted connections.
+    pub offered: u64,
+    /// Requests admitted and translated.
+    pub served: u64,
+    /// Page-granular lookups those requests cost.
+    pub served_lookups: u64,
+    /// Flow-control counters summed over all connections; `rejected` here
+    /// is the [`Frame::Busy`] count.
+    pub admission: AdmissionStats,
+    /// Translation counters summed over all connections (snapshotted at
+    /// each close, before unregistration drops the per-process state).
+    pub stats: TranslationStats,
+    /// NIC translation-cache counters at the end of the run.
+    pub cache: CacheStats,
+    /// Simulated time from the end of the initial handshake wave to the
+    /// last translation, ns.
+    pub sim_time_ns: u64,
+    /// End-to-end request latency (arrival to credit return).
+    pub latency_ns: Histogram,
+}
+
+impl FrontendResult {
+    /// Served requests per second of simulated time.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.sim_time_ns == 0 {
+            return 0.0;
+        }
+        self.served as f64 * 1e9 / self.sim_time_ns as f64
+    }
+
+    /// Request-latency quantile in µs (`q` in (0, 1]).
+    pub fn latency_quantile_us(&self, q: f64) -> f64 {
+        self.latency_ns.quantile_ns(q) as f64 / 1000.0
+    }
+
+    /// Median request latency in µs.
+    pub fn p50_us(&self) -> f64 {
+        self.latency_quantile_us(0.50)
+    }
+
+    /// 99th-percentile request latency in µs.
+    pub fn p99_us(&self) -> f64 {
+        self.latency_quantile_us(0.99)
+    }
+
+    /// 99.9th-percentile request latency in µs.
+    pub fn p999_us(&self) -> f64 {
+        self.latency_quantile_us(0.999)
+    }
+}
+
+/// Emits a lifecycle event to the optional observation probe.
+fn emit(probe: &mut Option<Box<dyn Probe>>, pid: ProcessId, event: Event) {
+    if let Some(p) = probe {
+        p.on_event(pid, event);
+    }
+}
+
+/// Runs the peer's side of the wire for a request: encode into the reused
+/// frame buffer, then decode as the board would. The decoded frame is what
+/// the board dispatches on, so the protocol is load-bearing, and the round
+/// trip allocates nothing.
+fn through_wire(frame: Frame, wire: &mut [u8; FRAME_BYTES]) -> Frame {
+    frame.encode_into(wire);
+    Frame::decode(wire).expect("reactor frames are well-formed")
+}
+
+/// The reactor. See the module docs for the lifecycle; see
+/// [`Run::frontend`] for the public entry point.
+pub(crate) fn replay_frontend<M>(
+    engine: &mut M,
+    cfg: &SimConfig,
+    fcfg: &FrontendConfig,
+    obs: Option<&SharedCollector>,
+) -> (FrontendResult, BoardSnapshot)
+where
+    M: TranslationMechanism + ?Sized,
+{
+    fcfg.validate();
+    let mut host = Host::new(cfg.host_frames);
+    let mut board = Board::new();
+    if let Some(c) = obs {
+        engine.set_probe(c.boxed());
+    }
+    let mut probe: Option<Box<dyn Probe>> = obs.map(SharedCollector::boxed);
+
+    let mut accepted = 0u64;
+    let mut refused = 0u64;
+    let mut offered = 0u64;
+    let mut served = 0u64;
+    let mut admission = AdmissionStats::default();
+    let mut stats_acc = TranslationStats::default();
+    let mut latency_ns = Histogram::new();
+    let mut wire = [0u8; FRAME_BYTES];
+    let mut out = OutcomeBuf::new();
+
+    // Event heap: (timestamp, pid, slot), smallest first. Each open
+    // connection owns exactly one entry — its next request or its close —
+    // so the heap is O(open_window).
+    let mut heap: BinaryHeap<Reverse<(u64, u32, usize)>> = BinaryHeap::new();
+    let mut slots: Vec<Option<Conn>> = Vec::new();
+    let mut next_conn = 0u64;
+    let total = fcfg.connections as u64;
+
+    // Handshake: Hello → register → Welcome, or a refusal. Returns the
+    // connection if the mechanism accepted it.
+    let open = |index: u64,
+                open_ns: u64,
+                host: &mut Host,
+                board: &mut Board,
+                engine: &mut M,
+                probe: &mut Option<Box<dyn Probe>>,
+                wire: &mut [u8; FRAME_BYTES],
+                accepted: &mut u64,
+                refused: &mut u64|
+     -> Option<Conn> {
+        let hello = through_wire(
+            Frame::Hello {
+                client: index,
+                buffer_bytes: fcfg.buffer_pages * PAGE_SIZE,
+            },
+            wire,
+        );
+        debug_assert!(hello.is_request());
+        let pid = host.spawn_process();
+        match engine.register_process(host, board, pid) {
+            Ok(()) => {
+                let welcome = through_wire(
+                    Frame::Welcome {
+                        conn: pid.raw(),
+                        credits: fcfg.credit_window as u32,
+                    },
+                    wire,
+                );
+                debug_assert!(!welcome.is_request());
+                *accepted += 1;
+                emit(probe, pid, Event::Connect);
+                let mut gen = ReqGen::new(fcfg, index, open_ns);
+                let pending = gen.next(fcfg);
+                Some(Conn {
+                    pid,
+                    gen,
+                    window: CreditWindow::new(fcfg.credit_window, fcfg.queue_depth),
+                    pending,
+                    last_done_ns: open_ns,
+                    seq: 0,
+                })
+            }
+            Err(_) => {
+                // The board cannot hold another process directory: refuse
+                // the handshake and reclaim the host process.
+                host.kill_process(pid).expect("freshly spawned process");
+                *refused += 1;
+                None
+            }
+        }
+    };
+
+    // Initial wave, in index order so pids stay dense.
+    let initial = fcfg.open_window.min(fcfg.connections);
+    while (next_conn as usize) < initial {
+        let conn = open(
+            next_conn,
+            0,
+            &mut host,
+            &mut board,
+            engine,
+            &mut probe,
+            &mut wire,
+            &mut accepted,
+            &mut refused,
+        );
+        if let Some(c) = conn {
+            let slot = slots.len();
+            let ts = c
+                .pending
+                .as_ref()
+                .expect("fresh connection has a request")
+                .ts_ns;
+            heap.push(Reverse((ts, c.pid.raw(), slot)));
+            slots.push(Some(c));
+        }
+        next_conn += 1;
+    }
+    let t0 = board.clock.now();
+    let mut last_service = t0;
+
+    while let Some(Reverse((ts, _pid, slot))) = heap.pop() {
+        let conn = slots[slot]
+            .as_mut()
+            .expect("heap entries point at open slots");
+        match conn.pending.take() {
+            Some(req) => {
+                offered += 1;
+                conn.seq += 1;
+                let frame = match req.op {
+                    Op::Send => Frame::Store {
+                        seq: conn.seq,
+                        va: req.va.raw(),
+                        nbytes: req.nbytes,
+                    },
+                    Op::Fetch => Frame::Fetch {
+                        seq: conn.seq,
+                        va: req.va.raw(),
+                        nbytes: req.nbytes,
+                    },
+                };
+                let (seq, va, nbytes) = match through_wire(frame, &mut wire) {
+                    Frame::Store { seq, va, nbytes } | Frame::Fetch { seq, va, nbytes } => {
+                        (seq, VirtAddr::new(va), nbytes)
+                    }
+                    other => unreachable!("request wire carried {other:?}"),
+                };
+                let arrival = Nanos::from_nanos(req.ts_ns);
+                match conn.window.offer(arrival) {
+                    AdmissionOutcome::Admitted(a) => {
+                        if a.stall > Nanos::ZERO {
+                            emit(
+                                &mut probe,
+                                conn.pid,
+                                Event::Backpressure {
+                                    ns: a.stall.as_nanos(),
+                                },
+                            );
+                        }
+                        board.clock.advance_to(a.at);
+                        out.clear();
+                        engine
+                            .lookup_run_into(
+                                &mut host,
+                                &mut board,
+                                LookupBatch::for_buffer(conn.pid, va, nbytes),
+                                &mut out,
+                            )
+                            .expect("frontend lookups succeed");
+                        let translated = board.clock.now();
+                        last_service = last_service.max(translated);
+                        let done = translated + Nanos::from_nanos(fcfg.drain_ns);
+                        conn.window.complete(done);
+                        conn.last_done_ns = conn.last_done_ns.max(done.as_nanos());
+                        served += 1;
+                        let lat = done - arrival;
+                        latency_ns.record(lat.as_nanos());
+                        through_wire(
+                            Frame::Done {
+                                seq,
+                                latency_ns: lat.as_nanos(),
+                            },
+                            &mut wire,
+                        );
+                    }
+                    AdmissionOutcome::Rejected => {
+                        through_wire(Frame::Busy { seq }, &mut wire);
+                    }
+                }
+                conn.pending = conn.gen.next(fcfg);
+                let next_ts = match &conn.pending {
+                    Some(r) => r.ts_ns,
+                    // All requests issued: close once the last payload has
+                    // drained (never before the request just handled).
+                    None => conn.last_done_ns.max(req.ts_ns),
+                };
+                heap.push(Reverse((next_ts, conn.pid.raw(), slot)));
+            }
+            None => {
+                // Teardown: Bye → snapshot counters → unregister → ByeAck.
+                let conn = slots[slot].take().expect("closing an open slot");
+                debug_assert!(through_wire(Frame::Bye, &mut wire).is_request());
+                let s = conn.window.stats();
+                admission.admitted += s.admitted;
+                admission.stalled += s.stalled;
+                admission.rejected += s.rejected;
+                admission.stall_ns += s.stall_ns;
+                admission.max_in_flight = admission.max_in_flight.max(s.max_in_flight);
+                stats_acc += engine
+                    .stats(conn.pid)
+                    .expect("open connection is registered");
+                engine
+                    .unregister_process(&mut host, &mut board, conn.pid)
+                    .expect("open connection is registered");
+                host.kill_process(conn.pid)
+                    .expect("connection process is live");
+                emit(&mut probe, conn.pid, Event::Close);
+                through_wire(Frame::ByeAck, &mut wire);
+                // The freed slot admits the next waiting connection, at the
+                // close's timestamp.
+                while next_conn < total {
+                    let index = next_conn;
+                    next_conn += 1;
+                    let opened = open(
+                        index,
+                        ts,
+                        &mut host,
+                        &mut board,
+                        engine,
+                        &mut probe,
+                        &mut wire,
+                        &mut accepted,
+                        &mut refused,
+                    );
+                    if let Some(c) = opened {
+                        let next_ts = c
+                            .pending
+                            .as_ref()
+                            .expect("fresh connection has a request")
+                            .ts_ns;
+                        heap.push(Reverse((next_ts, c.pid.raw(), slot)));
+                        slots[slot] = Some(c);
+                        break;
+                    }
+                    // Refused: fall through and try the next index in the
+                    // same slot at the same instant.
+                }
+            }
+        }
+    }
+
+    if obs.is_some() {
+        engine.take_probe();
+    }
+    drop(probe);
+
+    let result = FrontendResult {
+        workload: "frontend".to_string(),
+        connections: total,
+        accepted,
+        refused,
+        offered,
+        served,
+        served_lookups: stats_acc.lookups,
+        admission,
+        stats: stats_acc,
+        cache: engine.cache_stats(),
+        sim_time_ns: (last_service - t0).as_nanos(),
+        latency_ns,
+    };
+    (result, board.snapshot())
+}
+
+/// Materializes the zero-backpressure image of a front-end workload as a
+/// [`Trace`]: every connection's full request sequence at its *arrival*
+/// times, merged in the reactor's `(timestamp, pid)` order.
+///
+/// With `connections <= open_window` every peer opens at time zero in index
+/// order, so connection *i* is pid *i + 1* and the trace replays through
+/// [`Run::execute`] exactly as the reactor would admit it when no request
+/// ever stalls — the equivalence `tests/frontend.rs` pins bit-exactly for a
+/// one-connection run with ample credits.
+///
+/// # Panics
+///
+/// Panics if `connections > open_window`: connections beyond the window
+/// open mid-run at times only the reactor knows, so no arrival-time trace
+/// exists for them.
+pub fn frontend_trace(fcfg: &FrontendConfig) -> Trace {
+    fcfg.validate();
+    assert!(
+        fcfg.connections <= fcfg.open_window,
+        "a materialized frontend trace needs every connection open from time zero"
+    );
+    let mut heap: BinaryHeap<Reverse<(u64, u32, usize)>> = BinaryHeap::new();
+    let mut gens: Vec<ReqGen> = Vec::with_capacity(fcfg.connections);
+    let mut pending: Vec<Option<Req>> = Vec::with_capacity(fcfg.connections);
+    for index in 0..fcfg.connections {
+        let mut g = ReqGen::new(fcfg, index as u64, 0);
+        let first = g.next(fcfg).expect("validated config issues requests");
+        heap.push(Reverse((first.ts_ns, index as u32 + 1, index)));
+        gens.push(g);
+        pending.push(Some(first));
+    }
+    let mut records = Vec::with_capacity(fcfg.connections * fcfg.requests_per_conn);
+    while let Some(Reverse((_, praw, index))) = heap.pop() {
+        let req = pending[index].take().expect("heap entries have a request");
+        records.push(TraceRecord {
+            ts_ns: req.ts_ns,
+            pid: ProcessId::new(praw),
+            op: req.op,
+            va: req.va,
+            nbytes: req.nbytes,
+        });
+        if let Some(next) = gens[index].next(fcfg) {
+            heap.push(Reverse((next.ts_ns, praw, index)));
+            pending[index] = Some(next);
+        }
+    }
+    Trace::new("frontend", fcfg.seed, records)
+}
+
+/// Convenience: the serial replay of [`frontend_trace`] under `cfg` — the
+/// reference run the equivalence gate compares a live front end against.
+pub fn frontend_reference(
+    mech: Mechanism,
+    cfg: &SimConfig,
+    fcfg: &FrontendConfig,
+) -> crate::SimResult {
+    Run::new(mech)
+        .config(cfg)
+        .execute(&frontend_trace(fcfg))
+        .into_sim()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FrontendConfig {
+        FrontendConfig {
+            connections: 8,
+            open_window: 4,
+            requests_per_conn: 5,
+            ..FrontendConfig::default()
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_and_strictly_increasing() {
+        let fcfg = tiny();
+        let draw = || {
+            let mut g = ReqGen::new(&fcfg, 3, 100);
+            std::iter::from_fn(|| g.next(&fcfg)).collect::<Vec<_>>()
+        };
+        let a = draw();
+        let b = draw();
+        assert_eq!(a.len(), 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.ts_ns, x.va, x.nbytes), (y.ts_ns, y.va, y.nbytes));
+        }
+        assert!(a.windows(2).all(|w| w[0].ts_ns < w[1].ts_ns));
+        assert!(a.iter().all(|r| r.ts_ns > 100));
+        // Different connections draw different sequences.
+        let mut other = ReqGen::new(&fcfg, 4, 100);
+        let o = other.next(&fcfg).unwrap();
+        assert!((o.ts_ns, o.va.raw()) != (a[0].ts_ns, a[0].va.raw()));
+    }
+
+    #[test]
+    fn requests_stay_inside_the_exported_buffer() {
+        let fcfg = FrontendConfig {
+            buffer_pages: 2,
+            payload_bytes: 4096,
+            ..tiny()
+        };
+        let mut g = ReqGen::new(&fcfg, 0, 0);
+        while let Some(r) = g.next(&fcfg) {
+            assert!(r.va.raw() >= BUFFER_BASE);
+            assert!(r.va.raw() + r.nbytes <= BUFFER_BASE + fcfg.buffer_pages * PAGE_SIZE);
+            assert_eq!(r.va.raw() % 64, 0, "link-granularity alignment");
+        }
+    }
+
+    #[test]
+    fn frontend_trace_is_sorted_with_dense_pids() {
+        let fcfg = FrontendConfig {
+            connections: 4,
+            open_window: 4,
+            ..tiny()
+        };
+        let t = frontend_trace(&fcfg);
+        assert_eq!(t.records.len(), 4 * fcfg.requests_per_conn);
+        assert_eq!(t.process_ids().len(), 4);
+        assert_eq!(t.process_ids()[0].raw(), 1);
+        assert!(t.records.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    #[should_panic(expected = "open from time zero")]
+    fn frontend_trace_rejects_churned_configs() {
+        frontend_trace(&tiny());
+    }
+
+    #[test]
+    #[should_panic(expected = "payload must fit")]
+    fn oversized_payloads_panic() {
+        FrontendConfig {
+            payload_bytes: PAGE_SIZE * 3,
+            buffer_pages: 2,
+            ..tiny()
+        }
+        .validate();
+    }
+}

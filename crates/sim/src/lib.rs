@@ -55,6 +55,7 @@ mod cluster;
 mod config;
 mod des_runner;
 pub mod experiments;
+pub mod frontend;
 mod observe;
 mod report;
 mod run;
@@ -65,9 +66,10 @@ pub use classify::{MissBreakdown, MissClassifier, MissKind};
 pub use cluster::{BoardCell, ClusterConfig, ClusterResult, Migration, MigrationReport};
 pub use config::{Mechanism, SimConfig, DEFAULT_HOST_FRAMES};
 pub use des_runner::{DesConfig, DesResult};
+pub use frontend::{frontend_trace, FrontendConfig, FrontendResult};
 pub use observe::ObsReport;
 pub use report::{phase_breakdown, wait_breakdown, TextTable};
-pub use run::{Run, RunInput, RunOutput, StreamVisitor, DEFAULT_OBS_RING};
+pub use run::{Live, Run, RunInput, RunOutput, StreamVisitor, DEFAULT_OBS_RING};
 pub use runner::{SimResult, STREAM_CHUNK};
 pub use sweep::{sweep, sweep_over};
 

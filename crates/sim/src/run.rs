@@ -40,13 +40,15 @@
 
 use crate::cluster::{replay_cluster, ClusterConfig, ClusterResult};
 use crate::des_runner::{replay_des, DesResult};
+use crate::frontend::{replay_frontend, FrontendConfig, FrontendResult};
 use crate::observe::{build_report, ObsReport};
 use crate::runner::{replay_stream, SimResult};
 use crate::{Mechanism, SimConfig};
 use utlb_core::obs::SharedCollector;
 use utlb_core::TranslationMechanism;
 use utlb_des::DesConfig;
-use utlb_trace::{Trace, TraceStream, TraceView};
+use utlb_mem::ProcessId;
+use utlb_trace::{Trace, TraceRecord, TraceStream, TraceView};
 
 /// Per-process event-ring capacity [`Run::observed`] uses.
 pub const DEFAULT_OBS_RING: usize = 64;
@@ -61,6 +63,7 @@ pub struct Run {
     des: Option<DesConfig>,
     obs_ring: Option<usize>,
     cluster: Option<ClusterConfig>,
+    frontend: Option<FrontendConfig>,
 }
 
 impl Run {
@@ -72,6 +75,7 @@ impl Run {
             des: None,
             obs_ring: None,
             cluster: None,
+            frontend: None,
         }
     }
 
@@ -87,6 +91,7 @@ impl Run {
             des: None,
             obs_ring: None,
             cluster: None,
+            frontend: None,
         }
     }
 
@@ -131,6 +136,17 @@ impl Run {
         self
     }
 
+    /// Switches the input source to the live request plane: `frontend`'s
+    /// simulated peers connect, export buffers, and issue the requests the
+    /// mechanism translates — there is no trace. Execute with the [`Live`]
+    /// input; the output becomes a [`FrontendResult`]. Composes with
+    /// [`observed`](Run::observed) but not with `.des()` or `.cluster()`
+    /// (the front end owns its own clock discipline).
+    pub fn frontend(mut self, frontend: FrontendConfig) -> Self {
+        self.frontend = Some(frontend);
+        self
+    }
+
     /// Executes the run, constructing the engine(s) from the configured
     /// [`Mechanism`]. `input` is a `&Trace` or `&mut` any [`TraceStream`].
     ///
@@ -145,6 +161,10 @@ impl Run {
             .mech
             .expect("Run has no mechanism: use Run::new(mech) or Run::execute_with");
         if self.cluster.is_some() {
+            assert!(
+                self.frontend.is_none(),
+                "a frontend run drives one board: drop .cluster()"
+            );
             return input.dispatch(ClusterExec { run: self, mech });
         }
         let mut engine = mech.engine(&self.cfg);
@@ -209,6 +229,50 @@ impl<S: TraceStream> RunInput for &mut S {
     }
 }
 
+/// The input for a [`Run::frontend`] run: requests come from the simulated
+/// peers, not from a trace.
+///
+/// ```no_run
+/// # use utlb_sim::{frontend::FrontendConfig, Live, Mechanism, Run};
+/// let result = Run::new(Mechanism::Utlb)
+///     .frontend(FrontendConfig::default())
+///     .execute(Live)
+///     .into_frontend();
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Live;
+
+/// Workload sentinel [`Live`] dispatches; the frontend branch asserts it.
+const LIVE_WORKLOAD: &str = "\0live";
+
+/// The empty stream behind [`Live`]. Replaying it is a no-op; its only job
+/// is to carry the sentinel through the visitor plumbing.
+struct LiveSource;
+
+impl TraceStream for LiveSource {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        None
+    }
+    fn remaining(&self) -> u64 {
+        0
+    }
+    fn workload(&self) -> &str {
+        LIVE_WORKLOAD
+    }
+    fn seed(&self) -> u64 {
+        0
+    }
+    fn process_ids(&self) -> Vec<ProcessId> {
+        Vec::new()
+    }
+}
+
+impl RunInput for Live {
+    fn dispatch<V: StreamVisitor>(self, visitor: V) -> V::Out {
+        visitor.visit(&mut LiveSource)
+    }
+}
+
 /// Single-engine execution: serial or DES, observed or plain.
 struct EngineExec<'r, 'e, M: ?Sized> {
     run: &'r Run,
@@ -220,6 +284,32 @@ impl<M: TranslationMechanism + ?Sized> StreamVisitor for EngineExec<'_, '_, M> {
 
     fn visit<S: TraceStream + ?Sized>(self, stream: &mut S) -> RunOutput {
         let collector = self.run.obs_ring.map(SharedCollector::new);
+        if let Some(fcfg) = &self.run.frontend {
+            assert!(
+                self.run.des.is_none(),
+                "a frontend run owns its own clock discipline: drop .des()"
+            );
+            assert_eq!(
+                stream.workload(),
+                LIVE_WORKLOAD,
+                "a frontend run generates its own requests: execute(Live), not a trace"
+            );
+            let (result, board) =
+                replay_frontend(self.engine, &self.run.cfg, fcfg, collector.as_ref());
+            let obs = collector.map(|c| {
+                build_report(
+                    self.engine.name(),
+                    &result.workload,
+                    &result.stats,
+                    board,
+                    &c,
+                )
+            });
+            return RunOutput {
+                payload: Payload::Frontend(Box::new(result)),
+                obs,
+            };
+        }
         if let Some(des) = &self.run.des {
             let (result, board) =
                 replay_des(self.engine, stream, &self.run.cfg, des, collector.as_ref());
@@ -286,6 +376,7 @@ enum Payload {
     Sim(SimResult),
     Des(Box<DesResult>),
     Cluster(Box<ClusterResult>),
+    Frontend(Box<FrontendResult>),
 }
 
 /// What a [`Run`] produced: a serial [`SimResult`], a discrete-event
@@ -312,6 +403,7 @@ impl RunOutput {
             Payload::Sim(r) => r,
             Payload::Des(r) => &r.base,
             Payload::Cluster(_) => panic!("cluster run: per-board results are in .cluster()"),
+            Payload::Frontend(_) => panic!("frontend run: the result is in .frontend()"),
         }
     }
 
@@ -326,6 +418,7 @@ impl RunOutput {
             Payload::Sim(r) => r,
             Payload::Des(r) => r.base,
             Payload::Cluster(_) => panic!("cluster run: per-board results are in .into_cluster()"),
+            Payload::Frontend(_) => panic!("frontend run: the result is in .into_frontend()"),
         }
     }
 
@@ -370,6 +463,42 @@ impl RunOutput {
         }
     }
 
+    /// The front-end result, if the run was configured with
+    /// [`Run::frontend`].
+    pub fn frontend(&self) -> Option<&FrontendResult> {
+        match &self.payload {
+            Payload::Frontend(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes the output into its front-end result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not configured with [`Run::frontend`].
+    pub fn into_frontend(self) -> FrontendResult {
+        match self.payload {
+            Payload::Frontend(r) => *r,
+            _ => panic!("not a frontend run: configure with Run::frontend"),
+        }
+    }
+
+    /// Consumes the output into `(front-end result, report)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not both observed and a frontend run.
+    pub fn into_frontend_observed(self) -> (FrontendResult, ObsReport) {
+        let obs = self
+            .obs
+            .expect("not an observed run: configure with Run::observed");
+        match self.payload {
+            Payload::Frontend(r) => (*r, obs),
+            _ => panic!("not a frontend run: configure with Run::frontend"),
+        }
+    }
+
     /// The observability report, if the run was observed.
     pub fn obs(&self) -> Option<&ObsReport> {
         self.obs.as_ref()
@@ -388,6 +517,9 @@ impl RunOutput {
             Payload::Sim(r) => r,
             Payload::Des(r) => r.base,
             Payload::Cluster(_) => panic!("cluster run: per-board results are in .into_cluster()"),
+            Payload::Frontend(_) => {
+                panic!("frontend run: the result is in .into_frontend_observed()")
+            }
         };
         (sim, obs)
     }

@@ -1,0 +1,271 @@
+//! Acceptance gates for the request-plane front end.
+//!
+//! The contract under test, in order: a one-connection zero-contention
+//! front end is *bit-exact* with serially replaying its materialized
+//! trace through `Run::execute` (the live reactor adds no timing of its
+//! own); results are deterministic across repeats; every lifecycle event
+//! the reactor emits reconciles exactly against the admission counters;
+//! refused connections are a typed, countable outcome; and a run churning
+//! 100 k connections completes with live state bounded by the open
+//! window.
+
+use utlb_sim::frontend::{frontend_reference, FrontendConfig};
+use utlb_sim::{Live, Mechanism, Run, SimConfig};
+
+fn quiet() -> FrontendConfig {
+    // Ample credits: the window exceeds requests_per_conn, so no request
+    // ever stalls or is rejected — the zero-contention regime.
+    FrontendConfig {
+        connections: 1,
+        open_window: 1,
+        requests_per_conn: 200,
+        credit_window: 256,
+        queue_depth: 0,
+        think_ns: 2_000,
+        drain_ns: 4_000,
+        payload_bytes: 8192,
+        buffer_pages: 64,
+        seed: 7,
+    }
+}
+
+#[test]
+fn one_connection_zero_contention_is_bit_exact_with_serial_replay() {
+    let cfg = SimConfig::study(256);
+    let fcfg = quiet();
+    for mech in Mechanism::ALL {
+        let live = Run::new(mech)
+            .config(&cfg)
+            .frontend(fcfg.clone())
+            .execute(Live)
+            .into_frontend();
+        let serial = frontend_reference(mech, &cfg, &fcfg);
+        assert_eq!(live.stats, serial.stats, "{mech:?}: translation counters");
+        assert_eq!(live.cache, serial.cache, "{mech:?}: cache counters");
+        assert_eq!(live.sim_time_ns, serial.sim_time_ns, "{mech:?}: sim time");
+        assert_eq!(live.admission.stalled, 0, "{mech:?}: zero contention");
+        assert_eq!(live.admission.rejected, 0, "{mech:?}");
+        assert_eq!(live.served, 200, "{mech:?}");
+        assert_eq!(live.offered, live.served, "{mech:?}");
+        assert_eq!(live.latency_ns.count(), live.served, "{mech:?}");
+    }
+}
+
+#[test]
+fn repeated_runs_serialize_byte_identically() {
+    let cfg = SimConfig::study(512);
+    let fcfg = FrontendConfig {
+        connections: 64,
+        open_window: 8,
+        requests_per_conn: 6,
+        ..FrontendConfig::default()
+    };
+    let go = || {
+        Run::new(Mechanism::Utlb)
+            .config(&cfg)
+            .frontend(fcfg.clone())
+            .execute(Live)
+            .into_frontend()
+    };
+    let a = serde_json::to_string(&go()).unwrap();
+    let b = serde_json::to_string(&go()).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn churn_closes_every_accepted_connection() {
+    let cfg = SimConfig::study(256);
+    let fcfg = FrontendConfig {
+        connections: 40,
+        open_window: 5,
+        requests_per_conn: 3,
+        credit_window: 8,
+        ..FrontendConfig::default()
+    };
+    let (result, obs) = Run::new(Mechanism::Utlb)
+        .config(&cfg)
+        .frontend(fcfg)
+        .observed()
+        .execute(Live)
+        .into_frontend_observed();
+    assert_eq!(result.accepted, 40);
+    assert_eq!(result.refused, 0);
+    assert_eq!(result.offered, 40 * 3);
+    assert_eq!(result.served, result.offered, "ample credits serve all");
+    assert_eq!(obs.metrics.counts.connects, 40);
+    assert_eq!(obs.metrics.counts.closes, 40, "every connection closed");
+    assert!(obs.reconciled, "mismatches: {:?}", obs.mismatches);
+}
+
+#[test]
+fn backpressure_reconciles_exactly_against_admission_counters() {
+    let cfg = SimConfig::study(256);
+    // A starved window under heavy offered load: one credit, slow drain,
+    // negligible think time — requests pile into the stall queue and past
+    // it, so both stalls and rejections occur.
+    let fcfg = FrontendConfig {
+        connections: 12,
+        open_window: 4,
+        requests_per_conn: 32,
+        credit_window: 1,
+        queue_depth: 4,
+        think_ns: 10,
+        drain_ns: 50_000,
+        ..FrontendConfig::default()
+    };
+    let (result, obs) = Run::new(Mechanism::Utlb)
+        .config(&cfg)
+        .frontend(fcfg)
+        .observed()
+        .execute(Live)
+        .into_frontend_observed();
+    assert!(result.admission.stalled > 0, "load must induce stalls");
+    assert!(
+        result.admission.rejected > 0,
+        "load must overflow the queue"
+    );
+    assert_eq!(
+        obs.metrics.counts.backpressure, result.admission.stalled,
+        "one Backpressure event per stalled admission"
+    );
+    assert_eq!(
+        obs.metrics.backpressure_ns.sum_ns(),
+        result.admission.stall_ns,
+        "observed stall time equals charged stall time"
+    );
+    assert_eq!(result.offered, result.served + result.admission.rejected);
+    assert_eq!(result.latency_ns.count(), result.served);
+    assert!(obs.reconciled, "mismatches: {:?}", obs.mismatches);
+    // p999 ≥ p50 on a histogram with mass.
+    assert!(result.p999_us() >= result.p50_us());
+}
+
+#[test]
+fn perproc_refuses_connections_beyond_static_sram() {
+    // §3.1 per-process tables are a static SRAM allocation that outlives
+    // the process; at 8192 entries a 1 MiB SRAM holds 16 of them, so a
+    // 64-connection run must see refusals — as a counted outcome, not an
+    // error.
+    let cfg = SimConfig::study(256);
+    assert_eq!(cfg.table_entries, 8192, "test assumes the default table");
+    let fcfg = FrontendConfig {
+        connections: 64,
+        open_window: 64,
+        requests_per_conn: 4,
+        ..FrontendConfig::default()
+    };
+    let go = || {
+        Run::new(Mechanism::PerProc)
+            .config(&cfg)
+            .frontend(fcfg.clone())
+            .execute(Live)
+            .into_frontend()
+    };
+    let result = go();
+    assert!(result.refused > 0, "static SRAM must run out");
+    assert!(result.accepted > 0, "the first tables must fit");
+    assert_eq!(result.accepted + result.refused, 64);
+    assert_eq!(
+        result.offered,
+        result.accepted * 4,
+        "refused conns offer nothing"
+    );
+    assert_eq!(result.served, result.offered);
+    // Refusal is deterministic, like everything else.
+    let again = go();
+    assert_eq!(again.accepted, result.accepted);
+    assert_eq!(
+        serde_json::to_string(&again).unwrap(),
+        serde_json::to_string(&result).unwrap()
+    );
+}
+
+#[test]
+fn hundred_thousand_connections_complete_with_bounded_state() {
+    // The scale gate: live state is O(open_window); 100 k connections
+    // churn through 512 slots. Only mechanisms whose registration state
+    // lives in reclaimable host memory sustain churn — the interrupt
+    // baseline allocates nothing, and §3.2 indexed tables free their
+    // frames at unregister. (SRAM-table mechanisms refuse instead; see
+    // `perproc_refuses_connections_beyond_static_sram`.)
+    let cfg = SimConfig::study(1024);
+    let fcfg = FrontendConfig {
+        connections: 100_000,
+        open_window: 512,
+        requests_per_conn: 2,
+        think_ns: 500,
+        drain_ns: 1_000,
+        ..FrontendConfig::default()
+    };
+    let result = Run::new(Mechanism::Intr)
+        .config(&cfg)
+        .frontend(fcfg)
+        .execute(Live)
+        .into_frontend();
+    assert_eq!(result.accepted, 100_000);
+    assert_eq!(result.refused, 0);
+    assert_eq!(result.served, 200_000);
+    assert!(result.throughput_rps() > 0.0);
+}
+
+#[test]
+fn sram_table_mechanisms_cap_lifetime_registrations() {
+    // The hierarchical UTLB's SRAM-resident top level is also a
+    // board-lifetime allocation: churn past the SRAM eventually refuses,
+    // while §3.2 indexed tables (host frames, freed on unregister) accept
+    // every connection of the same run.
+    let cfg = SimConfig::study(256);
+    let fcfg = FrontendConfig {
+        connections: 256,
+        open_window: 16,
+        requests_per_conn: 2,
+        ..FrontendConfig::default()
+    };
+    let go = |mech| {
+        Run::new(mech)
+            .config(&cfg)
+            .frontend(fcfg.clone())
+            .execute(Live)
+            .into_frontend()
+    };
+    let utlb = go(Mechanism::Utlb);
+    assert!(utlb.refused > 0, "hier top levels must exhaust board SRAM");
+    assert!(utlb.accepted > 0);
+    let indexed = go(Mechanism::Indexed);
+    assert_eq!(indexed.refused, 0, "host-resident tables reclaim on close");
+    assert_eq!(indexed.accepted, 256);
+}
+
+#[test]
+#[should_panic(expected = "execute(Live), not a trace")]
+fn frontend_runs_reject_trace_inputs() {
+    let trace = utlb_sim::frontend_trace(&quiet());
+    let _ = Run::new(Mechanism::Utlb).frontend(quiet()).execute(&trace);
+}
+
+#[test]
+#[should_panic(expected = "drop .des()")]
+fn frontend_runs_reject_des_timing() {
+    let _ = Run::new(Mechanism::Utlb)
+        .frontend(quiet())
+        .des(utlb_sim::DesConfig::zero_contention())
+        .execute(Live);
+}
+
+#[test]
+#[should_panic(expected = "drop .cluster()")]
+fn frontend_runs_reject_cluster_topologies() {
+    let _ = Run::new(Mechanism::Utlb)
+        .frontend(quiet())
+        .cluster(utlb_sim::ClusterConfig::new(2))
+        .execute(Live);
+}
+
+#[test]
+#[should_panic(expected = "the result is in .into_frontend()")]
+fn misreading_a_frontend_output_panics() {
+    let _ = Run::new(Mechanism::Utlb)
+        .frontend(quiet())
+        .execute(Live)
+        .into_sim();
+}

@@ -235,6 +235,89 @@ mod tests {
     }
 
     #[test]
+    fn many_way_ties_order_by_pid_then_stream_index() {
+        // Five streams, every record at the same instant. The tie-break is
+        // (ts, pid, stream index): pids serialize first, and the same pid
+        // appearing in several streams (a process whose trace was split)
+        // serializes by stream position — total and deterministic, never
+        // heap-insertion order.
+        let streams = vec![
+            vec![rec(100, 4)], // stream 0
+            vec![rec(100, 2)], // stream 1
+            vec![rec(100, 4)], // stream 2: pid 4 again — index breaks it
+            vec![rec(100, 1)], // stream 3
+            vec![rec(100, 2)], // stream 4: pid 2 again
+        ];
+        let merged = merge_streams(streams.clone());
+        let pids: Vec<u32> = merged.iter().map(|r| r.pid.raw()).collect();
+        assert_eq!(pids, vec![1, 2, 2, 4, 4]);
+        // The duplicate-pid pairs must come out in stream order; nbytes
+        // tags which stream each record came from.
+        let tagged: Vec<Vec<TraceRecord>> = streams
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.iter()
+                    .map(|r| TraceRecord {
+                        nbytes: i as u64,
+                        ..*r
+                    })
+                    .collect()
+            })
+            .collect();
+        let eager = merge_streams(tagged.clone());
+        let order: Vec<u64> = eager.iter().map(|r| r.nbytes).collect();
+        assert_eq!(order, vec![3, 1, 4, 0, 2], "pid asc, then stream index asc");
+
+        // The lazy merge agrees record-for-record.
+        let traces: Vec<Trace> = tagged.into_iter().map(trace_of).collect();
+        let views = traces.iter().map(TraceView::new).collect();
+        let mut lazy = merge_trace_streams(views, "ties", 0);
+        let mut got = Vec::new();
+        while let Some(r) = lazy.next_record() {
+            got.push(r);
+        }
+        assert_eq!(got, eager);
+    }
+
+    #[test]
+    fn interleaved_ties_across_three_streams_stay_stable() {
+        // Ties at several timestamps, interleaved with non-ties, over three
+        // streams — the shape a multiprogrammed node trace actually has
+        // (barrier releases put many processes at one instant).
+        let a = vec![rec(0, 1), rec(10, 1), rec(20, 1)];
+        let b = vec![rec(0, 2), rec(10, 2), rec(20, 2)];
+        let c = vec![rec(0, 3), rec(10, 3), rec(20, 3)];
+        let eager = merge_streams(vec![a.clone(), b.clone(), c.clone()]);
+        let key: Vec<(u64, u32)> = eager.iter().map(|r| (r.ts_ns, r.pid.raw())).collect();
+        assert_eq!(
+            key,
+            vec![
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (10, 1),
+                (10, 2),
+                (10, 3),
+                (20, 1),
+                (20, 2),
+                (20, 3)
+            ]
+        );
+        let traces: Vec<Trace> = [a, b, c].into_iter().map(trace_of).collect();
+        let views = traces.iter().map(TraceView::new).collect();
+        let mut lazy = merge_trace_streams(views, "barriers", 0);
+        let mut got = Vec::new();
+        while let Some(r) = lazy.next_record() {
+            got.push(r);
+        }
+        assert_eq!(
+            got, eager,
+            "lazy and eager merges serialize ties identically"
+        );
+    }
+
+    #[test]
     fn streaming_merge_of_empty_streams_is_empty() {
         let t = trace_of(vec![]);
         let mut merged =

@@ -17,7 +17,7 @@
 //! ```
 
 use utlb_mem::VirtAddr;
-use utlb_msg::{ChannelConfig, Fabric};
+use utlb_msg::{ChannelConfig, Fabric, RecvBuf};
 use utlb_vmmc::Cluster;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -60,12 +60,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(got, blob);
 
     // --- the whole point --------------------------------------------------
+    // Steady state reuses one RecvBuf: `recv_reuse` lands every message in
+    // the same simulated region and byte buffer, so the loop allocates
+    // nothing per message — the discipline every hot receive path here
+    // follows (the lookup path's OutcomeBuf, the request plane's frame
+    // buffer).
     println!("\nsteady-state: 200 eager messages ...");
     let before = fabric.cluster().node(0)?.utlb().aggregate_stats();
+    let mut inbox = RecvBuf::new();
     for i in 0..200u32 {
         fabric.send(channel, client, &i.to_le_bytes())?;
-        let msg = fabric.recv(channel, server)?;
-        assert_eq!(msg, i.to_le_bytes());
+        fabric.recv_reuse(channel, server, &mut inbox)?;
+        assert_eq!(inbox.as_slice(), i.to_le_bytes());
     }
     let after = fabric.cluster().node(0)?.utlb().aggregate_stats();
     println!(

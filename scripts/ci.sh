@@ -70,6 +70,22 @@ UTLB_CLUSTER_NODES=8 cargo run -q --release --offline -p utlb-bench --bin cluste
 echo "== cluster: 1-vs-8-board replay bench smoke"
 cargo bench -q --offline -p utlb-bench --bench cluster_replay -- --test
 
+echo "== frontend: unit, lifecycle, and bit-exactness tests"
+cargo test -q --offline -p utlb-sim --test frontend
+cargo test -q --offline -p utlb-sim frontend
+
+echo "== frontend: capped smoke run, byte-identical at 1 vs 4 sweep workers"
+UTLB_FRONTEND_CONNS=1000 UTLB_SIM_THREADS=1 \
+    cargo run -q --release --offline -p utlb-bench --bin frontend > /dev/null
+mv results/frontend_smoke.json results/frontend_smoke_1w.json
+UTLB_FRONTEND_CONNS=1000 UTLB_SIM_THREADS=4 \
+    cargo run -q --release --offline -p utlb-bench --bin frontend > /dev/null
+cmp results/frontend_smoke_1w.json results/frontend_smoke.json
+rm results/frontend_smoke_1w.json
+
+echo "== frontend: live-reactor-vs-trace-replay bench smoke"
+cargo bench -q --offline -p utlb-bench --bench frontend -- --test
+
 echo "== DES: replay overhead bench"
 cargo bench -q --offline -p utlb-bench --bench des_replay
 
