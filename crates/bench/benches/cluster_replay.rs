@@ -7,6 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use utlb_sim::experiments::cluster_workload;
+use utlb_sim::RunOutputExt;
 use utlb_sim::{ClusterConfig, Mechanism, Run, SimConfig};
 use utlb_trace::GenConfig;
 
@@ -30,7 +31,7 @@ fn bench_cluster_replay(c: &mut Criterion) {
             .config(&sim)
             .cluster(ClusterConfig::new(nodes));
         group.bench_function(format!("boards_{nodes}"), |b| {
-            b.iter(|| black_box(run.execute(&trace).into_cluster().des_time_ns))
+            b.iter(|| black_box(run.execute(&trace).into_cluster().unwrap().des_time_ns))
         });
     }
     group.finish();

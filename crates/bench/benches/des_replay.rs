@@ -10,6 +10,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use utlb_bench::scalar_run_mechanism;
+use utlb_sim::RunOutputExt;
 use utlb_sim::{DesConfig, Mechanism, Run, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp};
 
@@ -36,17 +37,17 @@ fn bench_des_replay(c: &mut Criterion) {
         });
         group.bench_function(format!("serial_{mech}"), |b| {
             let run = Run::new(mech).config(&sim);
-            b.iter(|| black_box(run.execute(&trace).into_sim().sim_time_ns))
+            b.iter(|| black_box(run.execute(&trace).into_sim().unwrap().sim_time_ns))
         });
         group.bench_function(format!("des_zero_contention_{mech}"), |b| {
             let run = Run::new(mech)
                 .config(&sim)
                 .des(DesConfig::zero_contention());
-            b.iter(|| black_box(run.execute(&trace).into_des().des_time_ns))
+            b.iter(|| black_box(run.execute(&trace).into_des().unwrap().des_time_ns))
         });
         group.bench_function(format!("des_contended_{mech}"), |b| {
             let run = Run::new(mech).config(&sim).des(DesConfig::contended(4.0));
-            b.iter(|| black_box(run.execute(&trace).into_des().des_time_ns))
+            b.iter(|| black_box(run.execute(&trace).into_des().unwrap().des_time_ns))
         });
     }
     group.finish();

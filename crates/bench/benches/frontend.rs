@@ -7,6 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use utlb_sim::frontend::{frontend_trace, FrontendConfig};
+use utlb_sim::RunOutputExt;
 use utlb_sim::{Live, Mechanism, Run, SimConfig};
 
 fn steady_cfg() -> FrontendConfig {
@@ -43,17 +44,17 @@ fn bench_frontend(c: &mut Criterion) {
     group.throughput(Throughput::Elements(requests));
     let live = Run::new(Mechanism::Utlb).config(&sim).frontend(fcfg);
     group.bench_function("live", |b| {
-        b.iter(|| black_box(live.execute(Live).into_frontend().served))
+        b.iter(|| black_box(live.execute(Live).into_frontend().unwrap().served))
     });
     let serial = Run::new(Mechanism::Utlb).config(&sim);
     group.bench_function("trace_replay", |b| {
-        b.iter(|| black_box(serial.execute(&trace).into_sim().stats.lookups))
+        b.iter(|| black_box(serial.execute(&trace).into_sim().unwrap().stats.lookups))
     });
     let churn = Run::new(Mechanism::Indexed)
         .config(&sim)
         .frontend(churn_cfg());
     group.bench_function("churn", |b| {
-        b.iter(|| black_box(churn.execute(Live).into_frontend().served))
+        b.iter(|| black_box(churn.execute(Live).into_frontend().unwrap().served))
     });
     group.finish();
 }

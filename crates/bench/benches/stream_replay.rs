@@ -15,6 +15,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use utlb_sim::RunOutputExt;
 use utlb_sim::{Mechanism, Run, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp};
 
@@ -39,18 +40,18 @@ fn bench_stream_replay(c: &mut Criterion) {
     group.sample_size(10);
     let run = Run::new(Mechanism::Utlb).config(&sim);
     group.bench_function("replay_materialized", |b| {
-        b.iter(|| black_box(run.execute(&trace).into_sim()))
+        b.iter(|| black_box(run.execute(&trace).into_sim().unwrap()))
     });
     group.bench_function("fused_generate_replay", |b| {
         b.iter(|| {
             let mut stream = gen::stream(app, &gcfg);
-            black_box(run.execute(&mut stream).into_sim())
+            black_box(run.execute(&mut stream).into_sim().unwrap())
         })
     });
     group.bench_function("generate_then_replay", |b| {
         b.iter(|| {
             let t = gen::generate(app, &gcfg);
-            black_box(run.execute(&t).into_sim())
+            black_box(run.execute(&t).into_sim().unwrap())
         })
     });
     group.finish();

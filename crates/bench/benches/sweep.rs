@@ -18,6 +18,7 @@ use utlb_core::{
 use utlb_mem::{Host, PhysAddr, ProcessId, VirtPage, PAGE_SIZE};
 use utlb_nic::Board;
 use utlb_sim::sweep::THREADS_ENV;
+use utlb_sim::RunOutputExt;
 use utlb_sim::{sweep, Mechanism, Run, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp, Trace};
 
@@ -82,6 +83,7 @@ fn bench_grid(c: &mut Criterion) {
                         .config(&SimConfig::study(sizes[ix]))
                         .execute(&trace)
                         .into_sim()
+                        .unwrap()
                         .stats
                         .ni_miss_rate()
                 }))
@@ -107,6 +109,7 @@ fn bench_noop_probe(c: &mut Criterion) {
                 Run::with_config(&cfg)
                     .execute_with(&mut engine, &trace)
                     .into_sim()
+                    .unwrap()
                     .stats
                     .lookups,
             )
@@ -120,6 +123,7 @@ fn bench_noop_probe(c: &mut Criterion) {
                 Run::with_config(&cfg)
                     .execute_with(&mut engine, &trace)
                     .into_sim()
+                    .unwrap()
                     .stats
                     .lookups,
             )
@@ -149,6 +153,7 @@ fn bench_replay_paths(c: &mut Criterion) {
                         .config(&cfg)
                         .execute(&trace)
                         .into_sim()
+                        .unwrap()
                         .stats
                         .lookups,
                 )

@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use utlb_core::Associativity;
+use utlb_sim::RunOutputExt;
 use utlb_sim::{Mechanism, Run, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp};
 
@@ -24,11 +25,11 @@ fn bench_engines(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("utlb_radix", |b| {
         let run = Run::new(Mechanism::Utlb).config(&SimConfig::study(2048));
-        b.iter(|| black_box(run.execute(&trace).into_sim()))
+        b.iter(|| black_box(run.execute(&trace).into_sim().unwrap()))
     });
     group.bench_function("intr_radix", |b| {
         let run = Run::new(Mechanism::Intr).config(&SimConfig::study(2048));
-        b.iter(|| black_box(run.execute(&trace).into_sim()))
+        b.iter(|| black_box(run.execute(&trace).into_sim().unwrap()))
     });
     group.finish();
 }
@@ -47,7 +48,7 @@ fn bench_associativity_ablation(c: &mut Criterion) {
                     ..SimConfig::study(2048)
                 };
                 let run = Run::new(Mechanism::Utlb).config(&cfg);
-                b.iter(|| black_box(run.execute(&trace).into_sim()))
+                b.iter(|| black_box(run.execute(&trace).into_sim().unwrap()))
             },
         );
     }

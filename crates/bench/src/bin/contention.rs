@@ -6,6 +6,7 @@
 
 use serde::Serialize;
 use utlb_sim::experiments::{bus_contention, interference_des, BusContention, InterferenceDes};
+use utlb_sim::RunOutputExt;
 use utlb_sim::{wait_breakdown, DesConfig, Mechanism, Run, SimConfig};
 use utlb_trace::{gen, SplashApp};
 
@@ -42,7 +43,8 @@ fn main() {
         .config(&SimConfig::study(CACHE_ENTRIES))
         .des(DesConfig::contended(INTERFERENCE_LOAD))
         .execute(&radix)
-        .into_des();
+        .into_des()
+        .unwrap();
     println!(
         "{}",
         wait_breakdown(

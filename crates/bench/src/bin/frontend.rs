@@ -14,6 +14,7 @@
 use std::time::Instant;
 use utlb_sim::experiments::{frontend_load, FRONTEND_CONNS};
 use utlb_sim::frontend::{frontend_trace, FrontendConfig};
+use utlb_sim::RunOutputExt;
 use utlb_sim::{Live, Mechanism, Run, SimConfig};
 
 /// NIC cache entries — the paper's default study point.
@@ -54,18 +55,18 @@ fn bench_reactor() -> (u64, f64, f64) {
     let serial = Run::new(Mechanism::Utlb).config(&sim);
 
     // One warm-up each, then a timed pass of several iterations.
-    let _ = live.execute(Live).into_frontend().served;
-    let _ = serial.execute(&trace).into_sim().stats.lookups;
+    let _ = live.execute(Live).into_frontend().unwrap().served;
+    let _ = serial.execute(&trace).into_sim().unwrap().stats.lookups;
     const ITERS: u32 = 10;
     let t = Instant::now();
     for _ in 0..ITERS {
-        let r = live.execute(Live).into_frontend();
+        let r = live.execute(Live).into_frontend().unwrap();
         assert_eq!(r.served, requests);
     }
     let live_ms = t.elapsed().as_secs_f64() * 1e3 / f64::from(ITERS);
     let t = Instant::now();
     for _ in 0..ITERS {
-        let _ = serial.execute(&trace).into_sim();
+        let _ = serial.execute(&trace).into_sim().unwrap();
     }
     let replay_ms = t.elapsed().as_secs_f64() * 1e3 / f64::from(ITERS);
     (requests, live_ms, replay_ms)

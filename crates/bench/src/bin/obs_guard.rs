@@ -13,6 +13,7 @@ use std::hint::black_box;
 use std::time::Instant;
 use utlb_core::obs::NoopProbe;
 use utlb_core::UtlbEngine;
+use utlb_sim::RunOutputExt;
 use utlb_sim::{Run, SimConfig};
 use utlb_trace::{gen, SplashApp};
 
@@ -29,11 +30,15 @@ fn main() {
 
     // Warm both paths (page tables, allocator, trace cache) before timing.
     let runner = Run::with_config(&cfg);
-    runner.execute_with(&mut UtlbEngine::new(cfg.utlb_config()), &trace);
+    runner
+        .execute_with(&mut UtlbEngine::new(cfg.utlb_config()), &trace)
+        .expect("warm-up run succeeds");
     {
         let mut engine = UtlbEngine::new(cfg.utlb_config());
         engine.set_probe(Box::new(NoopProbe));
-        runner.execute_with(&mut engine, &trace);
+        runner
+            .execute_with(&mut engine, &trace)
+            .expect("warm-up run succeeds");
     }
 
     let mut base = f64::INFINITY;
@@ -45,6 +50,7 @@ fn main() {
             runner
                 .execute_with(&mut engine, &trace)
                 .into_sim()
+                .unwrap()
                 .stats
                 .lookups,
         );
@@ -57,6 +63,7 @@ fn main() {
             runner
                 .execute_with(&mut engine, &trace)
                 .into_sim()
+                .unwrap()
                 .stats
                 .lookups,
         );

@@ -9,6 +9,7 @@ use utlb_core::obs::Metrics;
 use utlb_core::{CacheConfig, SharedUtlbCache};
 use utlb_mem::{PhysAddr, ProcessId, VirtPage};
 use utlb_sim::sweep::{worker_count, THREADS_ENV};
+use utlb_sim::RunOutputExt;
 use utlb_sim::{phase_breakdown, sweep_over, Mechanism, ObsReport, Run, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp};
 
@@ -179,7 +180,8 @@ fn obs_pass(gencfg: &GenConfig) {
                 .config(cfg)
                 .observed_ring(OBS_RING)
                 .execute(trace)
-                .into_observed();
+                .into_observed()
+                .unwrap();
             assert!(
                 report.reconciled,
                 "{name}/{app}/{mech}: probe stream disagrees with engine stats: {:?}",

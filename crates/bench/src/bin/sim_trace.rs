@@ -7,6 +7,7 @@
 
 use std::fs::File;
 use std::io::BufReader;
+use utlb_sim::RunOutputExt;
 use utlb_sim::{Mechanism, Run, SimConfig};
 
 fn main() {
@@ -33,11 +34,13 @@ fn main() {
     let u = Run::new(Mechanism::Utlb)
         .config(&sim)
         .execute(&trace)
-        .into_sim();
+        .into_sim()
+        .unwrap();
     let i = Run::new(Mechanism::Intr)
         .config(&sim)
         .execute(&trace)
-        .into_sim();
+        .into_sim()
+        .unwrap();
     println!("cache {entries} entries, mem limit {limit:?} pages/process\n");
     println!(
         "{:<8}{:>12}{:>12}{:>12}{:>14}{:>12}",

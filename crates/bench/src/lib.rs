@@ -117,7 +117,7 @@ impl BenchArgs {
 /// The pre-batching replay loop, kept as the *scalar baseline* for the
 /// batched-vs-scalar throughput benches: per-record `lookup_run` (one
 /// outcome `Vec` allocated per record) and per-page classification. The
-/// library's [`utlb_sim::run`] now goes through the allocation-free
+/// library's [`utlb_sim::Run`] replay path now goes through the allocation-free
 /// [`utlb_core::TranslationMechanism::lookup_run_into`]; benchmarking both
 /// on the same trace measures what the batch path buys.
 pub fn scalar_replay<M: utlb_core::TranslationMechanism>(
@@ -206,6 +206,7 @@ impl Default for BenchArgs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use utlb_sim::RunOutputExt;
 
     #[test]
     fn default_args_match_paper_scale() {
@@ -234,7 +235,8 @@ mod tests {
             let batched = utlb_sim::Run::new(mech)
                 .config(&cfg)
                 .execute(&trace)
-                .into_sim();
+                .into_sim()
+                .unwrap();
             assert_eq!(
                 serde_json::to_string(&scalar).unwrap(),
                 serde_json::to_string(&batched).unwrap(),

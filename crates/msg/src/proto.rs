@@ -5,8 +5,9 @@
 //! connection setup ([`Frame::Hello`]/[`Frame::Welcome`]), buffer export,
 //! remote stores and fetches against exported buffers
 //! ([`Frame::Store`]/[`Frame::Fetch`]), completions ([`Frame::Done`]),
-//! credit exhaustion ([`Frame::Busy`]), and graceful teardown
-//! ([`Frame::Bye`]/[`Frame::ByeAck`]).
+//! credit exhaustion ([`Frame::Busy`]), graceful teardown
+//! ([`Frame::Bye`]/[`Frame::ByeAck`]), and cross-board re-homing when a
+//! board's registration SRAM is exhausted ([`Frame::Redirect`]).
 //!
 //! Frames are exactly [`FRAME_BYTES`] bytes — tag byte first, fields
 //! little-endian — and encode *into a caller-owned buffer*
@@ -76,6 +77,17 @@ pub enum Frame {
     Bye,
     /// Board → client: close acknowledged, buffers unpinned.
     ByeAck,
+    /// Board → client: the handshake was refused here, but board `board`
+    /// may have capacity — re-run the [`Frame::Hello`] there. This is the
+    /// `Busy`-with-redirect of the clustered request plane: a lifetime
+    /// SRAM-registration refusal becomes a re-homing hop instead of a dead
+    /// connection.
+    Redirect {
+        /// The client being redirected (echoes the `Hello`'s identity).
+        client: u64,
+        /// The next candidate board to greet.
+        board: u32,
+    },
 }
 
 /// Frame tags (first byte of every encoding).
@@ -88,6 +100,7 @@ mod tag {
     pub const BUSY: u8 = 6;
     pub const BYE: u8 = 7;
     pub const BYE_ACK: u8 = 8;
+    pub const REDIRECT: u8 = 9;
 }
 
 fn put_u64(out: &mut [u8; FRAME_BYTES], at: usize, v: u64) {
@@ -139,6 +152,11 @@ impl Frame {
             }
             Frame::Bye => out[0] = tag::BYE,
             Frame::ByeAck => out[0] = tag::BYE_ACK,
+            Frame::Redirect { client, board } => {
+                out[0] = tag::REDIRECT;
+                put_u64(out, 8, client);
+                out[16..20].copy_from_slice(&board.to_le_bytes());
+            }
         }
     }
 
@@ -188,6 +206,10 @@ impl Frame {
             },
             tag::BYE => Frame::Bye,
             tag::BYE_ACK => Frame::ByeAck,
+            tag::REDIRECT => Frame::Redirect {
+                client: get_u64(buf, 8),
+                board: u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes")),
+            },
             _ => return Err(MsgError::BadFrame("unknown frame tag")),
         })
     }
@@ -232,6 +254,10 @@ mod tests {
             Frame::Busy { seq: 9 },
             Frame::Bye,
             Frame::ByeAck,
+            Frame::Redirect {
+                client: 0xDEAD_BEEF,
+                board: 3,
+            },
         ]
     }
 
@@ -258,6 +284,11 @@ mod tests {
         .is_request());
         assert!(!Frame::ByeAck.is_request());
         assert!(!Frame::Busy { seq: 1 }.is_request());
+        assert!(!Frame::Redirect {
+            client: 1,
+            board: 0
+        }
+        .is_request());
     }
 
     #[test]

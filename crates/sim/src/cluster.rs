@@ -22,7 +22,7 @@
 //! byte-deterministic under any sweep worker count. On one board under
 //! [`DesConfig::zero_contention`] every shared-station acquisition starts
 //! at its cursor (the previous grant always ends no later), which is why
-//! the 1-board cluster is *bit-exact* with the serial [`run_des`] overlay
+//! the 1-board cluster is *bit-exact* with the serial `.des()` overlay
 //! (pinned by `tests/cluster.rs`).
 //!
 //! **Migration.** A [`Migration`] rehomes one process mid-trace: its stats
@@ -31,22 +31,24 @@
 //! releasing every pinned page it held there — and the destination board
 //! registers it fresh, so its working set demand-repins. A stale
 //! translation surviving on the source board would be a correctness bug;
-//! `tests/cluster.rs` prop-tests that none ever does.
-//!
-//! [`run_des`]: crate::run_des
+//! `tests/cluster.rs` prop-tests that none ever does. (The clustered
+//! *front end* re-homes at admission instead of on a schedule — see
+//! [`HomingPolicy`] and [`crate::frontend::cluster`].)
 
 use crate::des_runner::{emit_wait, DemandTap, DesConfig};
 use crate::runner::STREAM_CHUNK;
+use crate::stations::{station_walk, SharedStations, StationWaits};
 use crate::{Mechanism, MissClassifier, SimConfig, SimResult};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 use std::rc::Rc;
 use utlb_core::obs::{Event, Histogram, Metrics, Probe, SharedCollector, WaitResource};
 use utlb_core::{
     page_demands_into, LookupBatch, OutcomeBuf, PageDemand, TranslationMechanism, TranslationStats,
 };
-use utlb_des::{DmaEngineModel, IntrServiceModel, IoBusModel, Resource, ResourceReport};
+use utlb_des::{DmaEngineModel, Resource, ResourceReport};
 use utlb_mem::{Host, ProcessId};
 use utlb_nic::{Board, Nanos};
 use utlb_trace::{fill_chunk, ShardMap, TraceStream};
@@ -66,17 +68,60 @@ pub struct Migration {
     pub to_board: usize,
 }
 
+/// How a clustered front end picks the home board for a new connection.
+///
+/// Homing happens at admission time; when the chosen board's registration
+/// SRAM is exhausted, the handshake falls over to the next candidate via
+/// [`Frame::Redirect`](utlb_msg::Frame::Redirect) — see
+/// [`crate::frontend::cluster`]. Trace-driven cluster runs place by
+/// [`ShardMap`] instead and ignore this field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum HomingPolicy {
+    /// Hash the client index onto a board: stateless, uniform in
+    /// expectation, oblivious to load. Candidate order on refusal is the
+    /// ring successor of the hashed home.
+    #[default]
+    HashByClient,
+    /// Home to the board with the fewest open connections (ties to the
+    /// lowest index): load-aware, needs cluster-wide state at admission.
+    /// Candidate order on refusal is ascending load.
+    LeastLoaded,
+}
+
+impl HomingPolicy {
+    /// Every policy, in study-grid order.
+    pub const ALL: [HomingPolicy; 2] = [HomingPolicy::HashByClient, HomingPolicy::LeastLoaded];
+
+    /// Short kebab-case label used in archives and plots.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HomingPolicy::HashByClient => "hash-by-client",
+            HomingPolicy::LeastLoaded => "least-loaded",
+        }
+    }
+}
+
+impl fmt::Display for HomingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Topology of a cluster run: board count, process placement, scheduled
-/// migrations.
+/// migrations, and (for live front ends) the connection homing policy.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of simulated boards.
     pub nodes: usize,
     /// Initial process placement; `None` means round-robin over the
-    /// stream's pids ([`ShardMap::round_robin`]).
+    /// stream's pids ([`ShardMap::round_robin`]). Trace runs only.
     pub shard: Option<ShardMap>,
     /// Scheduled migrations, applied in `(at_ns, insertion order)` order.
+    /// Trace runs only; a live front end re-homes at admission instead.
     pub migrations: Vec<Migration>,
+    /// Connection homing policy for live front-end runs
+    /// (`.frontend(..).cluster(..)`). Ignored by trace runs.
+    pub homing: HomingPolicy,
 }
 
 impl ClusterConfig {
@@ -90,12 +135,19 @@ impl ClusterConfig {
             nodes,
             shard: None,
             migrations: Vec::new(),
+            homing: HomingPolicy::default(),
         }
     }
 
     /// Uses an explicit placement instead of round-robin.
     pub fn shard(mut self, map: ShardMap) -> Self {
         self.shard = Some(map);
+        self
+    }
+
+    /// Sets the connection homing policy for live front-end runs.
+    pub fn homing(mut self, policy: HomingPolicy) -> Self {
+        self.homing = policy;
         self
     }
 
@@ -249,11 +301,7 @@ struct BoardState {
     t0: Nanos,
     des_end: Nanos,
     latency: Histogram,
-    fw_wait: Nanos,
-    dma_wait: Nanos,
-    bus_wait: Nanos,
-    intr_wait: Nanos,
-    host_mem_wait: Nanos,
+    waits: StationWaits,
     payload_transfers: u64,
     payload_words: u64,
     /// Stats of completed residencies, keyed by raw pid — the engine drops
@@ -318,11 +366,7 @@ where
                 t0: Nanos::ZERO,
                 des_end: Nanos::ZERO,
                 latency: Histogram::new(),
-                fw_wait: Nanos::ZERO,
-                dma_wait: Nanos::ZERO,
-                bus_wait: Nanos::ZERO,
-                intr_wait: Nanos::ZERO,
-                host_mem_wait: Nanos::ZERO,
+                waits: StationWaits::default(),
                 payload_transfers: 0,
                 payload_words: 0,
                 carried: BTreeMap::new(),
@@ -333,9 +377,7 @@ where
 
     // The shared stations: one host memory system, one I/O bus, one host
     // interrupt service for the whole cluster.
-    let mut host_mem = Resource::fifo("host_mem", 1);
-    let mut io_bus = IoBusModel::new(des.bus);
-    let mut intr_svc = IntrServiceModel::new(des.intr_dispatch);
+    let mut shared = SharedStations::new(des);
 
     // Spawn all processes on the shared host in global pid order (dense
     // from 1, as every runner asserts), registering each on its home board.
@@ -418,8 +460,8 @@ where
             bs.classifier.access_batch(pid, out.as_slice());
 
             // --- DES overlay: private firmware/DMA, shared everything
-            // else. Field-level borrows so the firmware closure can use the
-            // board's other stations.
+            // else. Field-level borrows so the firmware closure can walk
+            // the board's other stations ([`station_walk`]).
             events_scratch.clear();
             std::mem::swap(&mut *bs.tap_buf.borrow_mut(), &mut events_scratch);
             page_demands_into(&events_scratch, &mut demands);
@@ -428,49 +470,22 @@ where
                 firmware,
                 dma,
                 wait_probe,
-                dma_wait,
-                bus_wait,
-                intr_wait,
-                host_mem_wait,
+                waits,
                 ..
             } = bs;
             let grant = firmware.acquire_with(arrival, |start| {
-                let mut cursor = start;
-                for d in &demands {
-                    cursor += Nanos::from_nanos(d.firmware_ns());
-                    let mut intr_occupancy = d.intr_ns;
-                    if kernel_pins {
-                        intr_occupancy += d.pin_ns;
-                    } else if d.pin_ns > 0 {
-                        // Driver pin work crosses to the shared host memory
-                        // system. Uncontended the grant starts at the
-                        // cursor, reproducing the serial charge exactly.
-                        let g = host_mem.acquire(cursor, Nanos::from_nanos(d.pin_ns));
-                        *host_mem_wait += g.wait;
-                        emit_wait(wait_probe, pid, WaitResource::HostMem, g.wait);
-                        cursor = g.end;
-                    }
-                    if intr_occupancy > 0 {
-                        let g = intr_svc.handle_for(cursor, Nanos::from_nanos(intr_occupancy));
-                        *intr_wait += g.wait;
-                        emit_wait(wait_probe, pid, WaitResource::IntrService, g.wait);
-                        cursor = g.end;
-                    }
-                    if d.dma_ns > 0 {
-                        let total = Nanos::from_nanos(d.dma_ns);
-                        let setup = dma.setup().min(total);
-                        let g1 = dma.program_for(cursor, setup);
-                        *dma_wait += g1.wait;
-                        emit_wait(wait_probe, pid, WaitResource::DmaEngine, g1.wait);
-                        let g2 = io_bus.transfer(g1.end, total - setup);
-                        *bus_wait += g2.wait;
-                        emit_wait(wait_probe, pid, WaitResource::Bus, g2.wait);
-                        cursor = g2.end;
-                    }
-                }
-                cursor
+                station_walk(
+                    start,
+                    &demands,
+                    kernel_pins,
+                    pid,
+                    dma,
+                    &mut shared,
+                    waits,
+                    wait_probe,
+                )
             });
-            bs.fw_wait += grant.wait;
+            bs.waits.fw += grant.wait;
             emit_wait(&mut bs.wait_probe, pid, WaitResource::Firmware, grant.wait);
             let lat = grant.end - arrival;
             bs.latency.record(lat.as_nanos());
@@ -484,10 +499,11 @@ where
                     bs.payload_transfers += 1;
                     bs.payload_words += words;
                     let g1 = bs.dma.program(grant.end);
-                    let g2 = io_bus.transfer(g1.end, io_bus.data_service(words));
+                    let service = shared.io_bus.data_service(words);
+                    let g2 = shared.io_bus.transfer(g1.end, service);
                     if des.notify_interrupts {
-                        let g = intr_svc.handle(g2.end, Nanos::ZERO);
-                        bs.intr_wait += g.wait;
+                        let g = shared.intr_svc.handle(g2.end, Nanos::ZERO);
+                        bs.waits.intr += g.wait;
                         emit_wait(&mut bs.wait_probe, pid, WaitResource::IntrService, g.wait);
                     }
                 }
@@ -546,9 +562,9 @@ where
         let metrics = bs.collector.snapshot().metrics;
         let reconciled = metrics.reconcile(&stats).is_empty();
         cluster_latency.merge(&bs.latency);
-        bus_wait_total += bs.bus_wait;
-        intr_wait_total += bs.intr_wait;
-        host_mem_wait_total += bs.host_mem_wait;
+        bus_wait_total += bs.waits.bus;
+        intr_wait_total += bs.waits.intr;
+        host_mem_wait_total += bs.waits.host_mem;
         payload_transfers += bs.payload_transfers;
         payload_words += bs.payload_words;
 
@@ -565,11 +581,11 @@ where
             },
             des_time_ns: (bs.des_end - bs.t0).as_nanos(),
             latency_ns: bs.latency,
-            fw_wait_ns: bs.fw_wait.as_nanos(),
-            dma_wait_ns: bs.dma_wait.as_nanos(),
-            bus_wait_ns: bs.bus_wait.as_nanos(),
-            intr_wait_ns: bs.intr_wait.as_nanos(),
-            host_mem_wait_ns: bs.host_mem_wait.as_nanos(),
+            fw_wait_ns: bs.waits.fw.as_nanos(),
+            dma_wait_ns: bs.waits.dma.as_nanos(),
+            bus_wait_ns: bs.waits.bus.as_nanos(),
+            intr_wait_ns: bs.waits.intr.as_nanos(),
+            host_mem_wait_ns: bs.waits.host_mem.as_nanos(),
             metrics,
             reconciled,
             resources: vec![bs.firmware.report(), bs.dma.report()],
@@ -582,7 +598,7 @@ where
         des_time_ns: cells.iter().map(|c| c.des_time_ns).max().unwrap_or(0),
         latency_ns: cluster_latency,
         boards: cells,
-        shared: vec![host_mem.report(), io_bus.report(), intr_svc.report()],
+        shared: shared.reports(),
         host_mem_wait_ns: host_mem_wait_total.as_nanos(),
         bus_wait_ns: bus_wait_total.as_nanos(),
         intr_wait_ns: intr_wait_total.as_nanos(),
@@ -648,6 +664,7 @@ fn apply_migration(
 mod tests {
     use super::*;
     use crate::Run;
+    use crate::RunOutputExt;
     use utlb_mem::{VirtAddr, PAGE_SIZE};
     use utlb_trace::{Op, Trace, TraceRecord};
 
@@ -685,7 +702,8 @@ mod tests {
             .config(&cfg)
             .cluster(ClusterConfig::new(2))
             .execute(&trace)
-            .into_cluster();
+            .into_cluster()
+            .unwrap();
         assert_eq!(r.nodes, 2);
         assert_eq!(r.boards[0].pids, vec![1]);
         assert_eq!(r.boards[1].pids, vec![2]);
@@ -722,7 +740,8 @@ mod tests {
             .config(&cfg)
             .cluster(ClusterConfig::new(2).migrate(1, 5_000, 1))
             .execute(&trace)
-            .into_cluster();
+            .into_cluster()
+            .unwrap();
         assert_eq!(r.migrations.len(), 1);
         let m = r.migrations[0];
         assert_eq!((m.pid, m.from, m.to), (1, 0, 1));
@@ -757,7 +776,8 @@ mod tests {
             .config(&cfg)
             .cluster(ClusterConfig::new(2).migrate(1, 1_000_000, 1))
             .execute(&trace)
-            .into_cluster();
+            .into_cluster()
+            .unwrap();
         assert_eq!(r.migrations.len(), 1);
         assert_eq!(r.boards[1].pids, vec![1, 2]);
         // The carried snapshot keeps the history even though the engine
@@ -772,7 +792,8 @@ mod tests {
             .config(&SimConfig::study(64))
             .cluster(ClusterConfig::new(2).migrate(1, 2_500, 0))
             .execute(&trace)
-            .into_cluster();
+            .into_cluster()
+            .unwrap();
         assert!(r.migrations.is_empty(), "pid 1 already lives on board 0");
     }
 
@@ -783,6 +804,8 @@ mod tests {
         Run::new(Mechanism::Utlb)
             .config(&SimConfig::study(64))
             .cluster(ClusterConfig::new(2).migrate(1, 0, 5))
-            .execute(&trace);
+            .execute(&trace)
+            .into_cluster()
+            .unwrap();
     }
 }

@@ -1,7 +1,8 @@
 //! Discrete-event replay: the serial runner's timing, made contention-aware.
 //!
-//! [`run_des`] drives the same engines over the same traces as
-//! [`run`](crate::run), but instead of charging every cost to one serial
+//! A `.des(timing)` run drives the same engines over the same traces as a
+//! plain [`Run::execute`](crate::Run::execute), but instead of charging
+//! every cost to one serial
 //! clock it routes each lookup's resource demands — NIC firmware time, host
 //! kernel pin work, interrupt dispatch, translation-entry DMA — through the
 //! contended stations of `utlb-des`. The engine replay itself is kept
@@ -19,9 +20,8 @@
 //! interrupt service, which is where queueing delay — the paper's §7 open
 //! question — appears.
 
-use crate::observe::ObsReport;
 use crate::runner::STREAM_CHUNK;
-use crate::{Mechanism, MissClassifier, Run, SimConfig, SimResult};
+use crate::{MissClassifier, SimConfig, SimResult};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -29,17 +29,17 @@ use utlb_core::obs::{Event, Histogram, Probe, SharedCollector, WaitResource};
 use utlb_core::{page_demands_into, LookupBatch, OutcomeBuf, PageDemand, TranslationMechanism};
 use utlb_mem::{Host, ProcessId};
 use utlb_nic::{Board, BoardSnapshot, Nanos};
-use utlb_trace::{fill_chunk, Trace, TraceStream};
+use utlb_trace::{fill_chunk, TraceStream};
 
 pub use utlb_des::DesConfig;
 use utlb_des::{DmaEngineModel, IntrServiceModel, IoBusModel, Resource, ResourceReport};
 
 /// Outcome of one discrete-event run: the serial result (identical to what
-/// [`run`](crate::run) returns for the same inputs) plus the queueing view.
+/// a plain trace replay returns for the same inputs) plus the queueing view.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DesResult {
     /// The serial-replay result — counters, cache, classification,
-    /// `sim_time_ns` — byte-identical to a plain [`run`](crate::run).
+    /// `sim_time_ns` — byte-identical to a plain trace replay.
     pub base: SimResult,
     /// When the last translation finished on the contended stations,
     /// relative to the same origin as `base.sim_time_ns`. Equals
@@ -345,97 +345,11 @@ where
     (result, board.snapshot())
 }
 
-/// Runs `trace` through `engine` on the discrete-event stations.
-///
-/// The serial half of the result (`base`) is byte-identical to
-/// [`run`](crate::run) on the same inputs; the DES half adds queueing
-/// delays, per-request latency distributions, and station occupancy.
-///
-/// # Panics
-///
-/// Panics on internal engine errors, as for [`Run::execute`].
-#[deprecated(note = "use `Run::with_config(cfg).des(*des).execute_with(engine, trace).into_des()`")]
-pub fn run_des<M: TranslationMechanism>(
-    engine: &mut M,
-    trace: &Trace,
-    cfg: &SimConfig,
-    des: &DesConfig,
-) -> DesResult {
-    Run::with_config(cfg)
-        .des(*des)
-        .execute_with(engine, trace)
-        .into_des()
-}
-
-/// Runs a [`TraceStream`] through `engine` on the discrete-event stations —
-/// the fused generate+replay counterpart of [`run_des`]. The trace is never
-/// materialized; resident trace memory is O([`STREAM_CHUNK`]).
-///
-/// # Panics
-///
-/// Panics on internal engine errors, as for [`run_des`].
-#[deprecated(
-    note = "use `Run::with_config(cfg).des(*des).execute_with(engine, stream).into_des()`"
-)]
-pub fn run_des_stream<M: TranslationMechanism, S: TraceStream>(
-    engine: &mut M,
-    stream: &mut S,
-    cfg: &SimConfig,
-    des: &DesConfig,
-) -> DesResult {
-    Run::with_config(cfg)
-        .des(*des)
-        .execute_with(engine, stream)
-        .into_des()
-}
-
-/// [`run_des`] behind a [`Mechanism`] dispatch.
-///
-/// # Panics
-///
-/// Panics on internal engine errors.
-#[deprecated(note = "use `Run::new(mech).config(cfg).des(*des).execute(trace).into_des()`")]
-pub fn run_des_mechanism(
-    mech: Mechanism,
-    trace: &Trace,
-    cfg: &SimConfig,
-    des: &DesConfig,
-) -> DesResult {
-    Run::new(mech)
-        .config(cfg)
-        .des(*des)
-        .execute(trace)
-        .into_des()
-}
-
-/// [`run_des`] with a [`SharedCollector`] attached: engine events *and* the
-/// runner's [`Event::Wait`]s flow into the metrics, so the wait histograms
-/// in the report carry the true queueing-delay distributions.
-///
-/// # Panics
-///
-/// Panics on internal engine errors and on a zero `ring_capacity`.
-#[deprecated(
-    note = "use `Run::with_config(cfg).des(*des).observed_ring(n).execute_with(engine, trace).into_des_observed()`"
-)]
-pub fn run_des_observed<M: TranslationMechanism>(
-    engine: &mut M,
-    trace: &Trace,
-    cfg: &SimConfig,
-    des: &DesConfig,
-    ring_capacity: usize,
-) -> (DesResult, ObsReport) {
-    Run::with_config(cfg)
-        .des(*des)
-        .observed_ring(ring_capacity)
-        .execute_with(engine, trace)
-        .into_des_observed()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use utlb_trace::{gen, GenConfig, SplashApp};
+    use crate::{Mechanism, Run, RunOutputExt};
+    use utlb_trace::{gen, GenConfig, SplashApp, Trace};
 
     fn tiny(app: SplashApp) -> Trace {
         gen::generate(
@@ -454,6 +368,7 @@ mod tests {
             .des(*des)
             .execute(trace)
             .into_des()
+            .unwrap()
     }
 
     #[test]
@@ -461,7 +376,11 @@ mod tests {
         let trace = tiny(SplashApp::Water);
         let cfg = SimConfig::study(256);
         for mech in Mechanism::ALL {
-            let serial = Run::new(mech).config(&cfg).execute(&trace).into_sim();
+            let serial = Run::new(mech)
+                .config(&cfg)
+                .execute(&trace)
+                .into_sim()
+                .unwrap();
             let des = exec_des(mech, &trace, &cfg, &DesConfig::zero_contention());
             assert_eq!(des.base.stats, serial.stats, "{mech}");
             assert_eq!(des.base.cache, serial.cache, "{mech}");
@@ -513,7 +432,8 @@ mod tests {
             .des(DesConfig::contended(4.0))
             .observed_ring(32)
             .execute(&trace)
-            .into_des_observed();
+            .into_des_observed()
+            .unwrap();
         assert!(obs.reconciled, "mismatches: {:?}", obs.mismatches);
         assert!(obs.metrics.counts.waits > 0, "waits were recorded");
         assert_eq!(obs.metrics.total_wait_ns(), result.total_wait_ns());

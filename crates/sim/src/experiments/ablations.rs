@@ -9,6 +9,7 @@
 //!   multiprogrammed traces, so we run it.
 
 use crate::report::{micros, rate, TextTable};
+use crate::RunOutputExt;
 use crate::{sweep_over, Mechanism, Run, SimConfig, SimResult};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -83,7 +84,8 @@ pub fn policy_sweep(app: SplashApp, cfg: &GenConfig) -> PolicySweep {
         let r = Run::new(Mechanism::Utlb)
             .config(&sim)
             .execute(&trace)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         PolicyCell {
             policy,
             pin_rate: r.stats.pin_rate(),
@@ -151,6 +153,7 @@ pub fn perproc_vs_shared(app: SplashApp, cfg: &GenConfig, sram_entries: usize) -
         .config(&shared_cfg)
         .execute(&trace)
         .into_sim()
+        .unwrap()
         .into();
 
     // Per-process UTLB: the budget is statically divided per process.
@@ -162,6 +165,7 @@ pub fn perproc_vs_shared(app: SplashApp, cfg: &GenConfig, sram_entries: usize) -
         .config(&perproc_cfg)
         .execute(&trace)
         .into_sim()
+        .unwrap()
         .into();
 
     PerprocVsShared {
@@ -236,7 +240,8 @@ pub fn variant_comparison(
     let hierarchical = Run::new(Mechanism::Utlb)
         .config(&SimConfig::study(budget_entries))
         .execute(&trace)
-        .into_sim();
+        .into_sim()
+        .unwrap();
 
     let perproc_cfg = SimConfig {
         table_entries: perproc_split(budget_entries, trace.process_ids().len()),
@@ -245,7 +250,8 @@ pub fn variant_comparison(
     let perproc = Run::new(Mechanism::PerProc)
         .config(&perproc_cfg)
         .execute(&trace)
-        .into_sim();
+        .into_sim()
+        .unwrap();
 
     // §3.2: host tables far larger than the footprint, NIC budget as cache.
     let indexed_cfg = SimConfig {
@@ -255,7 +261,8 @@ pub fn variant_comparison(
     let mut indexed_engine = IndexedEngine::new(indexed_cfg.indexed_config());
     let indexed = Run::with_config(&indexed_cfg)
         .execute_with(&mut indexed_engine, &trace)
-        .into_sim();
+        .into_sim()
+        .unwrap();
     let pids = trace.process_ids();
     let indexed_fragmentation = pids
         .iter()
@@ -332,7 +339,8 @@ pub fn assoc_cost(app: SplashApp, cfg: &GenConfig, cache_entries: usize) -> Asso
         let r = Run::new(Mechanism::Utlb)
             .config(&sim)
             .execute(&trace)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         (
             assoc,
             r.stats.ni_miss_rate(),

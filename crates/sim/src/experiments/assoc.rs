@@ -7,6 +7,7 @@
 
 use super::{app_traces, CACHE_SIZES};
 use crate::report::{rate, TextTable};
+use crate::RunOutputExt;
 use crate::{sweep_over, Mechanism, Run, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -110,7 +111,8 @@ pub fn table8(cfg: &GenConfig) -> Table8 {
         let r = Run::new(Mechanism::Utlb)
             .config(&sim)
             .execute(trace)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         Table8Cell {
             cache_entries: entries,
             organization: org,

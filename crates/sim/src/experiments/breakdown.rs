@@ -3,6 +3,7 @@
 
 use super::app_traces;
 use crate::report::TextTable;
+use crate::RunOutputExt;
 use crate::{sweep_over, Mechanism, Run, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -59,7 +60,8 @@ pub fn fig7(cfg: &GenConfig) -> Fig7 {
         let r = Run::new(Mechanism::Utlb)
             .config(&sim)
             .execute(trace)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         let (comp, cap, conf) = r.breakdown.rates(r.stats.lookups);
         Fig7Bar {
             app,

@@ -18,6 +18,7 @@
 
 use crate::report::{micros, TextTable};
 use crate::sweep::worker_count;
+use crate::RunOutputExt;
 use crate::{ClusterConfig, ClusterResult, Mechanism, Run, SimConfig, DEFAULT_HOST_FRAMES};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -181,7 +182,8 @@ pub fn cluster_scaling(
                     .config(&sim)
                     .cluster(cluster)
                     .execute(&trace)
-                    .into_cluster();
+                    .into_cluster()
+                    .unwrap();
                 cells.push(ClusterCell {
                     mechanism: mech,
                     nodes,

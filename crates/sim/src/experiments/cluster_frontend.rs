@@ -1,0 +1,317 @@
+//! Extension: the clustered request plane — million-connection churn over
+//! boards × homing policy × mechanism.
+//!
+//! `frontend_load` measures one board serving live peers;
+//! `cluster_scaling` shards recorded traces over N boards. This driver
+//! composes the two: live connection churn homed over an N-board cluster
+//! (`Run::frontend(..).cluster(..)`), where a board whose registration
+//! SRAM is exhausted answers the handshake with `Frame::Redirect` and the
+//! client re-runs it on the next candidate.
+//!
+//! Two stories come out of the grid:
+//!
+//! * **Capacity.** Mechanisms with board-lifetime SRAM registration state
+//!   (§3.1 per-process tables at 512 slots per board under the 256-entry
+//!   config, §3.3's hierarchical directory at 64) refuse one board's worth
+//!   of the axis *per board* — redirect re-homing makes aggregate capacity
+//!   scale linearly in boards where a single board is a hard cliff. The
+//!   host-backed mechanisms (§3.2 indexed, interrupt baseline) accept all
+//!   10⁶ connections at every node count.
+//! * **Tails.** Every board prices handshakes and demand pins on the
+//!   *shared* host-memory / I/O-bus / interrupt-service stations, so
+//!   p50/p99/p999 spread as boards are added and the homing policy decides
+//!   how much admission skew turns into queueing skew.
+//!
+//! Cells fan out across the sweep pool; each cell is an independent
+//! deterministic simulation, so the JSON archive is byte-identical at any
+//! worker count (`scripts/ci.sh` pins this).
+
+use crate::frontend::cluster::ClusterFrontendResult;
+use crate::frontend::FrontendConfig;
+use crate::report::{micros, TextTable};
+use crate::sweep::sweep_over;
+use crate::{ClusterConfig, HomingPolicy, Live, Mechanism, Run, RunOutputExt, SimConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The board axis of the full experiment.
+pub const CLUSTER_FRONTEND_NODES: [usize; 3] = [2, 4, 8];
+
+/// Connections churned through every cell of the full experiment.
+pub const CLUSTER_FRONTEND_CONNS: usize = 1_000_000;
+
+/// Node count whose full UTLB [`ClusterFrontendResult`] (per-board cells,
+/// latency histogram, shared-station reports) is archived as the detail.
+pub const CLUSTER_FRONTEND_DETAIL_NODES: usize = 8;
+
+/// Per-process translation-table entries every cell runs with — small
+/// enough that the §3.1 SRAM cliff (512 processes per board) lands inside
+/// a million-connection axis.
+const CLUSTER_FRONTEND_TABLE_ENTRIES: usize = 256;
+
+/// The front-end shape shared by every cell, archived in the JSON header.
+/// Host-dependent quantities (worker counts, wall time) are deliberately
+/// excluded: the archive must be byte-identical on any machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterFrontendAxes {
+    /// The board counts swept.
+    pub nodes_axis: Vec<usize>,
+    /// The homing policies swept.
+    pub homing_axis: Vec<HomingPolicy>,
+    /// Connections attempted per cell.
+    pub connections: usize,
+    /// Connections open simultaneously in every cell.
+    pub open_window: usize,
+    /// Requests each connection issues.
+    pub requests_per_conn: usize,
+    /// Per-connection credit window.
+    pub credit_window: usize,
+    /// Per-connection stall-queue depth.
+    pub queue_depth: usize,
+    /// Mean think time between a connection's requests (ns).
+    pub think_ns: u64,
+    /// Payload drain time charged per served request (ns).
+    pub drain_ns: u64,
+    /// NIC cache entries.
+    pub cache_entries: usize,
+    /// Per-process translation-table entries.
+    pub table_entries: usize,
+}
+
+/// One (mechanism, nodes, homing policy) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterFrontendCell {
+    /// Serving mechanism.
+    pub mechanism: Mechanism,
+    /// Boards in the cluster.
+    pub nodes: usize,
+    /// Homing policy connections were placed by.
+    pub homing: HomingPolicy,
+    /// Connections some board accepted.
+    pub accepted: u64,
+    /// Connections every candidate board refused.
+    pub refused: u64,
+    /// Accepted connections that landed off their first-choice board.
+    pub redirected: u64,
+    /// Total `Frame::Redirect` hops, accepted and refused attempts alike.
+    pub redirects: u64,
+    /// Requests admitted and translated.
+    pub served: u64,
+    /// Served requests per second of simulated time.
+    pub throughput_rps: f64,
+    /// Median request latency (µs).
+    pub p50_us: f64,
+    /// 99th-percentile request latency (µs).
+    pub p99_us: f64,
+    /// 99.9th-percentile request latency (µs).
+    pub p999_us: f64,
+    /// Busiest board's served share over the per-board mean (1.0 = even).
+    pub imbalance: f64,
+    /// Queueing behind the shared host memory station (ns).
+    pub host_mem_wait_ns: u64,
+    /// Queueing behind the shared I/O bus (ns).
+    pub bus_wait_ns: u64,
+    /// Queueing behind shared interrupt service (ns).
+    pub intr_wait_ns: u64,
+    /// Slowest board's serial span (ns).
+    pub sim_time_ns: u64,
+}
+
+/// The clustered request-plane sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterFrontendScaling {
+    /// Front-end shape shared by all cells.
+    pub axes: ClusterFrontendAxes,
+    /// One cell per (nodes, homing, mechanism), axis-major.
+    pub cells: Vec<ClusterFrontendCell>,
+    /// Full result of the UTLB mechanism at
+    /// [`CLUSTER_FRONTEND_DETAIL_NODES`] boards (or the largest swept
+    /// count below it) under `hash-by-client` homing, with per-board
+    /// cells, the merged latency histogram, and shared-station reports.
+    pub detail: ClusterFrontendResult,
+}
+
+/// The per-cell front-end config: heavy load (think time well under the
+/// drain time) so the credit window and the shared stations both matter.
+fn cell_config(connections: usize) -> FrontendConfig {
+    FrontendConfig {
+        connections,
+        open_window: 512.min(connections),
+        requests_per_conn: 4,
+        credit_window: 4,
+        queue_depth: 8,
+        think_ns: 500,
+        drain_ns: 4_000,
+        payload_bytes: 4096,
+        buffer_pages: 64,
+        seed: 0xF00D,
+    }
+}
+
+/// Runs the churn grid: `nodes_axis` × both homing policies × all four
+/// mechanisms, `connections` connections per cell.
+pub fn cluster_frontend(
+    cache_entries: usize,
+    connections: usize,
+    nodes_axis: &[usize],
+) -> ClusterFrontendScaling {
+    assert!(!nodes_axis.is_empty(), "need at least one node count");
+    let sim = SimConfig {
+        table_entries: CLUSTER_FRONTEND_TABLE_ENTRIES,
+        ..SimConfig::study(cache_entries)
+    };
+
+    let mut grid = Vec::new();
+    for &nodes in nodes_axis {
+        for policy in HomingPolicy::ALL {
+            for mech in Mechanism::ALL {
+                grid.push((nodes, policy, mech));
+            }
+        }
+    }
+    let results = sweep_over(&grid, |&(nodes, policy, mech)| {
+        Run::new(mech)
+            .config(&sim)
+            .frontend(cell_config(connections))
+            .cluster(ClusterConfig::new(nodes).homing(policy))
+            .execute(Live)
+            .into_cluster_frontend()
+            .unwrap()
+    });
+
+    let detail_nodes = nodes_axis
+        .iter()
+        .copied()
+        .filter(|n| *n <= CLUSTER_FRONTEND_DETAIL_NODES)
+        .max()
+        .unwrap_or(nodes_axis[0]);
+    let mut detail = None;
+    let mut cells = Vec::with_capacity(grid.len());
+    for (&(nodes, policy, mech), r) in grid.iter().zip(results) {
+        cells.push(ClusterFrontendCell {
+            mechanism: mech,
+            nodes,
+            homing: policy,
+            accepted: r.accepted,
+            refused: r.refused,
+            redirected: r.redirected,
+            redirects: r.redirects,
+            served: r.served,
+            throughput_rps: r.throughput_rps(),
+            p50_us: r.p50_us(),
+            p99_us: r.p99_us(),
+            p999_us: r.p999_us(),
+            imbalance: r.imbalance(),
+            host_mem_wait_ns: r.host_mem_wait_ns,
+            bus_wait_ns: r.bus_wait_ns,
+            intr_wait_ns: r.intr_wait_ns,
+            sim_time_ns: r.sim_time_ns,
+        });
+        if mech == Mechanism::Utlb && policy == HomingPolicy::HashByClient && nodes == detail_nodes
+        {
+            detail = Some(r);
+        }
+    }
+
+    ClusterFrontendScaling {
+        axes: ClusterFrontendAxes {
+            nodes_axis: nodes_axis.to_vec(),
+            homing_axis: HomingPolicy::ALL.to_vec(),
+            connections,
+            open_window: 512.min(connections),
+            requests_per_conn: 4,
+            credit_window: 4,
+            queue_depth: 8,
+            think_ns: 500,
+            drain_ns: 4_000,
+            cache_entries,
+            table_entries: CLUSTER_FRONTEND_TABLE_ENTRIES,
+        },
+        cells,
+        detail: detail.expect("detail node count is on the axis"),
+    }
+}
+
+impl fmt::Display for ClusterFrontendScaling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(format!(
+            "Clustered request plane: {} connections over {} boards ({} cache entries, {} table entries)",
+            self.axes.connections,
+            self.axes
+                .nodes_axis
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join("/"),
+            self.axes.cache_entries,
+            self.axes.table_entries,
+        ));
+        t.header([
+            "mech", "boards", "homing", "accepted", "refused", "redir", "served", "req/s",
+            "p50 µs", "p99 µs", "p999 µs", "imbal",
+        ]);
+        for c in &self.cells {
+            t.row([
+                c.mechanism.to_string(),
+                c.nodes.to_string(),
+                c.homing.to_string(),
+                c.accepted.to_string(),
+                c.refused.to_string(),
+                c.redirected.to_string(),
+                c.served.to_string(),
+                format!("{:.0}", c.throughput_rps),
+                micros(c.p50_us),
+                micros(c.p99_us),
+                micros(c.p999_us),
+                format!("{:.2}", c.imbalance),
+            ]);
+        }
+        t.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_both_policies_and_scales_capacity_with_boards() {
+        let s = cluster_frontend(256, 2_000, &[2, 4]);
+        // 2 node counts × 2 policies × 4 mechanisms.
+        assert_eq!(s.cells.len(), 16);
+        for c in &s.cells {
+            assert_eq!(c.accepted + c.refused, 2_000);
+            match c.mechanism {
+                // §3.3: 64 lifetime slots per board, filled exactly.
+                Mechanism::Utlb => {
+                    assert_eq!(c.accepted, 64 * c.nodes as u64, "{c:?}");
+                    // Hash homing keeps sending connections to a full home
+                    // board, so some must re-home; least-loaded fills all
+                    // directories in lockstep and never lands off-choice.
+                    if c.homing == HomingPolicy::HashByClient {
+                        assert!(c.redirected > 0, "off-home fills need redirects");
+                    }
+                }
+                // §3.1 at 256-entry tables: 512 slots per board — the
+                // 2-board cluster refuses half the axis, 4 boards accept
+                // everything.
+                Mechanism::PerProc => {
+                    assert_eq!(c.accepted, (512 * c.nodes as u64).min(2_000), "{c:?}");
+                }
+                // Host-backed state: every connection fits.
+                Mechanism::Indexed | Mechanism::Intr => {
+                    assert_eq!(c.refused, 0, "{c:?}");
+                }
+            }
+            if c.served > 0 {
+                assert!(c.throughput_rps > 0.0);
+                assert!(c.p999_us >= c.p50_us);
+                assert!(c.imbalance >= 1.0);
+            }
+        }
+        // The detail is the largest UTLB hash-by-client point.
+        assert_eq!(s.detail.nodes, 4);
+        assert_eq!(s.detail.homing, HomingPolicy::HashByClient);
+        assert_eq!(s.detail.boards.len(), 4);
+    }
+}

@@ -7,6 +7,7 @@
 
 use super::{app_traces, CACHE_SIZES, SPARSE_SIZES};
 use crate::report::{micros, rate, TextTable};
+use crate::RunOutputExt;
 use crate::{sweep_over, Mechanism, Run, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -60,11 +61,13 @@ fn compare(cfg: &GenConfig, mem_limit_mb: Option<u64>) -> Table45 {
         let u = Run::new(Mechanism::Utlb)
             .config(&sim)
             .execute(trace)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         let i = Run::new(Mechanism::Intr)
             .config(&sim)
             .execute(trace)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         CompareCell {
             app,
             cache_entries: entries,
@@ -194,11 +197,13 @@ pub fn table6(cfg: &GenConfig) -> Table6 {
         let u = Run::new(Mechanism::Utlb)
             .config(&sim)
             .execute(trace)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         let i = Run::new(Mechanism::Intr)
             .config(&sim)
             .execute(trace)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         Table6Row {
             app,
             cache_entries: entries,
@@ -285,11 +290,13 @@ mod tests {
         let u = Run::new(Mechanism::Utlb)
             .config(&tight)
             .execute(trace)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         let i = Run::new(Mechanism::Intr)
             .config(&tight)
             .execute(trace)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         assert!(u.stats.unpins > 0, "{app}: limit must bind");
         assert!(
             u.stats.unpins <= i.stats.unpins,

@@ -11,6 +11,7 @@
 //! comparison extends from cost to queueing behavior.
 
 use crate::report::{micros, TextTable};
+use crate::RunOutputExt;
 use crate::{sweep_over, DesConfig, Mechanism, Run, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -102,7 +103,8 @@ pub fn bus_contention(cfg: &GenConfig, cache_entries: usize) -> BusContention {
             .config(&sim)
             .des(des_config(*load))
             .execute(trace.as_ref())
-            .into_des();
+            .into_des()
+            .unwrap();
         ContentionCell {
             app: *app,
             mechanism: *mech,
@@ -222,6 +224,7 @@ pub fn interference_des(
             .des(des)
             .execute(trace.as_ref())
             .into_des()
+            .unwrap()
     });
 
     let a_pids: Vec<u32> = (1..=a_procs).collect();

@@ -24,6 +24,7 @@
 use crate::frontend::{FrontendConfig, FrontendResult};
 use crate::report::{micros, TextTable};
 use crate::sweep::sweep_over;
+use crate::RunOutputExt;
 use crate::{Live, Mechanism, Run, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -158,6 +159,7 @@ pub fn frontend_load(cache_entries: usize, conns_axis: &[usize]) -> FrontendLoad
             .frontend(cell_config(connections, think_ns))
             .execute(Live)
             .into_frontend()
+            .unwrap()
     });
 
     let detail_conns = conns_axis

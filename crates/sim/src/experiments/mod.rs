@@ -10,6 +10,7 @@ mod apps;
 mod assoc;
 mod breakdown;
 mod cluster;
+mod cluster_frontend;
 mod compare;
 mod contention;
 mod frontend_load;
@@ -29,6 +30,10 @@ pub use breakdown::{fig7, Fig7, FIG7_SIZES};
 pub use cluster::{
     cluster_scaling, cluster_workload, ClusterCell, ClusterScaling, ClusterTopology,
     CLUSTER_DETAIL_NODES, CLUSTER_NODES,
+};
+pub use cluster_frontend::{
+    cluster_frontend, ClusterFrontendAxes, ClusterFrontendCell, ClusterFrontendScaling,
+    CLUSTER_FRONTEND_CONNS, CLUSTER_FRONTEND_DETAIL_NODES, CLUSTER_FRONTEND_NODES,
 };
 pub use compare::{table4, table5, table6, Table45, Table6};
 pub use contention::{

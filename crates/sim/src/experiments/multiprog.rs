@@ -9,6 +9,7 @@
 //! programs and how much index offsetting mitigates it.
 
 use crate::report::{rate, TextTable};
+use crate::RunOutputExt;
 use crate::{sweep_over, Mechanism, Run, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -69,6 +70,7 @@ pub fn multiprog(a: SplashApp, b: SplashApp, cfg: &GenConfig, cache_entries: usi
             .config(run_sim)
             .execute(trace)
             .into_sim()
+            .unwrap()
     });
     let shared_nh = results.pop().expect("four runs");
     let shared = results.pop().expect("four runs");

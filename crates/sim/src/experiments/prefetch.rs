@@ -8,6 +8,7 @@
 //! lookup cost falls too.
 
 use crate::report::{micros, rate, TextTable};
+use crate::RunOutputExt;
 use crate::{sweep_over, Mechanism, Run, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -66,7 +67,8 @@ pub fn fig8(cfg: &GenConfig) -> Fig8 {
         let r = Run::new(Mechanism::Utlb)
             .config(&sim)
             .execute(&trace)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         Fig8Point {
             cache_entries: entries,
             prefetch,

@@ -9,6 +9,7 @@
 //! eventual unpins.
 
 use crate::report::{micros, TextTable};
+use crate::RunOutputExt;
 use crate::{sweep_over, Mechanism, Run, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -63,7 +64,8 @@ fn measure(app: SplashApp, trace: &Trace, prepin: u64, limit_pages: u64) -> Prep
     let r = Run::new(Mechanism::Utlb)
         .config(&sim)
         .execute(trace)
-        .into_sim();
+        .into_sim()
+        .unwrap();
     PrepinCell {
         app,
         prepin,

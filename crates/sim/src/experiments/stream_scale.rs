@@ -19,6 +19,7 @@
 
 use crate::report::TextTable;
 use crate::runner::STREAM_CHUNK;
+use crate::RunOutputExt;
 use crate::{Mechanism, Run, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -123,7 +124,8 @@ pub fn stream_scale(cfg: &GenConfig, epochs: u64, cache_entries: usize) -> Strea
     let start = Instant::now();
     let streamed = Run::with_config(&sim)
         .execute_with(&mut UtlbEngine::new(sim.utlb_config()), &mut looped)
-        .into_sim();
+        .into_sim()
+        .unwrap();
     let streamed_wall = start.elapsed();
     let peak_rss_after_stream_kb = peak_rss_kb();
 
@@ -133,7 +135,8 @@ pub fn stream_scale(cfg: &GenConfig, epochs: u64, cache_entries: usize) -> Strea
     let baseline = Run::new(Mechanism::Utlb)
         .config(&sim)
         .execute(&baseline_trace)
-        .into_sim();
+        .into_sim()
+        .unwrap();
     let baseline_wall = start.elapsed();
 
     let record_bytes = std::mem::size_of::<TraceRecord>() as u64;

@@ -1,0 +1,700 @@
+//! The clustered request plane: live connections homed, served, and
+//! re-homed across N boards.
+//!
+//! `Run::frontend(cfg).cluster(topology).execute(Live)` drives the same
+//! board-agnostic connection reactor as the single-board front end, with
+//! the cluster driver below supplying the board side:
+//!
+//! * **Homing** — a new connection's [`Frame::Hello`] is routed to a home
+//!   board by the topology's [`HomingPolicy`]: `hash-by-client` hashes the
+//!   client index onto the ring, `least-loaded` picks the board with the
+//!   fewest open connections.
+//! * **Redirect re-homing** — when the home board's registration SRAM is
+//!   exhausted (the §3.1 per-process engine's static tables, the §3.3
+//!   hierarchical engine's 64-process directory — both lifetime bump
+//!   allocations), the board answers with [`Frame::Redirect`] naming the
+//!   next candidate, and the handshake re-runs there. A full ring of
+//!   refusals is the only way a connection dies, so the per-board
+//!   registration cliffs become cluster-wide capacity gradients.
+//! * **Shared-station pricing** — every board owns its engine, firmware
+//!   station, and DMA engine, but handshake pin work, demand pins,
+//!   interrupts, and translation-entry DMA cross the *shared* host-memory
+//!   / I/O-bus / interrupt-service stations
+//!   (`SharedStations`), so cross-board contention is
+//!   real and tail latency reflects it.
+//!
+//! **Determinism contract.** The reactor admits events in
+//! `(timestamp, pid)` order; shared stations admit work in exactly that
+//! order; nothing reads wall-clock time. A 1-board cluster under
+//! [`DesConfig::zero_contention`] prices every station grant at its
+//! cursor, so its [`single_board_image`](ClusterFrontendResult::single_board_image)
+//! is byte-identical to [`Run::frontend`](crate::Run::frontend) on the
+//! same inputs — pinned by `tests/cluster_frontend.rs` and CI.
+
+use super::reactor::{run_reactor, through_wire, BoardDriver, Conn, ReqGen};
+use super::{FrontendConfig, FrontendResult};
+use crate::cluster::{ClusterConfig, HomingPolicy};
+use crate::des_runner::{DemandTap, DesConfig};
+use crate::stations::{station_walk, SharedStations, StationWaits};
+use crate::{Mechanism, SimConfig};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+use utlb_core::obs::{Event, Histogram, Metrics, Probe, SharedCollector, WaitResource};
+use utlb_core::{
+    page_demands_into, CacheStats, LookupBatch, OutcomeBuf, PageDemand, TranslationMechanism,
+    TranslationStats,
+};
+use utlb_des::{AdmissionStats, CreditWindow, DmaEngineModel, Resource, ResourceReport};
+use utlb_mem::{Host, ProcessId, VirtAddr, PAGE_SIZE};
+use utlb_msg::{Frame, FRAME_BYTES};
+use utlb_nic::{Board, Nanos};
+
+/// Per-process event-ring capacity of the per-board collectors.
+const FRONTEND_OBS_RING: usize = 32;
+
+/// Multiplier of the Fibonacci-hash home-board assignment
+/// (`hash-by-client`): `home = (index * PHI64 >> 32) % nodes`. The
+/// migration proptest's reference residency model replays this exact
+/// function.
+pub(crate) const HOME_HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The home board `hash-by-client` assigns to connection `index` on an
+/// `nodes`-board cluster.
+pub(crate) fn hash_home(index: u64, nodes: usize) -> usize {
+    ((index.wrapping_mul(HOME_HASH_MULT) >> 32) as usize) % nodes
+}
+
+/// One board of the clustered front end: private engine, firmware, and
+/// DMA engine, plus the per-board accounting the result cells report.
+struct FrontBoard {
+    engine: Box<dyn TranslationMechanism>,
+    board: Board,
+    firmware: Resource,
+    dma: DmaEngineModel,
+    tap_buf: Rc<RefCell<Vec<Event>>>,
+    collector: SharedCollector,
+    wait_probe: Option<Box<dyn Probe>>,
+    t0: Nanos,
+    /// Latest *serial* translation completion on this board.
+    last_service: Nanos,
+    /// Latest station (DES) completion on this board.
+    des_end: Nanos,
+    open_conns: usize,
+    accepted: u64,
+    redirected_in: u64,
+    refusals: u64,
+    served: u64,
+    stats_acc: TranslationStats,
+    latency: Histogram,
+    waits: StationWaits,
+}
+
+/// The N-board side of the reactor. See the [module docs](self).
+struct ClusterDriver<'a> {
+    fcfg: &'a FrontendConfig,
+    policy: HomingPolicy,
+    nodes: usize,
+    host: Host,
+    boards: Vec<FrontBoard>,
+    shared: SharedStations,
+    kernel_pins: bool,
+    out: OutcomeBuf,
+    events_scratch: Vec<Event>,
+    demands: Vec<PageDemand>,
+    /// Reused candidate-order scratch (O(nodes), no per-open allocation).
+    order: Vec<usize>,
+    spawned: u32,
+    accepted: u64,
+    refused: u64,
+    /// Connections accepted on a board other than their first choice.
+    redirected: u64,
+    /// Total [`Frame::Redirect`] hops, over accepted and refused alike.
+    redirects: u64,
+}
+
+impl ClusterDriver<'_> {
+    /// Fills `self.order` with the candidate boards for connection
+    /// `index`, first choice first.
+    fn candidate_order(&mut self, index: u64) {
+        self.order.clear();
+        match self.policy {
+            HomingPolicy::HashByClient => {
+                let home = hash_home(index, self.nodes);
+                self.order
+                    .extend((0..self.nodes).map(|k| (home + k) % self.nodes));
+            }
+            HomingPolicy::LeastLoaded => {
+                self.order.extend(0..self.nodes);
+                let boards = &self.boards;
+                self.order.sort_by_key(|&i| (boards[i].open_conns, i));
+            }
+        }
+    }
+
+    /// Prices board work that ran on the serial board clock between `pre`
+    /// and now — a (possibly failed) registration or an unregistration —
+    /// onto the board's firmware station and the shared stations, keeping
+    /// the station timeline in lock-step with the serial clock. The tap's
+    /// drained events supply the pin/interrupt/DMA components; the serial
+    /// delta is the total, so pure-firmware admin time is charged too.
+    /// Under zero contention the resulting grant ends exactly at the
+    /// serial clock, preserving the 1-board bit-exactness induction.
+    fn price_admin_from(&mut self, ix: usize, pid: ProcessId, pre: Nanos) {
+        let Self {
+            boards,
+            shared,
+            kernel_pins,
+            events_scratch,
+            demands,
+            ..
+        } = self;
+        let b = &mut boards[ix];
+        events_scratch.clear();
+        std::mem::swap(&mut *b.tap_buf.borrow_mut(), &mut *events_scratch);
+        page_demands_into(events_scratch, demands);
+        let mut d = PageDemand::default();
+        for p in demands.iter() {
+            d.pin_ns += p.pin_ns;
+            d.intr_ns += p.intr_ns;
+            d.dma_ns += p.dma_ns;
+            d.dma_entries += p.dma_entries;
+        }
+        d.total_ns = (b.board.clock.now() - pre).as_nanos();
+        if d.total_ns == 0 && d.is_fast_path() {
+            return; // No work: don't pollute station job counts.
+        }
+        let admin = [d];
+        let FrontBoard {
+            firmware,
+            dma,
+            wait_probe,
+            waits,
+            ..
+        } = b;
+        let grant = firmware.acquire_with(pre, |start| {
+            station_walk(
+                start,
+                &admin,
+                *kernel_pins,
+                pid,
+                dma,
+                shared,
+                waits,
+                wait_probe,
+            )
+        });
+        b.waits.fw += grant.wait;
+        b.des_end = b.des_end.max(grant.end);
+    }
+}
+
+impl BoardDriver for ClusterDriver<'_> {
+    fn open(&mut self, index: u64, open_ns: u64, wire: &mut [u8; FRAME_BYTES]) -> Option<Conn> {
+        let hello = through_wire(
+            Frame::Hello {
+                client: index,
+                buffer_bytes: self.fcfg.buffer_pages * PAGE_SIZE,
+            },
+            wire,
+        );
+        debug_assert!(hello.is_request());
+        let pid = self.host.spawn_process();
+        self.spawned = self.spawned.max(pid.raw());
+        self.candidate_order(index);
+        let order = std::mem::take(&mut self.order);
+        let mut opened = None;
+        for (attempt, &ix) in order.iter().enumerate() {
+            let pre = self.boards[ix].board.clock.now();
+            let registered = {
+                let Self { host, boards, .. } = self;
+                let b = &mut boards[ix];
+                b.engine.register_process(host, &mut b.board, pid)
+            };
+            match registered {
+                Ok(()) => {
+                    self.price_admin_from(ix, pid, pre);
+                    let welcome = through_wire(
+                        Frame::Welcome {
+                            conn: pid.raw(),
+                            credits: self.fcfg.credit_window as u32,
+                        },
+                        wire,
+                    );
+                    debug_assert!(!welcome.is_request());
+                    self.accepted += 1;
+                    if attempt > 0 {
+                        self.redirected += 1;
+                        self.boards[ix].redirected_in += 1;
+                    }
+                    let b = &mut self.boards[ix];
+                    b.accepted += 1;
+                    b.open_conns += 1;
+                    if let Some(p) = &mut b.wait_probe {
+                        p.on_event(pid, Event::Connect);
+                    }
+                    let mut gen = ReqGen::new(self.fcfg, index, open_ns);
+                    let pending = gen.next(self.fcfg);
+                    opened = Some(Conn {
+                        pid,
+                        board: ix,
+                        gen,
+                        window: CreditWindow::new(self.fcfg.credit_window, self.fcfg.queue_depth),
+                        pending,
+                        last_done_ns: open_ns,
+                        seq: 0,
+                    });
+                    break;
+                }
+                Err(_) => {
+                    // Registration SRAM exhausted here. Price whatever the
+                    // failed attempt charged, then redirect the client to
+                    // the next candidate (if any) and re-run the Hello.
+                    self.boards[ix].refusals += 1;
+                    self.price_admin_from(ix, pid, pre);
+                    if let Some(&next) = order.get(attempt + 1) {
+                        let redirect = through_wire(
+                            Frame::Redirect {
+                                client: index,
+                                board: next as u32,
+                            },
+                            wire,
+                        );
+                        debug_assert!(!redirect.is_request());
+                        self.redirects += 1;
+                        through_wire(
+                            Frame::Hello {
+                                client: index,
+                                buffer_bytes: self.fcfg.buffer_pages * PAGE_SIZE,
+                            },
+                            wire,
+                        );
+                    }
+                }
+            }
+        }
+        self.order = order;
+        if opened.is_none() {
+            // Every candidate refused: the connection dies for real.
+            self.host
+                .kill_process(pid)
+                .expect("freshly spawned process");
+            self.refused += 1;
+        }
+        opened
+    }
+
+    fn initial_wave_done(&mut self) {
+        for b in &mut self.boards {
+            b.t0 = b.board.clock.now();
+            b.last_service = b.t0;
+            b.des_end = b.des_end.max(b.t0);
+        }
+    }
+
+    fn serve(&mut self, conn: &Conn, va: VirtAddr, nbytes: u64, at: Nanos) -> Nanos {
+        let Self {
+            host,
+            boards,
+            shared,
+            kernel_pins,
+            out,
+            events_scratch,
+            demands,
+            ..
+        } = self;
+        let b = &mut boards[conn.board];
+        // Serial half, identical to the single-board driver.
+        b.board.clock.advance_to(at);
+        out.clear();
+        b.engine
+            .lookup_run_into(
+                host,
+                &mut b.board,
+                LookupBatch::for_buffer(conn.pid, va, nbytes),
+                out,
+            )
+            .expect("frontend lookups succeed");
+        b.last_service = b.last_service.max(b.board.clock.now());
+        // DES overlay: this lookup's demands walk the board's firmware
+        // and the shared stations.
+        events_scratch.clear();
+        std::mem::swap(&mut *b.tap_buf.borrow_mut(), &mut *events_scratch);
+        page_demands_into(events_scratch, demands);
+        let FrontBoard {
+            firmware,
+            dma,
+            wait_probe,
+            waits,
+            ..
+        } = b;
+        let grant = firmware.acquire_with(at, |start| {
+            station_walk(
+                start,
+                demands,
+                *kernel_pins,
+                conn.pid,
+                dma,
+                shared,
+                waits,
+                wait_probe,
+            )
+        });
+        b.waits.fw += grant.wait;
+        crate::des_runner::emit_wait(
+            &mut b.wait_probe,
+            conn.pid,
+            WaitResource::Firmware,
+            grant.wait,
+        );
+        b.served += 1;
+        b.des_end = b.des_end.max(grant.end);
+        grant.end
+    }
+
+    fn record_latency(&mut self, conn: &Conn, lat_ns: u64) {
+        self.boards[conn.board].latency.record(lat_ns);
+    }
+
+    fn emit(&mut self, conn: &Conn, event: Event) {
+        if let Some(p) = &mut self.boards[conn.board].wait_probe {
+            p.on_event(conn.pid, event);
+        }
+    }
+
+    fn close(&mut self, conn: &Conn, _close_ns: u64) {
+        let ix = conn.board;
+        let pre = {
+            let Self { host, boards, .. } = self;
+            let b = &mut boards[ix];
+            b.stats_acc += b
+                .engine
+                .stats(conn.pid)
+                .expect("open connection is registered");
+            let pre = b.board.clock.now();
+            b.engine
+                .unregister_process(host, &mut b.board, conn.pid)
+                .expect("open connection is registered");
+            pre
+        };
+        self.price_admin_from(ix, conn.pid, pre);
+        self.host
+            .kill_process(conn.pid)
+            .expect("connection process is live");
+        let b = &mut self.boards[ix];
+        b.open_conns -= 1;
+        if let Some(p) = &mut b.wait_probe {
+            p.on_event(conn.pid, Event::Close);
+        }
+    }
+}
+
+/// One board's share of a clustered front-end run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrontendBoardCell {
+    /// Board index.
+    pub board: usize,
+    /// Connections this board accepted (first-choice and redirected).
+    pub accepted: u64,
+    /// Accepted connections that arrived here via [`Frame::Redirect`].
+    pub redirected_in: u64,
+    /// Handshake attempts this board refused (SRAM exhausted).
+    pub refusals: u64,
+    /// Requests this board served.
+    pub served: u64,
+    /// Translation counters of every connection homed here (snapshotted
+    /// at each close).
+    pub stats: TranslationStats,
+    /// This board's NIC translation-cache counters at end of run.
+    pub cache: CacheStats,
+    /// Serial board time from the end of the initial handshake wave to
+    /// this board's last translation, ns.
+    pub sim_time_ns: u64,
+    /// When this board's last work left the stations, same origin, ns.
+    pub des_time_ns: u64,
+    /// Queueing behind this board's firmware processor, ns.
+    pub fw_wait_ns: u64,
+    /// Queueing behind this board's DMA engine, ns.
+    pub dma_wait_ns: u64,
+    /// This board's share of queueing behind the shared I/O bus, ns.
+    pub bus_wait_ns: u64,
+    /// This board's share of queueing behind shared interrupt service, ns.
+    pub intr_wait_ns: u64,
+    /// This board's share of queueing behind shared host memory, ns.
+    pub host_mem_wait_ns: u64,
+    /// End-to-end latency of requests served by this board.
+    pub latency_ns: Histogram,
+    /// Per-board observability: event counts and histograms from this
+    /// board's collector.
+    pub metrics: Metrics,
+    /// Whether `metrics` reconciled exactly with this board's stats.
+    pub reconciled: bool,
+    /// This board's private stations (firmware, DMA engine).
+    pub resources: Vec<ResourceReport>,
+}
+
+/// Outcome of a clustered front-end run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterFrontendResult {
+    /// Workload label (`"cluster_frontend"`).
+    pub workload: String,
+    /// Number of boards.
+    pub nodes: usize,
+    /// The homing policy connections were placed by.
+    pub homing: HomingPolicy,
+    /// Connections the run attempted.
+    pub connections: u64,
+    /// Connections some board accepted.
+    pub accepted: u64,
+    /// Connections every candidate board refused.
+    pub refused: u64,
+    /// Accepted connections that landed off their first-choice board.
+    pub redirected: u64,
+    /// Total [`Frame::Redirect`] hops (accepted and refused attempts).
+    pub redirects: u64,
+    /// Requests offered by accepted connections.
+    pub offered: u64,
+    /// Requests admitted and translated.
+    pub served: u64,
+    /// Page-granular lookups those requests cost, cluster-wide.
+    pub served_lookups: u64,
+    /// Flow-control counters summed over all connections.
+    pub admission: AdmissionStats,
+    /// Translation counters summed over every board.
+    pub stats: TranslationStats,
+    /// Translation-cache counters summed over every board.
+    pub cache: CacheStats,
+    /// Slowest board's serial span (handshake-wave end to last
+    /// translation), ns.
+    pub sim_time_ns: u64,
+    /// Cluster completion on the stations: max over boards, ns.
+    pub des_time_ns: u64,
+    /// End-to-end request latency, all boards merged (arrival to credit
+    /// return, queueing included).
+    pub latency_ns: Histogram,
+    /// Per-board results, board 0 first.
+    pub boards: Vec<FrontendBoardCell>,
+    /// The shared stations (host memory, I/O bus, interrupt service), in
+    /// that order.
+    pub shared: Vec<ResourceReport>,
+    /// Total queueing behind the shared host memory station, ns.
+    pub host_mem_wait_ns: u64,
+    /// Total queueing behind the shared I/O bus, ns.
+    pub bus_wait_ns: u64,
+    /// Total queueing behind shared interrupt service, ns.
+    pub intr_wait_ns: u64,
+    /// Pages still pinned anywhere when the run ended. Every connection
+    /// closes and unregisters, so this must be zero — the migration
+    /// proptest pins it.
+    pub pinned_pages_end: u64,
+}
+
+impl ClusterFrontendResult {
+    /// Served requests per second of simulated time.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.sim_time_ns == 0 {
+            return 0.0;
+        }
+        self.served as f64 * 1e9 / self.sim_time_ns as f64
+    }
+
+    /// Request-latency quantile in µs (`q` in (0, 1]).
+    pub fn latency_quantile_us(&self, q: f64) -> f64 {
+        self.latency_ns.quantile_ns(q) as f64 / 1000.0
+    }
+
+    /// Median request latency in µs.
+    pub fn p50_us(&self) -> f64 {
+        self.latency_quantile_us(0.50)
+    }
+
+    /// 99th-percentile request latency in µs.
+    pub fn p99_us(&self) -> f64 {
+        self.latency_quantile_us(0.99)
+    }
+
+    /// 99.9th-percentile request latency in µs.
+    pub fn p999_us(&self) -> f64 {
+        self.latency_quantile_us(0.999)
+    }
+
+    /// Service imbalance: the busiest board's served-request count over
+    /// the per-board mean. 1.0 is perfect balance.
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.boards.iter().map(|b| b.served).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.boards.len() as f64;
+        self.boards.iter().map(|b| b.served).max().unwrap_or(0) as f64 / mean
+    }
+
+    /// Projects a 1-board run onto the single-board [`FrontendResult`]
+    /// shape — the byte-identity gate compares this against
+    /// [`Run::frontend`](crate::Run::frontend) output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run used more than one board: the projection is only
+    /// meaningful (and only byte-exact) for `nodes == 1`.
+    pub fn single_board_image(&self) -> FrontendResult {
+        assert_eq!(
+            self.nodes, 1,
+            "single_board_image is the 1-board determinism gate"
+        );
+        FrontendResult {
+            workload: "frontend".to_string(),
+            connections: self.connections,
+            accepted: self.accepted,
+            refused: self.refused,
+            offered: self.offered,
+            served: self.served,
+            served_lookups: self.served_lookups,
+            admission: self.admission,
+            stats: self.stats,
+            cache: self.cache,
+            sim_time_ns: self.boards[0].sim_time_ns,
+            latency_ns: self.latency_ns.clone(),
+        }
+    }
+}
+
+/// The clustered front end. See the [module docs](self); the public entry
+/// point is `Run::frontend(cfg).cluster(topology).execute(Live)`.
+pub(crate) fn replay_cluster_frontend(
+    mech: Mechanism,
+    cfg: &SimConfig,
+    fcfg: &FrontendConfig,
+    des: &DesConfig,
+    cluster: &ClusterConfig,
+) -> ClusterFrontendResult {
+    fcfg.validate();
+    let nodes = cluster.nodes;
+    assert!(nodes > 0, "a cluster needs at least one board");
+
+    let boards: Vec<FrontBoard> = (0..nodes)
+        .map(|_| {
+            let collector = SharedCollector::new(FRONTEND_OBS_RING);
+            let tap_buf: Rc<RefCell<Vec<Event>>> = Rc::new(RefCell::new(Vec::new()));
+            let mut engine = mech.engine(cfg);
+            engine.set_probe(Box::new(DemandTap {
+                buf: Rc::clone(&tap_buf),
+                inner: Some(collector.boxed()),
+            }));
+            FrontBoard {
+                engine,
+                board: Board::new(),
+                firmware: Resource::fifo("nic_firmware", 1),
+                dma: DmaEngineModel::new(&des.bus),
+                tap_buf,
+                wait_probe: Some(collector.boxed()),
+                collector,
+                t0: Nanos::ZERO,
+                last_service: Nanos::ZERO,
+                des_end: Nanos::ZERO,
+                open_conns: 0,
+                accepted: 0,
+                redirected_in: 0,
+                refusals: 0,
+                served: 0,
+                stats_acc: TranslationStats::default(),
+                latency: Histogram::new(),
+                waits: StationWaits::default(),
+            }
+        })
+        .collect();
+    let kernel_pins = boards[0].engine.kernel_pins();
+
+    let mut drv = ClusterDriver {
+        fcfg,
+        policy: cluster.homing,
+        nodes,
+        host: Host::new(cfg.host_frames),
+        boards,
+        shared: SharedStations::new(des),
+        kernel_pins,
+        out: OutcomeBuf::new(),
+        events_scratch: Vec::new(),
+        demands: Vec::new(),
+        order: Vec::with_capacity(nodes),
+        spawned: 0,
+        accepted: 0,
+        refused: 0,
+        redirected: 0,
+        redirects: 0,
+    };
+    let counts = run_reactor(&mut drv, fcfg);
+
+    // Nothing may stay pinned: every connection closed and unregistered.
+    let pinned_pages_end: u64 = (1..=drv.spawned)
+        .map(|raw| drv.host.driver().pins().pinned_pages(ProcessId::new(raw)))
+        .sum();
+
+    let mut cells: Vec<FrontendBoardCell> = Vec::with_capacity(nodes);
+    let mut cluster_latency = Histogram::new();
+    let mut stats = TranslationStats::default();
+    let mut cache = CacheStats::default();
+    let (mut host_mem_wait, mut bus_wait, mut intr_wait) = (Nanos::ZERO, Nanos::ZERO, Nanos::ZERO);
+    for (ix, mut b) in drv.boards.into_iter().enumerate() {
+        b.engine.take_probe();
+        b.wait_probe = None;
+        let board_cache = b.engine.cache_stats();
+        let metrics = b.collector.snapshot().metrics;
+        let reconciled = metrics.reconcile(&b.stats_acc).is_empty();
+        stats += b.stats_acc;
+        cache.hits += board_cache.hits;
+        cache.misses += board_cache.misses;
+        cache.probes += board_cache.probes;
+        cache.evictions += board_cache.evictions;
+        host_mem_wait += b.waits.host_mem;
+        bus_wait += b.waits.bus;
+        intr_wait += b.waits.intr;
+        cluster_latency.merge(&b.latency);
+        cells.push(FrontendBoardCell {
+            board: ix,
+            accepted: b.accepted,
+            redirected_in: b.redirected_in,
+            refusals: b.refusals,
+            served: b.served,
+            stats: b.stats_acc,
+            cache: board_cache,
+            sim_time_ns: (b.last_service - b.t0).as_nanos(),
+            des_time_ns: (b.des_end - b.t0).as_nanos(),
+            fw_wait_ns: b.waits.fw.as_nanos(),
+            dma_wait_ns: b.waits.dma.as_nanos(),
+            bus_wait_ns: b.waits.bus.as_nanos(),
+            intr_wait_ns: b.waits.intr.as_nanos(),
+            host_mem_wait_ns: b.waits.host_mem.as_nanos(),
+            latency_ns: b.latency,
+            metrics,
+            reconciled,
+            resources: vec![b.firmware.report(), b.dma.report()],
+        });
+    }
+
+    ClusterFrontendResult {
+        workload: "cluster_frontend".to_string(),
+        nodes,
+        homing: cluster.homing,
+        connections: fcfg.connections as u64,
+        accepted: drv.accepted,
+        refused: drv.refused,
+        redirected: drv.redirected,
+        redirects: drv.redirects,
+        offered: counts.offered,
+        served: counts.served,
+        served_lookups: stats.lookups,
+        admission: counts.admission,
+        stats,
+        cache,
+        sim_time_ns: cells.iter().map(|c| c.sim_time_ns).max().unwrap_or(0),
+        des_time_ns: cells.iter().map(|c| c.des_time_ns).max().unwrap_or(0),
+        latency_ns: cluster_latency,
+        boards: cells,
+        shared: drv.shared.reports(),
+        host_mem_wait_ns: host_mem_wait.as_nanos(),
+        bus_wait_ns: bus_wait.as_nanos(),
+        intr_wait_ns: intr_wait.as_nanos(),
+        pinned_pages_end,
+    }
+}

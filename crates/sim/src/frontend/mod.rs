@@ -1,7 +1,7 @@
 //! Request-plane front end: serve translations to live simulated peers.
 //!
 //! The trace runners replay *recorded* communication; this module generates
-//! it live. N simulated peers connect to one board, export a buffer, and
+//! it live. N simulated peers connect to a board, export a buffer, and
 //! issue remote stores and fetches that the configured
 //! [`TranslationMechanism`] translates on demand — the full connection
 //! lifecycle the paper's VMMC software ran above the UTLB, driven by a
@@ -13,7 +13,9 @@
 //!   engine's statically allocated SRAM tables are a bump allocation that
 //!   outlives the process, so they *will* run out under connection churn —
 //!   refuses the connection instead of failing the run: that capacity
-//!   cliff is a result, not an error.
+//!   cliff is a result, not an error. (On a cluster, refusal first becomes
+//!   a [`utlb_msg::Frame::Redirect`] hop to the next
+//!   candidate board — see [`cluster`].)
 //! * **Admission** — each connection owns a bounded
 //!   [`CreditWindow`]: requests beyond the window
 //!   stall to the instant a credit returns (charged as wait time and
@@ -27,6 +29,13 @@
 //!   unregisters the process (releasing its pins), and kills it, so live
 //!   state is O(open connections) however many connections a run churns.
 //!
+//! The per-connection state machine itself is board-agnostic (the private
+//! `reactor` module); this module supplies the single-board driver, and
+//! [`cluster`] the N-board driver with homing policies, redirect
+//! re-homing, and shared discrete-event stations. Both drive the same
+//! loop, which is what makes the 1-board clustered front end bit-exact
+//! with this one.
+//!
 //! Determinism contract: the whole run is a pure function of
 //! ([`FrontendConfig`], [`SimConfig`], mechanism). Peers are deterministic
 //! generators; the reactor admits events in `(timestamp, pid)` order from a
@@ -36,19 +45,21 @@
 //! with ample credits is bit-exact with serially replaying that trace —
 //! `tests/frontend.rs` and CI pin both.
 
-use crate::{Mechanism, Run, SimConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+pub mod cluster;
+mod reactor;
+
+use crate::{Mechanism, Run, RunOutputExt, SimConfig};
+use reactor::{run_reactor, BoardDriver, Conn, ReqGen};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use utlb_core::obs::{Event, Histogram, Probe, SharedCollector};
 use utlb_core::{CacheStats, LookupBatch, OutcomeBuf, TranslationMechanism, TranslationStats};
-use utlb_des::{AdmissionOutcome, AdmissionStats, CreditWindow};
+use utlb_des::{AdmissionStats, CreditWindow};
 use utlb_mem::{Host, ProcessId, VirtAddr, PAGE_SIZE};
 use utlb_msg::{Frame, FRAME_BYTES};
 use utlb_nic::{Board, BoardSnapshot, Nanos};
-use utlb_trace::{Op, Trace, TraceRecord};
+use utlb_trace::{Trace, TraceRecord};
 
 /// Shape of one front-end run: how many peers connect, how hard each one
 /// pushes, and how much credit the board extends.
@@ -131,90 +142,6 @@ impl FrontendConfig {
     }
 }
 
-/// Base of every connection's exported buffer (each process has its own
-/// address space, so the bases coincide harmlessly).
-const BUFFER_BASE: u64 = 0x4000_0000;
-
-/// One generated request, before admission.
-#[derive(Debug, Clone, Copy)]
-struct Req {
-    ts_ns: u64,
-    op: Op,
-    va: VirtAddr,
-    nbytes: u64,
-}
-
-/// Deterministic per-connection request generator — the *peer*. Both the
-/// live reactor and [`frontend_trace`] draw from this one definition, which
-/// is what makes the trace the exact zero-backpressure image of the run.
-#[derive(Debug)]
-struct ReqGen {
-    rng: StdRng,
-    clock_ns: u64,
-    remaining: usize,
-}
-
-impl ReqGen {
-    fn new(fcfg: &FrontendConfig, conn: u64, open_ns: u64) -> Self {
-        ReqGen {
-            rng: StdRng::seed_from_u64(
-                fcfg.seed ^ (conn.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            ),
-            clock_ns: open_ns,
-            remaining: fcfg.requests_per_conn,
-        }
-    }
-
-    /// Think time to the next request: uniform in [think/2, 3·think/2),
-    /// never zero so per-connection arrivals strictly increase.
-    fn gap(&mut self, fcfg: &FrontendConfig) -> u64 {
-        let think = fcfg.think_ns.max(1);
-        (think / 2 + self.rng.gen_range(0..think)).max(1)
-    }
-
-    fn next(&mut self, fcfg: &FrontendConfig) -> Option<Req> {
-        if self.remaining == 0 {
-            return None;
-        }
-        self.remaining -= 1;
-        self.clock_ns += self.gap(fcfg);
-        let span = fcfg.buffer_pages * PAGE_SIZE - fcfg.payload_bytes;
-        let offset = if span == 0 {
-            0
-        } else {
-            // 64-byte-aligned offsets, the transfer granularity of the
-            // simulated data link.
-            self.rng.gen_range(0..=span / 64) * 64
-        };
-        let op = if self.rng.gen_bool(0.5) {
-            Op::Send
-        } else {
-            Op::Fetch
-        };
-        Some(Req {
-            ts_ns: self.clock_ns,
-            op,
-            va: VirtAddr::new(BUFFER_BASE + offset),
-            nbytes: fcfg.payload_bytes,
-        })
-    }
-}
-
-/// One open connection's reactor state.
-#[derive(Debug)]
-struct Conn {
-    pid: ProcessId,
-    gen: ReqGen,
-    window: CreditWindow,
-    /// The request scheduled in the event heap, generated ahead of time so
-    /// the heap knows its timestamp.
-    pending: Option<Req>,
-    /// Latest completion (translation + drain) of this connection, for
-    /// timing the close.
-    last_done_ns: u64,
-    seq: u64,
-}
-
 /// What one front-end run produced. Aggregates and histograms only — never
 /// per-connection vectors — so the result is O(1) in the connection count.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -286,16 +213,119 @@ fn emit(probe: &mut Option<Box<dyn Probe>>, pid: ProcessId, event: Event) {
     }
 }
 
-/// Runs the peer's side of the wire for a request: encode into the reused
-/// frame buffer, then decode as the board would. The decoded frame is what
-/// the board dispatches on, so the protocol is load-bearing, and the round
-/// trip allocates nothing.
-fn through_wire(frame: Frame, wire: &mut [u8; FRAME_BYTES]) -> Frame {
-    frame.encode_into(wire);
-    Frame::decode(wire).expect("reactor frames are well-formed")
+/// The single-board side of the reactor: one engine, one serial board
+/// clock, pricing exactly as the trace runners do. The 1-board
+/// [`cluster`] driver must stay bit-exact with this one — CI pins it.
+struct SingleBoard<'a, M: ?Sized> {
+    engine: &'a mut M,
+    fcfg: &'a FrontendConfig,
+    host: Host,
+    board: Board,
+    probe: Option<Box<dyn Probe>>,
+    out: OutcomeBuf,
+    accepted: u64,
+    refused: u64,
+    stats_acc: TranslationStats,
+    t0: Nanos,
+    last_service: Nanos,
 }
 
-/// The reactor. See the module docs for the lifecycle; see
+impl<M: TranslationMechanism + ?Sized> BoardDriver for SingleBoard<'_, M> {
+    fn open(&mut self, index: u64, open_ns: u64, wire: &mut [u8; FRAME_BYTES]) -> Option<Conn> {
+        // Handshake: Hello → register → Welcome, or a refusal.
+        let hello = reactor::through_wire(
+            Frame::Hello {
+                client: index,
+                buffer_bytes: self.fcfg.buffer_pages * PAGE_SIZE,
+            },
+            wire,
+        );
+        debug_assert!(hello.is_request());
+        let pid = self.host.spawn_process();
+        match self
+            .engine
+            .register_process(&mut self.host, &mut self.board, pid)
+        {
+            Ok(()) => {
+                let welcome = reactor::through_wire(
+                    Frame::Welcome {
+                        conn: pid.raw(),
+                        credits: self.fcfg.credit_window as u32,
+                    },
+                    wire,
+                );
+                debug_assert!(!welcome.is_request());
+                self.accepted += 1;
+                emit(&mut self.probe, pid, Event::Connect);
+                let mut gen = ReqGen::new(self.fcfg, index, open_ns);
+                let pending = gen.next(self.fcfg);
+                Some(Conn {
+                    pid,
+                    board: 0,
+                    gen,
+                    window: CreditWindow::new(self.fcfg.credit_window, self.fcfg.queue_depth),
+                    pending,
+                    last_done_ns: open_ns,
+                    seq: 0,
+                })
+            }
+            Err(_) => {
+                // The board cannot hold another process directory: refuse
+                // the handshake and reclaim the host process.
+                self.host
+                    .kill_process(pid)
+                    .expect("freshly spawned process");
+                self.refused += 1;
+                None
+            }
+        }
+    }
+
+    fn initial_wave_done(&mut self) {
+        self.t0 = self.board.clock.now();
+        self.last_service = self.t0;
+    }
+
+    fn serve(&mut self, conn: &Conn, va: VirtAddr, nbytes: u64, at: Nanos) -> Nanos {
+        self.board.clock.advance_to(at);
+        self.out.clear();
+        self.engine
+            .lookup_run_into(
+                &mut self.host,
+                &mut self.board,
+                LookupBatch::for_buffer(conn.pid, va, nbytes),
+                &mut self.out,
+            )
+            .expect("frontend lookups succeed");
+        let translated = self.board.clock.now();
+        self.last_service = self.last_service.max(translated);
+        translated
+    }
+
+    fn record_latency(&mut self, _conn: &Conn, _lat_ns: u64) {
+        // One board: the reactor's run-wide histogram is the whole story.
+    }
+
+    fn emit(&mut self, conn: &Conn, event: Event) {
+        emit(&mut self.probe, conn.pid, event);
+    }
+
+    fn close(&mut self, conn: &Conn, _close_ns: u64) {
+        self.stats_acc += self
+            .engine
+            .stats(conn.pid)
+            .expect("open connection is registered");
+        self.engine
+            .unregister_process(&mut self.host, &mut self.board, conn.pid)
+            .expect("open connection is registered");
+        self.host
+            .kill_process(conn.pid)
+            .expect("connection process is live");
+        emit(&mut self.probe, conn.pid, Event::Close);
+    }
+}
+
+/// The single-board front end. See the module docs for the lifecycle; see
 /// [`Run::frontend`] for the public entry point.
 pub(crate) fn replay_frontend<M>(
     engine: &mut M,
@@ -307,264 +337,43 @@ where
     M: TranslationMechanism + ?Sized,
 {
     fcfg.validate();
-    let mut host = Host::new(cfg.host_frames);
-    let mut board = Board::new();
     if let Some(c) = obs {
         engine.set_probe(c.boxed());
     }
-    let mut probe: Option<Box<dyn Probe>> = obs.map(SharedCollector::boxed);
-
-    let mut accepted = 0u64;
-    let mut refused = 0u64;
-    let mut offered = 0u64;
-    let mut served = 0u64;
-    let mut admission = AdmissionStats::default();
-    let mut stats_acc = TranslationStats::default();
-    let mut latency_ns = Histogram::new();
-    let mut wire = [0u8; FRAME_BYTES];
-    let mut out = OutcomeBuf::new();
-
-    // Event heap: (timestamp, pid, slot), smallest first. Each open
-    // connection owns exactly one entry — its next request or its close —
-    // so the heap is O(open_window).
-    let mut heap: BinaryHeap<Reverse<(u64, u32, usize)>> = BinaryHeap::new();
-    let mut slots: Vec<Option<Conn>> = Vec::new();
-    let mut next_conn = 0u64;
-    let total = fcfg.connections as u64;
-
-    // Handshake: Hello → register → Welcome, or a refusal. Returns the
-    // connection if the mechanism accepted it.
-    let open = |index: u64,
-                open_ns: u64,
-                host: &mut Host,
-                board: &mut Board,
-                engine: &mut M,
-                probe: &mut Option<Box<dyn Probe>>,
-                wire: &mut [u8; FRAME_BYTES],
-                accepted: &mut u64,
-                refused: &mut u64|
-     -> Option<Conn> {
-        let hello = through_wire(
-            Frame::Hello {
-                client: index,
-                buffer_bytes: fcfg.buffer_pages * PAGE_SIZE,
-            },
-            wire,
-        );
-        debug_assert!(hello.is_request());
-        let pid = host.spawn_process();
-        match engine.register_process(host, board, pid) {
-            Ok(()) => {
-                let welcome = through_wire(
-                    Frame::Welcome {
-                        conn: pid.raw(),
-                        credits: fcfg.credit_window as u32,
-                    },
-                    wire,
-                );
-                debug_assert!(!welcome.is_request());
-                *accepted += 1;
-                emit(probe, pid, Event::Connect);
-                let mut gen = ReqGen::new(fcfg, index, open_ns);
-                let pending = gen.next(fcfg);
-                Some(Conn {
-                    pid,
-                    gen,
-                    window: CreditWindow::new(fcfg.credit_window, fcfg.queue_depth),
-                    pending,
-                    last_done_ns: open_ns,
-                    seq: 0,
-                })
-            }
-            Err(_) => {
-                // The board cannot hold another process directory: refuse
-                // the handshake and reclaim the host process.
-                host.kill_process(pid).expect("freshly spawned process");
-                *refused += 1;
-                None
-            }
-        }
+    let mut drv = SingleBoard {
+        engine,
+        fcfg,
+        host: Host::new(cfg.host_frames),
+        board: Board::new(),
+        probe: obs.map(SharedCollector::boxed),
+        out: OutcomeBuf::new(),
+        accepted: 0,
+        refused: 0,
+        stats_acc: TranslationStats::default(),
+        t0: Nanos::ZERO,
+        last_service: Nanos::ZERO,
     };
-
-    // Initial wave, in index order so pids stay dense.
-    let initial = fcfg.open_window.min(fcfg.connections);
-    while (next_conn as usize) < initial {
-        let conn = open(
-            next_conn,
-            0,
-            &mut host,
-            &mut board,
-            engine,
-            &mut probe,
-            &mut wire,
-            &mut accepted,
-            &mut refused,
-        );
-        if let Some(c) = conn {
-            let slot = slots.len();
-            let ts = c
-                .pending
-                .as_ref()
-                .expect("fresh connection has a request")
-                .ts_ns;
-            heap.push(Reverse((ts, c.pid.raw(), slot)));
-            slots.push(Some(c));
-        }
-        next_conn += 1;
-    }
-    let t0 = board.clock.now();
-    let mut last_service = t0;
-
-    while let Some(Reverse((ts, _pid, slot))) = heap.pop() {
-        let conn = slots[slot]
-            .as_mut()
-            .expect("heap entries point at open slots");
-        match conn.pending.take() {
-            Some(req) => {
-                offered += 1;
-                conn.seq += 1;
-                let frame = match req.op {
-                    Op::Send => Frame::Store {
-                        seq: conn.seq,
-                        va: req.va.raw(),
-                        nbytes: req.nbytes,
-                    },
-                    Op::Fetch => Frame::Fetch {
-                        seq: conn.seq,
-                        va: req.va.raw(),
-                        nbytes: req.nbytes,
-                    },
-                };
-                let (seq, va, nbytes) = match through_wire(frame, &mut wire) {
-                    Frame::Store { seq, va, nbytes } | Frame::Fetch { seq, va, nbytes } => {
-                        (seq, VirtAddr::new(va), nbytes)
-                    }
-                    other => unreachable!("request wire carried {other:?}"),
-                };
-                let arrival = Nanos::from_nanos(req.ts_ns);
-                match conn.window.offer(arrival) {
-                    AdmissionOutcome::Admitted(a) => {
-                        if a.stall > Nanos::ZERO {
-                            emit(
-                                &mut probe,
-                                conn.pid,
-                                Event::Backpressure {
-                                    ns: a.stall.as_nanos(),
-                                },
-                            );
-                        }
-                        board.clock.advance_to(a.at);
-                        out.clear();
-                        engine
-                            .lookup_run_into(
-                                &mut host,
-                                &mut board,
-                                LookupBatch::for_buffer(conn.pid, va, nbytes),
-                                &mut out,
-                            )
-                            .expect("frontend lookups succeed");
-                        let translated = board.clock.now();
-                        last_service = last_service.max(translated);
-                        let done = translated + Nanos::from_nanos(fcfg.drain_ns);
-                        conn.window.complete(done);
-                        conn.last_done_ns = conn.last_done_ns.max(done.as_nanos());
-                        served += 1;
-                        let lat = done - arrival;
-                        latency_ns.record(lat.as_nanos());
-                        through_wire(
-                            Frame::Done {
-                                seq,
-                                latency_ns: lat.as_nanos(),
-                            },
-                            &mut wire,
-                        );
-                    }
-                    AdmissionOutcome::Rejected => {
-                        through_wire(Frame::Busy { seq }, &mut wire);
-                    }
-                }
-                conn.pending = conn.gen.next(fcfg);
-                let next_ts = match &conn.pending {
-                    Some(r) => r.ts_ns,
-                    // All requests issued: close once the last payload has
-                    // drained (never before the request just handled).
-                    None => conn.last_done_ns.max(req.ts_ns),
-                };
-                heap.push(Reverse((next_ts, conn.pid.raw(), slot)));
-            }
-            None => {
-                // Teardown: Bye → snapshot counters → unregister → ByeAck.
-                let conn = slots[slot].take().expect("closing an open slot");
-                debug_assert!(through_wire(Frame::Bye, &mut wire).is_request());
-                let s = conn.window.stats();
-                admission.admitted += s.admitted;
-                admission.stalled += s.stalled;
-                admission.rejected += s.rejected;
-                admission.stall_ns += s.stall_ns;
-                admission.max_in_flight = admission.max_in_flight.max(s.max_in_flight);
-                stats_acc += engine
-                    .stats(conn.pid)
-                    .expect("open connection is registered");
-                engine
-                    .unregister_process(&mut host, &mut board, conn.pid)
-                    .expect("open connection is registered");
-                host.kill_process(conn.pid)
-                    .expect("connection process is live");
-                emit(&mut probe, conn.pid, Event::Close);
-                through_wire(Frame::ByeAck, &mut wire);
-                // The freed slot admits the next waiting connection, at the
-                // close's timestamp.
-                while next_conn < total {
-                    let index = next_conn;
-                    next_conn += 1;
-                    let opened = open(
-                        index,
-                        ts,
-                        &mut host,
-                        &mut board,
-                        engine,
-                        &mut probe,
-                        &mut wire,
-                        &mut accepted,
-                        &mut refused,
-                    );
-                    if let Some(c) = opened {
-                        let next_ts = c
-                            .pending
-                            .as_ref()
-                            .expect("fresh connection has a request")
-                            .ts_ns;
-                        heap.push(Reverse((next_ts, c.pid.raw(), slot)));
-                        slots[slot] = Some(c);
-                        break;
-                    }
-                    // Refused: fall through and try the next index in the
-                    // same slot at the same instant.
-                }
-            }
-        }
-    }
-
+    let counts = run_reactor(&mut drv, fcfg);
     if obs.is_some() {
-        engine.take_probe();
+        drv.engine.take_probe();
     }
-    drop(probe);
+    drop(drv.probe);
 
     let result = FrontendResult {
         workload: "frontend".to_string(),
-        connections: total,
-        accepted,
-        refused,
-        offered,
-        served,
-        served_lookups: stats_acc.lookups,
-        admission,
-        stats: stats_acc,
-        cache: engine.cache_stats(),
-        sim_time_ns: (last_service - t0).as_nanos(),
-        latency_ns,
+        connections: fcfg.connections as u64,
+        accepted: drv.accepted,
+        refused: drv.refused,
+        offered: counts.offered,
+        served: counts.served,
+        served_lookups: drv.stats_acc.lookups,
+        admission: counts.admission,
+        stats: drv.stats_acc,
+        cache: drv.engine.cache_stats(),
+        sim_time_ns: (drv.last_service - drv.t0).as_nanos(),
+        latency_ns: counts.latency_ns,
     };
-    (result, board.snapshot())
+    (result, drv.board.snapshot())
 }
 
 /// Materializes the zero-backpressure image of a front-end workload as a
@@ -590,7 +399,7 @@ pub fn frontend_trace(fcfg: &FrontendConfig) -> Trace {
     );
     let mut heap: BinaryHeap<Reverse<(u64, u32, usize)>> = BinaryHeap::new();
     let mut gens: Vec<ReqGen> = Vec::with_capacity(fcfg.connections);
-    let mut pending: Vec<Option<Req>> = Vec::with_capacity(fcfg.connections);
+    let mut pending: Vec<Option<reactor::Req>> = Vec::with_capacity(fcfg.connections);
     for index in 0..fcfg.connections {
         let mut g = ReqGen::new(fcfg, index as u64, 0);
         let first = g.next(fcfg).expect("validated config issues requests");
@@ -627,10 +436,12 @@ pub fn frontend_reference(
         .config(cfg)
         .execute(&frontend_trace(fcfg))
         .into_sim()
+        .expect("a plain trace replay produces a serial result")
 }
 
 #[cfg(test)]
 mod tests {
+    use super::reactor::BUFFER_BASE;
     use super::*;
 
     fn tiny() -> FrontendConfig {

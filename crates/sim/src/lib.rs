@@ -30,14 +30,14 @@
 //! configuration, and execute against a trace or stream.
 //!
 //! ```
-//! use utlb_sim::{Mechanism, Run, SimConfig};
+//! use utlb_sim::{Mechanism, Run, RunOutputExt, SimConfig};
 //! use utlb_trace::{gen, GenConfig, SplashApp};
 //!
 //! let cfg = GenConfig { seed: 1, scale: 0.03, app_processes: 4 };
 //! let trace = gen::generate(SplashApp::Water, &cfg);
 //! let sim = SimConfig::study(1024);
-//! let utlb = Run::new(Mechanism::Utlb).config(&sim).execute(&trace).into_sim();
-//! let intr = Run::new(Mechanism::Intr).config(&sim).execute(&trace).into_sim();
+//! let utlb = Run::new(Mechanism::Utlb).config(&sim).execute(&trace).into_sim().unwrap();
+//! let intr = Run::new(Mechanism::Intr).config(&sim).execute(&trace).into_sim().unwrap();
 //! // The paper's central comparison, in two calls:
 //! assert_eq!(utlb.stats.interrupts, 0);
 //! assert_eq!(intr.stats.interrupts, intr.stats.ni_misses);
@@ -60,26 +60,21 @@ mod observe;
 mod report;
 mod run;
 mod runner;
+mod stations;
 pub mod sweep;
 
 pub use classify::{MissBreakdown, MissClassifier, MissKind};
-pub use cluster::{BoardCell, ClusterConfig, ClusterResult, Migration, MigrationReport};
+pub use cluster::{
+    BoardCell, ClusterConfig, ClusterResult, HomingPolicy, Migration, MigrationReport,
+};
 pub use config::{Mechanism, SimConfig, DEFAULT_HOST_FRAMES};
 pub use des_runner::{DesConfig, DesResult};
+pub use frontend::cluster::{ClusterFrontendResult, FrontendBoardCell};
 pub use frontend::{frontend_trace, FrontendConfig, FrontendResult};
 pub use observe::ObsReport;
 pub use report::{phase_breakdown, wait_breakdown, TextTable};
-pub use run::{Live, Run, RunInput, RunOutput, StreamVisitor, DEFAULT_OBS_RING};
+pub use run::{
+    Live, Run, RunError, RunInput, RunOutput, RunOutputExt, StreamVisitor, DEFAULT_OBS_RING,
+};
 pub use runner::{SimResult, STREAM_CHUNK};
 pub use sweep::{sweep, sweep_over};
-
-// The pre-builder entry points, kept as thin deprecated shims so downstream
-// code migrates at its own pace. Everything here is expressible as one
-// `Run` chain.
-#[allow(deprecated)]
-pub use des_runner::{run_des, run_des_mechanism, run_des_observed, run_des_stream};
-#[allow(deprecated)]
-pub use runner::{
-    run, run_intr, run_mechanism, run_mechanism_observed, run_observed, run_stream,
-    run_stream_mechanism, run_stream_observed, run_utlb,
-};

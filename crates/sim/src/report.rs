@@ -192,6 +192,7 @@ pub fn micros(x: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RunOutputExt;
 
     #[test]
     fn renders_aligned_columns() {
@@ -267,7 +268,8 @@ mod tests {
             .config(&SimConfig::study(256))
             .des(DesConfig::contended(4.0))
             .execute(&trace)
-            .into_des();
+            .into_des()
+            .unwrap();
         let t = wait_breakdown("Waits", &r);
         assert_eq!(t.len(), 4, "firmware, dma, bus, intr");
         let s = t.to_string();

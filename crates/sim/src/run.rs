@@ -7,7 +7,7 @@
 //! different argument lists. [`Run`] replaces them with one builder:
 //!
 //! ```
-//! use utlb_sim::{Mechanism, Run, SimConfig};
+//! use utlb_sim::{Mechanism, Run, RunOutputExt, SimConfig};
 //! use utlb_trace::{gen, GenConfig, SplashApp};
 //!
 //! let cfg = GenConfig { seed: 1, scale: 0.03, app_processes: 4 };
@@ -15,7 +15,7 @@
 //! let sim = SimConfig::study(1024);
 //!
 //! // Plain serial replay of a materialized trace:
-//! let utlb = Run::new(Mechanism::Utlb).config(&sim).execute(&trace).into_sim();
+//! let utlb = Run::new(Mechanism::Utlb).config(&sim).execute(&trace).into_sim().unwrap();
 //! assert_eq!(utlb.stats.interrupts, 0);
 //!
 //! // The same run observed, as a fused generate+replay stream:
@@ -24,22 +24,28 @@
 //!     .config(&sim)
 //!     .observed()
 //!     .execute(&mut stream)
-//!     .into_observed();
+//!     .into_observed()
+//!     .unwrap();
 //! assert_eq!(streamed.stats, utlb.stats);
 //! assert!(obs.reconciled);
 //! ```
 //!
-//! `execute` accepts a `&Trace` or `&mut` any [`TraceStream`] — the two
-//! input shapes every legacy pair (`run`/`run_stream`, …) used to split
-//! over. `.des(cfg)` switches the timing model to the discrete-event
-//! stations, `.cluster(cfg)` shards the stream across simulated boards,
-//! and `.observed()` attaches the metrics/event-ring collector to any of
-//! them. The legacy names survive as `#[deprecated]` one-line wrappers;
-//! `tests/builder_equivalence.rs` pins every one of them byte-identical to
-//! its builder spelling.
+//! `execute` accepts a `&Trace`, a `&mut` any [`TraceStream`], or [`Live`]
+//! (the request plane generates its own input). `.des(cfg)` switches the
+//! timing model to the discrete-event stations, `.cluster(cfg)` shards the
+//! run across simulated boards — composing with `.frontend(cfg)` to serve
+//! *live connections* over the cluster — and `.observed()` attaches the
+//! metrics/event-ring collector.
+//!
+//! Misconfiguration is a typed, recoverable [`RunError`] returned from
+//! [`Run::execute`], never a panic: an incompatible builder combination,
+//! the wrong input shape, or reading an output as a shape the run did not
+//! produce all surface as `Err`. [`RunOutputExt`] lets the `Result` chain
+//! straight into the accessors (`.execute(&trace).into_sim()?`).
 
 use crate::cluster::{replay_cluster, ClusterConfig, ClusterResult};
 use crate::des_runner::{replay_des, DesResult};
+use crate::frontend::cluster::{replay_cluster_frontend, ClusterFrontendResult};
 use crate::frontend::{replay_frontend, FrontendConfig, FrontendResult};
 use crate::observe::{build_report, ObsReport};
 use crate::runner::{replay_stream, SimResult};
@@ -52,6 +58,53 @@ use utlb_trace::{Trace, TraceRecord, TraceStream, TraceView};
 
 /// Per-process event-ring capacity [`Run::observed`] uses.
 pub const DEFAULT_OBS_RING: usize = 64;
+
+/// Why a [`Run`] could not execute, or a [`RunOutput`] could not be read
+/// as the requested shape. Every variant is a misuse of the builder — the
+/// simulation itself is closed-world and still treats internal engine
+/// failures as bugs (panics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The run has no mechanism: use `Run::new(mech)` or
+    /// [`Run::execute_with`].
+    NoMechanism,
+    /// Two builder options cannot compose (e.g. a single-board frontend
+    /// with `.des()`). The message says which and what to drop.
+    IncompatibleConfig(&'static str),
+    /// The input shape does not fit the configured run (e.g. a trace fed
+    /// to a frontend run, or [`Live`] without `.frontend(cfg)`).
+    IncompatibleInput(&'static str),
+    /// The output was read as a shape the run did not produce (e.g.
+    /// `.into_sim()` on a cluster run).
+    IncompatiblePayload {
+        /// The shape the accessor asked for.
+        requested: &'static str,
+        /// The shape the run actually produced.
+        actual: &'static str,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::NoMechanism => {
+                write!(
+                    f,
+                    "Run has no mechanism: use Run::new(mech) or Run::execute_with"
+                )
+            }
+            RunError::IncompatibleConfig(msg) | RunError::IncompatibleInput(msg) => {
+                write!(f, "{msg}")
+            }
+            RunError::IncompatiblePayload { requested, actual } => write!(
+                f,
+                "not a {requested} run: the result is in .into_{actual}()"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
 
 /// A configured simulation run: mechanism (or caller-supplied engine),
 /// simulation parameters, optional observability, optional discrete-event
@@ -121,15 +174,18 @@ impl Run {
 
     /// Switches timing to the discrete-event stations of `utlb-des`: the
     /// output becomes a [`DesResult`] whose serial half is byte-identical
-    /// to the plain run.
+    /// to the plain run. On a cluster (trace or frontend) run this sets the
+    /// shared-station parameters instead.
     pub fn des(mut self, des: DesConfig) -> Self {
         self.des = Some(des);
         self
     }
 
     /// Shards the run across the simulated boards of `cluster`; the output
-    /// becomes a [`ClusterResult`]. Cluster runs always use the
-    /// discrete-event stations — `.des(cfg)` sets their parameters and
+    /// becomes a [`ClusterResult`] — or, combined with
+    /// [`frontend`](Run::frontend), a [`ClusterFrontendResult`] serving
+    /// live connections homed across the boards. Cluster runs always use
+    /// the discrete-event stations — `.des(cfg)` sets their parameters and
     /// defaults to [`DesConfig::zero_contention`].
     pub fn cluster(mut self, cluster: ClusterConfig) -> Self {
         self.cluster = Some(cluster);
@@ -140,31 +196,36 @@ impl Run {
     /// simulated peers connect, export buffers, and issue the requests the
     /// mechanism translates — there is no trace. Execute with the [`Live`]
     /// input; the output becomes a [`FrontendResult`]. Composes with
-    /// [`observed`](Run::observed) but not with `.des()` or `.cluster()`
-    /// (the front end owns its own clock discipline).
+    /// [`observed`](Run::observed), and with [`cluster`](Run::cluster) to
+    /// home connections across N boards (the output then becomes a
+    /// [`ClusterFrontendResult`]); a *single-board* frontend owns its own
+    /// clock discipline and rejects `.des()`.
     pub fn frontend(mut self, frontend: FrontendConfig) -> Self {
         self.frontend = Some(frontend);
         self
     }
 
     /// Executes the run, constructing the engine(s) from the configured
-    /// [`Mechanism`]. `input` is a `&Trace` or `&mut` any [`TraceStream`].
+    /// [`Mechanism`]. `input` is a `&Trace`, a `&mut` any [`TraceStream`],
+    /// or [`Live`] for frontend runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] on builder misuse: no mechanism
+    /// ([`Run::with_config`] runs need [`execute_with`](Run::execute_with)),
+    /// an incompatible option combination, or an input shape the configured
+    /// run cannot consume.
     ///
     /// # Panics
     ///
-    /// Panics if no mechanism was configured ([`Run::with_config`] runs
-    /// need [`execute_with`](Run::execute_with)), and on internal engine
-    /// errors — trace simulation is closed-world, so any failure is a bug
-    /// worth a loud stop.
-    pub fn execute(&self, input: impl RunInput) -> RunOutput {
-        let mech = self
-            .mech
-            .expect("Run has no mechanism: use Run::new(mech) or Run::execute_with");
+    /// Panics on internal engine errors — trace simulation is closed-world,
+    /// so any failure past configuration is a bug worth a loud stop.
+    pub fn execute(&self, input: impl RunInput) -> Result<RunOutput, RunError> {
+        let mech = self.mech.ok_or(RunError::NoMechanism)?;
         if self.cluster.is_some() {
-            assert!(
-                self.frontend.is_none(),
-                "a frontend run drives one board: drop .cluster()"
-            );
+            if self.frontend.is_some() {
+                return input.dispatch(ClusterFrontendExec { run: self, mech });
+            }
             return input.dispatch(ClusterExec { run: self, mech });
         }
         let mut engine = mech.engine(&self.cfg);
@@ -175,26 +236,35 @@ impl Run {
     /// and probe slot are used in place; any probe the caller attached
     /// beforehand stays attached for non-observed serial runs.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] on builder misuse; cluster runs build one
+    /// engine per board and must go through [`execute`](Run::execute).
+    ///
     /// # Panics
     ///
-    /// Panics if a cluster topology is configured — cluster runs build one
-    /// engine per board and must go through [`execute`](Run::execute) —
-    /// and on internal engine errors.
-    pub fn execute_with<M>(&self, engine: &mut M, input: impl RunInput) -> RunOutput
+    /// Panics on internal engine errors.
+    pub fn execute_with<M>(
+        &self,
+        engine: &mut M,
+        input: impl RunInput,
+    ) -> Result<RunOutput, RunError>
     where
         M: TranslationMechanism + ?Sized,
     {
-        assert!(
-            self.cluster.is_none(),
-            "cluster runs construct one engine per board: use Run::execute"
-        );
+        if self.cluster.is_some() {
+            return Err(RunError::IncompatibleConfig(
+                "cluster runs construct one engine per board: use Run::execute",
+            ));
+        }
         input.dispatch(EngineExec { run: self, engine })
     }
 }
 
-/// An input [`Run::execute`] accepts: a materialized `&`[`Trace`] or a
-/// `&mut` [`TraceStream`] (fused generate+replay). Implemented for exactly
-/// those two shapes; the trait only routes the input to the replay loop.
+/// An input [`Run::execute`] accepts: a materialized `&`[`Trace`], a
+/// `&mut` [`TraceStream`] (fused generate+replay), or [`Live`].
+/// Implemented for exactly those shapes; the trait only routes the input
+/// to the replay loop.
 pub trait RunInput {
     /// Hands the underlying stream to `visitor`. Not meant to be called
     /// directly — [`Run::execute`] does.
@@ -233,17 +303,18 @@ impl<S: TraceStream> RunInput for &mut S {
 /// peers, not from a trace.
 ///
 /// ```no_run
-/// # use utlb_sim::{frontend::FrontendConfig, Live, Mechanism, Run};
+/// # use utlb_sim::{frontend::FrontendConfig, Live, Mechanism, Run, RunOutputExt};
 /// let result = Run::new(Mechanism::Utlb)
 ///     .frontend(FrontendConfig::default())
 ///     .execute(Live)
-///     .into_frontend();
+///     .into_frontend()
+///     .unwrap();
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Live;
 
-/// Workload sentinel [`Live`] dispatches; the frontend branch asserts it.
-const LIVE_WORKLOAD: &str = "\0live";
+/// Workload sentinel [`Live`] dispatches; the frontend branches require it.
+pub(crate) const LIVE_WORKLOAD: &str = "\0live";
 
 /// The empty stream behind [`Live`]. Replaying it is a no-op; its only job
 /// is to carry the sentinel through the visitor plumbing.
@@ -280,20 +351,22 @@ struct EngineExec<'r, 'e, M: ?Sized> {
 }
 
 impl<M: TranslationMechanism + ?Sized> StreamVisitor for EngineExec<'_, '_, M> {
-    type Out = RunOutput;
+    type Out = Result<RunOutput, RunError>;
 
-    fn visit<S: TraceStream + ?Sized>(self, stream: &mut S) -> RunOutput {
+    fn visit<S: TraceStream + ?Sized>(self, stream: &mut S) -> Result<RunOutput, RunError> {
         let collector = self.run.obs_ring.map(SharedCollector::new);
         if let Some(fcfg) = &self.run.frontend {
-            assert!(
-                self.run.des.is_none(),
-                "a frontend run owns its own clock discipline: drop .des()"
-            );
-            assert_eq!(
-                stream.workload(),
-                LIVE_WORKLOAD,
-                "a frontend run generates its own requests: execute(Live), not a trace"
-            );
+            if self.run.des.is_some() {
+                return Err(RunError::IncompatibleConfig(
+                    "a single-board frontend run owns its own clock discipline: \
+                     drop .des() or add .cluster(topology)",
+                ));
+            }
+            if stream.workload() != LIVE_WORKLOAD {
+                return Err(RunError::IncompatibleInput(
+                    "a frontend run generates its own requests: execute(Live), not a trace",
+                ));
+            }
             let (result, board) =
                 replay_frontend(self.engine, &self.run.cfg, fcfg, collector.as_ref());
             let obs = collector.map(|c| {
@@ -305,10 +378,15 @@ impl<M: TranslationMechanism + ?Sized> StreamVisitor for EngineExec<'_, '_, M> {
                     &c,
                 )
             });
-            return RunOutput {
+            return Ok(RunOutput {
                 payload: Payload::Frontend(Box::new(result)),
                 obs,
-            };
+            });
+        }
+        if stream.workload() == LIVE_WORKLOAD {
+            return Err(RunError::IncompatibleInput(
+                "a Live input needs .frontend(cfg): nothing else generates requests",
+            ));
         }
         if let Some(des) = &self.run.des {
             let (result, board) =
@@ -322,10 +400,10 @@ impl<M: TranslationMechanism + ?Sized> StreamVisitor for EngineExec<'_, '_, M> {
                     &c,
                 )
             });
-            RunOutput {
+            Ok(RunOutput {
                 payload: Payload::Des(Box::new(result)),
                 obs,
-            }
+            })
         } else if let Some(collector) = collector {
             self.engine.set_probe(collector.boxed());
             let (result, board) = replay_stream(self.engine, stream, &self.run.cfg);
@@ -337,37 +415,81 @@ impl<M: TranslationMechanism + ?Sized> StreamVisitor for EngineExec<'_, '_, M> {
                 board,
                 &collector,
             );
-            RunOutput {
+            Ok(RunOutput {
                 payload: Payload::Sim(result),
                 obs: Some(obs),
-            }
+            })
         } else {
             let (result, _) = replay_stream(self.engine, stream, &self.run.cfg);
-            RunOutput {
+            Ok(RunOutput {
                 payload: Payload::Sim(result),
                 obs: None,
-            }
+            })
         }
     }
 }
 
-/// Cluster execution: one engine per board, shared stations.
+/// Cluster trace execution: one engine per board, shared stations.
 struct ClusterExec<'r> {
     run: &'r Run,
     mech: Mechanism,
 }
 
 impl StreamVisitor for ClusterExec<'_> {
-    type Out = RunOutput;
+    type Out = Result<RunOutput, RunError>;
 
-    fn visit<S: TraceStream + ?Sized>(self, stream: &mut S) -> RunOutput {
+    fn visit<S: TraceStream + ?Sized>(self, stream: &mut S) -> Result<RunOutput, RunError> {
+        if stream.workload() == LIVE_WORKLOAD {
+            return Err(RunError::IncompatibleInput(
+                "a Live input needs .frontend(cfg): nothing else generates requests",
+            ));
+        }
         let des = self.run.des.unwrap_or_default();
         let cluster = self.run.cluster.as_ref().expect("checked by execute");
         let result = replay_cluster(self.mech, stream, &self.run.cfg, &des, cluster);
-        RunOutput {
+        Ok(RunOutput {
             payload: Payload::Cluster(Box::new(result)),
             obs: None,
+        })
+    }
+}
+
+/// Clustered live-frontend execution: the request plane homed over N
+/// boards with shared stations.
+struct ClusterFrontendExec<'r> {
+    run: &'r Run,
+    mech: Mechanism,
+}
+
+impl StreamVisitor for ClusterFrontendExec<'_> {
+    type Out = Result<RunOutput, RunError>;
+
+    fn visit<S: TraceStream + ?Sized>(self, stream: &mut S) -> Result<RunOutput, RunError> {
+        if stream.workload() != LIVE_WORKLOAD {
+            return Err(RunError::IncompatibleInput(
+                "a frontend run generates its own requests: execute(Live), not a trace",
+            ));
         }
+        if self.run.obs_ring.is_some() {
+            return Err(RunError::IncompatibleConfig(
+                "a clustered frontend reports per-board metrics in its result cells: \
+                 drop .observed()",
+            ));
+        }
+        let cluster = self.run.cluster.as_ref().expect("checked by execute");
+        if !cluster.migrations.is_empty() {
+            return Err(RunError::IncompatibleConfig(
+                "scheduled migrations replay traces: the frontend re-homes \
+                 connections at admission instead",
+            ));
+        }
+        let fcfg = self.run.frontend.as_ref().expect("checked by execute");
+        let des = self.run.des.unwrap_or_default();
+        let result = replay_cluster_frontend(self.mech, &self.run.cfg, fcfg, &des, cluster);
+        Ok(RunOutput {
+            payload: Payload::ClusterFrontend(Box::new(result)),
+            obs: None,
+        })
     }
 }
 
@@ -377,13 +499,37 @@ enum Payload {
     Des(Box<DesResult>),
     Cluster(Box<ClusterResult>),
     Frontend(Box<FrontendResult>),
+    ClusterFrontend(Box<ClusterFrontendResult>),
+}
+
+impl Payload {
+    /// The shape name used in [`RunError::IncompatiblePayload`].
+    fn kind(&self) -> &'static str {
+        match self {
+            Payload::Sim(_) => "sim",
+            Payload::Des(_) => "des",
+            Payload::Cluster(_) => "cluster",
+            Payload::Frontend(_) => "frontend",
+            Payload::ClusterFrontend(_) => "cluster_frontend",
+        }
+    }
+}
+
+fn payload_err<T>(requested: &'static str, payload: &Payload) -> Result<T, RunError> {
+    Err(RunError::IncompatiblePayload {
+        requested,
+        actual: payload.kind(),
+    })
 }
 
 /// What a [`Run`] produced: a serial [`SimResult`], a discrete-event
-/// [`DesResult`], or a [`ClusterResult`], plus the [`ObsReport`] when the
-/// run was observed. The accessors panic when asked for a shape the run
-/// was not configured to produce — a misread result is a driver bug, not a
-/// recoverable condition.
+/// [`DesResult`], a [`ClusterResult`], a [`FrontendResult`], or a
+/// [`ClusterFrontendResult`], plus the [`ObsReport`] when the run was
+/// observed. The `into_*` accessors return
+/// [`RunError::IncompatiblePayload`] when asked for a shape the run was
+/// not configured to produce; [`RunOutputExt`] provides the same accessors
+/// directly on `Result<RunOutput, RunError>` so the `execute` result
+/// chains without an intermediate unwrap.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
     payload: Payload,
@@ -394,31 +540,30 @@ impl RunOutput {
     /// The serial result: the plain result of a serial run, or the `base`
     /// half of a DES run.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a cluster run — per-board results live in
-    /// [`cluster`](RunOutput::cluster).
-    pub fn sim(&self) -> &SimResult {
+    /// Returns [`RunError::IncompatiblePayload`] on cluster and frontend
+    /// runs.
+    pub fn sim(&self) -> Result<&SimResult, RunError> {
         match &self.payload {
-            Payload::Sim(r) => r,
-            Payload::Des(r) => &r.base,
-            Payload::Cluster(_) => panic!("cluster run: per-board results are in .cluster()"),
-            Payload::Frontend(_) => panic!("frontend run: the result is in .frontend()"),
+            Payload::Sim(r) => Ok(r),
+            Payload::Des(r) => Ok(&r.base),
+            other => payload_err("sim", other),
         }
     }
 
     /// Consumes the output into its serial result (see
     /// [`sim`](RunOutput::sim)).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a cluster run.
-    pub fn into_sim(self) -> SimResult {
+    /// Returns [`RunError::IncompatiblePayload`] on cluster and frontend
+    /// runs.
+    pub fn into_sim(self) -> Result<SimResult, RunError> {
         match self.payload {
-            Payload::Sim(r) => r,
-            Payload::Des(r) => r.base,
-            Payload::Cluster(_) => panic!("cluster run: per-board results are in .into_cluster()"),
-            Payload::Frontend(_) => panic!("frontend run: the result is in .into_frontend()"),
+            Payload::Sim(r) => Ok(r),
+            Payload::Des(r) => Ok(r.base),
+            other => payload_err("sim", &other),
         }
     }
 
@@ -433,13 +578,14 @@ impl RunOutput {
 
     /// Consumes the output into its discrete-event result.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the run was not configured with [`Run::des`].
-    pub fn into_des(self) -> DesResult {
+    /// Returns [`RunError::IncompatiblePayload`] if the run was not
+    /// configured with [`Run::des`].
+    pub fn into_des(self) -> Result<DesResult, RunError> {
         match self.payload {
-            Payload::Des(r) => *r,
-            _ => panic!("not a DES run: configure with Run::des"),
+            Payload::Des(r) => Ok(*r),
+            other => payload_err("des", &other),
         }
     }
 
@@ -453,18 +599,19 @@ impl RunOutput {
 
     /// Consumes the output into its cluster result.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the run was not configured with [`Run::cluster`].
-    pub fn into_cluster(self) -> ClusterResult {
+    /// Returns [`RunError::IncompatiblePayload`] if the run was not
+    /// configured with [`Run::cluster`] (trace input).
+    pub fn into_cluster(self) -> Result<ClusterResult, RunError> {
         match self.payload {
-            Payload::Cluster(r) => *r,
-            _ => panic!("not a cluster run: configure with Run::cluster"),
+            Payload::Cluster(r) => Ok(*r),
+            other => payload_err("cluster", &other),
         }
     }
 
     /// The front-end result, if the run was configured with
-    /// [`Run::frontend`].
+    /// [`Run::frontend`] on a single board.
     pub fn frontend(&self) -> Option<&FrontendResult> {
         match &self.payload {
             Payload::Frontend(r) => Some(r),
@@ -474,28 +621,52 @@ impl RunOutput {
 
     /// Consumes the output into its front-end result.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the run was not configured with [`Run::frontend`].
-    pub fn into_frontend(self) -> FrontendResult {
+    /// Returns [`RunError::IncompatiblePayload`] if the run was not
+    /// configured with [`Run::frontend`] on a single board.
+    pub fn into_frontend(self) -> Result<FrontendResult, RunError> {
         match self.payload {
-            Payload::Frontend(r) => *r,
-            _ => panic!("not a frontend run: configure with Run::frontend"),
+            Payload::Frontend(r) => Ok(*r),
+            other => payload_err("frontend", &other),
+        }
+    }
+
+    /// The clustered front-end result, if the run combined
+    /// [`Run::frontend`] with [`Run::cluster`].
+    pub fn cluster_frontend(&self) -> Option<&ClusterFrontendResult> {
+        match &self.payload {
+            Payload::ClusterFrontend(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes the output into its clustered front-end result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::IncompatiblePayload`] if the run did not combine
+    /// [`Run::frontend`] with [`Run::cluster`].
+    pub fn into_cluster_frontend(self) -> Result<ClusterFrontendResult, RunError> {
+        match self.payload {
+            Payload::ClusterFrontend(r) => Ok(*r),
+            other => payload_err("cluster_frontend", &other),
         }
     }
 
     /// Consumes the output into `(front-end result, report)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the run was not both observed and a frontend run.
-    pub fn into_frontend_observed(self) -> (FrontendResult, ObsReport) {
-        let obs = self
-            .obs
-            .expect("not an observed run: configure with Run::observed");
+    /// Returns a [`RunError`] if the run was not both observed and a
+    /// frontend run.
+    pub fn into_frontend_observed(self) -> Result<(FrontendResult, ObsReport), RunError> {
+        let obs = self.obs.ok_or(RunError::IncompatibleConfig(
+            "not an observed run: configure with Run::observed",
+        ))?;
         match self.payload {
-            Payload::Frontend(r) => (*r, obs),
-            _ => panic!("not a frontend run: configure with Run::frontend"),
+            Payload::Frontend(r) => Ok((*r, obs)),
+            other => payload_err("frontend", &other),
         }
     }
 
@@ -506,37 +677,103 @@ impl RunOutput {
 
     /// Consumes the output into `(serial result, report)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the run was not observed, or on a cluster run.
-    pub fn into_observed(self) -> (SimResult, ObsReport) {
-        let obs = self
-            .obs
-            .expect("not an observed run: configure with Run::observed");
+    /// Returns a [`RunError`] if the run was not observed, or on cluster
+    /// and frontend runs.
+    pub fn into_observed(self) -> Result<(SimResult, ObsReport), RunError> {
+        let obs = self.obs.ok_or(RunError::IncompatibleConfig(
+            "not an observed run: configure with Run::observed",
+        ))?;
         let sim = match self.payload {
             Payload::Sim(r) => r,
             Payload::Des(r) => r.base,
-            Payload::Cluster(_) => panic!("cluster run: per-board results are in .into_cluster()"),
-            Payload::Frontend(_) => {
-                panic!("frontend run: the result is in .into_frontend_observed()")
-            }
+            other => return payload_err("sim", &other),
         };
-        (sim, obs)
+        Ok((sim, obs))
     }
 
     /// Consumes the output into `(DES result, report)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the run was not both observed and DES-timed.
-    pub fn into_des_observed(self) -> (DesResult, ObsReport) {
-        let obs = self
-            .obs
-            .expect("not an observed run: configure with Run::observed");
+    /// Returns a [`RunError`] if the run was not both observed and
+    /// DES-timed.
+    pub fn into_des_observed(self) -> Result<(DesResult, ObsReport), RunError> {
+        let obs = self.obs.ok_or(RunError::IncompatibleConfig(
+            "not an observed run: configure with Run::observed",
+        ))?;
         match self.payload {
-            Payload::Des(r) => (*r, obs),
-            _ => panic!("not a DES run: configure with Run::des"),
+            Payload::Des(r) => Ok((*r, obs)),
+            other => payload_err("des", &other),
         }
+    }
+}
+
+/// The [`RunOutput`] accessors, lifted onto `Result<RunOutput, RunError>`
+/// so [`Run::execute`] chains directly:
+/// `.execute(&trace).into_sim()?` instead of
+/// `.execute(&trace)?.into_sim()?`.
+pub trait RunOutputExt {
+    /// See [`RunOutput::sim`].
+    #[allow(clippy::missing_errors_doc)]
+    fn sim(&self) -> Result<&SimResult, RunError>;
+    /// See [`RunOutput::into_sim`].
+    #[allow(clippy::missing_errors_doc)]
+    fn into_sim(self) -> Result<SimResult, RunError>;
+    /// See [`RunOutput::into_des`].
+    #[allow(clippy::missing_errors_doc)]
+    fn into_des(self) -> Result<DesResult, RunError>;
+    /// See [`RunOutput::into_cluster`].
+    #[allow(clippy::missing_errors_doc)]
+    fn into_cluster(self) -> Result<ClusterResult, RunError>;
+    /// See [`RunOutput::into_frontend`].
+    #[allow(clippy::missing_errors_doc)]
+    fn into_frontend(self) -> Result<FrontendResult, RunError>;
+    /// See [`RunOutput::into_cluster_frontend`].
+    #[allow(clippy::missing_errors_doc)]
+    fn into_cluster_frontend(self) -> Result<ClusterFrontendResult, RunError>;
+    /// See [`RunOutput::into_observed`].
+    #[allow(clippy::missing_errors_doc)]
+    fn into_observed(self) -> Result<(SimResult, ObsReport), RunError>;
+    /// See [`RunOutput::into_des_observed`].
+    #[allow(clippy::missing_errors_doc)]
+    fn into_des_observed(self) -> Result<(DesResult, ObsReport), RunError>;
+    /// See [`RunOutput::into_frontend_observed`].
+    #[allow(clippy::missing_errors_doc)]
+    fn into_frontend_observed(self) -> Result<(FrontendResult, ObsReport), RunError>;
+}
+
+impl RunOutputExt for Result<RunOutput, RunError> {
+    fn sim(&self) -> Result<&SimResult, RunError> {
+        match self {
+            Ok(out) => out.sim(),
+            Err(e) => Err(e.clone()),
+        }
+    }
+    fn into_sim(self) -> Result<SimResult, RunError> {
+        self.and_then(RunOutput::into_sim)
+    }
+    fn into_des(self) -> Result<DesResult, RunError> {
+        self.and_then(RunOutput::into_des)
+    }
+    fn into_cluster(self) -> Result<ClusterResult, RunError> {
+        self.and_then(RunOutput::into_cluster)
+    }
+    fn into_frontend(self) -> Result<FrontendResult, RunError> {
+        self.and_then(RunOutput::into_frontend)
+    }
+    fn into_cluster_frontend(self) -> Result<ClusterFrontendResult, RunError> {
+        self.and_then(RunOutput::into_cluster_frontend)
+    }
+    fn into_observed(self) -> Result<(SimResult, ObsReport), RunError> {
+        self.and_then(RunOutput::into_observed)
+    }
+    fn into_des_observed(self) -> Result<(DesResult, ObsReport), RunError> {
+        self.and_then(RunOutput::into_des_observed)
+    }
+    fn into_frontend_observed(self) -> Result<(FrontendResult, ObsReport), RunError> {
+        self.and_then(RunOutput::into_frontend_observed)
     }
 }
 
@@ -562,9 +799,9 @@ mod tests {
         let trace = tiny();
         let sim = SimConfig::study(256);
         let run = Run::new(Mechanism::Utlb).config(&sim);
-        let a = run.execute(&trace).into_sim();
+        let a = run.execute(&trace).into_sim().unwrap();
         let mut view = TraceView::new(&trace);
-        let b = run.execute(&mut view).into_sim();
+        let b = run.execute(&mut view).into_sim().unwrap();
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.sim_time_ns, b.sim_time_ns);
     }
@@ -576,7 +813,8 @@ mod tests {
         let mut engine = UtlbEngine::new(sim.utlb_config());
         let r = Run::with_config(&sim)
             .execute_with(&mut engine, &trace)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         assert_eq!(r.stats.lookups, trace.total_lookups());
         // The engine keeps its state: stats remain queryable afterwards.
         assert_eq!(engine.aggregate_stats(), r.stats);
@@ -590,7 +828,8 @@ mod tests {
             .config(&sim)
             .observed_ring(16)
             .execute(&trace)
-            .into_observed();
+            .into_observed()
+            .unwrap();
         assert!(obs.reconciled, "mismatches: {:?}", obs.mismatches);
         assert_eq!(obs.metrics.counts.lookups, r.stats.lookups);
     }
@@ -602,29 +841,72 @@ mod tests {
         let plain = Run::new(Mechanism::Utlb)
             .config(&sim)
             .execute(&trace)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         let out = Run::new(Mechanism::Utlb)
             .config(&sim)
             .des(DesConfig::zero_contention())
             .execute(&trace);
-        assert_eq!(out.sim().stats, plain.stats, "sim() reads the DES base");
-        let des = out.into_des();
+        assert_eq!(
+            out.sim().unwrap().stats,
+            plain.stats,
+            "sim() reads the DES base"
+        );
+        let des = out.into_des().unwrap();
         assert_eq!(des.base.sim_time_ns, plain.sim_time_ns);
         assert_eq!(des.des_time_ns, plain.sim_time_ns);
     }
 
     #[test]
-    #[should_panic(expected = "no mechanism")]
-    fn execute_without_mechanism_panics() {
-        Run::with_config(&SimConfig::study(64)).execute(&tiny());
+    fn execute_without_mechanism_is_a_typed_error() {
+        let err = Run::with_config(&SimConfig::study(64))
+            .execute(&tiny())
+            .unwrap_err();
+        assert_eq!(err, RunError::NoMechanism);
+        assert!(err.to_string().contains("no mechanism"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "not a DES run")]
-    fn misreading_a_serial_output_panics() {
-        Run::new(Mechanism::Utlb)
+    fn misreading_a_serial_output_is_a_typed_error() {
+        let err = Run::new(Mechanism::Utlb)
             .config(&SimConfig::study(64))
             .execute(&tiny())
-            .into_des();
+            .into_des()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::IncompatiblePayload {
+                requested: "des",
+                actual: "sim"
+            }
+        );
+        assert!(err.to_string().contains("not a des run"), "{err}");
+    }
+
+    #[test]
+    fn execute_with_on_a_cluster_run_is_a_typed_error() {
+        let sim = SimConfig::study(64);
+        let mut engine = UtlbEngine::new(sim.utlb_config());
+        let err = Run::new(Mechanism::Utlb)
+            .config(&sim)
+            .cluster(ClusterConfig::new(2))
+            .execute_with(&mut engine, &tiny())
+            .unwrap_err();
+        assert!(err.to_string().contains("use Run::execute"), "{err}");
+    }
+
+    #[test]
+    fn live_input_without_a_frontend_is_a_typed_error() {
+        let err = Run::new(Mechanism::Utlb)
+            .config(&SimConfig::study(64))
+            .execute(Live)
+            .unwrap_err();
+        assert!(err.to_string().contains(".frontend(cfg)"), "{err}");
+        let err = Run::new(Mechanism::Utlb)
+            .config(&SimConfig::study(64))
+            .cluster(ClusterConfig::new(2))
+            .execute(Live)
+            .unwrap_err();
+        assert!(err.to_string().contains(".frontend(cfg)"), "{err}");
     }
 }

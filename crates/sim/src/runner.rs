@@ -6,15 +6,14 @@
 //! UTLB-Cache really fills over the simulated I/O bus. The statistics
 //! reported are therefore the mechanism's own counters, not a re-model.
 
-use crate::observe::ObsReport;
-use crate::{Mechanism, MissBreakdown, MissClassifier, Run, SimConfig};
+use crate::{MissBreakdown, MissClassifier, SimConfig};
 use serde::{Deserialize, Serialize};
 use utlb_core::{
     CacheStats, LookupBatch, LookupRates, OutcomeBuf, TranslationMechanism, TranslationStats,
 };
 use utlb_mem::Host;
 use utlb_nic::{Board, BoardSnapshot, Nanos};
-use utlb_trace::{fill_chunk, Trace, TraceStream};
+use utlb_trace::{fill_chunk, TraceStream};
 
 /// Records pulled per refill of the streaming replay loop. The loop's
 /// resident trace state is one chunk, whatever the stream's total size.
@@ -167,150 +166,11 @@ where
     (result, board.snapshot())
 }
 
-/// Runs `trace` through any [`TranslationMechanism`] under `cfg`.
-///
-/// # Panics
-///
-/// Panics if the engine reports an internal error — trace simulation is
-/// closed-world, so any failure is a bug worth a loud stop.
-#[deprecated(note = "use `Run::with_config(cfg).execute_with(engine, trace).into_sim()`")]
-pub fn run<M: TranslationMechanism>(engine: &mut M, trace: &Trace, cfg: &SimConfig) -> SimResult {
-    Run::with_config(cfg).execute_with(engine, trace).into_sim()
-}
-
-/// Runs a [`TraceStream`] through any [`TranslationMechanism`] under `cfg`
-/// — the fused generate+replay mode.
-///
-/// # Panics
-///
-/// Panics if the engine reports an internal error.
-#[deprecated(note = "use `Run::with_config(cfg).execute_with(engine, stream).into_sim()`")]
-pub fn run_stream<M: TranslationMechanism, S: TraceStream>(
-    engine: &mut M,
-    stream: &mut S,
-    cfg: &SimConfig,
-) -> SimResult {
-    Run::with_config(cfg)
-        .execute_with(engine, stream)
-        .into_sim()
-}
-
-/// [`run_stream`] behind a [`Mechanism`] dispatch.
-///
-/// # Panics
-///
-/// Panics on internal engine errors.
-#[deprecated(note = "use `Run::new(mech).config(cfg).execute(stream).into_sim()`")]
-pub fn run_stream_mechanism<S: TraceStream>(
-    mech: Mechanism,
-    stream: &mut S,
-    cfg: &SimConfig,
-) -> SimResult {
-    Run::new(mech).config(cfg).execute(stream).into_sim()
-}
-
-/// [`run_stream`] with a collector attached, returning the observability
-/// report alongside the result.
-///
-/// # Panics
-///
-/// Panics on internal engine errors and if `ring_capacity` is zero.
-#[deprecated(
-    note = "use `Run::with_config(cfg).observed_ring(n).execute_with(engine, stream).into_observed()`"
-)]
-pub fn run_stream_observed<M: TranslationMechanism, S: TraceStream>(
-    engine: &mut M,
-    stream: &mut S,
-    cfg: &SimConfig,
-    ring_capacity: usize,
-) -> (SimResult, ObsReport) {
-    Run::with_config(cfg)
-        .observed_ring(ring_capacity)
-        .execute_with(engine, stream)
-        .into_observed()
-}
-
-/// Runs `trace` through `engine` with a collector attached.
-///
-/// # Panics
-///
-/// Panics on internal engine errors and if `ring_capacity` is zero.
-#[deprecated(
-    note = "use `Run::with_config(cfg).observed_ring(n).execute_with(engine, trace).into_observed()`"
-)]
-pub fn run_observed<M: TranslationMechanism>(
-    engine: &mut M,
-    trace: &Trace,
-    cfg: &SimConfig,
-    ring_capacity: usize,
-) -> (SimResult, ObsReport) {
-    Run::with_config(cfg)
-        .observed_ring(ring_capacity)
-        .execute_with(engine, trace)
-        .into_observed()
-}
-
-/// Runs `trace` through the mechanism `mech` selects.
-///
-/// # Panics
-///
-/// Panics on internal engine errors.
-#[deprecated(note = "use `Run::new(mech).config(cfg).execute(trace).into_sim()`")]
-pub fn run_mechanism(mech: Mechanism, trace: &Trace, cfg: &SimConfig) -> SimResult {
-    Run::new(mech).config(cfg).execute(trace).into_sim()
-}
-
-/// [`run_mechanism`] with a collector attached.
-///
-/// # Panics
-///
-/// Panics on internal engine errors and on a zero `ring_capacity`.
-#[deprecated(
-    note = "use `Run::new(mech).config(cfg).observed_ring(n).execute(trace).into_observed()`"
-)]
-pub fn run_mechanism_observed(
-    mech: Mechanism,
-    trace: &Trace,
-    cfg: &SimConfig,
-    ring_capacity: usize,
-) -> (SimResult, ObsReport) {
-    Run::new(mech)
-        .config(cfg)
-        .observed_ring(ring_capacity)
-        .execute(trace)
-        .into_observed()
-}
-
-/// Runs `trace` through the Hierarchical-UTLB engine under `cfg`.
-///
-/// # Panics
-///
-/// Panics on internal engine errors.
-#[deprecated(note = "use `Run::new(Mechanism::Utlb).config(cfg).execute(trace).into_sim()`")]
-pub fn run_utlb(trace: &Trace, cfg: &SimConfig) -> SimResult {
-    Run::new(Mechanism::Utlb)
-        .config(cfg)
-        .execute(trace)
-        .into_sim()
-}
-
-/// Runs `trace` through the interrupt-based baseline under `cfg`.
-///
-/// # Panics
-///
-/// Panics on internal engine errors.
-#[deprecated(note = "use `Run::new(Mechanism::Intr).config(cfg).execute(trace).into_sim()`")]
-pub fn run_intr(trace: &Trace, cfg: &SimConfig) -> SimResult {
-    Run::new(Mechanism::Intr)
-        .config(cfg)
-        .execute(trace)
-        .into_sim()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use utlb_trace::{gen, GenConfig, SplashApp};
+    use crate::{Mechanism, Run, RunOutputExt};
+    use utlb_trace::{gen, GenConfig, SplashApp, Trace};
 
     fn tiny(app: SplashApp) -> Trace {
         gen::generate(
@@ -324,7 +184,11 @@ mod tests {
     }
 
     fn exec(mech: Mechanism, trace: &Trace, cfg: &SimConfig) -> SimResult {
-        Run::new(mech).config(cfg).execute(trace).into_sim()
+        Run::new(mech)
+            .config(cfg)
+            .execute(trace)
+            .into_sim()
+            .unwrap()
     }
 
     #[test]
@@ -388,18 +252,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn generic_run_matches_the_named_wrappers() {
-        let trace = tiny(SplashApp::Water);
-        let cfg = SimConfig::study(256);
-        let via_wrapper = run_utlb(&trace, &cfg);
-        let via_dispatch = run_mechanism(Mechanism::Utlb, &trace, &cfg);
-        assert_eq!(via_wrapper.stats, via_dispatch.stats);
-        assert_eq!(via_wrapper.cache, via_dispatch.cache);
-        assert_eq!(via_wrapper.sim_time_ns, via_dispatch.sim_time_ns);
-    }
-
-    #[test]
     fn observed_run_reconciles_and_changes_nothing() {
         let trace = tiny(SplashApp::Water);
         let cfg = SimConfig::study(256).limit_mb(1);
@@ -409,7 +261,8 @@ mod tests {
                 .config(&cfg)
                 .observed_ring(32)
                 .execute(&trace)
-                .into_observed();
+                .into_observed()
+                .unwrap();
             // The probe is passive: observed and plain runs agree exactly.
             assert_eq!(result.stats, plain.stats, "{mech}");
             assert_eq!(result.sim_time_ns, plain.sim_time_ns, "{mech}");

@@ -1,0 +1,130 @@
+//! The shared discrete-event stations of a multi-board run, and the walk
+//! that prices one request's demands across them.
+//!
+//! A cluster gives every board its own engine, firmware station, and DMA
+//! engine — the private resources a physical NIC carries — but exactly one
+//! host memory system, one I/O bus, and one host interrupt service: the
+//! backplane resources N boards must contend for. Both multi-board
+//! runners ([`cluster`](crate::cluster) trace replay and the clustered
+//! front end in [`frontend::cluster`](crate::frontend::cluster)) price on
+//! the same [`station_walk`], so "cross-board contention" means the same
+//! thing whether the traffic was recorded or generated live.
+//!
+//! The walk preserves the serial runners' charge exactly when
+//! uncontended: every station grant starts at the walking cursor (the
+//! previous grant never ends later under zero contention), so a 1-board
+//! cluster reproduces the serial overlay bit-for-bit — the determinism
+//! contract `tests/cluster.rs` and `tests/cluster_frontend.rs` pin.
+
+use crate::des_runner::{emit_wait, DesConfig};
+use utlb_core::obs::{Probe, WaitResource};
+use utlb_core::PageDemand;
+use utlb_des::{DmaEngineModel, IntrServiceModel, IoBusModel, Resource, ResourceReport};
+use utlb_mem::ProcessId;
+use utlb_nic::Nanos;
+
+/// The stations one cluster backplane cannot replicate per board: host
+/// memory, the I/O bus, and host interrupt service.
+pub(crate) struct SharedStations {
+    /// The host memory system driver pin/unpin work funnels through.
+    pub(crate) host_mem: Resource,
+    /// The I/O bus all DMA data transfers cross.
+    pub(crate) io_bus: IoBusModel,
+    /// Host interrupt dispatch and service.
+    pub(crate) intr_svc: IntrServiceModel,
+}
+
+impl SharedStations {
+    /// One set of shared stations under `des` timing.
+    pub(crate) fn new(des: &DesConfig) -> Self {
+        SharedStations {
+            host_mem: Resource::fifo("host_mem", 1),
+            io_bus: IoBusModel::new(des.bus),
+            intr_svc: IntrServiceModel::new(des.intr_dispatch),
+        }
+    }
+
+    /// Station reports in the result order every cluster payload uses:
+    /// host memory, I/O bus, interrupt service.
+    pub(crate) fn reports(&self) -> Vec<ResourceReport> {
+        vec![
+            self.host_mem.report(),
+            self.io_bus.report(),
+            self.intr_svc.report(),
+        ]
+    }
+}
+
+/// One board's accumulated queueing delays, by station.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StationWaits {
+    /// Behind the board's own firmware processor.
+    pub(crate) fw: Nanos,
+    /// Behind the board's own DMA engine.
+    pub(crate) dma: Nanos,
+    /// This board's share of queueing behind the shared I/O bus.
+    pub(crate) bus: Nanos,
+    /// This board's share of queueing behind shared interrupt service.
+    pub(crate) intr: Nanos,
+    /// This board's share of queueing behind shared host memory.
+    pub(crate) host_mem: Nanos,
+}
+
+/// Prices one request's page demands across the stations, starting at
+/// `start` (the firmware grant instant): firmware compute advances the
+/// cursor directly; driver pin work crosses to shared host memory (or
+/// rides the interrupt occupancy when the mechanism pins from the kernel);
+/// interrupts go to shared interrupt service; DMA descriptor programming
+/// uses the board's private engine and the data crosses the shared bus.
+/// Returns the cursor after the last demand — the firmware occupancy end.
+///
+/// Uncontended, every inner grant starts exactly at the cursor, so the
+/// returned end equals the serial runners' charge for the same demands.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn station_walk(
+    start: Nanos,
+    demands: &[PageDemand],
+    kernel_pins: bool,
+    pid: ProcessId,
+    dma: &mut DmaEngineModel,
+    shared: &mut SharedStations,
+    waits: &mut StationWaits,
+    probe: &mut Option<Box<dyn Probe>>,
+) -> Nanos {
+    let mut cursor = start;
+    for d in demands {
+        cursor += Nanos::from_nanos(d.firmware_ns());
+        let mut intr_occupancy = d.intr_ns;
+        if kernel_pins {
+            intr_occupancy += d.pin_ns;
+        } else if d.pin_ns > 0 {
+            // Driver pin work crosses to the shared host memory system.
+            // Uncontended the grant starts at the cursor, reproducing the
+            // serial charge exactly.
+            let g = shared.host_mem.acquire(cursor, Nanos::from_nanos(d.pin_ns));
+            waits.host_mem += g.wait;
+            emit_wait(probe, pid, WaitResource::HostMem, g.wait);
+            cursor = g.end;
+        }
+        if intr_occupancy > 0 {
+            let g = shared
+                .intr_svc
+                .handle_for(cursor, Nanos::from_nanos(intr_occupancy));
+            waits.intr += g.wait;
+            emit_wait(probe, pid, WaitResource::IntrService, g.wait);
+            cursor = g.end;
+        }
+        if d.dma_ns > 0 {
+            let total = Nanos::from_nanos(d.dma_ns);
+            let setup = dma.setup().min(total);
+            let g1 = dma.program_for(cursor, setup);
+            waits.dma += g1.wait;
+            emit_wait(probe, pid, WaitResource::DmaEngine, g1.wait);
+            let g2 = shared.io_bus.transfer(g1.end, total - setup);
+            waits.bus += g2.wait;
+            emit_wait(probe, pid, WaitResource::Bus, g2.wait);
+            cursor = g2.end;
+        }
+    }
+    cursor
+}

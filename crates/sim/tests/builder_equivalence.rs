@@ -1,20 +1,12 @@
-//! The [`Run`] builder is the only supported entry point; every legacy
-//! `run*`/`run_des*` function is a thin deprecated shim over it. This suite
-//! pins the migration contract: for each of the 13 legacy entry points, the
-//! builder call its deprecation note names produces **byte-identical JSON**
-//! across all four mechanisms, so downstream code can migrate mechanically
-//! with zero behavior change.
-
-// The deprecated entry points are this suite's subject — it calls them on
-// purpose to pin their equivalence with the builder.
-#![allow(deprecated)]
+//! The [`Run`] builder is the only entry point; the legacy `run*`/`run_des*`
+//! shims are gone. This suite pins the builder's internal equivalences: every
+//! spelling of the same run — engine-generic `execute_with` vs mechanism
+//! dispatch `execute`, materialized trace vs fused generator stream, plain vs
+//! observed — produces **byte-identical JSON** across all four mechanisms, so
+//! call sites can pick whichever spelling fits without behavior change.
 
 use utlb_core::{IndexedEngine, IntrEngine, PerProcessEngine, TranslationMechanism, UtlbEngine};
-use utlb_sim::{
-    run, run_des, run_des_mechanism, run_des_observed, run_des_stream, run_intr, run_mechanism,
-    run_mechanism_observed, run_observed, run_stream, run_stream_mechanism, run_stream_observed,
-    run_utlb, DesConfig, Mechanism, Run, SimConfig,
-};
+use utlb_sim::{DesConfig, Mechanism, Run, RunOutputExt, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp, Trace};
 
 const RING: usize = 64;
@@ -36,9 +28,9 @@ fn json<T: serde::Serialize>(v: &T) -> String {
     serde_json::to_string(v).expect("result serializes")
 }
 
-/// All the engine-generic legacy wrappers against the builder, for one
-/// concrete engine type. `make` yields a fresh engine per wrapper call so
-/// no state leaks between comparisons.
+/// One concrete engine type against the mechanism dispatch, over every input
+/// and observation shape. `make` yields a fresh engine per spelling so no
+/// state leaks between comparisons.
 fn check_engine_generic<M, F>(mech: Mechanism, mut make: F, cfg: &SimConfig)
 where
     M: TranslationMechanism,
@@ -48,82 +40,108 @@ where
     let gc = gen_config();
     let des = DesConfig::contended(0.4);
 
-    // run
-    let built = json(&Run::new(mech).config(cfg).execute(&trace).into_sim());
-    assert_eq!(json(&run(&mut make(), &trace, cfg)), built, "{mech}: run");
-
-    // run_stream
+    // Mechanism dispatch vs hand-built engine, trace vs stream.
+    let built = json(
+        &Run::new(mech)
+            .config(cfg)
+            .execute(&trace)
+            .into_sim()
+            .unwrap(),
+    );
     assert_eq!(
-        json(&run_stream(&mut make(), &mut gen::stream(APP, &gc), cfg)),
+        json(
+            &Run::with_config(cfg)
+                .execute_with(&mut make(), &trace)
+                .into_sim()
+                .unwrap()
+        ),
         built,
-        "{mech}: run_stream replays the same records"
+        "{mech}: execute_with(trace)"
+    );
+    assert_eq!(
+        json(
+            &Run::with_config(cfg)
+                .execute_with(&mut make(), &mut gen::stream(APP, &gc))
+                .into_sim()
+                .unwrap()
+        ),
+        built,
+        "{mech}: execute_with(stream) replays the same records"
     );
 
-    // run_observed / run_stream_observed
+    // Observed runs: the probe is passive, and both spellings agree.
     let obs_built = Run::new(mech)
         .config(cfg)
         .observed_ring(RING)
         .execute(&trace)
-        .into_observed();
-    let got = run_observed(&mut make(), &trace, cfg, RING);
-    assert_eq!(json(&got.0), json(&obs_built.0), "{mech}: run_observed");
-    assert_eq!(json(&got.1), json(&obs_built.1), "{mech}: run_observed");
-    let got = run_stream_observed(&mut make(), &mut gen::stream(APP, &gc), cfg, RING);
-    assert_eq!(
-        json(&got.0),
-        json(&obs_built.0),
-        "{mech}: run_stream_observed"
-    );
-    assert_eq!(
-        json(&got.1),
-        json(&obs_built.1),
-        "{mech}: run_stream_observed"
-    );
+        .into_observed()
+        .unwrap();
+    assert_eq!(json(&obs_built.0), built, "{mech}: observation is passive");
+    let got = Run::with_config(cfg)
+        .observed_ring(RING)
+        .execute_with(&mut make(), &trace)
+        .into_observed()
+        .unwrap();
+    assert_eq!(json(&got.0), json(&obs_built.0), "{mech}: observed result");
+    assert_eq!(json(&got.1), json(&obs_built.1), "{mech}: observed report");
+    let got = Run::with_config(cfg)
+        .observed_ring(RING)
+        .execute_with(&mut make(), &mut gen::stream(APP, &gc))
+        .into_observed()
+        .unwrap();
+    assert_eq!(json(&got.0), json(&obs_built.0), "{mech}: stream observed");
+    assert_eq!(json(&got.1), json(&obs_built.1), "{mech}: stream observed");
 
-    // run_des / run_des_stream / run_des_observed
+    // DES overlay: dispatch vs hand-built engine, trace vs stream, observed.
     let des_built = json(
         &Run::new(mech)
             .config(cfg)
             .des(des)
             .execute(&trace)
-            .into_des(),
+            .into_des()
+            .unwrap(),
     );
     assert_eq!(
-        json(&run_des(&mut make(), &trace, cfg, &des)),
+        json(
+            &Run::with_config(cfg)
+                .des(des)
+                .execute_with(&mut make(), &trace)
+                .into_des()
+                .unwrap()
+        ),
         des_built,
-        "{mech}: run_des"
+        "{mech}: des execute_with"
     );
     assert_eq!(
-        json(&run_des_stream(
-            &mut make(),
-            &mut gen::stream(APP, &gc),
-            cfg,
-            &des
-        )),
+        json(
+            &Run::with_config(cfg)
+                .des(des)
+                .execute_with(&mut make(), &mut gen::stream(APP, &gc))
+                .into_des()
+                .unwrap()
+        ),
         des_built,
-        "{mech}: run_des_stream"
+        "{mech}: des stream"
     );
     let des_obs_built = Run::new(mech)
         .config(cfg)
         .des(des)
         .observed_ring(RING)
         .execute(&trace)
-        .into_des_observed();
-    let got = run_des_observed(&mut make(), &trace, cfg, &des, RING);
-    assert_eq!(
-        json(&got.0),
-        json(&des_obs_built.0),
-        "{mech}: run_des_observed"
-    );
-    assert_eq!(
-        json(&got.1),
-        json(&des_obs_built.1),
-        "{mech}: run_des_observed"
-    );
+        .into_des_observed()
+        .unwrap();
+    let got = Run::with_config(cfg)
+        .des(des)
+        .observed_ring(RING)
+        .execute_with(&mut make(), &trace)
+        .into_des_observed()
+        .unwrap();
+    assert_eq!(json(&got.0), json(&des_obs_built.0), "{mech}: des observed");
+    assert_eq!(json(&got.1), json(&des_obs_built.1), "{mech}: des observed");
 }
 
 #[test]
-fn engine_generic_wrappers_match_the_builder() {
+fn engine_generic_spellings_match_the_dispatch() {
     let cfg = SimConfig::study(1024);
     check_engine_generic(Mechanism::Utlb, || UtlbEngine::new(cfg.utlb_config()), &cfg);
     check_engine_generic(
@@ -140,68 +158,49 @@ fn engine_generic_wrappers_match_the_builder() {
 }
 
 #[test]
-fn mechanism_dispatch_wrappers_match_the_builder() {
+fn stream_and_trace_agree_under_dispatch() {
     let trace = tiny();
     let cfg = SimConfig::study(1024);
     let gc = gen_config();
     let des = DesConfig::zero_contention();
     for mech in Mechanism::ALL {
-        let built = json(&Run::new(mech).config(&cfg).execute(&trace).into_sim());
-        assert_eq!(
-            json(&run_mechanism(mech, &trace, &cfg)),
-            built,
-            "{mech}: run_mechanism"
+        let built = json(
+            &Run::new(mech)
+                .config(&cfg)
+                .execute(&trace)
+                .into_sim()
+                .unwrap(),
         );
         assert_eq!(
-            json(&run_stream_mechanism(
-                mech,
-                &mut gen::stream(APP, &gc),
-                &cfg
-            )),
+            json(
+                &Run::new(mech)
+                    .config(&cfg)
+                    .execute(&mut gen::stream(APP, &gc))
+                    .into_sim()
+                    .unwrap()
+            ),
             built,
-            "{mech}: run_stream_mechanism"
+            "{mech}: fused generate+replay"
         );
-
-        let obs_built = Run::new(mech)
-            .config(&cfg)
-            .observed_ring(RING)
-            .execute(&trace)
-            .into_observed();
-        let got = run_mechanism_observed(mech, &trace, &cfg, RING);
-        assert_eq!(json(&got.0), json(&obs_built.0), "{mech}");
-        assert_eq!(json(&got.1), json(&obs_built.1), "{mech}");
-
-        let des_built = json(
+        let des_trace = json(
             &Run::new(mech)
                 .config(&cfg)
                 .des(des)
                 .execute(&trace)
-                .into_des(),
+                .into_des()
+                .unwrap(),
         );
         assert_eq!(
-            json(&run_des_mechanism(mech, &trace, &cfg, &des)),
-            des_built,
-            "{mech}: run_des_mechanism"
+            json(
+                &Run::new(mech)
+                    .config(&cfg)
+                    .des(des)
+                    .execute(&mut gen::stream(APP, &gc))
+                    .into_des()
+                    .unwrap()
+            ),
+            des_trace,
+            "{mech}: fused des generate+replay"
         );
     }
-}
-
-#[test]
-fn named_shortcuts_match_the_builder() {
-    let trace = tiny();
-    let cfg = SimConfig::study(1024);
-    let utlb = json(
-        &Run::new(Mechanism::Utlb)
-            .config(&cfg)
-            .execute(&trace)
-            .into_sim(),
-    );
-    assert_eq!(json(&run_utlb(&trace, &cfg)), utlb);
-    let intr = json(
-        &Run::new(Mechanism::Intr)
-            .config(&cfg)
-            .execute(&trace)
-            .into_sim(),
-    );
-    assert_eq!(json(&run_intr(&trace, &cfg)), intr);
 }

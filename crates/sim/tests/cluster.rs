@@ -8,6 +8,7 @@ use std::collections::BTreeSet;
 use utlb_mem::{ProcessId, VirtAddr, PAGE_SIZE};
 use utlb_sim::experiments::{cluster_scaling, cluster_workload};
 use utlb_sim::sweep::THREADS_ENV;
+use utlb_sim::RunOutputExt;
 use utlb_sim::{ClusterConfig, ClusterResult, DesConfig, Mechanism, Run, SimConfig};
 use utlb_trace::{GenConfig, Op, Trace, TraceRecord};
 
@@ -30,6 +31,7 @@ fn run_cluster(
         .cluster(cluster)
         .execute(trace)
         .into_cluster()
+        .unwrap()
 }
 
 /// Acceptance gate: sharding "over one board" must be the identity. With
@@ -46,7 +48,8 @@ fn one_board_zero_contention_is_bit_exact_with_the_serial_des_run() {
             .config(&cfg)
             .des(DesConfig::zero_contention())
             .execute(&trace)
-            .into_des();
+            .into_des()
+            .unwrap();
         let cluster = run_cluster(mech, &trace, &cfg, ClusterConfig::new(1));
 
         assert_eq!(cluster.nodes, 1);

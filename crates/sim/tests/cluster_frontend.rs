@@ -1,0 +1,257 @@
+//! Acceptance gates for the clustered request plane.
+//!
+//! In order: a 1-board zero-contention cluster projects onto a
+//! [`FrontendResult`] that is **byte-identical** to the single-board
+//! `Run::frontend` path for every mechanism (the cluster driver adds no
+//! timing of its own); clustered runs are deterministic across repeats;
+//! redirect re-homing turns the §3.3 per-board 64-process SRAM cliff into
+//! a cluster-wide capacity gradient; `least-loaded` homing balances
+//! admission exactly; and a property test replays arbitrary redirect
+//! sequences against a reference residency model — per-board acceptance
+//! counts must match the model and no page may stay pinned at end of run.
+
+use proptest::prelude::*;
+use utlb_sim::frontend::FrontendConfig;
+use utlb_sim::{
+    ClusterConfig, DesConfig, HomingPolicy, Live, Mechanism, Run, RunOutputExt, SimConfig,
+};
+
+fn small() -> FrontendConfig {
+    FrontendConfig {
+        connections: 48,
+        open_window: 8,
+        requests_per_conn: 6,
+        credit_window: 2,
+        queue_depth: 2,
+        think_ns: 500,
+        drain_ns: 2_000,
+        payload_bytes: 8192,
+        buffer_pages: 64,
+        seed: 11,
+    }
+}
+
+/// The board-lifetime registration capacity of one board under
+/// `SimConfig::study` (8192-entry tables), or `None` for mechanisms whose
+/// registration state is reclaimed at unregister.
+fn lifetime_cap(mech: Mechanism) -> Option<u64> {
+    match mech {
+        // §3.3: the hierarchical engine's SRAM directory holds 64
+        // board-lifetime process slots.
+        Mechanism::Utlb => Some(64),
+        // §3.1: 1 MiB SRAM / 8192-entry static tables = 16 processes.
+        Mechanism::PerProc => Some(16),
+        // §3.2 indexed tables live in host frames (freed on unregister);
+        // the interrupt baseline allocates nothing on the board.
+        Mechanism::Indexed | Mechanism::Intr => None,
+    }
+}
+
+/// The `hash-by-client` home board, restated independently of the
+/// implementation: Fibonacci hash of the connection index onto the ring.
+fn home(index: u64, nodes: usize) -> usize {
+    ((index.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % nodes
+}
+
+#[test]
+fn one_board_cluster_is_byte_identical_to_the_single_board_frontend() {
+    let cfg = SimConfig::study(256);
+    let fcfg = small();
+    for mech in Mechanism::ALL {
+        let single = Run::new(mech)
+            .config(&cfg)
+            .frontend(fcfg.clone())
+            .execute(Live)
+            .into_frontend()
+            .unwrap();
+        let clustered = Run::new(mech)
+            .config(&cfg)
+            .frontend(fcfg.clone())
+            .cluster(ClusterConfig::new(1))
+            .execute(Live)
+            .into_cluster_frontend()
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&clustered.single_board_image()).unwrap(),
+            serde_json::to_string(&single).unwrap(),
+            "{mech}: 1-board cluster drifted from the single-board front end"
+        );
+        assert_eq!(clustered.redirects, 0, "{mech}: nowhere to redirect to");
+    }
+}
+
+#[test]
+fn clustered_runs_serialize_byte_identically_across_repeats() {
+    let cfg = SimConfig::study(256);
+    let fcfg = small();
+    for policy in HomingPolicy::ALL {
+        let go = || {
+            Run::new(Mechanism::Utlb)
+                .config(&cfg)
+                .frontend(fcfg.clone())
+                .des(DesConfig::contended(0.4))
+                .cluster(ClusterConfig::new(4).homing(policy))
+                .execute(Live)
+                .into_cluster_frontend()
+                .unwrap()
+        };
+        assert_eq!(
+            serde_json::to_string(&go()).unwrap(),
+            serde_json::to_string(&go()).unwrap(),
+            "{policy}: clustered run is not deterministic"
+        );
+    }
+}
+
+#[test]
+fn redirects_turn_the_utlb_sram_cliff_into_a_capacity_gradient() {
+    // One board refuses every connection past its 64-slot directory; two
+    // boards must accept exactly 128 of 150 — the §3.3 cliff becomes a
+    // cluster capacity, reached via Redirect re-homing.
+    let cfg = SimConfig::study(256);
+    let fcfg = FrontendConfig {
+        connections: 150,
+        open_window: 16,
+        requests_per_conn: 2,
+        ..FrontendConfig::default()
+    };
+    let r = Run::new(Mechanism::Utlb)
+        .config(&cfg)
+        .frontend(fcfg)
+        .cluster(ClusterConfig::new(2))
+        .execute(Live)
+        .into_cluster_frontend()
+        .unwrap();
+    assert_eq!(r.accepted, 128, "2 boards x 64 lifetime slots");
+    assert_eq!(r.refused, 150 - 128);
+    assert!(r.accepted > 64, "the cluster must beat one board's cliff");
+    assert!(r.redirected > 0, "some connections must land off-home");
+    assert!(r.redirects >= r.redirected, "every re-homing takes a hop");
+    for b in &r.boards {
+        assert_eq!(b.accepted, 64, "both directories fill completely");
+    }
+    assert_eq!(r.pinned_pages_end, 0, "refusal and churn leak no pins");
+}
+
+#[test]
+fn least_loaded_homing_balances_admission_exactly() {
+    // 64 simultaneous connections over 4 boards: least-loaded assigns
+    // round-robin under an all-open window, 16 per board, no redirects.
+    let cfg = SimConfig::study(256);
+    let fcfg = FrontendConfig {
+        connections: 64,
+        open_window: 64,
+        requests_per_conn: 2,
+        ..FrontendConfig::default()
+    };
+    let r = Run::new(Mechanism::Indexed)
+        .config(&cfg)
+        .frontend(fcfg)
+        .cluster(ClusterConfig::new(4).homing(HomingPolicy::LeastLoaded))
+        .execute(Live)
+        .into_cluster_frontend()
+        .unwrap();
+    assert_eq!(r.accepted, 64);
+    assert_eq!(r.refused, 0);
+    assert_eq!(r.redirects, 0, "nothing refuses, nothing redirects");
+    for b in &r.boards {
+        assert_eq!(b.accepted, 16, "board {}: uneven admission", b.board);
+    }
+    assert!(r.imbalance() < 1.5, "service stays roughly even");
+}
+
+/// The reference residency model: connections open in strict index order,
+/// each walks the candidate ring from its hash home, and the first board
+/// with a free lifetime slot takes it. Returns (per-board accepted,
+/// refused, redirected, redirect hops).
+fn reference_model(connections: u64, nodes: usize, cap: Option<u64>) -> (Vec<u64>, u64, u64, u64) {
+    let mut counts = vec![0u64; nodes];
+    let (mut refused, mut redirected, mut hops) = (0u64, 0u64, 0u64);
+    for index in 0..connections {
+        let first = home(index, nodes);
+        let mut landed = None;
+        for k in 0..nodes {
+            let ix = (first + k) % nodes;
+            if cap.is_none_or(|c| counts[ix] < c) {
+                landed = Some((ix, k as u64));
+                break;
+            }
+            // A failed attempt redirects only if a candidate remains.
+            if k + 1 < nodes {
+                hops += 1;
+            }
+        }
+        match landed {
+            Some((ix, k)) => {
+                counts[ix] += 1;
+                if k > 0 {
+                    redirected += 1;
+                }
+            }
+            None => refused += 1,
+        }
+    }
+    (counts, refused, redirected, hops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary churn geometry x mechanism x cluster size: per-board
+    /// admission matches the reference residency model exactly, every
+    /// accounting identity holds, and nothing stays pinned.
+    #[test]
+    fn redirect_sequences_match_the_reference_residency_model(
+        connections in 1u64..120,
+        open_window in 1usize..12,
+        requests in 1u64..4,
+        seed in 0u64..1000,
+        nodes in 1usize..5,
+        mech_ix in 0usize..4,
+    ) {
+        let mech = Mechanism::ALL[mech_ix];
+        let cfg = SimConfig::study(128);
+        let fcfg = FrontendConfig {
+            connections: connections as usize,
+            open_window: open_window.min(connections as usize),
+            requests_per_conn: requests as usize,
+            seed,
+            ..FrontendConfig::default()
+        };
+        let r = Run::new(mech)
+            .config(&cfg)
+            .frontend(fcfg)
+            .cluster(ClusterConfig::new(nodes))
+            .execute(Live)
+            .into_cluster_frontend()
+            .unwrap();
+
+        let (counts, refused, redirected, hops) =
+            reference_model(connections, nodes, lifetime_cap(mech));
+        for (b, want) in r.boards.iter().zip(&counts) {
+            prop_assert_eq!(
+                b.accepted, *want,
+                "board {} admission drifted from the model", b.board
+            );
+        }
+        prop_assert_eq!(r.refused, refused);
+        prop_assert_eq!(r.redirected, redirected);
+        prop_assert_eq!(r.redirects, hops);
+        prop_assert_eq!(r.accepted + r.refused, connections);
+        prop_assert_eq!(
+            r.accepted,
+            r.boards.iter().map(|b| b.accepted).sum::<u64>()
+        );
+        prop_assert_eq!(
+            r.redirected,
+            r.boards.iter().map(|b| b.redirected_in).sum::<u64>()
+        );
+        // Re-homing and churn leave nothing resident: every accepted
+        // connection unregistered, every refusal rolled back its pins.
+        prop_assert_eq!(r.pinned_pages_end, 0);
+        // Per-board observability reconciles against per-board counters.
+        for b in &r.boards {
+            prop_assert!(b.reconciled, "board {} did not reconcile", b.board);
+        }
+    }
+}

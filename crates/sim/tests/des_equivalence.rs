@@ -1,16 +1,34 @@
 //! The DES overlay must be a pure *addition* to the serial runner: at zero
 //! contention the station network collapses to the serial recurrence, so
-//! `run_des` must reproduce `run`'s `sim_time_ns` bit-exactly — and its
+//! a `.des()` run must reproduce the plain run's `sim_time_ns` bit-exactly — and its
 //! embedded serial half must be byte-identical `SimResult` JSON — on every
 //! Table 4/5 workload and on arbitrary (app, seed, scale, geometry) points.
 
-// The deprecated entry points are this suite's subject: they must keep
-// producing the byte-identical results the builder produces.
-#![allow(deprecated)]
-
 use proptest::prelude::*;
-use utlb_sim::{run_des_mechanism, run_mechanism, DesConfig, Mechanism, SimConfig};
-use utlb_trace::{gen, GenConfig, SplashApp};
+use utlb_sim::{DesConfig, DesResult, Mechanism, Run, RunOutputExt, SimConfig, SimResult};
+use utlb_trace::{gen, GenConfig, SplashApp, Trace};
+
+fn run_mechanism(mech: Mechanism, trace: &Trace, cfg: &SimConfig) -> SimResult {
+    Run::new(mech)
+        .config(cfg)
+        .execute(trace)
+        .into_sim()
+        .unwrap()
+}
+
+fn run_des_mechanism(
+    mech: Mechanism,
+    trace: &Trace,
+    cfg: &SimConfig,
+    des: &DesConfig,
+) -> DesResult {
+    Run::new(mech)
+        .config(cfg)
+        .des(*des)
+        .execute(trace)
+        .into_des()
+        .unwrap()
+}
 
 fn table_cfg() -> GenConfig {
     GenConfig {

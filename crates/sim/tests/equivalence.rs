@@ -1,16 +1,12 @@
 //! The generic-runner refactor must be invisible in the results.
 //!
-//! `run_utlb` / `run_intr` used to carry one hand-written replay loop each;
-//! both now delegate to the single `run<M: TranslationMechanism>` loop. The
+//! The UTLB and interrupt replays used to carry one hand-written loop
+//! each; both now ride the single builder-driven generic loop. The
 //! §3.1/§3.2 ablations likewise used to carry a bespoke `replay_trace`
 //! harness; they now go through the same loop. These tests replicate the
 //! *old* loops verbatim — driving the engines through their inherent
 //! methods, no trait involved — and require the refactored runners to
 //! produce byte-identical JSON.
-
-// The deprecated entry points are this suite's subject: they must keep
-// producing the byte-identical results the builder produces.
-#![allow(deprecated)]
 
 use proptest::prelude::*;
 use utlb_core::{
@@ -20,10 +16,56 @@ use utlb_core::{
 use utlb_mem::{Host, ProcessId, VirtPage};
 use utlb_nic::{Board, Nanos};
 use utlb_sim::{
-    run_des_mechanism, run_intr, run_mechanism, run_mechanism_observed, run_utlb, DesConfig,
-    Mechanism, MissClassifier, SimConfig, SimResult,
+    DesConfig, DesResult, Mechanism, MissClassifier, ObsReport, Run, RunOutputExt, SimConfig,
+    SimResult,
 };
 use utlb_trace::{gen, GenConfig, SplashApp, Trace};
+
+// The replay shapes under test, spelled on the one `Run` builder.
+
+fn run_mechanism(mech: Mechanism, trace: &Trace, cfg: &SimConfig) -> SimResult {
+    Run::new(mech)
+        .config(cfg)
+        .execute(trace)
+        .into_sim()
+        .unwrap()
+}
+
+fn run_utlb(trace: &Trace, cfg: &SimConfig) -> SimResult {
+    run_mechanism(Mechanism::Utlb, trace, cfg)
+}
+
+fn run_intr(trace: &Trace, cfg: &SimConfig) -> SimResult {
+    run_mechanism(Mechanism::Intr, trace, cfg)
+}
+
+fn run_des_mechanism(
+    mech: Mechanism,
+    trace: &Trace,
+    cfg: &SimConfig,
+    des: &DesConfig,
+) -> DesResult {
+    Run::new(mech)
+        .config(cfg)
+        .des(*des)
+        .execute(trace)
+        .into_des()
+        .unwrap()
+}
+
+fn run_mechanism_observed(
+    mech: Mechanism,
+    trace: &Trace,
+    cfg: &SimConfig,
+    ring: usize,
+) -> (SimResult, ObsReport) {
+    Run::new(mech)
+        .config(cfg)
+        .observed_ring(ring)
+        .execute(trace)
+        .into_observed()
+        .unwrap()
+}
 
 /// Host frames; must stay in sync with the runner's own constant.
 const HOST_FRAMES: u64 = 1 << 20;

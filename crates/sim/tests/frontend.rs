@@ -10,6 +10,7 @@
 //! window.
 
 use utlb_sim::frontend::{frontend_reference, FrontendConfig};
+use utlb_sim::RunOutputExt;
 use utlb_sim::{Live, Mechanism, Run, SimConfig};
 
 fn quiet() -> FrontendConfig {
@@ -38,7 +39,8 @@ fn one_connection_zero_contention_is_bit_exact_with_serial_replay() {
             .config(&cfg)
             .frontend(fcfg.clone())
             .execute(Live)
-            .into_frontend();
+            .into_frontend()
+            .unwrap();
         let serial = frontend_reference(mech, &cfg, &fcfg);
         assert_eq!(live.stats, serial.stats, "{mech:?}: translation counters");
         assert_eq!(live.cache, serial.cache, "{mech:?}: cache counters");
@@ -66,6 +68,7 @@ fn repeated_runs_serialize_byte_identically() {
             .frontend(fcfg.clone())
             .execute(Live)
             .into_frontend()
+            .unwrap()
     };
     let a = serde_json::to_string(&go()).unwrap();
     let b = serde_json::to_string(&go()).unwrap();
@@ -87,7 +90,8 @@ fn churn_closes_every_accepted_connection() {
         .frontend(fcfg)
         .observed()
         .execute(Live)
-        .into_frontend_observed();
+        .into_frontend_observed()
+        .unwrap();
     assert_eq!(result.accepted, 40);
     assert_eq!(result.refused, 0);
     assert_eq!(result.offered, 40 * 3);
@@ -118,7 +122,8 @@ fn backpressure_reconciles_exactly_against_admission_counters() {
         .frontend(fcfg)
         .observed()
         .execute(Live)
-        .into_frontend_observed();
+        .into_frontend_observed()
+        .unwrap();
     assert!(result.admission.stalled > 0, "load must induce stalls");
     assert!(
         result.admission.rejected > 0,
@@ -160,6 +165,7 @@ fn perproc_refuses_connections_beyond_static_sram() {
             .frontend(fcfg.clone())
             .execute(Live)
             .into_frontend()
+            .unwrap()
     };
     let result = go();
     assert!(result.refused > 0, "static SRAM must run out");
@@ -201,7 +207,8 @@ fn hundred_thousand_connections_complete_with_bounded_state() {
         .config(&cfg)
         .frontend(fcfg)
         .execute(Live)
-        .into_frontend();
+        .into_frontend()
+        .unwrap();
     assert_eq!(result.accepted, 100_000);
     assert_eq!(result.refused, 0);
     assert_eq!(result.served, 200_000);
@@ -227,6 +234,7 @@ fn sram_table_mechanisms_cap_lifetime_registrations() {
             .frontend(fcfg.clone())
             .execute(Live)
             .into_frontend()
+            .unwrap()
     };
     let utlb = go(Mechanism::Utlb);
     assert!(utlb.refused > 0, "hier top levels must exhaust board SRAM");
@@ -237,35 +245,65 @@ fn sram_table_mechanisms_cap_lifetime_registrations() {
 }
 
 #[test]
-#[should_panic(expected = "execute(Live), not a trace")]
 fn frontend_runs_reject_trace_inputs() {
     let trace = utlb_sim::frontend_trace(&quiet());
-    let _ = Run::new(Mechanism::Utlb).frontend(quiet()).execute(&trace);
+    let err = Run::new(Mechanism::Utlb)
+        .frontend(quiet())
+        .execute(&trace)
+        .unwrap_err();
+    assert!(
+        matches!(err, utlb_sim::RunError::IncompatibleInput(_)),
+        "{err}"
+    );
+    assert!(err.to_string().contains("execute(Live), not a trace"));
 }
 
 #[test]
-#[should_panic(expected = "drop .des()")]
 fn frontend_runs_reject_des_timing() {
-    let _ = Run::new(Mechanism::Utlb)
+    let err = Run::new(Mechanism::Utlb)
         .frontend(quiet())
         .des(utlb_sim::DesConfig::zero_contention())
-        .execute(Live);
+        .execute(Live)
+        .unwrap_err();
+    assert!(
+        matches!(err, utlb_sim::RunError::IncompatibleConfig(_)),
+        "{err}"
+    );
+    assert!(err.to_string().contains("drop .des()"));
 }
 
 #[test]
-#[should_panic(expected = "drop .cluster()")]
-fn frontend_runs_reject_cluster_topologies() {
-    let _ = Run::new(Mechanism::Utlb)
+fn frontend_runs_accept_cluster_topologies() {
+    // The combination that used to be rejected is now the headline path:
+    // a clustered request plane. See `tests/cluster_frontend.rs` for its
+    // determinism and capacity gates; here, just that the spelling is
+    // legal and the payload typed.
+    let result = Run::new(Mechanism::Utlb)
         .frontend(quiet())
         .cluster(utlb_sim::ClusterConfig::new(2))
-        .execute(Live);
+        .execute(Live)
+        .into_cluster_frontend()
+        .unwrap();
+    assert_eq!(result.nodes, 2);
+    assert_eq!(result.accepted, 1);
+    assert_eq!(result.served, 200);
 }
 
 #[test]
-#[should_panic(expected = "the result is in .into_frontend()")]
-fn misreading_a_frontend_output_panics() {
-    let _ = Run::new(Mechanism::Utlb)
+fn misreading_a_frontend_output_is_a_typed_error() {
+    let err = Run::new(Mechanism::Utlb)
         .frontend(quiet())
         .execute(Live)
-        .into_sim();
+        .into_sim()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        utlb_sim::RunError::IncompatiblePayload {
+            requested: "sim",
+            actual: "frontend",
+        }
+    );
+    assert!(err
+        .to_string()
+        .contains("the result is in .into_frontend()"));
 }

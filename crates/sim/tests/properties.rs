@@ -1,13 +1,25 @@
 //! Property-based tests of the simulation layer.
 
-// Exercises the deprecated wrappers on purpose — they must stay faithful
-// to the builder until removed.
-#![allow(deprecated)]
-
 use proptest::prelude::*;
 use utlb_mem::{ProcessId, VirtPage};
-use utlb_sim::{run_intr, run_utlb, MissClassifier, MissKind, SimConfig};
-use utlb_trace::{gen, GenConfig, SplashApp};
+use utlb_sim::{Mechanism, MissClassifier, MissKind, Run, RunOutputExt, SimConfig, SimResult};
+use utlb_trace::{gen, GenConfig, SplashApp, Trace};
+
+fn run_utlb(trace: &Trace, cfg: &SimConfig) -> SimResult {
+    Run::new(Mechanism::Utlb)
+        .config(cfg)
+        .execute(trace)
+        .into_sim()
+        .unwrap()
+}
+
+fn run_intr(trace: &Trace, cfg: &SimConfig) -> SimResult {
+    Run::new(Mechanism::Intr)
+        .config(cfg)
+        .execute(trace)
+        .into_sim()
+        .unwrap()
+}
 
 /// A naive reference 3C classifier: an explicit fully-associative LRU list
 /// (O(n) per access) plus a seen-set.

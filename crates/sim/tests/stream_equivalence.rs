@@ -7,19 +7,116 @@
 //! on demand, never stored — produces a [`SimResult`] whose serialized JSON
 //! is identical to replaying the materialized `gen::generate(app, cfg)`
 //! trace. The DES runner and the observed runner are held to the same
-//! standard, and a property test sweeps random geometries.
-
-// The deprecated entry points are this suite's subject: they must keep
-// producing the byte-identical results the builder produces.
-#![allow(deprecated)]
+//! standard, and a property test sweeps random geometries. Every spelling
+//! below is the one `Run` builder; the helper fns just name the shapes.
 
 use proptest::prelude::*;
-use utlb_core::{IntrEngine, UtlbEngine};
+use utlb_core::{IntrEngine, TranslationMechanism, UtlbEngine};
 use utlb_sim::{
-    run_des_mechanism, run_des_stream, run_mechanism, run_mechanism_observed, run_observed,
-    run_stream, run_stream_mechanism, run_stream_observed, DesConfig, Mechanism, SimConfig,
+    DesConfig, DesResult, Mechanism, ObsReport, Run, RunOutputExt, SimConfig, SimResult,
 };
-use utlb_trace::{gen, GenConfig, Looped, SplashApp, TraceStream, TraceView};
+use utlb_trace::{gen, GenConfig, Looped, SplashApp, Trace, TraceStream, TraceView};
+
+// Local spellings of the replay entry points, all over the one builder —
+// named for the shape of run each test compares.
+
+fn run_mechanism(mech: Mechanism, trace: &Trace, cfg: &SimConfig) -> SimResult {
+    Run::new(mech)
+        .config(cfg)
+        .execute(trace)
+        .into_sim()
+        .unwrap()
+}
+
+fn run_stream_mechanism<S: TraceStream>(
+    mech: Mechanism,
+    stream: &mut S,
+    cfg: &SimConfig,
+) -> SimResult {
+    Run::new(mech)
+        .config(cfg)
+        .execute(stream)
+        .into_sim()
+        .unwrap()
+}
+
+fn run_stream<M: TranslationMechanism, S: TraceStream>(
+    engine: &mut M,
+    stream: &mut S,
+    cfg: &SimConfig,
+) -> SimResult {
+    Run::with_config(cfg)
+        .execute_with(engine, stream)
+        .into_sim()
+        .unwrap()
+}
+
+fn run_des_mechanism(
+    mech: Mechanism,
+    trace: &Trace,
+    cfg: &SimConfig,
+    des: &DesConfig,
+) -> DesResult {
+    Run::new(mech)
+        .config(cfg)
+        .des(*des)
+        .execute(trace)
+        .into_des()
+        .unwrap()
+}
+
+fn run_des_stream<M: TranslationMechanism, S: TraceStream>(
+    engine: &mut M,
+    stream: &mut S,
+    cfg: &SimConfig,
+    des: &DesConfig,
+) -> DesResult {
+    Run::with_config(cfg)
+        .des(*des)
+        .execute_with(engine, stream)
+        .into_des()
+        .unwrap()
+}
+
+fn run_observed<M: TranslationMechanism>(
+    engine: &mut M,
+    trace: &Trace,
+    cfg: &SimConfig,
+    ring: usize,
+) -> (SimResult, ObsReport) {
+    Run::with_config(cfg)
+        .observed_ring(ring)
+        .execute_with(engine, trace)
+        .into_observed()
+        .unwrap()
+}
+
+fn run_stream_observed<M: TranslationMechanism, S: TraceStream>(
+    engine: &mut M,
+    stream: &mut S,
+    cfg: &SimConfig,
+    ring: usize,
+) -> (SimResult, ObsReport) {
+    Run::with_config(cfg)
+        .observed_ring(ring)
+        .execute_with(engine, stream)
+        .into_observed()
+        .unwrap()
+}
+
+fn run_mechanism_observed(
+    mech: Mechanism,
+    trace: &Trace,
+    cfg: &SimConfig,
+    ring: usize,
+) -> (SimResult, ObsReport) {
+    Run::new(mech)
+        .config(cfg)
+        .observed_ring(ring)
+        .execute(trace)
+        .into_observed()
+        .unwrap()
+}
 
 fn gen_cfg(seed: u64, scale: f64) -> GenConfig {
     GenConfig {
@@ -199,9 +296,9 @@ fn streamed_sweep_matches_materialized_grid() {
     assert_eq!(streamed, materialized);
 }
 
-/// Dispatch sanity: the observed-dispatch wrapper also rides the shared
-/// streaming loop (it delegates through `TraceView`), so a spot check
-/// suffices to pin the wrapper wiring.
+/// Dispatch sanity: the observed dispatch also rides the shared streaming
+/// loop (it delegates through `TraceView`), so a spot check suffices to pin
+/// the wiring.
 #[test]
 fn observed_dispatch_still_agrees_with_plain_dispatch() {
     let cfg = SimConfig::study(128);

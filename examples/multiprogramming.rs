@@ -10,6 +10,7 @@
 //! cargo run --release --example multiprogramming [cache_entries] [scale]
 //! ```
 
+use utlb_sim::RunOutputExt;
 use utlb_sim::{Mechanism, Run, SimConfig};
 use utlb_trace::{gen, merge_multiprogram, GenConfig, SplashApp};
 
@@ -44,22 +45,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .config(&offset_cfg)
             .execute(&ta)
             .into_sim()
+            .unwrap()
             .stats
             .ni_miss_rate();
         let alone_b = Run::new(Mechanism::Utlb)
             .config(&offset_cfg)
             .execute(&tb)
             .into_sim()
+            .unwrap()
             .stats
             .ni_miss_rate();
         let shared = Run::new(Mechanism::Utlb)
             .config(&offset_cfg)
             .execute(&merged)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         let shared_nh = Run::new(Mechanism::Utlb)
             .config(&nohash_cfg)
             .execute(&merged)
-            .into_sim();
+            .into_sim()
+            .unwrap();
 
         let a_pids: Vec<u32> = (1..=a_procs).collect();
         let b_pids: Vec<u32> = (a_procs + 1..=a_procs + b_procs).collect();

@@ -12,6 +12,7 @@
 //! ```
 
 use utlb_core::Policy;
+use utlb_sim::RunOutputExt;
 use utlb_sim::{Mechanism, Run, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp};
 
@@ -45,7 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let r = Run::new(Mechanism::Utlb)
                 .config(&sim)
                 .execute(&trace)
-                .into_sim();
+                .into_sim()
+                .unwrap();
             let cost = r.utlb_lookup_cost(&sim);
             println!(
                 "{:<10}{:>12.3}{:>12.3}{:>14.3}{:>12.1}",

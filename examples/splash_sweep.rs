@@ -9,6 +9,7 @@
 //! cargo run --release --example splash_sweep [cache_entries] [scale]
 //! ```
 
+use utlb_sim::RunOutputExt;
 use utlb_sim::{Mechanism, Run, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp};
 
@@ -34,11 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let u = Run::new(Mechanism::Utlb)
             .config(&sim)
             .execute(&trace)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         let i = Run::new(Mechanism::Intr)
             .config(&sim)
             .execute(&trace)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         println!(
             "{:<15}{:>9}{:>9}  |{:>9.2}{:>9.2}{:>9.1}  |{:>9.2}{:>9.1}",
             app.to_string(),

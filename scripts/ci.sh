@@ -9,8 +9,8 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "== cargo clippy (-D warnings, -D deprecated: in-repo code stays off the legacy run_* shims)"
-cargo clippy -q --offline --workspace --all-targets -- -D warnings -D deprecated
+echo "== cargo clippy (-D warnings)"
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
 echo "== tier-1: cargo build --release && cargo test"
 cargo build --release --offline
@@ -56,7 +56,7 @@ cargo test -q --offline -p utlb-trace synth::
 echo "== streaming: bounded-memory scale run (small epoch count)"
 UTLB_STREAM_EPOCHS=40 cargo run -q --release --offline -p utlb-bench --bin stream_scale
 
-echo "== builder: byte-identity of the Run builder vs all 13 legacy entry points"
+echo "== builder: spelling-equivalence of the Run builder (legacy shims are gone)"
 cargo test -q --offline -p utlb-sim --test builder_equivalence
 cargo test -q --offline -p utlb-sim run::
 
@@ -85,6 +85,22 @@ rm results/frontend_smoke_1w.json
 
 echo "== frontend: live-reactor-vs-trace-replay bench smoke"
 cargo bench -q --offline -p utlb-bench --bench frontend -- --test
+
+echo "== clustered frontend: 1-board byte-identity, redirect gradient, residency proptest"
+cargo test -q --offline -p utlb-sim --test cluster_frontend
+cargo test -q --offline -p utlb-sim cluster_frontend::
+
+echo "== clustered frontend: capped smoke run, byte-identical at 1 vs 4 sweep workers"
+UTLB_CLUSTER_FRONTEND_CONNS=2000 UTLB_SIM_THREADS=1 \
+    cargo run -q --release --offline -p utlb-bench --bin cluster_frontend > /dev/null
+mv results/cluster_frontend_smoke.json results/cluster_frontend_smoke_1w.json
+UTLB_CLUSTER_FRONTEND_CONNS=2000 UTLB_SIM_THREADS=4 \
+    cargo run -q --release --offline -p utlb-bench --bin cluster_frontend > /dev/null
+cmp results/cluster_frontend_smoke_1w.json results/cluster_frontend_smoke.json
+rm results/cluster_frontend_smoke_1w.json
+
+echo "== clustered frontend: 1-vs-8-board live churn bench smoke"
+cargo bench -q --offline -p utlb-bench --bench cluster_frontend -- --test
 
 echo "== DES: replay overhead bench"
 cargo bench -q --offline -p utlb-bench --bench des_replay

@@ -5,6 +5,7 @@
 //! the suite stays fast; the bench binaries run the full scale).
 
 use utlb_sim::experiments::{self, CACHE_SIZES};
+use utlb_sim::RunOutputExt;
 use utlb_sim::{Mechanism, Run, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp};
 
@@ -28,11 +29,13 @@ fn conclusion_1_fewer_misses_and_no_interrupts() {
         let u = Run::new(Mechanism::Utlb)
             .config(&sim)
             .execute(&trace)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         let i = Run::new(Mechanism::Intr)
             .config(&sim)
             .execute(&trace)
-            .into_sim();
+            .into_sim()
+            .unwrap();
         assert!(
             u.stats.check_miss_rate() <= u.stats.ni_miss_rate() + 1e-9,
             "{app}"
@@ -68,21 +71,25 @@ fn conclusion_2_utlb_less_size_sensitive() {
             .config(&small)
             .execute(&trace)
             .into_sim()
+            .unwrap()
             .utlb_lookup_cost(&small);
         let u_big = Run::new(Mechanism::Utlb)
             .config(&big)
             .execute(&trace)
             .into_sim()
+            .unwrap()
             .utlb_lookup_cost(&big);
         let i_small = Run::new(Mechanism::Intr)
             .config(&small)
             .execute(&trace)
             .into_sim()
+            .unwrap()
             .intr_lookup_cost(&small);
         let i_big = Run::new(Mechanism::Intr)
             .config(&big)
             .execute(&trace)
             .into_sim()
+            .unwrap()
             .intr_lookup_cost(&big);
         utlb_growth += u_small / u_big;
         intr_growth += i_small / i_big;

@@ -5,6 +5,7 @@
 //! simulator, and check the two views agree where they must.
 
 use utlb_mem::{VirtAddr, PAGE_SIZE};
+use utlb_sim::RunOutputExt;
 use utlb_sim::{Mechanism, Run, SimConfig};
 use utlb_vmmc::Cluster;
 
@@ -47,7 +48,8 @@ fn live_trace_replays_consistently_through_the_simulator() {
     let replay = Run::new(Mechanism::Utlb)
         .config(&sim)
         .execute(&trace)
-        .into_sim();
+        .into_sim()
+        .unwrap();
 
     // The simulator accounts exactly the traced requests.
     assert_eq!(replay.stats.lookups, trace.total_lookups());
@@ -76,10 +78,12 @@ fn live_trace_round_trips_through_jsonl() {
     let a = Run::new(Mechanism::Utlb)
         .config(&sim)
         .execute(&trace)
-        .into_sim();
+        .into_sim()
+        .unwrap();
     let b = Run::new(Mechanism::Utlb)
         .config(&sim)
         .execute(&back)
-        .into_sim();
+        .into_sim()
+        .unwrap();
     assert_eq!(a.stats, b.stats);
 }
