@@ -17,9 +17,9 @@ use utlb_core::{
 };
 use utlb_mem::{Host, PhysAddr, ProcessId, VirtPage, PAGE_SIZE};
 use utlb_nic::Board;
-use utlb_sim::sweep::THREADS_ENV;
+use utlb_sim::sweep::{SweepGrid, THREADS_ENV};
 use utlb_sim::RunOutputExt;
-use utlb_sim::{sweep, Mechanism, Run, SimConfig};
+use utlb_sim::{sweep, sweep_over, sweep_over_with, Mechanism, Run, SimConfig, SweepScratch};
 use utlb_trace::{gen, GenConfig, SplashApp, Trace};
 
 fn small_cfg() -> GenConfig {
@@ -91,6 +91,75 @@ fn bench_grid(c: &mut Criterion) {
         });
     }
     std::env::remove_var(THREADS_ENV);
+    group.finish();
+}
+
+/// The scratch-arena claim: the same Figure 7-shaped grid with a fresh set
+/// of replay buffers per cell (`execute`) vs per-worker reusable scratch
+/// (`sweep_over_with` + `execute_in`). Pinned to one worker so the delta is
+/// pure allocation traffic, not scheduling.
+fn bench_scratch_reuse(c: &mut Criterion) {
+    let trace = gen::generate_shared(SplashApp::Water, &small_cfg());
+    let sizes = [1024usize, 4096, 8192, 16384];
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(sizes.len() as u64));
+    std::env::set_var(THREADS_ENV, "1");
+    group.bench_function("grid_fresh_buffers", |b| {
+        b.iter(|| {
+            black_box(sweep_over(&sizes, |&entries| {
+                Run::new(Mechanism::Utlb)
+                    .config(&SimConfig::study(entries))
+                    .execute(&trace)
+                    .into_sim()
+                    .unwrap()
+                    .stats
+                    .ni_miss_rate()
+            }))
+        })
+    });
+    group.bench_function("grid_scratch_reuse", |b| {
+        b.iter(|| {
+            black_box(sweep_over_with(
+                &sizes,
+                SweepScratch::new,
+                |&entries, scratch| {
+                    Run::new(Mechanism::Utlb)
+                        .config(&SimConfig::study(entries))
+                        .execute_in(scratch, &trace)
+                        .into_sim()
+                        .unwrap()
+                        .stats
+                        .ni_miss_rate()
+                },
+            ))
+        })
+    });
+    std::env::remove_var(THREADS_ENV);
+    group.finish();
+}
+
+/// Cost-ordered dispatch overhead: the trivial-cell fan-out again, but
+/// through the grid builder with a cost function, so the delta against
+/// `overhead` is the LPT sort plus the order indirection.
+fn bench_cost_ordered_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    for cells in [16usize, 256] {
+        let grid: Vec<usize> = (0..cells).collect();
+        group.bench_with_input(
+            BenchmarkId::new("overhead_cost_ordered", cells),
+            &grid,
+            |b, grid| {
+                b.iter(|| {
+                    black_box(
+                        SweepGrid::over(grid)
+                            .cost(|&ix| (ix % 7) as u64)
+                            .run(|&ix| ix.wrapping_mul(2654435761)),
+                    )
+                })
+            },
+        );
+    }
     group.finish();
 }
 
@@ -315,6 +384,8 @@ criterion_group!(
     bench_cache_probe,
     bench_sweep_overhead,
     bench_grid,
+    bench_scratch_reuse,
+    bench_cost_ordered_overhead,
     bench_noop_probe,
     bench_replay_paths,
     bench_hot_replay,

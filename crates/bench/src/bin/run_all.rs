@@ -8,10 +8,29 @@ use std::time::Instant;
 use utlb_core::obs::Metrics;
 use utlb_core::{CacheConfig, SharedUtlbCache};
 use utlb_mem::{PhysAddr, ProcessId, VirtPage};
-use utlb_sim::sweep::{worker_count, THREADS_ENV};
+use utlb_sim::sweep::{worker_topology, WorkerTopology, THREADS_ENV};
 use utlb_sim::RunOutputExt;
 use utlb_sim::{phase_breakdown, sweep_over, Mechanism, ObsReport, Run, SimConfig};
 use utlb_trace::{gen, GenConfig, SplashApp};
+
+/// Worker counts the sweep bench times the Table 8 grid at. Points beyond
+/// the machine's available parallelism measure oversubscription: on a
+/// single-core host every point degenerates to the sequential numbers, and
+/// cells/sec is expected to rise only up to `available_parallelism`.
+const WORKER_AXIS: [usize; 4] = [1, 2, 4, 8];
+
+/// One timed run of the grid at a pinned worker count.
+#[derive(Debug, Serialize)]
+struct SweepWorkerPoint {
+    /// Workers the run was pinned to (`UTLB_SIM_THREADS`).
+    workers: usize,
+    /// Wall-clock seconds for the grid.
+    secs: f64,
+    /// Cells per second at this worker count.
+    cells_per_sec: f64,
+    /// Wall-clock speedup over the 1-worker point.
+    speedup: f64,
+}
 
 /// Measured throughput of the experiment sweep machinery, archived so runs
 /// on different machines can be compared.
@@ -19,26 +38,29 @@ use utlb_trace::{gen, GenConfig, SplashApp};
 struct SweepBench {
     /// Cells in the timed grid (Table 8: sizes × organizations × apps).
     cells: usize,
-    /// Workers the parallel run used (1 on a single-core machine, where
-    /// the parallel numbers degenerate to the sequential ones).
-    workers: usize,
+    /// The host's resolved worker topology (available parallelism and how
+    /// the default worker count was chosen) — the context the `worker_axis`
+    /// numbers must be read in.
+    topology: WorkerTopology,
+    /// One timed grid run per pinned worker count.
+    worker_axis: Vec<SweepWorkerPoint>,
     /// Boards each sweep cell simulates — the paper's serial runners model
     /// one NIC; multi-board topologies archive to `results/cluster.json`.
     nodes: usize,
     /// Stations shared across boards in these runs (none at one board).
     shared_stations: Vec<String>,
-    /// Wall-clock seconds for the forced `UTLB_SIM_THREADS=1` run.
-    sequential_secs: f64,
-    /// Wall-clock seconds at the machine's available parallelism.
-    parallel_secs: f64,
-    /// Cells per second, sequential.
-    sequential_cells_per_sec: f64,
-    /// Cells per second, parallel.
-    parallel_cells_per_sec: f64,
-    /// Parallel speedup (sequential / parallel wall-clock).
-    speedup: f64,
     /// Nanoseconds per hit lookup in a resident 8 K-entry direct cache.
     cache_probe_ns: f64,
+}
+
+impl SweepBench {
+    /// The largest speedup any axis point achieved over one worker.
+    fn best_speedup(&self) -> f64 {
+        self.worker_axis
+            .iter()
+            .map(|p| p.speedup)
+            .fold(1.0, f64::max)
+    }
 }
 
 fn time_table8(gen: &GenConfig) -> (usize, f64) {
@@ -48,18 +70,33 @@ fn time_table8(gen: &GenConfig) -> (usize, f64) {
 }
 
 fn bench_sweep(gen: &GenConfig) -> SweepBench {
-    // The earlier printing pass already populated the trace memo, so both
+    // The earlier printing pass already populated the trace memo, so the
     // timed runs measure pure simulation, not generation.
     let prior = std::env::var(THREADS_ENV).ok();
-    std::env::set_var(THREADS_ENV, "1");
-    let (cells, sequential_secs) = time_table8(gen);
-    // Restore any user override so the "parallel" pass honours it.
+    let mut cells = 0;
+    let mut sequential_secs = f64::NAN;
+    let mut worker_axis = Vec::with_capacity(WORKER_AXIS.len());
+    for &workers in &WORKER_AXIS {
+        std::env::set_var(THREADS_ENV, workers.to_string());
+        let (n, secs) = time_table8(gen);
+        cells = n;
+        if workers == 1 {
+            sequential_secs = secs;
+        }
+        worker_axis.push(SweepWorkerPoint {
+            workers,
+            secs,
+            cells_per_sec: n as f64 / secs,
+            speedup: sequential_secs / secs,
+        });
+    }
+    // Restore any user override before resolving the topology, so the
+    // archived `source` reflects the user's environment, not the axis pin.
     match &prior {
         Some(v) => std::env::set_var(THREADS_ENV, v),
         None => std::env::remove_var(THREADS_ENV),
     }
-    let (_, parallel_secs) = time_table8(gen);
-    let workers = worker_count(cells);
+    let topology = worker_topology(cells);
 
     let entries = 8192usize;
     let mut cache = SharedUtlbCache::new(CacheConfig::direct(entries));
@@ -78,14 +115,10 @@ fn bench_sweep(gen: &GenConfig) -> SweepBench {
 
     SweepBench {
         cells,
-        workers,
+        topology,
+        worker_axis,
         nodes: 1,
         shared_stations: Vec::new(),
-        sequential_secs,
-        parallel_secs,
-        sequential_cells_per_sec: cells as f64 / sequential_secs,
-        parallel_cells_per_sec: cells as f64 / parallel_secs,
-        speedup: sequential_secs / parallel_secs,
         cache_probe_ns,
     }
 }
@@ -267,7 +300,12 @@ fn main() {
     let body = serde_json::to_string_pretty(&bench).expect("bench serializes");
     std::fs::write("BENCH_sweep.json", &body).expect("write BENCH_sweep.json");
     eprintln!(
-        "sweep bench: {} cells, {} workers, {:.2}x speedup, {:.1} ns/probe → BENCH_sweep.json",
-        bench.cells, bench.workers, bench.speedup, bench.cache_probe_ns
+        "sweep bench: {} cells, axis {:?} on {} available cores ({}), best {:.2}x, {:.1} ns/probe → BENCH_sweep.json",
+        bench.cells,
+        WORKER_AXIS,
+        bench.topology.available_parallelism,
+        bench.topology.source,
+        bench.best_speedup(),
+        bench.cache_probe_ns
     );
 }

@@ -221,6 +221,24 @@ pub trait Probe: std::fmt::Debug {
     fn on_event(&mut self, pid: ProcessId, event: Event);
 }
 
+/// Logs `msg()` to stderr exactly once per `topic` per process.
+///
+/// For facts that hold for a whole batch run — e.g. the sweep executor's
+/// resolved worker count and where it came from — where per-call logging
+/// would drown a 140-cell grid's output but zero logging leaves the
+/// archive guessing at the topology. `msg` is only rendered on the first
+/// call for its topic.
+pub fn note_once(topic: &str, msg: impl FnOnce() -> String) {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static SEEN: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    let seen = SEEN.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut seen = seen.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    if seen.insert(topic.to_string()) {
+        eprintln!("[utlb:{topic}] {}", msg());
+    }
+}
+
 /// A probe that discards everything — for overhead measurements.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoopProbe;

@@ -20,13 +20,13 @@
 //! interrupt service, which is where queueing delay — the paper's §7 open
 //! question — appears.
 
-use crate::runner::STREAM_CHUNK;
+use crate::runner::{SweepScratch, STREAM_CHUNK};
 use crate::{MissClassifier, SimConfig, SimResult};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::rc::Rc;
 use utlb_core::obs::{Event, Histogram, Probe, SharedCollector, WaitResource};
-use utlb_core::{page_demands_into, LookupBatch, OutcomeBuf, PageDemand, TranslationMechanism};
+use utlb_core::{page_demands_into, LookupBatch, TranslationMechanism};
 use utlb_mem::{Host, ProcessId};
 use utlb_nic::{Board, BoardSnapshot, Nanos};
 use utlb_trace::{fill_chunk, TraceStream};
@@ -155,6 +155,7 @@ pub(crate) fn replay_des<M, S>(
     cfg: &SimConfig,
     des: &DesConfig,
     obs: Option<&SharedCollector>,
+    scratch: &mut SweepScratch,
 ) -> (DesResult, BoardSnapshot)
 where
     M: TranslationMechanism + ?Sized,
@@ -208,16 +209,19 @@ where
     let mut payload_transfers = 0u64;
     let mut payload_words = 0u64;
 
-    // Reused across records: the stream chunk, page outcomes from the
-    // batched lookup path, the drained event tap, and the decomposed
-    // per-page demands. Steady state allocates nothing per record.
-    let mut chunk = Vec::with_capacity(STREAM_CHUNK);
-    let mut out = OutcomeBuf::new();
-    let mut events_scratch: Vec<Event> = Vec::new();
-    let mut demands: Vec<PageDemand> = Vec::new();
+    // Reused across records — and, in a sweep, across every cell on the
+    // worker's arena: the stream chunk, page outcomes from the batched
+    // lookup path, the drained event tap, and the decomposed per-page
+    // demands. Steady state allocates nothing per record.
+    let SweepScratch {
+        chunk,
+        out,
+        events: events_scratch,
+        demands,
+    } = scratch;
 
-    while fill_chunk(stream, &mut chunk, STREAM_CHUNK) > 0 {
-        for rec in &chunk {
+    while fill_chunk(stream, chunk, STREAM_CHUNK) > 0 {
+        for rec in chunk.iter() {
             let pid = rec.pid;
             // Pids are dense from 1 (asserted above), so the per-process slot
             // is the pid itself.
@@ -231,7 +235,7 @@ where
                     &mut host,
                     &mut board,
                     LookupBatch::for_buffer(pid, rec.va, rec.nbytes),
-                    &mut out,
+                    out,
                 )
                 .expect("trace lookups succeed");
             classifier.access_batch(pid, out.as_slice());
@@ -239,12 +243,12 @@ where
             // --- DES overlay: route this lookup's demands through the
             // stations, holding the firmware for the whole request. ---
             events_scratch.clear();
-            std::mem::swap(&mut *buf.borrow_mut(), &mut events_scratch);
-            page_demands_into(&events_scratch, &mut demands);
+            std::mem::swap(&mut *buf.borrow_mut(), events_scratch);
+            page_demands_into(events_scratch, demands);
             let arrival = Nanos::from_nanos(rec.ts_ns);
             let grant = firmware.acquire_with(arrival, |start| {
                 let mut cursor = start;
-                for d in &demands {
+                for d in demands.iter() {
                     // Firmware-only time; UTLB's pins run in the kernel
                     // top half, serial with the translation.
                     cursor += Nanos::from_nanos(d.firmware_ns());

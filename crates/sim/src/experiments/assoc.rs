@@ -5,10 +5,10 @@
 //! direct-mapped *without* offsetting ("direct-nohash") — the row that shows
 //! why the process-dependent index offset matters under multiprogramming.
 
-use super::{app_traces, CACHE_SIZES};
+use super::{app_traces, gen_key, CACHE_SIZES};
 use crate::report::{rate, TextTable};
 use crate::RunOutputExt;
-use crate::{sweep_over, Mechanism, Run, SimConfig};
+use crate::{Mechanism, Run, SimConfig, SweepGrid, SweepScratch};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -105,21 +105,30 @@ pub fn table8(cfg: &GenConfig) -> Table8 {
             }
         }
     }
-    let cells = sweep_over(&specs, |&(entries, org, tix)| {
-        let (app, ref trace) = traces[tix];
-        let sim = org.apply(SimConfig::study(entries));
-        let r = Run::new(Mechanism::Utlb)
-            .config(&sim)
-            .execute(trace)
-            .into_sim()
-            .unwrap();
-        Table8Cell {
-            cache_entries: entries,
-            organization: org,
-            app,
-            miss_rate: r.stats.ni_miss_rate(),
-        }
-    });
+    let cells = SweepGrid::over(&specs)
+        .cost(|&(_, _, tix)| traces[tix].1.total_lookups())
+        .checkpoint("table8", |&(entries, org, tix)| {
+            format!(
+                "entries={entries}|org={org}|app={}|{}",
+                traces[tix].0,
+                gen_key(cfg)
+            )
+        })
+        .run_with(SweepScratch::new, |&(entries, org, tix), scratch| {
+            let (app, ref trace) = traces[tix];
+            let sim = org.apply(SimConfig::study(entries));
+            let r = Run::new(Mechanism::Utlb)
+                .config(&sim)
+                .execute_in(scratch, trace)
+                .into_sim()
+                .unwrap();
+            Table8Cell {
+                cache_entries: entries,
+                organization: org,
+                app,
+                miss_rate: r.stats.ni_miss_rate(),
+            }
+        });
     Table8::build(cells)
 }
 

@@ -1,10 +1,10 @@
 //! Figure 7: breakdown of translation-cache miss rates into compulsory,
 //! capacity, and conflict components, per application and cache size.
 
-use super::app_traces;
+use super::{app_traces, gen_key};
 use crate::report::TextTable;
 use crate::RunOutputExt;
-use crate::{sweep_over, Mechanism, Run, SimConfig};
+use crate::{Mechanism, Run, SimConfig, SweepGrid, SweepScratch};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -54,23 +54,28 @@ pub fn fig7(cfg: &GenConfig) -> Fig7 {
             specs.push((tix, entries));
         }
     }
-    let bars = sweep_over(&specs, |&(tix, entries)| {
-        let (app, ref trace) = traces[tix];
-        let sim = SimConfig::study(entries);
-        let r = Run::new(Mechanism::Utlb)
-            .config(&sim)
-            .execute(trace)
-            .into_sim()
-            .unwrap();
-        let (comp, cap, conf) = r.breakdown.rates(r.stats.lookups);
-        Fig7Bar {
-            app,
-            cache_entries: entries,
-            compulsory_pct: comp * 100.0,
-            capacity_pct: cap * 100.0,
-            conflict_pct: conf * 100.0,
-        }
-    });
+    let bars = SweepGrid::over(&specs)
+        .cost(|&(tix, _)| traces[tix].1.total_lookups())
+        .checkpoint("fig7", |&(tix, entries)| {
+            format!("entries={entries}|app={}|{}", traces[tix].0, gen_key(cfg))
+        })
+        .run_with(SweepScratch::new, |&(tix, entries), scratch| {
+            let (app, ref trace) = traces[tix];
+            let sim = SimConfig::study(entries);
+            let r = Run::new(Mechanism::Utlb)
+                .config(&sim)
+                .execute_in(scratch, trace)
+                .into_sim()
+                .unwrap();
+            let (comp, cap, conf) = r.breakdown.rates(r.stats.lookups);
+            Fig7Bar {
+                app,
+                cache_entries: entries,
+                compulsory_pct: comp * 100.0,
+                capacity_pct: cap * 100.0,
+                conflict_pct: conf * 100.0,
+            }
+        });
     Fig7::build(bars)
 }
 

@@ -16,10 +16,13 @@
 //! processes migrating boards mid-trace, putting a number on the
 //! demand-re-pin storm a migration triggers.
 
+use super::gen_key;
 use crate::report::{micros, TextTable};
 use crate::sweep::worker_count;
 use crate::RunOutputExt;
-use crate::{ClusterConfig, ClusterResult, Mechanism, Run, SimConfig, DEFAULT_HOST_FRAMES};
+use crate::{
+    ClusterConfig, ClusterResult, Mechanism, Run, SimConfig, SweepGrid, DEFAULT_HOST_FRAMES,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use utlb_trace::{gen, merge_multiprogram, GenConfig, SplashApp, Trace};
@@ -138,10 +141,10 @@ fn migration_plan(mut cluster: ClusterConfig, nodes: usize, midpoint_ns: u64) ->
 ///
 /// Weak scaling: each axis point builds its own workload with one job per
 /// board, so every board homes exactly two processes (the job's app and
-/// protocol process) at every node count. Cells run sequentially — each
-/// cluster replay is itself the unit of work, and the sweep's determinism
-/// contract (results independent of worker count) is pinned by
-/// `tests/cluster.rs`.
+/// protocol process) at every node count. Cells fan out across the sweep
+/// executor — biggest workloads dispatched first, results in axis order —
+/// and the sweep's determinism contract (results independent of worker
+/// count) is pinned by `tests/cluster.rs`.
 pub fn cluster_scaling(
     cfg: &GenConfig,
     cache_entries: usize,
@@ -149,9 +152,6 @@ pub fn cluster_scaling(
 ) -> ClusterScaling {
     assert!(!nodes_axis.is_empty(), "need at least one node count");
 
-    let mut cells = Vec::new();
-    let mut detail: Option<ClusterResult> = None;
-    let mut workload = String::new();
     let detail_nodes = nodes_axis
         .iter()
         .copied()
@@ -159,51 +159,85 @@ pub fn cluster_scaling(
         .max()
         .unwrap_or(nodes_axis[0]);
 
-    for &nodes in nodes_axis {
-        let trace = cluster_workload(cfg, nodes);
-        // Weak scaling grows the aggregate pinned footprint linearly with
-        // the board count; size the shared host frame pool to the workload
-        // (with headroom for translation tables) so large axis points
-        // stress the shared stations under study, not simulated host DRAM.
-        let sim = SimConfig::study(cache_entries)
-            .host_frames(DEFAULT_HOST_FRAMES.max(2 * trace.footprint_pages()));
-        let processes = trace.process_ids().len();
-        let midpoint_ns = trace.records[trace.records.len() / 2].ts_ns;
-        if nodes == detail_nodes {
-            workload = trace.workload.clone();
-        }
+    // One workload per axis point, shared read-only by its eight cells.
+    // Weak scaling grows the aggregate pinned footprint linearly with the
+    // board count; size the shared host frame pool to the workload (with
+    // headroom for translation tables) so large axis points stress the
+    // shared stations under study, not simulated host DRAM.
+    let points: Vec<(usize, Trace, SimConfig)> = nodes_axis
+        .iter()
+        .map(|&nodes| {
+            let trace = cluster_workload(cfg, nodes);
+            let sim = SimConfig::study(cache_entries)
+                .host_frames(DEFAULT_HOST_FRAMES.max(2 * trace.footprint_pages()));
+            (nodes, trace, sim)
+        })
+        .collect();
+    let workload = points
+        .iter()
+        .find(|(nodes, ..)| *nodes == detail_nodes)
+        .map(|(_, trace, _)| trace.workload.clone())
+        .expect("detail node count is on the axis");
+
+    // Cell order is part of the archive format: nodes outer, mechanism,
+    // then {plain, migrated} innermost — the sweep returns results in
+    // exactly this input order whatever the dispatch schedule.
+    let mut specs = Vec::new();
+    for pix in 0..points.len() {
         for mech in Mechanism::ALL {
             for migrate in [false, true] {
-                let mut cluster = ClusterConfig::new(nodes);
-                if migrate {
-                    cluster = migration_plan(cluster, nodes, midpoint_ns);
-                }
-                let r = Run::new(mech)
-                    .config(&sim)
-                    .cluster(cluster)
-                    .execute(&trace)
-                    .into_cluster()
-                    .unwrap();
-                cells.push(ClusterCell {
-                    mechanism: mech,
-                    nodes,
-                    processes,
-                    migrated: r.migrations.len(),
-                    des_time_ns: r.des_time_ns,
-                    mean_latency_us: r.mean_latency_us(),
-                    max_latency_us: r.max_latency_us(),
-                    host_mem_wait_ns: r.host_mem_wait_ns,
-                    bus_wait_ns: r.bus_wait_ns,
-                    intr_wait_ns: r.intr_wait_ns,
-                    fw_wait_ns: r.boards.iter().map(|b| b.fw_wait_ns).sum(),
-                    imbalance: r.imbalance(),
-                    pages_invalidated: r.migrations.iter().map(|m| m.pages_invalidated).sum(),
-                });
-                if mech == Mechanism::Utlb && !migrate && nodes == detail_nodes {
-                    detail = Some(r);
-                }
+                specs.push((pix, mech, migrate));
             }
         }
+    }
+    let results: Vec<(ClusterCell, Option<ClusterResult>)> = SweepGrid::over(&specs)
+        .cost(|&(pix, ..)| points[pix].1.total_lookups())
+        .checkpoint("cluster_scaling", |&(pix, mech, migrate)| {
+            format!(
+                "nodes={}|mech={mech}|migrate={migrate}|entries={cache_entries}|{}",
+                points[pix].0,
+                gen_key(cfg)
+            )
+        })
+        .run(|&(pix, mech, migrate)| {
+            let (nodes, ref trace, ref sim) = points[pix];
+            let processes = trace.process_ids().len();
+            let midpoint_ns = trace.records[trace.records.len() / 2].ts_ns;
+            let mut cluster = ClusterConfig::new(nodes);
+            if migrate {
+                cluster = migration_plan(cluster, nodes, midpoint_ns);
+            }
+            let r = Run::new(mech)
+                .config(sim)
+                .cluster(cluster)
+                .execute(trace)
+                .into_cluster()
+                .unwrap();
+            let cell = ClusterCell {
+                mechanism: mech,
+                nodes,
+                processes,
+                migrated: r.migrations.len(),
+                des_time_ns: r.des_time_ns,
+                mean_latency_us: r.mean_latency_us(),
+                max_latency_us: r.max_latency_us(),
+                host_mem_wait_ns: r.host_mem_wait_ns,
+                bus_wait_ns: r.bus_wait_ns,
+                intr_wait_ns: r.intr_wait_ns,
+                fw_wait_ns: r.boards.iter().map(|b| b.fw_wait_ns).sum(),
+                imbalance: r.imbalance(),
+                pages_invalidated: r.migrations.iter().map(|m| m.pages_invalidated).sum(),
+            };
+            let is_detail = mech == Mechanism::Utlb && !migrate && nodes == detail_nodes;
+            (cell, is_detail.then_some(r))
+        });
+    let mut detail: Option<ClusterResult> = None;
+    let mut cells = Vec::with_capacity(results.len());
+    for (cell, d) in results {
+        if let Some(d) = d {
+            detail = Some(d);
+        }
+        cells.push(cell);
     }
 
     ClusterScaling {

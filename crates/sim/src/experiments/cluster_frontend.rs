@@ -29,7 +29,7 @@
 use crate::frontend::cluster::ClusterFrontendResult;
 use crate::frontend::FrontendConfig;
 use crate::report::{micros, TextTable};
-use crate::sweep::sweep_over;
+use crate::SweepGrid;
 use crate::{ClusterConfig, HomingPolicy, Live, Mechanism, Run, RunOutputExt, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -169,15 +169,24 @@ pub fn cluster_frontend(
             }
         }
     }
-    let results = sweep_over(&grid, |&(nodes, policy, mech)| {
-        Run::new(mech)
-            .config(&sim)
-            .frontend(cell_config(connections))
-            .cluster(ClusterConfig::new(nodes).homing(policy))
-            .execute(Live)
-            .into_cluster_frontend()
-            .unwrap()
-    });
+    let results = SweepGrid::over(&grid)
+        // Fixed connection count per cell: more boards means more per-board
+        // replay machinery, so board count is the cost proxy for LPT.
+        .cost(|&(nodes, ..)| (connections * nodes) as u64)
+        .checkpoint("cluster_frontend", |&(nodes, policy, mech)| {
+            format!(
+                "nodes={nodes}|policy={policy}|mech={mech}|conns={connections}|entries={cache_entries}"
+            )
+        })
+        .run(|&(nodes, policy, mech)| {
+            Run::new(mech)
+                .config(&sim)
+                .frontend(cell_config(connections))
+                .cluster(ClusterConfig::new(nodes).homing(policy))
+                .execute(Live)
+                .into_cluster_frontend()
+                .unwrap()
+        });
 
     let detail_nodes = nodes_axis
         .iter()

@@ -5,10 +5,10 @@
 //! limit; Table 6 converts the measured rates into average lookup costs via
 //! the §6.2 formulas for Barnes and FFT.
 
-use super::{app_traces, CACHE_SIZES, SPARSE_SIZES};
+use super::{app_traces, gen_key, CACHE_SIZES, SPARSE_SIZES};
 use crate::report::{micros, rate, TextTable};
 use crate::RunOutputExt;
-use crate::{sweep_over, Mechanism, Run, SimConfig};
+use crate::{Mechanism, Run, SimConfig, SweepGrid, SweepScratch};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -52,32 +52,46 @@ fn compare(cfg: &GenConfig, mem_limit_mb: Option<u64>) -> Table45 {
             specs.push((entries, tix));
         }
     }
-    let cells = sweep_over(&specs, |&(entries, tix)| {
-        let (app, ref trace) = traces[tix];
-        let mut sim = SimConfig::study(entries);
-        if let Some(mb) = mem_limit_mb {
-            sim = sim.limit_mb(mb);
-        }
-        let u = Run::new(Mechanism::Utlb)
-            .config(&sim)
-            .execute(trace)
-            .into_sim()
-            .unwrap();
-        let i = Run::new(Mechanism::Intr)
-            .config(&sim)
-            .execute(trace)
-            .into_sim()
-            .unwrap();
-        CompareCell {
-            app,
-            cache_entries: entries,
-            utlb_check: u.stats.check_miss_rate(),
-            utlb_ni: u.stats.ni_miss_rate(),
-            utlb_unpins: u.stats.unpin_rate(),
-            intr_ni: i.stats.ni_miss_rate(),
-            intr_unpins: i.stats.unpin_rate(),
-        }
-    });
+    let label = match mem_limit_mb {
+        None => "table4",
+        Some(_) => "table5",
+    };
+    let cells = SweepGrid::over(&specs)
+        // Two runs per cell (UTLB + Intr), both over the same trace.
+        .cost(|&(_, tix)| 2 * traces[tix].1.total_lookups())
+        .checkpoint(label, |&(entries, tix)| {
+            format!(
+                "entries={entries}|app={}|limit={mem_limit_mb:?}|{}",
+                traces[tix].0,
+                gen_key(cfg)
+            )
+        })
+        .run_with(SweepScratch::new, |&(entries, tix), scratch| {
+            let (app, ref trace) = traces[tix];
+            let mut sim = SimConfig::study(entries);
+            if let Some(mb) = mem_limit_mb {
+                sim = sim.limit_mb(mb);
+            }
+            let u = Run::new(Mechanism::Utlb)
+                .config(&sim)
+                .execute_in(scratch, trace)
+                .into_sim()
+                .unwrap();
+            let i = Run::new(Mechanism::Intr)
+                .config(&sim)
+                .execute_in(scratch, trace)
+                .into_sim()
+                .unwrap();
+            CompareCell {
+                app,
+                cache_entries: entries,
+                utlb_check: u.stats.check_miss_rate(),
+                utlb_ni: u.stats.ni_miss_rate(),
+                utlb_unpins: u.stats.unpin_rate(),
+                intr_ni: i.stats.ni_miss_rate(),
+                intr_unpins: i.stats.unpin_rate(),
+            }
+        });
     Table45::build(mem_limit_mb, cells)
 }
 
@@ -191,26 +205,31 @@ pub fn table6(cfg: &GenConfig) -> Table6 {
             specs.push((tix, entries));
         }
     }
-    let rows = sweep_over(&specs, |&(tix, entries)| {
-        let (app, ref trace) = traces[tix];
-        let sim = SimConfig::study(entries);
-        let u = Run::new(Mechanism::Utlb)
-            .config(&sim)
-            .execute(trace)
-            .into_sim()
-            .unwrap();
-        let i = Run::new(Mechanism::Intr)
-            .config(&sim)
-            .execute(trace)
-            .into_sim()
-            .unwrap();
-        Table6Row {
-            app,
-            cache_entries: entries,
-            utlb_us: u.utlb_lookup_cost(&sim),
-            intr_us: i.intr_lookup_cost(&sim),
-        }
-    });
+    let rows = SweepGrid::over(&specs)
+        .cost(|&(tix, _)| 2 * traces[tix].1.total_lookups())
+        .checkpoint("table6", |&(tix, entries)| {
+            format!("entries={entries}|app={}|{}", traces[tix].0, gen_key(cfg))
+        })
+        .run_with(SweepScratch::new, |&(tix, entries), scratch| {
+            let (app, ref trace) = traces[tix];
+            let sim = SimConfig::study(entries);
+            let u = Run::new(Mechanism::Utlb)
+                .config(&sim)
+                .execute_in(scratch, trace)
+                .into_sim()
+                .unwrap();
+            let i = Run::new(Mechanism::Intr)
+                .config(&sim)
+                .execute_in(scratch, trace)
+                .into_sim()
+                .unwrap();
+            Table6Row {
+                app,
+                cache_entries: entries,
+                utlb_us: u.utlb_lookup_cost(&sim),
+                intr_us: i.intr_lookup_cost(&sim),
+            }
+        });
     Table6 { rows }
 }
 

@@ -10,9 +10,10 @@
 //! interrupt service saturate — per mechanism, so the UTLB-vs-interrupt
 //! comparison extends from cost to queueing behavior.
 
+use super::gen_key;
 use crate::report::{micros, TextTable};
 use crate::RunOutputExt;
-use crate::{sweep_over, DesConfig, Mechanism, Run, SimConfig};
+use crate::{DesConfig, Mechanism, Run, SimConfig, SweepGrid, SweepScratch};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -98,27 +99,35 @@ pub fn bus_contention(cfg: &GenConfig, cache_entries: usize) -> BusContention {
         }
     }
     let sim = SimConfig::study(cache_entries);
-    let cells = sweep_over(&points, |(app, trace, mech, load)| {
-        let r = Run::new(*mech)
-            .config(&sim)
-            .des(des_config(*load))
-            .execute(trace.as_ref())
-            .into_des()
-            .unwrap();
-        ContentionCell {
-            app: *app,
-            mechanism: *mech,
-            payload_load: *load,
-            mean_latency_us: r.mean_latency_us(),
-            max_latency_us: r.max_latency_us(),
-            mean_wait_us: r.mean_wait_us(),
-            fw_wait_ns: r.fw_wait_ns,
-            dma_wait_ns: r.dma_wait_ns,
-            bus_wait_ns: r.bus_wait_ns,
-            intr_wait_ns: r.intr_wait_ns,
-            des_time_ns: r.des_time_ns,
-        }
-    });
+    let cells = SweepGrid::over(&points)
+        .cost(|(_, trace, _, _)| trace.total_lookups())
+        .checkpoint("bus_contention", |(app, _, mech, load)| {
+            format!(
+                "app={app}|mech={mech}|load={load}|entries={cache_entries}|{}",
+                gen_key(cfg)
+            )
+        })
+        .run_with(SweepScratch::new, |(app, trace, mech, load), scratch| {
+            let r = Run::new(*mech)
+                .config(&sim)
+                .des(des_config(*load))
+                .execute_in(scratch, trace.as_ref())
+                .into_des()
+                .unwrap();
+            ContentionCell {
+                app: *app,
+                mechanism: *mech,
+                payload_load: *load,
+                mean_latency_us: r.mean_latency_us(),
+                max_latency_us: r.max_latency_us(),
+                mean_wait_us: r.mean_wait_us(),
+                fw_wait_ns: r.fw_wait_ns,
+                dma_wait_ns: r.dma_wait_ns,
+                bus_wait_ns: r.bus_wait_ns,
+                intr_wait_ns: r.intr_wait_ns,
+                des_time_ns: r.des_time_ns,
+            }
+        });
     BusContention {
         cache_entries,
         cells,
@@ -218,14 +227,16 @@ pub fn interference_des(
             ]
         })
         .collect();
-    let results = sweep_over(&runs, |(trace, mech)| {
-        Run::new(*mech)
-            .config(&sim)
-            .des(des)
-            .execute(trace.as_ref())
-            .into_des()
-            .unwrap()
-    });
+    let results = SweepGrid::over(&runs)
+        .cost(|(trace, _)| trace.total_lookups())
+        .run_with(SweepScratch::new, |(trace, mech), scratch| {
+            Run::new(*mech)
+                .config(&sim)
+                .des(des)
+                .execute_in(scratch, trace.as_ref())
+                .into_des()
+                .unwrap()
+        });
 
     let a_pids: Vec<u32> = (1..=a_procs).collect();
     let b_pids: Vec<u32> = (a_procs + 1..=a_procs + b_procs).collect();

@@ -23,9 +23,8 @@
 
 use crate::frontend::{FrontendConfig, FrontendResult};
 use crate::report::{micros, TextTable};
-use crate::sweep::sweep_over;
 use crate::RunOutputExt;
-use crate::{Live, Mechanism, Run, SimConfig};
+use crate::{Live, Mechanism, Run, SimConfig, SweepGrid};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -153,14 +152,26 @@ pub fn frontend_load(cache_entries: usize, conns_axis: &[usize]) -> FrontendLoad
             }
         }
     }
-    let results = sweep_over(&grid, |&(connections, think_ns, mech)| {
-        Run::new(mech)
-            .config(&sim)
-            .frontend(cell_config(connections, think_ns))
-            .execute(Live)
-            .into_frontend()
-            .unwrap()
-    });
+    let results = SweepGrid::over(&grid)
+        // No trace to count lookups from: a live cell's work scales with
+        // the connections it serves, heavier at short think times. A rough
+        // monotone proxy is enough for LPT — wrong estimates cost schedule
+        // quality, never correctness.
+        .cost(|&(connections, think_ns, _)| {
+            let conns = connections as u64;
+            conns + conns * 20_000 / (think_ns + 1)
+        })
+        .checkpoint("frontend_load", |&(connections, think_ns, mech)| {
+            format!("conns={connections}|think={think_ns}|mech={mech}|entries={cache_entries}")
+        })
+        .run(|&(connections, think_ns, mech)| {
+            Run::new(mech)
+                .config(&sim)
+                .frontend(cell_config(connections, think_ns))
+                .execute(Live)
+                .into_frontend()
+                .unwrap()
+        });
 
     let detail_conns = conns_axis
         .iter()

@@ -74,6 +74,17 @@ pub fn app_traces(cfg: &GenConfig) -> Vec<(SplashApp, Arc<Trace>)> {
         .collect()
 }
 
+/// The workload-generation half of a checkpoint key: everything that
+/// changes the traces a driver replays. Folded into every
+/// [`SweepGrid::checkpoint`](crate::SweepGrid::checkpoint) key so a
+/// journal from one workload scale never replays into another.
+pub(crate) fn gen_key(cfg: &GenConfig) -> String {
+    format!(
+        "seed={}|scale={}|procs={}",
+        cfg.seed, cfg.scale, cfg.app_processes
+    )
+}
+
 #[cfg(test)]
 pub(crate) fn test_gen_config() -> GenConfig {
     GenConfig {

@@ -10,7 +10,7 @@
 
 use crate::report::{rate, TextTable};
 use crate::RunOutputExt;
-use crate::{sweep_over, Mechanism, Run, SimConfig};
+use crate::{Mechanism, Run, SimConfig, SweepGrid, SweepScratch};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use utlb_trace::{gen, merge_multiprogram, GenConfig, SplashApp};
@@ -58,20 +58,23 @@ pub fn multiprog(a: SplashApp, b: SplashApp, cfg: &GenConfig, cache_entries: usi
     };
 
     // The four runs (each program alone, merged with and without
-    // offsetting) are independent cells — fan them out.
+    // offsetting) are independent cells — fan them out, merged-trace
+    // cells (twice the lookups) first.
     let runs = [
         (&*ta, &sim),
         (&*tb, &sim),
         (&merged, &sim),
         (&merged, &nohash),
     ];
-    let mut results = sweep_over(&runs, |&(trace, run_sim)| {
-        Run::new(Mechanism::Utlb)
-            .config(run_sim)
-            .execute(trace)
-            .into_sim()
-            .unwrap()
-    });
+    let mut results = SweepGrid::over(&runs)
+        .cost(|&(trace, _)| trace.total_lookups())
+        .run_with(SweepScratch::new, |&(trace, run_sim), scratch| {
+            Run::new(Mechanism::Utlb)
+                .config(run_sim)
+                .execute_in(scratch, trace)
+                .into_sim()
+                .unwrap()
+        });
     let shared_nh = results.pop().expect("four runs");
     let shared = results.pop().expect("four runs");
     let alone_b = results.pop().expect("four runs").stats.ni_miss_rate();

@@ -7,9 +7,10 @@
 //! marginally more than fetching one (DMA setup dominates), the average
 //! lookup cost falls too.
 
+use super::gen_key;
 use crate::report::{micros, rate, TextTable};
 use crate::RunOutputExt;
-use crate::{sweep_over, Mechanism, Run, SimConfig};
+use crate::{Mechanism, Run, SimConfig, SweepGrid, SweepScratch};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -52,30 +53,37 @@ pub fn fig8(cfg: &GenConfig) -> Fig8 {
             specs.push((entries, prefetch));
         }
     }
-    let points = sweep_over(&specs, |&(entries, prefetch)| {
-        // §6.5: "in order for prefetching to work well, translations
-        // for contiguous application pages must be available during a
-        // miss" — so the user library pre-pins the same width the NIC
-        // prefetches. Without this pairing, neighbours of a
-        // first-touch miss still hold the garbage address and the
-        // prefetch fetches nothing useful.
-        let sim = SimConfig {
-            prefetch,
-            prepin: prefetch,
-            ..SimConfig::study(entries)
-        };
-        let r = Run::new(Mechanism::Utlb)
-            .config(&sim)
-            .execute(&trace)
-            .into_sim()
-            .unwrap();
-        Fig8Point {
-            cache_entries: entries,
-            prefetch,
-            miss_rate: r.stats.ni_miss_rate(),
-            lookup_us: r.utlb_lookup_cost(&sim),
-        }
-    });
+    // Every cell replays the same Radix trace, so costs are uniform and
+    // the dispatcher keeps input order; the grid still buys the cells
+    // scratch reuse and a resume journal.
+    let points = SweepGrid::over(&specs)
+        .checkpoint("fig8", |&(entries, prefetch)| {
+            format!("entries={entries}|prefetch={prefetch}|{}", gen_key(cfg))
+        })
+        .run_with(SweepScratch::new, |&(entries, prefetch), scratch| {
+            // §6.5: "in order for prefetching to work well, translations
+            // for contiguous application pages must be available during a
+            // miss" — so the user library pre-pins the same width the NIC
+            // prefetches. Without this pairing, neighbours of a
+            // first-touch miss still hold the garbage address and the
+            // prefetch fetches nothing useful.
+            let sim = SimConfig {
+                prefetch,
+                prepin: prefetch,
+                ..SimConfig::study(entries)
+            };
+            let r = Run::new(Mechanism::Utlb)
+                .config(&sim)
+                .execute_in(scratch, &trace)
+                .into_sim()
+                .unwrap();
+            Fig8Point {
+                cache_entries: entries,
+                prefetch,
+                miss_rate: r.stats.ni_miss_rate(),
+                lookup_us: r.utlb_lookup_cost(&sim),
+            }
+        });
     Fig8::build(points)
 }
 

@@ -8,9 +8,10 @@
 //! strided FFT, which pre-pins pages it never uses and pays for the
 //! eventual unpins.
 
+use super::gen_key;
 use crate::report::{micros, TextTable};
 use crate::RunOutputExt;
-use crate::{sweep_over, Mechanism, Run, SimConfig};
+use crate::{Mechanism, Run, SimConfig, SweepGrid, SweepScratch};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -55,7 +56,13 @@ pub struct Table7 {
     index: HashMap<(SplashApp, u64), usize>,
 }
 
-fn measure(app: SplashApp, trace: &Trace, prepin: u64, limit_pages: u64) -> PrepinCell {
+fn measure(
+    app: SplashApp,
+    trace: &Trace,
+    prepin: u64,
+    limit_pages: u64,
+    scratch: &mut SweepScratch,
+) -> PrepinCell {
     let sim = SimConfig {
         prepin,
         mem_limit_pages: Some(limit_pages),
@@ -63,7 +70,7 @@ fn measure(app: SplashApp, trace: &Trace, prepin: u64, limit_pages: u64) -> Prep
     };
     let r = Run::new(Mechanism::Utlb)
         .config(&sim)
-        .execute(trace)
+        .execute_in(scratch, trace)
         .into_sim()
         .unwrap();
     PrepinCell {
@@ -96,10 +103,19 @@ pub fn table7(cfg: &GenConfig) -> Table7 {
             specs.push((tix, prepin));
         }
     }
-    let cells = sweep_over(&specs, |&(tix, prepin)| {
-        let (app, ref trace) = traces[tix];
-        measure(app, trace, prepin, limit_pages)
-    });
+    let cells = SweepGrid::over(&specs)
+        .cost(|&(tix, _)| traces[tix].1.total_lookups())
+        .checkpoint("table7", |&(tix, prepin)| {
+            format!(
+                "app={}|prepin={prepin}|limit={limit_pages}|{}",
+                traces[tix].0,
+                gen_key(cfg)
+            )
+        })
+        .run_with(SweepScratch::new, |&(tix, prepin), scratch| {
+            let (app, ref trace) = traces[tix];
+            measure(app, trace, prepin, limit_pages, scratch)
+        });
     Table7::build(limit_pages, cells)
 }
 
@@ -185,7 +201,15 @@ pub fn prepin_sweep(app: SplashApp, cfg: &GenConfig) -> PrepinSweep {
     let limit_pages = scaled_limit(cfg);
     let trace = gen::generate_shared(app, cfg);
     let widths = [1u64, 2, 4, 8, 16, 32];
-    let cells = sweep_over(&widths, |&w| measure(app, &trace, w, limit_pages));
+    let cells = SweepGrid::over(&widths)
+        // Same trace for every width: cells cost the same, so LPT keeps
+        // input order; the journal key still distinguishes widths.
+        .checkpoint("prepin_sweep", |&w| {
+            format!("app={app}|prepin={w}|limit={limit_pages}|{}", gen_key(cfg))
+        })
+        .run_with(SweepScratch::new, |&w, scratch| {
+            measure(app, &trace, w, limit_pages, scratch)
+        });
     PrepinSweep { app, cells }
 }
 

@@ -48,7 +48,7 @@ use crate::des_runner::{replay_des, DesResult};
 use crate::frontend::cluster::{replay_cluster_frontend, ClusterFrontendResult};
 use crate::frontend::{replay_frontend, FrontendConfig, FrontendResult};
 use crate::observe::{build_report, ObsReport};
-use crate::runner::{replay_stream, SimResult};
+use crate::runner::{replay_stream, SimResult, SweepScratch};
 use crate::{Mechanism, SimConfig};
 use utlb_core::obs::SharedCollector;
 use utlb_core::TranslationMechanism;
@@ -221,6 +221,31 @@ impl Run {
     /// Panics on internal engine errors — trace simulation is closed-world,
     /// so any failure past configuration is a bug worth a loud stop.
     pub fn execute(&self, input: impl RunInput) -> Result<RunOutput, RunError> {
+        let mut scratch = SweepScratch::new();
+        self.execute_in(&mut scratch, input)
+    }
+
+    /// [`execute`](Run::execute) with a caller-supplied scratch arena: the
+    /// replay loop's reusable buffers (stream chunk, outcome buffer, DES
+    /// event/demand vectors) come from `scratch` instead of being
+    /// allocated fresh — the way sweep workers run many cells with one
+    /// arena (see [`sweep_with`](crate::sweep_with)). Cluster and frontend
+    /// runs manage per-board buffers internally and ignore `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] on builder misuse, exactly as
+    /// [`execute`](Run::execute).
+    ///
+    /// # Panics
+    ///
+    /// Panics on internal engine errors, exactly as
+    /// [`execute`](Run::execute).
+    pub fn execute_in(
+        &self,
+        scratch: &mut SweepScratch,
+        input: impl RunInput,
+    ) -> Result<RunOutput, RunError> {
         let mech = self.mech.ok_or(RunError::NoMechanism)?;
         if self.cluster.is_some() {
             if self.frontend.is_some() {
@@ -229,7 +254,7 @@ impl Run {
             return input.dispatch(ClusterExec { run: self, mech });
         }
         let mut engine = mech.engine(&self.cfg);
-        self.execute_with(&mut *engine, input)
+        self.execute_with_in(&mut *engine, scratch, input)
     }
 
     /// Executes the run on a caller-supplied engine. The engine's processes
@@ -252,12 +277,40 @@ impl Run {
     where
         M: TranslationMechanism + ?Sized,
     {
+        let mut scratch = SweepScratch::new();
+        self.execute_with_in(engine, &mut scratch, input)
+    }
+
+    /// [`execute_with`](Run::execute_with) with a caller-supplied scratch
+    /// arena (see [`execute_in`](Run::execute_in)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] on builder misuse; cluster runs build one
+    /// engine per board and must go through [`execute`](Run::execute).
+    ///
+    /// # Panics
+    ///
+    /// Panics on internal engine errors.
+    pub fn execute_with_in<M>(
+        &self,
+        engine: &mut M,
+        scratch: &mut SweepScratch,
+        input: impl RunInput,
+    ) -> Result<RunOutput, RunError>
+    where
+        M: TranslationMechanism + ?Sized,
+    {
         if self.cluster.is_some() {
             return Err(RunError::IncompatibleConfig(
                 "cluster runs construct one engine per board: use Run::execute",
             ));
         }
-        input.dispatch(EngineExec { run: self, engine })
+        input.dispatch(EngineExec {
+            run: self,
+            engine,
+            scratch,
+        })
     }
 }
 
@@ -344,13 +397,16 @@ impl RunInput for Live {
     }
 }
 
-/// Single-engine execution: serial or DES, observed or plain.
-struct EngineExec<'r, 'e, M: ?Sized> {
+/// Single-engine execution: serial or DES, observed or plain. The scratch
+/// arena feeds the trace replay loops; the frontend branch (live requests,
+/// no trace) ignores it.
+struct EngineExec<'r, 'e, 's, M: ?Sized> {
     run: &'r Run,
     engine: &'e mut M,
+    scratch: &'s mut SweepScratch,
 }
 
-impl<M: TranslationMechanism + ?Sized> StreamVisitor for EngineExec<'_, '_, M> {
+impl<M: TranslationMechanism + ?Sized> StreamVisitor for EngineExec<'_, '_, '_, M> {
     type Out = Result<RunOutput, RunError>;
 
     fn visit<S: TraceStream + ?Sized>(self, stream: &mut S) -> Result<RunOutput, RunError> {
@@ -389,8 +445,14 @@ impl<M: TranslationMechanism + ?Sized> StreamVisitor for EngineExec<'_, '_, M> {
             ));
         }
         if let Some(des) = &self.run.des {
-            let (result, board) =
-                replay_des(self.engine, stream, &self.run.cfg, des, collector.as_ref());
+            let (result, board) = replay_des(
+                self.engine,
+                stream,
+                &self.run.cfg,
+                des,
+                collector.as_ref(),
+                self.scratch,
+            );
             let obs = collector.map(|c| {
                 build_report(
                     self.engine.name(),
@@ -406,7 +468,7 @@ impl<M: TranslationMechanism + ?Sized> StreamVisitor for EngineExec<'_, '_, M> {
             })
         } else if let Some(collector) = collector {
             self.engine.set_probe(collector.boxed());
-            let (result, board) = replay_stream(self.engine, stream, &self.run.cfg);
+            let (result, board) = replay_stream(self.engine, stream, &self.run.cfg, self.scratch);
             self.engine.take_probe();
             let obs = build_report(
                 self.engine.name(),
@@ -420,7 +482,7 @@ impl<M: TranslationMechanism + ?Sized> StreamVisitor for EngineExec<'_, '_, M> {
                 obs: Some(obs),
             })
         } else {
-            let (result, _) = replay_stream(self.engine, stream, &self.run.cfg);
+            let (result, _) = replay_stream(self.engine, stream, &self.run.cfg, self.scratch);
             Ok(RunOutput {
                 payload: Payload::Sim(result),
                 obs: None,

@@ -8,16 +8,58 @@
 
 use crate::{MissBreakdown, MissClassifier, SimConfig};
 use serde::{Deserialize, Serialize};
+use utlb_core::obs::Event;
 use utlb_core::{
-    CacheStats, LookupBatch, LookupRates, OutcomeBuf, TranslationMechanism, TranslationStats,
+    CacheStats, LookupBatch, LookupRates, OutcomeBuf, PageDemand, TranslationMechanism,
+    TranslationStats,
 };
 use utlb_mem::Host;
 use utlb_nic::{Board, BoardSnapshot, Nanos};
-use utlb_trace::{fill_chunk, TraceStream};
+use utlb_trace::{fill_chunk, TraceRecord, TraceStream};
 
 /// Records pulled per refill of the streaming replay loop. The loop's
 /// resident trace state is one chunk, whatever the stream's total size.
 pub const STREAM_CHUNK: usize = 1024;
+
+/// The replay loop's reusable buffers, hoisted out so a sweep worker can
+/// carry one arena across every cell it executes.
+///
+/// A single run already allocates nothing per record: the stream chunk,
+/// the batched-lookup [`OutcomeBuf`], and the DES overlay's event/demand
+/// vectors are reused across the whole stream (PR 5/6's scratch-reuse
+/// pattern). This struct extends the same pattern across *sweep cells* —
+/// [`sweep_with`](crate::sweep_with) builds one `SweepScratch` per worker
+/// and [`Run::execute_in`](crate::Run::execute_in) threads it into each
+/// run, so a 140-cell grid pays the buffer growth once per worker instead
+/// of once per cell.
+///
+/// Every buffer is cleared by the replay loop before use (the chunk by
+/// `fill_chunk`, the rest explicitly), so reuse is behavior-preserving:
+/// results are byte-identical whether a scratch is fresh or carried over,
+/// which the sweep determinism suite pins.
+#[derive(Debug, Default)]
+pub struct SweepScratch {
+    /// Stream refill buffer ([`STREAM_CHUNK`] records at steady state).
+    pub(crate) chunk: Vec<TraceRecord>,
+    /// Per-record page outcomes from the batched lookup path.
+    pub(crate) out: OutcomeBuf,
+    /// Drained engine events, decomposed into demands (DES overlay only).
+    pub(crate) events: Vec<Event>,
+    /// Per-page resource demands (DES overlay only).
+    pub(crate) demands: Vec<PageDemand>,
+}
+
+impl SweepScratch {
+    /// An empty arena; buffers grow to steady state on first use.
+    pub fn new() -> Self {
+        SweepScratch {
+            chunk: Vec::with_capacity(STREAM_CHUNK),
+            out: OutcomeBuf::new(),
+            events: Vec::new(),
+            demands: Vec::new(),
+        }
+    }
+}
 
 /// Outcome of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -105,6 +147,7 @@ pub(crate) fn replay_stream<M, S>(
     engine: &mut M,
     stream: &mut S,
     cfg: &SimConfig,
+    scratch: &mut SweepScratch,
 ) -> (SimResult, BoardSnapshot)
 where
     M: TranslationMechanism + ?Sized,
@@ -127,13 +170,14 @@ where
     let workload = stream.workload().to_string();
 
     let t0 = board.clock.now();
-    // One chunk buffer and one outcome buffer reused across the whole
-    // stream: the batched lookup path appends into `out`, so the replay loop
-    // allocates nothing per record once both have grown to steady state.
-    let mut chunk = Vec::with_capacity(STREAM_CHUNK);
-    let mut out = OutcomeBuf::new();
-    while fill_chunk(stream, &mut chunk, STREAM_CHUNK) > 0 {
-        for rec in &chunk {
+    // The chunk buffer and outcome buffer come from the caller's arena and
+    // are reused across the whole stream — and, in a sweep, across every
+    // cell the worker executes: the batched lookup path appends into
+    // `out`, so the replay loop allocates nothing per record once both
+    // have grown to steady state.
+    let SweepScratch { chunk, out, .. } = scratch;
+    while fill_chunk(stream, chunk, STREAM_CHUNK) > 0 {
+        for rec in chunk.iter() {
             board.clock.advance_to(Nanos::from_nanos(rec.ts_ns));
             out.clear();
             engine
@@ -141,7 +185,7 @@ where
                     &mut host,
                     &mut board,
                     LookupBatch::for_buffer(rec.pid, rec.va, rec.nbytes),
-                    &mut out,
+                    out,
                 )
                 .expect("trace lookups succeed");
             classifier.access_batch(rec.pid, out.as_slice());

@@ -1,0 +1,110 @@
+//! Driver-level checkpoint/restore: a sweep that left a partial journal
+//! behind (an interrupted run) must resume and produce byte-identical
+//! archives, a complete journal must replay without changing a byte, and
+//! none of it may depend on the worker count. Exercised on one trace grid
+//! (Table 8) and one request-plane grid (`cluster_frontend`), per the
+//! sweep scheduling contract in DESIGN.md.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use utlb_sim::experiments::{cluster_frontend, table8};
+use utlb_sim::sweep::{CHECKPOINT_ENV, THREADS_ENV};
+use utlb_trace::GenConfig;
+
+/// A fresh journal directory under the target tmpdir.
+fn journal_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join("sweep_scaling")
+        .join(name);
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The journal entries currently on disk, in stable order.
+fn journal_files(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<_> = fs::read_dir(dir)
+        .expect("journal dir exists after a checkpointed run")
+        .map(|e| e.expect("readable journal dir").path())
+        .collect();
+    v.sort();
+    v
+}
+
+/// One test owns the whole sequence: both `UTLB_SIM_THREADS` and
+/// `UTLB_SWEEP_CHECKPOINT` are process-global, so concurrent `#[test]`s
+/// would race on them.
+#[test]
+fn checkpointed_drivers_resume_byte_identically() {
+    let cfg = GenConfig {
+        seed: 11,
+        scale: 0.04,
+        app_processes: 4,
+    };
+
+    // Baseline archives: no journal, single worker.
+    std::env::remove_var(CHECKPOINT_ENV);
+    std::env::set_var(THREADS_ENV, "1");
+    let table8_want = serde_json::to_string(&table8(&cfg)).expect("serialize table 8");
+    let cf_want =
+        serde_json::to_string(&cluster_frontend(256, 600, &[1, 2])).expect("serialize churn grid");
+
+    // Trace grid (Table 8): populate a journal, fake an interruption by
+    // deleting half of it, and resume under a different worker count.
+    let dir = journal_dir("table8");
+    std::env::set_var(CHECKPOINT_ENV, &dir);
+    let first = serde_json::to_string(&table8(&cfg)).expect("serialize table 8");
+    assert_eq!(first, table8_want, "journaling must not change the archive");
+    let files = journal_files(&dir);
+    assert!(!files.is_empty(), "a checkpointed run must leave a journal");
+    for f in files.iter().step_by(2) {
+        fs::remove_file(f).expect("drop a journal entry");
+    }
+    std::env::set_var(THREADS_ENV, "4");
+    let resumed = serde_json::to_string(&table8(&cfg)).expect("serialize table 8");
+    assert_eq!(
+        resumed, table8_want,
+        "a resumed Table 8 run must be byte-identical"
+    );
+    assert_eq!(
+        journal_files(&dir).len(),
+        files.len(),
+        "resume must refill exactly the dropped entries"
+    );
+    // With the journal complete, a third run is a pure replay.
+    let replayed = serde_json::to_string(&table8(&cfg)).expect("serialize table 8");
+    assert_eq!(replayed, table8_want, "full replay must be byte-identical");
+
+    // Request-plane grid (cluster_frontend): same contract.
+    let dir = journal_dir("cluster_frontend");
+    std::env::set_var(CHECKPOINT_ENV, &dir);
+    std::env::set_var(THREADS_ENV, "1");
+    let first =
+        serde_json::to_string(&cluster_frontend(256, 600, &[1, 2])).expect("serialize churn grid");
+    assert_eq!(first, cf_want, "journaling must not change the archive");
+    let files = journal_files(&dir);
+    assert!(!files.is_empty(), "a checkpointed run must leave a journal");
+    for f in files.iter().skip(1).step_by(2) {
+        fs::remove_file(f).expect("drop a journal entry");
+    }
+    std::env::set_var(THREADS_ENV, "4");
+    let resumed =
+        serde_json::to_string(&cluster_frontend(256, 600, &[1, 2])).expect("serialize churn grid");
+    assert_eq!(
+        resumed, cf_want,
+        "a resumed churn-grid run must be byte-identical"
+    );
+
+    // A journal never leaks across workloads: a different geometry misses
+    // every key in the shared directory and recomputes its own cells.
+    let entries_before = journal_files(&dir).len();
+    let other =
+        serde_json::to_string(&cluster_frontend(512, 600, &[1, 2])).expect("serialize churn grid");
+    assert_ne!(other, cf_want, "different geometry, different archive");
+    assert!(
+        journal_files(&dir).len() > entries_before,
+        "the other geometry must journal its own cells"
+    );
+
+    std::env::remove_var(CHECKPOINT_ENV);
+    std::env::remove_var(THREADS_ENV);
+}

@@ -60,6 +60,13 @@ echo "== builder: spelling-equivalence of the Run builder (legacy shims are gone
 cargo test -q --offline -p utlb-sim --test builder_equivalence
 cargo test -q --offline -p utlb-sim run::
 
+echo "== sweep executor: scheduling, scratch, poison, and checkpoint unit tests"
+cargo test -q --offline -p utlb-sim sweep::
+
+echo "== sweep executor: 1-vs-N byte-identity and checkpointed driver resume"
+cargo test -q --offline -p utlb-sim --test sweep_determinism
+cargo test -q --offline -p utlb-sim --test sweep_scaling
+
 echo "== cluster: 1-board bit-exactness, determinism, migration proptest"
 cargo test -q --offline -p utlb-sim --test cluster
 cargo test -q --offline -p utlb-sim cluster::
